@@ -1,0 +1,16 @@
+"""Regenerate paper Fig. 1: the stationarity quartic's zero crossings."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import fig1_quartic
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_quartic(benchmark, record_table):
+    data = run_once(benchmark, fig1_quartic.run)
+    record_table("fig1_quartic", fig1_quartic.format_table(data))
+    # Shape claims: four real roots, exactly one positive, Eq. 6a exact.
+    assert len(data.real_roots) == 4
+    assert len(data.positive_roots) == 1
+    assert any(abs(r - data.expected_spurious[0]) < 1e-6 * abs(r) for r in data.real_roots)

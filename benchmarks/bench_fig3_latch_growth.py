@@ -1,0 +1,14 @@
+"""Regenerate paper Fig. 3: overall latch growth ~ p^1.1 from per-unit 1.3."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import fig3_latch_growth
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_latch_growth(benchmark, record_table):
+    data = run_once(benchmark, fig3_latch_growth.run)
+    record_table("fig3_latch_growth", fig3_latch_growth.format_table(data))
+    assert data.per_unit_exponent == pytest.approx(1.3)
+    assert 0.9 <= data.fitted_exponent <= 1.2  # paper: ~1.1

@@ -1,0 +1,20 @@
+"""Regenerate paper Fig. 5: BIPS, BIPS^3/W, BIPS^2/W, BIPS/W vs depth."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import fig5_metric_family
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_metric_family(benchmark, record_table):
+    data = run_once(benchmark, lambda: fig5_metric_family.run(trace_length=12000))
+    record_table("fig5_metric_family", fig5_metric_family.format_table(data))
+    # Paper claims: peaks for BIPS and BIPS^3/W; BIPS/W optimises at the
+    # shallowest design; optima deepen with the exponent.
+    assert data.interior[3.0]
+    assert data.interior[float("inf")]
+    assert not data.interior[1.0]
+    assert data.optima[1.0] <= data.optima[2.0] + 0.75
+    assert data.optima[2.0] <= data.optima[3.0] + 0.75
+    assert data.optima[3.0] <= data.optima[float("inf")] + 0.75

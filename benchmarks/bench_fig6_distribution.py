@@ -1,0 +1,16 @@
+"""Regenerate paper Fig. 6: optimum-depth distribution over all 55 workloads."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import fig6_distribution
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_distribution_full_suite(benchmark, record_table):
+    data = run_once(benchmark, lambda: fig6_distribution.run(trace_length=8000))
+    record_table("fig6_distribution", fig6_distribution.format_table(data))
+    # Paper: centred around 8 stages / 20 FO4 (we accept the band).
+    assert 6.5 <= data.mean_depth <= 11.0
+    assert 14.0 <= data.mean_fo4 <= 25.0
+    assert len(data.distribution.optima) == 55

@@ -1,0 +1,21 @@
+"""Regenerate paper Fig. 7: the optimum-depth distribution by class."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import fig7_by_class
+from repro.trace import WorkloadClass
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_by_class_full_suite(benchmark, record_table):
+    data = run_once(benchmark, lambda: fig7_by_class.run(trace_length=8000))
+    record_table("fig7_by_class", fig7_by_class.format_table(data))
+    summary = data.class_summary
+    # Shape claims: every class optimises well below the perf-only ~20+;
+    # floating point is the deepest class with the widest spread.
+    means = {cls: mean for cls, (mean, _lo, _hi) in summary.items()}
+    spreads = {cls: hi - lo for cls, (_mean, lo, hi) in summary.items()}
+    assert all(4.0 <= mean <= 16.0 for mean in means.values())
+    assert means[WorkloadClass.FLOAT] == max(means.values())
+    assert spreads[WorkloadClass.FLOAT] == max(spreads.values())

@@ -1,0 +1,18 @@
+"""Regenerate paper Fig. 8: the optimum vs leakage share (theory)."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import fig8_leakage
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_leakage(benchmark, record_table):
+    data = run_once(benchmark, lambda: fig8_leakage.run(trace_length=12000))
+    record_table("fig8_leakage", fig8_leakage.format_table(data))
+    depths = [d for _f, d in data.optima]
+    fractions = [f for f, _d in data.optima]
+    assert fractions == sorted(fractions)
+    assert depths == sorted(depths)  # monotone deeper
+    # Paper: 0% -> 90% roughly doubles the optimum (7 -> ~14 stages).
+    assert depths[-1] / depths[0] >= 1.5

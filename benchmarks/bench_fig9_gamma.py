@@ -1,0 +1,17 @@
+"""Regenerate paper Fig. 9: the optimum vs the latch growth exponent."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import fig9_gamma
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_gamma(benchmark, record_table):
+    data = run_once(benchmark, lambda: fig9_gamma.run(trace_length=12000))
+    record_table("fig9_gamma", fig9_gamma.format_table(data))
+    depths = [d for _g, d in data.optima]
+    assert depths == sorted(depths, reverse=True)  # shallower with gamma
+    # Paper: "if gamma becomes larger than 2, the theory points to the
+    # optimum as a single stage design".
+    assert 2.0 <= data.single_stage_gamma <= 3.0

@@ -1,0 +1,17 @@
+"""Regenerate the paper's headline scalar claims ("Table H")."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import headline
+from repro.trace import small_suite
+
+
+@pytest.mark.benchmark(group="headline")
+def test_headline_claims(benchmark, record_table):
+    data = run_once(
+        benchmark, lambda: headline.run(specs=small_suite(3), trace_length=8000)
+    )
+    record_table("headline", headline.format_table(data))
+    held = sum(row.holds for row in data.rows)
+    assert held >= 6, headline.format_table(data)

@@ -1,0 +1,25 @@
+"""Revalidate the predecessor performance-only result (H&P 2002, Eq. 2)."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import perf_only
+from repro.trace import small_suite
+
+
+@pytest.mark.benchmark(group="perf-only")
+def test_perf_only_foundation(benchmark, record_table):
+    data = run_once(
+        benchmark, lambda: perf_only.run(specs=small_suite(2), trace_length=8000)
+    )
+    record_table("perf_only", perf_only.format_table(data))
+    # Eq. 1 must track the simulated T/N_I curves closely (FP workloads
+    # are the known hard case: long-op stalls are not of the hazard form).
+    assert all(row.curve_r_squared > 0.6 for row in data.rows)
+    integer_rows = [r for r in data.rows if r.workload not in ("swim", "mgrid")]
+    assert all(row.curve_r_squared > 0.9 for row in integer_rows)
+    # ...and both optimum estimates must land in the deep-pipeline regime,
+    # bracketing the predecessor paper's ~22 stages.
+    assert 12.0 <= data.mean_simulated <= 28.0
+    assert 15.0 <= data.mean_eq2 <= 40.0
+    assert data.mean_simulated <= 22.0 <= data.mean_eq2 + 2.0

@@ -1,0 +1,42 @@
+"""Microbenchmarks of the substrates themselves (throughput numbers).
+
+Unlike the figure benches (single-shot experiments), these measure the
+library's working rates with proper multi-round statistics: simulated
+instructions per second, trace-generation rate, and the analytic
+optimiser's latency.
+"""
+
+import pytest
+
+from repro.core import DesignSpace, calibrate_leakage, optimum_depth
+from repro.pipeline import PipelineSimulator
+from repro.trace import WorkloadClass, by_class, generate_trace
+
+TRACE_LENGTH = 20000
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(by_class(WorkloadClass.MODERN)[0], TRACE_LENGTH)
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_simulator_throughput(benchmark, trace):
+    simulator = PipelineSimulator()
+    result = benchmark(simulator.simulate, trace, 12)
+    assert result.instructions == TRACE_LENGTH
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_trace_generation_rate(benchmark):
+    spec = by_class(WorkloadClass.LEGACY)[0]
+    trace = benchmark(generate_trace, spec, TRACE_LENGTH)
+    assert len(trace) == TRACE_LENGTH
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_analytic_optimum_latency(benchmark):
+    space = DesignSpace()
+    space = space.with_power(calibrate_leakage(space, 0.15, 8.0))
+    result = benchmark(optimum_depth, space, 3.0)
+    assert result.pipelined

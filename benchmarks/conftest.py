@@ -1,0 +1,37 @@
+"""Benchmark harness support.
+
+Each ``bench_fig*.py`` regenerates one paper figure at full evaluation
+scale, times it with pytest-benchmark (single round — these are
+experiments, not microbenchmarks), asserts the figure's shape claims and
+writes the printed table to ``benchmarks/results/<name>.txt`` so the
+numbers that went into EXPERIMENTS.md are reproducible artifacts.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def record_table():
+    """Persist a figure's table under benchmarks/results/ and echo it."""
+
+    def _record(name: str, table: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(table + "\n")
+        print()
+        print(table)
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

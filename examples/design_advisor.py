@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Design advisor: recommend a pipeline depth for a described workload.
+
+Demonstrates using the library as an early-concept-phase design tool (the
+scenario the paper's introduction motivates: architects must fix the
+pipeline structure before accurate models exist).  You describe the
+workload with a few command-line knobs; the tool builds a synthetic trace,
+runs the reference simulation, extracts the theory parameters and prints a
+recommended depth for your chosen power/performance metric — plus how the
+recommendation shifts if your technology assumptions move.
+
+Run:  python examples/design_advisor.py --branch 0.2 --memory 0.4 --metric 3
+"""
+
+import argparse
+
+from repro.analysis import optimum_from_sweep, run_depth_sweep, theory_fit_from_sweep
+from repro.isa import OpClass
+from repro.trace import WorkloadClass, WorkloadSpec
+
+
+def build_spec(args: argparse.Namespace) -> WorkloadSpec:
+    other = 1.0 - args.branch - args.memory - args.fp
+    if other <= 0:
+        raise SystemExit("branch + memory + fp fractions must leave room for ALU ops")
+    mix = {
+        OpClass.RR_ALU: other * 0.85,
+        OpClass.COMPLEX: other * 0.15,
+        OpClass.RX_LOAD: args.memory * 0.35,
+        OpClass.RX_STORE: args.memory * 0.25,
+        OpClass.RX_ALU: args.memory * 0.40,
+        OpClass.BRANCH: args.branch,
+        OpClass.FP: args.fp,
+    }
+    return WorkloadSpec(
+        name="advisor-workload",
+        workload_class=WorkloadClass.MODERN,
+        mix=mix,
+        branch_bias=args.predictability,
+        data_working_set=args.working_set * 1024,
+        data_locality=args.locality,
+        code_footprint=args.code * 1024,
+        dependency_distance=args.ilp,
+        pointer_chase=args.chase,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--branch", type=float, default=0.18, help="branch fraction")
+    parser.add_argument("--memory", type=float, default=0.42, help="memory-op fraction")
+    parser.add_argument("--fp", type=float, default=0.01, help="floating-point fraction")
+    parser.add_argument(
+        "--predictability", type=float, default=0.93, help="branch bias in [0.5, 1]"
+    )
+    parser.add_argument("--working-set", type=int, default=512, help="data working set (KiB)")
+    parser.add_argument("--locality", type=float, default=0.9, help="data locality [0, 1]")
+    parser.add_argument("--code", type=int, default=128, help="code footprint (KiB)")
+    parser.add_argument("--ilp", type=float, default=3.0, help="mean dependency distance")
+    parser.add_argument("--chase", type=float, default=0.1, help="pointer-chase fraction")
+    parser.add_argument("--metric", type=float, default=3.0, help="metric exponent m")
+    parser.add_argument("--length", type=int, default=8000, help="trace length")
+    args = parser.parse_args()
+
+    spec = build_spec(args)
+    sweep = run_depth_sweep(spec, trace_length=args.length)
+    reference = sweep.reference
+    simulated = optimum_from_sweep(sweep, m=args.metric, gated=True)
+    theory = theory_fit_from_sweep(sweep, m=args.metric, gated=True)
+
+    print("Workload characterisation (from one reference simulation at p=8):")
+    print(f"  superscalar degree alpha : {reference.superscalar_degree:.2f}")
+    print(f"  hazards per instruction  : {reference.hazard_rate:.3f}")
+    print(f"  misprediction rate       : {reference.misprediction_rate:.1%}")
+    print(f"  D-cache miss rate        : {reference.dcache_miss_rate:.1%}")
+    print()
+    print(f"Recommendation for BIPS^{args.metric:g}/W (clock-gated):")
+    print(
+        f"  simulated optimum : {simulated.depth:.1f} stages "
+        f"({simulated.fo4_per_stage:.1f} FO4/stage)"
+    )
+    print(
+        f"  theory optimum    : {theory.optimum.depth:.1f} stages "
+        f"({theory.optimum.fo4_per_stage:.1f} FO4/stage, fit R^2 {theory.r_squared:.2f})"
+    )
+    low, high = sorted((simulated.depth, theory.optimum.depth))
+    print(f"  suggested design  : {round(low)}-{round(high)} stages")
+
+
+if __name__ == "__main__":
+    main()

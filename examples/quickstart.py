@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: the analytic optimum pipeline depth in a few lines.
+
+Builds the paper's default design point (t_p = 140 FO4, t_o = 2.5 FO4,
+15 % leakage), asks the theory for the optimum depth under each metric of
+the BIPS**m/W family, and prints the resulting design table — the heart of
+Hartstein & Puzak's MICRO-36 2003 result in one script.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    DesignSpace,
+    GatingModel,
+    GatingStyle,
+    MetricFamily,
+    calibrate_leakage,
+    feasibility,
+    optimum_depth,
+)
+
+
+def main() -> None:
+    # A "typical" design space: default technology (140 / 2.5 FO4), default
+    # workload parameters, leakage calibrated to 15 % of total power at the
+    # paper's 8-stage reference point.
+    space = DesignSpace()
+    space = space.with_power(calibrate_leakage(space, fraction=0.15, reference_depth=8.0))
+
+    print("Optimum pipeline depth by metric (un-gated dynamic power)")
+    print(f"{'metric':>10s} {'optimum p':>10s} {'FO4/stage':>10s} {'pipelined?':>11s}")
+    for metric in (
+        MetricFamily.BIPS_PER_WATT,
+        MetricFamily.BIPS2_PER_WATT,
+        MetricFamily.BIPS3_PER_WATT,
+        MetricFamily.PERFORMANCE_ONLY,
+    ):
+        result = optimum_depth(space, metric)
+        print(
+            f"{metric.label:>10s} {result.depth:10.2f} {result.fo4_per_stage:10.1f} "
+            f"{'yes' if result.pipelined else 'no':>11s}"
+        )
+
+    print()
+    gated = space.with_gating(GatingModel(GatingStyle.PERFECT))
+    gated = gated.with_power(calibrate_leakage(gated, 0.15, 8.0))
+    result = optimum_depth(gated, MetricFamily.BIPS3_PER_WATT)
+    print(
+        f"With perfect clock gating, the BIPS^3/W optimum moves deeper: "
+        f"p = {result.depth:.2f} ({result.fo4_per_stage:.1f} FO4/stage)"
+    )
+
+    print()
+    report = feasibility(space, MetricFamily.BIPS_PER_WATT)
+    print(f"Why BIPS/W never pipelines: {report.explanation}")
+
+
+if __name__ == "__main__":
+    main()

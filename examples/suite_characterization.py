@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Characterise the 55-workload suite (the artifact table).
+
+Prints, for every workload, the static instruction mix and the measured
+behavioural rates on the reference machine — the numbers behind each
+workload's position in the paper's Figs. 6/7 distributions.  Pass
+``--full`` for all 55 workloads (about a minute); the default runs a
+reduced suite.
+
+Run:  python examples/suite_characterization.py [--full] [--length N]
+"""
+
+import argparse
+
+from repro.analysis import characterize_suite
+from repro.analysis.characterize import format_table
+from repro.trace import small_suite, suite
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="all 55 workloads")
+    parser.add_argument("--length", type=int, default=8000)
+    args = parser.parse_args()
+
+    specs = suite() if args.full else small_suite(2)
+    characters = characterize_suite(specs, trace_length=args.length)
+    print(format_table(characters))
+    print()
+    by_class = {}
+    for c in characters:
+        by_class.setdefault(c.workload_class, []).append(c)
+    print("Class summary (mean hazard pressure alpha*N_H/N_I — the theory's")
+    print("shallow-optimum driver; lower pressure, deeper optimum):")
+    for workload_class, members in by_class.items():
+        pressure = sum(c.stressfulness for c in members) / len(members)
+        print(f"  {workload_class.display_name:22s} {pressure:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Technology exploration: how the optimum moves as technology changes.
+
+The point of the paper's closed-form theory is that it answers "what if"
+questions without new simulations.  This example explores three of them:
+
+1. leakage share rising from 0 % to 90 % (Fig. 8 — deeper optima),
+2. the latch growth exponent gamma rising from 1.0 to 1.8 (Fig. 9 —
+   shallower optima, collapsing to a single stage past ~2),
+3. the total logic depth t_p shrinking as designs integrate more per
+   cycle (Sec. 2.2 — less logic to pipeline means shallower optima).
+
+Run:  python examples/technology_exploration.py
+"""
+
+from repro.core import (
+    DesignSpace,
+    calibrate_leakage,
+    gamma_sweep,
+    leakage_sweep,
+    logic_depth_sweep,
+)
+
+
+def show(title: str, curves) -> None:
+    print(title)
+    for curve in curves:
+        optimum = curve.optimum
+        marker = f"p = {optimum.depth:5.2f}" if optimum.pipelined else "single stage"
+        print(f"  {curve.label:>14s}: optimum {marker}  ({optimum.fo4_per_stage:5.1f} FO4)")
+    print()
+
+
+def main() -> None:
+    space = DesignSpace()
+    space = space.with_power(calibrate_leakage(space, 0.15, 8.0))
+
+    show(
+        "1. Leakage share (dynamic power held fixed) — paper Fig. 8",
+        leakage_sweep(space, fractions=(0.0, 0.15, 0.30, 0.50, 0.90)),
+    )
+    show(
+        "2. Latch growth exponent gamma — paper Fig. 9",
+        gamma_sweep(space, gammas=(1.0, 1.1, 1.3, 1.5, 1.8)),
+    )
+    show(
+        "3. Total logic depth t_p (FO4) — more logic, more room to pipeline",
+        logic_depth_sweep(space, logic_depths=(70.0, 140.0, 280.0)),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Workload study: simulate real workload classes and find their optima.
+
+Takes one workload per class from the 55-workload suite, sweeps it across
+pipeline depths 2..25 on the cycle-accurate simulator, accounts power
+under both gating models, and reports each workload's optimum design
+point by the paper's two extraction methods (blind cubic fit of the
+simulated metric, and the analytic theory scale-fitted to the data).
+
+Run:  python examples/workload_study.py [--length N]
+"""
+
+import argparse
+
+from repro.analysis import optimum_from_sweep, run_depth_sweep, theory_fit_from_sweep
+from repro.trace import WorkloadClass, by_class
+
+
+def study(trace_length: int) -> None:
+    print(
+        f"{'workload':>18s} {'class':>12s} {'alpha':>6s} {'N_H/N_I':>8s} "
+        f"{'cubic-fit':>10s} {'theory':>7s} {'FO4':>6s}"
+    )
+    for workload_class in WorkloadClass:
+        spec = by_class(workload_class)[0]
+        sweep = run_depth_sweep(spec, trace_length=trace_length)
+        reference = sweep.reference
+        estimate = optimum_from_sweep(sweep, m=3.0, gated=True)
+        theory = theory_fit_from_sweep(sweep, m=3.0, gated=True)
+        print(
+            f"{spec.name:>18s} {workload_class.value:>12s} "
+            f"{reference.superscalar_degree:6.2f} {reference.hazard_rate:8.3f} "
+            f"{estimate.depth:10.1f} {theory.optimum.depth:7.1f} "
+            f"{estimate.fo4_per_stage:6.1f}"
+        )
+
+    print()
+    spec = by_class(WorkloadClass.MODERN)[0]
+    sweep = run_depth_sweep(spec, trace_length=trace_length)
+    print(f"Metric curve for {spec.name} (BIPS^3/W, clock-gated, peak-normalised):")
+    values = sweep.normalized_metric(3.0, gated=True)
+    for depth, value in zip(sweep.depths, values):
+        bar = "#" * int(round(value * 40))
+        print(f"  p={depth:2d} |{bar:<40s}| {value:.2f}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--length", type=int, default=8000, help="trace length")
+    args = parser.parse_args()
+    study(args.length)
+
+
+if __name__ == "__main__":
+    main()

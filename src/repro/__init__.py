@@ -1,0 +1,31 @@
+"""repro — reproduction of Hartstein & Puzak, "Optimum Power/Performance
+Pipeline Depth" (MICRO-36, 2003).
+
+Subpackages:
+
+* :mod:`repro.core` — the analytic theory (the paper's contribution):
+  performance model, latch-centric power model, the ``BIPS**m/W`` metric
+  family, exact and approximate optimum-depth solvers, sensitivity sweeps.
+* :mod:`repro.isa` — the synthetic zSeries-flavoured instruction set.
+* :mod:`repro.trace` — seeded synthetic workload traces (the stand-in for
+  the paper's 55 proprietary traces).
+* :mod:`repro.uarch` — branch predictor and cache substrates.
+* :mod:`repro.pipeline` — the cycle-accurate 4-issue in-order pipeline
+  simulator with uniform stage expansion/contraction.
+* :mod:`repro.power` — per-unit activity-based power accounting.
+* :mod:`repro.analysis` — parameter extraction, depth sweeps, optimum
+  extraction and suite-level distributions.
+* :mod:`repro.experiments` — one driver per paper figure.
+
+Quickstart::
+
+    from repro.core import DesignSpace, optimum_depth
+    space = DesignSpace()
+    print(optimum_depth(space, m=3).depth)
+"""
+
+from . import core
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "__version__"]

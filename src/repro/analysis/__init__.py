@@ -1,0 +1,34 @@
+"""Glue between simulation and theory: extraction, sweeps, optima, distributions."""
+
+from .characterize import (
+    WorkloadCharacter,
+    characterize,
+    characterize_suite,
+)
+from .compare import ConfigResult, MachineComparison, compare_machines
+from .distribution import OptimumDistribution, WorkloadOptimum, optimum_distribution
+from .extraction import ExtractionReport, extract_workload_params, fit_workload_params
+from .optimum import OptimumEstimate, TheoryFit, optimum_from_sweep, theory_fit_from_sweep
+from .sweep import DEFAULT_DEPTHS, DepthSweep, run_depth_sweep
+
+__all__ = [
+    "WorkloadCharacter",
+    "characterize",
+    "characterize_suite",
+    "ConfigResult",
+    "MachineComparison",
+    "compare_machines",
+    "ExtractionReport",
+    "extract_workload_params",
+    "fit_workload_params",
+    "DepthSweep",
+    "run_depth_sweep",
+    "DEFAULT_DEPTHS",
+    "OptimumEstimate",
+    "TheoryFit",
+    "optimum_from_sweep",
+    "theory_fit_from_sweep",
+    "WorkloadOptimum",
+    "OptimumDistribution",
+    "optimum_distribution",
+]

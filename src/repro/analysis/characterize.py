@@ -1,0 +1,98 @@
+"""Workload characterisation: the suite table a paper artifact would carry.
+
+The paper describes its 55 traces qualitatively ("carefully selected to
+accurately reflect the instruction mix, module mix and branch prediction
+characteristics").  This module produces the quantitative equivalent for
+our synthetic suite: per workload, the static mix and the behavioural
+rates measured on a reference simulation — the numbers that determine
+each workload's position in the Figs. 6/7 distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..isa import OpClass
+from ..pipeline.simulator import MachineConfig, PipelineSimulator
+from ..trace.generator import generate_trace
+from ..trace.spec import WorkloadClass, WorkloadSpec
+
+__all__ = ["WorkloadCharacter", "characterize", "characterize_suite", "format_table"]
+
+
+@dataclass(frozen=True)
+class WorkloadCharacter:
+    """Static and behavioural characterisation of one workload."""
+
+    name: str
+    workload_class: WorkloadClass
+    branch_fraction: float
+    memory_fraction: float
+    fp_fraction: float
+    misprediction_rate: float
+    dcache_miss_rate: float
+    icache_misses_per_kinstr: float
+    hazard_rate: float
+    superscalar_degree: float
+    cpi: float
+
+    @property
+    def stressfulness(self) -> float:
+        """A single hazard-pressure figure: ``alpha * N_H/N_I`` scaled by
+        the stall share; the theory's shallow-optimum driver."""
+        return self.superscalar_degree * self.hazard_rate
+
+
+def characterize(
+    spec: WorkloadSpec,
+    trace_length: int = 8000,
+    reference_depth: int = 8,
+    machine: "MachineConfig | None" = None,
+) -> WorkloadCharacter:
+    """Measure one workload's character on a reference simulation."""
+    trace = generate_trace(spec, trace_length)
+    stats = trace.stats()
+    result = PipelineSimulator(machine).simulate(trace, reference_depth)
+    return WorkloadCharacter(
+        name=spec.name,
+        workload_class=spec.workload_class,
+        branch_fraction=stats.branch_fraction,
+        memory_fraction=stats.memory_fraction,
+        fp_fraction=stats.fp_fraction,
+        misprediction_rate=result.misprediction_rate,
+        dcache_miss_rate=result.dcache_miss_rate,
+        icache_misses_per_kinstr=1000.0 * result.icache_misses / result.instructions,
+        hazard_rate=result.hazard_rate,
+        superscalar_degree=result.superscalar_degree,
+        cpi=result.cpi,
+    )
+
+
+def characterize_suite(
+    specs: Sequence[WorkloadSpec],
+    trace_length: int = 8000,
+    reference_depth: int = 8,
+    machine: "MachineConfig | None" = None,
+) -> Tuple[WorkloadCharacter, ...]:
+    """Characterise a whole suite (55 workloads in the full run)."""
+    return tuple(
+        characterize(spec, trace_length, reference_depth, machine) for spec in specs
+    )
+
+
+def format_table(characters: Sequence[WorkloadCharacter]) -> str:
+    """A fixed-width suite characterisation table."""
+    lines = [
+        f"{'workload':20s} {'class':12s} {'br%':>5s} {'mem%':>5s} {'fp%':>5s} "
+        f"{'mpred%':>7s} {'d$mr%':>6s} {'i$/ki':>6s} {'NH/NI':>6s} {'alpha':>6s} {'CPI':>5s}"
+    ]
+    for c in characters:
+        lines.append(
+            f"{c.name:20s} {c.workload_class.value:12s} "
+            f"{100 * c.branch_fraction:5.1f} {100 * c.memory_fraction:5.1f} "
+            f"{100 * c.fp_fraction:5.1f} {100 * c.misprediction_rate:7.1f} "
+            f"{100 * c.dcache_miss_rate:6.1f} {c.icache_misses_per_kinstr:6.1f} "
+            f"{c.hazard_rate:6.3f} {c.superscalar_degree:6.2f} {c.cpi:5.2f}"
+        )
+    return "\n".join(lines)

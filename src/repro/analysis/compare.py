@@ -1,0 +1,120 @@
+"""Machine-configuration comparison across the workload suite.
+
+The generic engine behind every ablation: given two (or more) machine
+configurations, sweep the same workloads on each and compare optimum
+design points and performance — with one call.  Used by
+``benchmarks/bench_ablations.py`` and available for any what-if a user
+brings (issue width, predictor choice, cache hierarchy, in-order vs
+out-of-order, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..core.metric import MetricFamily
+from ..pipeline.simulator import MachineConfig
+from ..trace.generator import generate_trace
+from ..trace.spec import WorkloadSpec
+from .optimum import optimum_from_sweep
+from .sweep import DEFAULT_DEPTHS, run_depth_sweep
+
+__all__ = ["MachineComparison", "ConfigResult", "compare_machines"]
+
+
+@dataclass(frozen=True)
+class ConfigResult:
+    """One configuration's aggregate outcome over the workloads."""
+
+    label: str
+    machine: MachineConfig
+    optima: Mapping[str, float]          # workload -> optimum depth
+    peak_bips: Mapping[str, float]       # workload -> best BIPS over depths
+
+    @property
+    def mean_optimum(self) -> float:
+        return float(np.mean(list(self.optima.values())))
+
+    @property
+    def mean_peak_bips(self) -> float:
+        return float(np.mean(list(self.peak_bips.values())))
+
+
+@dataclass(frozen=True)
+class MachineComparison:
+    """Results for every configuration, plus convenience deltas."""
+
+    results: Tuple[ConfigResult, ...]
+    metric_exponent: float
+    gated: bool
+
+    def __post_init__(self) -> None:
+        if len(self.results) < 2:
+            raise ValueError("a comparison needs at least two configurations")
+
+    def result(self, label: str) -> ConfigResult:
+        for entry in self.results:
+            if entry.label == label:
+                return entry
+        raise KeyError(f"no configuration labelled {label!r}")
+
+    def optimum_shift(self, baseline: str, variant: str) -> float:
+        """Mean optimum-depth change, variant minus baseline."""
+        return self.result(variant).mean_optimum - self.result(baseline).mean_optimum
+
+    def speedup(self, baseline: str, variant: str) -> float:
+        """Mean peak-BIPS ratio, variant over baseline."""
+        return self.result(variant).mean_peak_bips / self.result(baseline).mean_peak_bips
+
+    def format_table(self) -> str:
+        lines = [
+            f"{'configuration':>24s} {'mean optimum':>13s} {'mean peak BIPS':>15s}"
+        ]
+        for entry in self.results:
+            lines.append(
+                f"{entry.label:>24s} {entry.mean_optimum:13.2f} "
+                f"{entry.mean_peak_bips * 1e3:15.3f}e-3"
+            )
+        return "\n".join(lines)
+
+
+def compare_machines(
+    configs: Mapping[str, MachineConfig],
+    specs: Sequence[WorkloadSpec],
+    m: "float | MetricFamily" = 3.0,
+    gated: bool = True,
+    depths: Sequence[int] = DEFAULT_DEPTHS,
+    trace_length: int = 8000,
+    reference_depth: int = 8,
+) -> MachineComparison:
+    """Sweep each workload under each configuration and compare.
+
+    Traces are generated once per workload and shared across
+    configurations, so differences are attributable to the machines alone.
+    """
+    exponent = m.exponent if isinstance(m, MetricFamily) else float(m)
+    if len(configs) < 2:
+        raise ValueError("pass at least two configurations to compare")
+    traces = [(spec, generate_trace(spec, trace_length)) for spec in specs]
+    results = []
+    for label, machine in configs.items():
+        optima = {}
+        peaks = {}
+        for spec, trace in traces:
+            sweep = run_depth_sweep(
+                trace,
+                depths=depths,
+                machine=machine,
+                reference_depth=reference_depth,
+            )
+            optima[spec.name] = optimum_from_sweep(sweep, exponent, gated).depth
+            peaks[spec.name] = float(sweep.bips().max())
+        results.append(
+            ConfigResult(label=label, machine=machine, optima=optima, peak_bips=peaks)
+        )
+    return MachineComparison(
+        results=tuple(results), metric_exponent=exponent, gated=gated
+    )

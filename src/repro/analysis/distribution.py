@@ -1,0 +1,153 @@
+"""Suite-level distributions of optimum pipeline depths (Figs. 6 and 7).
+
+The paper's headline empirical result is a *distribution*: simulate all 55
+workloads, extract each one's optimum depth for ``BIPS**3/W``, and
+histogram the results — overall (Fig. 6, centred near 8 stages / 20 FO4)
+and split by workload class (Fig. 7: legacy ~9, SPECint ~7, modern ~7–8,
+floating point spread over 6–16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..core.metric import MetricFamily
+from ..pipeline.simulator import MachineConfig
+from ..trace.spec import WorkloadClass, WorkloadSpec
+from .optimum import OptimumEstimate, optimum_from_sweep
+from .sweep import DEFAULT_DEPTHS, DepthSweep, run_depth_sweep
+
+__all__ = ["WorkloadOptimum", "OptimumDistribution", "optimum_distribution"]
+
+
+@dataclass(frozen=True)
+class WorkloadOptimum:
+    """One workload's extracted optimum."""
+
+    name: str
+    workload_class: WorkloadClass
+    estimate: OptimumEstimate
+
+    @property
+    def depth(self) -> float:
+        return self.estimate.depth
+
+
+@dataclass(frozen=True)
+class OptimumDistribution:
+    """The distribution of optima over a workload suite.
+
+    Provides the paper's two views: the overall histogram (Fig. 6) and the
+    per-class histograms (Fig. 7), plus summary statistics.
+    """
+
+    optima: Tuple[WorkloadOptimum, ...]
+    metric_exponent: float
+    gated: bool
+
+    def __post_init__(self) -> None:
+        if not self.optima:
+            raise ValueError("distribution needs at least one workload optimum")
+
+    def depths(self) -> np.ndarray:
+        return np.asarray([w.depth for w in self.optima])
+
+    @property
+    def mean_depth(self) -> float:
+        return float(self.depths().mean())
+
+    @property
+    def median_depth(self) -> float:
+        return float(np.median(self.depths()))
+
+    def mean_fo4(self, technology=None) -> float:
+        """FO4 per stage at the mean optimum depth."""
+        from ..core.params import TechnologyParams
+
+        tech = technology or TechnologyParams()
+        return tech.fo4_per_stage(self.mean_depth)
+
+    def histogram(
+        self, bins: "Sequence[float] | None" = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(bin_lefts, counts) with unit-stage bins over the observed range."""
+        depths = self.depths()
+        if bins is None:
+            lo = int(np.floor(depths.min()))
+            hi = int(np.ceil(depths.max())) + 1
+            bins = np.arange(lo, hi + 1)
+        counts, edges = np.histogram(depths, bins=np.asarray(bins, dtype=float))
+        return edges[:-1], counts
+
+    def by_class(self) -> Mapping[WorkloadClass, Tuple[WorkloadOptimum, ...]]:
+        out: Dict[WorkloadClass, List[WorkloadOptimum]] = {}
+        for w in self.optima:
+            out.setdefault(w.workload_class, []).append(w)
+        return {k: tuple(v) for k, v in out.items()}
+
+    def class_summary(self) -> Mapping[WorkloadClass, Tuple[float, float, float]]:
+        """Per class: (mean depth, min depth, max depth)."""
+        summary: Dict[WorkloadClass, Tuple[float, float, float]] = {}
+        for cls, members in self.by_class().items():
+            depths = np.asarray([m.depth for m in members])
+            summary[cls] = (float(depths.mean()), float(depths.min()), float(depths.max()))
+        return summary
+
+
+def optimum_distribution(
+    specs: Sequence[WorkloadSpec],
+    m: "float | MetricFamily" = 3.0,
+    gated: bool = True,
+    depths: Sequence[int] = DEFAULT_DEPTHS,
+    trace_length: int = 8000,
+    machine: MachineConfig | None = None,
+    leakage_fraction: float = 0.15,
+    reference_depth: int = 8,
+) -> OptimumDistribution:
+    """Sweep every workload and collect the distribution of optima.
+
+    This is the full Figs. 6/7 pipeline: simulate, account power, fit,
+    extract.  Leakage is a *technology* constant, so it is calibrated once
+    against the suite-average dynamic power at the reference depth and the
+    same power model is applied to every workload — stall-heavy workloads
+    then see a larger leakage share, which (with the theory's Fig. 8
+    mechanism) pushes their optima deeper.
+
+    With the complete 55-workload suite at the default trace length this
+    is a multi-second computation; tests use
+    :func:`repro.trace.small_suite` and shorter traces.
+    """
+    from ..pipeline.simulator import PipelineSimulator
+    from ..power.model import calibrate_global_leakage
+    from ..power.units import UnitPowerModel
+    from ..trace.generator import generate_trace
+
+    exponent = m.exponent if isinstance(m, MetricFamily) else float(m)
+    simulator = PipelineSimulator(machine)
+    traces = [generate_trace(spec, trace_length) for spec in specs]
+    references = [simulator.simulate(trace, reference_depth) for trace in traces]
+    model = calibrate_global_leakage(
+        UnitPowerModel(), references, leakage_fraction, gated=gated
+    )
+    optima = []
+    for spec, trace in zip(specs, traces):
+        sweep = run_depth_sweep(
+            trace,
+            depths=depths,
+            machine=machine,
+            power_model=model,
+            leakage_fraction=None,
+            reference_depth=reference_depth,
+        )
+        estimate = optimum_from_sweep(sweep, exponent, gated)
+        optima.append(
+            WorkloadOptimum(
+                name=spec.name, workload_class=spec.workload_class, estimate=estimate
+            )
+        )
+    return OptimumDistribution(
+        optima=tuple(optima), metric_exponent=exponent, gated=gated
+    )

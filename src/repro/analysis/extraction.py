@@ -1,0 +1,133 @@
+"""Extraction of theory parameters from a single simulation run.
+
+The paper's workflow (its Sec. 4): run the detailed simulator once, at one
+pipeline depth, and read off the four workload numbers the theory needs —
+``N_I`` and ``N_H`` "simply enumerated", ``alpha`` and ``beta`` from "more
+extensive analysis of the details of the pipeline and the particular
+distribution of instructions and hazards".  The entire theory curve (and
+its optimum) then follows without further simulation.
+
+Operational definitions used here:
+
+* ``alpha`` — measured superscalar degree: instructions per cycle on
+  cycles when issue happened at all.
+* ``N_H/N_I`` — stall events per instruction: mispredicted branches plus
+  I-cache and blocking D-cache misses.
+* ``beta`` — the average fraction of the full pipeline delay
+  (``t_o*p + t_p``) that one hazard stalls, solved from the measured
+  stall time: ``beta = stall_time / (N_H * (t_o*p + t_p))``.  This charges
+  *all* non-busy time to the hazard population (dependency interlocks
+  included), exactly as the theory's single stall term must.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.params import WorkloadParams
+from ..pipeline.results import SimulationResult
+
+__all__ = ["extract_workload_params", "fit_workload_params", "ExtractionReport"]
+
+_MIN_HAZARD_RATE = 1e-4
+_MIN_BETA = 0.02
+_MAX_BETA = 1.0
+
+
+@dataclass(frozen=True)
+class ExtractionReport:
+    """A :class:`WorkloadParams` plus the raw measurements behind it."""
+
+    params: WorkloadParams
+    reference_depth: int
+    stall_time: float
+    busy_time: float
+    raw_beta: float
+    beta_clamped: bool
+
+
+def extract_workload_params(result: SimulationResult) -> ExtractionReport:
+    """Extract ``(N_H/N_I, alpha, beta)`` from one detailed run.
+
+    ``beta`` is clamped into (0.02, 1.0].  A raw value above 1 means the
+    counted hazard population cannot explain all measured stall time
+    (typical for FP workloads, whose long-op serialisation stalls carry no
+    countable hazard event); in that case ``beta`` is pinned at 1 and the
+    hazard *rate* is inflated by the overflow instead, so that the theory's
+    stall term ``beta * (N_H/N_I) * (t_o*p + t_p)`` still matches the
+    measured stall time at the reference depth.
+    """
+    tech = result.technology
+    pipeline_delay = (
+        tech.latch_overhead * result.depth + tech.total_logic_depth
+    )
+    hazards = max(result.hazards, 1)
+    raw_beta = result.stall_time / (hazards * pipeline_delay)
+    beta = min(max(raw_beta, _MIN_BETA), _MAX_BETA)
+    hazard_rate = max(result.hazard_rate, _MIN_HAZARD_RATE)
+    if raw_beta > _MAX_BETA:
+        hazard_rate = hazard_rate * (raw_beta / _MAX_BETA)
+    params = WorkloadParams(
+        hazard_rate=hazard_rate,
+        superscalar_degree=result.superscalar_degree,
+        hazard_stall_fraction=beta,
+        name=result.trace_name,
+    )
+    return ExtractionReport(
+        params=params,
+        reference_depth=result.depth,
+        stall_time=result.stall_time,
+        busy_time=result.busy_time,
+        raw_beta=raw_beta,
+        beta_clamped=beta != raw_beta,
+    )
+
+
+def fit_workload_params(results: Sequence[SimulationResult]) -> WorkloadParams:
+    """Fit Eq. 1's two degrees of freedom to a whole depth sweep.
+
+    Eq. 1 is linear in its two unknown coefficient groups::
+
+        T/N_I(p) = A * t_s(p) + B * (t_o*p + t_p),   A = 1/alpha,  B = beta*N_H/N_I
+
+    so given simulated ``T/N_I`` at several depths, ``(A, B)`` follow from
+    ordinary least squares.  This is the better-conditioned alternative to
+    the paper's single-run extraction (exposed as
+    ``extraction="curve"`` in :func:`repro.analysis.theory_fit_from_sweep`):
+    it uses the same information the blind cubic fit does, while the
+    single-run method predicts the whole curve from one depth.
+
+    ``N_H/N_I`` is taken from the measured hazard counts (depth-invariant)
+    and ``beta = B / (N_H/N_I)`` clamped to (0.02, 1.0] with the same
+    overflow-inflation rule as :func:`extract_workload_params`.
+    """
+    if len(results) < 2:
+        raise ValueError("curve fitting needs at least two depths")
+    tech = results[0].technology
+    depths = np.asarray([r.depth for r in results], dtype=float)
+    tpi = np.asarray([r.time_per_instruction for r in results])
+    basis_busy = tech.latch_overhead + tech.total_logic_depth / depths
+    basis_stall = tech.latch_overhead * depths + tech.total_logic_depth
+    design = np.column_stack([basis_busy, basis_stall])
+    (a_coef, b_coef), *_ = np.linalg.lstsq(design, tpi, rcond=None)
+    # Physical floors: alpha in [1, issue width-ish], B >= 0.
+    a_coef = float(min(max(a_coef, 0.25), 1.0))
+    b_coef = float(max(b_coef, 1e-8))
+    alpha = 1.0 / a_coef
+    hazard_rate = max(
+        float(np.mean([r.hazard_rate for r in results])), _MIN_HAZARD_RATE
+    )
+    beta = b_coef / hazard_rate
+    if beta > _MAX_BETA:
+        hazard_rate *= beta / _MAX_BETA
+        beta = _MAX_BETA
+    beta = max(beta, _MIN_BETA)
+    return WorkloadParams(
+        hazard_rate=hazard_rate,
+        superscalar_degree=alpha,
+        hazard_stall_fraction=beta,
+        name=results[0].trace_name,
+    )

@@ -1,0 +1,164 @@
+"""Depth sweeps: simulate one workload across the whole depth range.
+
+A :class:`DepthSweep` bundles everything the experiment layer needs about
+one workload: the per-depth simulation results, the calibrated power
+model, and accessors producing the BIPS / watts / ``BIPS**m/W`` series for
+either gating model.  This is the simulation-side counterpart of the
+theory's metric curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..core.metric import MetricFamily
+from ..pipeline.plan import StagePlan
+from ..pipeline.results import SimulationResult
+from ..pipeline.simulator import MachineConfig, PipelineSimulator
+from ..power.model import PowerReport, calibrate_unit_leakage, power_report
+from ..power.units import UnitPowerModel
+from ..trace.generator import generate_trace
+from ..trace.spec import WorkloadSpec
+from ..trace.trace import Trace
+
+__all__ = ["DepthSweep", "run_depth_sweep", "DEFAULT_DEPTHS"]
+
+DEFAULT_DEPTHS: Tuple[int, ...] = tuple(range(2, 26))
+"""The paper's depth range: 2 to 25 stages between decode and execute."""
+
+
+def _exponent_of(m: "float | MetricFamily") -> float:
+    return m.exponent if isinstance(m, MetricFamily) else float(m)
+
+
+@dataclass(frozen=True)
+class DepthSweep:
+    """Simulation results for one workload across pipeline depths.
+
+    Attributes:
+        spec: the workload swept (None when built from a raw trace).
+        trace_name: workload name.
+        depths: simulated depths, ascending.
+        results: one :class:`SimulationResult` per depth.
+        reports: one :class:`PowerReport` per depth.
+        power_model: the (leakage-calibrated) unit power model used.
+        reference_depth: the depth used for calibration and extraction.
+    """
+
+    spec: "WorkloadSpec | None"
+    trace_name: str
+    depths: Tuple[int, ...]
+    results: Tuple[SimulationResult, ...]
+    reports: Tuple[PowerReport, ...]
+    power_model: UnitPowerModel
+    reference_depth: int
+
+    def __post_init__(self) -> None:
+        if len(self.depths) != len(self.results) or len(self.depths) != len(self.reports):
+            raise ValueError("depths, results and reports must align")
+        if list(self.depths) != sorted(set(self.depths)):
+            raise ValueError("depths must be strictly ascending")
+
+    def __len__(self) -> int:
+        return len(self.depths)
+
+    def result_at(self, depth: int) -> SimulationResult:
+        try:
+            return self.results[self.depths.index(depth)]
+        except ValueError:
+            raise KeyError(f"depth {depth} not in sweep {self.depths}") from None
+
+    @property
+    def reference(self) -> SimulationResult:
+        return self.result_at(self.reference_depth)
+
+    # -- series ---------------------------------------------------------------
+    def depth_array(self) -> np.ndarray:
+        return np.asarray(self.depths, dtype=float)
+
+    def bips(self) -> np.ndarray:
+        """Instructions per FO4 at each depth."""
+        return np.asarray([r.bips for r in self.results])
+
+    def watts(self, gated: bool = True) -> np.ndarray:
+        """Total power at each depth under the chosen gating model."""
+        return np.asarray([rep.total(gated) for rep in self.reports])
+
+    def metric(self, m: "float | MetricFamily" = 3.0, gated: bool = True) -> np.ndarray:
+        """``BIPS**m / W`` at each depth (m = inf gives BIPS itself)."""
+        exponent = _exponent_of(m)
+        bips = self.bips()
+        if np.isinf(exponent):
+            return bips
+        return bips**exponent / self.watts(gated)
+
+    def normalized_metric(
+        self, m: "float | MetricFamily" = 3.0, gated: bool = True
+    ) -> np.ndarray:
+        values = self.metric(m, gated)
+        return values / values.max()
+
+    def time_per_instruction(self) -> np.ndarray:
+        return np.asarray([r.time_per_instruction for r in self.results])
+
+
+def run_depth_sweep(
+    spec: "WorkloadSpec | Trace",
+    depths: Sequence[int] = DEFAULT_DEPTHS,
+    trace_length: int = 8000,
+    machine: MachineConfig | None = None,
+    power_model: UnitPowerModel | None = None,
+    leakage_fraction: "float | None" = 0.15,
+    reference_depth: int = 8,
+) -> DepthSweep:
+    """Simulate one workload at every depth and account its power.
+
+    Args:
+        spec: a workload spec (a trace is generated) or a prebuilt trace.
+        depths: depths to sweep (default 2..25, the paper's range).
+        trace_length: dynamic instructions when generating from a spec.
+        machine: machine configuration (defaults preserved across depths).
+        power_model: unit power model; defaults to the stock budgets.
+        leakage_fraction: if not None, leakage is calibrated to this share
+            of total (gated) power at ``reference_depth`` — the paper uses
+            15 %.  Pass None to keep the model's own leakage.
+        reference_depth: calibration/extraction anchor (paper-style single
+            detailed run).
+
+    Returns:
+        A :class:`DepthSweep`.
+    """
+    depths = tuple(int(d) for d in depths)
+    if reference_depth not in depths:
+        raise ValueError(
+            f"reference_depth {reference_depth} must be one of the swept depths"
+        )
+    if isinstance(spec, Trace):
+        trace, workload_spec = spec, None
+    else:
+        trace, workload_spec = generate_trace(spec, trace_length), spec
+    simulator = PipelineSimulator(machine)
+    model = power_model or UnitPowerModel()
+
+    reference = simulator.simulate(trace, reference_depth)
+    if leakage_fraction is not None:
+        model = calibrate_unit_leakage(model, reference, leakage_fraction, gated=True)
+
+    results = []
+    reports = []
+    for depth in depths:
+        result = reference if depth == reference_depth else simulator.simulate(trace, depth)
+        results.append(result)
+        reports.append(power_report(result, model))
+    return DepthSweep(
+        spec=workload_spec,
+        trace_name=trace.name,
+        depths=depths,
+        results=tuple(results),
+        reports=tuple(reports),
+        power_model=model,
+        reference_depth=reference_depth,
+    )

@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``optimum``   — the analytic optimum for given theory parameters.
+* ``sweep``     — simulate one workload across depths; table, chart, CSV.
+* ``simulate``  — one workload at one depth; characterisation summary.
+* ``plan``      — draw the Fig. 2 pipeline at a given depth.
+* ``workloads`` — list the 55-workload suite.
+* ``characterize`` — the suite characterisation table.
+* ``roadmap``   — project the optimum across technology nodes.
+* ``figures``   — regenerate the paper's figures (the experiments runner).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Hartstein & Puzak, 'Optimum Power/Performance "
+        "Pipeline Depth' (MICRO-36, 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    optimum = sub.add_parser("optimum", help="analytic optimum depth for given parameters")
+    optimum.add_argument("-m", "--metric", type=float, default=3.0,
+                         help="metric exponent m in BIPS^m/W (inf for BIPS)")
+    optimum.add_argument("--gamma", type=float, default=1.1, help="latch growth exponent")
+    optimum.add_argument("--leakage", type=float, default=0.15,
+                         help="leakage share of total power at the reference depth")
+    optimum.add_argument("--alpha", type=float, default=2.0, help="superscalar degree")
+    optimum.add_argument("--beta", type=float, default=0.55, help="hazard stall fraction")
+    optimum.add_argument("--hazard-rate", type=float, default=0.09, help="N_H/N_I")
+    optimum.add_argument("--tp", type=float, default=140.0, help="total logic depth (FO4)")
+    optimum.add_argument("--to", type=float, default=2.5, help="latch overhead (FO4)")
+    optimum.add_argument("--gated", action="store_true", help="perfect clock gating")
+
+    sweep = sub.add_parser("sweep", help="simulate one workload across pipeline depths")
+    sweep.add_argument("workload", help="suite workload name (see 'workloads')")
+    sweep.add_argument("--length", type=int, default=8000, help="trace length")
+    sweep.add_argument("-m", "--metric", type=float, default=3.0)
+    sweep.add_argument("--ungated", action="store_true", help="report un-gated power")
+    sweep.add_argument("--out-of-order", action="store_true")
+    sweep.add_argument("--csv", type=str, default=None, help="write sweep data to CSV")
+    sweep.add_argument("--no-chart", action="store_true")
+
+    simulate = sub.add_parser("simulate", help="one workload at one depth")
+    simulate.add_argument("workload")
+    simulate.add_argument("--depth", type=int, default=8)
+    simulate.add_argument("--length", type=int, default=8000)
+    simulate.add_argument("--out-of-order", action="store_true")
+
+    plan = sub.add_parser("plan", help="draw the pipeline at a given depth")
+    plan.add_argument("--depth", type=int, default=None,
+                      help="one depth to draw (omit for the 2..25 stage table)")
+
+    sub.add_parser("workloads", help="list the 55-workload suite")
+
+    characterize = sub.add_parser("characterize",
+                                  help="measure the suite's behavioural rates")
+    characterize.add_argument("--full", action="store_true", help="all 55 workloads")
+    characterize.add_argument("--length", type=int, default=8000)
+
+    roadmap = sub.add_parser("roadmap", help="optimum across technology nodes")
+    roadmap.add_argument("-m", "--metric", type=float, default=3.0)
+    roadmap.add_argument("--gated", action="store_true")
+
+    figures = sub.add_parser("figures", help="regenerate the paper's figures")
+    figures.add_argument("--quick", action="store_true")
+
+    return parser
+
+
+def _cmd_optimum(args) -> int:
+    from .core import (
+        DesignSpace,
+        GatingModel,
+        GatingStyle,
+        PowerParams,
+        TechnologyParams,
+        WorkloadParams,
+        calibrate_leakage,
+        optimum_depth,
+    )
+
+    gating = GatingModel(GatingStyle.PERFECT if args.gated else GatingStyle.UNGATED)
+    space = DesignSpace(
+        technology=TechnologyParams(args.tp, args.to),
+        workload=WorkloadParams(args.hazard_rate, args.alpha, args.beta),
+        power=PowerParams(latch_growth_exponent=args.gamma),
+        gating=gating,
+    )
+    space = space.with_power(calibrate_leakage(space, args.leakage, 8.0))
+    result = optimum_depth(space, args.metric)
+    label = "BIPS" if np.isinf(args.metric) else f"BIPS^{args.metric:g}/W"
+    print(f"metric        : {label} ({'gated' if args.gated else 'un-gated'})")
+    print(f"optimum depth : {result.depth:.2f} stages")
+    print(f"cycle time    : {result.fo4_per_stage:.1f} FO4/stage")
+    print(f"pipelined     : {'yes' if result.pipelined else 'no (single stage optimal)'}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .analysis import optimum_from_sweep, run_depth_sweep, theory_fit_from_sweep
+    from .pipeline import MachineConfig
+    from .report import Series, line_chart, sweep_rows, write_csv
+    from .trace import get_workload
+
+    spec = get_workload(args.workload)
+    machine = MachineConfig(in_order=not args.out_of_order)
+    sweep = run_depth_sweep(spec, trace_length=args.length, machine=machine)
+    gated = not args.ungated
+    values = sweep.metric(args.metric, gated=gated)
+    estimate = optimum_from_sweep(sweep, args.metric, gated=gated)
+    theory = theory_fit_from_sweep(sweep, args.metric, gated=gated, extraction="curve")
+
+    label = "BIPS" if np.isinf(args.metric) else f"BIPS^{args.metric:g}/W"
+    print(f"{args.workload}: {label}, {'gated' if gated else 'un-gated'}, "
+          f"{'out-of-order' if args.out_of_order else 'in-order'}")
+    print(f"  cubic-fit optimum : {estimate.depth:.1f} stages "
+          f"({estimate.fo4_per_stage:.1f} FO4/stage, {estimate.method})")
+    print(f"  theory optimum    : {theory.optimum.depth:.1f} stages "
+          f"(fit R^2 {theory.r_squared:.2f})")
+    if not args.no_chart:
+        print()
+        print(
+            line_chart(
+                [
+                    Series("simulated", sweep.depths, values / values.max()),
+                    Series("theory", sweep.depths,
+                           theory.theory_values / values.max()),
+                ],
+                title=f"{label} vs pipeline depth (peak-normalised)",
+            )
+        )
+    if args.csv:
+        header, rows = sweep_rows(sweep)
+        path = write_csv(args.csv, header, rows)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .pipeline import MachineConfig, simulate
+    from .trace import generate_trace, get_workload
+
+    spec = get_workload(args.workload)
+    trace = generate_trace(spec, args.length)
+    machine = MachineConfig(in_order=not args.out_of_order)
+    result = simulate(trace, args.depth, machine)
+    print(result.summary())
+    print(f"  cycles {result.cycles}, time {result.total_time:.0f} FO4, "
+          f"stall/busy {result.stall_time / max(result.busy_time, 1e-12):.2f}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from .pipeline import StagePlan, render_depth_table, render_plan
+
+    if args.depth is None:
+        print(render_depth_table())
+    else:
+        print(render_plan(StagePlan.for_depth(args.depth)))
+    return 0
+
+
+def _cmd_workloads(_args) -> int:
+    from .trace import WorkloadClass, by_class
+
+    for workload_class in WorkloadClass:
+        members = by_class(workload_class)
+        print(f"{workload_class.display_name} ({len(members)}):")
+        for spec in members:
+            print(f"  {spec.name:20s} branches {spec.branch_fraction:.0%}  "
+                  f"memory {spec.memory_fraction:.0%}  fp {spec.fp_fraction:.0%}")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from .experiments.runner import run_all
+
+    run_all(quick=args.quick)
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from .analysis import characterize_suite
+    from .analysis.characterize import format_table
+    from .trace import small_suite, suite
+
+    specs = suite() if args.full else small_suite(2)
+    print(format_table(characterize_suite(specs, trace_length=args.length)))
+    return 0
+
+
+def _cmd_roadmap(args) -> int:
+    from .core import DesignSpace, GatingModel, GatingStyle, roadmap_study
+
+    gating = GatingModel(GatingStyle.PERFECT if args.gated else GatingStyle.UNGATED)
+    results = roadmap_study(DesignSpace(gating=gating), m=args.metric)
+    print(f"Optimum depth across technology nodes (BIPS^{args.metric:g}/W, "
+          f"{'gated' if args.gated else 'un-gated'}):")
+    for row in results:
+        print(f"  {row.node.name:14s} leakage {row.node.leakage_fraction:4.0%}  "
+              f"t_o {row.node.latch_overhead:.1f} FO4  ->  "
+              f"{row.depth:5.2f} stages ({row.fo4_per_stage:.1f} FO4/stage)")
+    return 0
+
+
+_COMMANDS = {
+    "optimum": _cmd_optimum,
+    "sweep": _cmd_sweep,
+    "simulate": _cmd_simulate,
+    "plan": _cmd_plan,
+    "workloads": _cmd_workloads,
+    "characterize": _cmd_characterize,
+    "roadmap": _cmd_roadmap,
+    "figures": _cmd_figures,
+}
+
+
+def main(argv: "Optional[Sequence[str]]" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

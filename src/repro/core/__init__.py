@@ -1,0 +1,171 @@
+"""Analytic power/performance pipeline-depth theory (the paper's contribution).
+
+The public surface of the theory layer:
+
+* parameter bundles — :class:`TechnologyParams`, :class:`WorkloadParams`,
+  :class:`PowerParams`, :class:`GatingModel`, :class:`DesignSpace`;
+* the performance model (Eq. 1/2) — :func:`time_per_instruction`,
+  :func:`performance_only_optimum`;
+* the power model (Eq. 3) — :func:`total_power`, :func:`calibrate_leakage`;
+* the metric family (Eq. 4) — :func:`metric`, :class:`MetricFamily`;
+* the optimiser (Eqs. 5–8) — :func:`optimum_depth`,
+  :func:`optimum_depth_quadratic`, :func:`numeric_optimum`,
+  :func:`stationarity_polynomial`, :func:`paper_quartic`,
+  :func:`spurious_roots`, :func:`feasibility`;
+* fitting helpers — :func:`cubic_fit_peak`, :func:`fit_scale`;
+* sensitivity sweeps (Figs. 8/9) — :func:`leakage_sweep`,
+  :func:`gamma_sweep`, :func:`gating_comparison`.
+"""
+
+from .constrained import (
+    ConstrainedOptimum,
+    constrained_optimum,
+    pareto_frontier,
+    power_cap_depth,
+)
+from .roadmap import CLASSIC_ROADMAP, NodeOptimum, TechnologyNode, roadmap_study
+from .energy import (
+    ed_product,
+    energy_delay_product,
+    energy_delay_squared,
+    energy_per_instruction,
+)
+from .fitting import CubicFit, ScaleFit, cubic_fit_peak, fit_scale
+from .metric import MetricFamily, bips, metric, metric_curve, watts
+from .optimizer import (
+    FeasibilityReport,
+    TheoryOptimum,
+    feasibility,
+    numeric_optimum,
+    optimum_depth,
+    optimum_depth_quadratic,
+    paper_quartic,
+    quadratic_coefficients_closed_form,
+    quadratic_coefficients,
+    spurious_roots,
+    stationarity_polynomial,
+)
+from .params import (
+    DEFAULT_POWER,
+    DEFAULT_TECHNOLOGY,
+    DEFAULT_WORKLOAD,
+    PERFECT_GATING,
+    UNGATED,
+    DesignSpace,
+    GatingModel,
+    GatingStyle,
+    ParameterError,
+    PowerParams,
+    TechnologyParams,
+    WorkloadParams,
+)
+from .performance import (
+    busy_time_per_instruction,
+    cycles_per_instruction,
+    performance_only_optimum,
+    stall_time_per_instruction,
+    throughput,
+    time_per_instruction,
+)
+from .polynomials import Poly, divide_linear
+from .power import (
+    calibrate_leakage,
+    dynamic_power,
+    leakage_fraction,
+    leakage_power,
+    total_power,
+)
+from .voltage import invariant_exponent, scale_voltage, voltage_sensitivity
+from .sensitivity import (
+    SensitivityCurve,
+    gamma_sweep,
+    gating_comparison,
+    gating_fraction_sweep,
+    hazard_rate_sweep,
+    leakage_sweep,
+    logic_depth_sweep,
+    superscalar_sweep,
+)
+
+__all__ = [
+    # params
+    "TechnologyParams",
+    "WorkloadParams",
+    "PowerParams",
+    "GatingModel",
+    "GatingStyle",
+    "DesignSpace",
+    "ParameterError",
+    "DEFAULT_TECHNOLOGY",
+    "DEFAULT_WORKLOAD",
+    "DEFAULT_POWER",
+    "UNGATED",
+    "PERFECT_GATING",
+    # performance
+    "time_per_instruction",
+    "busy_time_per_instruction",
+    "stall_time_per_instruction",
+    "throughput",
+    "cycles_per_instruction",
+    "performance_only_optimum",
+    # power
+    "dynamic_power",
+    "leakage_power",
+    "total_power",
+    "leakage_fraction",
+    "calibrate_leakage",
+    # metric
+    "MetricFamily",
+    "metric",
+    "metric_curve",
+    "bips",
+    "watts",
+    # optimiser
+    "TheoryOptimum",
+    "FeasibilityReport",
+    "optimum_depth",
+    "optimum_depth_quadratic",
+    "quadratic_coefficients",
+    "quadratic_coefficients_closed_form",
+    "numeric_optimum",
+    "stationarity_polynomial",
+    "paper_quartic",
+    "spurious_roots",
+    "feasibility",
+    # polynomials
+    "Poly",
+    "divide_linear",
+    # constrained design
+    "ConstrainedOptimum",
+    "constrained_optimum",
+    "power_cap_depth",
+    "pareto_frontier",
+    # roadmap projection
+    "TechnologyNode",
+    "NodeOptimum",
+    "roadmap_study",
+    "CLASSIC_ROADMAP",
+    # energy-delay formalism
+    "energy_per_instruction",
+    "energy_delay_product",
+    "energy_delay_squared",
+    "ed_product",
+    # fitting
+    "CubicFit",
+    "ScaleFit",
+    "cubic_fit_peak",
+    "fit_scale",
+    # sensitivity
+    "SensitivityCurve",
+    "leakage_sweep",
+    "gamma_sweep",
+    "gating_comparison",
+    "gating_fraction_sweep",
+    "hazard_rate_sweep",
+    "superscalar_sweep",
+    "logic_depth_sweep",
+    # voltage scaling
+    "scale_voltage",
+    "voltage_sensitivity",
+    "invariant_exponent",
+]

@@ -1,0 +1,202 @@
+"""Power-constrained design: the paper's *other* strategy.
+
+The paper's introduction names two ways to bring power into the pipeline
+depth decision:
+
+1. "design for the best possible performance, subject to the constraint
+   that the power be just below some maximum value, which can be
+   effectively dissipated by the packaging environment", or
+2. optimise a power/performance metric (the strategy the paper studies).
+
+This module implements the first one, so the two strategies can be
+compared on equal footing: :func:`constrained_optimum` finds the depth
+maximising BIPS subject to ``P_T(p) <= budget``, and
+:func:`pareto_frontier` traces the whole BIPS-vs-watts trade-off curve
+that both strategies walk along.
+
+Structure of the solution.  Un-gated power is strictly increasing in
+depth, so the constraint carves out an interval ``p in (0, p_cap]``; the
+constrained optimum is ``min(p_perf, p_cap)`` where ``p_perf`` is the
+Eq. 2 performance optimum.  With perfect gating, power tracks throughput
+and is no longer monotone in general, so the solver falls back to a
+bounded numeric search over the feasible set.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import optimize as _sciopt
+
+from .metric import bips
+from .params import DesignSpace, GatingStyle, ParameterError
+from .performance import performance_only_optimum
+from .power import total_power
+
+__all__ = ["ConstrainedOptimum", "constrained_optimum", "power_cap_depth", "pareto_frontier"]
+
+
+@dataclass(frozen=True)
+class ConstrainedOptimum:
+    """Result of best-performance-under-a-power-budget optimisation.
+
+    Attributes:
+        depth: the chosen depth (the deepest feasible point toward the
+            performance optimum).
+        bips: performance there (instructions per FO4).
+        watts: power there (arbitrary units).
+        budget: the power budget imposed.
+        binding: True when the power constraint, not the performance
+            optimum, determined the design (the typical regime — this is
+            the paper's "just below some maximum" strategy).
+        feasible: False when even the shallowest allowed design exceeds
+            the budget (depth is then that shallowest design).
+    """
+
+    depth: float
+    bips: float
+    watts: float
+    budget: float
+    binding: bool
+    feasible: bool
+
+    @property
+    def headroom(self) -> float:
+        """Unused budget fraction (0 when the constraint binds exactly)."""
+        return max(0.0, 1.0 - self.watts / self.budget)
+
+
+def power_cap_depth(
+    space: DesignSpace,
+    budget: float,
+    min_depth: float = 1.0,
+    max_depth: float = 64.0,
+) -> Optional[float]:
+    """The deepest design whose total power stays within ``budget``.
+
+    For monotone (un-gated / partial-gated) power this is the unique
+    crossing of ``P_T(p) = budget``; returns None when no depth in
+    ``[min_depth, max_depth]`` fits the budget, and ``max_depth`` when the
+    whole range fits.
+    """
+    if budget <= 0:
+        raise ParameterError(f"power budget must be positive, got {budget!r}")
+    if float(total_power(min_depth, space)) > budget:
+        return None
+    if float(total_power(max_depth, space)) <= budget:
+        return max_depth
+    # Bisect the crossing (power is continuous; monotone for constant
+    # gating, and for perfect gating we still return the deepest feasible
+    # point below the first crossing, which the caller's search refines).
+    result = _sciopt.brentq(
+        lambda p: float(total_power(p, space)) - budget, min_depth, max_depth,
+        xtol=1e-9,
+    )
+    return float(result)
+
+
+def constrained_optimum(
+    space: DesignSpace,
+    budget: float,
+    min_depth: float = 1.0,
+    max_depth: float = 64.0,
+    samples: int = 256,
+) -> ConstrainedOptimum:
+    """Best BIPS subject to ``P_T(p) <= budget`` (the packaging limit).
+
+    For constant gating the answer is ``min(p_perf, p_cap)``: performance
+    rises monotonically up to the Eq. 2 optimum and power rises with
+    depth, so either the performance peak is affordable or the budget
+    line is the design point.  For perfect gating a guarded grid + local
+    refinement over the feasible set is used instead.
+    """
+    if budget <= 0:
+        raise ParameterError(f"power budget must be positive, got {budget!r}")
+    p_perf = performance_only_optimum(space.technology, space.workload)
+    p_perf = min(max(p_perf, min_depth), max_depth)
+
+    if space.gating.style is not GatingStyle.PERFECT:
+        cap = power_cap_depth(space, budget, min_depth, max_depth)
+        if cap is None:
+            depth = min_depth
+            feasible = False
+            binding = True
+        else:
+            depth = min(p_perf, cap)
+            feasible = True
+            binding = cap < p_perf
+        return ConstrainedOptimum(
+            depth=float(depth),
+            bips=float(bips(depth, space)),
+            watts=float(total_power(depth, space)),
+            budget=budget,
+            binding=binding,
+            feasible=feasible,
+        )
+
+    # Perfect gating: search the feasible set numerically.
+    grid = np.geomspace(min_depth, max_depth, samples)
+    watts = np.asarray(total_power(grid, space), dtype=float)
+    perf = np.asarray(bips(grid, space), dtype=float)
+    feasible_mask = watts <= budget
+    if not feasible_mask.any():
+        depth = float(min_depth)
+        return ConstrainedOptimum(
+            depth=depth,
+            bips=float(bips(depth, space)),
+            watts=float(total_power(depth, space)),
+            budget=budget,
+            binding=True,
+            feasible=False,
+        )
+    best = int(np.flatnonzero(feasible_mask)[np.argmax(perf[feasible_mask])])
+    lo = grid[max(best - 1, 0)]
+    hi = grid[min(best + 1, samples - 1)]
+    refine = _sciopt.minimize_scalar(
+        lambda p: -float(bips(p, space))
+        + (1e12 if float(total_power(p, space)) > budget else 0.0),
+        bounds=(float(lo), float(hi)),
+        method="bounded",
+    )
+    depth = float(refine.x)
+    if float(total_power(depth, space)) > budget:
+        depth = float(grid[best])
+    watts_at = float(total_power(depth, space))
+    return ConstrainedOptimum(
+        depth=depth,
+        bips=float(bips(depth, space)),
+        watts=watts_at,
+        budget=budget,
+        binding=abs(depth - p_perf) > 1e-6 and watts_at > 0.95 * budget,
+        feasible=True,
+    )
+
+
+def pareto_frontier(
+    space: DesignSpace,
+    min_depth: float = 1.0,
+    max_depth: float = 40.0,
+    points: int = 157,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The (depth, BIPS, watts) trade-off curve both strategies walk.
+
+    Returns the *Pareto-efficient* subset: depths where no other sampled
+    depth offers more performance for no more power.  Depths beyond the
+    performance optimum are dominated (more power, less performance) and
+    drop out, which is the curve's right-hand cliff.
+    """
+    grid = np.linspace(min_depth, max_depth, points)
+    perf = np.asarray(bips(grid, space), dtype=float)
+    watts = np.asarray(total_power(grid, space), dtype=float)
+    order = np.argsort(watts)
+    efficient = []
+    best_perf = -math.inf
+    for index in order:
+        if perf[index] > best_perf:
+            efficient.append(index)
+            best_perf = perf[index]
+    efficient = np.asarray(sorted(efficient), dtype=int)
+    return grid[efficient], perf[efficient], watts[efficient]

@@ -1,0 +1,85 @@
+"""Energy-delay formalism: the other face of the BIPS**m/W family.
+
+The power-aware-design literature frames the same optimisation as
+minimising energy-delay products.  With ``D = T/N_I`` (delay per
+instruction) and ``E = P_T * D`` (energy per instruction), the identity
+
+```
+BIPS^m / W  =  D^-m / P_T  =  1 / (E * D^(m-1))
+```
+
+says maximising ``BIPS^m/W`` *is* minimising ``E * D^(m-1)``:
+
+* ``m = 1`` — minimise energy per instruction (BIPS/W),
+* ``m = 2`` — minimise the energy-delay product, EDP (BIPS^2/W),
+* ``m = 3`` — minimise the energy-delay-squared product, ED^2P
+  (BIPS^3/W, the paper's preferred metric; Zyuban & Strenski's
+  voltage-invariant choice in the work the paper cites).
+
+This module exposes the energy-side quantities so users can reason in
+either vocabulary; the identity itself is unit-tested.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .metric import metric
+from .params import DesignSpace, ParameterError
+from .performance import time_per_instruction
+from .power import total_power
+
+__all__ = [
+    "energy_per_instruction",
+    "energy_delay_product",
+    "energy_delay_squared",
+    "ed_product",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def energy_per_instruction(depth: ArrayLike, space: DesignSpace) -> ArrayLike:
+    """``E = P_T * (T/N_I)`` — energy spent per instruction (arbitrary units).
+
+    Minimised exactly where BIPS/W is maximised; for typical parameters
+    that is the shallowest design (the paper's no-pipelining result for
+    m = 1): clocking latches faster never pays in pure energy.
+    """
+    tpi = np.asarray(
+        time_per_instruction(depth, space.technology, space.workload), dtype=float
+    )
+    power = np.asarray(total_power(depth, space), dtype=float)
+    result = power * tpi
+    return result if isinstance(depth, np.ndarray) else float(result)
+
+
+def ed_product(depth: ArrayLike, space: DesignSpace, delay_exponent: float) -> ArrayLike:
+    """``E * D**delay_exponent`` — the generalised energy-delay product.
+
+    ``delay_exponent = m - 1`` corresponds to ``BIPS^m/W``; the identity
+    ``E * D^(m-1) = 1 / (BIPS^m/W)`` holds to machine precision.
+    """
+    if delay_exponent < 0:
+        raise ParameterError(
+            f"delay exponent must be >= 0, got {delay_exponent!r}"
+        )
+    energy = np.asarray(energy_per_instruction(depth, space), dtype=float)
+    tpi = np.asarray(
+        time_per_instruction(depth, space.technology, space.workload), dtype=float
+    )
+    result = energy * tpi**delay_exponent
+    return result if isinstance(depth, np.ndarray) else float(result)
+
+
+def energy_delay_product(depth: ArrayLike, space: DesignSpace) -> ArrayLike:
+    """EDP = ``E * D`` (minimised where BIPS^2/W is maximised)."""
+    return ed_product(depth, space, 1.0)
+
+
+def energy_delay_squared(depth: ArrayLike, space: DesignSpace) -> ArrayLike:
+    """ED^2P = ``E * D**2`` (minimised where BIPS^3/W — the paper's
+    preferred metric — is maximised)."""
+    return ed_product(depth, space, 2.0)

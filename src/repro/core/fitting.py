@@ -1,0 +1,175 @@
+"""Curve fitting used to extract optima from simulation data (paper Sec. 4/5).
+
+The paper extracts the optimum design point from noisy simulation sweeps in
+two ways and reports both:
+
+1. **Blind cubic fit** — "do a blind least squares fit to a cubic function
+   and find the peak".  :func:`cubic_fit_peak` implements this, including
+   the paper's smoothness sanity check.
+2. **Theory fit** — fit the analytic curve to the simulated points "with
+   the only adjustable parameter being the overall scale factor", then read
+   the optimum off the theory.  :func:`fit_scale` implements the
+   one-parameter least-squares scale; combining it with
+   :func:`repro.core.optimizer.optimum_depth` gives the second estimate.
+
+The paper finds the theory-fit optimum about 20 % shorter than the blind
+cubic-fit optimum; EXPERIMENTS.md tracks this ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .params import ParameterError
+
+__all__ = ["CubicFit", "ScaleFit", "cubic_fit_peak", "fit_scale"]
+
+
+@dataclass(frozen=True)
+class CubicFit:
+    """A least-squares cubic through (depth, metric) points and its peak.
+
+    Attributes:
+        coefficients: ascending cubic coefficients ``c0..c3``.
+        peak_depth: location of the interior maximum, or None if the cubic
+            has no interior maximum inside the data range.
+        peak_value: fitted metric value at the peak (None likewise).
+        r_squared: coefficient of determination of the fit.
+        smooth: the paper's sanity check — True when the fitted cubic is
+            concave around a single interior peak within the data range
+            (i.e. the fit is "a smooth curve through the data points").
+    """
+
+    coefficients: Tuple[float, float, float, float]
+    peak_depth: Optional[float]
+    peak_value: Optional[float]
+    r_squared: float
+    smooth: bool
+
+    def __call__(self, depth: "float | np.ndarray") -> "float | np.ndarray":
+        x = np.asarray(depth, dtype=float)
+        c0, c1, c2, c3 = self.coefficients
+        out = ((c3 * x + c2) * x + c1) * x + c0
+        return out if isinstance(depth, np.ndarray) else float(out)
+
+
+def _r_squared(y: np.ndarray, fitted: np.ndarray) -> float:
+    ss_res = float(np.sum((y - fitted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def cubic_fit_peak(depths: Sequence[float], values: Sequence[float]) -> CubicFit:
+    """Least-squares cubic fit and interior-peak extraction.
+
+    Mirrors the paper's optimum-from-simulation procedure: fit
+    ``metric ~ c0 + c1 p + c2 p^2 + c3 p^3``, differentiate, and keep the
+    stationary point that is a local maximum inside the sampled depth range.
+
+    Raises:
+        ParameterError: fewer than 4 points, mismatched lengths, or
+            non-finite inputs.
+    """
+    x = np.asarray(depths, dtype=float)
+    y = np.asarray(values, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ParameterError("depths and values must be 1-D sequences of equal length")
+    if x.size < 4:
+        raise ParameterError(f"cubic fit needs at least 4 points, got {x.size}")
+    if not (np.all(np.isfinite(x)) and np.all(np.isfinite(y))):
+        raise ParameterError("depths and values must be finite")
+
+    # Centre/scale for conditioning, then map coefficients back.
+    x0, sx = float(x.mean()), float(x.std() or 1.0)
+    z = (x - x0) / sx
+    design = np.vander(z, 4, increasing=True)
+    sol, *_ = np.linalg.lstsq(design, y, rcond=None)
+    # Convert coefficients in z back to coefficients in p via p = x0 + sx*z.
+    # metric(p) = sum_k sol[k] * ((p - x0)/sx)**k -> expand with polynomial ops.
+    poly_z = np.polynomial.Polynomial(sol)
+    poly_p = poly_z.convert(domain=[-1.0, 1.0], window=[-1.0, 1.0]).copy()
+    # Compose with the affine map explicitly:
+    shift = np.polynomial.Polynomial([-x0 / sx, 1.0 / sx])
+    composed = poly_z(shift)
+    coeffs = np.zeros(4)
+    coeffs[: composed.coef.size] = composed.coef
+    c0, c1, c2, c3 = (float(c) for c in coeffs)
+
+    fitted = ((c3 * x + c2) * x + c1) * x + c0
+    r2 = _r_squared(y, fitted)
+
+    peak_depth: Optional[float] = None
+    peak_value: Optional[float] = None
+    # Stationary points of the cubic: 3*c3 p^2 + 2*c2 p + c1 = 0.  A cubic
+    # coefficient that is negligible at the scale of the data (an
+    # essentially-parabolic fit) must be treated as zero or the quadratic
+    # formula loses all precision.
+    lo, hi = float(x.min()), float(x.max())
+    span = max(abs(lo), abs(hi), 1.0)
+    c3_effective = c3 if abs(c3) * span > 1e-12 * max(abs(c2), abs(c1) / span, 1e-300) else 0.0
+    stationary: list[float] = []
+    if c3_effective != 0.0:
+        disc = 4.0 * c2 * c2 - 12.0 * c3_effective * c1
+        if disc >= 0.0:
+            root = np.sqrt(disc)
+            stationary = [
+                (-2.0 * c2 - root) / (6.0 * c3_effective),
+                (-2.0 * c2 + root) / (6.0 * c3_effective),
+            ]
+    elif c2 != 0.0:
+        stationary = [-c1 / (2.0 * c2)]
+    for s in stationary:
+        second = 6.0 * c3_effective * s + 2.0 * c2
+        if lo <= s <= hi and second < 0.0:
+            value = ((c3 * s + c2) * s + c1) * s + c0
+            if peak_value is None or value > peak_value:
+                peak_depth, peak_value = float(s), float(value)
+
+    smooth = peak_depth is not None and r2 > 0.0
+    return CubicFit(
+        coefficients=(c0, c1, c2, c3),
+        peak_depth=peak_depth,
+        peak_value=peak_value,
+        r_squared=r2,
+        smooth=smooth,
+    )
+
+
+@dataclass(frozen=True)
+class ScaleFit:
+    """A one-parameter scale fit of a theory curve to simulated points.
+
+    Attributes:
+        scale: the least-squares multiplier applied to the theory curve.
+        r_squared: goodness of fit of ``scale * theory`` against the data.
+    """
+
+    scale: float
+    r_squared: float
+
+    def apply(self, theory_values: "np.ndarray | float") -> "np.ndarray | float":
+        return self.scale * np.asarray(theory_values, dtype=float)
+
+
+def fit_scale(sim_values: Sequence[float], theory_values: Sequence[float]) -> ScaleFit:
+    """Least-squares scale factor ``s`` minimising ``|sim - s*theory|^2``.
+
+    This is the paper's "the only adjustable parameter being the overall
+    scale factor" fit (its Figs. 4 and 5 theory curves).
+    """
+    sim = np.asarray(sim_values, dtype=float)
+    theory = np.asarray(theory_values, dtype=float)
+    if sim.shape != theory.shape or sim.ndim != 1:
+        raise ParameterError("sim and theory values must be 1-D sequences of equal length")
+    if sim.size == 0:
+        raise ParameterError("cannot fit a scale to zero points")
+    denom = float(np.dot(theory, theory))
+    if denom == 0.0:
+        raise ParameterError("theory curve is identically zero; scale is undefined")
+    scale = float(np.dot(sim, theory)) / denom
+    return ScaleFit(scale=scale, r_squared=_r_squared(sim, scale * theory))

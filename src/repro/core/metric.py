@@ -1,0 +1,109 @@
+"""The generalised power/performance metric family ``BIPS**m / W`` (Eq. 4).
+
+Within a scale factor ``BIPS = (T/N_I)**-1``, so the paper's generalised
+metric is::
+
+    Metric(p; m) = ((T/N_I)**m * P_T)**-1  =  (T/N_I)**-m / P_T
+
+``m = 1`` is the energy-style BIPS/W, ``m = 2`` the energy-delay-style
+BIPS^2/W, ``m = 3`` the paper's preferred ED^2-style BIPS^3/W, and
+``m -> infinity`` recovers performance-only optimisation.  ``m = 0``
+degenerates to ``1/P_T`` (power-only, always optimised by the shallowest
+design) and is permitted for completeness.
+
+Absolute values are arbitrary (the paper's own theory curves carry one free
+scale factor per figure); every comparison in this repository is of curve
+*shapes* and argmax locations.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+from .params import DesignSpace, ParameterError
+from .performance import time_per_instruction
+from .power import total_power
+
+__all__ = ["MetricFamily", "metric", "metric_curve", "bips", "watts"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class MetricFamily(enum.Enum):
+    """Named members of the ``BIPS**m / W`` family studied by the paper."""
+
+    BIPS_PER_WATT = 1.0
+    BIPS2_PER_WATT = 2.0
+    BIPS3_PER_WATT = 3.0
+    PERFORMANCE_ONLY = float("inf")
+
+    @property
+    def exponent(self) -> float:
+        """The exponent ``m`` in ``BIPS**m / W``."""
+        return self.value
+
+    @property
+    def label(self) -> str:
+        if self is MetricFamily.PERFORMANCE_ONLY:
+            return "BIPS"
+        power = int(self.value)
+        sup = "" if power == 1 else str(power)
+        return f"BIPS{sup}/W"
+
+
+def _exponent_of(m: "float | MetricFamily") -> float:
+    value = m.exponent if isinstance(m, MetricFamily) else float(m)
+    if value < 0 or not (value > float("-inf")):
+        raise ParameterError(f"metric exponent m must be >= 0, got {m!r}")
+    return value
+
+
+def bips(depth: ArrayLike, space: DesignSpace) -> ArrayLike:
+    """Performance in instructions per FO4 (proportional to BIPS)."""
+    tpi = np.asarray(time_per_instruction(depth, space.technology, space.workload), float)
+    result = 1.0 / tpi
+    return result if isinstance(depth, np.ndarray) else float(result)
+
+
+def watts(depth: ArrayLike, space: DesignSpace) -> ArrayLike:
+    """Total power in arbitrary units (alias of :func:`repro.core.power.total_power`)."""
+    return total_power(depth, space)
+
+
+def metric(depth: ArrayLike, space: DesignSpace, m: "float | MetricFamily" = 3.0) -> ArrayLike:
+    """Paper Eq. 4: ``(T/N_I)**-m / P_T`` at the given depth(s).
+
+    For ``m = inf`` (performance only) returns BIPS itself — the power factor
+    is irrelevant to the argmax and would overflow the arithmetic.
+    """
+    exponent = _exponent_of(m)
+    perf = np.asarray(bips(depth, space), dtype=float)
+    if np.isinf(exponent):
+        return perf if isinstance(depth, np.ndarray) else float(perf)
+    pwr = np.asarray(total_power(depth, space), dtype=float)
+    result = perf**exponent / pwr
+    return result if isinstance(depth, np.ndarray) else float(result)
+
+
+def metric_curve(
+    depths: np.ndarray,
+    space: DesignSpace,
+    m: "float | MetricFamily" = 3.0,
+    normalize: bool = False,
+) -> np.ndarray:
+    """The metric evaluated over an array of depths, optionally peak-normalised.
+
+    Peak normalisation (divide by the maximum) is how the paper plots its
+    Figs. 8 and 9 families so that curves with wildly different absolute
+    scales can share an axis.
+    """
+    values = np.asarray(metric(np.asarray(depths, dtype=float), space, m), dtype=float)
+    if normalize:
+        peak = float(values.max())
+        if peak <= 0.0:
+            raise ParameterError("cannot normalise a non-positive metric curve")
+        values = values / peak
+    return values

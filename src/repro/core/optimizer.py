@@ -1,0 +1,458 @@
+"""Analytic and numeric optimisation of the power/performance metric.
+
+This module is the paper's central contribution: given a
+:class:`~repro.core.params.DesignSpace` and a metric exponent ``m``, find
+the pipeline depth ``p_opt`` maximising ``BIPS**m / W``.
+
+Derivation (DESIGN.md Sec. 1).  Write ``u = T/N_I`` (Eq. 1) and ``P = P_T``
+(Eq. 3).  Stationarity of ``M = u**-m / P`` is ``m*u'/u + P'/P = 0``.
+Clearing denominators with
+
+* ``a  = alpha * beta * N_H/N_I``   (the workload's hazard pressure),
+* ``D1 = t_o*p + t_p``              (the pipeline traversal delay),
+* ``V  = D1 * (1 + a*p)``           (so that ``u = V / (alpha*p)``),
+* ``Q  = P_d' + P_l*t_o`` with ``P_d' = f_cg * P_d``,
+* ``D2 = Q*p + P_l*t_p``,
+
+gives, for constant gating (un-gated or partial), the *exact cubic*::
+
+    F(p) = m*(a*t_o*p**2 - t_p)*D2 + (1 + a*p)*(gamma*D1*D2 + p*t_p*P_d') = 0
+
+which is the paper's quartic Eq. 5 after its exact spurious factor
+``D1`` (root ``p = -t_p/t_o``, paper Eq. 6a) has been divided out.  For
+perfect fine-grain clock gating (``f_cg*f_s -> kappa*(T/N_I)**-1``) the same
+procedure gives the *exact quartic*::
+
+    G(p) = m*(a*t_o*p**2 - t_p) * (kappa*alpha*P_d*p + P_l*V)
+         + gamma * V * (kappa*alpha*P_d*p + P_l*V)
+         - alpha*kappa*P_d*p * (a*t_o*p**2 - t_p) = 0
+
+Both reduce to the performance-only optimum ``a*t_o*p**2 = t_p`` (Eq. 2)
+in the limit ``m -> infinity``.  The constant terms are proportional to
+``(gamma - m)``, giving the paper's feasibility condition ``m > gamma``;
+with no leakage the un-gated condition tightens to ``m > gamma + 1``.
+
+The paper's approximate quadratic Eq. 7 is obtained here by polynomial
+division of the cubic by its approximate spurious factor ``D2`` (paper
+Eq. 6b), dropping the remainder.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import optimize as _sciopt
+
+from .metric import MetricFamily, metric
+from .params import DesignSpace, GatingStyle, ParameterError
+from .performance import performance_only_optimum
+from .polynomials import Poly, divide_linear
+
+__all__ = [
+    "TheoryOptimum",
+    "FeasibilityReport",
+    "stationarity_polynomial",
+    "paper_quartic",
+    "spurious_roots",
+    "optimum_depth",
+    "optimum_depth_quadratic",
+    "quadratic_coefficients",
+    "quadratic_coefficients_closed_form",
+    "numeric_optimum",
+    "feasibility",
+]
+
+
+@dataclass(frozen=True)
+class TheoryOptimum:
+    """Result of an optimum-depth computation.
+
+    Attributes:
+        depth: the optimal pipeline depth.  When ``pipelined`` is False this
+            is the boundary ``min_depth`` (the paper's "single stage design").
+        pipelined: True when an interior optimum deeper than ``min_depth``
+            exists — i.e. pipelining pays off under this metric.
+        metric_value: metric evaluated at ``depth`` (arbitrary units).
+        stationary_points: all positive real stationary depths found.
+        all_real_roots: every real root of the stationarity polynomial,
+            including the negative spurious ones (paper Fig. 1).
+        method: "cubic", "quartic", "quadratic", "numeric" or "limit".
+        exponent: the metric exponent ``m`` used.
+        fo4_per_stage: cycle time at the optimum, in FO4 (the paper quotes
+            optima both in stages and in FO4 per stage).
+    """
+
+    depth: float
+    pipelined: bool
+    metric_value: float
+    stationary_points: Tuple[float, ...]
+    all_real_roots: Tuple[float, ...]
+    method: str
+    exponent: float
+    fo4_per_stage: float
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of the paper's sign conditions on the constant coefficients."""
+
+    exponent: float
+    gamma: float
+    necessary_condition: bool
+    zero_leakage_condition: Optional[bool]
+    has_interior_optimum: bool
+    explanation: str
+
+
+def _exponent_of(m: "float | MetricFamily") -> float:
+    value = m.exponent if isinstance(m, MetricFamily) else float(m)
+    if value <= 0:
+        raise ParameterError(f"metric exponent m must be positive, got {m!r}")
+    return value
+
+
+def _factors(space: DesignSpace):
+    """The shared building blocks a, D1, V, and effective dynamic power."""
+    tech, wl, pw = space.technology, space.workload, space.power
+    a = wl.hazard_pressure
+    d1 = Poly.linear(tech.total_logic_depth, tech.latch_overhead)  # t_p + t_o p
+    one_plus_ap = Poly.linear(1.0, a)
+    v = d1 * one_plus_ap
+    return a, d1, one_plus_ap, v
+
+
+def stationarity_polynomial(space: DesignSpace, m: "float | MetricFamily" = 3.0) -> Poly:
+    """The exact polynomial whose positive roots are the stationary depths.
+
+    Cubic for constant gating (un-gated / partial), quartic for perfect
+    gating.  The polynomial is a positive multiple of ``d(ln Metric)/dp``
+    for ``p > 0``, so sign and roots carry over to the metric itself.
+    """
+    exponent = _exponent_of(m)
+    if math.isinf(exponent):
+        raise ParameterError(
+            "m = infinity is the performance-only limit; use "
+            "performance_only_optimum (Eq. 2) instead"
+        )
+    tech, wl, pw = space.technology, space.workload, space.power
+    gamma = pw.gamma
+    a, d1, one_plus_ap, v = _factors(space)
+    t_p, t_o = tech.total_logic_depth, tech.latch_overhead
+    # (a*t_o*p**2 - t_p): proportional to d(u)/dp after clearing denominators.
+    du = Poly([-t_p, 0.0, a * t_o])
+
+    if space.gating.style is GatingStyle.PERFECT:
+        kappa = space.gating.activity_scale
+        alpha = wl.superscalar_degree
+        gate_term = Poly.linear(0.0, kappa * alpha * pw.p_d) + pw.p_l * v
+        return exponent * du * gate_term + gamma * v * gate_term - (
+            alpha * kappa * pw.p_d
+        ) * Poly.monomial(1) * du
+
+    p_d_eff = space.gating.effective_fraction() * pw.p_d
+    q = p_d_eff + pw.p_l * t_o
+    d2 = Poly.linear(pw.p_l * t_p, q)
+    return exponent * du * d2 + one_plus_ap * (gamma * d1 * d2 + Poly.monomial(1, t_p * p_d_eff))
+
+
+def paper_quartic(space: DesignSpace, m: "float | MetricFamily" = 3.0) -> Poly:
+    """The paper's Eq. 5 quartic ``A4 p^4 + ... + A0``.
+
+    For constant gating this is the cubic multiplied back by the exact
+    spurious factor ``t_o*p + t_p`` (whose root is the paper's Eq. 6a); this
+    is the object plotted in the paper's Fig. 1, with four real zero
+    crossings of which exactly one is positive.  For perfect gating the
+    stationarity polynomial is already quartic and is returned as-is.
+    """
+    poly = stationarity_polynomial(space, m)
+    if space.gating.style is GatingStyle.PERFECT:
+        return poly
+    tech = space.technology
+    return poly * Poly.linear(tech.total_logic_depth, tech.latch_overhead)
+
+
+def spurious_roots(space: DesignSpace) -> Tuple[float, float]:
+    """The paper's Eqs. 6a and 6b: the two negative non-physical roots.
+
+    Returns ``(-t_p/t_o, -P_l*t_p/(P_d' + t_o*P_l))``.  The first is an
+    exact root of the quartic; the second is approximate (within ~5 % per
+    the paper's numerical analysis).  With zero leakage the second
+    degenerates to 0.
+    """
+    tech, pw = space.technology, space.power
+    if space.gating.style is GatingStyle.PERFECT:
+        p_d_eff = pw.p_d  # Eq. 6b is defined for the constant-gating form
+    else:
+        p_d_eff = space.gating.effective_fraction() * pw.p_d
+    first = -tech.total_logic_depth / tech.latch_overhead
+    second = -pw.p_l * tech.total_logic_depth / (p_d_eff + tech.latch_overhead * pw.p_l)
+    return first, second
+
+
+def quadratic_coefficients(
+    space: DesignSpace, m: "float | MetricFamily" = 3.0
+) -> Tuple[float, float, float]:
+    """Coefficients ``(B2, B1, B0)`` of the paper's approximate Eq. 7.
+
+    Obtained by dividing the exact cubic by the approximate spurious linear
+    factor ``(P_d' + t_o*P_l)*p + P_l*t_p`` (paper Eq. 6b) and discarding
+    the remainder.  Only defined for constant gating, matching the paper.
+    """
+    if space.gating.style is GatingStyle.PERFECT:
+        raise ParameterError(
+            "the paper's quadratic approximation (Eq. 7) applies to the "
+            "constant-gating form; use optimum_depth for perfect gating"
+        )
+    cubic = stationarity_polynomial(space, m)
+    pw, tech = space.power, space.technology
+    p_d_eff = space.gating.effective_fraction() * pw.p_d
+    q = p_d_eff + pw.p_l * tech.latch_overhead
+    intercept = pw.p_l * tech.total_logic_depth
+    if intercept == 0.0:
+        # No leakage: the cubic's constant term vanishes and p = 0 is the
+        # degenerate Eq. 6b root; divide by p instead.
+        quotient, _rem = divide_linear(cubic, 0.0, q)
+        b0, b1, b2 = (quotient.coeffs + (0.0, 0.0, 0.0))[:3]
+        return float(b2), float(b1), float(b0)
+    quotient, _remainder = divide_linear(cubic, intercept, q)
+    b0, b1, b2 = (quotient.coeffs + (0.0, 0.0, 0.0))[:3]
+    return float(b2), float(b1), float(b0)
+
+
+def quadratic_coefficients_closed_form(
+    space: DesignSpace, m: "float | MetricFamily" = 3.0
+) -> Tuple[float, float, float]:
+    """The paper's Eq. 8 in explicit closed form.
+
+    With ``a = alpha*beta*N_H/N_I`` and ``Q = P_d' + t_o*P_l``::
+
+        B2 = (m + gamma) * a * t_o
+        B1 = gamma * (t_o + a*t_p) + a*t_p*P_d'/Q
+        B0 = t_p * (gamma - m + P_d'/Q)
+
+    This is the ``D2 ~ Q*p`` large-depth limit of
+    :func:`quadratic_coefficients` (the polynomial-division route): the two
+    agree exactly at zero leakage and to within a few per cent at the
+    paper's 15 % leakage (tested).  The published coefficient structure is
+    visible directly: more hazards or wider issue inflate ``B2``/``B1``
+    (shallower optima), and a pipelined solution needs
+    ``m > gamma + P_d'/Q`` so that ``B0 < 0`` — the paper's ``m > gamma``
+    necessity plus its leakage-dependent sufficiency correction.
+    """
+    exponent = _exponent_of(m)
+    if math.isinf(exponent):
+        raise ParameterError("Eq. 8 needs a finite metric exponent")
+    if space.gating.style is GatingStyle.PERFECT:
+        raise ParameterError(
+            "the paper's quadratic approximation (Eq. 7/8) applies to the "
+            "constant-gating form; use optimum_depth for perfect gating"
+        )
+    tech, wl, pw = space.technology, space.workload, space.power
+    gamma = pw.gamma
+    a = wl.hazard_pressure
+    p_d_eff = space.gating.effective_fraction() * pw.p_d
+    q = p_d_eff + tech.latch_overhead * pw.p_l
+    t_p, t_o = tech.total_logic_depth, tech.latch_overhead
+    b2 = (exponent + gamma) * a * t_o
+    b1 = gamma * (t_o + a * t_p) + a * t_p * p_d_eff / q
+    b0 = t_p * (gamma - exponent + p_d_eff / q)
+    return b2, b1, b0
+
+
+def _select_optimum(
+    space: DesignSpace,
+    exponent: float,
+    poly: Poly,
+    min_depth: float,
+    max_depth: Optional[float],
+    method: str,
+) -> TheoryOptimum:
+    """Pick the physically meaningful root and compare against the boundary."""
+    real_roots = poly.real_roots()
+    positive = [r for r in real_roots if r > 0.0]
+    upper = max_depth if max_depth is not None else math.inf
+
+    candidates = [min_depth] + [r for r in positive if min_depth < r < upper]
+    if max_depth is not None:
+        candidates.append(max_depth)
+    values = [float(metric(c, space, exponent)) for c in candidates]
+    best_index = int(np.argmax(values))
+    best_depth = candidates[best_index]
+    best_value = values[best_index]
+    pipelined = best_depth > min_depth
+    return TheoryOptimum(
+        depth=float(best_depth),
+        pipelined=pipelined,
+        metric_value=best_value,
+        stationary_points=tuple(positive),
+        all_real_roots=tuple(float(r) for r in real_roots),
+        method=method,
+        exponent=exponent,
+        fo4_per_stage=space.technology.fo4_per_stage(best_depth),
+    )
+
+
+def optimum_depth(
+    space: DesignSpace,
+    m: "float | MetricFamily" = 3.0,
+    min_depth: float = 1.0,
+    max_depth: Optional[float] = None,
+) -> TheoryOptimum:
+    """The exact analytic optimum depth for metric ``BIPS**m / W``.
+
+    Solves the exact stationarity polynomial (cubic or quartic depending on
+    gating), evaluates the metric at every interior stationary point and at
+    the boundary ``min_depth`` (and ``max_depth`` if given), and returns the
+    argmax.  ``pipelined=False`` signals the paper's "a non-pipelined design
+    is optimal" outcome (BIPS/W and, typically, BIPS^2/W).
+
+    For ``m = inf`` returns the closed-form performance-only optimum Eq. 2.
+    """
+    exponent = _exponent_of(m)
+    if min_depth <= 0:
+        raise ParameterError(f"min_depth must be positive, got {min_depth!r}")
+    if max_depth is not None and max_depth <= min_depth:
+        raise ParameterError("max_depth must exceed min_depth")
+    if math.isinf(exponent):
+        depth = performance_only_optimum(space.technology, space.workload)
+        clamped = min(max(depth, min_depth), max_depth if max_depth is not None else depth)
+        return TheoryOptimum(
+            depth=float(clamped),
+            pipelined=clamped > min_depth,
+            metric_value=float(metric(clamped, space, exponent)),
+            stationary_points=(float(depth),),
+            all_real_roots=(float(depth), float(-depth)),
+            method="limit",
+            exponent=exponent,
+            fo4_per_stage=space.technology.fo4_per_stage(clamped),
+        )
+    poly = stationarity_polynomial(space, exponent)
+    method = "quartic" if space.gating.style is GatingStyle.PERFECT else "cubic"
+    return _select_optimum(space, exponent, poly, min_depth, max_depth, method)
+
+
+def optimum_depth_quadratic(
+    space: DesignSpace,
+    m: "float | MetricFamily" = 3.0,
+    min_depth: float = 1.0,
+    max_depth: Optional[float] = None,
+) -> TheoryOptimum:
+    """The paper's approximate Eq. 7 optimum (quadratic formula).
+
+    Accurate to within a few per cent of the exact cubic whenever the
+    approximate factorisation Eq. 6b holds (see tests); provided because it
+    is the closed form the paper reasons with in its Sec. 2.2 sensitivity
+    discussion.
+    """
+    exponent = _exponent_of(m)
+    b2, b1, b0 = quadratic_coefficients(space, exponent)
+    poly = Poly([b0, b1, b2])
+    return _select_optimum(space, exponent, poly, min_depth, max_depth, "quadratic")
+
+
+def numeric_optimum(
+    space: DesignSpace,
+    m: "float | MetricFamily" = 3.0,
+    min_depth: float = 1.0,
+    max_depth: float = 64.0,
+    samples: int = 512,
+) -> TheoryOptimum:
+    """Grid + golden-section optimisation of the metric itself.
+
+    Independent of the polynomial algebra; used to cross-validate the
+    analytic solutions and to handle any future metric variant without a
+    closed form.
+    """
+    exponent = _exponent_of(m)
+    if math.isinf(exponent):
+        return optimum_depth(space, exponent, min_depth=min_depth, max_depth=max_depth)
+    grid = np.geomspace(min_depth, max_depth, samples)
+    values = np.asarray(metric(grid, space, exponent), dtype=float)
+    k = int(np.argmax(values))
+    if k == 0:
+        depth, value = float(grid[0]), float(values[0])
+        pipelined = False
+    elif k == len(grid) - 1:
+        depth, value = float(grid[-1]), float(values[-1])
+        pipelined = True
+    else:
+        bracket = (float(grid[k - 1]), float(grid[k + 1]))
+        res = _sciopt.minimize_scalar(
+            lambda p: -float(metric(p, space, exponent)),
+            bounds=bracket,
+            method="bounded",
+            options={"xatol": 1e-10},
+        )
+        depth, value = float(res.x), float(-res.fun)
+        pipelined = depth > min_depth * (1.0 + 1e-9)
+    return TheoryOptimum(
+        depth=depth,
+        pipelined=pipelined,
+        metric_value=value,
+        stationary_points=(depth,) if pipelined else (),
+        all_real_roots=(),
+        method="numeric",
+        exponent=exponent,
+        fo4_per_stage=space.technology.fo4_per_stage(depth),
+    )
+
+
+def feasibility(space: DesignSpace, m: "float | MetricFamily" = 3.0) -> FeasibilityReport:
+    """Evaluate the paper's sign conditions for a pipelined optimum.
+
+    The constant coefficient of the stationarity polynomial is proportional
+    to ``(gamma - m) * P_l``: a pipelined solution *requires* ``m > gamma``
+    (paper Sec. 2).  When leakage is negligible the un-gated condition
+    tightens to ``m > gamma + 1`` (the paper's "more restrictive condition"
+    from the next coefficient).  Those conditions are necessary, not
+    sufficient — the report also says whether an interior optimum actually
+    exists for these parameters.
+    """
+    exponent = _exponent_of(m)
+    gamma = space.power.gamma
+    necessary = exponent > gamma
+    zero_leakage: Optional[bool]
+    if space.power.p_l == 0.0 and space.gating.style is not GatingStyle.PERFECT:
+        zero_leakage = exponent > gamma + 1.0
+    else:
+        zero_leakage = None
+    result = (
+        optimum_depth(space, exponent)
+        if not math.isinf(exponent)
+        else optimum_depth(space, exponent)
+    )
+    interior = result.pipelined
+    if not necessary:
+        explanation = (
+            f"m = {exponent:g} <= gamma = {gamma:g}: the metric increases "
+            "monotonically toward p -> 0, so a non-pipelined design is optimal "
+            "(the paper's BIPS/W outcome)."
+        )
+    elif zero_leakage is False:
+        explanation = (
+            f"with negligible leakage the un-gated condition tightens to "
+            f"m > gamma + 1 = {gamma + 1.0:g}; m = {exponent:g} fails it, so no "
+            "pipelined optimum exists."
+        )
+    elif interior:
+        explanation = (
+            f"m = {exponent:g} > gamma = {gamma:g} and an interior stationary "
+            f"maximum exists at p = {result.depth:.2f}."
+        )
+    else:
+        explanation = (
+            f"m = {exponent:g} > gamma = {gamma:g} is necessary but not "
+            "sufficient; for these parameters the optimum still falls at the "
+            "minimum depth (the paper's BIPS^2/W outcome)."
+        )
+    return FeasibilityReport(
+        exponent=exponent,
+        gamma=gamma,
+        necessary_condition=necessary,
+        zero_leakage_condition=zero_leakage,
+        has_interior_optimum=interior,
+        explanation=explanation,
+    )

@@ -1,0 +1,325 @@
+"""Parameter objects for the power/performance pipeline-depth theory.
+
+The theory of Hartstein & Puzak (MICRO-36, 2003) is parameterised by three
+groups of quantities, which this module models as small frozen dataclasses:
+
+``TechnologyParams``
+    Circuit-technology constants: the total logic depth of the processor
+    ``t_p`` and the per-stage latch/clocking overhead ``t_o``, both measured
+    in FO4 (fan-out-of-four inverter delays).
+
+``WorkloadParams``
+    Workload-dependent quantities extracted from a single detailed
+    simulation run (paper Section 4): the hazard rate ``N_H / N_I``, the
+    average degree of superscalar processing ``alpha`` and the weighted
+    average fraction of the pipeline stalled per hazard ``beta``.
+
+``PowerParams``
+    The latch-centric power model of Srinivasan et al. as adopted by the
+    paper (Eq. 3): per-latch dynamic and leakage power factors ``P_d`` and
+    ``P_l``, the latch count per pipeline stage ``N_L`` and the latch-growth
+    exponent ``gamma`` (the paper's subscripted exponent; 1.3 per unit in
+    the paper's simulator, yielding an overall ``p**1.1`` scaling).
+
+``GatingModel``
+    How dynamic power responds to idleness: un-gated (``f_cg = 1``),
+    partially gated (a constant fraction) or perfectly fine-grain gated,
+    which the paper models with the substitution
+    ``f_cg * f_s -> (T / N_I)**-1``.
+
+``DesignSpace`` bundles one of each and is the argument most top-level
+theory functions accept.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "TechnologyParams",
+    "WorkloadParams",
+    "PowerParams",
+    "GatingStyle",
+    "GatingModel",
+    "DesignSpace",
+    "DEFAULT_TECHNOLOGY",
+    "DEFAULT_WORKLOAD",
+    "DEFAULT_POWER",
+    "UNGATED",
+    "PERFECT_GATING",
+]
+
+
+class ParameterError(ValueError):
+    """Raised when a physically meaningless parameter value is supplied."""
+
+
+def _require_positive(name: str, value: float) -> None:
+    if not math.isfinite(value) or value <= 0.0:
+        raise ParameterError(f"{name} must be a positive finite number, got {value!r}")
+
+
+def _require_nonnegative(name: str, value: float) -> None:
+    if not math.isfinite(value) or value < 0.0:
+        raise ParameterError(f"{name} must be a non-negative finite number, got {value!r}")
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """Circuit technology constants, in FO4 delays.
+
+    Attributes:
+        total_logic_depth: ``t_p`` — the total logic delay of the processor
+            if it were implemented as a single un-pipelined stage.  The paper
+            uses 140 FO4.
+        latch_overhead: ``t_o`` — the latch (plus clock skew/jitter) overhead
+            added to every pipeline stage.  The paper uses 2.5 FO4.
+    """
+
+    total_logic_depth: float = 140.0
+    latch_overhead: float = 2.5
+
+    def __post_init__(self) -> None:
+        _require_positive("total_logic_depth (t_p)", self.total_logic_depth)
+        _require_positive("latch_overhead (t_o)", self.latch_overhead)
+
+    @property
+    def t_p(self) -> float:
+        """Alias matching the paper's notation."""
+        return self.total_logic_depth
+
+    @property
+    def t_o(self) -> float:
+        """Alias matching the paper's notation."""
+        return self.latch_overhead
+
+    def cycle_time(self, depth: float) -> float:
+        """Per-stage cycle time ``t_s = t_o + t_p / p`` in FO4 (paper Sec. 2)."""
+        if depth <= 0:
+            raise ParameterError(f"pipeline depth must be positive, got {depth!r}")
+        return self.latch_overhead + self.total_logic_depth / depth
+
+    def frequency(self, depth: float) -> float:
+        """Clock frequency ``f_s = 1 / t_s`` in 1/FO4."""
+        return 1.0 / self.cycle_time(depth)
+
+    def fo4_per_stage(self, depth: float) -> float:
+        """FO4 per stage including latch overhead — the paper's design-point unit."""
+        return self.cycle_time(depth)
+
+    def depth_for_fo4(self, fo4: float) -> float:
+        """Invert :meth:`fo4_per_stage`: the depth whose cycle time is ``fo4``."""
+        if fo4 <= self.latch_overhead:
+            raise ParameterError(
+                f"cycle time {fo4!r} FO4 is not achievable: latch overhead alone "
+                f"is {self.latch_overhead} FO4"
+            )
+        return self.total_logic_depth / (fo4 - self.latch_overhead)
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Workload parameters of the Hartstein–Puzak performance model (Eq. 1).
+
+    Attributes:
+        hazard_rate: ``N_H / N_I`` — pipeline hazards per instruction.
+        superscalar_degree: ``alpha`` — the average degree of superscalar
+            processing actually achieved between hazards.
+        hazard_stall_fraction: ``beta`` — the weighted average fraction of
+            the total pipeline delay stalled by one hazard.
+        name: optional label (workload/trace name) for reports.
+    """
+
+    hazard_rate: float = 0.09
+    superscalar_degree: float = 2.0
+    hazard_stall_fraction: float = 0.55
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        _require_positive("hazard_rate (N_H/N_I)", self.hazard_rate)
+        _require_positive("superscalar_degree (alpha)", self.superscalar_degree)
+        _require_positive("hazard_stall_fraction (beta)", self.hazard_stall_fraction)
+        if self.hazard_stall_fraction > 1.0:
+            raise ParameterError(
+                "hazard_stall_fraction (beta) is a fraction of the pipeline and "
+                f"must be <= 1, got {self.hazard_stall_fraction!r}"
+            )
+
+    @classmethod
+    def from_counts(
+        cls,
+        instructions: int,
+        hazards: float,
+        superscalar_degree: float,
+        hazard_stall_fraction: float,
+        name: str = "",
+    ) -> "WorkloadParams":
+        """Build from raw counts ``N_I`` and ``N_H`` as enumerated by a simulator."""
+        if instructions <= 0:
+            raise ParameterError(f"instruction count must be positive, got {instructions!r}")
+        _require_nonnegative("hazard count (N_H)", hazards)
+        return cls(
+            hazard_rate=hazards / instructions,
+            superscalar_degree=superscalar_degree,
+            hazard_stall_fraction=hazard_stall_fraction,
+            name=name,
+        )
+
+    @property
+    def alpha(self) -> float:
+        """Alias matching the paper's notation."""
+        return self.superscalar_degree
+
+    @property
+    def beta(self) -> float:
+        """Alias matching the paper's notation."""
+        return self.hazard_stall_fraction
+
+    @property
+    def hazard_pressure(self) -> float:
+        """``alpha * beta * N_H / N_I`` — the single combination the optimum
+        depth depends on (it is the coefficient ``a`` in DESIGN.md's cubic)."""
+        return self.superscalar_degree * self.hazard_stall_fraction * self.hazard_rate
+
+
+class GatingStyle(enum.Enum):
+    """How clock gating enters the dynamic-power term of Eq. 3."""
+
+    UNGATED = "ungated"
+    PARTIAL = "partial"
+    PERFECT = "perfect"
+
+
+@dataclass(frozen=True)
+class GatingModel:
+    """Clock-gating model applied to the dynamic power term.
+
+    * ``UNGATED``: every latch toggles every cycle, ``f_cg = 1``.
+    * ``PARTIAL``: a constant fraction ``fraction`` of latches toggle.
+    * ``PERFECT``: fine-grain gating; latches toggle only with useful work,
+      modelled by the paper's substitution ``f_cg * f_s -> (T/N_I)**-1``
+      scaled by ``activity_scale`` (the paper absorbs this constant into
+      ``P_d``; it is exposed here for calibration against a simulator).
+    """
+
+    style: GatingStyle = GatingStyle.UNGATED
+    fraction: float = 1.0
+    activity_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.style is GatingStyle.PARTIAL:
+            if not (0.0 < self.fraction <= 1.0):
+                raise ParameterError(
+                    f"partial gating fraction must be in (0, 1], got {self.fraction!r}"
+                )
+        _require_positive("activity_scale", self.activity_scale)
+
+    @property
+    def is_perfect(self) -> bool:
+        return self.style is GatingStyle.PERFECT
+
+    def effective_fraction(self) -> float:
+        """The constant ``f_cg`` for the non-perfect styles."""
+        if self.style is GatingStyle.UNGATED:
+            return 1.0
+        if self.style is GatingStyle.PARTIAL:
+            return self.fraction
+        raise ParameterError(
+            "perfect gating has no constant f_cg; dynamic power follows (T/N_I)**-1"
+        )
+
+
+UNGATED = GatingModel(GatingStyle.UNGATED)
+PERFECT_GATING = GatingModel(GatingStyle.PERFECT)
+
+
+@dataclass(frozen=True)
+class PowerParams:
+    """Latch-centric power model parameters (paper Eq. 3).
+
+    Attributes:
+        dynamic_per_latch: ``P_d`` — dynamic power factor per latch per unit
+            switching frequency (arbitrary units; only the ratio to ``P_l``
+            matters for the optimum).
+        leakage_per_latch: ``P_l`` — leakage power per latch.
+        latches_per_stage: ``N_L`` — latch count per pipeline stage at p = 1.
+        latch_growth_exponent: ``gamma`` — latch count grows as
+            ``N_L * p**gamma``.  The default is the paper's *overall* latch
+            growth of 1.1 (following Srinivasan et al.; the paper's Fig. 3
+            shows per-unit growth of 1.3 aggregating to 1.1 overall, and its
+            headline theory optima — 6.25 stages / 25 FO4 — correspond to
+            the overall exponent entering Eq. 3's total latch count).
+            Fig. 9 sweeps this parameter explicitly.
+    """
+
+    dynamic_per_latch: float = 1.0
+    leakage_per_latch: float = 0.05
+    latches_per_stage: float = 1.0
+    latch_growth_exponent: float = 1.1
+
+    def __post_init__(self) -> None:
+        _require_positive("dynamic_per_latch (P_d)", self.dynamic_per_latch)
+        _require_nonnegative("leakage_per_latch (P_l)", self.leakage_per_latch)
+        _require_positive("latches_per_stage (N_L)", self.latches_per_stage)
+        _require_positive("latch_growth_exponent (gamma)", self.latch_growth_exponent)
+
+    @property
+    def p_d(self) -> float:
+        """Alias matching the paper's notation."""
+        return self.dynamic_per_latch
+
+    @property
+    def p_l(self) -> float:
+        """Alias matching the paper's notation."""
+        return self.leakage_per_latch
+
+    @property
+    def gamma(self) -> float:
+        """Alias matching the paper's notation."""
+        return self.latch_growth_exponent
+
+    def latch_count(self, depth: float) -> float:
+        """Total latch count ``N_L * p**gamma`` at pipeline depth ``p``."""
+        if depth <= 0:
+            raise ParameterError(f"pipeline depth must be positive, got {depth!r}")
+        return self.latches_per_stage * depth**self.latch_growth_exponent
+
+    def with_gamma(self, gamma: float) -> "PowerParams":
+        """A copy with a different latch-growth exponent (Fig. 9 sweeps)."""
+        return replace(self, latch_growth_exponent=gamma)
+
+    def with_leakage(self, leakage_per_latch: float) -> "PowerParams":
+        """A copy with a different per-latch leakage power (Fig. 8 sweeps)."""
+        return replace(self, leakage_per_latch=leakage_per_latch)
+
+
+DEFAULT_TECHNOLOGY = TechnologyParams()
+DEFAULT_WORKLOAD = WorkloadParams(name="typical")
+DEFAULT_POWER = PowerParams()
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """One technology + one workload + one power model + one gating style.
+
+    This is the argument bundle taken by the metric and optimiser functions.
+    """
+
+    technology: TechnologyParams = field(default_factory=TechnologyParams)
+    workload: WorkloadParams = field(default_factory=WorkloadParams)
+    power: PowerParams = field(default_factory=PowerParams)
+    gating: GatingModel = UNGATED
+
+    def with_gating(self, gating: GatingModel) -> "DesignSpace":
+        return replace(self, gating=gating)
+
+    def with_power(self, power: PowerParams) -> "DesignSpace":
+        return replace(self, power=power)
+
+    def with_workload(self, workload: WorkloadParams) -> "DesignSpace":
+        return replace(self, workload=workload)
+
+    def with_technology(self, technology: TechnologyParams) -> "DesignSpace":
+        return replace(self, technology=technology)

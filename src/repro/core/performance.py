@@ -1,0 +1,116 @@
+"""The Hartstein–Puzak pipeline performance model (paper Eqs. 1 and 2).
+
+The model expresses the average time per instruction of a superscalar
+pipeline of depth ``p`` as the sum of a busy term and a hazard-stall term::
+
+    T / N_I = (1/alpha) * (t_o + t_p / p)                 -- busy
+            + beta * (N_H / N_I) * (t_o * p + t_p)        -- hazard stalls
+
+The busy term is one issue slot's share of a cycle; the stall term charges
+each hazard a fraction ``beta`` of the full pipeline traversal delay
+``p * t_s = t_o * p + t_p``.  Differentiating with respect to ``p`` gives
+the classic performance-only optimum (Eq. 2)::
+
+    p_opt**2 = (N_I * t_p) / (alpha * beta * N_H * t_o)
+
+All functions accept scalar or ``numpy`` array depths and are pure.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .params import DesignSpace, ParameterError, TechnologyParams, WorkloadParams
+
+__all__ = [
+    "time_per_instruction",
+    "busy_time_per_instruction",
+    "stall_time_per_instruction",
+    "throughput",
+    "performance_only_optimum",
+    "cycles_per_instruction",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def _check_depth(depth: ArrayLike) -> ArrayLike:
+    arr = np.asarray(depth, dtype=float)
+    if np.any(arr <= 0.0) or not np.all(np.isfinite(arr)):
+        raise ParameterError("pipeline depth must be positive and finite")
+    return depth
+
+
+def busy_time_per_instruction(
+    depth: ArrayLike, technology: TechnologyParams, workload: WorkloadParams
+) -> ArrayLike:
+    """The hazard-free component ``(1/alpha) * (t_o + t_p/p)`` in FO4."""
+    _check_depth(depth)
+    t_s = technology.latch_overhead + technology.total_logic_depth / np.asarray(depth, float)
+    result = t_s / workload.superscalar_degree
+    return result if isinstance(depth, np.ndarray) else float(result)
+
+
+def stall_time_per_instruction(
+    depth: ArrayLike, technology: TechnologyParams, workload: WorkloadParams
+) -> ArrayLike:
+    """The hazard component ``beta * (N_H/N_I) * (t_o*p + t_p)`` in FO4.
+
+    Each hazard stalls, on average, a fraction ``beta`` of the full pipeline
+    delay, and the full pipeline delay at depth ``p`` is
+    ``p * t_s = t_o * p + t_p``.
+    """
+    _check_depth(depth)
+    p = np.asarray(depth, dtype=float)
+    pipeline_delay = technology.latch_overhead * p + technology.total_logic_depth
+    result = workload.hazard_stall_fraction * workload.hazard_rate * pipeline_delay
+    return result if isinstance(depth, np.ndarray) else float(result)
+
+
+def time_per_instruction(
+    depth: ArrayLike, technology: TechnologyParams, workload: WorkloadParams
+) -> ArrayLike:
+    """Paper Eq. 1: average time per instruction ``T / N_I`` in FO4."""
+    return busy_time_per_instruction(depth, technology, workload) + stall_time_per_instruction(
+        depth, technology, workload
+    )
+
+
+def throughput(
+    depth: ArrayLike, technology: TechnologyParams, workload: WorkloadParams
+) -> ArrayLike:
+    """Instructions per FO4, proportional to BIPS (the paper's performance)."""
+    tpi = time_per_instruction(depth, technology, workload)
+    result = 1.0 / np.asarray(tpi, dtype=float)
+    return result if isinstance(depth, np.ndarray) else float(result)
+
+
+def cycles_per_instruction(
+    depth: ArrayLike, technology: TechnologyParams, workload: WorkloadParams
+) -> ArrayLike:
+    """Model CPI: ``(T/N_I) / t_s`` — useful for comparing with a simulator."""
+    tpi = np.asarray(time_per_instruction(depth, technology, workload), dtype=float)
+    t_s = technology.latch_overhead + technology.total_logic_depth / np.asarray(depth, float)
+    result = tpi / t_s
+    return result if isinstance(depth, np.ndarray) else float(result)
+
+
+def performance_only_optimum(
+    technology: TechnologyParams, workload: WorkloadParams
+) -> float:
+    """Paper Eq. 2: the depth maximising performance alone.
+
+    ``p_opt = sqrt(t_p / (alpha * beta * (N_H/N_I) * t_o))``.
+
+    This is the ``m -> infinity`` limit of the power/performance optimum and
+    the depth the paper reports as ~22 stages (8.9 FO4) for its workloads.
+    """
+    pressure = workload.hazard_pressure
+    return float(np.sqrt(technology.total_logic_depth / (pressure * technology.latch_overhead)))
+
+
+def performance_only_optimum_for(space: DesignSpace) -> float:
+    """Convenience overload of :func:`performance_only_optimum` for a bundle."""
+    return performance_only_optimum(space.technology, space.workload)

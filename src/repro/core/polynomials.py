@@ -1,0 +1,180 @@
+"""Tiny exact polynomial algebra for building stationarity equations.
+
+The optimality conditions of the paper (its Eqs. 5 and 7) are polynomials
+in the pipeline depth ``p``.  Hand-expanding their coefficients is
+error-prone — the paper itself declines to print the quartic's ``A_n``
+terms — so this module provides a minimal, well-tested polynomial type and
+builds the stationarity polynomials by *composition* of the factors that
+appear in the derivation (see DESIGN.md Sec. 1 for the algebra).
+
+Coefficients are stored in ascending order (``coeffs[k]`` multiplies
+``p**k``), matching ``numpy.polynomial`` conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Poly", "divide_linear"]
+
+_TRIM_EPS = 0.0  # exact trim: only drop coefficients that are exactly zero
+
+
+@dataclass(frozen=True)
+class Poly:
+    """An immutable univariate polynomial with float coefficients.
+
+    Supports the ring operations needed to assemble stationarity conditions
+    plus root extraction.  Construction trims *exact* trailing zeros so the
+    degree is meaningful.
+    """
+
+    coeffs: Tuple[float, ...]
+
+    def __init__(self, coeffs: Iterable[float]):
+        cs = [float(c) for c in coeffs]
+        while len(cs) > 1 and cs[-1] == 0.0:
+            cs.pop()
+        if not cs:
+            cs = [0.0]
+        object.__setattr__(self, "coeffs", tuple(cs))
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def constant(cls, value: float) -> "Poly":
+        return cls([value])
+
+    @classmethod
+    def linear(cls, intercept: float, slope: float) -> "Poly":
+        """The polynomial ``intercept + slope * p``."""
+        return cls([intercept, slope])
+
+    @classmethod
+    def monomial(cls, degree: int, coefficient: float = 1.0) -> "Poly":
+        if degree < 0:
+            raise ValueError(f"degree must be non-negative, got {degree!r}")
+        return cls([0.0] * degree + [coefficient])
+
+    # -- ring operations ---------------------------------------------------
+    def __add__(self, other: "Poly | float") -> "Poly":
+        other = self._coerce(other)
+        n = max(len(self.coeffs), len(other.coeffs))
+        a = list(self.coeffs) + [0.0] * (n - len(self.coeffs))
+        b = list(other.coeffs) + [0.0] * (n - len(other.coeffs))
+        return Poly(x + y for x, y in zip(a, b))
+
+    def __radd__(self, other: float) -> "Poly":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Poly":
+        return Poly(-c for c in self.coeffs)
+
+    def __sub__(self, other: "Poly | float") -> "Poly":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other: float) -> "Poly":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other: "Poly | float") -> "Poly":
+        other = self._coerce(other)
+        result = np.convolve(np.asarray(self.coeffs), np.asarray(other.coeffs))
+        return Poly(result.tolist())
+
+    def __rmul__(self, other: float) -> "Poly":
+        return self.__mul__(other)
+
+    @staticmethod
+    def _coerce(value: "Poly | float") -> "Poly":
+        if isinstance(value, Poly):
+            return value
+        return Poly([float(value)])
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        return len(self.coeffs) - 1
+
+    def __call__(self, p: "float | np.ndarray") -> "float | np.ndarray":
+        """Horner evaluation at scalar or array argument."""
+        x = np.asarray(p, dtype=float)
+        acc = np.zeros_like(x)
+        for c in reversed(self.coeffs):
+            acc = acc * x + c
+        return acc if isinstance(p, np.ndarray) else float(acc)
+
+    def derivative(self) -> "Poly":
+        if self.degree == 0:
+            return Poly([0.0])
+        return Poly(k * c for k, c in enumerate(self.coeffs) if k > 0)
+
+    def roots(self) -> np.ndarray:
+        """All complex roots (via the companion matrix).
+
+        Coefficients more than ~250 orders of magnitude below the largest
+        one are numerically indistinguishable from zero for the companion
+        eigenproblem and are flushed first — physically they arise from
+        parameters like a denormal leakage power, whose exact-zero limit is
+        the right interpretation.
+        """
+        if self.degree == 0:
+            return np.asarray([], dtype=complex)
+        coeffs = np.asarray(self.coeffs, dtype=float)
+        peak = np.max(np.abs(coeffs))
+        if peak > 0.0:
+            coeffs = np.where(np.abs(coeffs) < peak * 1e-250, 0.0, coeffs)
+        trimmed = Poly(coeffs.tolist())
+        if trimmed.degree == 0:
+            return np.asarray([], dtype=complex)
+        return np.asarray(np.roots(list(reversed(trimmed.coeffs))), dtype=complex)
+
+    def real_roots(self, imag_tol: float = 1e-9) -> np.ndarray:
+        """Real roots, sorted ascending.
+
+        A root is accepted as real when its imaginary part is below
+        ``imag_tol`` relative to its magnitude (or absolutely, for roots
+        near zero).
+        """
+        roots = self.roots()
+        scale = np.maximum(np.abs(roots), 1.0)
+        mask = np.abs(roots.imag) <= imag_tol * scale
+        return np.sort(roots[mask].real)
+
+    def positive_real_roots(self, imag_tol: float = 1e-9) -> np.ndarray:
+        reals = self.real_roots(imag_tol=imag_tol)
+        return reals[reals > 0.0]
+
+    def scaled(self, factor: float) -> "Poly":
+        return self * factor
+
+    def monic(self) -> "Poly":
+        lead = self.coeffs[-1]
+        if lead == 0.0:
+            raise ZeroDivisionError("cannot normalise the zero polynomial")
+        return Poly(c / lead for c in self.coeffs)
+
+
+def divide_linear(poly: Poly, root_intercept: float, root_slope: float) -> Tuple[Poly, float]:
+    """Divide ``poly`` by the linear factor ``root_intercept + root_slope * p``.
+
+    Returns ``(quotient, remainder)`` with ``remainder`` a scalar.  This is
+    the operation the paper performs twice on its quartic Eq. 5: dividing by
+    ``t_o * p + t_p`` (exact; remainder 0 within rounding — Eq. 6a) and then
+    by ``(P_d + t_o*P_l) * p + P_l*t_p`` (approximate — Eq. 6b), leaving the
+    quadratic Eq. 7.
+    """
+    if root_slope == 0.0:
+        raise ZeroDivisionError("divisor must be genuinely linear (slope != 0)")
+    # Synthetic division by (p - r) with r = -intercept/slope, then rescale.
+    r = -root_intercept / root_slope
+    descending = list(reversed(poly.coeffs))
+    out: list[float] = []
+    acc = 0.0
+    for c in descending:
+        acc = acc * r + c
+        out.append(acc)
+    remainder = out.pop()
+    quotient = Poly(reversed([c / root_slope for c in out]))
+    return quotient, float(remainder)

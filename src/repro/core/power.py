@@ -1,0 +1,144 @@
+"""The latch-centric total-power model (paper Eq. 3).
+
+Total power at pipeline depth ``p`` is::
+
+    P_T = (f_cg * f_s * P_d + P_l) * N_L * p**gamma
+
+where ``f_s = 1/(t_o + t_p/p)`` is the clock frequency, ``f_cg`` the clock
+gating factor, ``P_d``/``P_l`` the per-latch dynamic/leakage power factors
+and ``N_L * p**gamma`` the latch count.  Perfect fine-grain gating is
+modelled by the paper's substitution ``f_cg * f_s -> (T/N_I)**-1``: latches
+then switch in proportion to useful work completed, not to the clock.
+
+The module also provides leakage *calibration*: the paper specifies leakage
+as a share of total power at a design point ("leakage power accounts for
+15% of the power usage"), so :func:`calibrate_leakage` solves for the
+``P_l`` that achieves a requested share at a reference depth.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .params import (
+    DesignSpace,
+    GatingModel,
+    GatingStyle,
+    ParameterError,
+    PowerParams,
+    TechnologyParams,
+    WorkloadParams,
+)
+from .performance import time_per_instruction
+
+__all__ = [
+    "dynamic_power",
+    "leakage_power",
+    "total_power",
+    "leakage_fraction",
+    "calibrate_leakage",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def _switching_rate(
+    depth: ArrayLike,
+    technology: TechnologyParams,
+    workload: WorkloadParams,
+    gating: GatingModel,
+) -> np.ndarray:
+    """The effective per-latch switching rate ``f_cg * f_s``.
+
+    Un-gated / partially gated designs switch with the clock; perfectly
+    gated designs switch with completed work, ``(T/N_I)**-1``, per the
+    paper's substitution (Sec. 2), scaled by ``gating.activity_scale``.
+    """
+    p = np.asarray(depth, dtype=float)
+    if gating.style is GatingStyle.PERFECT:
+        tpi = np.asarray(time_per_instruction(p, technology, workload), dtype=float)
+        return gating.activity_scale / tpi
+    f_s = 1.0 / (technology.latch_overhead + technology.total_logic_depth / p)
+    return gating.effective_fraction() * f_s
+
+
+def dynamic_power(
+    depth: ArrayLike,
+    technology: TechnologyParams,
+    workload: WorkloadParams,
+    power: PowerParams,
+    gating: GatingModel,
+) -> ArrayLike:
+    """The dynamic term ``f_cg * f_s * P_d * N_L * p**gamma`` of Eq. 3."""
+    p = np.asarray(depth, dtype=float)
+    if np.any(p <= 0):
+        raise ParameterError("pipeline depth must be positive")
+    rate = _switching_rate(p, technology, workload, gating)
+    result = rate * power.dynamic_per_latch * power.latches_per_stage * p**power.gamma
+    return result if isinstance(depth, np.ndarray) else float(result)
+
+
+def leakage_power(depth: ArrayLike, power: PowerParams) -> ArrayLike:
+    """The leakage term ``P_l * N_L * p**gamma`` of Eq. 3.
+
+    Leakage burns in every latch on every cycle regardless of gating, so it
+    scales only with the latch count, not with frequency — this asymmetry is
+    what drives the paper's Fig. 8 result (more leakage share -> deeper
+    optimum).
+    """
+    p = np.asarray(depth, dtype=float)
+    if np.any(p <= 0):
+        raise ParameterError("pipeline depth must be positive")
+    result = power.leakage_per_latch * power.latches_per_stage * p**power.gamma
+    return result if isinstance(depth, np.ndarray) else float(result)
+
+
+def total_power(depth: ArrayLike, space: DesignSpace) -> ArrayLike:
+    """Paper Eq. 3: total power ``P_T`` at depth ``p`` (arbitrary units)."""
+    dyn = np.asarray(
+        dynamic_power(depth, space.technology, space.workload, space.power, space.gating),
+        dtype=float,
+    )
+    leak = np.asarray(leakage_power(depth, space.power), dtype=float)
+    result = dyn + leak
+    return result if isinstance(depth, np.ndarray) else float(result)
+
+
+def leakage_fraction(depth: float, space: DesignSpace) -> float:
+    """Leakage share of total power at a given depth, in [0, 1)."""
+    dyn = float(
+        np.asarray(
+            dynamic_power(depth, space.technology, space.workload, space.power, space.gating)
+        )
+    )
+    leak = float(np.asarray(leakage_power(depth, space.power)))
+    return leak / (dyn + leak)
+
+
+def calibrate_leakage(
+    space: DesignSpace, fraction: float, reference_depth: float
+) -> PowerParams:
+    """Return power params whose leakage share equals ``fraction`` at
+    ``reference_depth``, holding dynamic power fixed (the paper's Fig. 8
+    protocol: "the leakage power was increased, while the dynamic power was
+    held constant").
+
+    Because both terms of Eq. 3 carry the same latch factor
+    ``N_L * p**gamma``, the share at the reference depth fixes
+    ``P_l = fraction/(1-fraction) * (f_cg*f_s(p_ref)) * P_d`` exactly.
+
+    Args:
+        space: the design space supplying technology/workload/gating and the
+            dynamic power factor to hold constant.
+        fraction: requested leakage share of total power, in [0, 1).
+        reference_depth: depth at which the share is anchored.
+    """
+    if not (0.0 <= fraction < 1.0):
+        raise ParameterError(f"leakage fraction must be in [0, 1), got {fraction!r}")
+    rate = float(
+        _switching_rate(reference_depth, space.technology, space.workload, space.gating)
+    )
+    p_l = fraction / (1.0 - fraction) * rate * space.power.dynamic_per_latch
+    return space.power.with_leakage(p_l)

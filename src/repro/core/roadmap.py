@@ -1,0 +1,114 @@
+"""Technology roadmap projection (the paper's Sec. 6 use case).
+
+The paper closes by noting that the theory "can be used to investigate
+numerous dependencies as new microarchitectures, workloads, or new
+technologies arise ... without the need for the detailed simulations".
+This module packages that use: a :class:`TechnologyNode` captures how the
+relevant constants move across process generations — the leakage share
+grows, latch overhead (in FO4) improves slowly — and
+:func:`roadmap_study` projects the optimum design point across nodes for
+any metric.
+
+The bundled :data:`CLASSIC_ROADMAP` uses era-representative values (c.f.
+the leakage trajectories in the power-aware design literature the paper
+cites); they are inputs, not claims, and are trivially replaced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence, Tuple
+
+from .metric import MetricFamily
+from .optimizer import TheoryOptimum, optimum_depth
+from .params import DesignSpace, ParameterError, TechnologyParams
+from .power import calibrate_leakage
+
+__all__ = ["TechnologyNode", "NodeOptimum", "roadmap_study", "CLASSIC_ROADMAP"]
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """One process generation's constants for the depth study.
+
+    Attributes:
+        name: label ("130nm (2002)").
+        latch_overhead: ``t_o`` in FO4 — slowly improving with better
+            latch/clocking design.
+        leakage_fraction: leakage share of total power at the reference
+            depth — the constant that grows relentlessly across nodes.
+        total_logic_depth: ``t_p`` in FO4 — a microarchitecture property,
+            constant across nodes unless the design integrates more work
+            per instruction.
+    """
+
+    name: str
+    latch_overhead: float
+    leakage_fraction: float
+    total_logic_depth: float = 140.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.leakage_fraction < 1.0):
+            raise ParameterError(
+                f"leakage_fraction must be in [0, 1), got {self.leakage_fraction!r}"
+            )
+
+
+CLASSIC_ROADMAP: Tuple[TechnologyNode, ...] = (
+    TechnologyNode("250nm (1998)", latch_overhead=3.0, leakage_fraction=0.02),
+    TechnologyNode("180nm (2000)", latch_overhead=2.8, leakage_fraction=0.05),
+    TechnologyNode("130nm (2002)", latch_overhead=2.5, leakage_fraction=0.15),
+    TechnologyNode("90nm (2004)", latch_overhead=2.3, leakage_fraction=0.25),
+    TechnologyNode("65nm (2006)", latch_overhead=2.1, leakage_fraction=0.35),
+)
+"""Era-representative constants around the paper's publication date."""
+
+
+@dataclass(frozen=True)
+class NodeOptimum:
+    """One node's projected optimum."""
+
+    node: TechnologyNode
+    optimum: TheoryOptimum
+
+    @property
+    def depth(self) -> float:
+        return self.optimum.depth
+
+    @property
+    def fo4_per_stage(self) -> float:
+        return self.optimum.fo4_per_stage
+
+
+def roadmap_study(
+    space: DesignSpace,
+    nodes: Sequence[TechnologyNode] = CLASSIC_ROADMAP,
+    m: "float | MetricFamily" = 3.0,
+    reference_depth: float = 8.0,
+) -> Tuple[NodeOptimum, ...]:
+    """Project the optimum depth across technology nodes.
+
+    The workload and gating model come from ``space``; each node supplies
+    its own technology constants and leakage share (re-calibrated at the
+    reference depth per node, dynamic power held fixed).
+
+    Two competing trends meet here: shrinking latch overhead enables
+    deeper pipelines, and the growing leakage share *also* pushes deeper
+    (the paper's Fig. 8 effect) — so the power-aware optimum drifts
+    deeper across the classic roadmap even while the power-performance
+    metric keeps it far below the performance-only optimum.
+    """
+    if not nodes:
+        raise ParameterError("need at least one technology node")
+    results = []
+    for node in nodes:
+        technology = TechnologyParams(
+            total_logic_depth=node.total_logic_depth,
+            latch_overhead=node.latch_overhead,
+        )
+        node_space = space.with_technology(technology)
+        node_space = node_space.with_power(
+            calibrate_leakage(node_space, node.leakage_fraction, reference_depth)
+        )
+        results.append(NodeOptimum(node=node, optimum=optimum_depth(node_space, m)))
+    return tuple(results)

@@ -1,0 +1,280 @@
+"""Sensitivity studies of the optimum design point (paper Figs. 8 and 9).
+
+The paper's theory is most useful as an exploration tool: holding a
+workload fixed, how does the optimum pipeline depth move as technology
+assumptions change?  This module packages the three studies the paper
+presents — leakage share (Fig. 8), latch-growth exponent gamma (Fig. 9)
+and clock gating (Figs. 4/5 discussion) — plus the workload-parameter
+sensitivities its Sec. 2.2 derives from the quadratic (hazards, superscalar
+degree, logic-depth ratio).
+
+Each sweep returns a :class:`SensitivityCurve` per setting: the normalised
+metric curve over a depth grid together with the analytic optimum, ready
+for plotting or for the benchmark harness to print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .metric import MetricFamily, metric_curve
+from .optimizer import TheoryOptimum, optimum_depth
+from .params import DesignSpace, GatingModel, GatingStyle, ParameterError
+from .power import calibrate_leakage
+
+__all__ = [
+    "SensitivityCurve",
+    "leakage_sweep",
+    "gamma_sweep",
+    "gating_comparison",
+    "gating_fraction_sweep",
+    "hazard_rate_sweep",
+    "superscalar_sweep",
+    "logic_depth_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SensitivityCurve:
+    """One setting of a sensitivity sweep.
+
+    Attributes:
+        label: human-readable setting ("leakage 30%", "gamma 1.5", ...).
+        setting: the numeric parameter value for programmatic use.
+        depths: the depth grid.
+        values: normalised metric over the grid (peak = 1).
+        optimum: the analytic optimum for this setting.
+    """
+
+    label: str
+    setting: float
+    depths: np.ndarray
+    values: np.ndarray
+    optimum: TheoryOptimum
+
+
+def _depth_grid(min_depth: float, max_depth: float, points: int) -> np.ndarray:
+    if points < 2:
+        raise ParameterError(f"need at least 2 grid points, got {points}")
+    if not (0 < min_depth < max_depth):
+        raise ParameterError("require 0 < min_depth < max_depth")
+    return np.linspace(min_depth, max_depth, points)
+
+
+def leakage_sweep(
+    space: DesignSpace,
+    fractions: Sequence[float] = (0.0, 0.30, 0.50, 0.90),
+    m: "float | MetricFamily" = 3.0,
+    reference_depth: float = 8.0,
+    min_depth: float = 1.0,
+    max_depth: float = 28.0,
+    points: int = 109,
+) -> Tuple[SensitivityCurve, ...]:
+    """Paper Fig. 8: raise the leakage share with dynamic power held fixed.
+
+    Leakage scales only with latch count while dynamic power also scales
+    with frequency, so a leakage-dominated budget penalises depth less —
+    the optimum moves *deeper* as leakage grows (7 -> ~14 stages in the
+    paper's SPECint example as leakage goes 0 -> 90 %).
+    """
+    depths = _depth_grid(min_depth, max_depth, points)
+    curves = []
+    for fraction in fractions:
+        power = calibrate_leakage(space, fraction, reference_depth)
+        setting_space = space.with_power(power)
+        curves.append(
+            SensitivityCurve(
+                label=f"leakage {fraction:.0%}",
+                setting=float(fraction),
+                depths=depths,
+                values=metric_curve(depths, setting_space, m, normalize=True),
+                optimum=optimum_depth(setting_space, m, min_depth=min_depth),
+            )
+        )
+    return tuple(curves)
+
+
+def gamma_sweep(
+    space: DesignSpace,
+    gammas: Sequence[float] = (1.0, 1.3, 1.5, 1.8),
+    m: "float | MetricFamily" = 3.0,
+    min_depth: float = 1.0,
+    max_depth: float = 28.0,
+    points: int = 109,
+    recalibrate_leakage_at: "float | None" = None,
+) -> Tuple[SensitivityCurve, ...]:
+    """Paper Fig. 9: vary the latch-growth exponent gamma.
+
+    Larger gamma makes every added stage cost more latches, so the optimum
+    moves shallower; beyond gamma >= m the feasibility condition fails and
+    a single-stage design wins.  If ``recalibrate_leakage_at`` is given,
+    the leakage share is re-anchored at that depth for each gamma (the
+    share itself is gamma-independent at the anchor since both power terms
+    carry the same latch factor, but this option keeps sweeps explicit).
+    """
+    depths = _depth_grid(min_depth, max_depth, points)
+    curves = []
+    for gamma in gammas:
+        power = space.power.with_gamma(gamma)
+        setting_space = space.with_power(power)
+        if recalibrate_leakage_at is not None:
+            share = space.power.p_l / (space.power.p_l + space.power.p_d)
+            setting_space = setting_space.with_power(
+                calibrate_leakage(setting_space, share, recalibrate_leakage_at)
+            )
+        curves.append(
+            SensitivityCurve(
+                label=f"gamma {gamma:g}",
+                setting=float(gamma),
+                depths=depths,
+                values=metric_curve(depths, setting_space, m, normalize=True),
+                optimum=optimum_depth(setting_space, m, min_depth=min_depth),
+            )
+        )
+    return tuple(curves)
+
+
+def gating_comparison(
+    space: DesignSpace,
+    m: "float | MetricFamily" = 3.0,
+    min_depth: float = 1.0,
+    max_depth: float = 28.0,
+    points: int = 109,
+) -> Tuple[SensitivityCurve, SensitivityCurve]:
+    """Un-gated vs perfectly clock-gated curves for the same design space.
+
+    Reproduces the paper's observation (Figs. 4a–4c) that gating both lifts
+    the metric and moves the optimum toward deeper pipelines.
+    """
+    depths = _depth_grid(min_depth, max_depth, points)
+    out = []
+    for gating, label in (
+        (GatingModel(GatingStyle.UNGATED), "non-clock-gated"),
+        (GatingModel(GatingStyle.PERFECT), "clock-gated"),
+    ):
+        setting_space = space.with_gating(gating)
+        out.append(
+            SensitivityCurve(
+                label=label,
+                setting=1.0 if gating.style is GatingStyle.PERFECT else 0.0,
+                depths=depths,
+                values=metric_curve(depths, setting_space, m, normalize=True),
+                optimum=optimum_depth(setting_space, m, min_depth=min_depth),
+            )
+        )
+    return out[0], out[1]
+
+
+def gating_fraction_sweep(
+    space: DesignSpace,
+    fractions: Sequence[float] = (1.0, 0.6, 0.3, 0.1),
+    m: "float | MetricFamily" = 3.0,
+    min_depth: float = 1.0,
+    max_depth: float = 28.0,
+    points: int = 109,
+) -> Tuple[SensitivityCurve, ...]:
+    """Partial clock gating: a constant fraction ``f_cg`` of latches toggle.
+
+    Lowering ``f_cg`` scales the dynamic term down while leakage stays,
+    so the optimum moves deeper — the constant-gating bridge between the
+    paper's un-gated and perfectly-gated extremes.
+    """
+    depths = _depth_grid(min_depth, max_depth, points)
+    curves = []
+    for fraction in fractions:
+        if fraction >= 1.0:
+            gating = GatingModel(GatingStyle.UNGATED)
+        else:
+            gating = GatingModel(GatingStyle.PARTIAL, fraction=fraction)
+        setting_space = space.with_gating(gating)
+        curves.append(
+            SensitivityCurve(
+                label=f"f_cg {fraction:g}",
+                setting=float(fraction),
+                depths=depths,
+                values=metric_curve(depths, setting_space, m, normalize=True),
+                optimum=optimum_depth(setting_space, m, min_depth=min_depth),
+            )
+        )
+    return tuple(curves)
+
+
+def hazard_rate_sweep(
+    space: DesignSpace,
+    hazard_rates: Sequence[float],
+    m: "float | MetricFamily" = 3.0,
+    min_depth: float = 1.0,
+    max_depth: float = 28.0,
+    points: int = 109,
+) -> Tuple[SensitivityCurve, ...]:
+    """Sec. 2.2 ablation: more hazards per instruction -> shallower optimum."""
+    depths = _depth_grid(min_depth, max_depth, points)
+    curves = []
+    for rate in hazard_rates:
+        wl = replace(space.workload, hazard_rate=rate)
+        setting_space = space.with_workload(wl)
+        curves.append(
+            SensitivityCurve(
+                label=f"N_H/N_I {rate:g}",
+                setting=float(rate),
+                depths=depths,
+                values=metric_curve(depths, setting_space, m, normalize=True),
+                optimum=optimum_depth(setting_space, m, min_depth=min_depth),
+            )
+        )
+    return tuple(curves)
+
+
+def superscalar_sweep(
+    space: DesignSpace,
+    degrees: Sequence[float],
+    m: "float | MetricFamily" = 3.0,
+    min_depth: float = 1.0,
+    max_depth: float = 28.0,
+    points: int = 109,
+) -> Tuple[SensitivityCurve, ...]:
+    """Sec. 2.2 ablation: higher alpha (wider issue) -> shallower optimum."""
+    depths = _depth_grid(min_depth, max_depth, points)
+    curves = []
+    for alpha in degrees:
+        wl = replace(space.workload, superscalar_degree=alpha)
+        setting_space = space.with_workload(wl)
+        curves.append(
+            SensitivityCurve(
+                label=f"alpha {alpha:g}",
+                setting=float(alpha),
+                depths=depths,
+                values=metric_curve(depths, setting_space, m, normalize=True),
+                optimum=optimum_depth(setting_space, m, min_depth=min_depth),
+            )
+        )
+    return tuple(curves)
+
+
+def logic_depth_sweep(
+    space: DesignSpace,
+    logic_depths: Sequence[float],
+    m: "float | MetricFamily" = 3.0,
+    min_depth: float = 1.0,
+    max_depth: float = 40.0,
+    points: int = 157,
+) -> Tuple[SensitivityCurve, ...]:
+    """Sec. 2.2 ablation: larger t_p/t_o -> more room to pipeline -> deeper."""
+    depths = _depth_grid(min_depth, max_depth, points)
+    curves = []
+    for t_p in logic_depths:
+        tech = replace(space.technology, total_logic_depth=t_p)
+        setting_space = space.with_technology(tech)
+        curves.append(
+            SensitivityCurve(
+                label=f"t_p {t_p:g} FO4",
+                setting=float(t_p),
+                depths=depths,
+                values=metric_curve(depths, setting_space, m, normalize=True),
+                optimum=optimum_depth(setting_space, m, min_depth=min_depth),
+            )
+        )
+    return tuple(curves)

@@ -1,0 +1,112 @@
+"""Voltage scaling and the case for BIPS^3/W (the paper's reference [11]).
+
+The paper adopts ``BIPS^3/W`` following Zyuban & Strenski's argument that
+an ED^2-style metric is the right currency for *microarchitectural*
+comparisons because it is invariant under supply-voltage scaling: to
+first order every delay scales as ``1/V`` and every energy per operation
+as ``V^2`` (dynamic ``C*V^2`` switching; leakage *power* ``∝ V^3`` so
+leakage energy per op is also ``∝ V^2``), giving
+
+```
+delay  D ∝ 1/V,   energy E ∝ V^2
+=>  E * D^(m-1) ∝ V^(3-m)     i.e.  BIPS^m/W ∝ V^(m-3)
+```
+
+— a design's ``E*D^2`` (equivalently ``BIPS^3/W``) cannot be gamed by
+turning the voltage knob, while ``BIPS/W`` (m=1) always prefers the
+lowest voltage and ``BIPS`` the highest.  This module makes that argument
+executable: :func:`scale_voltage` applies first-order voltage scaling to
+a design space, and :func:`voltage_sensitivity` measures how each metric
+responds, so the invariance (and its breakdown when leakage departs from
+the cubic power law) can be demonstrated and tested rather than
+asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Union
+
+import numpy as np
+
+from .metric import MetricFamily, metric
+from .params import DesignSpace, ParameterError, PowerParams, TechnologyParams
+
+__all__ = ["scale_voltage", "voltage_sensitivity", "invariant_exponent"]
+
+
+def scale_voltage(space: DesignSpace, ratio: float, leakage_exponent: float = 3.0) -> DesignSpace:
+    """First-order voltage scaling of a design space.
+
+    With supply voltage scaled by ``ratio``:
+
+    * every gate slows by ``1/ratio``, so both FO4-denominated constants
+      ``t_p`` and ``t_o`` scale by ``1/ratio`` (one FO4 is itself a gate
+      delay; expressing this in a fixed time unit, everything slows);
+    * dynamic energy per latch switch scales as ``ratio**2``;
+    * leakage power scales as ``ratio**leakage_exponent``.  The default
+      cubic makes leakage *energy per operation* scale like dynamic
+      energy (``V^2``), the first-order law under which the ED^2
+      invariance is exact; other exponents (e.g. 2.0) model technologies
+      whose leakage departs from it and break the invariance measurably.
+
+    The pipeline depth, workload and gating are untouched: voltage is the
+    knob *orthogonal* to the microarchitecture, which is precisely why a
+    voltage-invariant metric is needed to compare microarchitectures.
+    """
+    if ratio <= 0:
+        raise ParameterError(f"voltage ratio must be positive, got {ratio!r}")
+    technology = TechnologyParams(
+        total_logic_depth=space.technology.total_logic_depth / ratio,
+        latch_overhead=space.technology.latch_overhead / ratio,
+    )
+    power = replace(
+        space.power,
+        dynamic_per_latch=space.power.dynamic_per_latch * ratio**2,
+        leakage_per_latch=space.power.leakage_per_latch * ratio**leakage_exponent,
+    )
+    return space.with_technology(technology).with_power(power)
+
+
+def voltage_sensitivity(
+    space: DesignSpace,
+    m: "float | MetricFamily" = 3.0,
+    depth: float = 8.0,
+    ratio: float = 1.05,
+    leakage_exponent: float = 3.0,
+) -> float:
+    """The metric's log-log sensitivity to voltage at fixed depth.
+
+    Returns ``d ln(metric) / d ln(V)`` estimated at ``ratio``; to first
+    order this equals ``m - 3``:
+
+    * ``m = 3`` — zero: BIPS^3/W is voltage-invariant (why the paper and
+      its reference [11] prefer it for microarchitecture comparisons);
+    * ``m < 3`` — negative: lower voltage always looks better (BIPS/W
+      is maximised at the lowest voltage, regardless of design);
+    * ``m > 3`` — positive: higher voltage always looks better.
+    """
+    base = float(metric(depth, space, m))
+    scaled_space = scale_voltage(space, ratio, leakage_exponent=leakage_exponent)
+    scaled = float(metric(depth, scaled_space, m))
+    return float(np.log(scaled / base) / np.log(ratio))
+
+
+def invariant_exponent(
+    space: DesignSpace,
+    depth: float = 8.0,
+    leakage_exponent: float = 3.0,
+) -> float:
+    """Solve for the metric exponent ``m*`` that voltage scaling cannot game.
+
+    Uses the exact relation ``sensitivity(m) = sensitivity(0) - m *
+    d ln(D)/d ln(V)``, which is linear in ``m``; to first order the answer
+    is 3.0 — the paper's BIPS^3/W.
+    """
+    s0 = voltage_sensitivity(space, 1.0, depth, leakage_exponent=leakage_exponent)
+    s1 = voltage_sensitivity(space, 2.0, depth, leakage_exponent=leakage_exponent)
+    slope = s1 - s0  # change per unit m (= -d ln D / d ln V)
+    if slope == 0:
+        raise ParameterError("degenerate voltage response; cannot solve for m*")
+    # s(m) = s0 + (m - 1) * slope = 0  ->  m* = 1 - s0/slope
+    return float(1.0 - s0 / slope)

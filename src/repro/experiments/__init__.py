@@ -1,0 +1,37 @@
+"""Per-figure experiment drivers.
+
+Each ``figN_*`` module exposes ``run(...) -> <FigNData>`` producing the
+figure's underlying numbers and ``format_table(data) -> str`` printing the
+rows the paper's figure conveys.  ``headline`` covers the paper's scalar
+claims (it has no numbered tables), and ``runner`` regenerates everything:
+
+    python -m repro.experiments.runner [--quick]
+"""
+
+from . import (
+    fig1_quartic,
+    fig3_latch_growth,
+    fig4_theory_vs_sim,
+    fig5_metric_family,
+    fig6_distribution,
+    fig7_by_class,
+    fig8_leakage,
+    fig9_gamma,
+    headline,
+    perf_only,
+    runner,
+)
+
+__all__ = [
+    "fig1_quartic",
+    "fig3_latch_growth",
+    "fig4_theory_vs_sim",
+    "fig5_metric_family",
+    "fig6_distribution",
+    "fig7_by_class",
+    "fig8_leakage",
+    "fig9_gamma",
+    "headline",
+    "perf_only",
+    "runner",
+]

@@ -1,0 +1,71 @@
+"""Figure 1: the stationarity quartic and its four real zero crossings.
+
+The paper plots ``dMetric/dp`` (its Eq. 5) against ``p`` for typical
+parameters and observes four real zero crossings of which exactly one is
+positive — the physically meaningful optimum; the two large negative roots
+sit at ``-t_p/t_o`` (Eq. 6a) and near ``-P_l*t_p/(P_d + t_o*P_l)``
+(Eq. 6b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..core.optimizer import optimum_depth, paper_quartic, spurious_roots
+from ..core.params import DesignSpace
+from ..core.power import calibrate_leakage
+
+__all__ = ["Fig1Data", "run", "format_table"]
+
+
+@dataclass(frozen=True)
+class Fig1Data:
+    """The quartic curve and its root structure."""
+
+    grid: np.ndarray
+    derivative: np.ndarray
+    real_roots: Tuple[float, ...]
+    positive_roots: Tuple[float, ...]
+    expected_spurious: Tuple[float, float]
+    optimum_depth: float
+
+
+def run(
+    space: DesignSpace | None = None,
+    m: float = 3.0,
+    leakage_fraction: float = 0.15,
+    reference_depth: float = 8.0,
+    grid_min: float = -60.0,
+    grid_max: float = 20.0,
+    points: int = 401,
+) -> Fig1Data:
+    """Build the paper's Fig. 1 for the (default) typical design space."""
+    space = space or DesignSpace()
+    space = space.with_power(calibrate_leakage(space, leakage_fraction, reference_depth))
+    quartic = paper_quartic(space, m)
+    grid = np.linspace(grid_min, grid_max, points)
+    derivative = np.asarray(quartic(grid))
+    roots = tuple(float(r) for r in quartic.real_roots())
+    positive = tuple(r for r in roots if r > 0)
+    return Fig1Data(
+        grid=grid,
+        derivative=derivative,
+        real_roots=roots,
+        positive_roots=positive,
+        expected_spurious=spurious_roots(space),
+        optimum_depth=optimum_depth(space, m).depth,
+    )
+
+
+def format_table(data: Fig1Data) -> str:
+    """Rows matching what the paper's Fig. 1 conveys."""
+    lines = ["Fig. 1 — dMetric/dp zero crossings (m=3, typical parameters)"]
+    lines.append(f"  real roots          : {[round(r, 3) for r in data.real_roots]}")
+    lines.append(f"  positive (physical) : {[round(r, 3) for r in data.positive_roots]}")
+    s1, s2 = data.expected_spurious
+    lines.append(f"  Eq. 6a spurious root: {s1:.3f}   Eq. 6b (approx): {s2:.3f}")
+    lines.append(f"  optimum depth       : {data.optimum_depth:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Figure 3: overall latch count vs pipeline depth.
+
+The paper pipelines each unit individually with a per-unit latch growth
+exponent of 1.3 and observes that the *overall* latch count then scales as
+``p**1.1`` — the exponent it feeds into the theory's Eq. 3.  This module
+regenerates that curve from the stage plans and the unit latch budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..power.model import latch_growth_exponent, plan_latch_count
+from ..power.units import UnitPowerModel
+from ..pipeline.plan import StagePlan
+
+__all__ = ["Fig3Data", "run", "format_table"]
+
+
+@dataclass(frozen=True)
+class Fig3Data:
+    """Latch counts over depth and the fitted power law."""
+
+    depths: Tuple[int, ...]
+    latch_counts: np.ndarray
+    fitted_exponent: float
+    per_unit_exponent: float
+
+
+def run(
+    depths: "Tuple[int, ...] | range" = range(2, 26),
+    model: UnitPowerModel | None = None,
+) -> Fig3Data:
+    model = model or UnitPowerModel()
+    depths = tuple(int(d) for d in depths)
+    exponent, counts = latch_growth_exponent(depths, model)
+    return Fig3Data(
+        depths=depths,
+        latch_counts=counts,
+        fitted_exponent=exponent,
+        per_unit_exponent=model.gamma_unit,
+    )
+
+
+def format_table(data: Fig3Data) -> str:
+    lines = ["Fig. 3 — latch count growth with pipeline depth"]
+    lines.append(
+        f"  per-unit exponent: {data.per_unit_exponent:.2f}  "
+        f"-> overall best-fit exponent: {data.fitted_exponent:.3f} (paper: ~1.1)"
+    )
+    base = data.latch_counts[data.depths.index(6)] if 6 in data.depths else data.latch_counts[0]
+    for depth, count in zip(data.depths, data.latch_counts):
+        if depth % 4 == 0 or depth in (2, 25):
+            lines.append(f"  p={depth:2d}  latches={count:9.0f}  (x{count / base:.2f} of p=6)")
+    return "\n".join(lines)

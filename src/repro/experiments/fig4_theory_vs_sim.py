@@ -1,0 +1,125 @@
+"""Figures 4a/4b/4c: simulated BIPS^3/W vs depth with scale-fitted theory.
+
+One panel per workload class — a "modern" workload (4a), a SPEC integer
+workload (4b) and a floating-point workload (4c) — each showing the
+clock-gated and non-clock-gated metric over depth, with the analytic curve
+(parameters extracted from a single reference run; one overall scale
+factor fitted) laid over the simulated points.  The paper's headline
+observations: clock-gated curves lie above un-gated ones and peak deeper,
+and the theory tracks the simulation across the whole range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.optimum import TheoryFit, optimum_from_sweep, theory_fit_from_sweep
+from ..analysis.sweep import DEFAULT_DEPTHS, DepthSweep, run_depth_sweep
+from ..trace.suite import get_workload
+
+__all__ = ["Panel", "Fig4Data", "run", "format_table", "DEFAULT_PANEL_WORKLOADS"]
+
+DEFAULT_PANEL_WORKLOADS: Tuple[str, ...] = ("web-java-catalog", "gcc95", "swim")
+"""One workload per paper panel: modern (4a), SPECint (4b), float (4c)."""
+
+
+@dataclass(frozen=True)
+class Panel:
+    """One Fig. 4 panel: a workload's gated/un-gated curves plus theory.
+
+    Two theory fits are carried per gating model: ``*_theory`` uses the
+    curve extraction (Eq. 1 coefficients fitted over all depths), and
+    ``*_theory_single`` uses the paper's single-reference-run extraction.
+    """
+
+    workload: str
+    sweep: DepthSweep
+    gated_metric: np.ndarray
+    ungated_metric: np.ndarray
+    gated_theory: TheoryFit
+    ungated_theory: TheoryFit
+    gated_theory_single: TheoryFit
+    ungated_theory_single: TheoryFit
+    gated_optimum: float
+    ungated_optimum: float
+
+
+@dataclass(frozen=True)
+class Fig4Data:
+    panels: Tuple[Panel, ...]
+
+
+def run(
+    workloads: Sequence[str] = DEFAULT_PANEL_WORKLOADS,
+    depths: Sequence[int] = DEFAULT_DEPTHS,
+    trace_length: int = 8000,
+    m: float = 3.0,
+) -> Fig4Data:
+    panels = []
+    for name in workloads:
+        sweep = run_depth_sweep(get_workload(name), depths=depths, trace_length=trace_length)
+        panels.append(
+            Panel(
+                workload=name,
+                sweep=sweep,
+                gated_metric=sweep.metric(m, gated=True),
+                ungated_metric=sweep.metric(m, gated=False),
+                gated_theory=theory_fit_from_sweep(sweep, m, gated=True,
+                                                   extraction="curve"),
+                ungated_theory=theory_fit_from_sweep(sweep, m, gated=False,
+                                                     extraction="curve"),
+                gated_theory_single=theory_fit_from_sweep(sweep, m, gated=True,
+                                                          extraction="reference"),
+                ungated_theory_single=theory_fit_from_sweep(sweep, m, gated=False,
+                                                            extraction="reference"),
+                gated_optimum=optimum_from_sweep(sweep, m, gated=True).depth,
+                ungated_optimum=optimum_from_sweep(sweep, m, gated=False).depth,
+            )
+        )
+    return Fig4Data(panels=tuple(panels))
+
+
+def format_chart(data: Fig4Data) -> str:
+    """Render each panel: gated/un-gated simulation with theory overlay."""
+    from ..report import Series, line_chart
+
+    blocks = []
+    for panel in data.panels:
+        peak = float(panel.gated_metric.max())
+        series = [
+            Series("sim gated", panel.sweep.depths, panel.gated_metric / peak),
+            Series("sim ungated", panel.sweep.depths, panel.ungated_metric / peak),
+            Series("theory gated", panel.sweep.depths,
+                   panel.gated_theory.theory_values / peak),
+        ]
+        blocks.append(
+            line_chart(series, title=f"Fig. 4 — BIPS^3/W vs depth [{panel.workload}]",
+                       height=12)
+        )
+    return "\n\n".join(blocks)
+
+
+def format_table(data: Fig4Data) -> str:
+    lines = ["Fig. 4 — BIPS^3/W vs depth: simulation and scale-fitted theory"]
+    for panel in data.panels:
+        lines.append(f"  [{panel.workload}]")
+        lines.append(
+            f"    gated:   sim optimum {panel.gated_optimum:5.1f}  "
+            f"theory optimum {panel.gated_theory.optimum.depth:5.1f}  "
+            f"fit R^2 {panel.gated_theory.r_squared:.3f}  "
+            f"(single-run: {panel.gated_theory_single.optimum.depth:.1f}, "
+            f"R^2 {panel.gated_theory_single.r_squared:.2f})"
+        )
+        lines.append(
+            f"    ungated: sim optimum {panel.ungated_optimum:5.1f}  "
+            f"theory optimum {panel.ungated_theory.optimum.depth:5.1f}  "
+            f"fit R^2 {panel.ungated_theory.r_squared:.3f}  "
+            f"(single-run: {panel.ungated_theory_single.optimum.depth:.1f}, "
+            f"R^2 {panel.ungated_theory_single.r_squared:.2f})"
+        )
+        gated_above = bool(np.all(panel.gated_metric >= panel.ungated_metric * 0.999))
+        lines.append(f"    gated curve above ungated everywhere: {gated_above}")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Figure 7: the Fig. 6 distribution split by workload class.
+
+The paper's class picture: traditional (legacy) workloads peak around
+9 stages (18 FO4), SPEC integer around 7 (22.5 FO4), modern C++/Java
+between 7 and 8, and floating point spreads across 6–16 because FP code
+exercises the processor so differently (long non-pipelined ops, few
+hazards).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+from ..analysis.distribution import OptimumDistribution, optimum_distribution
+from ..analysis.sweep import DEFAULT_DEPTHS
+from ..trace.spec import WorkloadClass, WorkloadSpec
+from ..trace.suite import suite
+
+__all__ = ["Fig7Data", "run", "format_table"]
+
+
+@dataclass(frozen=True)
+class Fig7Data:
+    distribution: OptimumDistribution
+    class_summary: Mapping[WorkloadClass, Tuple[float, float, float]]
+
+
+def run(
+    specs: "Sequence[WorkloadSpec] | None" = None,
+    depths: Sequence[int] = DEFAULT_DEPTHS,
+    trace_length: int = 8000,
+    m: float = 3.0,
+    gated: bool = True,
+) -> Fig7Data:
+    specs = tuple(specs) if specs is not None else suite()
+    distribution = optimum_distribution(
+        specs, m=m, gated=gated, depths=depths, trace_length=trace_length
+    )
+    return Fig7Data(
+        distribution=distribution, class_summary=distribution.class_summary()
+    )
+
+
+def format_table(data: Fig7Data) -> str:
+    paper = {
+        WorkloadClass.LEGACY: "paper ~9",
+        WorkloadClass.MODERN: "paper 7-8",
+        WorkloadClass.SPECINT95: "paper ~7",
+        WorkloadClass.SPECINT2000: "paper ~7",
+        WorkloadClass.FLOAT: "paper 6-16 spread",
+    }
+    lines = ["Fig. 7 — optimum-depth distribution by workload class"]
+    for cls, (mean, lo, hi) in data.class_summary.items():
+        lines.append(
+            f"  {cls.display_name:22s} mean {mean:5.1f}  range [{lo:4.1f}, {hi:4.1f}]  ({paper[cls]})"
+        )
+    float_summary = data.class_summary.get(WorkloadClass.FLOAT)
+    if float_summary is not None:
+        spreads = {
+            cls: hi - lo
+            for cls, (mean, lo, hi) in data.class_summary.items()
+        }
+        widest = max(spreads, key=spreads.get)
+        lines.append(f"  widest spread: {widest.display_name}")
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Figure 8: the optimum depth as leakage power grows.
+
+Holding dynamic power fixed and raising the leakage share from 0 % to
+90 % of the total, the paper's theory moves the optimum from ~7 stages all
+the way to ~14: leakage scales only with latch count while dynamic power
+also scales with frequency, so a leakage-dominated budget penalises depth
+less.  The workload parameters are extracted from a SPEC integer run, as
+in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..analysis.extraction import fit_workload_params
+from ..analysis.sweep import run_depth_sweep
+from ..core.params import DesignSpace, GatingModel, GatingStyle, PowerParams
+from ..core.sensitivity import SensitivityCurve, leakage_sweep
+from ..trace.suite import get_workload
+
+__all__ = ["Fig8Data", "run", "format_table", "DEFAULT_FRACTIONS"]
+
+DEFAULT_FRACTIONS: Tuple[float, ...] = (0.0, 0.15, 0.30, 0.50, 0.90)
+
+
+@dataclass(frozen=True)
+class Fig8Data:
+    workload: str
+    curves: Tuple[SensitivityCurve, ...]
+    optima: Tuple[Tuple[float, float], ...]  # (fraction, optimum depth)
+
+
+def run(
+    workload: str = "gcc95",
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    trace_length: int = 8000,
+    m: float = 3.0,
+    gamma: float = 1.1,
+    reference_depth: float = 8.0,
+) -> Fig8Data:
+    """Extract SPECint parameters from a short sweep, then vary leakage in
+    the theory exactly as the paper's Fig. 8 does (theory-only curves)."""
+    sweep = run_depth_sweep(
+        get_workload(workload), depths=(4, 6, 8, 10, 12, 16, 20),
+        trace_length=trace_length, reference_depth=8,
+    )
+    params = fit_workload_params(sweep.results)
+    space = DesignSpace(
+        workload=params,
+        power=PowerParams(latch_growth_exponent=gamma),
+        gating=GatingModel(GatingStyle.UNGATED),
+    )
+    curves = leakage_sweep(space, fractions, m=m, reference_depth=reference_depth)
+    optima = tuple((c.setting, c.optimum.depth) for c in curves)
+    return Fig8Data(workload=workload, curves=curves, optima=optima)
+
+
+def format_chart(data: Fig8Data) -> str:
+    """Render the normalised metric curves per leakage share (the figure)."""
+    from ..report import Series, line_chart
+
+    series = [Series(c.label, c.depths, c.values) for c in data.curves]
+    return line_chart(series, title="Fig. 8 — BIPS^3/W vs depth as leakage grows")
+
+
+def format_table(data: Fig8Data) -> str:
+    lines = [f"Fig. 8 — optimum vs leakage share ({data.workload} parameters)"]
+    for fraction, depth in data.optima:
+        lines.append(f"  leakage {fraction:4.0%}  ->  optimum {depth:5.2f} stages")
+    first, last = data.optima[0][1], data.optima[-1][1]
+    lines.append(f"  monotone deeper with leakage: {last > first}")
+    return "\n".join(lines)

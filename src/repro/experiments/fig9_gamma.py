@@ -1,0 +1,90 @@
+"""Figure 9: the optimum depth as the latch growth exponent gamma varies.
+
+The paper sweeps gamma over {1.0, 1.3, 1.5, 1.8} for the same workload as
+Fig. 8 and shows the optimum shrinking as gamma grows; beyond gamma ~2 the
+feasibility condition ``m > gamma`` (plus its leakless tightening) fails
+and a single-stage design is optimal.  The paper calls gamma, together
+with the metric exponent ``m``, the two parameters the whole problem is
+most sensitive to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..analysis.extraction import fit_workload_params
+from ..analysis.sweep import run_depth_sweep
+from ..core.optimizer import optimum_depth
+from ..core.params import DesignSpace, GatingModel, GatingStyle, PowerParams
+from ..core.power import calibrate_leakage
+from ..core.sensitivity import SensitivityCurve, gamma_sweep
+from ..trace.suite import get_workload
+
+__all__ = ["Fig9Data", "run", "format_table", "DEFAULT_GAMMAS"]
+
+DEFAULT_GAMMAS: Tuple[float, ...] = (1.0, 1.1, 1.3, 1.5, 1.8)
+
+
+@dataclass(frozen=True)
+class Fig9Data:
+    workload: str
+    curves: Tuple[SensitivityCurve, ...]
+    optima: Tuple[Tuple[float, float], ...]  # (gamma, optimum depth)
+    single_stage_gamma: float  # a gamma at/above which pipelining dies
+
+
+def run(
+    workload: str = "gcc95",
+    gammas: Sequence[float] = DEFAULT_GAMMAS,
+    trace_length: int = 8000,
+    m: float = 3.0,
+    leakage_fraction: float = 0.15,
+    reference_depth: float = 8.0,
+) -> Fig9Data:
+    sweep = run_depth_sweep(
+        get_workload(workload), depths=(4, 6, 8, 10, 12, 16, 20),
+        trace_length=trace_length, reference_depth=8,
+    )
+    params = fit_workload_params(sweep.results)
+    space = DesignSpace(
+        workload=params,
+        power=PowerParams(latch_growth_exponent=1.1),
+        gating=GatingModel(GatingStyle.UNGATED),
+    )
+    space = space.with_power(
+        calibrate_leakage(space, leakage_fraction, reference_depth)
+    )
+    curves = gamma_sweep(space, gammas, m=m)
+    optima = tuple((c.setting, c.optimum.depth) for c in curves)
+    # Find a gamma at which pipelining collapses to a single stage.
+    single_stage_gamma = float("nan")
+    for gamma in (2.0, 2.2, 2.5, 2.8, 3.0):
+        probe = space.with_power(space.power.with_gamma(gamma))
+        if not optimum_depth(probe, m).pipelined:
+            single_stage_gamma = gamma
+            break
+    return Fig9Data(
+        workload=workload,
+        curves=curves,
+        optima=optima,
+        single_stage_gamma=single_stage_gamma,
+    )
+
+
+def format_chart(data: Fig9Data) -> str:
+    """Render the normalised metric curves per gamma (the figure)."""
+    from ..report import Series, line_chart
+
+    series = [Series(c.label, c.depths, c.values) for c in data.curves]
+    return line_chart(series, title="Fig. 9 — BIPS^3/W vs depth as gamma grows")
+
+
+def format_table(data: Fig9Data) -> str:
+    lines = [f"Fig. 9 — optimum vs latch growth exponent ({data.workload} parameters)"]
+    for gamma, depth in data.optima:
+        lines.append(f"  gamma {gamma:3.1f}  ->  optimum {depth:5.2f} stages")
+    depths = [d for _g, d in data.optima]
+    lines.append(f"  monotone shallower with gamma: {all(a >= b for a, b in zip(depths, depths[1:]))}")
+    lines.append(f"  single-stage design by gamma ~ {data.single_stage_gamma:.1f} (paper: gamma > 2)")
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Headline scalar results ("Table H" in EXPERIMENTS.md).
+
+The paper has no numbered tables; its quantitative spine is a handful of
+scalar claims scattered through Secs. 4–6:
+
+* performance-only optimisation favours ~22 stages (8.9 FO4);
+* including power (BIPS^3/W, clock-gated) moves the optimum to ~7 stages
+  (22.5 FO4) by the best theoretical fit, or ~9 stages (18 FO4) by a
+  blind cubic fit of the simulated points — the theory estimate is about
+  20 % shorter;
+* the suite-average cubic-fit optimum is ~8 stages (20 FO4);
+* BIPS/W (m=1) never yields a pipelined optimum, and for typical
+  parameters neither does BIPS^2/W (m=2).
+
+This module computes each of those quantities from this repository's
+simulator + theory and pairs it with the paper's value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.optimum import optimum_from_sweep, theory_fit_from_sweep
+from ..analysis.sweep import DEFAULT_DEPTHS, run_depth_sweep
+from ..core.params import TechnologyParams
+from ..trace.spec import WorkloadSpec
+from ..trace.suite import small_suite, suite
+
+__all__ = ["HeadlineRow", "HeadlineData", "run", "format_table"]
+
+
+@dataclass(frozen=True)
+class HeadlineRow:
+    """One paper claim vs the reproduction's measurement."""
+
+    claim: str
+    paper_value: str
+    measured: str
+    holds: bool
+
+
+@dataclass(frozen=True)
+class HeadlineData:
+    rows: Tuple[HeadlineRow, ...]
+
+
+def run(
+    specs: "Sequence[WorkloadSpec] | None" = None,
+    depths: Sequence[int] = DEFAULT_DEPTHS,
+    trace_length: int = 8000,
+) -> HeadlineData:
+    """Compute the headline numbers over ``specs`` (default: a reduced
+    suite of 2 per class; pass :func:`repro.trace.suite` for the full 55).
+    """
+    specs = tuple(specs) if specs is not None else small_suite(2)
+    tech = TechnologyParams()
+
+    perf_opts = []
+    cubic_opts = []
+    theory_opts = []
+    m1_interior = []
+    ordering_holds = []
+    for spec in specs:
+        sweep = run_depth_sweep(spec, depths=depths, trace_length=trace_length)
+        perf = optimum_from_sweep(sweep, float("inf"), gated=True).depth
+        m3 = optimum_from_sweep(sweep, 3.0, gated=True).depth
+        m2 = optimum_from_sweep(sweep, 2.0, gated=True).depth
+        m1 = optimum_from_sweep(sweep, 1.0, gated=True).depth
+        perf_opts.append(perf)
+        cubic_opts.append(m3)
+        theory_opts.append(theory_fit_from_sweep(sweep, 3.0, gated=True).optimum.depth)
+        min_depth = sweep.depths[0]
+        m1_interior.append(m1 > min_depth + 1.0)
+        ordering_holds.append(m1 <= m2 + 0.5 and m2 <= m3 + 0.5 and m3 <= perf + 0.5)
+
+    perf_mean = float(np.mean(perf_opts))
+    cubic_mean = float(np.mean(cubic_opts))
+    theory_mean = float(np.mean(theory_opts))
+    ratio = theory_mean / cubic_mean if cubic_mean else float("nan")
+
+    rows = (
+        HeadlineRow(
+            claim="performance-only optimum (stages / FO4)",
+            paper_value="~22 stages / 8.9 FO4",
+            measured=f"{perf_mean:.1f} stages / {tech.fo4_per_stage(perf_mean):.1f} FO4",
+            holds=14.0 <= perf_mean <= 30.0,
+        ),
+        HeadlineRow(
+            claim="BIPS^3/W optimum, blind cubic fit",
+            paper_value="~8-9 stages / 18-20 FO4",
+            measured=f"{cubic_mean:.1f} stages / {tech.fo4_per_stage(cubic_mean):.1f} FO4",
+            holds=6.0 <= cubic_mean <= 12.0,
+        ),
+        HeadlineRow(
+            claim="BIPS^3/W optimum, theory fit",
+            paper_value="~6.25-7 stages / 22.5-25 FO4",
+            measured=f"{theory_mean:.1f} stages / {tech.fo4_per_stage(theory_mean):.1f} FO4",
+            holds=4.0 <= theory_mean <= 10.0,
+        ),
+        HeadlineRow(
+            claim="theory-fit optimum shorter than cubic fit",
+            paper_value="~20% shorter",
+            measured=f"ratio {ratio:.2f}",
+            holds=ratio < 1.0,
+        ),
+        HeadlineRow(
+            claim="power optimum much shallower than perf optimum",
+            paper_value="22 -> 7-9 stages",
+            measured=f"{perf_mean:.1f} -> {cubic_mean:.1f} stages (x{perf_mean / cubic_mean:.1f})",
+            holds=perf_mean / cubic_mean >= 1.5,
+        ),
+        HeadlineRow(
+            claim="BIPS/W: no pipelined optimum",
+            paper_value="single-stage optimal",
+            measured=f"{sum(m1_interior)}/{len(m1_interior)} workloads with interior optimum",
+            holds=sum(m1_interior) <= len(m1_interior) // 4,
+        ),
+        HeadlineRow(
+            claim="optimum deepens with m: BIPS/W <= BIPS^2/W <= BIPS^3/W <= BIPS",
+            paper_value="strict metric-family ordering (Fig. 5)",
+            measured=f"{sum(ordering_holds)}/{len(ordering_holds)} workloads ordered",
+            holds=sum(ordering_holds) >= (3 * len(ordering_holds)) // 4,
+        ),
+    )
+    return HeadlineData(rows=rows)
+
+
+def format_table(data: HeadlineData) -> str:
+    lines = ["Headline results — paper vs reproduction"]
+    for row in data.rows:
+        mark = "OK " if row.holds else "MISS"
+        lines.append(f"  [{mark}] {row.claim}")
+        lines.append(f"         paper: {row.paper_value}")
+        lines.append(f"         here : {row.measured}")
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Performance-only optimisation: the predecessor study, revalidated.
+
+This paper builds on Hartstein & Puzak's ISCA 2002 performance-only
+result (its reference [5]): the optimum depth without power is
+``p_opt^2 = N_I*t_p / (alpha*beta*N_H*t_o)`` (Eq. 2), landing around 22
+stages for their workloads.  This experiment revalidates that foundation
+inside the present repository: simulate the T/N_I curve, fit Eq. 1's two
+coefficients, and compare the simulated performance optimum against the
+Eq. 2 closed form computed from the fitted parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.extraction import fit_workload_params
+from ..analysis.optimum import optimum_from_sweep
+from ..analysis.sweep import DEFAULT_DEPTHS, DepthSweep, run_depth_sweep
+from ..core.performance import performance_only_optimum, time_per_instruction
+from ..trace.spec import WorkloadSpec
+from ..trace.suite import small_suite
+
+__all__ = ["PerfOnlyRow", "PerfOnlyData", "run", "format_table"]
+
+
+@dataclass(frozen=True)
+class PerfOnlyRow:
+    """One workload's simulated vs Eq. 2 performance optimum."""
+
+    workload: str
+    simulated_optimum: float
+    eq2_optimum: float
+    alpha: float
+    hazard_pressure: float
+    curve_r_squared: float
+
+
+@dataclass(frozen=True)
+class PerfOnlyData:
+    rows: Tuple[PerfOnlyRow, ...]
+
+    @property
+    def mean_simulated(self) -> float:
+        return float(np.mean([row.simulated_optimum for row in self.rows]))
+
+    @property
+    def mean_eq2(self) -> float:
+        return float(np.mean([row.eq2_optimum for row in self.rows]))
+
+
+def _r_squared(y: np.ndarray, fitted: np.ndarray) -> float:
+    ss_res = float(np.sum((y - fitted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    return 1.0 - ss_res / ss_tot if ss_tot else 1.0
+
+
+def run(
+    specs: "Sequence[WorkloadSpec] | None" = None,
+    depths: Sequence[int] = DEFAULT_DEPTHS,
+    trace_length: int = 8000,
+) -> PerfOnlyData:
+    specs = tuple(specs) if specs is not None else small_suite(1)
+    rows = []
+    for spec in specs:
+        sweep = run_depth_sweep(spec, depths=depths, trace_length=trace_length)
+        simulated = optimum_from_sweep(sweep, float("inf"), gated=True).depth
+        params = fit_workload_params(sweep.results)
+        eq2 = performance_only_optimum(sweep.reference.technology, params)
+        fitted = np.asarray(
+            time_per_instruction(
+                sweep.depth_array(), sweep.reference.technology, params
+            )
+        )
+        rows.append(
+            PerfOnlyRow(
+                workload=spec.name,
+                simulated_optimum=simulated,
+                eq2_optimum=float(eq2),
+                alpha=params.superscalar_degree,
+                hazard_pressure=params.hazard_pressure,
+                curve_r_squared=_r_squared(sweep.time_per_instruction(), fitted),
+            )
+        )
+    return PerfOnlyData(rows=tuple(rows))
+
+
+def format_table(data: PerfOnlyData) -> str:
+    lines = ["Performance-only optimum — simulation vs Eq. 2 (H&P 2002 foundation)"]
+    lines.append(
+        f"  {'workload':>18s} {'sim opt':>8s} {'Eq.2 opt':>9s} {'alpha':>6s} "
+        f"{'a*b*r':>7s} {'Eq.1 R^2':>9s}"
+    )
+    for row in data.rows:
+        lines.append(
+            f"  {row.workload:>18s} {row.simulated_optimum:8.1f} "
+            f"{row.eq2_optimum:9.1f} {row.alpha:6.2f} "
+            f"{row.hazard_pressure:7.4f} {row.curve_r_squared:9.3f}"
+        )
+    lines.append(
+        f"  suite mean: simulated {data.mean_simulated:.1f} vs Eq. 2 "
+        f"{data.mean_eq2:.1f} stages (paper's predecessor: ~22)"
+    )
+    return "\n".join(lines)

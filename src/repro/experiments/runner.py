@@ -1,0 +1,112 @@
+"""Run every figure experiment and print its table.
+
+``python -m repro.experiments.runner`` regenerates the whole evaluation at
+a configurable scale.  ``--quick`` shrinks the workload set and trace
+length for a fast smoke pass; the default settings reproduce the paper's
+full evaluation (all 55 workloads).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Sequence, Tuple
+
+from ..trace.suite import small_suite, suite
+from . import (
+    fig1_quartic,
+    fig3_latch_growth,
+    fig4_theory_vs_sim,
+    fig5_metric_family,
+    fig6_distribution,
+    fig7_by_class,
+    fig8_leakage,
+    fig9_gamma,
+    headline,
+)
+
+__all__ = ["run_all", "main"]
+
+
+def run_all(quick: bool = False, stream=None) -> Tuple[str, ...]:
+    """Run every experiment; returns (and optionally prints) the tables."""
+    stream = stream if stream is not None else sys.stdout
+    trace_length = 4000 if quick else 8000
+    specs = small_suite(2) if quick else suite()
+    depths = tuple(range(2, 26, 2)) if quick else tuple(range(2, 26))
+
+    def _with_chart(module, data) -> str:
+        table = module.format_table(data)
+        chart = getattr(module, "format_chart", None)
+        return table + "\n" + chart(data) if chart else table
+
+    jobs: Tuple[Tuple[str, Callable[[], str]], ...] = (
+        ("fig1", lambda: fig1_quartic.format_table(fig1_quartic.run())),
+        ("fig3", lambda: fig3_latch_growth.format_table(fig3_latch_growth.run())),
+        (
+            "fig4",
+            lambda: _with_chart(
+                fig4_theory_vs_sim, fig4_theory_vs_sim.run(trace_length=trace_length)
+            ),
+        ),
+        (
+            "fig5",
+            lambda: _with_chart(
+                fig5_metric_family, fig5_metric_family.run(trace_length=trace_length)
+            ),
+        ),
+        (
+            "fig6",
+            lambda: _with_chart(
+                fig6_distribution,
+                fig6_distribution.run(
+                    specs=specs, depths=depths, trace_length=trace_length
+                ),
+            ),
+        ),
+        (
+            "fig7",
+            lambda: fig7_by_class.format_table(
+                fig7_by_class.run(specs=specs, depths=depths, trace_length=trace_length)
+            ),
+        ),
+        (
+            "fig8",
+            lambda: _with_chart(fig8_leakage, fig8_leakage.run(trace_length=trace_length)),
+        ),
+        (
+            "fig9",
+            lambda: _with_chart(fig9_gamma, fig9_gamma.run(trace_length=trace_length)),
+        ),
+        (
+            "headline",
+            lambda: headline.format_table(
+                headline.run(specs=small_suite(2), trace_length=trace_length)
+            ),
+        ),
+    )
+    tables = []
+    for name, job in jobs:
+        started = time.time()
+        table = job()
+        elapsed = time.time() - started
+        tables.append(table)
+        print(table, file=stream)
+        print(f"  ({name}: {elapsed:.1f}s)", file=stream)
+        print(file=stream)
+    return tuple(tables)
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced suite / trace length smoke run"
+    )
+    args = parser.parse_args(argv)
+    run_all(quick=args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

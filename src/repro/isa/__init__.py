@@ -1,0 +1,5 @@
+"""Synthetic zSeries-flavoured instruction set (RR/RX split, branches, FP)."""
+
+from .instructions import NO_REGISTER, REGISTER_COUNT, Instruction, OpClass
+
+__all__ = ["OpClass", "Instruction", "NO_REGISTER", "REGISTER_COUNT"]

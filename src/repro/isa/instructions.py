@@ -1,0 +1,135 @@
+"""A synthetic zSeries-flavoured instruction set.
+
+The paper's simulator models IBM zSeries code, whose defining property for
+pipeline studies is the split between register-only (RR) and
+register/memory (RX) instructions: RR instructions flow
+Decode -> Execute-Queue -> E-Unit, while RX instructions additionally pass
+Address-Queue -> Address-Generation -> Cache-Access between decode and the
+execute queue (paper Fig. 2).  This module defines that split plus the
+branch and floating-point classes whose hazard behaviour drives the
+optimum-depth differences between workload classes.
+
+Traces are stored structure-of-arrays (:class:`repro.trace.trace.Trace`)
+for simulation speed; :class:`Instruction` is the record-at-a-time view
+used by the public API, tests and examples.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["OpClass", "Instruction", "NO_REGISTER", "REGISTER_COUNT"]
+
+NO_REGISTER = -1
+"""Sentinel register index meaning "no register read/written"."""
+
+REGISTER_COUNT = 16
+"""Architected general-purpose register count (zSeries has 16 GPRs)."""
+
+
+class OpClass(enum.IntEnum):
+    """Instruction classes distinguished by the pipeline model.
+
+    The integer values are stable and used as codes inside trace arrays.
+    """
+
+    RR_ALU = 0
+    """Register-register ALU op: Decode -> Exec-Q -> E-Unit."""
+
+    RX_LOAD = 1
+    """Load: Decode -> Agen-Q -> Agen -> Cache -> Exec-Q -> E-Unit."""
+
+    RX_STORE = 2
+    """Store: same path as a load but produces no register result and
+    does not hold up dependants."""
+
+    RX_ALU = 3
+    """Register/memory ALU op (zSeries RX-format arithmetic): memory
+    operand fetched through the agen/cache path, then executed."""
+
+    BRANCH = 4
+    """Conditional or unconditional branch; resolves at end of execute."""
+
+    FP = 5
+    """Floating-point op: executes individually, multi-cycle,
+    non-pipelined (paper Sec. 4: "floating point instructions are assumed
+    to execute individually and take multiple cycles to complete")."""
+
+    COMPLEX = 6
+    """Multi-cycle integer op (zSeries decimal arithmetic and
+    storage-storage string instructions — PACK, MVC, CLC...): executes on
+    an iterative unit like FP.  Legacy assembler workloads are full of
+    these; they depress the achievable superscalar degree."""
+
+    @property
+    def is_memory(self) -> bool:
+        """True for classes that traverse the agen/cache path."""
+        return self in (OpClass.RX_LOAD, OpClass.RX_STORE, OpClass.RX_ALU)
+
+    @property
+    def is_branch(self) -> bool:
+        return self is OpClass.BRANCH
+
+    @property
+    def writes_register(self) -> bool:
+        """True when the op produces a register result dependants can read."""
+        return self in (
+            OpClass.RR_ALU,
+            OpClass.RX_LOAD,
+            OpClass.RX_ALU,
+            OpClass.FP,
+            OpClass.COMPLEX,
+        )
+
+    @property
+    def is_long_op(self) -> bool:
+        """True for ops executing on an iterative multi-cycle unit."""
+        return self in (OpClass.FP, OpClass.COMPLEX)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One dynamic instruction of a trace.
+
+    Attributes:
+        index: position in the dynamic instruction stream.
+        opclass: the :class:`OpClass`.
+        pc: instruction address (byte-granular; used by the I-cache and
+            branch predictor).
+        dest: destination register, or ``NO_REGISTER``.
+        src1: first source register, or ``NO_REGISTER``.
+        src2: second source register, or ``NO_REGISTER``.
+        address: effective data address for memory ops, else 0.
+        taken: branch outcome (meaningful only for branches).
+        fp_cycles: extra execute occupancy for FP ops at the base execute
+            depth (scaled with the execute pipe by the simulator), else 0.
+    """
+
+    index: int
+    opclass: OpClass
+    pc: int
+    dest: int = NO_REGISTER
+    src1: int = NO_REGISTER
+    src2: int = NO_REGISTER
+    address: int = 0
+    taken: bool = False
+    fp_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        for field_name in ("dest", "src1", "src2"):
+            reg = getattr(self, field_name)
+            if reg != NO_REGISTER and not (0 <= reg < REGISTER_COUNT):
+                raise ValueError(
+                    f"{field_name}={reg} outside register file of {REGISTER_COUNT}"
+                )
+        if self.taken and not self.opclass.is_branch:
+            raise ValueError(f"{self.opclass.name} cannot be 'taken'")
+        if self.fp_cycles and not self.opclass.is_long_op:
+            raise ValueError(f"{self.opclass.name} cannot carry fp_cycles")
+
+    @property
+    def reads(self) -> tuple[int, ...]:
+        """The registers this instruction reads (excluding sentinels)."""
+        return tuple(r for r in (self.src1, self.src2) if r != NO_REGISTER)

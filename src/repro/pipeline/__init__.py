@@ -1,0 +1,22 @@
+"""Cycle-accurate 4-issue in-order pipeline simulator (Fig. 2 machine)."""
+
+from .diagram import render_depth_table, render_plan
+from .plan import MAX_DEPTH, MIN_DEPTH, RR_PATH, RX_PATH, PathOffsets, StagePlan, Unit
+from .results import SimulationResult
+from .simulator import MachineConfig, PipelineSimulator, simulate
+
+__all__ = [
+    "Unit",
+    "StagePlan",
+    "PathOffsets",
+    "MIN_DEPTH",
+    "MAX_DEPTH",
+    "RX_PATH",
+    "RR_PATH",
+    "render_plan",
+    "render_depth_table",
+    "SimulationResult",
+    "MachineConfig",
+    "PipelineSimulator",
+    "simulate",
+]

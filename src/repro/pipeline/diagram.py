@@ -1,0 +1,102 @@
+"""ASCII rendering of planned pipelines (the paper's Fig. 2, per depth).
+
+Shows how a given decode-to-execute depth maps onto the machine: which
+units got extra stages under uniform expansion, and which units share a
+cycle after contraction — the recipe behind every sweep in this library,
+made visible.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .plan import RR_PATH, RX_PATH, StagePlan, Unit
+
+__all__ = ["render_plan", "render_depth_table"]
+
+_SHORT_NAMES = {
+    Unit.FETCH: "Fetch",
+    Unit.DECODE: "Decode",
+    Unit.RENAME: "Rename",
+    Unit.AGEN_QUEUE: "AgenQ",
+    Unit.AGEN: "Agen",
+    Unit.CACHE: "Cache",
+    Unit.EXEC_QUEUE: "ExecQ",
+    Unit.EXECUTE: "E-Unit",
+    Unit.COMPLETE: "Compl",
+    Unit.RETIRE: "Retire",
+}
+
+
+def _box(label: str) -> List[str]:
+    inner = f" {label} "
+    return [
+        "+" + "-" * len(inner) + "+",
+        "|" + inner + "|",
+        "+" + "-" * len(inner) + "+",
+    ]
+
+
+def _join_boxes(boxes: List[List[str]], separator: str = "->") -> str:
+    rows = ["", "", ""]
+    for index, box in enumerate(boxes):
+        glue = ["  ", separator, "  "] if index else ["", "", ""]
+        for row in range(3):
+            rows[row] += glue[row] + box[row]
+    return "\n".join(rows)
+
+
+def render_plan(plan: StagePlan) -> str:
+    """Render one plan: the RX path with per-unit stage counts and merges.
+
+    Merged units are drawn inside one box; multi-stage units carry an
+    ``xN`` stage count.  The RR path line shows which boxes register-only
+    instructions skip.
+    """
+    boxes: List[List[str]] = [_box(_SHORT_NAMES[Unit.FETCH])]
+    seen_groups = []
+    for unit in RX_PATH:
+        group = plan.group_of(unit)
+        if group in seen_groups:
+            continue
+        seen_groups.append(group)
+        members = [u for u in RX_PATH if u in group]
+        label = "+".join(_SHORT_NAMES[u] for u in members)
+        stages = plan.group_latency(unit)
+        if stages > 1:
+            label += f" x{stages}"
+        boxes.append(_box(label))
+    boxes.append(_box(_SHORT_NAMES[Unit.COMPLETE]))
+    boxes.append(_box(_SHORT_NAMES[Unit.RETIRE]))
+
+    lines = [
+        f"StagePlan depth={plan.depth} (decode -> end of execute, RX path)",
+        _join_boxes(boxes),
+        f"RR path skips the agen/cache segment: "
+        f"{plan.path_offsets(RR_PATH).total} cycles decode->execute",
+    ]
+    if plan.merges:
+        merged = "; ".join(
+            "+".join(sorted(_SHORT_NAMES[u] for u in group)) for group in plan.merges
+        )
+        lines.append(f"merged cycles: {merged}")
+    return "\n".join(lines)
+
+
+def render_depth_table(depths=range(2, 26)) -> str:
+    """Per-depth stage-count table: the expansion/contraction recipe."""
+    header = (
+        f"{'p':>3s} {'decode':>7s} {'agenQ':>6s} {'agen':>5s} {'cache':>6s} "
+        f"{'execQ':>6s} {'exec':>5s} {'merges':>7s}"
+    )
+    lines = [header]
+    for depth in depths:
+        plan = StagePlan.for_depth(int(depth))
+        stages = plan.unit_stages
+        lines.append(
+            f"{depth:3d} {stages[Unit.DECODE]:7d} {stages[Unit.AGEN_QUEUE]:6d} "
+            f"{stages[Unit.AGEN]:5d} {stages[Unit.CACHE]:6d} "
+            f"{stages[Unit.EXEC_QUEUE]:6d} {stages[Unit.EXECUTE]:5d} "
+            f"{len(plan.merges):7d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,217 @@
+"""Stage planning: mapping a target pipeline depth onto the Fig. 2 pipeline.
+
+The paper's base machine is the 4-issue zSeries-like pipeline of its
+Fig. 2: Decode, Rename (skipped in-order), Agen-Queue, Agen, Cache-Access,
+Exec-Queue, E-Unit, Completion, Retire, with the RR instruction path
+skipping the agen/cache segment.  Pipeline *depth* is counted between the
+beginning of decode and the end of execution along the RX path.
+
+To vary depth "uniformly" the paper:
+
+* **expands** by inserting extra stages into Decode, Cache-Access and the
+  E-Unit pipe *simultaneously*, so every hazard class sees the deepening;
+* **contracts** by first combining multiple stages of a unit, then
+  combining whole units into the same cycle (e.g. decode and agen); when
+  two units share a cycle the intervening latches are eliminated and the
+  merged cycle is charged the *greater* of the two units' power.
+
+:class:`StagePlan` encodes one such configuration: per-unit stage counts
+plus the merge groups, and provides the per-path cycle offsets the
+simulator and the power model both consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Mapping, Sequence, Tuple
+
+__all__ = ["Unit", "StagePlan", "MIN_DEPTH", "MAX_DEPTH", "PathOffsets"]
+
+MIN_DEPTH = 2
+MAX_DEPTH = 40
+
+
+class Unit(enum.Enum):
+    """Microarchitectural units of the Fig. 2 pipeline."""
+
+    FETCH = "fetch"
+    DECODE = "decode"
+    RENAME = "rename"  # present in Fig. 2; 0 stages in the in-order model
+    AGEN_QUEUE = "agen_queue"
+    AGEN = "agen"
+    CACHE = "cache"
+    EXEC_QUEUE = "exec_queue"
+    EXECUTE = "execute"
+    COMPLETE = "complete"
+    RETIRE = "retire"
+
+
+# Units whose stage counts grow when the pipeline is expanded — the paper
+# inserts stages "in Decode, Cache Access and E-Unit Pipe, simultaneously".
+_EXPANDABLE: Tuple[Unit, ...] = (Unit.DECODE, Unit.CACHE, Unit.EXECUTE)
+
+# The RX (register/memory) path between decode and end of execute, in order.
+RX_PATH: Tuple[Unit, ...] = (
+    Unit.DECODE,
+    Unit.AGEN_QUEUE,
+    Unit.AGEN,
+    Unit.CACHE,
+    Unit.EXEC_QUEUE,
+    Unit.EXECUTE,
+)
+
+# The RR (register-only) path between decode and end of execute.
+RR_PATH: Tuple[Unit, ...] = (Unit.DECODE, Unit.EXEC_QUEUE, Unit.EXECUTE)
+
+_MERGES_BY_DEPTH: Dict[int, Tuple[frozenset, ...]] = {
+    6: (),
+    5: (frozenset({Unit.AGEN_QUEUE, Unit.AGEN}),),
+    4: (
+        frozenset({Unit.AGEN_QUEUE, Unit.AGEN}),
+        frozenset({Unit.EXEC_QUEUE, Unit.EXECUTE}),
+    ),
+    3: (
+        frozenset({Unit.DECODE, Unit.AGEN_QUEUE, Unit.AGEN}),
+        frozenset({Unit.EXEC_QUEUE, Unit.EXECUTE}),
+    ),
+    2: (
+        frozenset({Unit.DECODE, Unit.AGEN_QUEUE, Unit.AGEN}),
+        frozenset({Unit.CACHE, Unit.EXEC_QUEUE, Unit.EXECUTE}),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class PathOffsets:
+    """Cycle offsets along one instruction path, relative to decode start.
+
+    Attributes:
+        starts: per-unit start offset in cycles.
+        latencies: per-unit occupied cycles (a merged unit shares its
+            group's single latency; every member reports the group value).
+        total: cycles from decode start through the end of the last unit —
+            by construction equal to the plan depth along the RX path.
+    """
+
+    starts: Mapping[Unit, int]
+    latencies: Mapping[Unit, int]
+    total: int
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """One pipeline configuration at a given decode-to-execute depth.
+
+    Use :meth:`for_depth` to construct.  ``unit_stages`` maps every unit to
+    its stage count (queues and the fixed front/back-end units have one;
+    RENAME has zero in the in-order model); ``merges`` lists the groups of
+    units sharing a single cycle in contracted designs.
+    """
+
+    depth: int
+    unit_stages: Mapping[Unit, int]
+    merges: Tuple[frozenset, ...]
+
+    @classmethod
+    def for_depth(cls, depth: int) -> "StagePlan":
+        """The plan for a decode-to-execute depth between 2 and 40.
+
+        Depths >= 6 expand Decode/Cache/Execute round-robin; depths < 6
+        contract by merging units per the paper's recipe.  Plans are
+        cached: the same depth always returns the same instance.
+        """
+        if not isinstance(depth, int) or isinstance(depth, bool):
+            raise TypeError(f"depth must be an int, got {type(depth).__name__}")
+        if not (MIN_DEPTH <= depth <= MAX_DEPTH):
+            raise ValueError(
+                f"depth must be in [{MIN_DEPTH}, {MAX_DEPTH}], got {depth!r}"
+            )
+        return cls._build(depth)
+
+    @classmethod
+    @lru_cache(maxsize=None)
+    def _build(cls, depth: int) -> "StagePlan":
+        stages: Dict[Unit, int] = {unit: 1 for unit in Unit}
+        stages[Unit.RENAME] = 0  # in-order model skips rename (paper Sec. 3)
+        merges: Tuple[frozenset, ...] = ()
+        if depth >= 6:
+            for i in range(depth - 6):
+                stages[_EXPANDABLE[i % len(_EXPANDABLE)]] += 1
+        else:
+            merges = _MERGES_BY_DEPTH[depth]
+        plan = cls(depth=depth, unit_stages=dict(stages), merges=merges)
+        if plan.path_offsets(RX_PATH).total != depth:
+            raise AssertionError(
+                f"plan construction bug: RX path is {plan.path_offsets(RX_PATH).total} "
+                f"cycles for requested depth {depth}"
+            )
+        return plan
+
+    def group_of(self, unit: Unit) -> frozenset:
+        """The merge group containing ``unit`` (singleton if unmerged)."""
+        for group in self.merges:
+            if unit in group:
+                return group
+        return frozenset({unit})
+
+    def group_latency(self, unit: Unit) -> int:
+        """Cycles occupied by ``unit``'s cycle group (max over members)."""
+        return max(self.unit_stages[member] for member in self.group_of(unit))
+
+    def cycle_groups(self) -> Tuple[frozenset, ...]:
+        """All distinct cycle groups, merged and singleton, covering every
+        unit with at least one stage.  This is the granularity at which the
+        power model applies the paper's max-power merge rule."""
+        seen: list[frozenset] = []
+        for unit in Unit:
+            if self.unit_stages[unit] == 0:
+                continue
+            group = self.group_of(unit)
+            if group not in seen:
+                seen.append(group)
+        return tuple(seen)
+
+    def path_offsets(self, path: Sequence[Unit]) -> PathOffsets:
+        """Start offsets and latencies for the units along ``path``.
+
+        Units sharing a merge group occupy the same cycles; the group
+        advances the timeline once, by its latency.
+        """
+        starts: Dict[Unit, int] = {}
+        latencies: Dict[Unit, int] = {}
+        offset = 0
+        current_group: frozenset = frozenset()
+        group_start = 0
+        for unit in path:
+            group = self.group_of(unit)
+            if group != current_group:
+                group_start = offset
+                offset += self.group_latency(unit)
+                current_group = group
+            starts[unit] = group_start
+            latencies[unit] = self.group_latency(unit)
+        return PathOffsets(starts=starts, latencies=latencies, total=offset)
+
+    @property
+    def rx_offsets(self) -> PathOffsets:
+        """Offsets along the RX (memory) path; ``total`` equals the depth."""
+        return self.path_offsets(RX_PATH)
+
+    @property
+    def rr_offsets(self) -> PathOffsets:
+        """Offsets along the RR (register-only) path."""
+        return self.path_offsets(RR_PATH)
+
+    @property
+    def front_end_cycles(self) -> int:
+        """Fetch-to-dispatch cycles: the refill a mispredict must pay."""
+        return self.unit_stages[Unit.FETCH] + self.group_latency(Unit.DECODE)
+
+    def total_stage_count(self) -> int:
+        """Distinct pipeline cycles across all units (fetch to retire) —
+        counting each merge group once at its group latency."""
+        return sum(
+            max(self.unit_stages[u] for u in group) for group in self.cycle_groups()
+        )

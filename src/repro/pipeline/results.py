@@ -1,0 +1,157 @@
+"""Simulation results: counts, rates and time conversions.
+
+A :class:`SimulationResult` is the bridge between the cycle-accurate
+simulator and everything downstream: the power model reads the per-unit
+occupancy, the parameter extractor reads the hazard counts and issue
+statistics, and the sweep/benchmark layers read the derived performance
+figures (CPI, BIPS).
+
+Times are kept in FO4 units throughout, matching the theory; absolute
+seconds never appear (the paper's own results are in FO4 design points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.params import TechnologyParams
+from .plan import StagePlan, Unit
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Aggregate outcome of simulating one trace at one pipeline depth.
+
+    Attributes:
+        trace_name: the workload simulated.
+        plan: the stage plan (depth, per-unit stages, merges).
+        technology: the FO4 constants used for time conversion.
+        instructions: dynamic instruction count ``N_I``.
+        cycles: total machine cycles to retire everything.
+        issue_cycles: cycles in which at least one instruction entered
+            execute — the denominator of the measured superscalar degree.
+        branches / mispredicts: dynamic branch count and mispredictions.
+        icache_misses: instruction-fetch line misses.
+        dcache_accesses / dcache_misses: data-side accesses and misses
+            (loads and RX-ALU operand fetches; store misses are tracked
+            separately because they do not stall dependants).
+        store_misses: data-cache misses on stores.
+        l2_misses: second-level cache misses (instruction or data side).
+        memory_ops / fp_ops: dynamic counts by class.
+        unit_occupancy: stage-slot occupancy per unit — one slot is one
+            stage of one unit busy for one cycle; the clock-gated power
+            model charges dynamic energy per occupied slot.
+    """
+
+    trace_name: str
+    plan: StagePlan
+    technology: TechnologyParams
+    instructions: int
+    cycles: int
+    issue_cycles: int
+    branches: int
+    mispredicts: int
+    icache_misses: int
+    dcache_accesses: int
+    dcache_misses: int
+    store_misses: int
+    l2_misses: int
+    memory_ops: int
+    fp_ops: int
+    unit_occupancy: Mapping[Unit, float]
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ValueError("a simulation result needs at least one instruction")
+        if self.cycles <= 0:
+            raise ValueError("cycle count must be positive")
+
+    # -- depth / time ------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return self.plan.depth
+
+    @property
+    def cycle_time(self) -> float:
+        """``t_s = t_o + t_p / p`` in FO4."""
+        return self.technology.cycle_time(self.depth)
+
+    @property
+    def total_time(self) -> float:
+        """Total execution time ``T`` in FO4."""
+        return self.cycles * self.cycle_time
+
+    @property
+    def time_per_instruction(self) -> float:
+        """``T / N_I`` in FO4 — directly comparable to theory Eq. 1."""
+        return self.total_time / self.instructions
+
+    @property
+    def bips(self) -> float:
+        """Instructions per FO4 (proportional to BIPS)."""
+        return self.instructions / self.total_time
+
+    # -- rates --------------------------------------------------------------
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+    @property
+    def dcache_miss_rate(self) -> float:
+        return self.dcache_misses / self.dcache_accesses if self.dcache_accesses else 0.0
+
+    # -- hazards -------------------------------------------------------------
+    @property
+    def hazards(self) -> int:
+        """``N_H``: the stall-causing events charged to the theory's hazard
+        term — mispredicted branches, I-cache misses and data-side misses
+        that dependants wait on (store misses excluded)."""
+        return self.mispredicts + self.icache_misses + self.dcache_misses
+
+    @property
+    def hazard_rate(self) -> float:
+        """``N_H / N_I``."""
+        return self.hazards / self.instructions
+
+    @property
+    def superscalar_degree(self) -> float:
+        """Measured ``alpha``: instructions per issuing cycle."""
+        return self.instructions / self.issue_cycles if self.issue_cycles else 1.0
+
+    @property
+    def busy_time(self) -> float:
+        """The theory's hazard-free time ``N_I * t_s / alpha`` in FO4."""
+        return self.instructions * self.cycle_time / self.superscalar_degree
+
+    @property
+    def stall_time(self) -> float:
+        """Everything not explained by the busy term, in FO4 (>= 0)."""
+        return max(self.total_time - self.busy_time, 0.0)
+
+    def occupancy_fraction(self, unit: Unit) -> float:
+        """Unit utilisation: occupied stage-slots over available slots."""
+        stages = self.plan.unit_stages[unit]
+        if stages == 0:
+            return 0.0
+        available = stages * self.cycles
+        return min(float(self.unit_occupancy.get(unit, 0.0)) / available, 1.0)
+
+    def summary(self) -> str:
+        """One-line human summary for logs and examples."""
+        return (
+            f"{self.trace_name}@p{self.depth}: CPI {self.cpi:.2f}, "
+            f"BIPS {self.bips * 1e3:.2f}e-3, mispredict {self.misprediction_rate:.1%}, "
+            f"d$ miss {self.dcache_miss_rate:.1%}, N_H/N_I {self.hazard_rate:.3f}, "
+            f"alpha {self.superscalar_degree:.2f}"
+        )

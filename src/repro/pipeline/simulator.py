@@ -1,0 +1,812 @@
+"""The cycle-accurate 4-issue in-order pipeline timing model.
+
+This is the stand-in for the paper's proprietary zSeries simulator.  It
+models the Fig. 2 pipeline exactly as planned by
+:class:`~repro.pipeline.plan.StagePlan`:
+
+* 4-wide fetch/decode/issue/retire bandwidth, strictly in-order;
+* RR instructions flow Decode -> Exec-Queue -> E-Unit;
+* RX instructions insert Agen-Queue -> Agen -> Cache-Access before the
+  exec queue; the agen ports are 2-wide;
+* branches resolve at the end of execute; a misprediction redirects fetch
+  on the next cycle, so the penalty is the full front-end refill and grows
+  with decode depth — the theory's ``beta * (t_o*p + t_p)`` shape;
+* I-/D-cache misses cost a fixed *absolute* latency (FO4), converted to
+  cycles at the current cycle time, so deeper (faster-clocked) pipelines
+  pay more cycles per miss — again the theory's hazard-time shape;
+* FP ops occupy a non-pipelined iterative FP unit for a fixed *cycle*
+  count (paper Sec. 4: FP "execute individually and take multiple
+  cycles to complete"), serialising against the next FP op.
+
+The model is instruction-driven: it computes each instruction's stage
+entry cycles under bandwidth, dependency, structural, and flush
+constraints.  For an in-order machine this is cycle-exact for the
+constraints modelled, and it is what makes sweeping 55 workloads times 24
+depths tractable in pure Python.
+
+Alongside timing, the simulator accumulates per-unit *stage-slot
+occupancy* (one stage busy for one cycle), which is exactly what the
+clock-gated power model charges for — mirroring the paper's "we monitor
+the usage of each microarchitectural unit of the processor every cycle".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.params import TechnologyParams
+from ..isa import NO_REGISTER, REGISTER_COUNT, OpClass
+from ..trace.trace import Trace
+from ..uarch.branch_predictor import (
+    BimodalPredictor,
+    BranchPredictor,
+    GsharePredictor,
+    StaticTakenPredictor,
+)
+from ..uarch.btb import BranchTargetBuffer
+from ..uarch.cache import Cache, CacheConfig
+from .plan import StagePlan, Unit
+from .results import SimulationResult
+
+__all__ = ["MachineConfig", "PipelineSimulator", "simulate"]
+
+# FP ops run on an iterative (non-pipelined) unit whose step time scales
+# with the clock, so their occupancy is a constant *cycle* count — the
+# paper's "execute individually and take multiple cycles to complete".
+
+
+def _make_predictor(kind: str, entries: int) -> BranchPredictor:
+    factories = {
+        "gshare": lambda: GsharePredictor(entries=entries),
+        "bimodal": lambda: BimodalPredictor(entries=entries),
+        "taken": StaticTakenPredictor,
+        "oracle": StaticTakenPredictor,  # placeholder; simulator skips it
+    }
+    try:
+        return factories[kind]()
+    except KeyError:
+        raise ValueError(
+            f"unknown predictor kind {kind!r}; choose from {sorted(factories)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Machine-wide configuration, constant across the depth sweep.
+
+    Attributes:
+        technology: FO4 constants (cycle time vs depth).
+        issue_width: fetch/decode/execute/retire bandwidth (the paper's
+            machine is 4-issue).
+        agen_width: address-generation ports.
+        icache / dcache: L1 geometries; their ``miss_latency_fo4`` is the
+            L2 *hit* time.
+        l2: shared second-level cache; its ``miss_latency_fo4`` is the
+            memory access time.  All latencies are absolute (FO4) and are
+            converted to cycles at the current clock.
+        predictor_kind: "gshare", "bimodal" or "taken".
+        predictor_entries: predictor table size.
+        alu_logic_fo4: logic delay of a simple ALU op.  Results forward to
+            dependants after this *absolute* time (converted to cycles at
+            the current clock), not after the full deepened E-pipe — deep
+            pipelines slice logic, they do not multiply it.  The op still
+            occupies the whole E-pipe for completion ordering.
+        branch_resolve_fo4: logic delay from execute-issue to a resolved
+            branch condition; the misprediction penalty is the front-end
+            refill back to this point, which grows with depth (the
+            theory's ``beta * (t_o*p + t_p)`` shape).
+        warmup: when True (default) the predictor and caches are trained
+            with one non-timing pass over the trace before measurement, so
+            short traces measure steady-state rates instead of cold-start
+            transients (the paper's production traces are similarly
+            steady-state samples of long-running applications).
+        in_order: True (default, the paper's configuration for this study)
+            issues strictly in program order; False enables out-of-order
+            issue with register renaming (one extra rename cycle, a finite
+            issue window, an in-order reorder buffer, and conservative
+            load/store ordering).  The paper reports "only minor
+            differences in the pipeline depth optimization" between the
+            two — reproduced by ``benchmarks/bench_ablations.py``.
+        issue_window: out-of-order scheduling window (entries).
+        rob_size: reorder-buffer entries (dispatch backpressure).
+        mshr_entries: outstanding load misses the cache can track.  The
+            default of 1 is a blocking cache (this study's era); raise it
+            for a non-blocking hierarchy (the natural companion of
+            out-of-order issue).
+        btb_entries: branch-target-buffer size (power of two), or None
+            for a perfect BTB (the calibration default).  With a finite
+            BTB, a predicted-taken branch whose target misses pays a
+            front-end redirect bubble of the fetch+decode depth.
+    """
+
+    technology: TechnologyParams = field(default_factory=TechnologyParams)
+    issue_width: int = 4
+    agen_width: int = 2
+    icache: CacheConfig = CacheConfig(size=64 * 1024, line_size=128, associativity=4,
+                                      miss_latency_fo4=80.0)
+    dcache: CacheConfig = CacheConfig(size=64 * 1024, line_size=128, associativity=4,
+                                      miss_latency_fo4=80.0)
+    l2: CacheConfig = CacheConfig(size=2 * 1024 * 1024, line_size=128, associativity=8,
+                                  miss_latency_fo4=400.0)
+    predictor_kind: str = "gshare"
+    predictor_entries: int = 8192
+    alu_logic_fo4: float = 15.0
+    branch_resolve_fo4: float = 15.0
+    warmup: bool = True
+    in_order: bool = True
+    issue_window: int = 32
+    rob_size: int = 64
+    mshr_entries: int = 1
+    btb_entries: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ValueError(f"issue_width must be >= 1, got {self.issue_width!r}")
+        if self.agen_width < 1:
+            raise ValueError(f"agen_width must be >= 1, got {self.agen_width!r}")
+        if self.issue_window < 1:
+            raise ValueError(f"issue_window must be >= 1, got {self.issue_window!r}")
+        if self.rob_size < 1:
+            raise ValueError(f"rob_size must be >= 1, got {self.rob_size!r}")
+        if self.mshr_entries < 1:
+            raise ValueError(f"mshr_entries must be >= 1, got {self.mshr_entries!r}")
+        if self.btb_entries is not None:
+            BranchTargetBuffer(self.btb_entries)  # validate
+        _make_predictor(self.predictor_kind, self.predictor_entries)  # validate
+
+
+class PipelineSimulator:
+    """Runs traces through the planned pipeline and reports results."""
+
+    def __init__(self, config: MachineConfig | None = None):
+        self.config = config or MachineConfig()
+
+    def simulate(self, trace: Trace, depth: "int | StagePlan") -> SimulationResult:
+        """Simulate ``trace`` at one pipeline depth.
+
+        Args:
+            trace: the dynamic instruction stream.
+            depth: decode-to-execute depth (2..40) or a prebuilt plan.
+
+        Returns:
+            A :class:`~repro.pipeline.results.SimulationResult`.
+        """
+        if len(trace) == 0:
+            raise ValueError("cannot simulate an empty trace")
+        plan = depth if isinstance(depth, StagePlan) else StagePlan.for_depth(depth)
+        if not self.config.in_order:
+            return self._simulate_out_of_order(trace, plan)
+        cfg = self.config
+        t_s = cfg.technology.cycle_time(plan.depth)
+
+        rx = plan.rx_offsets
+        rr = plan.rr_offsets
+        decode_stages = plan.unit_stages[Unit.DECODE]
+        agen_stages = plan.unit_stages[Unit.AGEN]
+        cache_stages = plan.unit_stages[Unit.CACHE]
+        exec_stages = plan.unit_stages[Unit.EXECUTE]
+        fetch_stages = plan.unit_stages[Unit.FETCH]
+        exec_latency = rx.latencies[Unit.EXECUTE]
+        cache_latency = rx.latencies[Unit.CACHE]
+        # Offsets (cycles after decode start) at which each step may begin.
+        off_agen = rx.starts[Unit.AGEN]
+        off_cache = rx.starts[Unit.CACHE]
+        off_exec_rr = rr.starts[Unit.EXECUTE]
+        cache_exec_merged = plan.group_of(Unit.CACHE) == plan.group_of(Unit.EXECUTE)
+        # Completion + retire cycles after the end of execute.
+        back_end = plan.unit_stages[Unit.COMPLETE] + plan.unit_stages[Unit.RETIRE]
+
+        ic_penalty = max(1, round(cfg.icache.miss_latency_fo4 / t_s))
+        dc_penalty = max(1, round(cfg.dcache.miss_latency_fo4 / t_s))
+        l2_penalty = max(1, round(cfg.l2.miss_latency_fo4 / t_s))
+        # Forwarding latencies are fixed logic delays, clamped to the pipe.
+        alu_latency = min(max(1, round(cfg.alu_logic_fo4 / t_s)), exec_latency)
+        resolve_latency = min(max(1, round(cfg.branch_resolve_fo4 / t_s)), exec_latency)
+
+        oracle = cfg.predictor_kind == "oracle"
+        predictor = _make_predictor(cfg.predictor_kind, cfg.predictor_entries)
+        icache = Cache(cfg.icache)
+        dcache = Cache(cfg.dcache)
+        l2cache = Cache(cfg.l2)
+        btb = BranchTargetBuffer(cfg.btb_entries) if cfg.btb_entries else None
+        decode_latency = rx.latencies[Unit.DECODE]
+        ic_line = cfg.icache.line_size
+        if cfg.warmup:
+            _warm_structures(trace, predictor, icache, dcache, l2cache, ic_line,
+                             oracle, btb)
+
+        n = len(trace)
+        codes = trace.opclass.tolist()
+        pcs = trace.pc.tolist()
+        dests = trace.dest.tolist()
+        src1s = trace.src1.tolist()
+        src2s = trace.src2.tolist()
+        addresses = trace.address.tolist()
+        takens = trace.taken.tolist()
+        fp_extras = trace.fp_cycles.tolist()
+
+        width = cfg.issue_width
+        agen_width = cfg.agen_width
+        ready = [0] * REGISTER_COUNT
+        fetch_ring = [-1] * width
+        decode_ring = [-1] * width
+        exec_ring = [-1] * width
+        retire_ring = [-1] * width
+        agen_ring = [-1] * agen_width
+        last_fetch = last_decode = last_exec = last_agen = last_retire = 0
+        redirect = 0
+        fp_unit_free = 0
+        complex_unit_free = 0
+        mshr_ring = [0] * cfg.mshr_entries
+        miss_index = 0
+        last_ic_line = -1
+        last_ic_hit = True
+        mem_index = 0
+
+        mispredicts = branches = ic_misses = 0
+        dc_accesses = dc_misses = store_misses = l2_misses = 0
+        memory_ops = fp_ops = 0
+        issue_cycles = 0
+        last_issue_cycle = -1
+        final_retire = 0
+
+        occ_fetch = occ_decode = occ_agenq = occ_agen = occ_cache = 0.0
+        occ_execq = occ_exec = occ_complete = occ_retire = 0.0
+
+        LOAD = OpClass.RX_LOAD.value
+        STORE = OpClass.RX_STORE.value
+        RXALU = OpClass.RX_ALU.value
+        BRANCH = OpClass.BRANCH.value
+        FP = OpClass.FP.value
+        COMPLEX = OpClass.COMPLEX.value
+
+        for i in range(n):
+            code = codes[i]
+            # ---- fetch -----------------------------------------------------
+            fetch = redirect
+            if fetch < last_fetch:
+                fetch = last_fetch
+            slot = fetch_ring[i % width]
+            if slot >= fetch:
+                fetch = slot + 1
+            line = pcs[i] // ic_line
+            if line != last_ic_line:
+                last_ic_hit = icache.access(pcs[i])
+                last_ic_line = line
+                if not last_ic_hit:
+                    ic_misses += 1
+                    penalty = ic_penalty
+                    if not l2cache.access(pcs[i]):
+                        l2_misses += 1
+                        penalty += l2_penalty
+                    fetch += penalty
+                    occ_fetch += penalty
+            fetch_ring[i % width] = fetch
+            last_fetch = fetch
+            occ_fetch += fetch_stages
+
+            # ---- decode ----------------------------------------------------
+            decode = fetch + fetch_stages
+            if decode < last_decode:
+                decode = last_decode
+            slot = decode_ring[i % width]
+            if slot >= decode:
+                decode = slot + 1
+            decode_ring[i % width] = decode
+            last_decode = decode
+            occ_decode += decode_stages
+
+            # ---- address generation + cache (RX path) ----------------------
+            is_memory = code == LOAD or code == STORE or code == RXALU
+            if is_memory:
+                memory_ops += 1
+                agen = decode + off_agen
+                base = src1s[i]
+                if base != NO_REGISTER:
+                    operand = ready[base] + 1
+                    if operand > agen:
+                        agen = operand
+                if agen < last_agen:
+                    agen = last_agen
+                slot = agen_ring[mem_index % agen_width]
+                if slot >= agen:
+                    agen = slot + 1
+                agen_ring[mem_index % agen_width] = agen
+                last_agen = agen
+                mem_index += 1
+                occ_agenq += 1 + (agen - (decode + off_agen)) if agen > decode + off_agen else 1
+                occ_agen += agen_stages
+
+                cache_start = agen + (off_cache - off_agen)
+                hit = dcache.access(addresses[i])
+                dc_accesses += 1
+                penalty = 0
+                if not hit:
+                    penalty = dc_penalty
+                    if not l2cache.access(addresses[i]):
+                        l2_misses += 1
+                        penalty += l2_penalty
+                    if code == STORE:
+                        store_misses += 1
+                        penalty = 0  # write-allocate off the critical path
+                    else:
+                        dc_misses += 1
+                        # Load misses contend for the MSHRs (1 = blocking
+                        # cache); hits may proceed underneath.
+                        slot_free = mshr_ring[miss_index % cfg.mshr_entries]
+                        if cache_start < slot_free:
+                            cache_start = slot_free
+                        mshr_ring[miss_index % cfg.mshr_entries] = cache_start + penalty
+                        miss_index += 1
+                cache_done = cache_start + cache_latency - 1 + penalty
+                occ_cache += cache_stages + penalty
+                path_ready = cache_done if cache_exec_merged else cache_done + 1
+                if code == LOAD:
+                    dest = dests[i]
+                    if dest != NO_REGISTER:
+                        ready[dest] = cache_done
+            else:
+                path_ready = decode + off_exec_rr
+
+            # ---- execute issue (in-order, 4-wide) ---------------------------
+            execute = path_ready
+            if execute < last_exec:
+                execute = last_exec
+            slot = exec_ring[i % width]
+            if slot >= execute:
+                execute = slot + 1
+            s1 = src1s[i]
+            if s1 != NO_REGISTER and not is_memory:
+                operand = ready[s1] + 1
+                if operand > execute:
+                    execute = operand
+            s2 = src2s[i]
+            if s2 != NO_REGISTER:
+                operand = ready[s2] + 1
+                if operand > execute:
+                    execute = operand
+
+            if code == FP or code == COMPLEX:
+                if code == FP:
+                    fp_ops += 1
+                    if execute < fp_unit_free:
+                        execute = fp_unit_free
+                else:
+                    if execute < complex_unit_free:
+                        execute = complex_unit_free
+                # Iterative unit: fixed cycle count, plus filling/draining
+                # the surrounding execute pipe, which deepens with p.
+                occupancy = fp_extras[i] + exec_latency - 1
+                exec_done = execute + occupancy - 1
+                if code == FP:
+                    fp_unit_free = exec_done + 1
+                else:
+                    complex_unit_free = exec_done + 1
+                occ_exec += occupancy
+            else:
+                exec_done = execute + exec_latency - 1
+                occ_exec += exec_stages
+
+            exec_ring[i % width] = execute
+            last_exec = execute
+            occ_execq += 1 + (execute - path_ready) if execute > path_ready else 1
+            if execute != last_issue_cycle:
+                issue_cycles += 1
+                last_issue_cycle = execute
+
+            dest = dests[i]
+            if dest != NO_REGISTER and code != LOAD:
+                # Simple results forward after their logic delay; FP waits
+                # for the whole (non-pipelined) occupancy.
+                ready[dest] = (
+                    exec_done if (code == FP or code == COMPLEX)
+                    else execute + alu_latency - 1
+                )
+
+            # ---- branch resolution ------------------------------------------
+            if code == BRANCH:
+                branches += 1
+                if not oracle and not predictor.observe(pcs[i], takens[i]):
+                    mispredicts += 1
+                    resolved = execute + resolve_latency - 1
+                    if resolved + 1 > redirect:
+                        redirect = resolved + 1
+                elif takens[i] and btb is not None and not btb.lookup_and_update(pcs[i]):
+                    # Correct direction but unknown target: the front end
+                    # stalls until decode computes it.
+                    target_known = decode + decode_latency
+                    if target_known > redirect:
+                        redirect = target_known
+
+            # ---- completion / retire ----------------------------------------
+            retire = exec_done + back_end
+            if retire < last_retire:
+                retire = last_retire
+            slot = retire_ring[i % width]
+            if slot >= retire:
+                retire = slot + 1
+            retire_ring[i % width] = retire
+            last_retire = retire
+            occ_complete += 1
+            occ_retire += 1
+            if retire > final_retire:
+                final_retire = retire
+
+        occupancy = {
+            Unit.FETCH: occ_fetch,
+            Unit.DECODE: occ_decode,
+            Unit.RENAME: 0.0,
+            Unit.AGEN_QUEUE: occ_agenq,
+            Unit.AGEN: occ_agen,
+            Unit.CACHE: occ_cache,
+            Unit.EXEC_QUEUE: occ_execq,
+            Unit.EXECUTE: occ_exec,
+            Unit.COMPLETE: occ_complete,
+            Unit.RETIRE: occ_retire,
+        }
+        return SimulationResult(
+            trace_name=trace.name,
+            plan=plan,
+            technology=cfg.technology,
+            instructions=n,
+            cycles=final_retire + 1,
+            issue_cycles=issue_cycles,
+            branches=branches,
+            mispredicts=mispredicts,
+            icache_misses=ic_misses,
+            dcache_accesses=dc_accesses,
+            dcache_misses=dc_misses,
+            store_misses=store_misses,
+            l2_misses=l2_misses,
+            memory_ops=memory_ops,
+            fp_ops=fp_ops,
+            unit_occupancy=occupancy,
+        )
+
+    def _simulate_out_of_order(self, trace: Trace, plan: StagePlan) -> SimulationResult:
+        """Out-of-order issue engine (rename + window + ROB).
+
+        Differences from the in-order engine:
+
+        * one rename cycle after decode (the Fig. 2 stage the in-order
+          model skips);
+        * instructions issue to execute as soon as operands are ready, a
+          scheduler slot exists (``issue_width`` per cycle) and they are
+          inside the ``issue_window`` (an instruction enters the window
+          only once instruction ``i - window`` has issued);
+        * dispatch stalls when the reorder buffer is full (instruction
+          ``i`` cannot decode before instruction ``i - rob_size``
+          retired);
+        * address generation may proceed out of order between loads, but
+          loads never access the cache before an older store has generated
+          its address (conservative disambiguation);
+        * retirement remains strictly in order.
+        """
+        cfg = self.config
+        t_s = cfg.technology.cycle_time(plan.depth)
+
+        rx = plan.rx_offsets
+        rr = plan.rr_offsets
+        decode_stages = plan.unit_stages[Unit.DECODE]
+        agen_stages = plan.unit_stages[Unit.AGEN]
+        cache_stages = plan.unit_stages[Unit.CACHE]
+        exec_stages = plan.unit_stages[Unit.EXECUTE]
+        fetch_stages = plan.unit_stages[Unit.FETCH]
+        exec_latency = rx.latencies[Unit.EXECUTE]
+        cache_latency = rx.latencies[Unit.CACHE]
+        rename_latency = 1  # the Fig. 2 rename stage, active out of order
+        off_agen = rx.starts[Unit.AGEN] + rename_latency
+        off_cache = rx.starts[Unit.CACHE] + rename_latency
+        off_exec_rr = rr.starts[Unit.EXECUTE] + rename_latency
+        cache_exec_merged = plan.group_of(Unit.CACHE) == plan.group_of(Unit.EXECUTE)
+        back_end = plan.unit_stages[Unit.COMPLETE] + plan.unit_stages[Unit.RETIRE]
+
+        ic_penalty = max(1, round(cfg.icache.miss_latency_fo4 / t_s))
+        dc_penalty = max(1, round(cfg.dcache.miss_latency_fo4 / t_s))
+        l2_penalty = max(1, round(cfg.l2.miss_latency_fo4 / t_s))
+        alu_latency = min(max(1, round(cfg.alu_logic_fo4 / t_s)), exec_latency)
+        resolve_latency = min(max(1, round(cfg.branch_resolve_fo4 / t_s)), exec_latency)
+
+        oracle = cfg.predictor_kind == "oracle"
+        predictor = _make_predictor(cfg.predictor_kind, cfg.predictor_entries)
+        icache = Cache(cfg.icache)
+        dcache = Cache(cfg.dcache)
+        l2cache = Cache(cfg.l2)
+        btb = BranchTargetBuffer(cfg.btb_entries) if cfg.btb_entries else None
+        decode_latency = rx.latencies[Unit.DECODE]
+        ic_line = cfg.icache.line_size
+        if cfg.warmup:
+            _warm_structures(trace, predictor, icache, dcache, l2cache, ic_line,
+                             oracle, btb)
+
+        n = len(trace)
+        codes = trace.opclass.tolist()
+        pcs = trace.pc.tolist()
+        dests = trace.dest.tolist()
+        src1s = trace.src1.tolist()
+        src2s = trace.src2.tolist()
+        addresses = trace.address.tolist()
+        takens = trace.taken.tolist()
+        fp_extras = trace.fp_cycles.tolist()
+
+        width = cfg.issue_width
+        agen_width = cfg.agen_width
+        window = cfg.issue_window
+        rob = cfg.rob_size
+        ready = [0] * REGISTER_COUNT
+        fetch_ring = [-1] * width
+        decode_ring = [-1] * width
+        retire_ring = [-1] * width
+        agen_ring = [-1] * agen_width
+        issue_ring = [-1] * window   # issue cycle of instruction i - window
+        retire_rob = [-1] * rob      # retire cycle of instruction i - rob_size
+        issue_slots: dict = {}       # cycle -> instructions issued that cycle
+        last_fetch = last_decode = last_retire = 0
+        redirect = 0
+        fp_unit_free = 0
+        complex_unit_free = 0
+        mshr_ring = [0] * cfg.mshr_entries
+        miss_index = 0
+        last_store_agen = 0
+        last_ic_line = -1
+        mem_index = 0
+
+        mispredicts = branches = ic_misses = 0
+        dc_accesses = dc_misses = store_misses = l2_misses = 0
+        memory_ops = fp_ops = 0
+        final_retire = 0
+
+        occ_fetch = occ_decode = occ_rename = occ_agenq = occ_agen = occ_cache = 0.0
+        occ_execq = occ_exec = occ_complete = occ_retire = 0.0
+
+        LOAD = OpClass.RX_LOAD.value
+        STORE = OpClass.RX_STORE.value
+        RXALU = OpClass.RX_ALU.value
+        BRANCH = OpClass.BRANCH.value
+        FP = OpClass.FP.value
+        COMPLEX = OpClass.COMPLEX.value
+
+        for i in range(n):
+            code = codes[i]
+            # ---- fetch (in order) ---------------------------------------
+            fetch = redirect
+            if fetch < last_fetch:
+                fetch = last_fetch
+            slot = fetch_ring[i % width]
+            if slot >= fetch:
+                fetch = slot + 1
+            line = pcs[i] // ic_line
+            if line != last_ic_line:
+                hit = icache.access(pcs[i])
+                last_ic_line = line
+                if not hit:
+                    ic_misses += 1
+                    penalty = ic_penalty
+                    if not l2cache.access(pcs[i]):
+                        l2_misses += 1
+                        penalty += l2_penalty
+                    fetch += penalty
+                    occ_fetch += penalty
+            fetch_ring[i % width] = fetch
+            last_fetch = fetch
+            occ_fetch += fetch_stages
+
+            # ---- decode + rename (in order, ROB backpressure) ------------
+            decode = fetch + fetch_stages
+            if decode < last_decode:
+                decode = last_decode
+            slot = decode_ring[i % width]
+            if slot >= decode:
+                decode = slot + 1
+            rob_slot = retire_rob[i % rob]
+            if rob_slot >= decode:
+                decode = rob_slot + 1
+            decode_ring[i % width] = decode
+            last_decode = decode
+            occ_decode += decode_stages
+            occ_rename += rename_latency
+
+            # ---- address generation + cache ------------------------------
+            is_memory = code == LOAD or code == STORE or code == RXALU
+            if is_memory:
+                memory_ops += 1
+                agen = decode + off_agen
+                base = src1s[i]
+                if base != NO_REGISTER:
+                    operand = ready[base] + 1
+                    if operand > agen:
+                        agen = operand
+                slot = agen_ring[mem_index % agen_width]
+                if slot >= agen:
+                    agen = slot + 1
+                agen_ring[mem_index % agen_width] = agen
+                mem_index += 1
+                occ_agenq += 1 + (agen - (decode + off_agen)) if agen > decode + off_agen else 1
+                occ_agen += agen_stages
+
+                cache_start = agen + (off_cache - off_agen)
+                if code != STORE and cache_start <= last_store_agen:
+                    # Conservative disambiguation: wait for older stores'
+                    # addresses before accessing the cache.
+                    cache_start = last_store_agen + 1
+                if code == STORE:
+                    agen_done = agen + rx.latencies[Unit.AGEN] - 1
+                    if agen_done > last_store_agen:
+                        last_store_agen = agen_done
+                hit = dcache.access(addresses[i])
+                dc_accesses += 1
+                penalty = 0
+                if not hit:
+                    penalty = dc_penalty
+                    if not l2cache.access(addresses[i]):
+                        l2_misses += 1
+                        penalty += l2_penalty
+                    if code == STORE:
+                        store_misses += 1
+                        penalty = 0
+                    else:
+                        dc_misses += 1
+                        slot_free = mshr_ring[miss_index % cfg.mshr_entries]
+                        if cache_start < slot_free:
+                            cache_start = slot_free
+                        mshr_ring[miss_index % cfg.mshr_entries] = cache_start + penalty
+                        miss_index += 1
+                cache_done = cache_start + cache_latency - 1 + penalty
+                occ_cache += cache_stages + penalty
+                path_ready = cache_done if cache_exec_merged else cache_done + 1
+                if code == LOAD:
+                    dest = dests[i]
+                    if dest != NO_REGISTER:
+                        ready[dest] = cache_done
+            else:
+                path_ready = decode + off_exec_rr
+
+            # ---- out-of-order issue ---------------------------------------
+            execute = path_ready
+            window_slot = issue_ring[i % window]
+            if window_slot >= execute:
+                execute = window_slot + 1
+            s1 = src1s[i]
+            if s1 != NO_REGISTER and not is_memory:
+                operand = ready[s1] + 1
+                if operand > execute:
+                    execute = operand
+            s2 = src2s[i]
+            if s2 != NO_REGISTER:
+                operand = ready[s2] + 1
+                if operand > execute:
+                    execute = operand
+            if code == FP:
+                if execute < fp_unit_free:
+                    execute = fp_unit_free
+            elif code == COMPLEX:
+                if execute < complex_unit_free:
+                    execute = complex_unit_free
+            while issue_slots.get(execute, 0) >= width:
+                execute += 1
+            issue_slots[execute] = issue_slots.get(execute, 0) + 1
+            issue_ring[i % window] = execute
+
+            if code == FP or code == COMPLEX:
+                if code == FP:
+                    fp_ops += 1
+                occupancy = fp_extras[i] + exec_latency - 1
+                exec_done = execute + occupancy - 1
+                if code == FP:
+                    fp_unit_free = exec_done + 1
+                else:
+                    complex_unit_free = exec_done + 1
+                occ_exec += occupancy
+            else:
+                exec_done = execute + exec_latency - 1
+                occ_exec += exec_stages
+            occ_execq += 1 + (execute - path_ready) if execute > path_ready else 1
+
+            dest = dests[i]
+            if dest != NO_REGISTER and code != LOAD:
+                ready[dest] = (
+                    exec_done if (code == FP or code == COMPLEX)
+                    else execute + alu_latency - 1
+                )
+
+            # ---- branch resolution ----------------------------------------
+            if code == BRANCH:
+                branches += 1
+                if not oracle and not predictor.observe(pcs[i], takens[i]):
+                    mispredicts += 1
+                    resolved = execute + resolve_latency - 1
+                    if resolved + 1 > redirect:
+                        redirect = resolved + 1
+                elif takens[i] and btb is not None and not btb.lookup_and_update(pcs[i]):
+                    target_known = decode + decode_latency + rename_latency
+                    if target_known > redirect:
+                        redirect = target_known
+
+            # ---- in-order retirement ---------------------------------------
+            retire = exec_done + back_end
+            if retire < last_retire:
+                retire = last_retire
+            slot = retire_ring[i % width]
+            if slot >= retire:
+                retire = slot + 1
+            retire_ring[i % width] = retire
+            retire_rob[i % rob] = retire
+            last_retire = retire
+            occ_complete += 1
+            occ_retire += 1
+            if retire > final_retire:
+                final_retire = retire
+
+        occupancy = {
+            Unit.FETCH: occ_fetch,
+            Unit.DECODE: occ_decode,
+            Unit.RENAME: occ_rename,
+            Unit.AGEN_QUEUE: occ_agenq,
+            Unit.AGEN: occ_agen,
+            Unit.CACHE: occ_cache,
+            Unit.EXEC_QUEUE: occ_execq,
+            Unit.EXECUTE: occ_exec,
+            Unit.COMPLETE: occ_complete,
+            Unit.RETIRE: occ_retire,
+        }
+        return SimulationResult(
+            trace_name=trace.name,
+            plan=plan,
+            technology=cfg.technology,
+            instructions=n,
+            cycles=final_retire + 1,
+            issue_cycles=len(issue_slots),
+            branches=branches,
+            mispredicts=mispredicts,
+            icache_misses=ic_misses,
+            dcache_accesses=dc_accesses,
+            dcache_misses=dc_misses,
+            store_misses=store_misses,
+            l2_misses=l2_misses,
+            memory_ops=memory_ops,
+            fp_ops=fp_ops,
+            unit_occupancy=occupancy,
+        )
+
+
+def _warm_structures(trace, predictor, icache, dcache, l2cache, ic_line, oracle,
+                     btb=None):
+    """One training pass over the trace: branches into the predictor (and
+    taken targets into the BTB), fetch lines and data addresses into the
+    cache hierarchy.  Statistics are reset afterwards so the timed pass
+    measures steady state."""
+    branch_code = OpClass.BRANCH.value
+    codes = trace.opclass.tolist()
+    pcs = trace.pc.tolist()
+    addresses = trace.address.tolist()
+    takens = trace.taken.tolist()
+    mem_codes = (OpClass.RX_LOAD.value, OpClass.RX_STORE.value, OpClass.RX_ALU.value)
+    last_line = -1
+    for i in range(len(codes)):
+        code = codes[i]
+        line = pcs[i] // ic_line
+        if line != last_line:
+            if not icache.access(pcs[i]):
+                l2cache.access(pcs[i])
+            last_line = line
+        if code == branch_code:
+            if not oracle:
+                predictor.update(pcs[i], takens[i])
+            if btb is not None and takens[i]:
+                btb.lookup_and_update(pcs[i])
+        elif code in mem_codes:
+            if not dcache.access(addresses[i]):
+                l2cache.access(addresses[i])
+    for cache in (icache, dcache, l2cache):
+        cache.stats.accesses = 0
+        cache.stats.misses = 0
+    if btb is not None:
+        btb.hits = 0
+        btb.misses = 0
+
+
+def simulate(
+    trace: Trace, depth: "int | StagePlan", config: MachineConfig | None = None
+) -> SimulationResult:
+    """Module-level convenience wrapper around :class:`PipelineSimulator`."""
+    return PipelineSimulator(config).simulate(trace, depth)

@@ -1,0 +1,24 @@
+"""Activity-based per-unit power accounting (the paper's Sec. 3 model)."""
+
+from .model import (
+    PowerReport,
+    calibrate_global_leakage,
+    calibrate_unit_leakage,
+    latch_growth_exponent,
+    plan_latch_count,
+    power_report,
+)
+from .units import DEFAULT_UNIT_POWERS, PER_UNIT_GAMMA, UnitPower, UnitPowerModel
+
+__all__ = [
+    "UnitPower",
+    "UnitPowerModel",
+    "DEFAULT_UNIT_POWERS",
+    "PER_UNIT_GAMMA",
+    "PowerReport",
+    "power_report",
+    "plan_latch_count",
+    "latch_growth_exponent",
+    "calibrate_unit_leakage",
+    "calibrate_global_leakage",
+]

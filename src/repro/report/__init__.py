@@ -1,0 +1,14 @@
+"""Terminal charts and CSV export for figure data."""
+
+from .charts import Series, histogram_chart, line_chart
+from .export import distribution_rows, sensitivity_rows, sweep_rows, write_csv
+
+__all__ = [
+    "Series",
+    "line_chart",
+    "histogram_chart",
+    "write_csv",
+    "sweep_rows",
+    "distribution_rows",
+    "sensitivity_rows",
+]

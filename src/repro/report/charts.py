@@ -1,0 +1,102 @@
+"""Terminal charts: render figure data without a plotting dependency.
+
+The paper's figures are simple x/y line families and histograms; this
+module renders both as fixed-width ASCII so the experiment runner,
+examples and benchmark logs can show actual *shapes*, not just argmax
+numbers.  No external plotting library is used (the environment is
+offline); the renderer is deliberately small and fully tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["line_chart", "histogram_chart", "Series"]
+
+_MARKERS = "*o+x#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named curve for :func:`line_chart`."""
+
+    label: str
+    x: Sequence[float]
+    y: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.label!r}: x and y lengths differ")
+        if len(self.x) == 0:
+            raise ValueError(f"series {self.label!r} is empty")
+
+
+def line_chart(
+    series: Sequence[Series],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "pipeline depth",
+) -> str:
+    """Render one or more curves on a shared character grid.
+
+    Each series gets a marker character from a fixed cycle; the legend
+    maps markers to labels.  Values are min/max scaled over all series.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("chart must be at least 8x4 characters")
+    xs = np.concatenate([np.asarray(s.x, dtype=float) for s in series])
+    ys = np.concatenate([np.asarray(s.y, dtype=float) for s in series])
+    if not (np.all(np.isfinite(xs)) and np.all(np.isfinite(ys))):
+        raise ValueError("chart data must be finite")
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, s in enumerate(series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(s.x, s.y):
+            col = int(round((float(x) - x_lo) / x_span * (width - 1)))
+            row = int(round((float(y) - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        value = y_hi - row_index * y_span / (height - 1)
+        lines.append(f"{value:10.3g} |{''.join(row)}|")
+    lines.append(" " * 11 + "+" + "-" * width + "+")
+    lines.append(f"{'':11s} {x_lo:<10.3g}{'':^{max(width - 20, 0)}}{x_hi:>10.3g}  ({x_label})")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.label}" for i, s in enumerate(series)
+    )
+    lines.append(f"{'':11s} {legend}")
+    return "\n".join(lines)
+
+
+def histogram_chart(
+    bin_lefts: Sequence[float],
+    counts: Sequence[int],
+    title: str = "",
+    max_width: int = 50,
+    bin_format: str = "{:>4.0f}",
+) -> str:
+    """Render a histogram as horizontal bars (the paper's Figs. 6/7)."""
+    if len(bin_lefts) != len(counts):
+        raise ValueError("bin_lefts and counts lengths differ")
+    if len(counts) == 0:
+        raise ValueError("histogram needs at least one bin")
+    peak = max(max(counts), 1)
+    lines = [title] if title else []
+    for left, count in zip(bin_lefts, counts):
+        bar = "#" * int(round(count / peak * max_width))
+        lines.append(f"  {bin_format.format(left)} |{bar:<{max_width}}| {count}")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""CSV export of figure data.
+
+Each experiment's underlying numbers can be written as plain CSV so they
+can be re-plotted with any external tool.  The writers take the
+``FigNData`` objects produced by :mod:`repro.experiments` and emit one
+file per figure.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Iterable, Sequence
+
+__all__ = ["write_csv", "sweep_rows", "distribution_rows", "sensitivity_rows"]
+
+
+def write_csv(
+    path: "str | pathlib.Path", header: Sequence[str], rows: Iterable[Sequence]
+) -> pathlib.Path:
+    """Write ``rows`` (with ``header``) to ``path``; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def sweep_rows(sweep, metrics=(1.0, 2.0, 3.0)) -> tuple:
+    """(header, rows) for one workload's depth sweep: BIPS, watts, metrics."""
+    header = ["depth", "bips", "watts_gated", "watts_ungated"] + [
+        f"bips{int(m)}_per_watt_gated" for m in metrics
+    ]
+    bips = sweep.bips()
+    gated = sweep.watts(True)
+    ungated = sweep.watts(False)
+    metric_columns = [sweep.metric(m, gated=True) for m in metrics]
+    rows = []
+    for i, depth in enumerate(sweep.depths):
+        row = [depth, bips[i], gated[i], ungated[i]]
+        row += [column[i] for column in metric_columns]
+        rows.append(row)
+    return header, rows
+
+
+def distribution_rows(distribution) -> tuple:
+    """(header, rows) for a suite optimum distribution (Figs. 6/7)."""
+    header = ["workload", "class", "optimum_depth", "fo4_per_stage", "method"]
+    rows = [
+        (
+            w.name,
+            w.workload_class.value,
+            w.estimate.depth,
+            w.estimate.fo4_per_stage,
+            w.estimate.method,
+        )
+        for w in distribution.optima
+    ]
+    return header, rows
+
+
+def sensitivity_rows(curves) -> tuple:
+    """(header, rows) for a family of sensitivity curves (Figs. 8/9)."""
+    header = ["setting", "label", "depth", "normalized_metric", "optimum_depth"]
+    rows = []
+    for curve in curves:
+        for depth, value in zip(curve.depths, curve.values):
+            rows.append(
+                (curve.setting, curve.label, float(depth), float(value),
+                 curve.optimum.depth)
+            )
+    return header, rows

@@ -1,0 +1,23 @@
+"""Synthetic workload traces — the stand-in for the paper's 55 trace tapes."""
+
+from .generator import generate_trace
+from .io import load_trace, save_trace
+from .spec import WorkloadClass, WorkloadSpec
+from .suite import SUITE_SIZE, by_class, get_workload, small_suite, suite, suite_names
+from .trace import Trace, TraceStats
+
+__all__ = [
+    "Trace",
+    "TraceStats",
+    "WorkloadClass",
+    "WorkloadSpec",
+    "generate_trace",
+    "save_trace",
+    "load_trace",
+    "suite",
+    "suite_names",
+    "by_class",
+    "get_workload",
+    "small_suite",
+    "SUITE_SIZE",
+]

@@ -1,0 +1,293 @@
+"""Seeded synthetic trace generation.
+
+Substitutes for the paper's proprietary trace tapes.  Given a
+:class:`~repro.trace.spec.WorkloadSpec`, the generator first lays out a
+*static program image* — a fixed assignment of instruction class,
+registers, branch site and branch target to every slot of the code
+footprint — and then emits the dynamic stream by walking that image,
+drawing branch outcomes from per-site direction/bias statistics.
+
+The static image is what makes the substitution behaviourally faithful:
+
+* branch PCs recur, so predictors can learn exactly as much as the
+  spec's ``branch_bias`` allows;
+* the number of *distinct* branch PCs scales with the code footprint, so
+  big-footprint legacy/OLTP code pressures predictor tables and the
+  I-cache while small SPEC loops stay hot — the class separation behind
+  the paper's Fig. 7;
+* register dependencies are properties of static instructions, giving
+  stable dependency chains through hot loops.
+
+Data addresses remain a dynamic working-set walk (sequential runs broken
+by random jumps within the working set), controlled by
+``data_working_set`` and ``data_locality``.
+
+Generation is deterministic: the same (spec, length) always yields the
+same trace.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..isa import NO_REGISTER, REGISTER_COUNT, OpClass
+from .spec import WorkloadSpec
+from .trace import Trace
+
+__all__ = ["generate_trace"]
+
+_WORD = 8  # bytes per sequential data step
+_ILEN = 4  # bytes per instruction
+_LOOP_FRACTION = 0.6  # fraction of branch targets that are short backward hops
+_LOOP_REACH = 64  # maximum backward hop, in slots
+
+
+def _rng_for(spec: WorkloadSpec, length: int) -> np.random.Generator:
+    """A deterministic generator keyed on the spec name, seed and length."""
+    key = zlib.crc32(spec.name.encode()) ^ (spec.seed * 0x9E3779B1) ^ length
+    return np.random.default_rng(key & 0xFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class _StaticImage:
+    """The fixed program image a trace walks over."""
+
+    slot_class: np.ndarray  # int8 OpClass codes per slot
+    dest: np.ndarray        # int8 destination register per slot (or NO_REGISTER)
+    src1: np.ndarray        # int8
+    src2: np.ndarray        # int8
+    fp_cycles: np.ndarray   # int16
+    branch_slots: np.ndarray      # slots holding branches, ascending
+    next_branch_ordinal: np.ndarray  # per slot: ordinal of next branch at/after it
+    branch_target: np.ndarray     # per branch ordinal: target slot
+    branch_dir: np.ndarray        # per branch ordinal: preferred direction
+    branch_bias: np.ndarray       # per branch ordinal: consistency
+
+    @property
+    def n_slots(self) -> int:
+        return int(self.slot_class.shape[0])
+
+
+def _build_image(rng: np.random.Generator, spec: WorkloadSpec) -> _StaticImage:
+    n_slots = max(spec.code_footprint // _ILEN, 64)
+    classes = list(OpClass)
+    probabilities = np.asarray([spec.mix.get(cls, 0.0) for cls in classes], dtype=float)
+    probabilities /= probabilities.sum()
+    slot_class = rng.choice(
+        np.asarray([cls.value for cls in classes], dtype=np.int8),
+        size=n_slots,
+        p=probabilities,
+    ).astype(np.int8)
+    # Guarantee at least one branch so the walk always terminates a run.
+    if not np.any(slot_class == OpClass.BRANCH.value):
+        slot_class[n_slots - 1] = OpClass.BRANCH.value
+
+    # -- static registers --------------------------------------------------
+    # Registers 0..3 form a long-lived base-register pool (stack/frame/
+    # object bases): they are rarely written, so memory ops addressing off
+    # them see no address-generation interlock.  Computation flows through
+    # registers 4..15.
+    n_base_regs = 4
+    writes = np.isin(
+        slot_class,
+        [OpClass.RR_ALU.value, OpClass.RX_LOAD.value, OpClass.RX_ALU.value,
+         OpClass.FP.value, OpClass.COMPLEX.value],
+    )
+    compute_dest = rng.integers(n_base_regs, REGISTER_COUNT, size=n_slots)
+    rebasing = rng.random(n_slots) < 0.02  # occasional base-register update
+    dest_reg = np.where(rebasing, rng.integers(0, n_base_regs, size=n_slots), compute_dest)
+    dest = np.where(writes, dest_reg, NO_REGISTER).astype(np.int8)
+    # Sources read the destination of a nearby earlier slot; geometric
+    # distance controls dependency-chain tightness (and hence ILP).
+    positions = np.arange(n_slots)
+    fallback = rng.integers(n_base_regs, REGISTER_COUNT, size=n_slots).astype(np.int8)
+    producer1 = (positions - rng.geometric(1.0 / spec.dependency_distance, n_slots)) % n_slots
+    candidate1 = dest[producer1]
+    src1 = np.where(candidate1 != NO_REGISTER, candidate1, fallback).astype(np.int8)
+    producer2 = (
+        positions - rng.geometric(1.0 / (2.0 * spec.dependency_distance), n_slots)
+    ) % n_slots
+    candidate2 = dest[producer2]
+    has_src2 = (rng.random(n_slots) < 0.5) & np.isin(
+        slot_class,
+        [OpClass.RR_ALU.value, OpClass.RX_ALU.value, OpClass.FP.value,
+         OpClass.COMPLEX.value],
+    )
+    src2 = np.where(
+        has_src2, np.where(candidate2 != NO_REGISTER, candidate2, fallback), NO_REGISTER
+    ).astype(np.int8)
+    is_branch = slot_class == OpClass.BRANCH.value
+    dest[is_branch] = NO_REGISTER
+    src2[is_branch] = NO_REGISTER
+    # Memory ops: src1 is the base register.  Most addressing uses the
+    # long-lived pool; a spec-controlled fraction chases a recently
+    # computed value (linked structures, computed indices).
+    is_mem = np.isin(
+        slot_class,
+        [OpClass.RX_LOAD.value, OpClass.RX_STORE.value, OpClass.RX_ALU.value],
+    )
+    chased = rng.random(n_slots) < spec.pointer_chase
+    pool_base = rng.integers(0, n_base_regs, size=n_slots).astype(np.int8)
+    src1 = np.where(is_mem, np.where(chased, src1, pool_base), src1).astype(np.int8)
+    is_store = slot_class == OpClass.RX_STORE.value
+    # Stores read the value they write as a second source.
+    store_data = np.where(candidate2 != NO_REGISTER, candidate2, fallback)
+    src2[is_store] = store_data[is_store]
+
+    fp_cycles = np.zeros(n_slots, dtype=np.int16)
+    is_fp = slot_class == OpClass.FP.value
+    n_fp = int(np.count_nonzero(is_fp))
+    if n_fp:
+        fp_cycles[is_fp] = spec.fp_latency + rng.integers(0, 3, size=n_fp)
+    is_complex = slot_class == OpClass.COMPLEX.value
+    n_complex = int(np.count_nonzero(is_complex))
+    if n_complex:
+        fp_cycles[is_complex] = 3 + rng.integers(0, 3, size=n_complex)
+
+    # -- static branch structure --------------------------------------------
+    branch_slots = np.flatnonzero(is_branch)
+    n_branches = branch_slots.size
+    # next_branch_ordinal[s]: index into branch_slots of the first branch at
+    # or after slot s (== n_branches when none remain before the wrap).
+    next_branch_ordinal = np.searchsorted(branch_slots, positions, side="left")
+    # Branch sites: each static branch belongs to one of the spec's sites,
+    # sharing that site's direction and consistency statistics.
+    site_of = rng.integers(0, spec.branch_sites, size=n_branches)
+    site_dir = rng.random(spec.branch_sites) < spec.taken_rate
+    site_bias = np.clip(
+        spec.branch_bias + rng.uniform(-0.05, 0.05, size=spec.branch_sites), 0.5, 1.0
+    )
+    # Targets: mostly short backward hops (loops), otherwise uniform jumps
+    # (calls / long control transfers).
+    is_loop = rng.random(n_branches) < _LOOP_FRACTION
+    back = rng.integers(1, _LOOP_REACH + 1, size=n_branches)
+    loop_target = (branch_slots - back) % n_slots
+    far_target = rng.integers(0, n_slots, size=n_branches)
+    branch_target = np.where(is_loop, loop_target, far_target).astype(np.int64)
+
+    return _StaticImage(
+        slot_class=slot_class,
+        dest=dest,
+        src1=src1,
+        src2=src2,
+        fp_cycles=fp_cycles,
+        branch_slots=branch_slots.astype(np.int64),
+        next_branch_ordinal=next_branch_ordinal.astype(np.int64),
+        branch_target=branch_target,
+        branch_dir=site_dir[site_of],
+        branch_bias=site_bias[site_of],
+    )
+
+
+def _walk(
+    rng: np.random.Generator, image: _StaticImage, length: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Walk the static image, returning (slot sequence, taken flags).
+
+    Runs of straight-line code are emitted as slices; only branch events
+    are handled in the Python loop, so the walk is O(branches) in
+    interpreter steps.
+    """
+    slots_out = np.empty(length, dtype=np.int64)
+    taken_out = np.zeros(length, dtype=bool)
+    n_branches = image.branch_slots.size
+    # Pre-draw outcome randomness in blocks to avoid per-branch RNG calls.
+    draws = rng.random(max(length, 16))
+    draw_i = 0
+    count = 0
+    pos = 0
+    n_slots = image.n_slots
+    while count < length:
+        ordinal = image.next_branch_ordinal[pos]
+        if ordinal >= n_branches:
+            # No branch before the end of the image: emit the tail, wrap.
+            run = min(n_slots - pos, length - count)
+            slots_out[count : count + run] = np.arange(pos, pos + run)
+            count += run
+            pos = 0
+            continue
+        branch_slot = int(image.branch_slots[ordinal])
+        run = branch_slot - pos + 1  # through the branch itself
+        emit = min(run, length - count)
+        slots_out[count : count + emit] = np.arange(pos, pos + emit)
+        count += emit
+        if emit < run:
+            break  # trace ended mid-run; the partial run carries no branch
+        if draw_i >= draws.shape[0]:
+            draws = rng.random(draws.shape[0])
+            draw_i = 0
+        follow = draws[draw_i] < image.branch_bias[ordinal]
+        draw_i += 1
+        taken = bool(image.branch_dir[ordinal]) if follow else not bool(
+            image.branch_dir[ordinal]
+        )
+        taken_out[count - 1] = taken
+        pos = int(image.branch_target[ordinal]) if taken else (branch_slot + 1) % n_slots
+    return slots_out, taken_out
+
+
+def _segmented_walk(
+    n: int,
+    jump_mask: np.ndarray,
+    bases: np.ndarray,
+    step: int,
+    start_base: int,
+) -> np.ndarray:
+    """Positions of a walk that advances ``step`` per element and re-bases
+    wherever ``jump_mask`` is set (vectorised segment fill)."""
+    positions = np.arange(n, dtype=np.int64)
+    jump_idx = np.flatnonzero(jump_mask)
+    if not jump_idx.size:
+        return start_base + step * positions
+    seg_id = np.searchsorted(jump_idx, positions, side="right")
+    starts = np.concatenate(([0], jump_idx))
+    base_values = np.concatenate(([start_base], bases[: jump_idx.size]))
+    return base_values[seg_id] + step * (positions - starts[seg_id])
+
+
+def generate_trace(spec: WorkloadSpec, length: int) -> Trace:
+    """Generate a deterministic synthetic trace of ``length`` instructions.
+
+    Args:
+        spec: the workload specification.
+        length: dynamic instruction count (must be positive).
+
+    Returns:
+        A :class:`~repro.trace.trace.Trace` named after the spec.
+    """
+    if length <= 0:
+        raise ValueError(f"trace length must be positive, got {length!r}")
+    rng = _rng_for(spec, length)
+    image = _build_image(rng, spec)
+    slots, taken = _walk(rng, image, length)
+
+    codes = image.slot_class[slots]
+    pc = slots * _ILEN
+
+    # -- data addresses ------------------------------------------------------
+    is_memory = np.isin(
+        codes, [OpClass.RX_LOAD.value, OpClass.RX_STORE.value, OpClass.RX_ALU.value]
+    )
+    n_memory = int(np.count_nonzero(is_memory))
+    address = np.zeros(length, dtype=np.int64)
+    if n_memory:
+        n_data_slots = max(spec.data_working_set // _WORD, 1)
+        mem_jumps = rng.random(n_memory) >= spec.data_locality
+        mem_bases = rng.integers(0, n_data_slots, size=n_memory) * _WORD
+        walk = _segmented_walk(n_memory, mem_jumps, mem_bases, _WORD, start_base=0)
+        address[is_memory] = walk % max(spec.data_working_set, _WORD)
+
+    return Trace(
+        name=spec.name,
+        opclass=codes,
+        pc=pc,
+        dest=image.dest[slots],
+        src1=image.src1[slots],
+        src2=image.src2[slots],
+        address=address,
+        taken=taken,
+        fp_cycles=image.fp_cycles[slots],
+    )

@@ -1,0 +1,62 @@
+"""Trace persistence: save and load traces as ``.npz`` archives.
+
+Synthetic traces are cheap to regenerate, but a downstream user will want
+to run *their own* traces through the simulator — or pin a generated
+trace as a stable artifact.  The format is a plain ``numpy`` archive with
+one array per trace column plus a format version, so files are portable,
+diff-able with standard tools and independent of this library's internals.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from .trace import Trace
+
+__all__ = ["save_trace", "load_trace", "TRACE_FORMAT_VERSION"]
+
+TRACE_FORMAT_VERSION = 1
+
+_COLUMNS = ("opclass", "pc", "dest", "src1", "src2", "address", "taken", "fp_cycles")
+
+
+def save_trace(trace: Trace, path: "str | pathlib.Path") -> pathlib.Path:
+    """Write ``trace`` to ``path`` (``.npz`` appended if missing)."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        version=np.asarray([TRACE_FORMAT_VERSION]),
+        name=np.asarray([trace.name]),
+        **{column: getattr(trace, column) for column in _COLUMNS},
+    )
+    return path
+
+
+def load_trace(path: "str | pathlib.Path") -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises:
+        FileNotFoundError: no such file.
+        ValueError: wrong format version or missing columns.
+    """
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if "version" not in archive:
+            raise ValueError(f"{path} is not a trace archive (no version field)")
+        version = int(archive["version"][0])
+        if version != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"{path} has trace format version {version}; this library "
+                f"reads version {TRACE_FORMAT_VERSION}"
+            )
+        missing = [column for column in _COLUMNS if column not in archive]
+        if missing:
+            raise ValueError(f"{path} is missing trace columns {missing}")
+        name = str(archive["name"][0])
+        columns = {column: archive[column] for column in _COLUMNS}
+    return Trace(name=name, **columns)

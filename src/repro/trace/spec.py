@@ -1,0 +1,146 @@
+"""Workload specifications: the knobs behind the synthetic trace generator.
+
+The paper's 55 traces are proprietary; what matters for the optimum-depth
+study is the per-class behaviour they induce — hazard rate, superscalar
+exploitability and stall depth.  A :class:`WorkloadSpec` captures the
+generator-level knobs that control those behaviours:
+
+* instruction mix (RR vs RX vs branch vs FP),
+* branch site count and per-site outcome bias (predictability),
+* data working-set size and spatial locality (cache miss rate),
+* instruction footprint (I-cache behaviour; large for legacy/OLTP code),
+* register dependency distance (ILP / superscalar degree),
+* FP latency (the long non-pipelined ops behind the FP class's deep
+  optima).
+
+The four classes mirror the paper's Fig. 7 taxonomy: traditional (legacy)
+database/OLTP assembler code, "modern" C++/Java applications, SPEC integer
+(95 and 2000), and floating point.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..isa import OpClass
+
+__all__ = ["WorkloadClass", "WorkloadSpec"]
+
+
+class WorkloadClass(enum.Enum):
+    """The paper's four workload categories (its Figs. 6/7)."""
+
+    LEGACY = "legacy"
+    MODERN = "modern"
+    SPECINT95 = "specint95"
+    SPECINT2000 = "specint2000"
+    FLOAT = "float"
+
+    @property
+    def display_name(self) -> str:
+        return {
+            WorkloadClass.LEGACY: "Legacy (DB/OLTP)",
+            WorkloadClass.MODERN: "Modern (C++/Java)",
+            WorkloadClass.SPECINT95: "SPECint95",
+            WorkloadClass.SPECINT2000: "SPECint2000",
+            WorkloadClass.FLOAT: "Floating point",
+        }[self]
+
+
+def _validate_fraction(name: str, value: float, upper: float = 1.0) -> None:
+    if not (0.0 <= value <= upper) or not math.isfinite(value):
+        raise ValueError(f"{name} must be in [0, {upper}], got {value!r}")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Generator parameters for one synthetic workload.
+
+    Attributes:
+        name: unique workload name (e.g. ``"oltp-reservations"``).
+        workload_class: the paper-taxonomy class.
+        mix: instruction-mix probabilities by :class:`OpClass`; must sum
+            to 1 within rounding.
+        branch_sites: number of static branch sites the dynamic branches
+            are drawn from (more sites = colder predictor tables).
+        branch_bias: mean per-site outcome bias in [0.5, 1.0]; 1.0 means
+            every site is fully biased (perfectly predictable by a bimodal
+            predictor), 0.5 means coin-flip branches.
+        taken_rate: overall fraction of branches taken.
+        data_working_set: bytes of data the workload touches.
+        data_locality: fraction of memory references that hit the current
+            sequential run (stride-8) rather than jumping randomly within
+            the working set.
+        code_footprint: bytes of instruction text in the hot loop
+            (legacy/OLTP code famously blows the I-cache).
+        dependency_distance: mean distance (in instructions) from an
+            instruction to the producer of its source operands; small
+            values mean tight dependency chains and low ILP.
+        pointer_chase: fraction of memory ops whose *base register* is
+            produced by a recent instruction (pointer chasing / computed
+            addresses) rather than a long-lived base register.  Chased
+            bases trigger address-generation interlocks whose cost grows
+            with the agen/cache pipeline depth.
+        fp_latency: extra execute-occupancy cycles per FP op at the base
+            execute depth.
+        seed: generator seed (combined with the name for determinism).
+    """
+
+    name: str
+    workload_class: WorkloadClass
+    mix: Mapping[OpClass, float]
+    branch_sites: int = 64
+    branch_bias: float = 0.9
+    taken_rate: float = 0.55
+    data_working_set: int = 64 * 1024
+    data_locality: float = 0.85
+    code_footprint: int = 16 * 1024
+    dependency_distance: float = 4.0
+    pointer_chase: float = 0.10
+    fp_latency: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("workload name must be non-empty")
+        total = sum(self.mix.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"instruction mix must sum to 1, got {total!r}")
+        for cls, frac in self.mix.items():
+            _validate_fraction(f"mix[{cls.name}]", frac)
+        if self.branch_sites < 1:
+            raise ValueError(f"branch_sites must be >= 1, got {self.branch_sites!r}")
+        if not (0.5 <= self.branch_bias <= 1.0):
+            raise ValueError(f"branch_bias must be in [0.5, 1], got {self.branch_bias!r}")
+        _validate_fraction("taken_rate", self.taken_rate)
+        _validate_fraction("data_locality", self.data_locality)
+        if self.data_working_set < 64:
+            raise ValueError("data_working_set must be at least one cache line")
+        if self.code_footprint < 64:
+            raise ValueError("code_footprint must be at least one cache line")
+        if self.dependency_distance < 1.0:
+            raise ValueError(
+                f"dependency_distance must be >= 1, got {self.dependency_distance!r}"
+            )
+        _validate_fraction("pointer_chase", self.pointer_chase)
+        if self.fp_latency < 1:
+            raise ValueError(f"fp_latency must be >= 1, got {self.fp_latency!r}")
+
+    @property
+    def branch_fraction(self) -> float:
+        return float(self.mix.get(OpClass.BRANCH, 0.0))
+
+    @property
+    def memory_fraction(self) -> float:
+        return float(
+            self.mix.get(OpClass.RX_LOAD, 0.0)
+            + self.mix.get(OpClass.RX_STORE, 0.0)
+            + self.mix.get(OpClass.RX_ALU, 0.0)
+        )
+
+    @property
+    def fp_fraction(self) -> float:
+        return float(self.mix.get(OpClass.FP, 0.0))

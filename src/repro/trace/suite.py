@@ -1,0 +1,235 @@
+"""The 55-workload suite: our stand-in for the paper's 55 trace tapes.
+
+The paper evaluates 55 traces in four categories — traditional (legacy)
+database/OLTP code written in assembler, "modern" C++/Java applications,
+SPEC integer (95 and 2000) and floating point.  This module defines 55
+named :class:`~repro.trace.spec.WorkloadSpec`\\ s whose generator knobs are
+drawn, per class, from ranges chosen to land in the characteristic regime
+of each class:
+
+* **legacy** — branch-dense, modestly predictable, huge code/data
+  footprints (I-cache and D-cache misses): high hazard pressure.
+* **modern** — slightly tamer than legacy: many calls/indirect branches,
+  large footprints.
+* **SPECint95 / SPECint2000** — predictable branches, small footprints:
+  low hazard pressure (the paper: "less stressful of the processor than
+  real workloads").
+* **float** — few branches, streaming data, long non-pipelined FP ops:
+  lowest hazard pressure and lowest superscalar exploitation, hence the
+  deepest (and widest-spread) optima.
+
+The class *ordering* of simulated optimum depths (paper Fig. 7) is an
+emergent property of these knobs, not hard-coded anywhere.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..isa import OpClass
+from .spec import WorkloadClass, WorkloadSpec
+
+__all__ = [
+    "suite",
+    "suite_names",
+    "by_class",
+    "get_workload",
+    "small_suite",
+    "SUITE_SIZE",
+]
+
+SUITE_SIZE = 55
+
+_KB = 1024
+_MB = 1024 * 1024
+
+# Per-class template: (mix, parameter ranges). Ranges are (low, high) and
+# sampled per-workload with a name-keyed RNG so the suite is deterministic.
+_BASE_MIX: Dict[WorkloadClass, Dict[OpClass, float]] = {
+    WorkloadClass.LEGACY: {
+        OpClass.RR_ALU: 0.20, OpClass.RX_LOAD: 0.14, OpClass.RX_STORE: 0.12,
+        OpClass.RX_ALU: 0.18, OpClass.BRANCH: 0.22, OpClass.FP: 0.01,
+        OpClass.COMPLEX: 0.13,
+    },
+    WorkloadClass.MODERN: {
+        OpClass.RR_ALU: 0.31, OpClass.RX_LOAD: 0.13, OpClass.RX_STORE: 0.10,
+        OpClass.RX_ALU: 0.23, OpClass.BRANCH: 0.19, OpClass.FP: 0.01,
+        OpClass.COMPLEX: 0.03,
+    },
+    WorkloadClass.SPECINT95: {
+        OpClass.RR_ALU: 0.39, OpClass.RX_LOAD: 0.12, OpClass.RX_STORE: 0.09,
+        OpClass.RX_ALU: 0.23, OpClass.BRANCH: 0.15, OpClass.FP: 0.01,
+        OpClass.COMPLEX: 0.01,
+    },
+    WorkloadClass.SPECINT2000: {
+        OpClass.RR_ALU: 0.41, OpClass.RX_LOAD: 0.12, OpClass.RX_STORE: 0.09,
+        OpClass.RX_ALU: 0.23, OpClass.BRANCH: 0.13, OpClass.FP: 0.01,
+        OpClass.COMPLEX: 0.01,
+    },
+    WorkloadClass.FLOAT: {
+        OpClass.RR_ALU: 0.21, OpClass.RX_LOAD: 0.18, OpClass.RX_STORE: 0.10,
+        OpClass.RX_ALU: 0.13, OpClass.BRANCH: 0.06, OpClass.FP: 0.31,
+        OpClass.COMPLEX: 0.01,
+    },
+}
+
+_RANGES: Dict[WorkloadClass, Dict[str, Tuple[float, float]]] = {
+    WorkloadClass.LEGACY: dict(
+        branch_bias=(0.91, 0.945), taken_rate=(0.55, 0.65),
+        data_ws=(2 * _MB, 5 * _MB), locality=(0.88, 0.93),
+        code=(256 * _KB, 768 * _KB), dep=(1.8, 2.5), sites=(512, 2048),
+        chase=(0.06, 0.12), fp_lat=(4, 5),
+    ),
+    WorkloadClass.MODERN: dict(
+        branch_bias=(0.91, 0.945), taken_rate=(0.50, 0.60),
+        data_ws=(768 * _KB, 2 * _MB), locality=(0.88, 0.93),
+        code=(128 * _KB, 384 * _KB), dep=(2.4, 3.2), sites=(256, 1024),
+        chase=(0.08, 0.14), fp_lat=(4, 5),
+    ),
+    WorkloadClass.SPECINT95: dict(
+        branch_bias=(0.85, 0.91), taken_rate=(0.55, 0.65),
+        data_ws=(16 * _KB, 64 * _KB), locality=(0.92, 0.97),
+        code=(8 * _KB, 32 * _KB), dep=(4.0, 5.5), sites=(64, 256),
+        chase=(0.04, 0.08), fp_lat=(4, 5),
+    ),
+    WorkloadClass.SPECINT2000: dict(
+        branch_bias=(0.87, 0.92), taken_rate=(0.55, 0.65),
+        data_ws=(64 * _KB, 256 * _KB), locality=(0.90, 0.96),
+        code=(16 * _KB, 64 * _KB), dep=(4.0, 6.0), sites=(96, 384),
+        chase=(0.04, 0.09), fp_lat=(4, 5),
+    ),
+    WorkloadClass.FLOAT: dict(
+        branch_bias=(0.97, 0.995), taken_rate=(0.75, 0.90),
+        data_ws=(256 * _KB, 2 * _MB), locality=(0.95, 0.985),
+        code=(4 * _KB, 16 * _KB), dep=(5.5, 9.5), sites=(16, 64),
+        chase=(0.01, 0.03), fp_lat=(4, 10),
+    ),
+}
+
+_NAMES: Dict[WorkloadClass, Tuple[str, ...]] = {
+    WorkloadClass.LEGACY: (
+        "oltp-airline", "oltp-bank", "oltp-telco", "oltp-retail",
+        "db-batch", "db-query", "db-index", "db-join",
+        "cics-payroll", "ims-ledger", "batch-sort", "tpc-legacy",
+    ),
+    WorkloadClass.MODERN: (
+        "web-java-catalog", "web-java-cart", "web-java-auth",
+        "cpp-render", "cpp-parse", "cpp-compress",
+        "jvm-gc", "appserver-servlet", "cpp-stl-heavy", "java-json",
+        "web-proxy",
+    ),
+    WorkloadClass.SPECINT95: (
+        "go", "m88ksim", "gcc95", "compress95", "li", "ijpeg", "perl95",
+        "vortex95",
+    ),
+    WorkloadClass.SPECINT2000: (
+        "gzip", "vpr", "gcc00", "mcf", "crafty", "parser", "eon",
+        "perlbmk", "gap", "bzip2",
+    ),
+    WorkloadClass.FLOAT: (
+        "swim", "mgrid", "applu", "hydro2d", "su2cor", "tomcatv",
+        "art", "equake", "ammp", "lucas", "fma3d", "sixtrack", "apsi",
+        "wupwise",
+    ),
+}
+
+
+def _jittered_mix(
+    rng: np.random.Generator, base: Mapping[OpClass, float]
+) -> Dict[OpClass, float]:
+    """Multiplicative +-10% jitter on the class mix, renormalised."""
+    jittered = {cls: frac * rng.uniform(0.9, 1.1) for cls, frac in base.items()}
+    total = sum(jittered.values())
+    return {cls: frac / total for cls, frac in jittered.items()}
+
+
+def _sample(rng: np.random.Generator, bounds: Tuple[float, float]) -> float:
+    return float(rng.uniform(bounds[0], bounds[1]))
+
+
+def _build_spec(name: str, workload_class: WorkloadClass, ordinal: int) -> WorkloadSpec:
+    # hash() is salted per-process for strings; key on stable data instead.
+    rng = np.random.default_rng((ordinal * 2654435761 + len(name) * 97) % (2**32))
+    ranges = _RANGES[workload_class]
+    mix = _jittered_mix(rng, _BASE_MIX[workload_class])
+    if workload_class is WorkloadClass.FLOAT:
+        # FP intensity varies widely across real FP codes (the paper's FP
+        # optima spread over 6-16 stages); scale the FP share accordingly.
+        scale = float(rng.uniform(0.45, 1.45))
+        mix = dict(mix)
+        mix[OpClass.FP] = mix[OpClass.FP] * scale
+        total = sum(mix.values())
+        mix = {cls: frac / total for cls, frac in mix.items()}
+    return WorkloadSpec(
+        name=name,
+        workload_class=workload_class,
+        mix=mix,
+        branch_sites=int(_sample(rng, ranges["sites"])),
+        branch_bias=_sample(rng, ranges["branch_bias"]),
+        taken_rate=_sample(rng, ranges["taken_rate"]),
+        data_working_set=int(_sample(rng, ranges["data_ws"])),
+        data_locality=_sample(rng, ranges["locality"]),
+        code_footprint=int(_sample(rng, ranges["code"])),
+        dependency_distance=_sample(rng, ranges["dep"]),
+        pointer_chase=_sample(rng, ranges["chase"]),
+        fp_latency=int(round(_sample(rng, ranges["fp_lat"]))),
+        seed=ordinal,
+    )
+
+
+@lru_cache(maxsize=1)
+def suite() -> Tuple[WorkloadSpec, ...]:
+    """All 55 workload specifications, in a stable order."""
+    specs: list[WorkloadSpec] = []
+    ordinal = 0
+    for workload_class in (
+        WorkloadClass.LEGACY,
+        WorkloadClass.MODERN,
+        WorkloadClass.SPECINT95,
+        WorkloadClass.SPECINT2000,
+        WorkloadClass.FLOAT,
+    ):
+        for name in _NAMES[workload_class]:
+            specs.append(_build_spec(name, workload_class, ordinal))
+            ordinal += 1
+    if len(specs) != SUITE_SIZE:
+        raise AssertionError(f"suite size {len(specs)} != {SUITE_SIZE}")
+    return tuple(specs)
+
+
+def suite_names() -> Tuple[str, ...]:
+    """The 55 workload names, in suite order (lookup keys for
+    :func:`get_workload`)."""
+    return tuple(spec.name for spec in suite())
+
+
+def by_class(workload_class: WorkloadClass) -> Tuple[WorkloadSpec, ...]:
+    """The suite members of one class, in suite order."""
+    return tuple(s for s in suite() if s.workload_class is workload_class)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look a workload up by name.
+
+    Raises:
+        KeyError: unknown name (the message lists near-misses).
+    """
+    for spec in suite():
+        if spec.name == name:
+            return spec
+    close = [n for n in suite_names() if name.lower() in n.lower()]
+    hint = f"; did you mean one of {close}?" if close else ""
+    raise KeyError(f"unknown workload {name!r}{hint}")
+
+
+def small_suite(per_class: int = 2) -> Tuple[WorkloadSpec, ...]:
+    """A reduced suite (first ``per_class`` of each class) for quick runs."""
+    if per_class < 1:
+        raise ValueError(f"per_class must be >= 1, got {per_class!r}")
+    out: list[WorkloadSpec] = []
+    for workload_class in WorkloadClass:
+        out.extend(by_class(workload_class)[:per_class])
+    return tuple(out)

@@ -1,0 +1,175 @@
+"""Trace container: a structure-of-arrays dynamic instruction stream.
+
+The simulator touches every instruction at every pipeline depth, so traces
+are stored as parallel ``numpy`` arrays rather than lists of objects.  The
+record-at-a-time view (:meth:`Trace.instruction`, iteration) is provided
+for the public API, tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from ..isa import NO_REGISTER, Instruction, OpClass
+
+__all__ = ["Trace", "TraceStats"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Static summary of a trace's instruction mix and behaviour.
+
+    All fractions are of the dynamic instruction count.
+    """
+
+    instructions: int
+    mix: Mapping[OpClass, float]
+    branch_fraction: float
+    taken_fraction: float
+    memory_fraction: float
+    fp_fraction: float
+    distinct_pcs: int
+    distinct_lines: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{self.instructions} instructions"]
+        parts += [f"{cls.name}={frac:.1%}" for cls, frac in self.mix.items() if frac]
+        return ", ".join(parts)
+
+
+class Trace:
+    """An immutable dynamic instruction stream in structure-of-arrays form.
+
+    Attributes (all 1-D ``numpy`` arrays of equal length):
+        opclass: ``int8`` codes from :class:`repro.isa.OpClass`.
+        pc: ``int64`` instruction addresses.
+        dest, src1, src2: ``int8`` register indices (``NO_REGISTER`` = none).
+        address: ``int64`` effective addresses (0 for non-memory ops).
+        taken: ``bool`` branch outcomes (False for non-branches).
+        fp_cycles: ``int16`` extra execute occupancy for FP ops.
+    """
+
+    __slots__ = ("name", "opclass", "pc", "dest", "src1", "src2", "address",
+                 "taken", "fp_cycles")
+
+    def __init__(
+        self,
+        name: str,
+        opclass: np.ndarray,
+        pc: np.ndarray,
+        dest: np.ndarray,
+        src1: np.ndarray,
+        src2: np.ndarray,
+        address: np.ndarray,
+        taken: np.ndarray,
+        fp_cycles: np.ndarray,
+    ) -> None:
+        n = len(opclass)
+        arrays = {
+            "opclass": np.asarray(opclass, dtype=np.int8),
+            "pc": np.asarray(pc, dtype=np.int64),
+            "dest": np.asarray(dest, dtype=np.int8),
+            "src1": np.asarray(src1, dtype=np.int8),
+            "src2": np.asarray(src2, dtype=np.int8),
+            "address": np.asarray(address, dtype=np.int64),
+            "taken": np.asarray(taken, dtype=bool),
+            "fp_cycles": np.asarray(fp_cycles, dtype=np.int16),
+        }
+        for key, arr in arrays.items():
+            if arr.shape != (n,):
+                raise ValueError(f"trace array {key!r} has shape {arr.shape}, expected ({n},)")
+            arr.setflags(write=False)
+        self.name = name
+        for key, arr in arrays.items():
+            object.__setattr__(self, key, arr)
+
+    def __setattr__(self, key: str, value) -> None:
+        if hasattr(self, "fp_cycles"):  # last slot assigned in __init__
+            raise AttributeError("Trace is immutable")
+        object.__setattr__(self, key, value)
+
+    def __len__(self) -> int:
+        return int(self.opclass.shape[0])
+
+    def instruction(self, index: int) -> Instruction:
+        """The record-at-a-time view of instruction ``index``."""
+        if not (0 <= index < len(self)):
+            raise IndexError(f"instruction index {index} out of range [0, {len(self)})")
+        return Instruction(
+            index=index,
+            opclass=OpClass(int(self.opclass[index])),
+            pc=int(self.pc[index]),
+            dest=int(self.dest[index]),
+            src1=int(self.src1[index]),
+            src2=int(self.src2[index]),
+            address=int(self.address[index]),
+            taken=bool(self.taken[index]),
+            fp_cycles=int(self.fp_cycles[index]),
+        )
+
+    def __iter__(self) -> Iterator[Instruction]:
+        for i in range(len(self)):
+            yield self.instruction(i)
+
+    def stats(self, line_size: int = 128) -> TraceStats:
+        """Aggregate mix/behaviour statistics for reports and tests."""
+        n = len(self)
+        if n == 0:
+            raise ValueError("cannot summarise an empty trace")
+        codes = self.opclass
+        mix = {cls: float(np.count_nonzero(codes == cls.value)) / n for cls in OpClass}
+        branches = codes == OpClass.BRANCH.value
+        n_branches = int(np.count_nonzero(branches))
+        memory = (
+            (codes == OpClass.RX_LOAD.value)
+            | (codes == OpClass.RX_STORE.value)
+            | (codes == OpClass.RX_ALU.value)
+        )
+        mem_addresses = self.address[memory]
+        return TraceStats(
+            instructions=n,
+            mix=mix,
+            branch_fraction=n_branches / n,
+            taken_fraction=(
+                float(np.count_nonzero(self.taken & branches)) / n_branches
+                if n_branches
+                else 0.0
+            ),
+            memory_fraction=float(np.count_nonzero(memory)) / n,
+            fp_fraction=mix[OpClass.FP],
+            distinct_pcs=int(np.unique(self.pc).size),
+            distinct_lines=int(np.unique(mem_addresses // line_size).size),
+        )
+
+    @classmethod
+    def from_instructions(cls, name: str, instructions: "list[Instruction]") -> "Trace":
+        """Build a trace from record-at-a-time instructions (tests, examples)."""
+        n = len(instructions)
+        return cls(
+            name=name,
+            opclass=np.asarray([i.opclass.value for i in instructions], dtype=np.int8),
+            pc=np.asarray([i.pc for i in instructions], dtype=np.int64),
+            dest=np.asarray([i.dest for i in instructions], dtype=np.int8),
+            src1=np.asarray([i.src1 for i in instructions], dtype=np.int8),
+            src2=np.asarray([i.src2 for i in instructions], dtype=np.int8),
+            address=np.asarray([i.address for i in instructions], dtype=np.int64),
+            taken=np.asarray([i.taken for i in instructions], dtype=bool),
+            fp_cycles=np.asarray([i.fp_cycles for i in instructions], dtype=np.int16),
+        ) if n else cls.empty(name)
+
+    @classmethod
+    def empty(cls, name: str = "empty") -> "Trace":
+        return cls(
+            name=name,
+            opclass=np.zeros(0, dtype=np.int8),
+            pc=np.zeros(0, dtype=np.int64),
+            dest=np.zeros(0, dtype=np.int8),
+            src1=np.zeros(0, dtype=np.int8),
+            src2=np.zeros(0, dtype=np.int8),
+            address=np.zeros(0, dtype=np.int64),
+            taken=np.zeros(0, dtype=bool),
+            fp_cycles=np.zeros(0, dtype=np.int16),
+        )

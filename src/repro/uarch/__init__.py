@@ -1,0 +1,21 @@
+"""Microarchitectural substrates: branch predictors and caches."""
+
+from .branch_predictor import (
+    BimodalPredictor,
+    BranchPredictor,
+    GsharePredictor,
+    StaticTakenPredictor,
+)
+from .btb import BranchTargetBuffer
+from .cache import Cache, CacheConfig, CacheStats
+
+__all__ = [
+    "BranchPredictor",
+    "BimodalPredictor",
+    "GsharePredictor",
+    "StaticTakenPredictor",
+    "BranchTargetBuffer",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+]

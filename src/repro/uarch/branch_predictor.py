@@ -1,0 +1,134 @@
+"""Branch prediction substrate.
+
+The hazard that dominates the optimum-depth problem is the branch
+misprediction: its penalty is a front-end refill whose *time* cost is
+``(front-end stages) * t_s ~ beta * (t_o*p + t_p)`` — exactly the form of
+the theory's hazard term.  The simulator therefore needs a predictor whose
+accuracy responds to the workload's branch-site population and bias, which
+this module provides in two flavours:
+
+* :class:`BimodalPredictor` — a classic table of 2-bit saturating
+  counters indexed by PC.
+* :class:`GsharePredictor` — 2-bit counters indexed by PC xor global
+  history; better on correlated branches, colder on huge branch
+  populations (legacy/OLTP code).
+
+Both implement :class:`BranchPredictor`: ``predict(pc) -> bool`` then
+``update(pc, taken)``; the convenience :meth:`BranchPredictor.observe`
+does predict-then-update and returns whether the prediction was correct.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["BranchPredictor", "BimodalPredictor", "GsharePredictor", "StaticTakenPredictor"]
+
+
+class BranchPredictor(abc.ABC):
+    """Interface: direction prediction with post-resolution update."""
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the resolved outcome."""
+
+    def observe(self, pc: int, taken: bool) -> bool:
+        """Predict, train, and return True when the prediction was correct."""
+        correct = self.predict(pc) == taken
+        self.update(pc, taken)
+        return correct
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Forget all training state."""
+
+
+class StaticTakenPredictor(BranchPredictor):
+    """Predict every branch taken — the degenerate baseline."""
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+class BimodalPredictor(BranchPredictor):
+    """A table of 2-bit saturating counters indexed by instruction address.
+
+    Counter states 0/1 predict not-taken, 2/3 predict taken; update
+    saturates toward the observed direction.  Table size must be a power
+    of two.
+    """
+
+    def __init__(self, entries: int = 4096):
+        if entries < 1 or entries & (entries - 1):
+            raise ValueError(f"entries must be a positive power of two, got {entries!r}")
+        self._mask = entries - 1
+        self._table = np.full(entries, 2, dtype=np.int8)  # weakly taken
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return bool(self._table[self._index(pc)] >= 2)
+
+    def update(self, pc: int, taken: bool) -> None:
+        i = self._index(pc)
+        counter = self._table[i]
+        if taken:
+            if counter < 3:
+                self._table[i] = counter + 1
+        elif counter > 0:
+            self._table[i] = counter - 1
+
+    def reset(self) -> None:
+        self._table.fill(2)
+
+
+class GsharePredictor(BranchPredictor):
+    """2-bit counters indexed by (PC xor global branch history).
+
+    Args:
+        entries: counter table size (power of two).
+        history_bits: global history length; clamped to the index width.
+    """
+
+    def __init__(self, entries: int = 4096, history_bits: int = 8):
+        if entries < 1 or entries & (entries - 1):
+            raise ValueError(f"entries must be a positive power of two, got {entries!r}")
+        if history_bits < 1:
+            raise ValueError(f"history_bits must be >= 1, got {history_bits!r}")
+        self._mask = entries - 1
+        self._history_mask = (1 << min(history_bits, entries.bit_length() - 1)) - 1
+        self._history = 0
+        self._table = np.full(entries, 2, dtype=np.int8)
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return bool(self._table[self._index(pc)] >= 2)
+
+    def update(self, pc: int, taken: bool) -> None:
+        i = self._index(pc)
+        counter = self._table[i]
+        if taken:
+            if counter < 3:
+                self._table[i] = counter + 1
+        elif counter > 0:
+            self._table[i] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+    def reset(self) -> None:
+        self._table.fill(2)
+        self._history = 0

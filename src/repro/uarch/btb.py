@@ -1,0 +1,67 @@
+"""Branch target buffer substrate.
+
+Direction prediction alone is not enough to keep the front end streaming:
+on a predicted-taken branch the fetch unit also needs the *target*
+address before decode can supply it.  A BTB caches targets by branch PC;
+a BTB miss on a taken branch costs a front-end redirect bubble equal to
+the decode depth — one more hazard whose penalty grows with pipeline
+depth, most relevant for big-footprint (legacy/OLTP) code whose branch
+population overflows the table.
+
+The default machine configuration uses a *perfect* BTB (``entries=None``
+in :class:`~repro.pipeline.simulator.MachineConfig`), matching the
+calibration used for the paper reproduction; a finite BTB is an optional
+realism knob exercised by tests and available for studies.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BranchTargetBuffer"]
+
+
+class BranchTargetBuffer:
+    """A direct-mapped tag-checked target cache.
+
+    ``lookup_and_update(pc)`` returns True when the branch's target was
+    available at fetch (BTB hit) and installs/refreshes the entry either
+    way — dynamic branches train their own slots, and aliasing between
+    branches that share a slot produces the capacity behaviour large
+    branch populations see.
+    """
+
+    def __init__(self, entries: int = 4096):
+        if entries < 1 or entries & (entries - 1):
+            raise ValueError(f"entries must be a positive power of two, got {entries!r}")
+        self._mask = entries - 1
+        self._tags = [-1] * entries
+        self.hits = 0
+        self.misses = 0
+
+    def _index_tag(self, pc: int) -> tuple[int, int]:
+        word = pc >> 2
+        return word & self._mask, word >> self._mask.bit_length()
+
+    def lookup_and_update(self, pc: int) -> bool:
+        """True on hit; installs the entry on miss."""
+        index, tag = self._index_tag(pc)
+        if self._tags[index] == tag:
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._tags[index] = tag
+        return False
+
+    def probe(self, pc: int) -> bool:
+        """Hit check without installation or accounting."""
+        index, tag = self._index_tag(pc)
+        return self._tags[index] == tag
+
+    def reset(self) -> None:
+        self._tags = [-1] * (self._mask + 1)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

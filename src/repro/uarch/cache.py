@@ -1,0 +1,123 @@
+"""Set-associative LRU cache substrate.
+
+Caches supply the second hazard family of the depth study: a miss costs a
+fixed *absolute* latency (FO4 delays, i.e. wall-clock), which converts to
+more stall *cycles* as pipelines deepen and cycle times shrink — the same
+``~beta * (t_o*p + t_p)`` time form the theory assumes.  The simulator
+instantiates one instruction cache and one data cache per run.
+
+The implementation favours clarity and determinism over raw speed: a
+per-set list of tags in LRU order (most recent last).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheConfig", "Cache", "CacheStats"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a set-associative cache.
+
+    Attributes:
+        size: total capacity in bytes.
+        line_size: bytes per line (power of two).
+        associativity: ways per set.
+        miss_latency_fo4: absolute miss penalty in FO4 delays (converted
+            to cycles by the simulator via the current cycle time).
+    """
+
+    size: int = 64 * 1024
+    line_size: int = 128
+    associativity: int = 4
+    miss_latency_fo4: float = 400.0
+
+    def __post_init__(self) -> None:
+        if self.line_size < 1 or self.line_size & (self.line_size - 1):
+            raise ValueError(f"line_size must be a positive power of two, got {self.line_size!r}")
+        if self.associativity < 1:
+            raise ValueError(f"associativity must be >= 1, got {self.associativity!r}")
+        if self.size < self.line_size * self.associativity:
+            raise ValueError(
+                f"size {self.size} cannot hold even one set of "
+                f"{self.associativity} lines of {self.line_size} bytes"
+            )
+        if self.size % (self.line_size * self.associativity) != 0:
+            raise ValueError("size must be a whole number of sets")
+        if self.miss_latency_fo4 < 0:
+            raise ValueError(f"miss_latency_fo4 must be >= 0, got {self.miss_latency_fo4!r}")
+
+    @property
+    def sets(self) -> int:
+        return self.size // (self.line_size * self.associativity)
+
+
+@dataclass
+class CacheStats:
+    """Running access/miss counts."""
+
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A set-associative LRU cache with hit/miss accounting.
+
+    ``access(address)`` returns True on hit and installs the line on miss.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.stats = CacheStats()
+        self._sets: list[list[int]] = [[] for _ in range(config.sets)]
+        self._set_mask = config.sets - 1
+        self._power_of_two_sets = config.sets & (config.sets - 1) == 0
+        self._line_shift = config.line_size.bit_length() - 1
+
+    def _locate(self, address: int) -> tuple[list[int], int]:
+        line = address >> self._line_shift
+        if self._power_of_two_sets:
+            index = line & self._set_mask
+        else:
+            index = line % self.config.sets
+        return self._sets[index], line
+
+    def access(self, address: int) -> bool:
+        """Reference ``address``; returns True on hit.
+
+        On miss the line is installed, evicting the least recently used
+        way if the set is full.  On hit the line becomes most recent.
+        """
+        ways, line = self._locate(address)
+        self.stats.accesses += 1
+        try:
+            ways.remove(line)
+        except ValueError:
+            self.stats.misses += 1
+            if len(ways) >= self.config.associativity:
+                ways.pop(0)
+            ways.append(line)
+            return False
+        ways.append(line)
+        return True
+
+    def probe(self, address: int) -> bool:
+        """Hit check without state change or accounting."""
+        ways, line = self._locate(address)
+        return line in ways
+
+    def reset(self) -> None:
+        """Invalidate all lines and zero the statistics."""
+        for ways in self._sets:
+            ways.clear()
+        self.stats = CacheStats()

@@ -1,0 +1,49 @@
+"""Tests of suite characterisation."""
+
+import pytest
+
+from repro.analysis import characterize, characterize_suite
+from repro.analysis.characterize import format_table
+from repro.trace import WorkloadClass, by_class, small_suite
+
+
+class TestCharacterize:
+    def test_fields_in_physical_ranges(self, modern_spec):
+        c = characterize(modern_spec, trace_length=2000)
+        assert 0.0 <= c.branch_fraction <= 1.0
+        assert 0.0 <= c.misprediction_rate <= 1.0
+        assert 0.0 <= c.dcache_miss_rate <= 1.0
+        assert c.cpi > 0
+        assert 1.0 <= c.superscalar_degree <= 4.0
+
+    def test_mix_matches_spec(self, modern_spec):
+        c = characterize(modern_spec, trace_length=5000)
+        assert c.branch_fraction == pytest.approx(modern_spec.branch_fraction, abs=0.05)
+        assert c.memory_fraction == pytest.approx(modern_spec.memory_fraction, abs=0.07)
+
+    def test_stressfulness(self, modern_spec):
+        c = characterize(modern_spec, trace_length=2000)
+        assert c.stressfulness == pytest.approx(c.superscalar_degree * c.hazard_rate)
+
+    def test_float_class_has_most_fp(self):
+        float_spec = by_class(WorkloadClass.FLOAT)[0]
+        int_spec = by_class(WorkloadClass.SPECINT95)[0]
+        fp = characterize(float_spec, trace_length=2000)
+        integer = characterize(int_spec, trace_length=2000)
+        assert fp.fp_fraction > integer.fp_fraction + 0.1
+
+
+class TestSuiteTable:
+    def test_one_row_per_workload(self):
+        characters = characterize_suite(small_suite(1), trace_length=1500)
+        table = format_table(characters)
+        lines = table.splitlines()
+        assert len(lines) == 1 + len(characters)
+        for c in characters:
+            assert any(c.name in line for line in lines)
+
+    def test_header_columns(self):
+        characters = characterize_suite(small_suite(1), trace_length=1000)
+        header = format_table(characters).splitlines()[0]
+        for column in ("workload", "class", "mpred%", "alpha", "CPI"):
+            assert column in header

@@ -1,0 +1,48 @@
+"""Tests of machine-configuration comparison."""
+
+import pytest
+
+from repro.analysis import compare_machines
+from repro.pipeline import MachineConfig
+from repro.trace import small_suite
+
+DEPTHS = (2, 4, 6, 8, 10, 12, 16, 20)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_machines(
+        {"4-wide": MachineConfig(issue_width=4), "1-wide": MachineConfig(issue_width=1)},
+        small_suite(1)[:3],
+        depths=DEPTHS,
+        trace_length=2000,
+    )
+
+
+class TestCompareMachines:
+    def test_all_configs_present(self, comparison):
+        assert {r.label for r in comparison.results} == {"4-wide", "1-wide"}
+
+    def test_wider_machine_faster(self, comparison):
+        assert comparison.speedup("1-wide", "4-wide") > 1.2
+
+    def test_narrow_machine_not_shallower(self, comparison):
+        # Theory Sec. 2.2: smaller alpha -> deeper optimum.
+        assert comparison.optimum_shift("4-wide", "1-wide") > -1.0
+
+    def test_per_workload_entries(self, comparison):
+        result = comparison.result("4-wide")
+        assert len(result.optima) == 3
+        assert set(result.optima) == set(result.peak_bips)
+
+    def test_unknown_label(self, comparison):
+        with pytest.raises(KeyError):
+            comparison.result("8-wide")
+
+    def test_format_table(self, comparison):
+        table = comparison.format_table()
+        assert "4-wide" in table and "mean optimum" in table
+
+    def test_needs_two_configs(self):
+        with pytest.raises(ValueError):
+            compare_machines({"only": MachineConfig()}, small_suite(1)[:1])

@@ -1,0 +1,55 @@
+"""Tests of suite-level optimum distributions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import OptimumDistribution, WorkloadOptimum, optimum_distribution
+from repro.analysis.optimum import OptimumEstimate
+from repro.trace import WorkloadClass, small_suite
+
+DEPTHS = (2, 4, 6, 8, 10, 12, 16, 20, 25)
+
+
+@pytest.fixture(scope="module")
+def tiny_distribution():
+    return optimum_distribution(
+        small_suite(1), depths=DEPTHS, trace_length=2500, reference_depth=8
+    )
+
+
+class TestDistribution:
+    def test_one_optimum_per_workload(self, tiny_distribution):
+        assert len(tiny_distribution.optima) == len(WorkloadClass)
+
+    def test_depths_in_swept_range(self, tiny_distribution):
+        depths = tiny_distribution.depths()
+        assert np.all(depths >= DEPTHS[0])
+        assert np.all(depths <= DEPTHS[-1])
+
+    def test_summary_statistics(self, tiny_distribution):
+        depths = tiny_distribution.depths()
+        assert tiny_distribution.mean_depth == pytest.approx(float(depths.mean()))
+        assert tiny_distribution.median_depth == pytest.approx(float(np.median(depths)))
+        assert tiny_distribution.mean_fo4() > 0
+
+    def test_histogram_counts_sum(self, tiny_distribution):
+        _lefts, counts = tiny_distribution.histogram()
+        assert counts.sum() == len(tiny_distribution.optima)
+
+    def test_by_class_partition(self, tiny_distribution):
+        grouped = tiny_distribution.by_class()
+        total = sum(len(members) for members in grouped.values())
+        assert total == len(tiny_distribution.optima)
+
+    def test_class_summary_ranges(self, tiny_distribution):
+        for _cls, (mean, lo, hi) in tiny_distribution.class_summary().items():
+            assert lo <= mean <= hi
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            OptimumDistribution(optima=(), metric_exponent=3.0, gated=True)
+
+    def test_custom_bins(self, tiny_distribution):
+        lefts, counts = tiny_distribution.histogram(bins=[0, 10, 30])
+        assert counts.sum() == len(tiny_distribution.optima)
+        assert list(lefts) == [0, 10]

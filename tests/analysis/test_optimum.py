@@ -1,0 +1,76 @@
+"""Tests of optimum extraction and theory fitting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import optimum_from_sweep, theory_fit_from_sweep
+from repro.analysis.optimum import _parabolic_refine
+
+
+class TestOptimumFromSweep:
+    def test_estimate_in_range(self, modern_sweep):
+        estimate = optimum_from_sweep(modern_sweep, 3.0, gated=True)
+        assert modern_sweep.depths[0] <= estimate.depth <= modern_sweep.depths[-1]
+        assert estimate.method in ("cubic-fit", "parabolic", "boundary")
+
+    def test_fo4_consistent(self, modern_sweep):
+        estimate = optimum_from_sweep(modern_sweep, 3.0, gated=True)
+        tech = modern_sweep.reference.technology
+        assert estimate.fo4_per_stage == pytest.approx(tech.fo4_per_stage(estimate.depth))
+
+    def test_bips_per_watt_lands_at_shallow_boundary(self, modern_sweep):
+        estimate = optimum_from_sweep(modern_sweep, 1.0, gated=True)
+        assert estimate.depth <= modern_sweep.depths[0] + 2.0
+
+    def test_performance_only_deeper_than_power_aware(self, modern_sweep):
+        perf = optimum_from_sweep(modern_sweep, float("inf"), gated=True)
+        power_aware = optimum_from_sweep(modern_sweep, 3.0, gated=True)
+        assert perf.depth > power_aware.depth + 2.0
+
+    def test_parabolic_refine_vertex(self):
+        depths = np.asarray([2.0, 4.0, 6.0, 8.0, 10.0])
+        values = -(depths - 6.5) ** 2
+        vertex, peak, method = _parabolic_refine(depths, values)
+        assert method == "parabolic"
+        assert vertex == pytest.approx(6.5)
+
+    def test_parabolic_refine_boundary(self):
+        depths = np.asarray([2.0, 4.0, 6.0])
+        values = np.asarray([1.0, 2.0, 3.0])  # rising to the edge
+        vertex, peak, method = _parabolic_refine(depths, values)
+        assert vertex <= 6.0
+
+
+class TestTheoryFit:
+    def test_scale_positive_and_finite(self, modern_sweep):
+        fit = theory_fit_from_sweep(modern_sweep, 3.0, gated=True)
+        assert fit.scale > 0
+        assert np.isfinite(fit.r_squared)
+
+    def test_theory_values_aligned(self, modern_sweep):
+        fit = theory_fit_from_sweep(modern_sweep, 3.0, gated=True)
+        assert fit.theory_values.shape == (len(modern_sweep),)
+
+    def test_integer_workload_fits_reasonably(self, modern_sweep):
+        """The paper's Figs. 4a/4b: theory tracks integer simulations."""
+        fit = theory_fit_from_sweep(modern_sweep, 3.0, gated=True)
+        assert fit.r_squared > 0.3
+
+    def test_gamma_estimated_from_power(self, modern_sweep):
+        fit = theory_fit_from_sweep(modern_sweep, 3.0, gated=True)
+        assert 0.7 <= fit.gamma <= 1.6
+
+    def test_gamma_override(self, modern_sweep):
+        fit = theory_fit_from_sweep(modern_sweep, 3.0, gated=True, gamma=1.3)
+        assert fit.gamma == 1.3
+        assert fit.space.power.gamma == 1.3
+
+    def test_gating_flag_respected(self, modern_sweep):
+        gated = theory_fit_from_sweep(modern_sweep, 3.0, gated=True)
+        ungated = theory_fit_from_sweep(modern_sweep, 3.0, gated=False)
+        assert gated.space.gating.is_perfect
+        assert not ungated.space.gating.is_perfect
+
+    def test_workload_params_from_reference(self, modern_sweep):
+        fit = theory_fit_from_sweep(modern_sweep, 3.0, gated=True)
+        assert fit.space.workload.name == modern_sweep.trace_name

@@ -1,0 +1,85 @@
+"""Tests of depth sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import DEFAULT_DEPTHS, DepthSweep, run_depth_sweep
+from repro.power import UnitPowerModel, power_report
+from repro.trace import generate_trace
+
+
+class TestDefaults:
+    def test_default_depths_are_papers_range(self):
+        assert DEFAULT_DEPTHS == tuple(range(2, 26))
+
+
+class TestDepthSweep:
+    def test_alignment(self, modern_sweep):
+        assert len(modern_sweep) == len(modern_sweep.depths)
+        assert len(modern_sweep.results) == len(modern_sweep.reports)
+
+    def test_result_at(self, modern_sweep):
+        result = modern_sweep.result_at(8)
+        assert result.depth == 8
+        with pytest.raises(KeyError):
+            modern_sweep.result_at(99)
+
+    def test_reference(self, modern_sweep):
+        assert modern_sweep.reference.depth == modern_sweep.reference_depth
+
+    def test_bips_positive(self, modern_sweep):
+        assert np.all(modern_sweep.bips() > 0)
+
+    def test_watts_gated_below_ungated(self, modern_sweep):
+        assert np.all(modern_sweep.watts(True) <= modern_sweep.watts(False) + 1e-9)
+
+    def test_metric_definition(self, modern_sweep):
+        values = modern_sweep.metric(3.0, gated=True)
+        manual = modern_sweep.bips() ** 3 / modern_sweep.watts(True)
+        assert np.allclose(values, manual)
+
+    def test_metric_infinite_is_bips(self, modern_sweep):
+        assert np.allclose(modern_sweep.metric(float("inf")), modern_sweep.bips())
+
+    def test_normalized_metric_peak(self, modern_sweep):
+        assert modern_sweep.normalized_metric(3.0).max() == pytest.approx(1.0)
+
+    def test_time_per_instruction(self, modern_sweep):
+        tpi = modern_sweep.time_per_instruction()
+        assert np.allclose(tpi, 1.0 / modern_sweep.bips())
+
+    def test_leakage_calibrated_at_reference(self, modern_sweep):
+        index = modern_sweep.depths.index(modern_sweep.reference_depth)
+        share = modern_sweep.reports[index].leakage_fraction(True)
+        assert share == pytest.approx(0.15, abs=1e-6)
+
+
+class TestRunDepthSweep:
+    def test_accepts_prebuilt_trace(self, modern_spec):
+        trace = generate_trace(modern_spec, 1500)
+        sweep = run_depth_sweep(trace, depths=(4, 8, 12), reference_depth=8)
+        assert sweep.spec is None
+        assert sweep.trace_name == modern_spec.name
+
+    def test_reference_depth_must_be_swept(self, modern_spec):
+        with pytest.raises(ValueError):
+            run_depth_sweep(modern_spec, depths=(4, 12), reference_depth=8)
+
+    def test_depths_must_ascend(self, modern_spec):
+        trace = generate_trace(modern_spec, 500)
+        with pytest.raises(ValueError):
+            run_depth_sweep(trace, depths=(8, 4), reference_depth=8)
+
+    def test_leakage_none_keeps_model(self, modern_spec):
+        trace = generate_trace(modern_spec, 1500)
+        model = UnitPowerModel(leakage_per_latch=0.123)
+        sweep = run_depth_sweep(
+            trace, depths=(8,), reference_depth=8, power_model=model, leakage_fraction=None
+        )
+        assert sweep.power_model.leakage_per_latch == 0.123
+
+    def test_reports_match_direct_accounting(self, modern_spec):
+        trace = generate_trace(modern_spec, 1500)
+        sweep = run_depth_sweep(trace, depths=(8,), reference_depth=8)
+        direct = power_report(sweep.results[0], sweep.power_model)
+        assert direct.total_gated == pytest.approx(sweep.reports[0].total_gated)

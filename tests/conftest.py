@@ -1,0 +1,60 @@
+"""Shared fixtures: small traces, sweeps and design spaces.
+
+Session-scoped where construction is expensive (sweeps) so the suite stays
+fast; every fixture is deterministic.
+"""
+
+import pytest
+
+from repro.analysis import run_depth_sweep
+from repro.core import DesignSpace, calibrate_leakage
+from repro.trace import WorkloadClass, by_class, generate_trace
+
+TEST_TRACE_LENGTH = 3000
+TEST_DEPTHS = (2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 20, 25)
+
+
+@pytest.fixture(scope="session")
+def modern_spec():
+    return by_class(WorkloadClass.MODERN)[0]
+
+
+@pytest.fixture(scope="session")
+def float_spec():
+    return by_class(WorkloadClass.FLOAT)[0]
+
+
+@pytest.fixture(scope="session")
+def legacy_spec():
+    return by_class(WorkloadClass.LEGACY)[0]
+
+
+@pytest.fixture(scope="session")
+def modern_trace(modern_spec):
+    return generate_trace(modern_spec, TEST_TRACE_LENGTH)
+
+
+@pytest.fixture(scope="session")
+def float_trace(float_spec):
+    return generate_trace(float_spec, TEST_TRACE_LENGTH)
+
+
+@pytest.fixture(scope="session")
+def modern_sweep(modern_spec):
+    return run_depth_sweep(
+        modern_spec, depths=TEST_DEPTHS, trace_length=TEST_TRACE_LENGTH, reference_depth=8
+    )
+
+
+@pytest.fixture(scope="session")
+def float_sweep(float_spec):
+    return run_depth_sweep(
+        float_spec, depths=TEST_DEPTHS, trace_length=TEST_TRACE_LENGTH, reference_depth=8
+    )
+
+
+@pytest.fixture()
+def typical_space():
+    """The paper's typical design point: defaults + 15% leakage at p=8."""
+    space = DesignSpace()
+    return space.with_power(calibrate_leakage(space, 0.15, 8.0))

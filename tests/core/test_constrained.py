@@ -1,0 +1,119 @@
+"""Tests of power-constrained design (the paper's alternative strategy)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DesignSpace,
+    GatingModel,
+    GatingStyle,
+    ParameterError,
+    bips,
+    calibrate_leakage,
+    constrained_optimum,
+    pareto_frontier,
+    performance_only_optimum,
+    power_cap_depth,
+    total_power,
+)
+
+
+@pytest.fixture()
+def space():
+    base = DesignSpace()
+    return base.with_power(calibrate_leakage(base, 0.15, 8.0))
+
+
+class TestPowerCap:
+    def test_cap_is_budget_crossing(self, space):
+        budget = float(total_power(8.0, space))
+        cap = power_cap_depth(space, budget)
+        assert cap == pytest.approx(8.0, rel=1e-6)
+
+    def test_everything_fits_large_budget(self, space):
+        cap = power_cap_depth(space, 1e12, max_depth=40.0)
+        assert cap == 40.0
+
+    def test_nothing_fits_tiny_budget(self, space):
+        assert power_cap_depth(space, 1e-9) is None
+
+    def test_budget_validation(self, space):
+        with pytest.raises(ParameterError):
+            power_cap_depth(space, 0.0)
+
+
+class TestConstrainedOptimum:
+    def test_binding_budget_sits_on_the_budget_line(self, space):
+        budget = float(total_power(8.0, space))
+        result = constrained_optimum(space, budget)
+        assert result.binding
+        assert result.watts == pytest.approx(budget, rel=1e-6)
+        assert result.depth == pytest.approx(8.0, rel=1e-6)
+
+    def test_generous_budget_recovers_eq2(self, space):
+        result = constrained_optimum(space, 1e12)
+        expected = performance_only_optimum(space.technology, space.workload)
+        assert not result.binding
+        assert result.depth == pytest.approx(expected, rel=1e-6)
+
+    def test_infeasible_budget_reported(self, space):
+        result = constrained_optimum(space, 1e-9)
+        assert not result.feasible
+        assert result.depth == 1.0
+
+    def test_more_budget_never_hurts(self, space):
+        budgets = [float(total_power(p, space)) for p in (4.0, 8.0, 16.0)]
+        performances = [constrained_optimum(space, b).bips for b in budgets]
+        assert performances == sorted(performances)
+
+    def test_headroom(self, space):
+        tight = constrained_optimum(space, float(total_power(8.0, space)))
+        assert tight.headroom == pytest.approx(0.0, abs=1e-6)
+        loose = constrained_optimum(space, 1e9)
+        assert loose.headroom > 0.5
+
+    @given(budget_scale=st.floats(0.2, 50.0))
+    @settings(max_examples=40, deadline=None)
+    def test_constraint_always_respected(self, budget_scale):
+        base = DesignSpace()
+        space = base.with_power(calibrate_leakage(base, 0.15, 8.0))
+        budget = budget_scale * float(total_power(8.0, space))
+        result = constrained_optimum(space, budget)
+        if result.feasible:
+            assert result.watts <= budget * (1.0 + 1e-6)
+
+    def test_gated_solver(self, space):
+        gated = space.with_gating(GatingModel(GatingStyle.PERFECT))
+        budget = 2.0 * float(total_power(8.0, gated))
+        result = constrained_optimum(gated, budget)
+        assert result.feasible
+        assert result.watts <= budget * (1.0 + 1e-6)
+        # Must beat the naive shallowest design.
+        assert result.bips > float(bips(2.0, gated))
+
+    def test_gated_infeasible(self, space):
+        gated = space.with_gating(GatingModel(GatingStyle.PERFECT))
+        result = constrained_optimum(gated, 1e-9)
+        assert not result.feasible
+
+
+class TestParetoFrontier:
+    def test_monotone_tradeoff(self, space):
+        _depths, perf, watts = pareto_frontier(space)
+        assert np.all(np.diff(watts) > 0)
+        assert np.all(np.diff(perf) > 0)
+
+    def test_dominated_deep_designs_excluded(self, space):
+        depths, _perf, _watts = pareto_frontier(space, max_depth=40.0)
+        p_perf = performance_only_optimum(space.technology, space.workload)
+        assert depths[-1] <= p_perf + 0.5
+
+    def test_strategies_agree_on_the_frontier(self, space):
+        """A budget-constrained design always lands on the Pareto set."""
+        depths, _perf, watts = pareto_frontier(space, points=400)
+        budget = float(total_power(10.0, space))
+        result = constrained_optimum(space, budget)
+        distance = np.min(np.abs(depths - result.depth))
+        assert distance < 0.25

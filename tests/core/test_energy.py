@@ -1,0 +1,90 @@
+"""Tests of the energy-delay formalism and its duality with BIPS^m/W."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DesignSpace,
+    ParameterError,
+    calibrate_leakage,
+    metric,
+    optimum_depth,
+    time_per_instruction,
+    total_power,
+)
+from repro.core.energy import (
+    ed_product,
+    energy_delay_product,
+    energy_delay_squared,
+    energy_per_instruction,
+)
+
+
+@pytest.fixture()
+def space():
+    base = DesignSpace()
+    return base.with_power(calibrate_leakage(base, 0.15, 8.0))
+
+
+class TestDefinitions:
+    def test_energy_is_power_times_delay(self, space):
+        p = 8.0
+        expected = float(total_power(p, space)) * time_per_instruction(
+            p, space.technology, space.workload
+        )
+        assert energy_per_instruction(p, space) == pytest.approx(expected)
+
+    def test_edp_and_ed2p(self, space):
+        p = 8.0
+        delay = time_per_instruction(p, space.technology, space.workload)
+        assert energy_delay_product(p, space) == pytest.approx(
+            energy_per_instruction(p, space) * delay
+        )
+        assert energy_delay_squared(p, space) == pytest.approx(
+            energy_per_instruction(p, space) * delay**2
+        )
+
+    def test_negative_exponent_rejected(self, space):
+        with pytest.raises(ParameterError):
+            ed_product(8.0, space, -1.0)
+
+    def test_vectorised(self, space):
+        depths = np.asarray([2.0, 8.0, 20.0])
+        values = energy_per_instruction(depths, space)
+        assert values.shape == (3,)
+
+
+class TestDuality:
+    @given(m=st.sampled_from([1.0, 2.0, 3.0, 4.0]), p=st.floats(1.0, 30.0))
+    @settings(max_examples=40, deadline=None)
+    def test_identity_everywhere(self, m, p):
+        """E * D^(m-1) == 1 / (BIPS^m/W) at every depth, for every m."""
+        base = DesignSpace()
+        space = base.with_power(calibrate_leakage(base, 0.15, 8.0))
+        lhs = ed_product(p, space, m - 1.0)
+        rhs = 1.0 / float(metric(p, space, m))
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_ed2p_minimum_is_bips3_maximum(self, space):
+        """The paper's metric choice in the energy vocabulary."""
+        m3 = optimum_depth(space, 3.0).depth
+        grid = np.linspace(1.0, 28.0, 541)
+        ed2 = energy_delay_squared(grid, space)
+        assert grid[int(np.argmin(ed2))] == pytest.approx(m3, abs=0.1)
+
+    def test_pure_energy_prefers_shallow(self, space):
+        """Minimum energy per instruction sits at the shallowest design —
+        the energy-side statement of 'BIPS/W never pipelines'."""
+        grid = np.linspace(1.0, 28.0, 109)
+        energy = energy_per_instruction(grid, space)
+        assert int(np.argmin(energy)) == 0
+
+    def test_metric_ordering_in_energy_terms(self, space):
+        """Deeper optima as the delay exponent grows — Fig. 5, restated."""
+        grid = np.linspace(1.0, 28.0, 1081)
+        argmins = [
+            grid[int(np.argmin(ed_product(grid, space, k)))] for k in (0.0, 1.0, 2.0)
+        ]
+        assert argmins == sorted(argmins)

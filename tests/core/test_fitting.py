@@ -1,0 +1,117 @@
+"""Tests of cubic-peak and scale fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ParameterError, cubic_fit_peak, fit_scale
+
+
+class TestCubicFit:
+    def test_recovers_exact_cubic(self):
+        depths = np.arange(2.0, 26.0)
+        # Peak of -(p - 9)^2 scaled; embed in a cubic with tiny cubic term.
+        values = 100.0 - (depths - 9.0) ** 2 + 0.001 * depths**3
+        fit = cubic_fit_peak(depths, values)
+        fitted = fit(depths)
+        assert np.allclose(fitted, values, rtol=1e-6, atol=1e-6)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_peak_of_pure_parabola(self):
+        depths = np.arange(2.0, 26.0)
+        values = -(depths - 9.0) ** 2
+        fit = cubic_fit_peak(depths, values)
+        assert fit.peak_depth == pytest.approx(9.0, abs=1e-6)
+        assert fit.peak_value == pytest.approx(0.0, abs=1e-6)
+        assert fit.smooth
+
+    def test_monotone_data_has_no_interior_peak(self):
+        depths = np.arange(2.0, 26.0)
+        fit = cubic_fit_peak(depths, depths * 2.0)
+        assert fit.peak_depth is None
+        assert not fit.smooth
+
+    def test_minimum_is_not_reported_as_peak(self):
+        depths = np.arange(2.0, 26.0)
+        values = (depths - 9.0) ** 2  # interior *minimum*
+        fit = cubic_fit_peak(depths, values)
+        assert fit.peak_depth is None
+
+    def test_peak_outside_range_excluded(self):
+        depths = np.arange(2.0, 10.0)
+        values = -(depths - 30.0) ** 2  # vertex far to the right
+        fit = cubic_fit_peak(depths, values)
+        assert fit.peak_depth is None
+
+    @given(
+        peak=st.floats(5.0, 20.0),
+        width=st.floats(0.5, 5.0),
+        scale=st.floats(0.1, 100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_parabola_peak_recovery_property(self, peak, width, scale):
+        depths = np.arange(2.0, 26.0)
+        values = scale * (1.0 - ((depths - peak) / (10.0 * width)) ** 2)
+        fit = cubic_fit_peak(depths, values)
+        assert fit.peak_depth is not None
+        assert fit.peak_depth == pytest.approx(peak, abs=0.05)
+
+    def test_callable_scalar(self):
+        depths = np.arange(2.0, 26.0)
+        fit = cubic_fit_peak(depths, -(depths - 9.0) ** 2)
+        assert isinstance(fit(9.0), float)
+
+    def test_noise_tolerance(self):
+        rng = np.random.default_rng(7)
+        depths = np.arange(2.0, 26.0)
+        values = -(depths - 9.0) ** 2 + rng.normal(0, 2.0, depths.size)
+        fit = cubic_fit_peak(depths, values)
+        assert fit.peak_depth == pytest.approx(9.0, abs=1.5)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ParameterError):
+            cubic_fit_peak([1.0, 2.0, 3.0], [1.0, 2.0, 1.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ParameterError):
+            cubic_fit_peak([1.0, 2.0, 3.0, 4.0], [1.0, 2.0])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ParameterError):
+            cubic_fit_peak([1.0, 2.0, 3.0, float("nan")], [1.0, 2.0, 3.0, 4.0])
+
+
+class TestScaleFit:
+    def test_exact_scale_recovery(self):
+        theory = np.asarray([1.0, 2.0, 3.0, 4.0])
+        fit = fit_scale(2.5 * theory, theory)
+        assert fit.scale == pytest.approx(2.5)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_apply(self):
+        theory = np.asarray([1.0, 2.0])
+        fit = fit_scale(3.0 * theory, theory)
+        assert np.allclose(fit.apply(theory), 3.0 * theory)
+
+    def test_least_squares_optimality(self):
+        rng = np.random.default_rng(11)
+        theory = np.linspace(1.0, 5.0, 20)
+        sim = 1.7 * theory + rng.normal(0, 0.1, 20)
+        fit = fit_scale(sim, theory)
+        base_error = float(np.sum((sim - fit.scale * theory) ** 2))
+        for delta in (0.99, 1.01):
+            worse = float(np.sum((sim - fit.scale * delta * theory) ** 2))
+            assert worse >= base_error
+
+    def test_zero_theory_rejected(self):
+        with pytest.raises(ParameterError):
+            fit_scale([1.0, 2.0], [0.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            fit_scale([], [])
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(ParameterError):
+            fit_scale([1.0], [1.0, 2.0])

@@ -1,0 +1,96 @@
+"""Tests of the generalised metric family BIPS**m/W (Eq. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DesignSpace,
+    MetricFamily,
+    ParameterError,
+    bips,
+    metric,
+    metric_curve,
+    time_per_instruction,
+    total_power,
+    watts,
+)
+
+
+class TestMetricFamily:
+    def test_exponents(self):
+        assert MetricFamily.BIPS_PER_WATT.exponent == 1.0
+        assert MetricFamily.BIPS2_PER_WATT.exponent == 2.0
+        assert MetricFamily.BIPS3_PER_WATT.exponent == 3.0
+        assert np.isinf(MetricFamily.PERFORMANCE_ONLY.exponent)
+
+    def test_labels(self):
+        assert MetricFamily.BIPS_PER_WATT.label == "BIPS/W"
+        assert MetricFamily.BIPS3_PER_WATT.label == "BIPS3/W"
+        assert MetricFamily.PERFORMANCE_ONLY.label == "BIPS"
+
+
+class TestMetricValues:
+    def test_definition(self, typical_space):
+        p = 8.0
+        expected = bips(p, typical_space) ** 3 / total_power(p, typical_space)
+        assert metric(p, typical_space, 3.0) == pytest.approx(expected)
+
+    def test_enum_and_float_agree(self, typical_space):
+        assert metric(8.0, typical_space, MetricFamily.BIPS2_PER_WATT) == pytest.approx(
+            metric(8.0, typical_space, 2.0)
+        )
+
+    def test_infinite_exponent_returns_bips(self, typical_space):
+        assert metric(8.0, typical_space, float("inf")) == pytest.approx(
+            bips(8.0, typical_space)
+        )
+
+    def test_bips_is_reciprocal_time(self, typical_space):
+        p = 8.0
+        tpi = time_per_instruction(p, typical_space.technology, typical_space.workload)
+        assert bips(p, typical_space) == pytest.approx(1.0 / tpi)
+
+    def test_watts_alias(self, typical_space):
+        assert watts(8.0, typical_space) == pytest.approx(total_power(8.0, typical_space))
+
+    def test_m_zero_is_inverse_power(self, typical_space):
+        assert metric(8.0, typical_space, 0.0) == pytest.approx(
+            1.0 / total_power(8.0, typical_space)
+        )
+
+    def test_negative_exponent_rejected(self, typical_space):
+        with pytest.raises(ParameterError):
+            metric(8.0, typical_space, -1.0)
+
+    def test_vectorised(self, typical_space):
+        depths = np.asarray([2.0, 8.0, 20.0])
+        values = metric(depths, typical_space, 3.0)
+        assert values.shape == (3,)
+        for i, p in enumerate(depths):
+            assert values[i] == pytest.approx(metric(float(p), typical_space, 3.0))
+
+
+class TestMetricCurve:
+    def test_normalised_peak_is_one(self, typical_space):
+        depths = np.linspace(1.0, 25.0, 49)
+        curve = metric_curve(depths, typical_space, 3.0, normalize=True)
+        assert curve.max() == pytest.approx(1.0)
+        assert np.all(curve > 0)
+
+    def test_unnormalised_matches_metric(self, typical_space):
+        depths = np.linspace(2.0, 10.0, 5)
+        curve = metric_curve(depths, typical_space, 3.0)
+        assert np.allclose(curve, metric(depths, typical_space, 3.0))
+
+    def test_bips_per_watt_monotone_decreasing(self, typical_space):
+        """The paper's BIPS/W result: no interior optimum — the curve only
+        falls as the pipeline deepens."""
+        depths = np.linspace(1.0, 25.0, 49)
+        curve = metric_curve(depths, typical_space, 1.0)
+        assert np.all(np.diff(curve) < 0)
+
+    def test_bips3_has_interior_peak(self, typical_space):
+        depths = np.linspace(1.0, 25.0, 97)
+        curve = metric_curve(depths, typical_space, 3.0)
+        k = int(np.argmax(curve))
+        assert 0 < k < len(depths) - 1

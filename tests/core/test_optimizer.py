@@ -1,0 +1,294 @@
+"""Tests of the analytic optimiser — the paper's Eqs. 5-8.
+
+The backbone is a property-based cross-check: over random (but physical)
+parameter spaces, the exact polynomial solution must agree with a dense
+numerical optimisation of the metric itself, for both gating models.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DesignSpace,
+    GatingModel,
+    GatingStyle,
+    ParameterError,
+    PowerParams,
+    TechnologyParams,
+    WorkloadParams,
+    calibrate_leakage,
+    feasibility,
+    metric,
+    numeric_optimum,
+    optimum_depth,
+    optimum_depth_quadratic,
+    paper_quartic,
+    performance_only_optimum,
+    quadratic_coefficients,
+    spurious_roots,
+    stationarity_polynomial,
+)
+
+UNGATED = GatingModel(GatingStyle.UNGATED)
+PERFECT = GatingModel(GatingStyle.PERFECT)
+
+
+def random_space(draw_hr, draw_alpha, draw_beta, draw_gamma, draw_leak, gating):
+    wl = WorkloadParams(draw_hr, draw_alpha, draw_beta)
+    power = PowerParams(latch_growth_exponent=draw_gamma, leakage_per_latch=draw_leak)
+    return DesignSpace(workload=wl, power=power, gating=gating)
+
+
+class TestExactVsNumeric:
+    @given(
+        hr=st.floats(0.01, 0.3),
+        alpha=st.floats(1.0, 4.0),
+        beta=st.floats(0.1, 1.0),
+        gamma=st.floats(0.8, 1.8),
+        leak=st.one_of(st.just(0.0), st.floats(1e-6, 0.05)),
+        m=st.sampled_from([2.0, 2.5, 3.0, 4.0]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ungated_agreement(self, hr, alpha, beta, gamma, leak, m):
+        space = random_space(hr, alpha, beta, gamma, leak, UNGATED)
+        exact = optimum_depth(space, m, max_depth=64.0)
+        numeric = numeric_optimum(space, m, max_depth=64.0)
+        assert exact.depth == pytest.approx(numeric.depth, rel=2e-2, abs=0.05)
+
+    @given(
+        hr=st.floats(0.01, 0.3),
+        alpha=st.floats(1.0, 4.0),
+        beta=st.floats(0.1, 1.0),
+        gamma=st.floats(0.8, 1.8),
+        leak=st.one_of(st.just(0.0), st.floats(1e-6, 0.05)),
+        m=st.sampled_from([2.5, 3.0, 4.0]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gated_agreement(self, hr, alpha, beta, gamma, leak, m):
+        space = random_space(hr, alpha, beta, gamma, leak, PERFECT)
+        exact = optimum_depth(space, m, max_depth=64.0)
+        numeric = numeric_optimum(space, m, max_depth=64.0)
+        assert exact.depth == pytest.approx(numeric.depth, rel=2e-2, abs=0.05)
+
+    def test_metric_value_reported(self, typical_space):
+        result = optimum_depth(typical_space, 3.0)
+        assert result.metric_value == pytest.approx(
+            float(metric(result.depth, typical_space, 3.0))
+        )
+
+
+class TestPaperClaims:
+    def test_bips_per_watt_never_pipelines(self, typical_space):
+        assert not optimum_depth(typical_space, 1.0).pipelined
+
+    def test_bips3_pipelines(self, typical_space):
+        result = optimum_depth(typical_space, 3.0)
+        assert result.pipelined
+        assert result.depth > 2.0
+
+    def test_gating_moves_optimum_deeper(self):
+        ungated = DesignSpace()
+        ungated = ungated.with_power(calibrate_leakage(ungated, 0.15, 8.0))
+        gated = DesignSpace(gating=PERFECT)
+        gated = gated.with_power(calibrate_leakage(gated, 0.15, 8.0))
+        assert optimum_depth(gated, 3.0).depth > optimum_depth(ungated, 3.0).depth
+
+    def test_metric_family_ordering(self, typical_space):
+        """Fig. 5: optima deepen with the metric exponent."""
+        depths = [optimum_depth(typical_space, m).depth for m in (1.0, 2.0, 3.0, 5.0)]
+        depths.append(performance_only_optimum(typical_space.technology,
+                                               typical_space.workload))
+        assert depths == sorted(depths)
+
+    def test_m_infinity_recovers_eq2(self, typical_space):
+        result = optimum_depth(typical_space, float("inf"))
+        expected = performance_only_optimum(typical_space.technology, typical_space.workload)
+        assert result.depth == pytest.approx(expected)
+        assert result.method == "limit"
+
+    def test_fo4_reported(self, typical_space):
+        result = optimum_depth(typical_space, 3.0)
+        assert result.fo4_per_stage == pytest.approx(
+            typical_space.technology.fo4_per_stage(result.depth)
+        )
+
+
+class TestStationarityPolynomial:
+    def test_ungated_is_cubic(self, typical_space):
+        assert stationarity_polynomial(typical_space, 3.0).degree == 3
+
+    def test_gated_is_quartic(self, typical_space):
+        gated = typical_space.with_gating(PERFECT)
+        assert stationarity_polynomial(gated, 3.0).degree == 4
+
+    def test_constant_term_sign_condition(self):
+        """A_0 ∝ (gamma - m): negative iff m > gamma (paper Sec. 2)."""
+        space = DesignSpace(power=PowerParams(leakage_per_latch=0.01,
+                                              latch_growth_exponent=1.1))
+        assert stationarity_polynomial(space, 3.0).coeffs[0] < 0
+        assert stationarity_polynomial(space, 1.05).coeffs[0] > 0
+
+    def test_rejects_infinite_m(self, typical_space):
+        with pytest.raises(ParameterError):
+            stationarity_polynomial(typical_space, float("inf"))
+
+    def test_quartic_contains_eq6a_root_exactly(self, typical_space):
+        """Paper Eq. 6a: p = -t_p/t_o is an exact root of the quartic."""
+        quartic = paper_quartic(typical_space, 3.0)
+        root = -typical_space.technology.t_p / typical_space.technology.t_o
+        # Normalise by the quartic's scale near the root.
+        scale = max(abs(c) * abs(root) ** i for i, c in enumerate(quartic.coeffs))
+        assert abs(quartic(root)) < 1e-9 * scale
+
+    def test_quartic_has_single_positive_root(self, typical_space):
+        """Fig. 1: four real zero crossings, exactly one positive."""
+        quartic = paper_quartic(typical_space, 3.0)
+        real = quartic.real_roots()
+        assert real.size == 4
+        assert np.count_nonzero(real > 0) == 1
+
+    def test_spurious_roots_values(self, typical_space):
+        tech, power = typical_space.technology, typical_space.power
+        first, second = spurious_roots(typical_space)
+        assert first == pytest.approx(-tech.t_p / tech.t_o)
+        expected_second = -power.p_l * tech.t_p / (power.p_d + tech.t_o * power.p_l)
+        assert second == pytest.approx(expected_second)
+
+    def test_limit_roots_approach_eq2(self):
+        """As m grows, the positive root approaches the Eq. 2 optimum."""
+        space = DesignSpace()
+        space = space.with_power(calibrate_leakage(space, 0.15, 8.0))
+        eq2 = performance_only_optimum(space.technology, space.workload)
+        previous_gap = None
+        for m in (5.0, 20.0, 100.0):
+            root = optimum_depth(space, m, max_depth=200.0).depth
+            gap = abs(root - eq2)
+            if previous_gap is not None:
+                assert gap < previous_gap
+            previous_gap = gap
+        assert previous_gap < 0.05 * eq2
+
+
+class TestQuadraticApproximation:
+    def test_close_to_exact_at_low_leakage(self):
+        space = DesignSpace()
+        space = space.with_power(calibrate_leakage(space, 0.05, 8.0))
+        exact = optimum_depth(space, 3.0).depth
+        approx = optimum_depth_quadratic(space, 3.0).depth
+        assert approx == pytest.approx(exact, rel=0.25)
+
+    def test_exact_when_leakless(self):
+        """With P_l = 0 the Eq. 6b factor is exactly p = 0, so dividing it
+        out loses nothing and the quadratic is exact."""
+        space = DesignSpace(power=PowerParams(leakage_per_latch=0.0))
+        exact = optimum_depth(space, 3.0).depth
+        approx = optimum_depth_quadratic(space, 3.0).depth
+        assert approx == pytest.approx(exact, rel=1e-9)
+
+    def test_coefficient_signs(self, typical_space):
+        b2, b1, b0 = quadratic_coefficients(typical_space, 3.0)
+        assert b2 > 0  # (m + gamma) a t_o Q
+        assert b0 < 0  # needed for a positive root
+
+    def test_b0_positive_when_m_below_gamma(self):
+        space = DesignSpace(power=PowerParams(latch_growth_exponent=1.5,
+                                              leakage_per_latch=0.01))
+        _b2, _b1, b0 = quadratic_coefficients(space, 1.2)
+        assert b0 > 0  # no positive root -> no pipelined optimum
+
+    def test_rejects_perfect_gating(self, typical_space):
+        with pytest.raises(ParameterError):
+            optimum_depth_quadratic(typical_space.with_gating(PERFECT), 3.0)
+
+
+class TestFeasibility:
+    def test_m_below_gamma_fails_necessary(self):
+        space = DesignSpace(power=PowerParams(latch_growth_exponent=1.5))
+        report = feasibility(space, 1.0)
+        assert not report.necessary_condition
+        assert not report.has_interior_optimum
+        assert "non-pipelined" in report.explanation
+
+    def test_zero_leakage_condition(self):
+        space = DesignSpace(power=PowerParams(leakage_per_latch=0.0,
+                                              latch_growth_exponent=1.1))
+        report = feasibility(space, 2.0)
+        # m = 2 fails the tightened leakless condition m > gamma + 1 = 2.1.
+        assert report.zero_leakage_condition is False
+        ok = feasibility(space, 3.0)
+        assert ok.zero_leakage_condition is True
+
+    def test_zero_leakage_condition_none_with_leakage(self, typical_space):
+        assert feasibility(typical_space, 3.0).zero_leakage_condition is None
+
+    def test_m3_typically_feasible(self, typical_space):
+        report = feasibility(typical_space, 3.0)
+        assert report.necessary_condition
+        assert report.has_interior_optimum
+
+
+class TestBoundaries:
+    def test_min_depth_validation(self, typical_space):
+        with pytest.raises(ParameterError):
+            optimum_depth(typical_space, 3.0, min_depth=0.0)
+
+    def test_max_depth_validation(self, typical_space):
+        with pytest.raises(ParameterError):
+            optimum_depth(typical_space, 3.0, min_depth=5.0, max_depth=4.0)
+
+    def test_max_depth_clamps(self, typical_space):
+        free = optimum_depth(typical_space, 3.0)
+        clamped = optimum_depth(typical_space, 3.0, max_depth=free.depth / 2)
+        assert clamped.depth <= free.depth / 2
+
+    def test_nonpositive_m_rejected(self, typical_space):
+        with pytest.raises(ParameterError):
+            optimum_depth(typical_space, 0.0)
+
+    def test_numeric_boundary_detection(self):
+        space = DesignSpace()  # m=1 -> boundary at min depth
+        result = numeric_optimum(space, 1.0)
+        assert not result.pipelined
+        assert result.depth == pytest.approx(1.0)
+
+
+class TestClosedFormQuadratic:
+    def test_matches_division_when_leakless(self):
+        from repro.core import quadratic_coefficients_closed_form
+
+        space = DesignSpace(power=PowerParams(leakage_per_latch=0.0))
+        division = quadratic_coefficients(space, 3.0)
+        closed = quadratic_coefficients_closed_form(space, 3.0)
+        for a, b in zip(division, closed):
+            assert a == pytest.approx(b, rel=1e-9)
+
+    def test_root_close_at_moderate_leakage(self):
+        from repro.core import Poly, quadratic_coefficients_closed_form
+
+        space = DesignSpace()
+        space = space.with_power(calibrate_leakage(space, 0.15, 8.0))
+        b2, b1, b0 = quadratic_coefficients_closed_form(space, 3.0)
+        closed_root = Poly([b0, b1, b2]).positive_real_roots()
+        division_root = optimum_depth_quadratic(space, 3.0).depth
+        assert closed_root.size == 1
+        assert closed_root[0] == pytest.approx(division_root, rel=0.25)
+
+    def test_published_structure(self):
+        """B2 = (m + gamma)*a*t_o exactly, per the paper's Eq. 8."""
+        from repro.core import quadratic_coefficients_closed_form
+
+        space = DesignSpace()
+        b2, _b1, _b0 = quadratic_coefficients_closed_form(space, 3.0)
+        wl, tech, pw = space.workload, space.technology, space.power
+        expected = (3.0 + pw.gamma) * wl.hazard_pressure * tech.latch_overhead
+        assert b2 == pytest.approx(expected)
+
+    def test_rejects_perfect_gating_and_infinite_m(self, typical_space):
+        from repro.core import quadratic_coefficients_closed_form
+
+        with pytest.raises(ParameterError):
+            quadratic_coefficients_closed_form(typical_space.with_gating(PERFECT), 3.0)
+        with pytest.raises(ParameterError):
+            quadratic_coefficients_closed_form(typical_space, float("inf"))

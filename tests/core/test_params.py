@@ -1,0 +1,186 @@
+"""Unit tests for the theory parameter objects."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    DesignSpace,
+    GatingModel,
+    GatingStyle,
+    ParameterError,
+    PowerParams,
+    TechnologyParams,
+    WorkloadParams,
+)
+
+
+class TestTechnologyParams:
+    def test_defaults_match_paper(self):
+        tech = TechnologyParams()
+        assert tech.total_logic_depth == 140.0
+        assert tech.latch_overhead == 2.5
+
+    def test_aliases(self):
+        tech = TechnologyParams(100.0, 2.0)
+        assert tech.t_p == 100.0
+        assert tech.t_o == 2.0
+
+    def test_cycle_time_formula(self):
+        tech = TechnologyParams(140.0, 2.5)
+        assert tech.cycle_time(10) == pytest.approx(2.5 + 14.0)
+
+    def test_cycle_time_at_unit_depth_is_full_logic(self):
+        tech = TechnologyParams(140.0, 2.5)
+        assert tech.cycle_time(1) == pytest.approx(142.5)
+
+    def test_frequency_is_reciprocal(self):
+        tech = TechnologyParams()
+        assert tech.frequency(8) == pytest.approx(1.0 / tech.cycle_time(8))
+
+    def test_fo4_per_stage_alias(self):
+        tech = TechnologyParams()
+        assert tech.fo4_per_stage(7) == tech.cycle_time(7)
+
+    def test_depth_for_fo4_round_trip(self):
+        tech = TechnologyParams()
+        for depth in (2.0, 7.0, 22.0):
+            assert tech.depth_for_fo4(tech.fo4_per_stage(depth)) == pytest.approx(depth)
+
+    def test_depth_for_fo4_below_overhead_rejected(self):
+        tech = TechnologyParams()
+        with pytest.raises(ParameterError):
+            tech.depth_for_fo4(2.0)
+
+    def test_paper_design_points(self):
+        # 22 stages ~ 8.9 FO4 and 7 stages ~ 22.5 FO4 (paper Secs. 4-5).
+        tech = TechnologyParams()
+        assert tech.fo4_per_stage(22) == pytest.approx(8.86, abs=0.05)
+        assert tech.fo4_per_stage(7) == pytest.approx(22.5, abs=0.1)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_logic_depth(self, bad):
+        with pytest.raises(ParameterError):
+            TechnologyParams(total_logic_depth=bad)
+
+    @pytest.mark.parametrize("bad", [0.0, -2.5])
+    def test_invalid_latch_overhead(self, bad):
+        with pytest.raises(ParameterError):
+            TechnologyParams(latch_overhead=bad)
+
+    def test_cycle_time_rejects_nonpositive_depth(self):
+        with pytest.raises(ParameterError):
+            TechnologyParams().cycle_time(0)
+
+
+class TestWorkloadParams:
+    def test_aliases(self):
+        wl = WorkloadParams(0.1, 2.0, 0.5)
+        assert wl.alpha == 2.0
+        assert wl.beta == 0.5
+
+    def test_hazard_pressure_product(self):
+        wl = WorkloadParams(hazard_rate=0.1, superscalar_degree=2.0, hazard_stall_fraction=0.5)
+        assert wl.hazard_pressure == pytest.approx(0.1)
+
+    def test_from_counts(self):
+        wl = WorkloadParams.from_counts(1000, 50, 2.0, 0.5, name="t")
+        assert wl.hazard_rate == pytest.approx(0.05)
+        assert wl.name == "t"
+
+    def test_from_counts_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            WorkloadParams.from_counts(0, 5, 2.0, 0.5)
+
+    def test_beta_above_one_rejected(self):
+        with pytest.raises(ParameterError):
+            WorkloadParams(hazard_stall_fraction=1.5)
+
+    @pytest.mark.parametrize("field", ["hazard_rate", "superscalar_degree"])
+    def test_nonpositive_rejected(self, field):
+        with pytest.raises(ParameterError):
+            WorkloadParams(**{field: 0.0})
+
+
+class TestPowerParams:
+    def test_default_gamma_is_overall_growth(self):
+        assert PowerParams().latch_growth_exponent == pytest.approx(1.1)
+
+    def test_latch_count_power_law(self):
+        power = PowerParams(latches_per_stage=10.0, latch_growth_exponent=1.5)
+        assert power.latch_count(4) == pytest.approx(10.0 * 4**1.5)
+
+    def test_latch_count_rejects_nonpositive_depth(self):
+        with pytest.raises(ParameterError):
+            PowerParams().latch_count(0)
+
+    def test_with_gamma_copies(self):
+        base = PowerParams()
+        other = base.with_gamma(1.8)
+        assert other.gamma == 1.8
+        assert base.gamma == pytest.approx(1.1)
+        assert other.dynamic_per_latch == base.dynamic_per_latch
+
+    def test_with_leakage_copies(self):
+        other = PowerParams().with_leakage(0.5)
+        assert other.p_l == 0.5
+
+    def test_zero_leakage_allowed(self):
+        assert PowerParams(leakage_per_latch=0.0).p_l == 0.0
+
+    def test_negative_leakage_rejected(self):
+        with pytest.raises(ParameterError):
+            PowerParams(leakage_per_latch=-0.1)
+
+    def test_nonpositive_dynamic_rejected(self):
+        with pytest.raises(ParameterError):
+            PowerParams(dynamic_per_latch=0.0)
+
+
+class TestGatingModel:
+    def test_ungated_fraction(self):
+        assert GatingModel(GatingStyle.UNGATED).effective_fraction() == 1.0
+
+    def test_partial_fraction(self):
+        assert GatingModel(GatingStyle.PARTIAL, fraction=0.4).effective_fraction() == 0.4
+
+    def test_partial_fraction_out_of_range(self):
+        with pytest.raises(ParameterError):
+            GatingModel(GatingStyle.PARTIAL, fraction=0.0)
+        with pytest.raises(ParameterError):
+            GatingModel(GatingStyle.PARTIAL, fraction=1.5)
+
+    def test_perfect_has_no_constant_fraction(self):
+        with pytest.raises(ParameterError):
+            GatingModel(GatingStyle.PERFECT).effective_fraction()
+
+    def test_is_perfect(self):
+        assert GatingModel(GatingStyle.PERFECT).is_perfect
+        assert not GatingModel(GatingStyle.UNGATED).is_perfect
+
+    def test_activity_scale_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            GatingModel(GatingStyle.PERFECT, activity_scale=0.0)
+
+
+class TestDesignSpace:
+    def test_with_methods_replace_only_target(self):
+        space = DesignSpace()
+        gated = space.with_gating(GatingModel(GatingStyle.PERFECT))
+        assert gated.gating.is_perfect
+        assert gated.technology == space.technology
+        assert gated.workload == space.workload
+
+        new_power = PowerParams(leakage_per_latch=0.5)
+        assert space.with_power(new_power).power.p_l == 0.5
+
+        new_wl = WorkloadParams(hazard_rate=0.2)
+        assert space.with_workload(new_wl).workload.hazard_rate == 0.2
+
+        new_tech = TechnologyParams(total_logic_depth=70.0)
+        assert space.with_technology(new_tech).technology.t_p == 70.0
+
+    def test_frozen(self):
+        space = DesignSpace()
+        with pytest.raises(AttributeError):
+            space.technology = TechnologyParams()

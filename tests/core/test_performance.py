@@ -1,0 +1,128 @@
+"""Tests of the Hartstein-Puzak performance model (Eqs. 1 and 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ParameterError,
+    TechnologyParams,
+    WorkloadParams,
+    busy_time_per_instruction,
+    cycles_per_instruction,
+    performance_only_optimum,
+    stall_time_per_instruction,
+    throughput,
+    time_per_instruction,
+)
+
+TECH = TechnologyParams()
+WL = WorkloadParams(hazard_rate=0.09, superscalar_degree=2.0, hazard_stall_fraction=0.55)
+
+
+class TestEq1Structure:
+    def test_total_is_busy_plus_stall(self):
+        for p in (2.0, 7.0, 22.0):
+            total = time_per_instruction(p, TECH, WL)
+            busy = busy_time_per_instruction(p, TECH, WL)
+            stall = stall_time_per_instruction(p, TECH, WL)
+            assert total == pytest.approx(busy + stall)
+
+    def test_busy_term_formula(self):
+        p = 10.0
+        expected = (TECH.t_o + TECH.t_p / p) / WL.alpha
+        assert busy_time_per_instruction(p, TECH, WL) == pytest.approx(expected)
+
+    def test_stall_term_formula(self):
+        p = 10.0
+        expected = WL.beta * WL.hazard_rate * (TECH.t_o * p + TECH.t_p)
+        assert stall_time_per_instruction(p, TECH, WL) == pytest.approx(expected)
+
+    def test_busy_decreases_with_depth(self):
+        depths = np.arange(1.0, 40.0)
+        busy = busy_time_per_instruction(depths, TECH, WL)
+        assert np.all(np.diff(busy) < 0)
+
+    def test_stall_increases_with_depth(self):
+        depths = np.arange(1.0, 40.0)
+        stall = stall_time_per_instruction(depths, TECH, WL)
+        assert np.all(np.diff(stall) > 0)
+
+    def test_vectorised_matches_scalar(self):
+        depths = np.asarray([2.0, 5.0, 9.0, 20.0])
+        vec = time_per_instruction(depths, TECH, WL)
+        for i, p in enumerate(depths):
+            assert vec[i] == pytest.approx(time_per_instruction(float(p), TECH, WL))
+
+    def test_throughput_is_reciprocal(self):
+        p = 12.0
+        assert throughput(p, TECH, WL) == pytest.approx(1.0 / time_per_instruction(p, TECH, WL))
+
+    def test_cpi_consistent_with_time(self):
+        p = 12.0
+        cpi = cycles_per_instruction(p, TECH, WL)
+        assert cpi * TECH.cycle_time(p) == pytest.approx(time_per_instruction(p, TECH, WL))
+
+    def test_cpi_floor_is_inverse_alpha_without_hazards(self):
+        hazardless = WorkloadParams(hazard_rate=1e-12, superscalar_degree=2.0,
+                                    hazard_stall_fraction=0.5)
+        assert cycles_per_instruction(10.0, TECH, hazardless) == pytest.approx(0.5, rel=1e-6)
+
+    def test_rejects_nonpositive_depth(self):
+        with pytest.raises(ParameterError):
+            time_per_instruction(0.0, TECH, WL)
+        with pytest.raises(ParameterError):
+            time_per_instruction(np.asarray([2.0, -1.0]), TECH, WL)
+
+
+class TestEq2Optimum:
+    def test_closed_form(self):
+        expected = np.sqrt(TECH.t_p / (WL.hazard_pressure * TECH.t_o))
+        assert performance_only_optimum(TECH, WL) == pytest.approx(expected)
+
+    def test_is_minimum_of_eq1(self):
+        p_opt = performance_only_optimum(TECH, WL)
+        t_opt = time_per_instruction(p_opt, TECH, WL)
+        for delta in (0.9, 0.95, 1.05, 1.1):
+            assert time_per_instruction(p_opt * delta, TECH, WL) > t_opt
+
+    def test_defaults_near_paper_22_stages(self):
+        assert performance_only_optimum(TECH, WL) == pytest.approx(22.0, abs=2.5)
+
+    @given(
+        hazard_rate=st.floats(0.01, 0.5),
+        alpha=st.floats(1.0, 4.0),
+        beta=st.floats(0.1, 1.0),
+        t_p=st.floats(50.0, 400.0),
+        t_o=st.floats(1.0, 5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_stationarity_property(self, hazard_rate, alpha, beta, t_p, t_o):
+        """Eq. 2's root really is a stationary point of Eq. 1 for any
+        physically meaningful parameter combination."""
+        tech = TechnologyParams(t_p, t_o)
+        wl = WorkloadParams(hazard_rate, alpha, beta)
+        p_opt = performance_only_optimum(tech, wl)
+        eps = max(p_opt * 1e-6, 1e-9)
+        derivative = (
+            time_per_instruction(p_opt + eps, tech, wl)
+            - time_per_instruction(p_opt - eps, tech, wl)
+        ) / (2 * eps)
+        scale = time_per_instruction(p_opt, tech, wl) / p_opt
+        assert abs(derivative) < 1e-3 * scale
+
+    def test_more_hazards_shallower(self):
+        light = WorkloadParams(hazard_rate=0.02)
+        heavy = WorkloadParams(hazard_rate=0.2)
+        assert performance_only_optimum(TECH, heavy) < performance_only_optimum(TECH, light)
+
+    def test_wider_issue_shallower(self):
+        narrow = WorkloadParams(superscalar_degree=1.0)
+        wide = WorkloadParams(superscalar_degree=4.0)
+        assert performance_only_optimum(TECH, wide) < performance_only_optimum(TECH, narrow)
+
+    def test_more_logic_deeper(self):
+        small = TechnologyParams(total_logic_depth=70.0)
+        large = TechnologyParams(total_logic_depth=280.0)
+        assert performance_only_optimum(large, WL) > performance_only_optimum(small, WL)

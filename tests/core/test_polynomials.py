@@ -1,0 +1,157 @@
+"""Tests (incl. property-based) of the exact polynomial algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Poly, divide_linear
+
+coeff_lists = st.lists(
+    st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False), min_size=1, max_size=6
+)
+
+
+class TestConstruction:
+    def test_trailing_zeros_trimmed(self):
+        assert Poly([1.0, 2.0, 0.0, 0.0]).coeffs == (1.0, 2.0)
+
+    def test_zero_polynomial(self):
+        assert Poly([0.0, 0.0]).coeffs == (0.0,)
+        assert Poly([]).coeffs == (0.0,)
+
+    def test_constant(self):
+        assert Poly.constant(5.0).coeffs == (5.0,)
+
+    def test_linear(self):
+        poly = Poly.linear(3.0, 2.0)
+        assert poly(0.0) == 3.0
+        assert poly(1.0) == 5.0
+
+    def test_monomial(self):
+        assert Poly.monomial(3, 2.0).coeffs == (0.0, 0.0, 0.0, 2.0)
+
+    def test_monomial_negative_degree(self):
+        with pytest.raises(ValueError):
+            Poly.monomial(-1)
+
+    def test_degree(self):
+        assert Poly([1.0, 0.0, 3.0]).degree == 2
+        assert Poly([7.0]).degree == 0
+
+    def test_immutable(self):
+        poly = Poly([1.0, 2.0])
+        with pytest.raises(AttributeError):
+            poly.coeffs = (3.0,)
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert (Poly([1.0, 2.0]) + Poly([3.0, 0.0, 1.0])).coeffs == (4.0, 2.0, 1.0)
+
+    def test_scalar_addition(self):
+        assert (Poly([1.0, 2.0]) + 5.0).coeffs == (6.0, 2.0)
+        assert (5.0 + Poly([1.0, 2.0])).coeffs == (6.0, 2.0)
+
+    def test_subtraction(self):
+        assert (Poly([4.0, 2.0]) - Poly([1.0, 2.0])).coeffs == (3.0,)
+
+    def test_rsub(self):
+        assert (1.0 - Poly([0.0, 1.0])).coeffs == (1.0, -1.0)
+
+    def test_multiplication(self):
+        # (1 + x)(1 - x) = 1 - x^2
+        assert (Poly([1.0, 1.0]) * Poly([1.0, -1.0])).coeffs == (1.0, 0.0, -1.0)
+
+    def test_scalar_multiplication(self):
+        assert (2.0 * Poly([1.0, 3.0])).coeffs == (2.0, 6.0)
+
+    def test_negation(self):
+        assert (-Poly([1.0, -2.0])).coeffs == (-1.0, 2.0)
+
+    @given(a=coeff_lists, b=coeff_lists, x=st.floats(-3.0, 3.0))
+    @settings(max_examples=80, deadline=None)
+    def test_product_evaluation_homomorphism(self, a, b, x):
+        pa, pb = Poly(a), Poly(b)
+        lhs = (pa * pb)(x)
+        rhs = pa(x) * pb(x)
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-6)
+
+    @given(a=coeff_lists, b=coeff_lists, x=st.floats(-3.0, 3.0))
+    @settings(max_examples=80, deadline=None)
+    def test_sum_evaluation_homomorphism(self, a, b, x):
+        pa, pb = Poly(a), Poly(b)
+        assert (pa + pb)(x) == pytest.approx(pa(x) + pb(x), rel=1e-9, abs=1e-6)
+
+
+class TestCalculus:
+    def test_derivative(self):
+        # d/dx (1 + 2x + 3x^2) = 2 + 6x
+        assert Poly([1.0, 2.0, 3.0]).derivative().coeffs == (2.0, 6.0)
+
+    def test_derivative_of_constant(self):
+        assert Poly([5.0]).derivative().coeffs == (0.0,)
+
+    def test_evaluation_vectorised(self):
+        poly = Poly([1.0, 0.0, 1.0])  # 1 + x^2
+        xs = np.asarray([0.0, 1.0, 2.0])
+        assert np.allclose(poly(xs), [1.0, 2.0, 5.0])
+
+
+class TestRoots:
+    def test_quadratic_roots(self):
+        # (x - 1)(x - 3) = 3 - 4x + x^2
+        roots = Poly([3.0, -4.0, 1.0]).real_roots()
+        assert np.allclose(roots, [1.0, 3.0])
+
+    def test_complex_roots_excluded(self):
+        # x^2 + 1 has no real roots
+        assert Poly([1.0, 0.0, 1.0]).real_roots().size == 0
+
+    def test_positive_real_roots(self):
+        roots = Poly([3.0, -4.0, 1.0]) * Poly.linear(2.0, 1.0)  # extra root at -2
+        positive = roots.positive_real_roots()
+        assert np.allclose(positive, [1.0, 3.0])
+
+    def test_constant_has_no_roots(self):
+        assert Poly([5.0]).roots().size == 0
+
+    def test_monic(self):
+        assert Poly([2.0, 4.0]).monic().coeffs == (0.5, 1.0)
+
+    def test_monic_of_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            Poly([0.0]).monic()
+
+
+class TestDivision:
+    def test_exact_division(self):
+        # (2 + x)(5 + 3x) = 10 + 11x + 3x^2
+        product = Poly([10.0, 11.0, 3.0])
+        quotient, remainder = divide_linear(product, 2.0, 1.0)
+        assert remainder == pytest.approx(0.0)
+        assert np.allclose(quotient.coeffs, (5.0, 3.0))
+
+    def test_remainder_value(self):
+        # x^2 divided by (x - 1): quotient x + 1, remainder 1
+        quotient, remainder = divide_linear(Poly([0.0, 0.0, 1.0]), -1.0, 1.0)
+        assert remainder == pytest.approx(1.0)
+        assert np.allclose(quotient.coeffs, (1.0, 1.0))
+
+    def test_zero_slope_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            divide_linear(Poly([1.0, 1.0]), 1.0, 0.0)
+
+    @given(
+        coeffs=st.lists(st.floats(-50.0, 50.0, allow_nan=False), min_size=2, max_size=6),
+        intercept=st.floats(-10.0, 10.0),
+        slope=st.floats(0.5, 5.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_division_identity(self, coeffs, intercept, slope):
+        """quotient * divisor + remainder == original, everywhere."""
+        poly = Poly(coeffs)
+        quotient, remainder = divide_linear(poly, intercept, slope)
+        reconstructed = quotient * Poly.linear(intercept, slope) + remainder
+        for x in (-2.0, 0.0, 1.5):
+            assert reconstructed(x) == pytest.approx(poly(x), rel=1e-7, abs=1e-5)

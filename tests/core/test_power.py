@@ -1,0 +1,131 @@
+"""Tests of the latch-centric power model (Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DesignSpace,
+    GatingModel,
+    GatingStyle,
+    ParameterError,
+    PowerParams,
+    TechnologyParams,
+    WorkloadParams,
+    calibrate_leakage,
+    dynamic_power,
+    leakage_fraction,
+    leakage_power,
+    time_per_instruction,
+    total_power,
+)
+
+TECH = TechnologyParams()
+WL = WorkloadParams()
+UNGATED = GatingModel(GatingStyle.UNGATED)
+PERFECT = GatingModel(GatingStyle.PERFECT)
+
+
+class TestDynamicPower:
+    def test_ungated_formula(self):
+        power = PowerParams(dynamic_per_latch=2.0, latches_per_stage=3.0,
+                            latch_growth_exponent=1.1)
+        p = 8.0
+        expected = TECH.frequency(p) * 2.0 * 3.0 * p**1.1
+        assert dynamic_power(p, TECH, WL, power, UNGATED) == pytest.approx(expected)
+
+    def test_partial_gating_scales_linearly(self):
+        power = PowerParams()
+        full = dynamic_power(8.0, TECH, WL, power, UNGATED)
+        half = dynamic_power(8.0, TECH, WL, power, GatingModel(GatingStyle.PARTIAL, 0.5))
+        assert half == pytest.approx(0.5 * full)
+
+    def test_perfect_gating_tracks_throughput(self):
+        """With perfect gating the switching rate is (T/N_I)**-1."""
+        power = PowerParams()
+        p = 8.0
+        rate = 1.0 / time_per_instruction(p, TECH, WL)
+        expected = rate * power.p_d * power.latches_per_stage * p**power.gamma
+        assert dynamic_power(p, TECH, WL, power, PERFECT) == pytest.approx(expected)
+
+    def test_perfect_gating_never_exceeds_ungated(self):
+        """Useful work per unit time cannot exceed the clock rate times
+        issue width; with alpha >= 1 the per-latch switching rate under
+        perfect gating is below f_s."""
+        power = PowerParams()
+        depths = np.linspace(1.0, 30.0, 50)
+        gated = dynamic_power(depths, TECH, WL, power, PERFECT)
+        ungated = dynamic_power(depths, TECH, WL, power, UNGATED)
+        assert np.all(gated <= ungated * WL.alpha)
+
+    def test_rejects_nonpositive_depth(self):
+        with pytest.raises(ParameterError):
+            dynamic_power(0.0, TECH, WL, PowerParams(), UNGATED)
+
+
+class TestLeakagePower:
+    def test_scales_with_latch_count_only(self):
+        power = PowerParams(leakage_per_latch=0.1, latches_per_stage=2.0,
+                            latch_growth_exponent=1.3)
+        assert leakage_power(5.0, power) == pytest.approx(0.1 * 2.0 * 5.0**1.3)
+
+    def test_independent_of_frequency(self):
+        power = PowerParams(leakage_per_latch=0.1)
+        # Same depth, different technology: leakage identical.
+        assert leakage_power(5.0, power) == leakage_power(5.0, power)
+
+    def test_total_is_sum(self, typical_space):
+        p = 8.0
+        total = total_power(p, typical_space)
+        dyn = dynamic_power(p, typical_space.technology, typical_space.workload,
+                            typical_space.power, typical_space.gating)
+        leak = leakage_power(p, typical_space.power)
+        assert total == pytest.approx(dyn + leak)
+
+
+class TestLeakageCalibration:
+    @pytest.mark.parametrize("fraction", [0.0, 0.15, 0.5, 0.9])
+    def test_hits_requested_fraction(self, fraction):
+        space = DesignSpace()
+        calibrated = space.with_power(calibrate_leakage(space, fraction, 8.0))
+        assert leakage_fraction(8.0, calibrated) == pytest.approx(fraction, abs=1e-9)
+
+    def test_gated_calibration_uses_gated_dynamic(self):
+        space = DesignSpace(gating=PERFECT)
+        calibrated = space.with_power(calibrate_leakage(space, 0.15, 8.0))
+        assert leakage_fraction(8.0, calibrated) == pytest.approx(0.15, abs=1e-9)
+
+    def test_dynamic_power_held_fixed(self):
+        space = DesignSpace()
+        before = dynamic_power(8.0, space.technology, space.workload, space.power, space.gating)
+        calibrated = space.with_power(calibrate_leakage(space, 0.5, 8.0))
+        after = dynamic_power(
+            8.0, calibrated.technology, calibrated.workload, calibrated.power, calibrated.gating
+        )
+        assert after == pytest.approx(before)
+
+    def test_rejects_bad_fraction(self):
+        space = DesignSpace()
+        with pytest.raises(ParameterError):
+            calibrate_leakage(space, 1.0, 8.0)
+        with pytest.raises(ParameterError):
+            calibrate_leakage(space, -0.1, 8.0)
+
+    def test_leakage_share_falls_with_depth_ungated(self):
+        """Un-gated dynamic power grows with frequency while leakage only
+        grows with latches, so the share anchored at p=8 shrinks deeper."""
+        space = DesignSpace()
+        space = space.with_power(calibrate_leakage(space, 0.3, 8.0))
+        assert leakage_fraction(20.0, space) < 0.3
+        assert leakage_fraction(3.0, space) > 0.3
+
+
+class TestPowerShape:
+    def test_ungated_power_strictly_increasing(self, typical_space):
+        depths = np.linspace(1.0, 30.0, 60)
+        watts = total_power(depths, typical_space)
+        assert np.all(np.diff(watts) > 0)
+
+    def test_deeper_pipelines_burn_superlinear_power(self, typical_space):
+        w8 = total_power(8.0, typical_space)
+        w16 = total_power(16.0, typical_space)
+        assert w16 / w8 > 2.0  # frequency x latch growth beats linear

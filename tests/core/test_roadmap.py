@@ -1,0 +1,69 @@
+"""Tests of the technology roadmap projection."""
+
+import pytest
+
+from repro.core import (
+    CLASSIC_ROADMAP,
+    DesignSpace,
+    GatingModel,
+    GatingStyle,
+    ParameterError,
+    TechnologyNode,
+    roadmap_study,
+)
+
+
+class TestTechnologyNode:
+    def test_leakage_bounds(self):
+        with pytest.raises(ParameterError):
+            TechnologyNode("bad", latch_overhead=2.5, leakage_fraction=1.0)
+
+    def test_classic_roadmap_monotone_leakage(self):
+        fractions = [node.leakage_fraction for node in CLASSIC_ROADMAP]
+        assert fractions == sorted(fractions)
+
+    def test_classic_roadmap_improving_latches(self):
+        overheads = [node.latch_overhead for node in CLASSIC_ROADMAP]
+        assert overheads == sorted(overheads, reverse=True)
+
+
+class TestRoadmapStudy:
+    def test_deeper_across_the_roadmap(self):
+        """Falling latch overhead and rising leakage both deepen the
+        power-aware optimum across the classic roadmap."""
+        space = DesignSpace(gating=GatingModel(GatingStyle.PERFECT))
+        results = roadmap_study(space)
+        depths = [row.depth for row in results]
+        assert depths == sorted(depths)
+        assert depths[-1] > depths[0] * 1.2
+
+    def test_node_carried_in_result(self):
+        space = DesignSpace()
+        results = roadmap_study(space, nodes=CLASSIC_ROADMAP[:2])
+        assert [row.node.name for row in results] == [
+            CLASSIC_ROADMAP[0].name,
+            CLASSIC_ROADMAP[1].name,
+        ]
+
+    def test_custom_nodes(self):
+        lean = TechnologyNode("x", latch_overhead=2.0, leakage_fraction=0.0)
+        fat = TechnologyNode("y", latch_overhead=4.0, leakage_fraction=0.0)
+        space = DesignSpace()
+        lean_result, fat_result = roadmap_study(space, nodes=(lean, fat))
+        assert lean_result.depth > fat_result.depth  # cheaper latches, deeper
+
+    def test_metric_respected(self):
+        space = DesignSpace()
+        m1 = roadmap_study(space, nodes=CLASSIC_ROADMAP[:1], m=1.0)[0]
+        assert not m1.optimum.pipelined  # BIPS/W still never pipelines
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(ParameterError):
+            roadmap_study(DesignSpace(), nodes=())
+
+    def test_fo4_consistency(self):
+        space = DesignSpace()
+        row = roadmap_study(space, nodes=CLASSIC_ROADMAP[:1])[0]
+        node = row.node
+        expected = node.latch_overhead + node.total_logic_depth / row.depth
+        assert row.fo4_per_stage == pytest.approx(expected)

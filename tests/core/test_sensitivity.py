@@ -1,0 +1,120 @@
+"""Tests of the sensitivity sweeps (paper Figs. 8/9 and Sec. 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DesignSpace,
+    ParameterError,
+    calibrate_leakage,
+    gamma_sweep,
+    gating_comparison,
+    hazard_rate_sweep,
+    leakage_sweep,
+    logic_depth_sweep,
+    superscalar_sweep,
+)
+
+
+@pytest.fixture()
+def space():
+    base = DesignSpace()
+    return base.with_power(calibrate_leakage(base, 0.15, 8.0))
+
+
+class TestLeakageSweep:
+    def test_optimum_monotone_deeper(self, space):
+        curves = leakage_sweep(space, fractions=(0.0, 0.3, 0.5, 0.9))
+        depths = [c.optimum.depth for c in curves]
+        assert depths == sorted(depths)
+        assert depths[-1] > depths[0]
+
+    def test_curves_normalised(self, space):
+        for curve in leakage_sweep(space):
+            assert curve.values.max() == pytest.approx(1.0)
+
+    def test_labels_and_settings(self, space):
+        curves = leakage_sweep(space, fractions=(0.0, 0.5))
+        assert curves[0].label == "leakage 0%"
+        assert curves[1].setting == 0.5
+
+    def test_paper_magnitude(self, space):
+        """Fig. 8: 0% -> 90% roughly doubles the optimum depth."""
+        curves = leakage_sweep(space, fractions=(0.0, 0.9))
+        ratio = curves[1].optimum.depth / curves[0].optimum.depth
+        assert 1.5 <= ratio <= 4.0
+
+
+class TestGammaSweep:
+    def test_optimum_monotone_shallower(self, space):
+        curves = gamma_sweep(space, gammas=(1.0, 1.3, 1.5, 1.8))
+        depths = [c.optimum.depth for c in curves]
+        assert depths == sorted(depths, reverse=True)
+
+    def test_gamma_two_kills_pipelining(self, space):
+        # m = 3 still > gamma = 2 is violated well before gamma reaches 3;
+        # the paper notes the optimum collapses to a single stage past ~2.
+        curves = gamma_sweep(space, gammas=(2.6,))
+        assert not curves[0].optimum.pipelined
+
+    def test_curve_grid_bounds(self, space):
+        curves = gamma_sweep(space, gammas=(1.1,), min_depth=2.0, max_depth=20.0, points=10)
+        assert curves[0].depths[0] == pytest.approx(2.0)
+        assert curves[0].depths[-1] == pytest.approx(20.0)
+
+    def test_invalid_grid_rejected(self, space):
+        with pytest.raises(ParameterError):
+            gamma_sweep(space, gammas=(1.1,), points=1)
+        with pytest.raises(ParameterError):
+            gamma_sweep(space, gammas=(1.1,), min_depth=5.0, max_depth=4.0)
+
+
+class TestGatingComparison:
+    def test_gated_optimum_deeper(self, space):
+        ungated, gated = gating_comparison(space)
+        assert gated.optimum.depth > ungated.optimum.depth
+
+    def test_labels(self, space):
+        ungated, gated = gating_comparison(space)
+        assert "non" in ungated.label
+        assert gated.label == "clock-gated"
+
+
+class TestWorkloadSweeps:
+    def test_more_hazards_shallower(self, space):
+        curves = hazard_rate_sweep(space, hazard_rates=(0.02, 0.08, 0.2))
+        depths = [c.optimum.depth for c in curves]
+        assert depths == sorted(depths, reverse=True)
+
+    def test_wider_issue_shallower(self, space):
+        curves = superscalar_sweep(space, degrees=(1.0, 2.0, 4.0))
+        depths = [c.optimum.depth for c in curves]
+        assert depths == sorted(depths, reverse=True)
+
+    def test_more_logic_deeper(self, space):
+        curves = logic_depth_sweep(space, logic_depths=(70.0, 140.0, 280.0))
+        depths = [c.optimum.depth for c in curves]
+        assert depths == sorted(depths)
+
+
+class TestGatingFractionSweep:
+    def test_less_switching_deeper_optimum(self, space):
+        from repro.core import gating_fraction_sweep
+
+        curves = gating_fraction_sweep(space, fractions=(1.0, 0.5, 0.1))
+        depths = [c.optimum.depth for c in curves]
+        assert depths == sorted(depths)
+
+    def test_fraction_one_is_ungated(self, space):
+        from repro.core import GatingStyle, gating_fraction_sweep, gating_comparison
+
+        curves = gating_fraction_sweep(space, fractions=(1.0,))
+        ungated, _gated = gating_comparison(space)
+        assert curves[0].optimum.depth == pytest.approx(ungated.optimum.depth)
+
+    def test_labels(self, space):
+        from repro.core import gating_fraction_sweep
+
+        curves = gating_fraction_sweep(space, fractions=(0.3,))
+        assert curves[0].label == "f_cg 0.3"
+        assert curves[0].setting == 0.3

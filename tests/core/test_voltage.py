@@ -1,0 +1,94 @@
+"""Tests of voltage scaling and the BIPS^3/W invariance argument."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DesignSpace,
+    ParameterError,
+    bips,
+    calibrate_leakage,
+    metric,
+    optimum_depth,
+    total_power,
+)
+from repro.core.voltage import invariant_exponent, scale_voltage, voltage_sensitivity
+
+
+@pytest.fixture()
+def space():
+    base = DesignSpace()
+    return base.with_power(calibrate_leakage(base, 0.15, 8.0))
+
+
+class TestScaleVoltage:
+    def test_identity_at_ratio_one(self, space):
+        scaled = scale_voltage(space, 1.0)
+        assert scaled.technology == space.technology
+        assert scaled.power == space.power
+
+    def test_higher_voltage_faster_and_hotter(self, space):
+        scaled = scale_voltage(space, 1.2)
+        assert bips(8.0, scaled) > bips(8.0, space)
+        assert total_power(8.0, scaled) > total_power(8.0, space)
+
+    def test_delay_scales_inversely(self, space):
+        scaled = scale_voltage(space, 1.25)
+        assert bips(8.0, scaled) == pytest.approx(1.25 * float(bips(8.0, space)))
+
+    def test_rejects_nonpositive_ratio(self, space):
+        with pytest.raises(ParameterError):
+            scale_voltage(space, 0.0)
+
+    def test_workload_and_gating_untouched(self, space):
+        scaled = scale_voltage(space, 1.3)
+        assert scaled.workload == space.workload
+        assert scaled.gating == space.gating
+
+
+class TestInvariance:
+    @given(ratio=st.floats(0.7, 1.4))
+    @settings(max_examples=30, deadline=None)
+    def test_bips3_per_watt_is_voltage_invariant(self, ratio):
+        """The Zyuban-Strenski argument the paper's metric choice rests on:
+        under first-order scaling (leakage energy per op like dynamic),
+        BIPS^3/W at any fixed design is unchanged by the voltage knob."""
+        base = DesignSpace()
+        space = base.with_power(calibrate_leakage(base, 0.15, 8.0))
+        scaled = scale_voltage(space, ratio, leakage_exponent=3.0)
+        for depth in (4.0, 8.0, 16.0):
+            assert float(metric(depth, scaled, 3.0)) == pytest.approx(
+                float(metric(depth, space, 3.0)), rel=1e-9
+            )
+
+    def test_sensitivity_is_m_minus_three(self, space):
+        for m in (1.0, 2.0, 3.0, 4.0):
+            sensitivity = voltage_sensitivity(space, m, leakage_exponent=3.0)
+            assert sensitivity == pytest.approx(m - 3.0, abs=1e-6)
+
+    def test_bips_per_watt_gamed_by_undervolting(self, space):
+        """m=1 always improves at lower voltage: it cannot distinguish a
+        better microarchitecture from a slower knob setting."""
+        low_v = scale_voltage(space, 0.8, leakage_exponent=3.0)
+        assert float(metric(8.0, low_v, 1.0)) > float(metric(8.0, space, 1.0))
+
+    def test_invariant_exponent_is_three(self, space):
+        assert invariant_exponent(space) == pytest.approx(3.0, abs=1e-6)
+
+    def test_non_cubic_leakage_breaks_exact_invariance(self, space):
+        """When leakage power departs from the cubic law (its energy per
+        op no longer scales like dynamic's V^2), the invariance holds
+        only approximately — measurable here."""
+        sensitivity = voltage_sensitivity(space, 3.0, leakage_exponent=2.0)
+        assert sensitivity != pytest.approx(0.0, abs=1e-4)
+        assert abs(sensitivity) < 0.5  # but still nearly invariant
+
+    def test_optimum_depth_invariant_too(self, space):
+        """Because the whole BIPS^3/W curve shifts by a V-independent
+        factor, the optimal *depth* is voltage-independent as well."""
+        base_opt = optimum_depth(space, 3.0).depth
+        scaled_opt = optimum_depth(
+            scale_voltage(space, 1.3, leakage_exponent=3.0), 3.0
+        ).depth
+        assert scaled_opt == pytest.approx(base_opt, rel=1e-9)

@@ -1,0 +1,201 @@
+"""Tests of the per-figure experiment drivers (reduced settings)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig1_quartic,
+    fig3_latch_growth,
+    fig4_theory_vs_sim,
+    fig5_metric_family,
+    fig6_distribution,
+    fig7_by_class,
+    fig8_leakage,
+    fig9_gamma,
+    headline,
+)
+from repro.trace import WorkloadClass, small_suite
+
+SMALL_DEPTHS = tuple(range(2, 26, 3)) + (25,)
+LENGTH = 2500
+
+
+class TestFig1:
+    def test_single_positive_root(self):
+        data = fig1_quartic.run()
+        assert len(data.positive_roots) == 1
+        assert len(data.real_roots) == 4
+
+    def test_spurious_root_6a_present(self):
+        data = fig1_quartic.run()
+        assert any(r == pytest.approx(data.expected_spurious[0], rel=1e-6)
+                   for r in data.real_roots)
+
+    def test_optimum_is_the_positive_root(self):
+        data = fig1_quartic.run()
+        assert data.optimum_depth == pytest.approx(data.positive_roots[0], rel=1e-6)
+
+    def test_table(self):
+        assert "zero crossings" in fig1_quartic.format_table(fig1_quartic.run())
+
+
+class TestFig3:
+    def test_exponent_near_1_1(self):
+        data = fig3_latch_growth.run()
+        assert 0.9 <= data.fitted_exponent <= 1.2
+        assert data.per_unit_exponent == pytest.approx(1.3)
+
+    def test_counts_monotone(self):
+        data = fig3_latch_growth.run()
+        assert np.all(np.diff(data.latch_counts) > 0)
+
+    def test_table(self):
+        assert "1.1" in fig3_latch_growth.format_table(fig3_latch_growth.run())
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig4_theory_vs_sim.run(
+            workloads=("web-java-catalog", "gcc95"),
+            depths=SMALL_DEPTHS,
+            trace_length=LENGTH,
+        )
+
+    def test_panels(self, data):
+        assert [p.workload for p in data.panels] == ["web-java-catalog", "gcc95"]
+
+    def test_gated_above_ungated(self, data):
+        for panel in data.panels:
+            assert np.all(panel.gated_metric >= panel.ungated_metric * 0.999)
+
+    def test_gated_optimum_not_shallower(self, data):
+        for panel in data.panels:
+            assert panel.gated_optimum >= panel.ungated_optimum - 1.5
+
+    def test_table(self, data):
+        table = fig4_theory_vs_sim.format_table(data)
+        assert "gated" in table and "R^2" in table
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig5_metric_family.run(depths=SMALL_DEPTHS, trace_length=LENGTH)
+
+    def test_family_ordering(self, data):
+        """BIPS/W <= BIPS^2/W <= BIPS^3/W <= BIPS optima."""
+        m1, m2, m3 = data.optima[1.0], data.optima[2.0], data.optima[3.0]
+        perf = data.optima[float("inf")]
+        assert m1 <= m2 + 0.75
+        assert m2 <= m3 + 0.75
+        assert m3 <= perf + 0.75
+
+    def test_bips_per_watt_not_interior(self, data):
+        assert not data.interior[1.0]
+
+    def test_bips3_interior(self, data):
+        assert data.interior[3.0]
+
+    def test_curves_normalised(self, data):
+        for curve in data.curves.values():
+            assert curve.max() == pytest.approx(1.0)
+
+
+class TestFig6And7:
+    @pytest.fixture(scope="class")
+    def specs(self):
+        return small_suite(1)
+
+    def test_fig6_mean_in_paper_band(self, specs):
+        data = fig6_distribution.run(specs=specs, depths=SMALL_DEPTHS, trace_length=LENGTH)
+        assert 5.0 <= data.mean_depth <= 13.0
+        assert "distribution" in fig6_distribution.format_table(data)
+
+    def test_fig7_class_summaries(self, specs):
+        data = fig7_by_class.run(specs=specs, depths=SMALL_DEPTHS, trace_length=LENGTH)
+        assert set(data.class_summary) == set(WorkloadClass)
+        table = fig7_by_class.format_table(data)
+        assert "Legacy" in table
+
+
+class TestFig8:
+    def test_monotone_deeper_with_leakage(self):
+        data = fig8_leakage.run(trace_length=LENGTH)
+        depths = [d for _f, d in data.optima]
+        assert depths == sorted(depths)
+        assert depths[-1] > depths[0] * 1.3
+
+    def test_table(self):
+        data = fig8_leakage.run(trace_length=LENGTH)
+        assert "leakage" in fig8_leakage.format_table(data)
+
+
+class TestFig9:
+    def test_monotone_shallower_with_gamma(self):
+        data = fig9_gamma.run(trace_length=LENGTH)
+        depths = [d for _g, d in data.optima]
+        assert depths == sorted(depths, reverse=True)
+
+    def test_single_stage_found(self):
+        data = fig9_gamma.run(trace_length=LENGTH)
+        assert 2.0 <= data.single_stage_gamma <= 3.0
+
+    def test_table(self):
+        data = fig9_gamma.run(trace_length=LENGTH)
+        assert "gamma" in fig9_gamma.format_table(data)
+
+
+class TestHeadline:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return headline.run(specs=small_suite(1), depths=SMALL_DEPTHS, trace_length=LENGTH)
+
+    def test_all_rows_present(self, data):
+        assert len(data.rows) == 7
+
+    def test_core_claims_hold(self, data):
+        by_claim = {row.claim: row for row in data.rows}
+        assert by_claim["power optimum much shallower than perf optimum"].holds
+        assert by_claim["BIPS/W: no pipelined optimum"].holds
+
+    def test_table(self, data):
+        table = headline.format_table(data)
+        assert "paper" in table and "here" in table
+
+
+class TestFigureCharts:
+    """Every figure with a chart renderer produces a plottable grid."""
+
+    def test_fig5_chart(self):
+        data = fig5_metric_family.run(depths=SMALL_DEPTHS, trace_length=LENGTH)
+        chart = fig5_metric_family.format_chart(data)
+        assert "Fig. 5" in chart
+        for label in ("BIPS", "BIPS3/W", "BIPS/W"):
+            assert label in chart
+
+    def test_fig6_chart(self):
+        data = fig6_distribution.run(
+            specs=small_suite(1), depths=SMALL_DEPTHS, trace_length=LENGTH
+        )
+        chart = fig6_distribution.format_chart(data)
+        assert "Fig. 6" in chart
+        assert "#" in chart
+
+    def test_fig8_chart(self):
+        data = fig8_leakage.run(trace_length=LENGTH)
+        chart = fig8_leakage.format_chart(data)
+        assert "leakage 0%" in chart and "leakage 90%" in chart
+
+    def test_fig9_chart(self):
+        data = fig9_gamma.run(trace_length=LENGTH)
+        chart = fig9_gamma.format_chart(data)
+        assert "gamma 1" in chart
+
+    def test_fig4_chart(self):
+        data = fig4_theory_vs_sim.run(
+            workloads=("gcc95",), depths=SMALL_DEPTHS, trace_length=LENGTH
+        )
+        chart = fig4_theory_vs_sim.format_chart(data)
+        assert "gcc95" in chart
+        assert "theory gated" in chart

@@ -1,0 +1,35 @@
+"""Tests of the performance-only revalidation experiment."""
+
+import pytest
+
+from repro.experiments import perf_only
+from repro.trace import small_suite
+
+DEPTHS = (2, 4, 6, 8, 10, 12, 16, 20, 25)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return perf_only.run(specs=small_suite(1), depths=DEPTHS, trace_length=2500)
+
+
+class TestPerfOnly:
+    def test_row_per_workload(self, data):
+        assert len(data.rows) == len(small_suite(1))
+
+    def test_eq1_fits_the_simulated_curve(self, data):
+        assert all(row.curve_r_squared > 0.6 for row in data.rows)
+
+    def test_deep_regime(self, data):
+        assert data.mean_simulated > 9.0
+        assert data.mean_eq2 > 12.0
+
+    def test_parameters_physical(self, data):
+        for row in data.rows:
+            assert 1.0 <= row.alpha <= 4.0
+            assert row.hazard_pressure > 0
+
+    def test_table(self, data):
+        table = perf_only.format_table(data)
+        assert "Eq. 2" in table
+        assert "suite mean" in table

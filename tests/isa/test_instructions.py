@@ -1,0 +1,67 @@
+"""Tests of the synthetic ISA."""
+
+import pytest
+
+from repro.isa import NO_REGISTER, REGISTER_COUNT, Instruction, OpClass
+
+
+class TestOpClass:
+    def test_memory_classes(self):
+        assert OpClass.RX_LOAD.is_memory
+        assert OpClass.RX_STORE.is_memory
+        assert OpClass.RX_ALU.is_memory
+        assert not OpClass.RR_ALU.is_memory
+        assert not OpClass.BRANCH.is_memory
+        assert not OpClass.FP.is_memory
+        assert not OpClass.COMPLEX.is_memory
+
+    def test_branch_class(self):
+        assert OpClass.BRANCH.is_branch
+        assert not OpClass.RX_LOAD.is_branch
+
+    def test_register_writers(self):
+        writers = {cls for cls in OpClass if cls.writes_register}
+        assert writers == {
+            OpClass.RR_ALU, OpClass.RX_LOAD, OpClass.RX_ALU, OpClass.FP, OpClass.COMPLEX
+        }
+
+    def test_long_ops(self):
+        assert OpClass.FP.is_long_op
+        assert OpClass.COMPLEX.is_long_op
+        assert not OpClass.RR_ALU.is_long_op
+
+    def test_codes_are_stable(self):
+        """Trace arrays persist these values; they must never change."""
+        assert [cls.value for cls in OpClass] == [0, 1, 2, 3, 4, 5, 6]
+
+
+class TestInstruction:
+    def test_valid_construction(self):
+        instr = Instruction(0, OpClass.RR_ALU, pc=100, dest=3, src1=1, src2=2)
+        assert instr.reads == (1, 2)
+
+    def test_reads_skips_sentinels(self):
+        instr = Instruction(0, OpClass.RR_ALU, pc=0, dest=3, src1=NO_REGISTER, src2=5)
+        assert instr.reads == (5,)
+
+    def test_register_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Instruction(0, OpClass.RR_ALU, pc=0, dest=REGISTER_COUNT)
+        with pytest.raises(ValueError):
+            Instruction(0, OpClass.RR_ALU, pc=0, src1=-2)
+
+    def test_only_branches_can_be_taken(self):
+        Instruction(0, OpClass.BRANCH, pc=0, taken=True)
+        with pytest.raises(ValueError):
+            Instruction(0, OpClass.RR_ALU, pc=0, taken=True)
+
+    def test_only_long_ops_carry_cycles(self):
+        Instruction(0, OpClass.FP, pc=0, dest=1, fp_cycles=5)
+        Instruction(0, OpClass.COMPLEX, pc=0, dest=1, fp_cycles=3)
+        with pytest.raises(ValueError):
+            Instruction(0, OpClass.RR_ALU, pc=0, fp_cycles=5)
+
+    def test_frozen(self):
+        instr = Instruction(0, OpClass.RR_ALU, pc=0)
+        with pytest.raises(AttributeError):
+            instr.pc = 4

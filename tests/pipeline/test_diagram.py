@@ -1,0 +1,44 @@
+"""Tests of the pipeline diagram renderer."""
+
+import pytest
+
+from repro.pipeline import StagePlan, render_depth_table, render_plan
+
+
+class TestRenderPlan:
+    def test_base_pipeline_all_units(self):
+        text = render_plan(StagePlan.for_depth(6))
+        for name in ("Fetch", "Decode", "AgenQ", "Agen", "Cache", "ExecQ",
+                     "E-Unit", "Compl", "Retire"):
+            assert name in text
+
+    def test_merged_units_share_a_box(self):
+        text = render_plan(StagePlan.for_depth(2))
+        assert "Decode+AgenQ+Agen" in text
+        assert "Cache+ExecQ+E-Unit" in text
+        assert "merged cycles" in text
+
+    def test_stage_multipliers_shown(self):
+        text = render_plan(StagePlan.for_depth(12))
+        assert "Decode x3" in text
+        assert "Cache x3" in text
+        assert "E-Unit x3" in text
+
+    def test_no_merge_note_when_unmerged(self):
+        assert "merged cycles" not in render_plan(StagePlan.for_depth(8))
+
+    def test_rr_path_note(self):
+        text = render_plan(StagePlan.for_depth(8))
+        assert "RR path" in text
+
+
+class TestDepthTable:
+    def test_one_row_per_depth(self):
+        table = render_depth_table(range(2, 26))
+        assert len(table.splitlines()) == 1 + 24
+
+    def test_expansion_visible(self):
+        table = render_depth_table(range(24, 26))
+        row25 = table.splitlines()[-1].split()
+        assert row25[0] == "25"
+        assert int(row25[1]) == 8  # decode stages at depth 25

@@ -1,0 +1,121 @@
+"""Property-based fuzzing of the whole trace->simulate pipeline.
+
+Hypothesis drives random workload specifications and machine knobs
+through trace generation and both execution engines, asserting the
+invariants that must hold for *any* input — the checks that catch
+logic regressions no example-based test anticipates.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import OpClass
+from repro.pipeline import MachineConfig, StagePlan, Unit, simulate
+from repro.trace import WorkloadClass, WorkloadSpec, generate_trace
+
+MIXES = st.sampled_from([
+    # (rr, load, store, rxalu, branch, fp, complex)
+    (0.4, 0.15, 0.1, 0.15, 0.15, 0.03, 0.02),
+    (0.2, 0.2, 0.1, 0.2, 0.25, 0.03, 0.02),
+    (0.25, 0.2, 0.1, 0.05, 0.05, 0.3, 0.05),
+    (0.6, 0.1, 0.05, 0.1, 0.1, 0.03, 0.02),
+])
+
+
+def build_spec(mix, bias, locality, dep, chase, seed):
+    classes = (OpClass.RR_ALU, OpClass.RX_LOAD, OpClass.RX_STORE, OpClass.RX_ALU,
+               OpClass.BRANCH, OpClass.FP, OpClass.COMPLEX)
+    return WorkloadSpec(
+        name=f"fuzz-{seed}",
+        workload_class=WorkloadClass.MODERN,
+        mix=dict(zip(classes, mix)),
+        branch_sites=128,
+        branch_bias=bias,
+        taken_rate=0.6,
+        data_working_set=128 * 1024,
+        data_locality=locality,
+        code_footprint=32 * 1024,
+        dependency_distance=dep,
+        pointer_chase=chase,
+        seed=seed,
+    )
+
+
+@st.composite
+def fuzz_cases(draw):
+    mix = draw(MIXES)
+    bias = draw(st.floats(0.5, 1.0))
+    locality = draw(st.floats(0.5, 0.99))
+    dep = draw(st.floats(1.0, 9.0))
+    chase = draw(st.floats(0.0, 0.3))
+    seed = draw(st.integers(0, 2**16))
+    depth = draw(st.integers(2, 30))
+    in_order = draw(st.booleans())
+    return build_spec(mix, bias, locality, dep, chase, seed), depth, in_order
+
+
+class TestPipelineInvariants:
+    @given(case=fuzz_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_simulation_invariants(self, case):
+        spec, depth, in_order = case
+        trace = generate_trace(spec, 600)
+        machine = MachineConfig(in_order=in_order)
+        result = simulate(trace, depth, machine)
+
+        # Work conservation: every instruction fetched, executed, retired.
+        assert result.instructions == 600
+        # Bandwidth floor: cannot retire faster than the issue width.
+        assert result.cycles >= 600 / machine.issue_width
+        # Counts bounded by their populations.
+        assert 0 <= result.mispredicts <= result.branches <= 600
+        assert 0 <= result.dcache_misses <= result.dcache_accesses
+        assert result.memory_ops <= 600
+        assert result.issue_cycles <= result.cycles
+        # Measured alpha within the machine's capability.
+        assert 0.9 <= result.superscalar_degree <= machine.issue_width + 1e-9
+        # Time accounting is self-consistent.
+        assert result.busy_time + result.stall_time == pytest.approx(result.total_time)
+        # Occupancy never exceeds availability for single-occupancy units.
+        for unit in (Unit.DECODE, Unit.AGEN, Unit.RETIRE):
+            assert result.occupancy_fraction(unit) <= 1.0
+
+    @given(case=fuzz_cases())
+    @settings(max_examples=10, deadline=None)
+    def test_determinism(self, case):
+        spec, depth, in_order = case
+        trace = generate_trace(spec, 400)
+        machine = MachineConfig(in_order=in_order)
+        first = simulate(trace, depth, machine)
+        second = simulate(trace, depth, machine)
+        assert first.cycles == second.cycles
+        assert first.mispredicts == second.mispredicts
+        assert first.unit_occupancy == second.unit_occupancy
+
+    @given(
+        seed=st.integers(0, 2**16),
+        length_a=st.integers(200, 800),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_longer_traces_take_longer(self, seed, length_a):
+        spec = build_spec((0.4, 0.15, 0.1, 0.15, 0.15, 0.03, 0.02),
+                          0.9, 0.9, 4.0, 0.1, seed)
+        short = simulate(generate_trace(spec, length_a), 10)
+        long = simulate(generate_trace(spec, length_a * 2), 10)
+        assert long.cycles > short.cycles
+
+    @given(case=fuzz_cases())
+    @settings(max_examples=10, deadline=None)
+    def test_power_accounting_invariants(self, case):
+        from repro.power import UnitPowerModel, power_report
+
+        spec, depth, in_order = case
+        trace = generate_trace(spec, 500)
+        result = simulate(trace, depth, MachineConfig(in_order=in_order))
+        report = power_report(result, UnitPowerModel())
+        assert report.gated_dynamic > 0
+        assert report.gated_dynamic <= report.ungated_dynamic * (1 + 1e-9)
+        assert report.leakage >= 0
+        assert report.latch_count > 0

@@ -1,0 +1,146 @@
+"""Tests of the out-of-order execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.isa import NO_REGISTER, OpClass
+from repro.pipeline import MachineConfig, Unit, simulate
+from repro.uarch import CacheConfig
+
+from .test_simulator import HUGE, IDEAL, make_trace, rr_stream
+
+RR = OpClass.RR_ALU.value
+LD = OpClass.RX_LOAD.value
+ST = OpClass.RX_STORE.value
+FP = OpClass.FP.value
+
+OOO_IDEAL = MachineConfig(icache=HUGE, dcache=HUGE, l2=HUGE, predictor_kind="oracle",
+                          warmup=True, in_order=False)
+
+
+class TestBasics:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(in_order=False, issue_window=0)
+        with pytest.raises(ValueError):
+            MachineConfig(in_order=False, rob_size=0)
+
+    def test_independent_stream_hits_issue_width(self):
+        result = simulate(rr_stream(), 8, OOO_IDEAL)
+        assert result.cpi == pytest.approx(0.25, abs=0.05)
+
+    def test_determinism(self, modern_trace):
+        config = MachineConfig(in_order=False)
+        a = simulate(modern_trace, 10, config)
+        b = simulate(modern_trace, 10, config)
+        assert a.cycles == b.cycles
+
+    def test_rename_stage_active_and_powered(self, modern_trace):
+        from repro.power import power_report
+
+        result = simulate(modern_trace, 8, MachineConfig(in_order=False))
+        assert result.unit_occupancy[Unit.RENAME] > 0
+        assert power_report(result).per_unit_gated[Unit.RENAME] > 0
+
+    def test_in_order_rename_idle(self, modern_trace):
+        result = simulate(modern_trace, 8, MachineConfig(in_order=True))
+        assert result.unit_occupancy[Unit.RENAME] == 0
+
+
+class TestReordering:
+    def test_ooo_hides_cache_misses_under_compute(self):
+        """The decisive difference: an in-order machine blocks issue for a
+        missing load's full latency; out of order, younger independent work
+        proceeds underneath the miss."""
+        n = 2000
+        period = 16
+        codes = [LD if i % period == 0 else RR for i in range(n)]
+        dest = [4 if i % period == 0 else 8 + i % 8 for i in range(n)]
+        src1 = [0 if i % period == 0 else NO_REGISTER for i in range(n)]
+        addr = [(i // period) * 4096 for i in range(n)]  # every load misses
+        trace = make_trace("misses", codes, dest=dest, src1=src1, addr=addr)
+        missy = dict(
+            icache=HUGE,
+            dcache=CacheConfig(size=4 * 1024, line_size=128, associativity=1,
+                               miss_latency_fo4=400.0),
+            l2=CacheConfig(size=8 * 1024, line_size=128, associativity=1,
+                           miss_latency_fo4=400.0),
+            predictor_kind="oracle",
+            warmup=False,
+        )
+        in_order = simulate(trace, 12, MachineConfig(in_order=True, **missy))
+        ooo = simulate(trace, 12, MachineConfig(in_order=False, mshr_entries=8, **missy))
+        assert in_order.dcache_misses > 0
+        assert ooo.cycles < in_order.cycles * 0.75
+
+    def test_ooo_never_much_worse(self):
+        """On hazard-free code the OOO engine matches in-order throughput
+        (the rename stage costs one transit cycle, not bandwidth)."""
+        trace = rr_stream()
+        in_order = simulate(trace, 12, IDEAL)
+        ooo = simulate(trace, 12, OOO_IDEAL)
+        assert ooo.cycles <= in_order.cycles + 8
+
+    def test_window_limits_reordering(self):
+        """A tiny window degenerates toward in-order behaviour."""
+        n = 2000
+        codes = [RR] * n
+        dest = [4 if i % 2 == 0 else 5 + (i % 8) for i in range(n)]
+        src1 = [4 if i % 2 == 0 else NO_REGISTER for i in range(n)]
+        trace = make_trace("mix", codes, dest=dest, src1=src1)
+        tiny = MachineConfig(icache=HUGE, dcache=HUGE, l2=HUGE, predictor_kind="oracle",
+                             warmup=True, in_order=False, issue_window=1)
+        wide = MachineConfig(icache=HUGE, dcache=HUGE, l2=HUGE, predictor_kind="oracle",
+                             warmup=True, in_order=False, issue_window=64)
+        assert simulate(trace, 30, wide).cycles <= simulate(trace, 30, tiny).cycles
+
+    def test_rob_backpressure(self):
+        """A tiny ROB throttles dispatch behind a long-latency op."""
+        n = 1200
+        codes = [FP if i % 100 == 0 else RR for i in range(n)]
+        dest = [4 + i % 8 for i in range(n)]
+        fp_cycles = [40 if i % 100 == 0 else 0 for i in range(n)]
+        trace = make_trace("fpstall", codes, dest=dest, fp_cycles=fp_cycles)
+        small_rob = MachineConfig(icache=HUGE, dcache=HUGE, l2=HUGE,
+                                  predictor_kind="oracle", warmup=True,
+                                  in_order=False, rob_size=8)
+        big_rob = MachineConfig(icache=HUGE, dcache=HUGE, l2=HUGE,
+                                predictor_kind="oracle", warmup=True,
+                                in_order=False, rob_size=256)
+        assert simulate(trace, 12, big_rob).cycles < simulate(trace, 12, small_rob).cycles
+
+    def test_loads_wait_for_older_store_addresses(self):
+        """Conservative disambiguation: a load cannot access the cache
+        before an older store has generated its address."""
+        n = 1000
+        codes = [ST if i % 2 == 0 else LD for i in range(n)]
+        dest = [NO_REGISTER if i % 2 == 0 else 4 + i % 8 for i in range(n)]
+        # Store base registers depend on a slow chain through r5.
+        src1 = [5 if i % 2 == 0 else 0 for i in range(n)]
+        addr = [(i * 8) % 8192 for i in range(n)]
+        trace = make_trace("st-ld", codes, dest=dest, src1=src1, addr=addr)
+        free = make_trace("ld-only", [LD] * n, dest=[4 + i % 8 for i in range(n)],
+                          src1=[0] * n, addr=addr)
+        assert simulate(trace, 16, OOO_IDEAL).cycles >= simulate(free, 16, OOO_IDEAL).cycles
+
+
+class TestPaperClaim:
+    def test_minor_difference_in_depth_optimisation(self, modern_spec):
+        """Paper Sec. 3: in-order vs out-of-order show 'only minor
+        differences in the pipeline depth optimization'."""
+        from repro.analysis import optimum_from_sweep, run_depth_sweep
+
+        depths = (2, 4, 6, 8, 10, 12, 16, 20, 25)
+        in_order = run_depth_sweep(modern_spec, depths=depths, trace_length=3000,
+                                   machine=MachineConfig(in_order=True),
+                                   reference_depth=8)
+        ooo = run_depth_sweep(modern_spec, depths=depths, trace_length=3000,
+                              machine=MachineConfig(in_order=False),
+                              reference_depth=8)
+        opt_io = optimum_from_sweep(in_order, 3.0, gated=True).depth
+        opt_ooo = optimum_from_sweep(ooo, 3.0, gated=True).depth
+        assert abs(opt_io - opt_ooo) <= 3.0
+        # OOO is uniformly faster but scales with depth the same way.
+        speedups = in_order.bips() / ooo.bips()
+        assert np.all(speedups < 1.05)
+        assert speedups.max() / speedups.min() < 1.4

@@ -1,0 +1,135 @@
+"""Tests of stage planning (depth expansion/contraction)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline import MAX_DEPTH, MIN_DEPTH, RR_PATH, RX_PATH, StagePlan, Unit
+
+
+class TestConstruction:
+    def test_depth_bounds(self):
+        with pytest.raises(ValueError):
+            StagePlan.for_depth(MIN_DEPTH - 1)
+        with pytest.raises(ValueError):
+            StagePlan.for_depth(MAX_DEPTH + 1)
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            StagePlan.for_depth(8.0)
+
+    def test_cached_identity(self):
+        assert StagePlan.for_depth(8) is StagePlan.for_depth(8)
+
+    @given(depth=st.integers(MIN_DEPTH, MAX_DEPTH))
+    @settings(max_examples=39, deadline=None)
+    def test_rx_path_total_equals_depth(self, depth):
+        """The defining invariant: decode-to-execute cycles == depth."""
+        plan = StagePlan.for_depth(depth)
+        assert plan.path_offsets(RX_PATH).total == depth
+
+    @given(depth=st.integers(MIN_DEPTH, MAX_DEPTH))
+    @settings(max_examples=39, deadline=None)
+    def test_rr_path_not_longer_than_rx(self, depth):
+        plan = StagePlan.for_depth(depth)
+        assert plan.path_offsets(RR_PATH).total <= depth
+
+    def test_base_structure_at_six(self):
+        plan = StagePlan.for_depth(6)
+        assert plan.merges == ()
+        for unit in RX_PATH:
+            assert plan.unit_stages[unit] == 1
+
+    def test_rename_skipped_in_order(self):
+        assert StagePlan.for_depth(10).unit_stages[Unit.RENAME] == 0
+
+
+class TestExpansion:
+    def test_expansion_targets(self):
+        """Extra stages go to decode, cache and execute simultaneously."""
+        plan = StagePlan.for_depth(12)  # 6 extra
+        assert plan.unit_stages[Unit.DECODE] == 3
+        assert plan.unit_stages[Unit.CACHE] == 3
+        assert plan.unit_stages[Unit.EXECUTE] == 3
+        assert plan.unit_stages[Unit.AGEN] == 1
+        assert plan.unit_stages[Unit.EXEC_QUEUE] == 1
+
+    def test_round_robin_order(self):
+        plan = StagePlan.for_depth(7)  # one extra -> decode first
+        assert plan.unit_stages[Unit.DECODE] == 2
+        assert plan.unit_stages[Unit.CACHE] == 1
+        plan = StagePlan.for_depth(8)
+        assert plan.unit_stages[Unit.CACHE] == 2
+
+    def test_depth_25(self):
+        plan = StagePlan.for_depth(25)
+        assert plan.unit_stages[Unit.DECODE] == 8
+        assert plan.unit_stages[Unit.CACHE] == 7
+        assert plan.unit_stages[Unit.EXECUTE] == 7
+
+    def test_no_merges_above_six(self):
+        for depth in (6, 10, 20):
+            assert StagePlan.for_depth(depth).merges == ()
+
+
+class TestContraction:
+    def test_depth_5_merges_agen_queue(self):
+        plan = StagePlan.for_depth(5)
+        assert plan.group_of(Unit.AGEN_QUEUE) == plan.group_of(Unit.AGEN)
+
+    def test_depth_4_also_merges_exec_queue(self):
+        plan = StagePlan.for_depth(4)
+        assert plan.group_of(Unit.EXEC_QUEUE) == plan.group_of(Unit.EXECUTE)
+
+    def test_depth_2_maximal_merging(self):
+        plan = StagePlan.for_depth(2)
+        assert plan.group_of(Unit.DECODE) == plan.group_of(Unit.AGEN)
+        assert plan.group_of(Unit.CACHE) == plan.group_of(Unit.EXECUTE)
+
+    def test_unmerged_unit_is_singleton_group(self):
+        plan = StagePlan.for_depth(4)
+        assert plan.group_of(Unit.CACHE) == frozenset({Unit.CACHE})
+
+    def test_group_latency_is_max_of_members(self):
+        plan = StagePlan.for_depth(5)
+        assert plan.group_latency(Unit.AGEN_QUEUE) == 1
+
+
+class TestDerived:
+    def test_offsets_monotone_along_path(self):
+        for depth in (2, 4, 6, 9, 25):
+            plan = StagePlan.for_depth(depth)
+            offsets = plan.path_offsets(RX_PATH)
+            starts = [offsets.starts[u] for u in RX_PATH]
+            assert starts == sorted(starts)
+
+    def test_merged_units_share_start(self):
+        plan = StagePlan.for_depth(2)
+        offsets = plan.path_offsets(RX_PATH)
+        assert offsets.starts[Unit.DECODE] == offsets.starts[Unit.AGEN]
+        assert offsets.starts[Unit.CACHE] == offsets.starts[Unit.EXECUTE]
+
+    def test_cycle_groups_cover_all_active_units(self):
+        for depth in (2, 5, 6, 12):
+            plan = StagePlan.for_depth(depth)
+            covered = set().union(*plan.cycle_groups())
+            active = {u for u in Unit if plan.unit_stages[u] > 0}
+            assert covered == active
+
+    def test_cycle_groups_disjoint(self):
+        for depth in (2, 3, 4, 5, 6):
+            groups = StagePlan.for_depth(depth).cycle_groups()
+            seen = set()
+            for group in groups:
+                assert not (group & seen)
+                seen |= group
+
+    def test_front_end_cycles_grow_with_depth(self):
+        shallow = StagePlan.for_depth(6).front_end_cycles
+        deep = StagePlan.for_depth(25).front_end_cycles
+        assert deep > shallow
+
+    def test_total_stage_count_grows(self):
+        counts = [StagePlan.for_depth(d).total_stage_count() for d in range(2, 26)]
+        assert counts == sorted(counts)
+        assert counts[0] >= 4  # fetch + merged core + complete + retire

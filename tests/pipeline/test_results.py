@@ -1,0 +1,59 @@
+"""Tests of SimulationResult derived quantities."""
+
+import pytest
+
+from repro.core import TechnologyParams
+from repro.pipeline import StagePlan, Unit, simulate
+
+
+@pytest.fixture(scope="module")
+def result(modern_trace):
+    return simulate(modern_trace, 8)
+
+
+class TestDerived:
+    def test_depth(self, result):
+        assert result.depth == 8
+
+    def test_cycle_time(self, result):
+        assert result.cycle_time == pytest.approx(TechnologyParams().cycle_time(8))
+
+    def test_total_time(self, result):
+        assert result.total_time == pytest.approx(result.cycles * result.cycle_time)
+
+    def test_time_per_instruction(self, result):
+        assert result.time_per_instruction == pytest.approx(
+            result.total_time / result.instructions
+        )
+
+    def test_bips_reciprocal(self, result):
+        assert result.bips == pytest.approx(1.0 / result.time_per_instruction)
+
+    def test_cpi_ipc(self, result):
+        assert result.cpi * result.ipc == pytest.approx(1.0)
+
+    def test_rates_bounded(self, result):
+        assert 0.0 <= result.misprediction_rate <= 1.0
+        assert 0.0 <= result.dcache_miss_rate <= 1.0
+
+    def test_hazards_composition(self, result):
+        assert result.hazards == (
+            result.mispredicts + result.icache_misses + result.dcache_misses
+        )
+        assert result.hazard_rate == pytest.approx(result.hazards / result.instructions)
+
+    def test_superscalar_degree_bounds(self, result):
+        assert 1.0 <= result.superscalar_degree <= 4.0
+
+    def test_busy_plus_stall_is_total(self, result):
+        assert result.busy_time + result.stall_time == pytest.approx(result.total_time)
+
+    def test_occupancy_fraction_bounds(self, result):
+        for unit in Unit:
+            assert 0.0 <= result.occupancy_fraction(unit) <= 1.0
+        assert result.occupancy_fraction(Unit.RENAME) == 0.0
+
+    def test_summary_mentions_workload(self, result):
+        text = result.summary()
+        assert result.trace_name in text
+        assert "CPI" in text

@@ -1,0 +1,301 @@
+"""Behavioural tests of the cycle-accurate simulator, built on hand-made
+micro-traces whose timing is analytically known."""
+
+import numpy as np
+import pytest
+
+from repro.core import TechnologyParams
+from repro.isa import NO_REGISTER, OpClass
+from repro.pipeline import MachineConfig, PipelineSimulator, simulate
+from repro.trace.trace import Trace
+from repro.uarch import CacheConfig
+
+HUGE = CacheConfig(size=16 * 1024 * 1024, line_size=128, associativity=16,
+                   miss_latency_fo4=0.0)
+IDEAL = MachineConfig(icache=HUGE, dcache=HUGE, l2=HUGE, predictor_kind="oracle",
+                      warmup=True)
+
+
+def make_trace(name, codes, dest=None, src1=None, src2=None, addr=None, taken=None,
+               fp_cycles=None, pcs=None):
+    n = len(codes)
+    none8 = np.full(n, NO_REGISTER, dtype=np.int8)
+    return Trace(
+        name=name,
+        opclass=np.asarray(codes, dtype=np.int8),
+        pc=np.asarray(pcs, dtype=np.int64) if pcs is not None
+        else np.arange(n, dtype=np.int64) * 4,
+        dest=np.asarray(dest, dtype=np.int8) if dest is not None else none8.copy(),
+        src1=np.asarray(src1, dtype=np.int8) if src1 is not None else none8.copy(),
+        src2=np.asarray(src2, dtype=np.int8) if src2 is not None else none8.copy(),
+        address=np.asarray(addr, dtype=np.int64) if addr is not None
+        else np.zeros(n, dtype=np.int64),
+        taken=np.asarray(taken, dtype=bool) if taken is not None
+        else np.zeros(n, dtype=bool),
+        fp_cycles=np.asarray(fp_cycles, dtype=np.int16) if fp_cycles is not None
+        else np.zeros(n, dtype=np.int16),
+    )
+
+
+RR = OpClass.RR_ALU.value
+LD = OpClass.RX_LOAD.value
+ST = OpClass.RX_STORE.value
+BR = OpClass.BRANCH.value
+FP = OpClass.FP.value
+CX = OpClass.COMPLEX.value
+
+
+def rr_stream(n=2000, distinct=8):
+    return make_trace("rr", [RR] * n, dest=[4 + (i % distinct) for i in range(n)])
+
+
+class TestIdealThroughput:
+    def test_independent_stream_hits_issue_width(self):
+        result = simulate(rr_stream(), 8, IDEAL)
+        assert result.cpi == pytest.approx(0.25, abs=0.05)
+
+    def test_issue_width_respected(self):
+        narrow = MachineConfig(icache=HUGE, dcache=HUGE, l2=HUGE,
+                               predictor_kind="oracle", warmup=True, issue_width=2)
+        result = simulate(rr_stream(), 8, narrow)
+        assert result.cpi == pytest.approx(0.5, abs=0.05)
+
+    def test_cpi_flat_across_depths_without_hazards(self):
+        trace = rr_stream()
+        cpis = [simulate(trace, d, IDEAL).cpi for d in (2, 6, 12, 20, 25)]
+        assert max(cpis) - min(cpis) < 0.05
+
+    def test_superscalar_degree_measured(self):
+        result = simulate(rr_stream(), 8, IDEAL)
+        assert result.superscalar_degree == pytest.approx(4.0, abs=0.2)
+
+
+class TestDependencies:
+    def test_serial_chain_limits_ipc(self):
+        n = 1000
+        trace = make_trace("chain", [RR] * n, dest=[4] * n, src1=[4] * n)
+        result = simulate(trace, 8, IDEAL)
+        # Fully serial: one instruction per cycle at best (1-cycle ALU).
+        assert result.cpi == pytest.approx(1.0, abs=0.1)
+
+    def test_alu_forwarding_latency_grows_at_deep_pipes(self):
+        n = 1000
+        trace = make_trace("chain", [RR] * n, dest=[4] * n, src1=[4] * n)
+        shallow = simulate(trace, 8, IDEAL)   # t_s = 20 FO4 -> 1-cycle ALU
+        deep = simulate(trace, 30, IDEAL)     # t_s ~ 7.2 FO4 -> 2-cycle ALU
+        assert deep.cpi > shallow.cpi * 1.5
+
+    def test_distant_dependencies_free(self):
+        n = 1000
+        trace = make_trace(
+            "far", [RR] * n, dest=[4 + (i % 12) for i in range(n)],
+            src1=[4 + ((i + 6) % 12) for i in range(n)],
+        )
+        result = simulate(trace, 8, IDEAL)
+        assert result.cpi < 0.4
+
+
+class TestMemory:
+    def test_pointer_chase_serialises_on_cache_transit(self):
+        """Each load's address comes from the previous load: the chain
+        pays the agen+cache transit per link, growing with depth."""
+        n = 1000
+        chase = make_trace("chase", [LD] * n, dest=[4] * n, src1=[4] * n,
+                           addr=[(i * 8) % 4096 for i in range(n)])
+        streaming = make_trace("stream", [LD] * n, dest=[4 + i % 8 for i in range(n)],
+                               src1=[0] * n, addr=[(i * 8) % 4096 for i in range(n)])
+        chase_deep = simulate(chase, 20, IDEAL)
+        stream_deep = simulate(streaming, 20, IDEAL)
+        assert chase_deep.cycles > stream_deep.cycles * 3
+        # And the chase cost grows with pipeline depth.
+        chase_shallow = simulate(chase, 6, IDEAL)
+        assert chase_deep.cycles > chase_shallow.cycles * 1.5
+
+    def test_dcache_miss_counted_and_costly(self):
+        n = 400
+        # Strided far apart: every access a distinct line, tiny cache.
+        tiny = MachineConfig(
+            icache=HUGE,
+            dcache=CacheConfig(size=4 * 1024, line_size=128, associativity=1,
+                               miss_latency_fo4=200.0),
+            l2=CacheConfig(size=8 * 1024, line_size=128, associativity=1,
+                           miss_latency_fo4=400.0),
+            predictor_kind="oracle",
+            warmup=False,
+        )
+        codes = [LD] * n
+        trace = make_trace("miss", codes, dest=[4] * n, src1=[0] * n,
+                           addr=[i * 4096 for i in range(n)])
+        result = simulate(trace, 8, tiny)
+        assert result.dcache_misses == n
+        hit_trace = make_trace("hit", codes, dest=[4] * n, src1=[0] * n,
+                               addr=[0] * n)
+        hit = simulate(hit_trace, 8, tiny)
+        assert result.cycles > hit.cycles * 2
+
+    def test_store_misses_do_not_stall(self):
+        n = 400
+        tiny = MachineConfig(
+            icache=HUGE,
+            dcache=CacheConfig(size=4 * 1024, line_size=128, associativity=1,
+                               miss_latency_fo4=400.0),
+            predictor_kind="oracle",
+            warmup=False,
+        )
+        stores = make_trace("st", [ST] * n, src1=[0] * n,
+                            addr=[i * 4096 for i in range(n)])
+        loads = make_trace("ld", [LD] * n, dest=[4] * n, src1=[0] * n,
+                           addr=[i * 4096 for i in range(n)])
+        st_result = simulate(stores, 8, tiny)
+        ld_result = simulate(loads, 8, tiny)
+        assert st_result.store_misses == n
+        assert st_result.dcache_misses == 0
+        assert st_result.cycles < ld_result.cycles / 3
+
+    def test_agen_interlock(self):
+        """A load whose base register was just computed stalls at agen."""
+        n = 1000
+        codes = [RR if i % 2 == 0 else LD for i in range(n)]
+        dest = [4 if i % 2 == 0 else 5 for i in range(n)]
+        src1 = [6 if i % 2 == 0 else 4 for i in range(n)]  # load base = RR dest
+        trace = make_trace("agi", codes, dest=dest, src1=src1,
+                           addr=[8 * i % 4096 for i in range(n)])
+        baseline = make_trace("no-agi", codes, dest=dest,
+                              src1=[6 if i % 2 == 0 else 0 for i in range(n)],
+                              addr=[8 * i % 4096 for i in range(n)])
+        assert simulate(trace, 16, IDEAL).cycles > simulate(baseline, 16, IDEAL).cycles
+
+
+class TestBranches:
+    def _biased_branch_trace(self, n=3000, period=10):
+        codes = [BR if i % period == 0 else RR for i in range(n)]
+        dest = [NO_REGISTER if i % period == 0 else 4 + i % 8 for i in range(n)]
+        taken = [False] * n  # never taken: a bimodal/gshare learns this
+        # All branches share a few PCs so the predictor trains quickly.
+        pcs = [(i % 64) * 4 for i in range(n)]
+        return make_trace("br", codes, dest=dest, taken=taken, pcs=pcs)
+
+    def test_predictable_branches_learned(self):
+        trace = self._biased_branch_trace()
+        config = MachineConfig(icache=HUGE, dcache=HUGE, warmup=True)
+        result = simulate(trace, 8, config)
+        assert result.branches == 300
+        assert result.misprediction_rate < 0.05
+
+    def test_oracle_never_mispredicts(self):
+        trace = self._biased_branch_trace()
+        result = simulate(trace, 8, IDEAL)
+        assert result.mispredicts == 0
+
+    def test_mispredict_penalty_grows_with_depth(self):
+        """The core hazard mechanism: flush cost scales with the front end."""
+        n = 3000
+        rng = np.random.default_rng(3)
+        codes = [BR if i % 5 == 0 else RR for i in range(n)]
+        dest = [NO_REGISTER if i % 5 == 0 else 4 + i % 8 for i in range(n)]
+        taken = rng.random(n) < 0.5  # coin flips: unlearnable
+        taken[np.asarray(codes) != BR] = False
+        trace = make_trace("coin", codes, dest=dest, taken=taken.tolist(),
+                           pcs=[(i % 16) * 4 for i in range(n)])
+        config = MachineConfig(icache=HUGE, dcache=HUGE, warmup=False)
+        shallow = simulate(trace, 4, config)
+        deep = simulate(trace, 20, config)
+        assert shallow.misprediction_rate > 0.2
+        penalty_shallow = (shallow.cycles - 0.25 * n) / max(shallow.mispredicts, 1)
+        penalty_deep = (deep.cycles - 0.25 * n) / max(deep.mispredicts, 1)
+        assert penalty_deep > penalty_shallow * 1.8
+
+
+class TestLongOps:
+    def test_fp_serialisation(self):
+        n = 600
+        trace = make_trace("fp", [FP] * n, dest=[4 + i % 8 for i in range(n)],
+                           fp_cycles=[6] * n)
+        result = simulate(trace, 8, IDEAL)
+        # One FP at a time, 6 + exec_latency - 1 cycles each.
+        assert result.cpi == pytest.approx(6.0, abs=0.5)
+
+    def test_fp_and_complex_units_are_independent(self):
+        n = 600
+        alternating = make_trace(
+            "fpcx", [FP if i % 2 == 0 else CX for i in range(n)],
+            dest=[4 + i % 8 for i in range(n)], fp_cycles=[6] * n,
+        )
+        pure_fp = make_trace("fp", [FP] * n, dest=[4 + i % 8 for i in range(n)],
+                             fp_cycles=[6] * n)
+        mixed = simulate(alternating, 8, IDEAL)
+        serial = simulate(pure_fp, 8, IDEAL)
+        assert mixed.cycles < serial.cycles * 0.7
+
+    def test_fp_occupancy_includes_pipe_drain(self):
+        n = 400
+        trace = make_trace("fp", [FP] * n, dest=[4] * n, fp_cycles=[6] * n)
+        shallow = simulate(trace, 6, IDEAL)   # exec pipe 1 deep
+        deep = simulate(trace, 24, IDEAL)     # exec pipe 7 deep
+        assert deep.cpi > shallow.cpi + 4     # ~ exec_latency - 1 extra
+
+    def test_fp_ops_counted(self):
+        trace = make_trace("fp", [FP, RR, FP], dest=[4, 5, 6], fp_cycles=[4, 0, 4])
+        assert simulate(trace, 8, IDEAL).fp_ops == 2
+
+
+class TestAccounting:
+    def test_determinism(self, modern_trace):
+        a = simulate(modern_trace, 10)
+        b = simulate(modern_trace, 10)
+        assert a.cycles == b.cycles
+        assert a.unit_occupancy == b.unit_occupancy
+
+    def test_occupancy_positive_for_active_units(self, modern_trace):
+        result = simulate(modern_trace, 8)
+        from repro.pipeline import Unit
+
+        for unit in (Unit.FETCH, Unit.DECODE, Unit.EXECUTE, Unit.RETIRE):
+            assert result.unit_occupancy[unit] > 0
+
+    def test_occupancy_bounded_by_transit(self, modern_trace):
+        """Decode occupancy is exactly stages * instructions (no holds)."""
+        result = simulate(modern_trace, 12)
+        from repro.pipeline import Unit
+
+        stages = result.plan.unit_stages[Unit.DECODE]
+        assert result.unit_occupancy[Unit.DECODE] == pytest.approx(
+            stages * result.instructions
+        )
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            simulate(Trace.empty(), 8)
+
+    def test_plan_accepted_directly(self, modern_trace):
+        from repro.pipeline import StagePlan
+
+        direct = simulate(modern_trace, StagePlan.for_depth(9))
+        by_depth = simulate(modern_trace, 9)
+        assert direct.cycles == by_depth.cycles
+
+    def test_unknown_predictor_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(predictor_kind="psychic")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(issue_width=0)
+        with pytest.raises(ValueError):
+            MachineConfig(agen_width=0)
+
+    def test_warmup_reduces_cold_misses(self, modern_trace):
+        cold = MachineConfig(warmup=False)
+        warm = MachineConfig(warmup=True)
+        cold_result = simulate(modern_trace, 8, cold)
+        warm_result = simulate(modern_trace, 8, warm)
+        assert warm_result.mispredicts <= cold_result.mispredicts
+        assert warm_result.dcache_misses <= cold_result.dcache_misses
+
+    def test_hazard_counts_depth_invariant(self, modern_trace):
+        """Hazard *counts* come from the trace + structures, not timing."""
+        r1 = simulate(modern_trace, 4)
+        r2 = simulate(modern_trace, 20)
+        assert r1.mispredicts == r2.mispredicts
+        assert r1.dcache_misses == r2.dcache_misses
+        assert r1.icache_misses == r2.icache_misses

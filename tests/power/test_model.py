@@ -1,0 +1,118 @@
+"""Tests of power accounting over simulation results."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import StagePlan, Unit, simulate
+from repro.power import (
+    UnitPowerModel,
+    calibrate_global_leakage,
+    calibrate_unit_leakage,
+    latch_growth_exponent,
+    plan_latch_count,
+    power_report,
+)
+
+
+class TestLatchCounts:
+    def test_monotone_in_depth(self):
+        model = UnitPowerModel()
+        counts = [plan_latch_count(StagePlan.for_depth(d), model) for d in range(2, 26)]
+        assert counts == sorted(counts)
+
+    def test_merge_rule_reduces_latches(self):
+        """At depth 5 the agen queue merges into agen: the merged cycle
+        counts only the larger unit's latches."""
+        model = UnitPowerModel()
+        merged = plan_latch_count(StagePlan.for_depth(5), model)
+        unmerged = plan_latch_count(StagePlan.for_depth(6), model)
+        budgets = model.unit_powers
+        expected_drop = min(budgets[Unit.AGEN_QUEUE].latches, budgets[Unit.AGEN].latches)
+        assert unmerged - merged == pytest.approx(expected_drop)
+
+    def test_overall_exponent_near_paper(self):
+        """Fig. 3: per-unit 1.3 aggregates to roughly 1.1 overall."""
+        exponent, _counts = latch_growth_exponent(range(2, 26))
+        assert 0.9 <= exponent <= 1.2
+
+    def test_local_exponent_in_optimum_region(self):
+        exponent, _counts = latch_growth_exponent(range(6, 14))
+        assert 1.0 <= exponent <= 1.3
+
+    def test_needs_two_depths(self):
+        with pytest.raises(ValueError):
+            latch_growth_exponent([8])
+
+
+class TestPowerReport:
+    def test_gated_never_exceeds_ungated(self, modern_trace):
+        model = UnitPowerModel()
+        for depth in (2, 5, 8, 16, 25):
+            report = power_report(simulate(modern_trace, depth), model)
+            assert report.gated_dynamic <= report.ungated_dynamic * (1 + 1e-9)
+
+    def test_totals(self, modern_trace):
+        report = power_report(simulate(modern_trace, 8))
+        assert report.total_gated == pytest.approx(report.gated_dynamic + report.leakage)
+        assert report.total_ungated == pytest.approx(report.ungated_dynamic + report.leakage)
+        assert report.total(True) == report.total_gated
+        assert report.total(False) == report.total_ungated
+
+    def test_per_unit_breakdown_sums_to_gated(self, modern_trace):
+        report = power_report(simulate(modern_trace, 8))
+        assert sum(report.per_unit_gated.values()) == pytest.approx(report.gated_dynamic)
+
+    def test_rename_consumes_nothing_in_order(self, modern_trace):
+        report = power_report(simulate(modern_trace, 8))
+        assert report.per_unit_gated[Unit.RENAME] == 0.0
+
+    def test_ungated_power_grows_with_depth(self, modern_trace):
+        model = UnitPowerModel()
+        watts = [
+            power_report(simulate(modern_trace, d), model).ungated_dynamic
+            for d in (4, 8, 16, 25)
+        ]
+        assert watts == sorted(watts)
+
+    def test_leakage_independent_of_activity(self, modern_trace, float_trace):
+        model = UnitPowerModel()
+        a = power_report(simulate(modern_trace, 8), model)
+        b = power_report(simulate(float_trace, 8), model)
+        assert a.leakage == pytest.approx(b.leakage)
+
+    def test_latch_count_reported(self, modern_trace):
+        report = power_report(simulate(modern_trace, 8))
+        assert report.latch_count == pytest.approx(
+            plan_latch_count(StagePlan.for_depth(8), UnitPowerModel())
+        )
+
+
+class TestCalibration:
+    def test_unit_leakage_hits_fraction(self, modern_trace):
+        result = simulate(modern_trace, 8)
+        model = calibrate_unit_leakage(UnitPowerModel(), result, 0.15, gated=True)
+        assert power_report(result, model).leakage_fraction(True) == pytest.approx(0.15)
+
+    def test_ungated_calibration(self, modern_trace):
+        result = simulate(modern_trace, 8)
+        model = calibrate_unit_leakage(UnitPowerModel(), result, 0.3, gated=False)
+        assert power_report(result, model).leakage_fraction(False) == pytest.approx(0.3)
+
+    def test_fraction_bounds(self, modern_trace):
+        result = simulate(modern_trace, 8)
+        with pytest.raises(ValueError):
+            calibrate_unit_leakage(UnitPowerModel(), result, 1.0)
+
+    def test_global_calibration_averages(self, modern_trace, float_trace):
+        results = [simulate(modern_trace, 8), simulate(float_trace, 8)]
+        model = calibrate_global_leakage(UnitPowerModel(), results, 0.15, gated=True)
+        shares = [power_report(r, model).leakage_fraction(True) for r in results]
+        # Neither workload individually needs to hit 15%, but they must
+        # bracket it (stall-heavy one above, busy one below or equal).
+        assert min(shares) <= 0.15 + 1e-9 <= max(shares) + 0.1
+
+    def test_global_calibration_validation(self, modern_trace):
+        with pytest.raises(ValueError):
+            calibrate_global_leakage(UnitPowerModel(), [], 0.15)
+        with pytest.raises(ValueError):
+            calibrate_global_leakage(UnitPowerModel(), [simulate(modern_trace, 8)], -0.1)

@@ -1,0 +1,64 @@
+"""Tests of per-unit power factors and latch budgets."""
+
+import pytest
+
+from repro.pipeline import Unit
+from repro.power import DEFAULT_UNIT_POWERS, PER_UNIT_GAMMA, UnitPower, UnitPowerModel
+
+
+class TestUnitPower:
+    def test_defaults_cover_every_unit(self):
+        assert set(DEFAULT_UNIT_POWERS) == set(Unit)
+
+    def test_queues_have_capacity(self):
+        assert DEFAULT_UNIT_POWERS[Unit.AGEN_QUEUE].capacity > 1
+        assert DEFAULT_UNIT_POWERS[Unit.EXEC_QUEUE].capacity > 1
+        assert DEFAULT_UNIT_POWERS[Unit.EXECUTE].capacity == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnitPower(latches=-1.0)
+        with pytest.raises(ValueError):
+            UnitPower(latches=10.0, dynamic_weight=-0.5)
+        with pytest.raises(ValueError):
+            UnitPower(latches=10.0, capacity=0.5)
+
+
+class TestUnitPowerModel:
+    def test_per_unit_gamma_matches_paper(self):
+        assert UnitPowerModel().gamma_unit == PER_UNIT_GAMMA == 1.3
+
+    def test_unit_latches_power_law(self):
+        model = UnitPowerModel()
+        base = model.unit_powers[Unit.DECODE].latches
+        assert model.unit_latches(Unit.DECODE, 1) == pytest.approx(base)
+        assert model.unit_latches(Unit.DECODE, 4) == pytest.approx(base * 4**1.3)
+
+    def test_zero_stages_zero_latches(self):
+        assert UnitPowerModel().unit_latches(Unit.RENAME, 0) == 0.0
+
+    def test_negative_stages_rejected(self):
+        with pytest.raises(ValueError):
+            UnitPowerModel().unit_latches(Unit.DECODE, -1)
+
+    def test_with_leakage(self):
+        model = UnitPowerModel().with_leakage(0.42)
+        assert model.leakage_per_latch == 0.42
+        assert model.gamma_unit == PER_UNIT_GAMMA
+
+    def test_with_gamma(self):
+        model = UnitPowerModel().with_gamma(1.5)
+        assert model.gamma_unit == 1.5
+
+    def test_missing_unit_rejected(self):
+        partial = {Unit.FETCH: UnitPower(latches=10.0)}
+        with pytest.raises(ValueError):
+            UnitPowerModel(unit_powers=partial)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnitPowerModel(gamma_unit=0.0)
+        with pytest.raises(ValueError):
+            UnitPowerModel(dynamic_per_latch=0.0)
+        with pytest.raises(ValueError):
+            UnitPowerModel(leakage_per_latch=-0.1)

@@ -1,0 +1,88 @@
+"""Tests of the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.report import Series, histogram_chart, line_chart
+
+
+class TestSeries:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Series("s", [1, 2], [1])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            Series("s", [], [])
+
+
+class TestLineChart:
+    def test_dimensions(self):
+        chart = line_chart([Series("a", [1, 2, 3], [1, 4, 9])], width=40, height=10)
+        lines = chart.splitlines()
+        plot_lines = [l for l in lines if "|" in l and l.strip().endswith("|")]
+        assert len(plot_lines) == 10
+        assert all(len(l.split("|")[1]) == 40 for l in plot_lines)
+
+    def test_title_and_legend(self):
+        chart = line_chart(
+            [Series("gated", [1, 2], [1, 2]), Series("ungated", [1, 2], [2, 1])],
+            title="metric vs depth",
+        )
+        assert "metric vs depth" in chart
+        assert "gated" in chart and "ungated" in chart
+
+    def test_markers_distinct(self):
+        chart = line_chart(
+            [Series("a", [1, 2], [1, 1]), Series("b", [1, 2], [2, 2])]
+        )
+        assert "*" in chart and "o" in chart
+
+    def test_peak_placed_at_top_row(self):
+        series = Series("a", [1, 2, 3, 4, 5], [0, 1, 5, 1, 0])
+        chart = line_chart([series], width=20, height=8)
+        rows = [l for l in chart.splitlines() if "|" in l]
+        assert "*" in rows[0]  # maximum lands on the first (top) plot row
+
+    def test_constant_series_handled(self):
+        chart = line_chart([Series("flat", [1, 2, 3], [5, 5, 5])])
+        assert "flat" in chart
+
+    def test_axis_labels(self):
+        chart = line_chart([Series("a", [2, 25], [0, 1])], x_label="depth")
+        assert "(depth)" in chart
+        assert "25" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([])
+        with pytest.raises(ValueError):
+            line_chart([Series("a", [1], [1])], width=4)
+        with pytest.raises(ValueError):
+            line_chart([Series("a", [1.0], [float("nan")])])
+
+
+class TestHistogramChart:
+    def test_bars_proportional(self):
+        chart = histogram_chart([1, 2], [2, 4], max_width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_counts_shown(self):
+        chart = histogram_chart([7, 8], [3, 9])
+        assert chart.splitlines()[0].endswith("3")
+        assert chart.splitlines()[1].endswith("9")
+
+    def test_title(self):
+        assert histogram_chart([1], [1], title="Fig 6").startswith("Fig 6")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram_chart([1, 2], [1])
+        with pytest.raises(ValueError):
+            histogram_chart([], [])
+
+    def test_zero_counts(self):
+        chart = histogram_chart([1, 2], [0, 0])
+        assert "#" not in chart

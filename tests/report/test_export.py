@@ -1,0 +1,62 @@
+"""Tests of CSV export."""
+
+import csv
+
+import pytest
+
+from repro.core import DesignSpace, calibrate_leakage, leakage_sweep
+from repro.report import distribution_rows, sensitivity_rows, sweep_rows, write_csv
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        path = write_csv(tmp_path / "x.csv", ["a", "b"], [(1, 2), (3, 4)])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "dir" / "x.csv", ["a"], [(1,)])
+        assert path.exists()
+
+
+class TestRowBuilders:
+    def test_sweep_rows(self, modern_sweep):
+        header, rows = sweep_rows(modern_sweep)
+        assert header[0] == "depth"
+        assert len(rows) == len(modern_sweep)
+        assert all(len(row) == len(header) for row in rows)
+        depths = [row[0] for row in rows]
+        assert depths == list(modern_sweep.depths)
+
+    def test_sweep_rows_metric_columns(self, modern_sweep):
+        header, rows = sweep_rows(modern_sweep, metrics=(3.0,))
+        assert header[-1] == "bips3_per_watt_gated"
+        expected = modern_sweep.metric(3.0, gated=True)
+        assert rows[0][-1] == pytest.approx(expected[0])
+
+    def test_distribution_rows(self, modern_sweep):
+        from repro.analysis import optimum_from_sweep
+        from repro.analysis.distribution import OptimumDistribution, WorkloadOptimum
+        from repro.trace import WorkloadClass
+
+        estimate = optimum_from_sweep(modern_sweep, 3.0, True)
+        dist = OptimumDistribution(
+            optima=(
+                WorkloadOptimum("w1", WorkloadClass.MODERN, estimate),
+            ),
+            metric_exponent=3.0,
+            gated=True,
+        )
+        header, rows = distribution_rows(dist)
+        assert rows[0][0] == "w1"
+        assert rows[0][2] == pytest.approx(estimate.depth)
+
+    def test_sensitivity_rows(self):
+        space = DesignSpace()
+        space = space.with_power(calibrate_leakage(space, 0.15, 8.0))
+        curves = leakage_sweep(space, fractions=(0.0, 0.5), points=11)
+        header, rows = sensitivity_rows(curves)
+        assert len(rows) == 2 * 11
+        settings = {row[0] for row in rows}
+        assert settings == {0.0, 0.5}

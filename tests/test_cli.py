@@ -1,0 +1,116 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestOptimum:
+    def test_default(self, capsys):
+        assert main(["optimum"]) == 0
+        out = capsys.readouterr().out
+        assert "optimum depth" in out
+        assert "BIPS^3/W" in out
+
+    def test_gated_deeper(self, capsys):
+        main(["optimum"])
+        ungated = capsys.readouterr().out
+        main(["optimum", "--gated"])
+        gated = capsys.readouterr().out
+
+        def depth_of(text):
+            for line in text.splitlines():
+                if line.startswith("optimum depth"):
+                    return float(line.split(":")[1].split()[0])
+            raise AssertionError(text)
+
+        assert depth_of(gated) > depth_of(ungated)
+
+    def test_bips_per_watt_single_stage(self, capsys):
+        main(["optimum", "-m", "1"])
+        assert "single stage optimal" in capsys.readouterr().out
+
+    def test_custom_parameters(self, capsys):
+        assert main(["optimum", "--alpha", "3", "--hazard-rate", "0.2",
+                     "--gamma", "1.3", "--tp", "200"]) == 0
+
+
+class TestSweep:
+    def test_sweep_with_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        code = main(["sweep", "gzip", "--length", "1500", "--csv", str(csv_path),
+                     "--no-chart"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cubic-fit optimum" in out
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("depth,bips")
+
+    def test_sweep_chart(self, capsys):
+        assert main(["sweep", "gzip", "--length", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated" in out and "theory" in out
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            main(["sweep", "not-a-workload", "--length", "500"])
+
+
+class TestSimulate:
+    def test_summary(self, capsys):
+        assert main(["simulate", "swim", "--depth", "10", "--length", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "swim@p10" in out
+        assert "stall/busy" in out
+
+    def test_out_of_order_flag(self, capsys):
+        assert main(["simulate", "gzip", "--length", "1500", "--out-of-order"]) == 0
+
+
+class TestWorkloads:
+    def test_lists_all_classes(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "Legacy (DB/OLTP)" in out
+        assert "Floating point" in out
+        assert "gzip" in out and "swim" in out and "oltp-airline" in out
+
+
+class TestCharacterize:
+    def test_table(self, capsys):
+        assert main(["characterize", "--length", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "workload" in out and "alpha" in out
+
+
+class TestRoadmap:
+    def test_deeper_across_nodes(self, capsys):
+        assert main(["roadmap", "--gated"]) == 0
+        out = capsys.readouterr().out
+        assert "250nm" in out and "65nm" in out
+        depths = [float(line.split("->")[1].split()[0])
+                  for line in out.splitlines() if "->" in line]
+        assert depths == sorted(depths)
+
+
+class TestPlan:
+    def test_single_depth(self, capsys):
+        assert main(["plan", "--depth", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Decode+AgenQ+Agen" in out
+
+    def test_table(self, capsys):
+        assert main(["plan"]) == 0
+        out = capsys.readouterr().out
+        assert "decode" in out and "merges" in out

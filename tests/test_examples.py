@@ -1,0 +1,71 @@
+"""Smoke tests: every example script runs end-to-end and says something.
+
+Examples are executed in-process (``runpy``) with reduced workloads so the
+whole file stays test-suite fast; assertions check the output carries the
+content each example promises.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list, capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", [], capsys)
+        assert "BIPS3/W" in out
+        assert "clock gating" in out
+        assert "BIPS/W" in out
+
+    def test_workload_study(self, capsys):
+        out = run_example("workload_study.py", ["--length", "2000"], capsys)
+        assert "cubic-fit" in out
+        for cls in ("legacy", "modern", "specint95", "specint2000", "float"):
+            assert cls in out
+        assert "|" in out  # the ASCII metric curve
+
+    def test_technology_exploration(self, capsys):
+        out = run_example("technology_exploration.py", [], capsys)
+        assert "Leakage share" in out
+        assert "gamma" in out
+        assert "t_p" in out
+
+    def test_design_advisor(self, capsys):
+        out = run_example(
+            "design_advisor.py", ["--length", "2000", "--branch", "0.15"], capsys
+        )
+        assert "Recommendation" in out
+        assert "suggested design" in out
+
+    def test_power_budget(self, capsys):
+        out = run_example("power_budget.py", [], capsys)
+        assert "Strategy 1" in out and "Strategy 2" in out
+        assert "Pareto" in out
+        assert "cap-limited" in out
+
+    def test_suite_characterization(self, capsys):
+        out = run_example("suite_characterization.py", ["--length", "1000"], capsys)
+        assert "workload" in out
+        assert "Class summary" in out
+
+    def test_design_advisor_rejects_bad_mix(self, capsys):
+        with pytest.raises(SystemExit):
+            run_example(
+                "design_advisor.py",
+                ["--branch", "0.6", "--memory", "0.5"],
+                capsys,
+            )

@@ -1,0 +1,116 @@
+"""End-to-end integration tests: the paper's shape claims, emergent.
+
+These tests run the whole stack — synthetic trace, cycle-accurate
+simulation, power accounting, fitting, theory — and assert the qualitative
+results the paper reports.  None of these outcomes is hard-coded anywhere;
+they emerge from the machine model and the workload knobs (see DESIGN.md
+Sec. 5's checklist).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    optimum_from_sweep,
+    run_depth_sweep,
+    theory_fit_from_sweep,
+)
+from repro.trace import WorkloadClass, by_class
+
+
+class TestPowerChangesTheOptimum:
+    """The headline story: power moves the optimum from ~20+ to ~7-9."""
+
+    def test_power_aware_optimum_much_shallower(self, modern_sweep):
+        perf = optimum_from_sweep(modern_sweep, float("inf"), gated=True).depth
+        power_aware = optimum_from_sweep(modern_sweep, 3.0, gated=True).depth
+        assert power_aware < perf * 0.7
+        assert 4.0 <= power_aware <= 13.0
+        assert perf >= 12.0
+
+    def test_optimum_in_fo4_band(self, modern_sweep):
+        estimate = optimum_from_sweep(modern_sweep, 3.0, gated=True)
+        # Paper band: 17-25 FO4 per stage for power-aware designs.
+        assert 12.0 <= estimate.fo4_per_stage <= 32.0
+
+    def test_metric_family_ordering(self, modern_sweep):
+        depths = [
+            optimum_from_sweep(modern_sweep, m, gated=True).depth
+            for m in (1.0, 2.0, 3.0, float("inf"))
+        ]
+        assert depths[0] <= depths[1] + 0.75
+        assert depths[1] <= depths[2] + 0.75
+        assert depths[2] <= depths[3] + 0.75
+
+
+class TestGatingEffect:
+    def test_gated_metric_above_ungated(self, modern_sweep):
+        gated = modern_sweep.metric(3.0, gated=True)
+        ungated = modern_sweep.metric(3.0, gated=False)
+        assert np.all(gated >= ungated * 0.999)
+
+    def test_gated_optimum_not_shallower(self, modern_sweep):
+        gated = optimum_from_sweep(modern_sweep, 3.0, gated=True).depth
+        ungated = optimum_from_sweep(modern_sweep, 3.0, gated=False).depth
+        assert gated >= ungated - 1.0
+
+
+class TestTheorySimAgreement:
+    def test_integer_workload_r_squared(self, modern_sweep):
+        fit = theory_fit_from_sweep(modern_sweep, 3.0, gated=True)
+        assert fit.r_squared > 0.3
+
+    def test_theory_optimum_same_regime(self, modern_sweep):
+        sim = optimum_from_sweep(modern_sweep, 3.0, gated=True).depth
+        theory = theory_fit_from_sweep(modern_sweep, 3.0, gated=True).optimum.depth
+        assert theory == pytest.approx(sim, abs=5.0)
+
+    def test_theory_tracks_both_gating_models(self, modern_sweep):
+        for gated in (True, False):
+            fit = theory_fit_from_sweep(modern_sweep, 3.0, gated=gated)
+            assert fit.optimum.depth > 1.0
+
+
+class TestClassBehaviour:
+    def test_float_workloads_prefer_deeper_pipes(self, modern_sweep, float_sweep):
+        modern_opt = optimum_from_sweep(modern_sweep, 3.0, gated=True).depth
+        float_opt = optimum_from_sweep(float_sweep, 3.0, gated=True).depth
+        assert float_opt > modern_opt
+
+    def test_spec_less_stressful_than_legacy(self):
+        """Paper Sec. 6: SPEC integer is less stressful than real
+        (legacy/modern) workloads — fewer hazards per instruction."""
+        legacy = run_depth_sweep(
+            by_class(WorkloadClass.LEGACY)[0], depths=(8,), trace_length=3000,
+            reference_depth=8,
+        ).reference
+        spec = run_depth_sweep(
+            by_class(WorkloadClass.SPECINT95)[0], depths=(8,), trace_length=3000,
+            reference_depth=8,
+        ).reference
+        assert legacy.hazard_rate > spec.hazard_rate
+
+    def test_hazard_counts_scale_with_trace_length(self, modern_spec):
+        short = run_depth_sweep(modern_spec, depths=(8,), trace_length=2000,
+                                reference_depth=8).reference
+        long = run_depth_sweep(modern_spec, depths=(8,), trace_length=4000,
+                               reference_depth=8).reference
+        assert long.hazards > short.hazards
+        assert long.hazard_rate == pytest.approx(short.hazard_rate, abs=0.05)
+
+
+class TestSimulationVsTheoryTimePerInstruction:
+    def test_shapes_correlate(self, modern_sweep):
+        """Simulated and theoretical T/N_I curves must be strongly
+        correlated across the depth range (same U shape)."""
+        from repro.core import time_per_instruction
+        from repro.analysis import extract_workload_params
+
+        params = extract_workload_params(modern_sweep.reference).params
+        depths = modern_sweep.depth_array()
+        theory = np.asarray(
+            time_per_instruction(depths, modern_sweep.reference.technology, params)
+        )
+        sim = modern_sweep.time_per_instruction()
+        correlation = np.corrcoef(theory, sim)[0, 1]
+        assert correlation > 0.8

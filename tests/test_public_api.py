@@ -1,0 +1,78 @@
+"""Public-API hygiene: every exported name exists, is documented, and the
+package surface stays consistent."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.isa",
+    "repro.trace",
+    "repro.uarch",
+    "repro.pipeline",
+    "repro.power",
+    "repro.analysis",
+    "repro.report",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+class TestExports:
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package}.__all__ lists missing {name!r}"
+
+    def test_all_has_no_duplicates(self, package):
+        module = importlib.import_module(package)
+        names = list(getattr(module, "__all__", []))
+        assert len(names) == len(set(names))
+
+    def test_module_docstring(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_callables_documented(package):
+    """Every public class and function carries a real docstring."""
+    module = importlib.import_module(package)
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            doc = inspect.getdoc(obj)
+            if not doc or len(doc) < 15:
+                undocumented.append(f"{package}.{name}")
+    assert not undocumented, f"missing docstrings: {undocumented}"
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)
+
+
+def test_layering_core_independent_of_simulator():
+    """The theory layer must not import the simulator (strict layering)."""
+    import sys
+    import subprocess
+
+    code = (
+        "import sys; import repro.core; "
+        "bad = [m for m in sys.modules if m.startswith(('repro.pipeline', "
+        "'repro.trace', 'repro.uarch', 'repro.power', 'repro.analysis'))]; "
+        "print(','.join(bad))"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, check=True
+    )
+    assert result.stdout.strip() == "", (
+        f"repro.core transitively imports: {result.stdout.strip()}"
+    )

@@ -1,0 +1,185 @@
+"""Tests of the synthetic trace generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import NO_REGISTER, OpClass
+from repro.trace import WorkloadClass, WorkloadSpec, generate_trace
+
+BASE_MIX = {
+    OpClass.RR_ALU: 0.35,
+    OpClass.RX_LOAD: 0.15,
+    OpClass.RX_STORE: 0.10,
+    OpClass.RX_ALU: 0.18,
+    OpClass.BRANCH: 0.18,
+    OpClass.FP: 0.02,
+    OpClass.COMPLEX: 0.02,
+}
+
+
+def make_spec(**overrides) -> WorkloadSpec:
+    defaults = dict(
+        name="gen-test",
+        workload_class=WorkloadClass.MODERN,
+        mix=BASE_MIX,
+        branch_sites=64,
+        branch_bias=0.9,
+        taken_rate=0.6,
+        data_working_set=64 * 1024,
+        data_locality=0.9,
+        code_footprint=16 * 1024,
+        dependency_distance=4.0,
+        pointer_chase=0.1,
+        seed=1,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+class TestDeterminism:
+    def test_same_inputs_same_trace(self):
+        a = generate_trace(make_spec(), 2000)
+        b = generate_trace(make_spec(), 2000)
+        assert np.array_equal(a.opclass, b.opclass)
+        assert np.array_equal(a.pc, b.pc)
+        assert np.array_equal(a.taken, b.taken)
+        assert np.array_equal(a.address, b.address)
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(make_spec(seed=1), 2000)
+        b = generate_trace(make_spec(seed=2), 2000)
+        assert not np.array_equal(a.taken, b.taken)
+
+    def test_different_names_differ(self):
+        a = generate_trace(make_spec(name="x"), 2000)
+        b = generate_trace(make_spec(name="y"), 2000)
+        assert not np.array_equal(a.opclass, b.opclass)
+
+
+class TestStructure:
+    def test_length(self):
+        assert len(generate_trace(make_spec(), 1234)) == 1234
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            generate_trace(make_spec(), 0)
+
+    def test_mix_approximately_respected(self):
+        trace = generate_trace(make_spec(), 20000)
+        stats = trace.stats()
+        for cls, frac in BASE_MIX.items():
+            assert stats.mix[cls] == pytest.approx(frac, abs=0.05)
+
+    def test_branch_taken_rate_ordering(self):
+        """Dynamic taken share exceeds the static rate (taken backward
+        branches re-execute themselves), but the knob still orders it."""
+        rarely = generate_trace(make_spec(taken_rate=0.2, name="rare"), 20000)
+        often = generate_trace(make_spec(taken_rate=0.8, name="often"), 20000)
+        assert often.stats().taken_fraction > rarely.stats().taken_fraction + 0.2
+
+    def test_pcs_within_code_footprint(self):
+        spec = make_spec(code_footprint=16 * 1024)
+        trace = generate_trace(spec, 5000)
+        assert int(trace.pc.max()) < 16 * 1024
+        assert int(trace.pc.min()) >= 0
+
+    def test_addresses_within_working_set(self):
+        spec = make_spec(data_working_set=32 * 1024)
+        trace = generate_trace(spec, 5000)
+        assert int(trace.address.max()) < 32 * 1024
+
+    def test_branch_pcs_recur(self):
+        """Static-image property: dynamic branches revisit static PCs."""
+        trace = generate_trace(make_spec(), 20000)
+        branch_pcs = trace.pc[trace.opclass == OpClass.BRANCH.value]
+        assert np.unique(branch_pcs).size < branch_pcs.size / 2
+
+    def test_same_pc_same_opclass(self):
+        """A static program slot always decodes to the same instruction."""
+        trace = generate_trace(make_spec(), 10000)
+        seen = {}
+        for pc, code in zip(trace.pc.tolist(), trace.opclass.tolist()):
+            assert seen.setdefault(pc, code) == code
+
+    def test_taken_only_on_branches(self):
+        trace = generate_trace(make_spec(), 10000)
+        non_branch_taken = trace.taken & (trace.opclass != OpClass.BRANCH.value)
+        assert not non_branch_taken.any()
+
+    def test_fp_cycles_only_on_long_ops(self):
+        trace = generate_trace(make_spec(), 10000)
+        long_mask = (trace.opclass == OpClass.FP.value) | (
+            trace.opclass == OpClass.COMPLEX.value
+        )
+        assert (trace.fp_cycles[~long_mask] == 0).all()
+        assert (trace.fp_cycles[long_mask] > 0).all()
+
+    def test_memory_ops_have_base_register(self):
+        trace = generate_trace(make_spec(), 10000)
+        memory = np.isin(
+            trace.opclass,
+            [OpClass.RX_LOAD.value, OpClass.RX_STORE.value, OpClass.RX_ALU.value],
+        )
+        assert (trace.src1[memory] != NO_REGISTER).all()
+
+    def test_branches_write_no_register(self):
+        trace = generate_trace(make_spec(), 10000)
+        branches = trace.opclass == OpClass.BRANCH.value
+        assert (trace.dest[branches] == NO_REGISTER).all()
+
+    def test_low_chase_uses_base_register_pool(self):
+        trace = generate_trace(make_spec(pointer_chase=0.0), 10000)
+        memory = np.isin(
+            trace.opclass,
+            [OpClass.RX_LOAD.value, OpClass.RX_STORE.value, OpClass.RX_ALU.value],
+        )
+        bases = trace.src1[memory]
+        assert (bases < 4).all()  # the long-lived pool is registers 0..3
+
+
+class TestLocalityKnobs:
+    def test_higher_locality_fewer_distinct_lines(self):
+        low = generate_trace(make_spec(data_locality=0.5, name="lo"), 10000)
+        high = generate_trace(make_spec(data_locality=0.99, name="hi"), 10000)
+        assert high.stats().distinct_lines < low.stats().distinct_lines
+
+    def test_bias_controls_predictability(self):
+        """Higher site bias means dynamic outcomes repeat per PC more."""
+
+        def agreement(trace):
+            by_pc = {}
+            agree = total = 0
+            for pc, code, taken in zip(
+                trace.pc.tolist(), trace.opclass.tolist(), trace.taken.tolist()
+            ):
+                if code != OpClass.BRANCH.value:
+                    continue
+                if pc in by_pc:
+                    total += 1
+                    agree += by_pc[pc] == taken
+                by_pc[pc] = taken
+            return agree / total if total else 0.0
+
+        noisy = generate_trace(make_spec(branch_bias=0.6, name="noisy"), 20000)
+        steady = generate_trace(make_spec(branch_bias=0.98, name="steady"), 20000)
+        assert agreement(steady) > agreement(noisy) + 0.15
+
+    @given(
+        locality=st.floats(0.5, 0.99),
+        bias=st.floats(0.5, 1.0),
+        dep=st.floats(1.0, 10.0),
+        length=st.integers(64, 3000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_generator_always_produces_valid_traces(self, locality, bias, dep, length):
+        spec = make_spec(
+            data_locality=locality, branch_bias=bias, dependency_distance=dep, name="hyp"
+        )
+        trace = generate_trace(spec, length)
+        assert len(trace) == length
+        # Every instruction must survive the record-level validation.
+        trace.instruction(0)
+        trace.instruction(length - 1)
+        assert trace.stats().instructions == length

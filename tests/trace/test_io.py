@@ -1,0 +1,67 @@
+"""Tests of trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.trace import generate_trace
+from repro.trace.io import TRACE_FORMAT_VERSION, load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_identical_after_round_trip(self, modern_spec, tmp_path):
+        trace = generate_trace(modern_spec, 1000)
+        path = save_trace(trace, tmp_path / "t.npz")
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        for column in ("opclass", "pc", "dest", "src1", "src2", "address",
+                       "taken", "fp_cycles"):
+            assert np.array_equal(getattr(loaded, column), getattr(trace, column))
+
+    def test_simulation_identical(self, modern_spec, tmp_path):
+        from repro.pipeline import simulate
+
+        trace = generate_trace(modern_spec, 1000)
+        loaded = load_trace(save_trace(trace, tmp_path / "t"))
+        assert simulate(loaded, 8).cycles == simulate(trace, 8).cycles
+
+    def test_suffix_added(self, modern_spec, tmp_path):
+        trace = generate_trace(modern_spec, 100)
+        path = save_trace(trace, tmp_path / "plain")
+        assert path.suffix == ".npz"
+
+    def test_parent_dirs_created(self, modern_spec, tmp_path):
+        trace = generate_trace(modern_spec, 100)
+        path = save_trace(trace, tmp_path / "a" / "b" / "t.npz")
+        assert path.exists()
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_not_a_trace(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+    def test_wrong_version(self, modern_spec, tmp_path):
+        trace = generate_trace(modern_spec, 100)
+        path = save_trace(trace, tmp_path / "t.npz")
+        with np.load(path) as archive:
+            data = dict(archive)
+        data["version"] = np.asarray([TRACE_FORMAT_VERSION + 1])
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="format version"):
+            load_trace(path)
+
+    def test_missing_column(self, modern_spec, tmp_path):
+        trace = generate_trace(modern_spec, 100)
+        path = save_trace(trace, tmp_path / "t.npz")
+        with np.load(path) as archive:
+            data = dict(archive)
+        del data["taken"]
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="missing trace columns"):
+            load_trace(path)

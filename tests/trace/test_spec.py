@@ -1,0 +1,74 @@
+"""Validation tests for WorkloadSpec."""
+
+import pytest
+
+from repro.isa import OpClass
+from repro.trace import WorkloadClass, WorkloadSpec
+
+GOOD_MIX = {
+    OpClass.RR_ALU: 0.4,
+    OpClass.RX_LOAD: 0.2,
+    OpClass.RX_STORE: 0.1,
+    OpClass.RX_ALU: 0.1,
+    OpClass.BRANCH: 0.18,
+    OpClass.FP: 0.02,
+}
+
+
+def make(**overrides):
+    kwargs = dict(name="spec-test", workload_class=WorkloadClass.MODERN, mix=GOOD_MIX)
+    kwargs.update(overrides)
+    return WorkloadSpec(**kwargs)
+
+
+class TestValidation:
+    def test_valid_spec(self):
+        spec = make()
+        assert spec.branch_fraction == pytest.approx(0.18)
+        assert spec.memory_fraction == pytest.approx(0.4)
+        assert spec.fp_fraction == pytest.approx(0.02)
+
+    def test_empty_name(self):
+        with pytest.raises(ValueError):
+            make(name="")
+
+    def test_mix_must_sum_to_one(self):
+        bad = dict(GOOD_MIX)
+        bad[OpClass.RR_ALU] = 0.9
+        with pytest.raises(ValueError, match="sum to 1"):
+            make(mix=bad)
+
+    def test_negative_mix_entry(self):
+        bad = dict(GOOD_MIX)
+        bad[OpClass.RR_ALU] = 0.6
+        bad[OpClass.RX_LOAD] = -0.0000001
+        with pytest.raises(ValueError):
+            make(mix=bad)
+
+    @pytest.mark.parametrize("field,value", [
+        ("branch_sites", 0),
+        ("branch_bias", 0.4),
+        ("branch_bias", 1.1),
+        ("taken_rate", -0.1),
+        ("taken_rate", 1.1),
+        ("data_locality", 1.5),
+        ("data_working_set", 10),
+        ("code_footprint", 10),
+        ("dependency_distance", 0.5),
+        ("pointer_chase", 1.2),
+        ("fp_latency", 0),
+    ])
+    def test_out_of_range_fields(self, field, value):
+        with pytest.raises(ValueError):
+            make(**{field: value})
+
+    def test_frozen(self):
+        spec = make()
+        with pytest.raises(AttributeError):
+            spec.branch_bias = 0.99
+
+    def test_missing_classes_default_to_zero(self):
+        sparse = {OpClass.RR_ALU: 0.85, OpClass.BRANCH: 0.15}
+        spec = make(mix=sparse)
+        assert spec.memory_fraction == 0.0
+        assert spec.fp_fraction == 0.0

@@ -1,0 +1,101 @@
+"""Tests of the 55-workload suite."""
+
+import pytest
+
+from repro.trace import (
+    SUITE_SIZE,
+    WorkloadClass,
+    by_class,
+    generate_trace,
+    get_workload,
+    small_suite,
+    suite,
+    suite_names,
+)
+
+
+class TestSuiteShape:
+    def test_size_is_55(self):
+        assert len(suite()) == SUITE_SIZE == 55
+
+    def test_names_unique(self):
+        names = suite_names()
+        assert len(set(names)) == len(names)
+
+    def test_every_class_represented(self):
+        for workload_class in WorkloadClass:
+            assert len(by_class(workload_class)) >= 8
+
+    def test_class_counts_sum(self):
+        assert sum(len(by_class(c)) for c in WorkloadClass) == SUITE_SIZE
+
+    def test_specint95_has_real_suite_names(self):
+        names = {s.name for s in by_class(WorkloadClass.SPECINT95)}
+        assert {"go", "gcc95", "li", "compress95"} <= names
+
+    def test_deterministic_across_calls(self):
+        assert suite() == suite()
+
+    def test_specs_are_valid(self):
+        for spec in suite():
+            assert abs(sum(spec.mix.values()) - 1.0) < 1e-9
+            assert 0.5 <= spec.branch_bias <= 1.0
+
+
+class TestLookup:
+    def test_get_workload(self):
+        spec = get_workload("gzip")
+        assert spec.workload_class is WorkloadClass.SPECINT2000
+
+    def test_unknown_name_raises_with_hint(self):
+        with pytest.raises(KeyError, match="gcc"):
+            get_workload("gcc")
+
+    def test_small_suite(self):
+        reduced = small_suite(2)
+        assert len(reduced) == 2 * len(WorkloadClass)
+        classes = {s.workload_class for s in reduced}
+        assert classes == set(WorkloadClass)
+
+    def test_small_suite_validation(self):
+        with pytest.raises(ValueError):
+            small_suite(0)
+
+
+class TestClassCharacter:
+    """The knob ranges must actually produce the class separation the
+    paper's Fig. 7 relies on (checked at spec level; the behavioural
+    check lives in the integration tests)."""
+
+    def test_legacy_has_biggest_code(self):
+        legacy = min(s.code_footprint for s in by_class(WorkloadClass.LEGACY))
+        spec95 = max(s.code_footprint for s in by_class(WorkloadClass.SPECINT95))
+        assert legacy > spec95
+
+    def test_float_has_most_fp(self):
+        float_fp = min(s.fp_fraction for s in by_class(WorkloadClass.FLOAT))
+        other_fp = max(
+            s.fp_fraction for c in WorkloadClass if c is not WorkloadClass.FLOAT
+            for s in by_class(c)
+        )
+        assert float_fp > other_fp
+
+    def test_float_fp_fraction_varies(self):
+        """The paper's FP optima spread 6-16; FP intensity must vary."""
+        fps = [s.fp_fraction for s in by_class(WorkloadClass.FLOAT)]
+        assert max(fps) / min(fps) > 1.8
+
+    def test_legacy_has_tightest_dependencies(self):
+        legacy = max(s.dependency_distance for s in by_class(WorkloadClass.LEGACY))
+        float_dep = min(s.dependency_distance for s in by_class(WorkloadClass.FLOAT))
+        assert legacy < float_dep
+
+    def test_branch_density_ordering(self):
+        legacy = min(s.branch_fraction for s in by_class(WorkloadClass.LEGACY))
+        float_br = max(s.branch_fraction for s in by_class(WorkloadClass.FLOAT))
+        assert legacy > float_br
+
+    def test_all_specs_generate(self):
+        for spec in small_suite(1):
+            trace = generate_trace(spec, 256)
+            assert len(trace) == 256

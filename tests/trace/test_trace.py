@@ -1,0 +1,95 @@
+"""Tests of the Trace container."""
+
+import numpy as np
+import pytest
+
+from repro.isa import NO_REGISTER, Instruction, OpClass
+from repro.trace import Trace
+
+
+def simple_trace() -> Trace:
+    return Trace.from_instructions(
+        "t",
+        [
+            Instruction(0, OpClass.RR_ALU, pc=0, dest=4, src1=5),
+            Instruction(1, OpClass.RX_LOAD, pc=4, dest=6, src1=0, address=64),
+            Instruction(2, OpClass.BRANCH, pc=8, src1=6, taken=True),
+            Instruction(3, OpClass.FP, pc=12, dest=7, fp_cycles=5),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_round_trip(self):
+        trace = simple_trace()
+        assert len(trace) == 4
+        load = trace.instruction(1)
+        assert load.opclass is OpClass.RX_LOAD
+        assert load.dest == 6
+        assert load.address == 64
+
+    def test_iteration(self):
+        classes = [i.opclass for i in simple_trace()]
+        assert classes == [OpClass.RR_ALU, OpClass.RX_LOAD, OpClass.BRANCH, OpClass.FP]
+
+    def test_index_bounds(self):
+        trace = simple_trace()
+        with pytest.raises(IndexError):
+            trace.instruction(4)
+        with pytest.raises(IndexError):
+            trace.instruction(-1)
+
+    def test_arrays_read_only(self):
+        trace = simple_trace()
+        with pytest.raises(ValueError):
+            trace.opclass[0] = 3
+
+    def test_immutable_attributes(self):
+        trace = simple_trace()
+        with pytest.raises(AttributeError):
+            trace.name = "other"
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(
+                name="bad",
+                opclass=np.zeros(3, dtype=np.int8),
+                pc=np.zeros(2, dtype=np.int64),
+                dest=np.zeros(3, dtype=np.int8),
+                src1=np.zeros(3, dtype=np.int8),
+                src2=np.zeros(3, dtype=np.int8),
+                address=np.zeros(3, dtype=np.int64),
+                taken=np.zeros(3, dtype=bool),
+                fp_cycles=np.zeros(3, dtype=np.int16),
+            )
+
+    def test_empty(self):
+        trace = Trace.empty("e")
+        assert len(trace) == 0
+        assert trace.name == "e"
+
+    def test_from_empty_list(self):
+        assert len(Trace.from_instructions("e", [])) == 0
+
+
+class TestStats:
+    def test_mix_fractions(self):
+        stats = simple_trace().stats()
+        assert stats.instructions == 4
+        assert stats.mix[OpClass.RR_ALU] == pytest.approx(0.25)
+        assert stats.branch_fraction == pytest.approx(0.25)
+        assert stats.memory_fraction == pytest.approx(0.25)
+        assert stats.fp_fraction == pytest.approx(0.25)
+
+    def test_taken_fraction(self):
+        stats = simple_trace().stats()
+        assert stats.taken_fraction == pytest.approx(1.0)
+
+    def test_distinct_counts(self):
+        stats = simple_trace().stats()
+        assert stats.distinct_pcs == 4
+        assert stats.distinct_lines == 1
+
+    def test_empty_trace_stats_rejected(self):
+        with pytest.raises(ValueError):
+            Trace.empty().stats()

@@ -1,0 +1,114 @@
+"""Tests of the branch predictor substrate."""
+
+import pytest
+
+from repro.uarch import BimodalPredictor, GsharePredictor, StaticTakenPredictor
+
+
+class TestBimodal:
+    def test_learns_taken_bias(self):
+        predictor = BimodalPredictor(entries=256)
+        pc = 0x400
+        for _ in range(4):
+            predictor.update(pc, True)
+        assert predictor.predict(pc) is True
+
+    def test_learns_not_taken_bias(self):
+        predictor = BimodalPredictor(entries=256)
+        pc = 0x400
+        for _ in range(4):
+            predictor.update(pc, False)
+        assert predictor.predict(pc) is False
+
+    def test_hysteresis_survives_one_flip(self):
+        predictor = BimodalPredictor(entries=256)
+        pc = 0x400
+        for _ in range(4):
+            predictor.update(pc, True)
+        predictor.update(pc, False)  # one anomaly
+        assert predictor.predict(pc) is True
+
+    def test_observe_returns_correctness(self):
+        predictor = BimodalPredictor(entries=256)
+        pc = 0x100
+        for _ in range(4):
+            predictor.update(pc, True)
+        assert predictor.observe(pc, True) is True
+        # Now train the other way until flipped.
+        for _ in range(4):
+            predictor.update(pc, False)
+        assert predictor.observe(pc, True) is False
+
+    def test_distinct_pcs_distinct_entries(self):
+        predictor = BimodalPredictor(entries=256)
+        for _ in range(4):
+            predictor.update(0x100, True)
+            predictor.update(0x200, False)
+        assert predictor.predict(0x100) is True
+        assert predictor.predict(0x200) is False
+
+    def test_reset(self):
+        predictor = BimodalPredictor(entries=256)
+        for _ in range(4):
+            predictor.update(0x100, False)
+        predictor.reset()
+        assert predictor.predict(0x100) is True  # back to weakly-taken init
+
+    @pytest.mark.parametrize("bad", [0, 3, 100])
+    def test_entries_must_be_power_of_two(self, bad):
+        with pytest.raises(ValueError):
+            BimodalPredictor(entries=bad)
+
+    def test_accuracy_on_biased_stream(self):
+        import random
+
+        rng = random.Random(5)
+        predictor = BimodalPredictor(entries=1024)
+        correct = 0
+        n = 2000
+        for _ in range(n):
+            pc = rng.randrange(16) * 4
+            taken = rng.random() < 0.9
+            correct += predictor.observe(pc, taken)
+        assert correct / n > 0.8
+
+
+class TestGshare:
+    def test_learns_alternating_pattern(self):
+        """History indexing lets gshare learn what bimodal cannot:
+        a strictly alternating branch."""
+        gshare = GsharePredictor(entries=1024, history_bits=4)
+        bimodal = BimodalPredictor(entries=1024)
+        pattern = [True, False] * 400
+        g_correct = b_correct = 0
+        for taken in pattern:
+            g_correct += gshare.observe(0x40, taken)
+            b_correct += bimodal.observe(0x40, taken)
+        assert g_correct > b_correct
+        assert g_correct / len(pattern) > 0.9
+
+    def test_reset_clears_history(self):
+        gshare = GsharePredictor(entries=256, history_bits=4)
+        for taken in [True, False] * 50:
+            gshare.update(0x40, taken)
+        gshare.reset()
+        assert gshare._history == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(entries=100)
+        with pytest.raises(ValueError):
+            GsharePredictor(entries=256, history_bits=0)
+
+
+class TestStaticTaken:
+    def test_always_taken(self):
+        predictor = StaticTakenPredictor()
+        assert predictor.predict(0x1234) is True
+        predictor.update(0x1234, False)
+        assert predictor.predict(0x1234) is True
+
+    def test_observe(self):
+        predictor = StaticTakenPredictor()
+        assert predictor.observe(0, True) is True
+        assert predictor.observe(0, False) is False

@@ -1,0 +1,97 @@
+"""Tests of the branch target buffer."""
+
+import pytest
+
+from repro.uarch import BranchTargetBuffer
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(entries=64)
+        assert btb.lookup_and_update(0x400) is False
+        assert btb.lookup_and_update(0x400) is True
+
+    def test_aliasing_evicts(self):
+        btb = BranchTargetBuffer(entries=64)
+        a = 0x0
+        b = 64 * 4  # same index, different tag
+        btb.lookup_and_update(a)
+        btb.lookup_and_update(b)
+        assert btb.lookup_and_update(a) is False
+
+    def test_distinct_slots_coexist(self):
+        btb = BranchTargetBuffer(entries=64)
+        btb.lookup_and_update(0x0)
+        btb.lookup_and_update(0x4)
+        assert btb.probe(0x0) and btb.probe(0x4)
+
+    def test_probe_does_not_install(self):
+        btb = BranchTargetBuffer(entries=64)
+        assert btb.probe(0x400) is False
+        assert btb.lookup_and_update(0x400) is False  # still a miss
+
+    def test_stats_and_reset(self):
+        btb = BranchTargetBuffer(entries=64)
+        btb.lookup_and_update(0x0)
+        btb.lookup_and_update(0x0)
+        assert btb.hits == 1 and btb.misses == 1
+        assert btb.miss_rate == pytest.approx(0.5)
+        btb.reset()
+        assert btb.miss_rate == 0.0
+        assert btb.probe(0x0) is False
+
+    def test_entries_power_of_two(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=100)
+
+
+class TestBTBInMachine:
+    def test_smaller_btb_never_faster(self, modern_trace):
+        from repro.pipeline import MachineConfig, simulate
+
+        perfect = simulate(modern_trace, 16, MachineConfig())
+        finite = simulate(modern_trace, 16, MachineConfig(btb_entries=64))
+        assert finite.cycles >= perfect.cycles
+
+    def test_bubble_grows_with_decode_depth(self):
+        """The BTB-miss bubble is a front-end refill: deeper decode, more
+        cycles lost per missing target."""
+        import numpy as np
+
+        from repro.isa import NO_REGISTER, OpClass
+        from repro.pipeline import MachineConfig, simulate
+        from repro.trace.trace import Trace
+
+        n = 4000
+        BR, RR = OpClass.BRANCH.value, OpClass.RR_ALU.value
+        period = 8
+        codes = [BR if i % period == 0 else RR for i in range(n)]
+        dest = [NO_REGISTER if i % period == 0 else 4 + i % 8 for i in range(n)]
+        taken = [i % period == 0 for i in range(n)]
+        # Cycle through many branch PCs so a small BTB always misses.
+        pcs = [(i % 2048) * 4 for i in range(n)]
+        trace = Trace(
+            name="btb-stress",
+            opclass=np.asarray(codes, dtype=np.int8),
+            pc=np.asarray(pcs, dtype=np.int64),
+            dest=np.asarray(dest, dtype=np.int8),
+            src1=np.full(n, NO_REGISTER, dtype=np.int8),
+            src2=np.full(n, NO_REGISTER, dtype=np.int8),
+            address=np.zeros(n, dtype=np.int64),
+            taken=np.asarray(taken, dtype=bool),
+            fp_cycles=np.zeros(n, dtype=np.int16),
+        )
+        tiny = MachineConfig(btb_entries=16, predictor_kind="taken")
+        shallow = simulate(trace, 6, tiny)
+        deep = simulate(trace, 24, tiny)
+        bubble_shallow = shallow.cycles - simulate(trace, 6, MachineConfig(
+            predictor_kind="taken")).cycles
+        bubble_deep = deep.cycles - simulate(trace, 24, MachineConfig(
+            predictor_kind="taken")).cycles
+        assert bubble_deep > bubble_shallow * 2
+
+    def test_config_validation(self):
+        from repro.pipeline import MachineConfig
+
+        with pytest.raises(ValueError):
+            MachineConfig(btb_entries=100)

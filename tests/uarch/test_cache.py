@@ -1,0 +1,123 @@
+"""Tests of the set-associative LRU cache substrate."""
+
+import pytest
+
+from repro.uarch import Cache, CacheConfig
+
+
+def small_cache(assoc: int = 2, sets: int = 4, line: int = 64) -> Cache:
+    return Cache(CacheConfig(size=line * assoc * sets, line_size=line, associativity=assoc))
+
+
+class TestConfig:
+    def test_sets_computation(self):
+        config = CacheConfig(size=64 * 1024, line_size=128, associativity=4)
+        assert config.sets == 128
+
+    def test_line_size_power_of_two(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=1024, line_size=96, associativity=1)
+
+    def test_size_must_hold_one_set(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=64, line_size=64, associativity=4)
+
+    def test_size_must_be_whole_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=64 * 3, line_size=64, associativity=2)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=1024, line_size=64, associativity=1, miss_latency_fo4=-1.0)
+
+    def test_nonpositive_associativity_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=1024, line_size=64, associativity=0)
+
+
+class TestBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+
+    def test_same_line_hits(self):
+        cache = small_cache(line=64)
+        cache.access(0x1000)
+        assert cache.access(0x1000 + 63) is True
+
+    def test_adjacent_line_misses(self):
+        cache = small_cache(line=64)
+        cache.access(0x1000)
+        assert cache.access(0x1000 + 64) is False
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(assoc=2, sets=1, line=64)
+        a, b, c = 0x000, 0x040, 0x080  # all map to the single set
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)  # evicts a (LRU)
+        assert cache.access(b) is True
+        assert cache.access(a) is False  # a was evicted
+
+    def test_touch_refreshes_lru(self):
+        cache = small_cache(assoc=2, sets=1, line=64)
+        a, b, c = 0x000, 0x040, 0x080
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a becomes most recent
+        cache.access(c)  # evicts b now
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_conflict_misses_with_low_associativity(self):
+        """Three lines mapping to one 2-way set thrash forever."""
+        cache = small_cache(assoc=2, sets=4, line=64)
+        set_stride = 4 * 64  # same set every stride
+        addresses = [0, set_stride, 2 * set_stride]
+        for _ in range(5):
+            for addr in addresses:
+                cache.access(addr)
+        assert cache.stats.miss_rate > 0.9
+
+    def test_full_associativity_holds_working_set(self):
+        cache = Cache(CacheConfig(size=8 * 64, line_size=64, associativity=8))
+        addresses = [i * 64 for i in range(8)]
+        for addr in addresses:
+            cache.access(addr)
+        assert all(cache.access(addr) for addr in addresses)
+
+    def test_probe_does_not_mutate(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        before = cache.stats.accesses
+        assert cache.probe(0x1000) is True
+        assert cache.probe(0x9000) is False
+        assert cache.stats.accesses == before
+
+    def test_stats_counting(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        cache.access(0x4000)
+        assert cache.stats.accesses == 3
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_reset(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.access(0x1000) is False  # cold again
+
+    def test_empty_stats_miss_rate(self):
+        assert small_cache().stats.miss_rate == 0.0
+
+    def test_non_power_of_two_sets_supported(self):
+        config = CacheConfig(size=3 * 2 * 64, line_size=64, associativity=2)
+        cache = Cache(config)
+        assert config.sets == 3
+        cache.access(0x0)
+        assert cache.access(0x0) is True
