@@ -1,0 +1,73 @@
+"""Engine scaling: serial vs parallel wall time and warm-cache replay.
+
+One fixed batch — twenty workloads (four per class) across the full
+depth grid at full trace length — executed serially, on 2 and 4 workers,
+and finally replayed from a warm result cache.  The recorded table backs docs/ENGINE.md's scaling
+notes; the assertions pin the engine's contract (parallel results equal
+serial ones, a warm replay executes nothing) rather than exact speedups,
+which depend on the host.
+"""
+
+import os
+import time
+
+import pytest
+
+from conftest import run_once
+from repro.engine import EngineConfig, ExecutionEngine
+from repro.engine.scheduler import jobs_for_specs
+from repro.engine.serialize import result_to_dict
+from repro.trace import small_suite
+
+DEPTHS = tuple(range(2, 26))
+TRACE_LENGTH = 8000
+
+
+def _batch():
+    return jobs_for_specs(small_suite(4), DEPTHS, trace_length=TRACE_LENGTH)
+
+
+def _timed_run(workers: int, cache_dir=None):
+    engine = ExecutionEngine(EngineConfig(workers=workers, cache_dir=cache_dir))
+    started = time.perf_counter()
+    results = engine.run(_batch())
+    return time.perf_counter() - started, results, engine.report
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_scaling(benchmark, record_table, tmp_path):
+    serial_time, serial_results, _ = run_once(benchmark, lambda: _timed_run(1))
+
+    lines = [
+        f"Engine scaling — {len(serial_results)} workloads x {len(DEPTHS)} depths, "
+        f"{TRACE_LENGTH}-instruction traces ({os.cpu_count()} host cores)",
+        f"  serial (1 worker) : {serial_time:6.1f}s",
+    ]
+    for workers in (2, 4):
+        wall, results, _ = _timed_run(workers)
+        for a, b in zip(serial_results, results):
+            assert [result_to_dict(r) for r in a.results] == [
+                result_to_dict(r) for r in b.results
+            ]
+        lines.append(
+            f"  {workers} workers         : {wall:6.1f}s  "
+            f"(speedup x{serial_time / wall:.1f})"
+        )
+
+    cache_dir = tmp_path / "cache"
+    cold_time, _, cold_report = _timed_run(1, cache_dir=cache_dir)
+    warm_time, warm_results, warm_report = _timed_run(1, cache_dir=cache_dir)
+    assert cold_report.executed == len(serial_results)
+    assert warm_report.executed == 0
+    assert warm_report.cache_hits == len(serial_results)
+    for a, b in zip(serial_results, warm_results):
+        assert [result_to_dict(r) for r in a.results] == [
+            result_to_dict(r) for r in b.results
+        ]
+    lines.append(
+        f"  warm cache        : {warm_time:6.2f}s  "
+        f"(speedup x{cold_time / warm_time:.0f}, "
+        f"{warm_report.cache_hits}/{warm_report.jobs} cache hits, 0 executed)"
+    )
+
+    record_table("engine_scaling", "\n".join(lines))

@@ -15,6 +15,9 @@ Subpackages:
 * :mod:`repro.power` — per-unit activity-based power accounting.
 * :mod:`repro.analysis` — parameter extraction, depth sweeps, optimum
   extraction and suite-level distributions.
+* :mod:`repro.engine` — the parallel batch-execution engine: process-pool
+  scheduling, content-addressed result caching and run observability for
+  every simulation batch (see ``docs/ENGINE.md``).
 * :mod:`repro.experiments` — one driver per paper figure.
 
 Quickstart::
@@ -26,6 +29,6 @@ Quickstart::
 
 from . import core
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["core", "__version__"]

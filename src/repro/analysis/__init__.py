@@ -9,7 +9,13 @@ from .compare import ConfigResult, MachineComparison, compare_machines
 from .distribution import OptimumDistribution, WorkloadOptimum, optimum_distribution
 from .extraction import ExtractionReport, extract_workload_params, fit_workload_params
 from .optimum import OptimumEstimate, TheoryFit, optimum_from_sweep, theory_fit_from_sweep
-from .sweep import DEFAULT_DEPTHS, DepthSweep, run_depth_sweep
+from .sweep import (
+    DEFAULT_DEPTHS,
+    DepthSweep,
+    run_depth_sweep,
+    run_depth_sweeps,
+    sweep_from_results,
+)
 
 __all__ = [
     "WorkloadCharacter",
@@ -23,6 +29,8 @@ __all__ = [
     "fit_workload_params",
     "DepthSweep",
     "run_depth_sweep",
+    "run_depth_sweeps",
+    "sweep_from_results",
     "DEFAULT_DEPTHS",
     "OptimumEstimate",
     "TheoryFit",

@@ -106,6 +106,7 @@ def optimum_distribution(
     machine: MachineConfig | None = None,
     leakage_fraction: float = 0.15,
     reference_depth: int = 8,
+    engine=None,
 ) -> OptimumDistribution:
     """Sweep every workload and collect the distribution of optima.
 
@@ -116,28 +117,42 @@ def optimum_distribution(
     then see a larger leakage share, which (with the theory's Fig. 8
     mechanism) pushes their optima deeper.
 
+    All simulations route through the batch engine (one job per
+    workload); pass ``engine`` — an
+    :class:`~repro.engine.ExecutionEngine` — to run them on worker
+    processes and/or serve them from the result cache.  The suite-global
+    leakage calibration happens afterwards in this process, so cached
+    simulations serve any calibration scheme.
+
     With the complete 55-workload suite at the default trace length this
-    is a multi-second computation; tests use
+    is a multi-minute computation; tests use
     :func:`repro.trace.small_suite` and shorter traces.
     """
-    from ..pipeline.simulator import PipelineSimulator
+    from ..engine.scheduler import default_engine, jobs_for_specs
     from ..power.model import calibrate_global_leakage
     from ..power.units import UnitPowerModel
-    from ..trace.generator import generate_trace
+    from .sweep import sweep_from_results
 
     exponent = m.exponent if isinstance(m, MetricFamily) else float(m)
-    simulator = PipelineSimulator(machine)
-    traces = [generate_trace(spec, trace_length) for spec in specs]
-    references = [simulator.simulate(trace, reference_depth) for trace in traces]
+    depths = tuple(int(d) for d in depths)
+    if reference_depth not in depths:
+        raise ValueError(
+            f"reference_depth {reference_depth} must be one of the swept depths"
+        )
+    engine = engine or default_engine()
+    job_results = engine.run(
+        jobs_for_specs(specs, depths, trace_length=trace_length, machine=machine)
+    )
+    references = [jr.result_at(reference_depth) for jr in job_results]
     model = calibrate_global_leakage(
         UnitPowerModel(), references, leakage_fraction, gated=gated
     )
     optima = []
-    for spec, trace in zip(specs, traces):
-        sweep = run_depth_sweep(
-            trace,
-            depths=depths,
-            machine=machine,
+    for spec, job_result in zip(specs, job_results):
+        sweep = sweep_from_results(
+            job_result.results,
+            depths,
+            spec=spec,
             power_model=model,
             leakage_fraction=None,
             reference_depth=reference_depth,

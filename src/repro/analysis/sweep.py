@@ -5,12 +5,21 @@ one workload: the per-depth simulation results, the calibrated power
 model, and accessors producing the BIPS / watts / ``BIPS**m/W`` series for
 either gating model.  This is the simulation-side counterpart of the
 theory's metric curves.
+
+Simulation is separated from sweep assembly: the raw per-depth
+:class:`~repro.pipeline.results.SimulationResult`\\ s come either from a
+direct in-process run or from the batch engine
+(:mod:`repro.engine`) — parallel and/or cache-served — and
+:func:`sweep_from_results` turns them into a :class:`DepthSweep` by
+applying power calibration and accounting.  :func:`run_depth_sweeps`
+(plural) is the batch entry point the experiments and the ``batch`` CLI
+command use.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -24,7 +33,13 @@ from ..trace.generator import generate_trace
 from ..trace.spec import WorkloadSpec
 from ..trace.trace import Trace
 
-__all__ = ["DepthSweep", "run_depth_sweep", "DEFAULT_DEPTHS"]
+__all__ = [
+    "DepthSweep",
+    "run_depth_sweep",
+    "run_depth_sweeps",
+    "sweep_from_results",
+    "DEFAULT_DEPTHS",
+]
 
 DEFAULT_DEPTHS: Tuple[int, ...] = tuple(range(2, 26))
 """The paper's depth range: 2 to 25 stages between decode and execute."""
@@ -105,6 +120,59 @@ class DepthSweep:
         return np.asarray([r.time_per_instruction for r in self.results])
 
 
+def sweep_from_results(
+    results: Sequence[SimulationResult],
+    depths: Sequence[int],
+    spec: "WorkloadSpec | None" = None,
+    power_model: UnitPowerModel | None = None,
+    leakage_fraction: "float | None" = 0.15,
+    reference_depth: int = 8,
+) -> DepthSweep:
+    """Assemble a :class:`DepthSweep` from already-simulated results.
+
+    This is the power-accounting half of :func:`run_depth_sweep`, split
+    out so results produced by the batch engine (parallel workers or the
+    on-disk cache) feed the identical calibration path as a direct run.
+
+    Args:
+        results: one result per depth, aligned with ``depths``.
+        depths: the swept depths, strictly ascending.
+        spec: the originating workload spec, if any.
+        power_model: unit power model; defaults to the stock budgets.
+        leakage_fraction: if not None, leakage is calibrated to this share
+            of total (gated) power at ``reference_depth``; pass None to
+            keep the model's own leakage (e.g. after a suite-global
+            calibration).
+        reference_depth: calibration/extraction anchor.
+    """
+    depths = tuple(int(d) for d in depths)
+    if reference_depth not in depths:
+        raise ValueError(
+            f"reference_depth {reference_depth} must be one of the swept depths"
+        )
+    results = tuple(results)
+    if len(results) != len(depths):
+        raise ValueError(f"{len(results)} results for {len(depths)} depths")
+    for result, depth in zip(results, depths):
+        if result.plan.depth != depth:
+            raise ValueError(
+                f"result at depth {result.plan.depth} misaligned with {depth}"
+            )
+    model = power_model or UnitPowerModel()
+    if leakage_fraction is not None:
+        reference = results[depths.index(reference_depth)]
+        model = calibrate_unit_leakage(model, reference, leakage_fraction, gated=True)
+    return DepthSweep(
+        spec=spec,
+        trace_name=results[0].trace_name,
+        depths=depths,
+        results=results,
+        reports=tuple(power_report(result, model) for result in results),
+        power_model=model,
+        reference_depth=reference_depth,
+    )
+
+
 def run_depth_sweep(
     spec: "WorkloadSpec | Trace",
     depths: Sequence[int] = DEFAULT_DEPTHS,
@@ -113,6 +181,7 @@ def run_depth_sweep(
     power_model: UnitPowerModel | None = None,
     leakage_fraction: "float | None" = 0.15,
     reference_depth: int = 8,
+    engine=None,
 ) -> DepthSweep:
     """Simulate one workload at every depth and account its power.
 
@@ -127,6 +196,10 @@ def run_depth_sweep(
             15 %.  Pass None to keep the model's own leakage.
         reference_depth: calibration/extraction anchor (paper-style single
             detailed run).
+        engine: an :class:`~repro.engine.ExecutionEngine` to execute (and
+            cache) the simulations; None runs directly in-process.  A raw
+            :class:`Trace` cannot be content-addressed, so trace inputs
+            always run directly.
 
     Returns:
         A :class:`DepthSweep`.
@@ -136,29 +209,84 @@ def run_depth_sweep(
         raise ValueError(
             f"reference_depth {reference_depth} must be one of the swept depths"
         )
+    if engine is not None and not isinstance(spec, Trace):
+        (sweep,) = run_depth_sweeps(
+            (spec,),
+            depths=depths,
+            trace_length=trace_length,
+            machine=machine,
+            power_model=power_model,
+            leakage_fraction=leakage_fraction,
+            reference_depth=reference_depth,
+            engine=engine,
+        )
+        return sweep
     if isinstance(spec, Trace):
         trace, workload_spec = spec, None
     else:
         trace, workload_spec = generate_trace(spec, trace_length), spec
     simulator = PipelineSimulator(machine)
-    model = power_model or UnitPowerModel()
 
     reference = simulator.simulate(trace, reference_depth)
-    if leakage_fraction is not None:
-        model = calibrate_unit_leakage(model, reference, leakage_fraction, gated=True)
-
-    results = []
-    reports = []
-    for depth in depths:
-        result = reference if depth == reference_depth else simulator.simulate(trace, depth)
-        results.append(result)
-        reports.append(power_report(result, model))
-    return DepthSweep(
+    results = tuple(
+        reference if depth == reference_depth else simulator.simulate(trace, depth)
+        for depth in depths
+    )
+    return sweep_from_results(
+        results,
+        depths,
         spec=workload_spec,
-        trace_name=trace.name,
-        depths=depths,
-        results=tuple(results),
-        reports=tuple(reports),
-        power_model=model,
+        power_model=power_model,
+        leakage_fraction=leakage_fraction,
         reference_depth=reference_depth,
     )
+
+
+def run_depth_sweeps(
+    specs: Sequence[WorkloadSpec],
+    depths: Sequence[int] = DEFAULT_DEPTHS,
+    trace_length: int = 8000,
+    machine: MachineConfig | None = None,
+    power_model: UnitPowerModel | None = None,
+    leakage_fraction: "float | None" = 0.15,
+    reference_depth: int = 8,
+    engine=None,
+) -> Tuple[DepthSweep, ...]:
+    """Sweep many workloads through the batch engine.
+
+    Each workload becomes one engine job (all depths of one workload in
+    one worker), so the batch parallelises across workloads and dedupes
+    repeated (spec, machine, depths, length) combinations through the
+    engine's content-addressed cache.  Results come back in ``specs``
+    order regardless of worker scheduling.
+
+    Args:
+        specs: the workloads to sweep.
+        engine: an :class:`~repro.engine.ExecutionEngine`; None uses a
+            serial, uncached engine (identical output, no side effects).
+        (other args as :func:`run_depth_sweep`.)
+    """
+    from ..engine.scheduler import default_engine, jobs_for_specs
+
+    depths = tuple(int(d) for d in depths)
+    if reference_depth not in depths:
+        raise ValueError(
+            f"reference_depth {reference_depth} must be one of the swept depths"
+        )
+    engine = engine or default_engine()
+    job_results = engine.run(
+        jobs_for_specs(specs, depths, trace_length=trace_length, machine=machine)
+    )
+    sweeps: List[DepthSweep] = []
+    for spec, job_result in zip(specs, job_results):
+        sweeps.append(
+            sweep_from_results(
+                job_result.results,
+                depths,
+                spec=spec,
+                power_model=power_model,
+                leakage_fraction=leakage_fraction,
+                reference_depth=reference_depth,
+            )
+        )
+    return tuple(sweeps)

@@ -10,6 +10,11 @@ Commands:
 * ``characterize`` — the suite characterisation table.
 * ``roadmap``   — project the optimum across technology nodes.
 * ``figures``   — regenerate the paper's figures (the experiments runner).
+* ``batch``     — execute a JSON manifest of depth sweeps via the engine.
+
+The simulation-heavy commands (``sweep``, ``figures``, ``batch``) accept
+``--jobs N`` (parallel workers), ``--cache-dir`` and ``--no-cache``; they
+share the content-addressed result cache of :mod:`repro.engine`.
 """
 
 from __future__ import annotations
@@ -20,7 +25,21 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from . import __version__
+
 __all__ = ["main", "build_parser"]
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    from .experiments.runner import add_engine_arguments
+
+    add_engine_arguments(parser)
+
+
+def _engine(args):
+    from .experiments.runner import engine_from_args
+
+    return engine_from_args(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -28,6 +47,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of Hartstein & Puzak, 'Optimum Power/Performance "
         "Pipeline Depth' (MICRO-36, 2003)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -52,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--out-of-order", action="store_true")
     sweep.add_argument("--csv", type=str, default=None, help="write sweep data to CSV")
     sweep.add_argument("--no-chart", action="store_true")
+    _add_engine_flags(sweep)
 
     simulate = sub.add_parser("simulate", help="one workload at one depth")
     simulate.add_argument("workload")
@@ -76,6 +99,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     figures = sub.add_parser("figures", help="regenerate the paper's figures")
     figures.add_argument("--quick", action="store_true")
+    figures.add_argument(
+        "--headline-small", action="store_true",
+        help="cap the headline table at 2 workloads per class in full runs",
+    )
+    _add_engine_flags(figures)
+
+    batch = sub.add_parser(
+        "batch", help="execute a JSON manifest of depth sweeps via the engine"
+    )
+    batch.add_argument("manifest", help="path to a batch manifest (JSON)")
+    batch.add_argument(
+        "--clear-cache", action="store_true",
+        help="clear the result cache before executing the manifest",
+    )
+    _add_engine_flags(batch)
 
     return parser
 
@@ -117,7 +155,9 @@ def _cmd_sweep(args) -> int:
 
     spec = get_workload(args.workload)
     machine = MachineConfig(in_order=not args.out_of_order)
-    sweep = run_depth_sweep(spec, trace_length=args.length, machine=machine)
+    sweep = run_depth_sweep(
+        spec, trace_length=args.length, machine=machine, engine=_engine(args)
+    )
     gated = not args.ungated
     values = sweep.metric(args.metric, gated=gated)
     estimate = optimum_from_sweep(sweep, args.metric, gated=gated)
@@ -188,7 +228,27 @@ def _cmd_workloads(_args) -> int:
 def _cmd_figures(args) -> int:
     from .experiments.runner import run_all
 
-    run_all(quick=args.quick)
+    run_all(
+        quick=args.quick,
+        engine=_engine(args),
+        headline_small=args.headline_small,
+    )
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    from .engine.manifest import ManifestError, load_manifest, run_manifest
+
+    engine = _engine(args)
+    if args.clear_cache and engine.cache is not None:
+        removed = engine.cache.clear()
+        print(f"cleared {removed} cache entries from {engine.cache.directory}")
+    try:
+        manifest = load_manifest(args.manifest)
+    except ManifestError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    run_manifest(manifest, engine=engine)
     return 0
 
 
@@ -225,6 +285,7 @@ _COMMANDS = {
     "characterize": _cmd_characterize,
     "roadmap": _cmd_roadmap,
     "figures": _cmd_figures,
+    "batch": _cmd_batch,
 }
 
 

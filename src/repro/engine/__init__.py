@@ -1,0 +1,69 @@
+"""Batch-execution engine: parallel simulation with content-addressed caching.
+
+The full evaluation is dominated by one operation repeated hundreds of
+times: *simulate workload X at depth p*.  The engine turns that operation
+into a first-class, cacheable, schedulable unit of work:
+
+* :mod:`repro.engine.job` — :class:`SimJob` canonically hashes
+  (workload spec, machine config, depths, trace length, code version)
+  into a content-addressed cache key; :class:`JobResult` carries the
+  per-depth simulation results back with provenance (cache hit, timing,
+  attempts).
+* :mod:`repro.engine.cache` — an on-disk JSON result cache with atomic
+  writes and corruption-tolerant reads.  Keys embed ``repro.__version__``
+  and every simulation-relevant parameter, so version or parameter
+  changes invalidate stale entries by construction.
+* :mod:`repro.engine.scheduler` — :class:`ExecutionEngine`, a
+  ``ProcessPoolExecutor``-based scheduler with configurable worker count,
+  per-job timeout, bounded retry on worker failure and deterministic
+  result ordering (parallel output is bit-identical to serial).
+* :mod:`repro.engine.report` — structured run observability: per-job
+  records, cache-hit/executed/retry counters and a human summary via
+  :class:`RunReport`, plus an incremental progress reporter.
+* :mod:`repro.engine.manifest` — declarative batch manifests for the
+  ``repro batch`` CLI command (imported explicitly; not re-exported here
+  because it reaches up into :mod:`repro.analysis`).
+
+Everything downstream (``repro.analysis.sweep``, the figure experiments,
+the ``figures``/``sweep``/``batch`` CLI commands) funnels its simulations
+through an :class:`ExecutionEngine`, so ``--jobs``/``--cache-dir`` work
+uniformly across the evaluation.  See ``docs/ENGINE.md``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from .cache import CacheStats, ResultCache, default_cache_dir
+from .job import CACHE_SCHEMA, JobResult, SimJob
+from .report import JobRecord, ProgressReporter, RunReport
+from .scheduler import (
+    EngineConfig,
+    ExecutionEngine,
+    JobExecutionError,
+    default_engine,
+)
+from .serialize import PayloadError, payload_for, results_from_payload
+from .worker import execute_job
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheStats",
+    "EngineConfig",
+    "ExecutionEngine",
+    "JobExecutionError",
+    "JobRecord",
+    "JobResult",
+    "PayloadError",
+    "ProgressReporter",
+    "ResultCache",
+    "RunReport",
+    "SimJob",
+    "default_cache_dir",
+    "default_engine",
+    "execute_job",
+    "payload_for",
+    "results_from_payload",
+]
+
+logging.getLogger("repro.engine").addHandler(logging.NullHandler())

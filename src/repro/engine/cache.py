@@ -1,0 +1,139 @@
+"""On-disk content-addressed result cache.
+
+Layout: one JSON file per cache key under ``<dir>/<key[:2]>/<key>.json``
+(two-level sharding keeps directories small over thousands of entries).
+
+Guarantees:
+
+* **atomic writes** — payloads are written to a same-directory temp file
+  and ``os.replace``\\ d into place, so readers never observe a partial
+  entry even under concurrent writers;
+* **corruption tolerance** — unreadable or undecodable entries are logged,
+  deleted (best effort) and reported as misses, never raised;
+* **implicit invalidation** — keys embed ``repro.__version__``, the
+  payload schema and every simulation parameter, so stale entries simply
+  stop being addressed; :meth:`ResultCache.clear` reclaims the space
+  explicitly.
+
+The default location honours ``$REPRO_CACHE_DIR`` then
+``$XDG_CACHE_HOME``, falling back to ``~/.cache/repro/engine``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import pathlib
+from dataclasses import dataclass
+
+__all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
+
+logger = logging.getLogger("repro.engine.cache")
+
+
+def default_cache_dir() -> pathlib.Path:
+    """Resolve the cache directory from the environment."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg).expanduser() if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro" / "engine"
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated over one cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits} hits, {self.misses} misses, "
+            f"{self.writes} writes, {self.corrupt} corrupt"
+        )
+
+
+class ResultCache:
+    """Content-addressed JSON payload store with atomic writes."""
+
+    def __init__(self, directory: "str | pathlib.Path"):
+        self.directory = pathlib.Path(directory).expanduser()
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> pathlib.Path:
+        if len(key) < 3 or not key.isalnum():
+            raise ValueError(f"implausible cache key {key!r}")
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> "dict | None":
+        """The payload stored under ``key``, or None (missing or corrupt)."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError as exc:
+            logger.warning("cache read failed for %s: %s", path, exc)
+            self.stats.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError(f"expected an object, got {type(payload).__name__}")
+        except ValueError as exc:
+            logger.warning("discarding corrupt cache entry %s: %s", path, exc)
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            self.invalidate(key)
+            return None
+        self.stats.hits += 1
+        logger.debug("cache hit %s", key[:12])
+        return payload
+
+    def put(self, key: str, payload: dict) -> pathlib.Path:
+        """Atomically store ``payload`` under ``key``; returns the entry path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self.stats.writes += 1
+        logger.debug("cache write %s -> %s", key[:12], path)
+        return path
+
+    def invalidate(self, key: str) -> None:
+        """Best-effort removal of one entry."""
+        try:
+            self.path_for(key).unlink(missing_ok=True)
+        except OSError as exc:  # pragma: no cover - unlikely race
+            logger.warning("cache invalidation failed for %s: %s", key[:12], exc)
+
+    def clear(self) -> int:
+        """Remove every cache entry; returns the number removed."""
+        removed = 0
+        if not self.directory.exists():
+            return removed
+        for entry in self.directory.glob("*/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError as exc:  # pragma: no cover - unlikely race
+                logger.warning("cache clear failed for %s: %s", entry, exc)
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultCache({str(self.directory)!r}, {self.stats})"

@@ -1,0 +1,164 @@
+"""The engine's unit of work and its content-addressed identity.
+
+A :class:`SimJob` names one batch of simulations — *one workload at a set
+of pipeline depths on one machine configuration* — which is exactly the
+granularity every consumer (depth sweeps, the figure experiments, the
+batch CLI) needs, and the granularity at which results are cached.
+
+The cache key is a SHA-256 over a canonical JSON encoding of everything
+that can change a simulation's outcome:
+
+* the complete :class:`~repro.trace.spec.WorkloadSpec` (the trace
+  generator is deterministic in (spec, length), so the spec stands in for
+  the trace itself);
+* the complete :class:`~repro.pipeline.simulator.MachineConfig`,
+  including nested cache geometries and technology constants;
+* the depth set and trace length;
+* ``repro.__version__`` and the payload schema number, so upgrading the
+  code or the on-disk format invalidates every stale entry by
+  construction rather than by bookkeeping.
+
+Canonicalisation is field-order independent (mappings are key-sorted),
+enums are encoded by name, and floats rely on JSON's shortest-round-trip
+representation, so equal configurations hash equally across processes and
+sessions — the property the cross-process determinism test in
+``tests/trace/test_determinism.py`` guards.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence, Tuple
+
+from ..pipeline.results import SimulationResult
+from ..pipeline.simulator import MachineConfig
+from ..trace.spec import WorkloadSpec
+
+__all__ = ["CACHE_SCHEMA", "SimJob", "JobResult", "canonical_fingerprint"]
+
+CACHE_SCHEMA = 1
+"""On-disk payload schema number; bump on incompatible format changes."""
+
+
+def _code_version() -> str:
+    # Read dynamically (not captured at import) so tests can patch
+    # ``repro.__version__`` to exercise version invalidation.
+    from .. import __version__
+
+    return __version__
+
+
+def canonical_fingerprint(value):
+    """Recursively encode ``value`` into JSON-able, order-stable primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: canonical_fingerprint(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, Mapping):
+        items = {str(canonical_fingerprint(k)): canonical_fingerprint(v)
+                 for k, v in value.items()}
+        return dict(sorted(items.items()))
+    if isinstance(value, (list, tuple)):
+        return [canonical_fingerprint(v) for v in value]
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return repr(value)
+        return value
+    # numpy scalars and other numerics degrade gracefully.
+    if hasattr(value, "item"):
+        return canonical_fingerprint(value.item())
+    raise TypeError(f"cannot canonicalise {type(value).__name__!r} for hashing")
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One workload simulated at a set of depths on one machine.
+
+    Attributes:
+        spec: the workload to generate and simulate.
+        depths: strictly ascending pipeline depths to simulate.
+        trace_length: dynamic instructions to generate.
+        machine: the machine configuration (constant across depths).
+    """
+
+    spec: WorkloadSpec
+    depths: Tuple[int, ...]
+    trace_length: int = 8000
+    machine: MachineConfig = field(default_factory=MachineConfig)
+
+    def __post_init__(self) -> None:
+        depths = tuple(int(d) for d in self.depths)
+        object.__setattr__(self, "depths", depths)
+        if not depths:
+            raise ValueError("a job needs at least one depth")
+        if list(depths) != sorted(set(depths)):
+            raise ValueError(f"depths must be strictly ascending, got {depths}")
+        if self.trace_length < 1:
+            raise ValueError(f"trace_length must be >= 1, got {self.trace_length!r}")
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def fingerprint(self) -> dict:
+        """The canonical identity dict the cache key is hashed from."""
+        return {
+            "schema": CACHE_SCHEMA,
+            "version": _code_version(),
+            "spec": canonical_fingerprint(self.spec),
+            "machine": canonical_fingerprint(self.machine),
+            "depths": list(self.depths),
+            "trace_length": self.trace_length,
+        }
+
+    def cache_key(self) -> str:
+        """Content-addressed key: SHA-256 hex of the canonical fingerprint."""
+        encoded = json.dumps(
+            self.fingerprint(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """One executed (or cache-served) job with provenance.
+
+    Attributes:
+        job: the job this result answers.
+        key: the job's cache key at execution time.
+        results: one :class:`SimulationResult` per ``job.depths`` entry,
+            in depth order.
+        cache_hit: True when served from the result cache.
+        duration: wall seconds spent resolving this job (near zero for
+            cache hits).
+        attempts: execution attempts consumed (0 for cache hits).
+    """
+
+    job: SimJob
+    key: str
+    results: Tuple[SimulationResult, ...]
+    cache_hit: bool
+    duration: float
+    attempts: int
+
+    def __post_init__(self) -> None:
+        if len(self.results) != len(self.job.depths):
+            raise ValueError(
+                f"job {self.job.name!r} expects {len(self.job.depths)} results, "
+                f"got {len(self.results)}"
+            )
+
+    def result_at(self, depth: int) -> SimulationResult:
+        try:
+            return self.results[self.job.depths.index(depth)]
+        except ValueError:
+            raise KeyError(f"depth {depth} not in job {self.job.depths}") from None

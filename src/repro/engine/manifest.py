@@ -1,0 +1,203 @@
+"""Declarative batch manifests for the ``repro batch`` CLI command.
+
+A manifest is a JSON file describing a set of depth sweeps to execute::
+
+    {
+      "defaults": {"depths": [2, 4, 6, 8, 10, 12], "trace_length": 4000},
+      "sweeps": [
+        {"label": "spec-int", "workloads": ["gzip", "mcf", "gcc95"]},
+        {"label": "floats",   "workloads": "class:float", "metric": 3.0},
+        {"label": "smoke",    "workloads": "small:1", "trace_length": 1500}
+      ]
+    }
+
+Workload selectors:
+
+* a list of suite workload names;
+* ``"suite"`` — all 55 workloads;
+* ``"small:N"`` — the first N workloads of each class;
+* ``"class:<name>"`` — one workload class (``legacy``, ``modern``,
+  ``specint95``, ``specint2000``, ``float``).
+
+Every sweep entry may override ``depths``, ``trace_length``, ``metric``
+and ``gated``; unset fields inherit from ``defaults``.  All sweeps in a
+manifest execute through one shared :class:`~repro.engine.scheduler.
+ExecutionEngine`, so overlapping entries dedupe through the result cache
+and the closing :class:`~repro.engine.report.RunReport` covers the whole
+batch.
+
+:mod:`repro.analysis` is imported lazily inside :func:`run_manifest` —
+the analysis layer itself builds on :mod:`repro.engine`, and the lazy
+import keeps the package dependency graph acyclic.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from dataclasses import dataclass
+from typing import Optional, Sequence, TextIO, Tuple
+
+from ..trace.spec import WorkloadClass, WorkloadSpec
+from ..trace.suite import by_class, get_workload, small_suite, suite
+from .scheduler import ExecutionEngine, default_engine
+
+__all__ = ["ManifestError", "SweepRequest", "BatchManifest", "load_manifest", "run_manifest"]
+
+_DEFAULTS = {
+    "depths": tuple(range(2, 26)),
+    "trace_length": 8000,
+    "metric": 3.0,
+    "gated": True,
+}
+
+
+class ManifestError(ValueError):
+    """A manifest file could not be parsed or validated."""
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One resolved sweep: concrete workloads plus sweep parameters."""
+
+    label: str
+    specs: Tuple[WorkloadSpec, ...]
+    depths: Tuple[int, ...]
+    trace_length: int
+    metric: float
+    gated: bool
+
+
+@dataclass(frozen=True)
+class BatchManifest:
+    """A parsed manifest: an ordered tuple of sweep requests."""
+
+    requests: Tuple[SweepRequest, ...]
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ManifestError("manifest defines no sweeps")
+
+
+def _resolve_workloads(selector) -> Tuple[WorkloadSpec, ...]:
+    if isinstance(selector, str):
+        if selector == "suite":
+            return suite()
+        if selector.startswith("small:"):
+            try:
+                return small_suite(int(selector.split(":", 1)[1]))
+            except ValueError as exc:
+                raise ManifestError(f"bad selector {selector!r}: {exc}") from exc
+        if selector.startswith("class:"):
+            name = selector.split(":", 1)[1]
+            try:
+                return by_class(WorkloadClass(name))
+            except ValueError:
+                choices = [c.value for c in WorkloadClass]
+                raise ManifestError(
+                    f"unknown workload class {name!r}; choose from {choices}"
+                ) from None
+        raise ManifestError(
+            f"unknown workload selector {selector!r} "
+            "(expected 'suite', 'small:N', 'class:<name>' or a name list)"
+        )
+    if isinstance(selector, (list, tuple)):
+        try:
+            return tuple(get_workload(str(name)) for name in selector)
+        except KeyError as exc:
+            raise ManifestError(f"manifest names unknown workload: {exc}") from exc
+    raise ManifestError(f"workloads must be a string selector or a list, got {selector!r}")
+
+
+def _entry_value(entry: dict, defaults: dict, key: str):
+    return entry.get(key, defaults.get(key, _DEFAULTS[key]))
+
+
+def load_manifest(path: "str | pathlib.Path") -> BatchManifest:
+    """Parse and validate a manifest file.
+
+    Raises:
+        ManifestError: unreadable file, invalid JSON or invalid contents.
+    """
+    path = pathlib.Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ManifestError(f"cannot read manifest {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ManifestError(f"manifest {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ManifestError("manifest must be a JSON object")
+    defaults = data.get("defaults", {})
+    if not isinstance(defaults, dict):
+        raise ManifestError("manifest 'defaults' must be an object")
+    entries = data.get("sweeps")
+    if not isinstance(entries, list) or not entries:
+        raise ManifestError("manifest needs a non-empty 'sweeps' list")
+
+    requests = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ManifestError(f"sweep #{position} must be an object")
+        if "workloads" not in entry:
+            raise ManifestError(f"sweep #{position} is missing 'workloads'")
+        specs = _resolve_workloads(entry["workloads"])
+        try:
+            depths = tuple(int(d) for d in _entry_value(entry, defaults, "depths"))
+            trace_length = int(_entry_value(entry, defaults, "trace_length"))
+            metric = float(_entry_value(entry, defaults, "metric"))
+            gated = bool(_entry_value(entry, defaults, "gated"))
+        except (TypeError, ValueError) as exc:
+            raise ManifestError(f"sweep #{position} has invalid parameters: {exc}") from exc
+        requests.append(
+            SweepRequest(
+                label=str(entry.get("label", f"sweep-{position}")),
+                specs=specs,
+                depths=depths,
+                trace_length=trace_length,
+                metric=metric,
+                gated=gated,
+            )
+        )
+    return BatchManifest(requests=tuple(requests))
+
+
+def run_manifest(
+    manifest: BatchManifest,
+    engine: "ExecutionEngine | None" = None,
+    stream: "Optional[TextIO]" = None,
+) -> Tuple[str, ...]:
+    """Execute every sweep in the manifest; returns (and prints) the tables."""
+    from ..analysis.optimum import optimum_from_sweep
+    from ..analysis.sweep import run_depth_sweeps
+
+    engine = engine or default_engine()
+    stream = stream if stream is not None else sys.stdout
+    tables = []
+    for request in manifest.requests:
+        sweeps = run_depth_sweeps(
+            request.specs,
+            depths=request.depths,
+            trace_length=request.trace_length,
+            engine=engine,
+        )
+        label = "BIPS" if request.metric == float("inf") else f"BIPS^{request.metric:g}/W"
+        lines = [
+            f"batch sweep '{request.label}': {len(sweeps)} workloads, "
+            f"depths {request.depths[0]}..{request.depths[-1]}, "
+            f"{label} ({'gated' if request.gated else 'un-gated'})"
+        ]
+        for sweep in sweeps:
+            estimate = optimum_from_sweep(sweep, request.metric, gated=request.gated)
+            fo4 = sweep.results[0].technology.fo4_per_stage(estimate.depth)
+            lines.append(
+                f"  {sweep.trace_name:22s} optimum {estimate.depth:5.1f} stages "
+                f"({fo4:4.1f} FO4/stage, {estimate.method})"
+            )
+        table = "\n".join(lines)
+        tables.append(table)
+        print(table, file=stream)
+        print(file=stream)
+    print(engine.report.summary(), file=stream)
+    return tuple(tables)

@@ -1,0 +1,124 @@
+"""Run observability: per-job records, counters and progress reporting.
+
+Every engine run appends one :class:`JobRecord` per job to a
+:class:`RunReport`.  The report is the engine's public ledger — the
+acceptance check "a warm-cache rerun executes zero simulations" reads
+``report.executed`` and ``report.cache_hits`` rather than trusting wall
+time, and the experiments runner prints ``report.summary()`` after every
+evaluation.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import List, Optional, TextIO
+
+__all__ = ["JobRecord", "RunReport", "ProgressReporter"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """How one job was resolved.
+
+    Attributes:
+        name: workload name.
+        key: the job's cache key.
+        cache_hit: served from the result cache.
+        duration: wall seconds to resolve.
+        attempts: execution attempts consumed (0 for a cache hit).
+        error: terminal error description, or None on success.
+    """
+
+    name: str
+    key: str
+    cache_hit: bool
+    duration: float
+    attempts: int
+    error: "str | None" = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def retries(self) -> int:
+        return max(self.attempts - 1, 0)
+
+
+@dataclass
+class RunReport:
+    """Accumulated observability over one engine's lifetime."""
+
+    records: List[JobRecord] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    def add(self, record: JobRecord) -> None:
+        self.records.append(record)
+
+    # -- counters -----------------------------------------------------------
+    @property
+    def jobs(self) -> int:
+        return len(self.records)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.cache_hit)
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for r in self.records if not r.cache_hit and r.ok)
+
+    @property
+    def retries(self) -> int:
+        return sum(r.retries for r in self.records)
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for r in self.records if not r.ok)
+
+    @property
+    def simulated_seconds(self) -> float:
+        return sum(r.duration for r in self.records if not r.cache_hit)
+
+    def summary(self, per_job: bool = False) -> str:
+        """A human summary; ``per_job`` appends one line per record."""
+        lines = [
+            f"engine: {self.jobs} jobs — {self.cache_hits} cache hits, "
+            f"{self.executed} executed, {self.retries} retries, "
+            f"{self.failures} failures; {self.wall_time:.1f}s wall"
+        ]
+        if per_job:
+            for r in self.records:
+                status = "hit " if r.cache_hit else ("FAIL" if not r.ok else "ran ")
+                note = f"  ! {r.error}" if r.error else ""
+                lines.append(
+                    f"  [{status}] {r.name:24s} {r.duration:7.2f}s  "
+                    f"attempts {r.attempts}  key {r.key[:12]}{note}"
+                )
+        return "\n".join(lines)
+
+
+class ProgressReporter:
+    """Incremental ``[k/N] workload: status`` lines for long batches."""
+
+    def __init__(self, total: int, stream: "Optional[TextIO]" = None):
+        self.total = total
+        self.done = 0
+        self.stream = stream if stream is not None else sys.stderr
+
+    def update(self, record: JobRecord) -> None:
+        self.done += 1
+        if record.cache_hit:
+            status = "cached"
+        elif not record.ok:
+            status = f"failed ({record.error})"
+        else:
+            status = f"ran {record.duration:.1f}s"
+            if record.retries:
+                status += f" after {record.retries} retries"
+        print(
+            f"[{self.done}/{self.total}] {record.name}: {status}",
+            file=self.stream,
+            flush=True,
+        )

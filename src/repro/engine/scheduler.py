@@ -1,0 +1,365 @@
+"""The batch scheduler: cache-first, process-parallel, deterministic.
+
+Resolution pipeline for each submitted job:
+
+1. **cache lookup** — a valid payload under the job's content key is
+   reconstructed and returned without touching a worker;
+2. **execution** — misses run through the configured runner, inline when
+   ``workers <= 1`` or on a ``ProcessPoolExecutor`` otherwise;
+3. **retry** — a failed attempt (worker exception, broken pool, result
+   timeout) is retried up to ``retries`` more times; a pool poisoned by a
+   timeout or crash is rebuilt between rounds;
+4. **store** — freshly computed payloads are written back atomically.
+
+Determinism: results are returned in submission order, and both execution
+paths hand back the same normal-form payload dict, so a parallel run is
+bit-identical to a serial one and to a warm-cache one.
+
+Timeouts bound the *wait for a job's result*; a worker that is already
+stuck cannot be interrupted mid-simulation, so on timeout the whole pool
+is cancelled and rebuilt for the retry round.  Inline (``workers <= 1``)
+execution cannot honour timeouts and logs that once per run.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, TextIO, Tuple
+
+from ..pipeline.simulator import MachineConfig
+from ..trace.spec import WorkloadSpec
+from .cache import ResultCache
+from .job import JobResult, SimJob
+from .report import JobRecord, ProgressReporter, RunReport
+from .serialize import PayloadError, results_from_payload
+from .worker import execute_job
+
+__all__ = [
+    "EngineConfig",
+    "ExecutionEngine",
+    "JobExecutionError",
+    "default_engine",
+    "jobs_for_specs",
+]
+
+logger = logging.getLogger("repro.engine.scheduler")
+
+Runner = Callable[[SimJob], dict]
+
+
+class JobExecutionError(RuntimeError):
+    """A job exhausted its retry budget."""
+
+    def __init__(self, job: SimJob, attempts: int, cause: BaseException):
+        super().__init__(
+            f"job {job.name!r} failed after {attempts} attempt(s): {cause!r}"
+        )
+        self.job = job
+        self.attempts = attempts
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Scheduler knobs.
+
+    Attributes:
+        workers: process count; ``<= 1`` executes inline in this process.
+        cache_dir: result-cache directory, or None to disable caching.
+        timeout: seconds to wait for one job's result (parallel mode only).
+        retries: extra attempts after a failed first attempt.
+        progress: emit ``[k/N]`` progress lines while resolving jobs.
+    """
+
+    workers: int = 1
+    cache_dir: "str | Path | None" = None
+    timeout: "float | None" = None
+    retries: int = 1
+    progress: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers!r}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout!r}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries!r}")
+
+
+def jobs_for_specs(
+    specs: Sequence[WorkloadSpec],
+    depths: Sequence[int],
+    trace_length: int = 8000,
+    machine: "MachineConfig | None" = None,
+) -> List[SimJob]:
+    """One :class:`SimJob` per workload, sharing depths/length/machine."""
+    machine = machine or MachineConfig()
+    depths = tuple(int(d) for d in depths)
+    return [
+        SimJob(spec=spec, depths=depths, trace_length=trace_length, machine=machine)
+        for spec in specs
+    ]
+
+
+class ExecutionEngine:
+    """Runs batches of :class:`SimJob`\\ s and keeps the books.
+
+    One engine instance owns one :class:`ResultCache` (optional) and one
+    :class:`RunReport`; share a single engine across an evaluation so the
+    report aggregates every figure's jobs and repeated sweeps dedupe
+    through the cache.
+    """
+
+    def __init__(
+        self,
+        config: "EngineConfig | None" = None,
+        stream: "Optional[TextIO]" = None,
+    ):
+        self.config = config or EngineConfig()
+        self.cache = (
+            ResultCache(self.config.cache_dir) if self.config.cache_dir else None
+        )
+        self.report = RunReport()
+        self.stream = stream
+        self._warned_inline_timeout = False
+
+    # -- public API ---------------------------------------------------------
+    def run(self, jobs: Sequence[SimJob], runner: Runner = execute_job) -> List[JobResult]:
+        """Resolve every job; returns results in submission order.
+
+        Raises:
+            JobExecutionError: a job kept failing after all retries.
+        """
+        jobs = list(jobs)
+        started = time.perf_counter()
+        keys = [job.cache_key() for job in jobs]
+        slots: List["JobResult | None"] = [None] * len(jobs)
+        progress = (
+            ProgressReporter(len(jobs), self.stream) if self.config.progress else None
+        )
+
+        pending: List[int] = []
+        for index, (job, key) in enumerate(zip(jobs, keys)):
+            resolved = self._from_cache(job, key)
+            if resolved is None:
+                pending.append(index)
+            else:
+                slots[index] = resolved
+                self._record(resolved, progress)
+
+        try:
+            if pending:
+                logger.info(
+                    "running %d/%d jobs (%d cache hits) on %d worker(s)",
+                    len(pending), len(jobs), len(jobs) - len(pending),
+                    max(self.config.workers, 1),
+                )
+                if self.config.workers > 1 and len(pending) > 1:
+                    self._run_parallel(jobs, keys, pending, slots, runner, progress)
+                else:
+                    self._run_inline(jobs, keys, pending, slots, runner, progress)
+        finally:
+            self.report.wall_time += time.perf_counter() - started
+        return [slot for slot in slots if slot is not None]
+
+    def run_specs(
+        self,
+        specs: Sequence[WorkloadSpec],
+        depths: Sequence[int],
+        trace_length: int = 8000,
+        machine: "MachineConfig | None" = None,
+    ) -> List[JobResult]:
+        """Convenience: build and run one job per workload spec."""
+        return self.run(jobs_for_specs(specs, depths, trace_length, machine))
+
+    # -- cache --------------------------------------------------------------
+    def _from_cache(self, job: SimJob, key: str) -> "JobResult | None":
+        if self.cache is None:
+            return None
+        started = time.perf_counter()
+        payload = self.cache.get(key)
+        if payload is None:
+            return None
+        try:
+            results = results_from_payload(payload, job)
+        except PayloadError as exc:
+            logger.warning("invalid cache payload for %s (%s); recomputing", job.name, exc)
+            self.cache.stats.corrupt += 1
+            self.cache.invalidate(key)
+            return None
+        return JobResult(
+            job=job,
+            key=key,
+            results=results,
+            cache_hit=True,
+            duration=time.perf_counter() - started,
+            attempts=0,
+        )
+
+    def _finish(
+        self, job: SimJob, key: str, payload: dict, duration: float, attempts: int
+    ) -> JobResult:
+        results = results_from_payload(payload, job)  # validates worker output too
+        if self.cache is not None:
+            try:
+                self.cache.put(key, payload)
+            except OSError as exc:
+                # A failed write (unwritable dir, disk full) must not fail
+                # the job — the simulation already succeeded; run uncached.
+                logger.warning(
+                    "cache write failed for %s (%s); continuing uncached",
+                    job.name, exc,
+                )
+        return JobResult(
+            job=job,
+            key=key,
+            results=results,
+            cache_hit=False,
+            duration=duration,
+            attempts=attempts,
+        )
+
+    def _record(self, result: JobResult, progress: "ProgressReporter | None") -> None:
+        record = JobRecord(
+            name=result.job.name,
+            key=result.key,
+            cache_hit=result.cache_hit,
+            duration=result.duration,
+            attempts=result.attempts,
+        )
+        self.report.add(record)
+        if progress is not None:
+            progress.update(record)
+
+    def _record_failure(
+        self,
+        job: SimJob,
+        key: str,
+        duration: float,
+        attempts: int,
+        error: BaseException,
+        progress: "ProgressReporter | None",
+    ) -> None:
+        record = JobRecord(
+            name=job.name,
+            key=key,
+            cache_hit=False,
+            duration=duration,
+            attempts=attempts,
+            error=repr(error),
+        )
+        self.report.add(record)
+        if progress is not None:
+            progress.update(record)
+
+    # -- inline execution ---------------------------------------------------
+    def _run_inline(self, jobs, keys, pending, slots, runner, progress) -> None:
+        if self.config.timeout is not None and not self._warned_inline_timeout:
+            logger.debug("per-job timeout is not enforced for inline execution")
+            self._warned_inline_timeout = True
+        max_attempts = self.config.retries + 1
+        for index in pending:
+            job, key = jobs[index], keys[index]
+            started = time.perf_counter()
+            last_error: "BaseException | None" = None
+            for attempt in range(1, max_attempts + 1):
+                try:
+                    payload = runner(job)
+                    slots[index] = self._finish(
+                        job, key, payload, time.perf_counter() - started, attempt
+                    )
+                    self._record(slots[index], progress)
+                    last_error = None
+                    break
+                except Exception as exc:
+                    last_error = exc
+                    logger.warning(
+                        "job %s attempt %d/%d failed: %r",
+                        job.name, attempt, max_attempts, exc,
+                    )
+            if last_error is not None:
+                duration = time.perf_counter() - started
+                self._record_failure(
+                    job, key, duration, max_attempts, last_error, progress
+                )
+                raise JobExecutionError(job, max_attempts, last_error)
+
+    # -- parallel execution -------------------------------------------------
+    def _run_parallel(self, jobs, keys, pending, slots, runner, progress) -> None:
+        max_attempts = self.config.retries + 1
+        workers = min(self.config.workers, len(pending))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        started_at: Dict[int, float] = {index: time.perf_counter() for index in pending}
+        to_run = list(pending)
+        attempt = 1
+        try:
+            while to_run:
+                futures = {index: pool.submit(runner, jobs[index]) for index in to_run}
+                failed: List[Tuple[int, BaseException]] = []
+                poisoned = False
+                for index in to_run:  # submission order => deterministic results
+                    job, key = jobs[index], keys[index]
+                    try:
+                        payload = futures[index].result(timeout=self.config.timeout)
+                    except FutureTimeoutError as exc:
+                        logger.warning(
+                            "job %s timed out after %.1fs (attempt %d/%d)",
+                            job.name, self.config.timeout, attempt, max_attempts,
+                        )
+                        failed.append((index, TimeoutError(
+                            f"no result within {self.config.timeout}s"
+                        )))
+                        poisoned = True
+                    except BrokenProcessPool as exc:
+                        logger.warning(
+                            "worker pool broke on job %s (attempt %d/%d): %r",
+                            job.name, attempt, max_attempts, exc,
+                        )
+                        failed.append((index, exc))
+                        poisoned = True
+                    except Exception as exc:
+                        logger.warning(
+                            "job %s attempt %d/%d failed: %r",
+                            job.name, attempt, max_attempts, exc,
+                        )
+                        failed.append((index, exc))
+                    else:
+                        duration = time.perf_counter() - started_at[index]
+                        slots[index] = self._finish(job, key, payload, duration, attempt)
+                        self._record(slots[index], progress)
+
+                if failed and attempt >= max_attempts:
+                    index, error = failed[0]
+                    job, key = jobs[index], keys[index]
+                    duration = time.perf_counter() - started_at[index]
+                    self._record_failure(
+                        job, key, duration, max_attempts, error, progress
+                    )
+                    raise JobExecutionError(job, max_attempts, error)
+
+                if poisoned:
+                    # A hung or crashed worker taints the pool; rebuild it
+                    # for the retry round rather than inherit its state.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(
+                        max_workers=min(workers, max(len(failed), 1))
+                    )
+                to_run = [index for index, _error in failed]
+                attempt += 1
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+def default_engine() -> ExecutionEngine:
+    """The fallback engine: serial, uncached, silent.
+
+    Library entry points that accept ``engine=None`` use this so their
+    behaviour (and output) matches the historical direct implementation.
+    """
+    return ExecutionEngine(EngineConfig(workers=1, cache_dir=None))

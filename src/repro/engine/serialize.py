@@ -1,0 +1,134 @@
+"""Payload (de)serialisation between jobs, workers and the cache.
+
+The on-disk and cross-process interchange format is a plain JSON dict —
+the *payload* — holding one serialised
+:class:`~repro.pipeline.results.SimulationResult` per depth.  Only the
+measured quantities are stored; derived structures (the stage plan, the
+power reports, leakage calibration) are recomputed deterministically on
+reconstruction, which keeps payloads small and lets one cached simulation
+serve both per-workload and suite-global power calibrations.
+
+JSON's shortest-round-trip float encoding makes the round trip lossless,
+so a sweep rebuilt from a payload is bit-identical to one built directly
+from the simulator — the property behind the engine's
+parallel-equals-serial guarantee.
+
+All reconstruction errors (missing keys, wrong types, values rejected by
+``SimulationResult`` validation, depth mismatches) are normalised to
+:class:`PayloadError` so the scheduler can treat any malformed payload —
+truncated file, foreign schema, hand-edited JSON — as a cache miss.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.params import TechnologyParams
+from ..pipeline.plan import StagePlan, Unit
+from ..pipeline.results import SimulationResult
+from .job import CACHE_SCHEMA, JobResult, SimJob
+
+__all__ = [
+    "PayloadError",
+    "payload_for",
+    "result_to_dict",
+    "result_from_dict",
+    "results_from_payload",
+]
+
+_COUNT_FIELDS = (
+    "instructions",
+    "cycles",
+    "issue_cycles",
+    "branches",
+    "mispredicts",
+    "icache_misses",
+    "dcache_accesses",
+    "dcache_misses",
+    "store_misses",
+    "l2_misses",
+    "memory_ops",
+    "fp_ops",
+)
+
+
+class PayloadError(ValueError):
+    """A payload could not be validated against its job."""
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """Serialise one simulation result to JSON-able primitives."""
+    out = {"depth": result.plan.depth, "trace_name": result.trace_name}
+    for name in _COUNT_FIELDS:
+        out[name] = int(getattr(result, name))
+    out["unit_occupancy"] = {
+        unit.value: float(result.unit_occupancy.get(unit, 0.0)) for unit in Unit
+    }
+    return out
+
+
+def result_from_dict(data: dict, technology: TechnologyParams) -> SimulationResult:
+    """Rebuild one simulation result; raises :class:`PayloadError` on any defect."""
+    try:
+        plan = StagePlan.for_depth(int(data["depth"]))
+        occupancy = {
+            Unit(name): float(value)
+            for name, value in dict(data["unit_occupancy"]).items()
+        }
+        return SimulationResult(
+            trace_name=str(data["trace_name"]),
+            plan=plan,
+            technology=technology,
+            unit_occupancy=occupancy,
+            **{name: int(data[name]) for name in _COUNT_FIELDS},
+        )
+    except PayloadError:
+        raise
+    except Exception as exc:
+        raise PayloadError(f"malformed simulation record: {exc}") from exc
+
+
+def payload_for(job: SimJob, results: Sequence[SimulationResult]) -> dict:
+    """The cache/worker payload for ``job``'s completed simulations."""
+    if tuple(r.plan.depth for r in results) != job.depths:
+        raise PayloadError(
+            f"results cover depths {tuple(r.plan.depth for r in results)}, "
+            f"job expects {job.depths}"
+        )
+    return {
+        "schema": CACHE_SCHEMA,
+        "key": job.cache_key(),
+        "workload": job.name,
+        "depths": list(job.depths),
+        "results": [result_to_dict(r) for r in results],
+    }
+
+
+def results_from_payload(payload: dict, job: SimJob) -> Tuple[SimulationResult, ...]:
+    """Validate ``payload`` against ``job`` and rebuild its results.
+
+    Raises:
+        PayloadError: schema/key/depth mismatch or malformed records — the
+            scheduler treats all of these as cache misses.
+    """
+    try:
+        schema = payload["schema"]
+        key = payload["key"]
+        depths = tuple(int(d) for d in payload["depths"])
+        records = list(payload["results"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PayloadError(f"payload missing required structure: {exc}") from exc
+    if schema != CACHE_SCHEMA:
+        raise PayloadError(f"payload schema {schema!r} != {CACHE_SCHEMA}")
+    if key != job.cache_key():
+        raise PayloadError("payload key does not match job fingerprint")
+    if depths != job.depths or len(records) != len(job.depths):
+        raise PayloadError(f"payload depths {depths} != job depths {job.depths}")
+    technology = job.machine.technology
+    results = tuple(result_from_dict(record, technology) for record in records)
+    for result, depth in zip(results, job.depths):
+        if result.plan.depth != depth:
+            raise PayloadError(
+                f"record depth {result.plan.depth} out of place (expected {depth})"
+            )
+    return results

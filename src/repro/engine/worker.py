@@ -1,0 +1,35 @@
+"""The engine's worker entry point.
+
+``execute_job`` is the one function shipped to worker processes.  It is
+deliberately payload-in/payload-out: the job arrives as a picklable
+:class:`~repro.engine.job.SimJob`, and the result returns as the plain
+JSON-able payload dict the cache stores — so the parent process handles a
+freshly computed result and a cache hit through the identical
+reconstruction path, which is what makes parallel, serial and warm-cache
+runs bit-identical.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from ..pipeline.simulator import PipelineSimulator
+from ..trace.generator import generate_trace
+from .job import SimJob
+from .serialize import payload_for
+
+__all__ = ["execute_job"]
+
+logger = logging.getLogger("repro.engine.worker")
+
+
+def execute_job(job: SimJob) -> dict:
+    """Generate the job's trace, simulate every depth, serialise the results."""
+    logger.debug(
+        "executing %s: %d depths, %d instructions",
+        job.name, len(job.depths), job.trace_length,
+    )
+    trace = generate_trace(job.spec, job.trace_length)
+    simulator = PipelineSimulator(job.machine)
+    results = tuple(simulator.simulate(trace, depth) for depth in job.depths)
+    return payload_for(job, results)

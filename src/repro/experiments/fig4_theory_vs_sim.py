@@ -57,10 +57,13 @@ def run(
     depths: Sequence[int] = DEFAULT_DEPTHS,
     trace_length: int = 8000,
     m: float = 3.0,
+    engine=None,
 ) -> Fig4Data:
     panels = []
     for name in workloads:
-        sweep = run_depth_sweep(get_workload(name), depths=depths, trace_length=trace_length)
+        sweep = run_depth_sweep(
+            get_workload(name), depths=depths, trace_length=trace_length, engine=engine
+        )
         panels.append(
             Panel(
                 workload=name,

@@ -46,8 +46,11 @@ def run(
     depths: Sequence[int] = DEFAULT_DEPTHS,
     trace_length: int = 8000,
     gated: bool = True,
+    engine=None,
 ) -> Fig5Data:
-    sweep = run_depth_sweep(get_workload(workload), depths=depths, trace_length=trace_length)
+    sweep = run_depth_sweep(
+        get_workload(workload), depths=depths, trace_length=trace_length, engine=engine
+    )
     curves = {}
     optima = {}
     interior = {}

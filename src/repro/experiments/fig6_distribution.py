@@ -36,11 +36,13 @@ def run(
     trace_length: int = 8000,
     m: float = 3.0,
     gated: bool = True,
+    engine=None,
 ) -> Fig6Data:
-    """Full-suite run by default; pass ``specs`` to subsample for speed."""
+    """Full-suite run by default; pass ``specs`` to subsample for speed and
+    ``engine`` (:class:`repro.engine.ExecutionEngine`) to parallelise/cache."""
     specs = tuple(specs) if specs is not None else suite()
     distribution = optimum_distribution(
-        specs, m=m, gated=gated, depths=depths, trace_length=trace_length
+        specs, m=m, gated=gated, depths=depths, trace_length=trace_length, engine=engine
     )
     return Fig6Data(
         distribution=distribution,

@@ -32,10 +32,11 @@ def run(
     trace_length: int = 8000,
     m: float = 3.0,
     gated: bool = True,
+    engine=None,
 ) -> Fig7Data:
     specs = tuple(specs) if specs is not None else suite()
     distribution = optimum_distribution(
-        specs, m=m, gated=gated, depths=depths, trace_length=trace_length
+        specs, m=m, gated=gated, depths=depths, trace_length=trace_length, engine=engine
     )
     return Fig7Data(
         distribution=distribution, class_summary=distribution.class_summary()

@@ -38,12 +38,13 @@ def run(
     m: float = 3.0,
     gamma: float = 1.1,
     reference_depth: float = 8.0,
+    engine=None,
 ) -> Fig8Data:
     """Extract SPECint parameters from a short sweep, then vary leakage in
     the theory exactly as the paper's Fig. 8 does (theory-only curves)."""
     sweep = run_depth_sweep(
         get_workload(workload), depths=(4, 6, 8, 10, 12, 16, 20),
-        trace_length=trace_length, reference_depth=8,
+        trace_length=trace_length, reference_depth=8, engine=engine,
     )
     params = fit_workload_params(sweep.results)
     space = DesignSpace(

@@ -41,10 +41,11 @@ def run(
     m: float = 3.0,
     leakage_fraction: float = 0.15,
     reference_depth: float = 8.0,
+    engine=None,
 ) -> Fig9Data:
     sweep = run_depth_sweep(
         get_workload(workload), depths=(4, 6, 8, 10, 12, 16, 20),
-        trace_length=trace_length, reference_depth=8,
+        trace_length=trace_length, reference_depth=8, engine=engine,
     )
     params = fit_workload_params(sweep.results)
     space = DesignSpace(

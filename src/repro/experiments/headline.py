@@ -24,7 +24,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from ..analysis.optimum import optimum_from_sweep, theory_fit_from_sweep
-from ..analysis.sweep import DEFAULT_DEPTHS, run_depth_sweep
+from ..analysis.sweep import DEFAULT_DEPTHS, run_depth_sweeps
 from ..core.params import TechnologyParams
 from ..trace.spec import WorkloadSpec
 from ..trace.suite import small_suite, suite
@@ -51,9 +51,12 @@ def run(
     specs: "Sequence[WorkloadSpec] | None" = None,
     depths: Sequence[int] = DEFAULT_DEPTHS,
     trace_length: int = 8000,
+    engine=None,
 ) -> HeadlineData:
     """Compute the headline numbers over ``specs`` (default: a reduced
     suite of 2 per class; pass :func:`repro.trace.suite` for the full 55).
+    Pass ``engine`` (:class:`repro.engine.ExecutionEngine`) to run the
+    per-workload sweeps on worker processes and/or the result cache.
     """
     specs = tuple(specs) if specs is not None else small_suite(2)
     tech = TechnologyParams()
@@ -63,8 +66,8 @@ def run(
     theory_opts = []
     m1_interior = []
     ordering_holds = []
-    for spec in specs:
-        sweep = run_depth_sweep(spec, depths=depths, trace_length=trace_length)
+    sweeps = run_depth_sweeps(specs, depths=depths, trace_length=trace_length, engine=engine)
+    for sweep in sweeps:
         perf = optimum_from_sweep(sweep, float("inf"), gated=True).depth
         m3 = optimum_from_sweep(sweep, 3.0, gated=True).depth
         m2 = optimum_from_sweep(sweep, 2.0, gated=True).depth

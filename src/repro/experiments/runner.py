@@ -3,7 +3,20 @@
 ``python -m repro.experiments.runner`` regenerates the whole evaluation at
 a configurable scale.  ``--quick`` shrinks the workload set and trace
 length for a fast smoke pass; the default settings reproduce the paper's
-full evaluation (all 55 workloads).
+full evaluation (all 55 workloads, including the headline table — use
+``--quick`` or ``--headline-small`` if the full headline pass is
+prohibitive on your machine).
+
+Every simulation routes through the batch engine (:mod:`repro.engine`):
+
+* ``--jobs N`` fans the per-workload simulations out over N worker
+  processes (the tables stay byte-identical to a serial run);
+* results are cached under ``--cache-dir`` (default:
+  ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/engine``), so repeated runs —
+  and figures that sweep the same workloads — reuse simulations instead
+  of recomputing them; ``--no-cache`` opts out;
+* the run ends with the engine's :class:`~repro.engine.RunReport`
+  summary: jobs, cache hits, executions, retries and wall time.
 """
 
 from __future__ import annotations
@@ -13,6 +26,7 @@ import sys
 import time
 from typing import Callable, Sequence, Tuple
 
+from ..engine import EngineConfig, ExecutionEngine, default_cache_dir
 from ..trace.suite import small_suite, suite
 from . import (
     fig1_quartic,
@@ -26,15 +40,61 @@ from . import (
     headline,
 )
 
-__all__ = ["run_all", "main"]
+__all__ = ["run_all", "engine_from_args", "add_engine_arguments", "main"]
 
 
-def run_all(quick: bool = False, stream=None) -> Tuple[str, ...]:
-    """Run every experiment; returns (and optionally prints) the tables."""
+def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``--jobs``/``--cache-dir``/``--no-cache`` flags."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the simulation batches (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro/engine)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache for this run",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print [k/N] progress lines (stderr) while jobs resolve",
+    )
+
+
+def engine_from_args(args: argparse.Namespace) -> ExecutionEngine:
+    """Build the run's shared :class:`ExecutionEngine` from CLI flags."""
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    config = EngineConfig(
+        workers=max(args.jobs, 1),
+        cache_dir=cache_dir,
+        progress=getattr(args, "progress", False),
+    )
+    return ExecutionEngine(config)
+
+
+def run_all(
+    quick: bool = False,
+    stream=None,
+    engine: "ExecutionEngine | None" = None,
+    headline_small: bool = False,
+) -> Tuple[str, ...]:
+    """Run every experiment; returns (and optionally prints) the tables.
+
+    Args:
+        quick: reduced suite / trace length / depth grid smoke run.
+        stream: output stream (default stdout).
+        engine: shared batch engine; None runs serial and uncached.
+        headline_small: cap the headline table at 2 workloads per class
+            even in a full run (the pre-engine behaviour, kept for
+            constrained machines).
+    """
     stream = stream if stream is not None else sys.stdout
     trace_length = 4000 if quick else 8000
     specs = small_suite(2) if quick else suite()
     depths = tuple(range(2, 26, 2)) if quick else tuple(range(2, 26))
+    headline_specs = small_suite(2) if (quick or headline_small) else specs
 
     def _with_chart(module, data) -> str:
         table = module.format_table(data)
@@ -47,13 +107,15 @@ def run_all(quick: bool = False, stream=None) -> Tuple[str, ...]:
         (
             "fig4",
             lambda: _with_chart(
-                fig4_theory_vs_sim, fig4_theory_vs_sim.run(trace_length=trace_length)
+                fig4_theory_vs_sim,
+                fig4_theory_vs_sim.run(trace_length=trace_length, engine=engine),
             ),
         ),
         (
             "fig5",
             lambda: _with_chart(
-                fig5_metric_family, fig5_metric_family.run(trace_length=trace_length)
+                fig5_metric_family,
+                fig5_metric_family.run(trace_length=trace_length, engine=engine),
             ),
         ),
         (
@@ -61,28 +123,39 @@ def run_all(quick: bool = False, stream=None) -> Tuple[str, ...]:
             lambda: _with_chart(
                 fig6_distribution,
                 fig6_distribution.run(
-                    specs=specs, depths=depths, trace_length=trace_length
+                    specs=specs, depths=depths, trace_length=trace_length, engine=engine
                 ),
             ),
         ),
         (
             "fig7",
             lambda: fig7_by_class.format_table(
-                fig7_by_class.run(specs=specs, depths=depths, trace_length=trace_length)
+                fig7_by_class.run(
+                    specs=specs, depths=depths, trace_length=trace_length, engine=engine
+                )
             ),
         ),
         (
             "fig8",
-            lambda: _with_chart(fig8_leakage, fig8_leakage.run(trace_length=trace_length)),
+            lambda: _with_chart(
+                fig8_leakage, fig8_leakage.run(trace_length=trace_length, engine=engine)
+            ),
         ),
         (
             "fig9",
-            lambda: _with_chart(fig9_gamma, fig9_gamma.run(trace_length=trace_length)),
+            lambda: _with_chart(
+                fig9_gamma, fig9_gamma.run(trace_length=trace_length, engine=engine)
+            ),
         ),
         (
             "headline",
             lambda: headline.format_table(
-                headline.run(specs=small_suite(2), trace_length=trace_length)
+                headline.run(
+                    specs=headline_specs,
+                    depths=depths,
+                    trace_length=trace_length,
+                    engine=engine,
+                )
             ),
         ),
     )
@@ -95,6 +168,8 @@ def run_all(quick: bool = False, stream=None) -> Tuple[str, ...]:
         print(table, file=stream)
         print(f"  ({name}: {elapsed:.1f}s)", file=stream)
         print(file=stream)
+    if engine is not None:
+        print(engine.report.summary(), file=stream)
     return tuple(tables)
 
 
@@ -103,8 +178,17 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="reduced suite / trace length smoke run"
     )
+    parser.add_argument(
+        "--headline-small", action="store_true",
+        help="cap the headline table at 2 workloads per class in full runs",
+    )
+    add_engine_arguments(parser)
     args = parser.parse_args(argv)
-    run_all(quick=args.quick)
+    run_all(
+        quick=args.quick,
+        engine=engine_from_args(args),
+        headline_small=args.headline_small,
+    )
     return 0
 
 

@@ -15,6 +15,17 @@ TEST_DEPTHS = (2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 20, 25)
 
 
 @pytest.fixture(scope="session")
+def _engine_cache_root(tmp_path_factory):
+    return tmp_path_factory.mktemp("engine-cache")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_engine_cache(_engine_cache_root, monkeypatch):
+    """Keep engine-backed tests out of the user's ~/.cache result cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(_engine_cache_root))
+
+
+@pytest.fixture(scope="session")
 def modern_spec():
     return by_class(WorkloadClass.MODERN)[0]
 

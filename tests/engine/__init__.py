@@ -1,0 +1,1 @@
+"""Tests of the batch-execution engine (repro.engine)."""

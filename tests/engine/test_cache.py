@@ -1,0 +1,117 @@
+"""On-disk result cache: atomicity, corruption tolerance, bookkeeping."""
+
+import json
+
+import pytest
+
+from repro.engine import ResultCache, default_cache_dir
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+PAYLOAD = {"schema": 1, "key": KEY, "results": [1, 2, 3]}
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, cache):
+        cache.put(KEY, PAYLOAD)
+        assert cache.get(KEY) == PAYLOAD
+        assert cache.stats.writes == 1
+        assert cache.stats.hits == 1
+
+    def test_missing_is_a_miss(self, cache):
+        assert cache.get(KEY) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_entries_shard_by_prefix(self, cache):
+        path = cache.put(KEY, PAYLOAD)
+        assert path.parent.name == KEY[:2]
+        assert path.name == f"{KEY}.json"
+
+    def test_no_temp_files_left_behind(self, cache):
+        cache.put(KEY, PAYLOAD)
+        cache.put(OTHER, PAYLOAD)
+        leftovers = [p for p in cache.directory.rglob("*") if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_len_counts_entries(self, cache):
+        assert len(cache) == 0
+        cache.put(KEY, PAYLOAD)
+        cache.put(OTHER, PAYLOAD)
+        assert len(cache) == 2
+
+    def test_overwrite_replaces(self, cache):
+        cache.put(KEY, PAYLOAD)
+        cache.put(KEY, {"schema": 2})
+        assert cache.get(KEY) == {"schema": 2}
+        assert len(cache) == 1
+
+
+class TestCorruption:
+    def test_truncated_json_is_discarded(self, cache):
+        path = cache.put(KEY, PAYLOAD)
+        path.write_text(json.dumps(PAYLOAD)[:15], encoding="utf-8")
+        assert cache.get(KEY) is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()  # the bad entry is removed, not retried
+
+    def test_non_object_json_is_discarded(self, cache):
+        path = cache.put(KEY, PAYLOAD)
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        assert cache.get(KEY) is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()
+
+    def test_recovers_after_discard(self, cache):
+        path = cache.put(KEY, PAYLOAD)
+        path.write_text("garbage", encoding="utf-8")
+        assert cache.get(KEY) is None
+        cache.put(KEY, PAYLOAD)
+        assert cache.get(KEY) == PAYLOAD
+
+
+class TestMaintenance:
+    def test_invalidate_removes_entry(self, cache):
+        cache.put(KEY, PAYLOAD)
+        cache.invalidate(KEY)
+        assert cache.get(KEY) is None
+
+    def test_invalidate_missing_is_quiet(self, cache):
+        cache.invalidate(KEY)
+
+    def test_clear(self, cache):
+        cache.put(KEY, PAYLOAD)
+        cache.put(OTHER, PAYLOAD)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.clear() == 0
+
+    def test_clear_on_missing_directory(self, tmp_path):
+        assert ResultCache(tmp_path / "never-created").clear() == 0
+
+    def test_implausible_keys_rejected(self, cache):
+        for bad in ("", "ab", "../../../etc/passwd", "a/b"):
+            with pytest.raises(ValueError):
+                cache.path_for(bad)
+
+
+class TestDefaultDirectory:
+    def test_env_override_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro" / "engine"
+
+    def test_home_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        path = default_cache_dir()
+        assert path.parts[-3:] == (".cache", "repro", "engine")

@@ -1,0 +1,117 @@
+"""Job identity: canonical fingerprints and content-addressed keys."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.engine import CACHE_SCHEMA, SimJob
+from repro.engine.job import canonical_fingerprint
+from repro.pipeline import MachineConfig
+from repro.trace import get_workload
+
+DEPTHS = (2, 4, 8, 12)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_workload("gzip")
+
+
+class TestCanonicalFingerprint:
+    def test_primitives_pass_through(self):
+        assert canonical_fingerprint(3) == 3
+        assert canonical_fingerprint(0.25) == 0.25
+        assert canonical_fingerprint("x") == "x"
+        assert canonical_fingerprint(None) is None
+        assert canonical_fingerprint(True) is True
+
+    def test_mapping_key_order_is_irrelevant(self):
+        assert canonical_fingerprint({"a": 1, "b": 2}) == canonical_fingerprint(
+            {"b": 2, "a": 1}
+        )
+
+    def test_tuples_and_lists_normalise(self):
+        assert canonical_fingerprint((1, 2)) == canonical_fingerprint([1, 2])
+
+    def test_non_finite_floats_are_distinct(self):
+        values = {
+            canonical_fingerprint(float("nan")),
+            canonical_fingerprint(float("inf")),
+            canonical_fingerprint(float("-inf")),
+        }
+        assert len(values) == 3
+
+    def test_dataclass_encodes_every_field(self, spec):
+        encoded = canonical_fingerprint(spec)
+        assert set(encoded) == {f.name for f in dataclasses.fields(spec)}
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_fingerprint(object())
+
+
+class TestCacheKey:
+    def test_key_shape(self, spec):
+        key = SimJob(spec, DEPTHS).cache_key()
+        assert len(key) == 64
+        assert all(c in "0123456789abcdef" for c in key)
+
+    def test_equal_jobs_hash_equally(self, spec):
+        a = SimJob(spec, DEPTHS, trace_length=1000)
+        b = SimJob(get_workload("gzip"), (2, 4, 8, 12), trace_length=1000)
+        assert a.cache_key() == b.cache_key()
+
+    def test_trace_length_changes_key(self, spec):
+        assert (
+            SimJob(spec, DEPTHS, trace_length=1000).cache_key()
+            != SimJob(spec, DEPTHS, trace_length=1001).cache_key()
+        )
+
+    def test_depths_change_key(self, spec):
+        assert SimJob(spec, (2, 4)).cache_key() != SimJob(spec, (2, 4, 8)).cache_key()
+
+    def test_spec_changes_key(self, spec):
+        other = get_workload("mcf")
+        assert SimJob(spec, DEPTHS).cache_key() != SimJob(other, DEPTHS).cache_key()
+
+    def test_machine_changes_key(self, spec):
+        ooo = MachineConfig(in_order=False)
+        assert (
+            SimJob(spec, DEPTHS).cache_key()
+            != SimJob(spec, DEPTHS, machine=ooo).cache_key()
+        )
+
+    def test_code_version_changes_key(self, spec, monkeypatch):
+        before = SimJob(spec, DEPTHS).cache_key()
+        monkeypatch.setattr("repro.__version__", "999.0.0-test")
+        assert SimJob(spec, DEPTHS).cache_key() != before
+
+    def test_fingerprint_names_schema_and_version(self, spec):
+        import repro
+
+        fingerprint = SimJob(spec, DEPTHS).fingerprint()
+        assert fingerprint["schema"] == CACHE_SCHEMA
+        assert fingerprint["version"] == repro.__version__
+        assert fingerprint["depths"] == list(DEPTHS)
+
+
+class TestSimJobValidation:
+    def test_depths_must_be_ascending(self, spec):
+        with pytest.raises(ValueError, match="ascending"):
+            SimJob(spec, (4, 2))
+        with pytest.raises(ValueError, match="ascending"):
+            SimJob(spec, (2, 2, 4))
+
+    def test_depths_must_be_nonempty(self, spec):
+        with pytest.raises(ValueError, match="at least one depth"):
+            SimJob(spec, ())
+
+    def test_trace_length_positive(self, spec):
+        with pytest.raises(ValueError, match="trace_length"):
+            SimJob(spec, DEPTHS, trace_length=0)
+
+    def test_depths_coerced_to_ints(self, spec):
+        job = SimJob(spec, [2.0, 4.0])
+        assert job.depths == (2, 4)
+        assert all(isinstance(d, int) for d in job.depths)

@@ -1,0 +1,123 @@
+"""Batch manifests: parsing, selector resolution, end-to-end execution."""
+
+import io
+import json
+
+import pytest
+
+from repro.engine import EngineConfig, ExecutionEngine
+from repro.engine.manifest import (
+    BatchManifest,
+    ManifestError,
+    load_manifest,
+    run_manifest,
+)
+from repro.trace import WorkloadClass, by_class, small_suite, suite
+
+
+def write_manifest(tmp_path, data) -> str:
+    path = tmp_path / "manifest.json"
+    path.write_text(json.dumps(data), encoding="utf-8")
+    return str(path)
+
+
+TINY = {
+    "defaults": {"depths": [2, 4, 8, 12], "trace_length": 500},
+    "sweeps": [
+        {"label": "named", "workloads": ["gzip", "mcf"]},
+        {"label": "override", "workloads": ["gzip"], "trace_length": 600,
+         "metric": 2.0, "gated": False},
+    ],
+}
+
+
+class TestLoad:
+    def test_tiny_manifest(self, tmp_path):
+        manifest = load_manifest(write_manifest(tmp_path, TINY))
+        first, second = manifest.requests
+        assert first.label == "named"
+        assert [s.name for s in first.specs] == ["gzip", "mcf"]
+        assert first.depths == (2, 4, 8, 12)
+        assert first.trace_length == 500
+        assert first.metric == 3.0 and first.gated  # package defaults
+        assert second.trace_length == 600
+        assert second.metric == 2.0 and not second.gated
+
+    def test_selectors(self, tmp_path):
+        data = {
+            "defaults": {"depths": [2, 4]},
+            "sweeps": [
+                {"workloads": "small:1"},
+                {"workloads": "class:float"},
+                {"workloads": "suite"},
+            ],
+        }
+        manifest = load_manifest(write_manifest(tmp_path, data))
+        small, floats, full = manifest.requests
+        assert small.specs == small_suite(1)
+        assert floats.specs == by_class(WorkloadClass.FLOAT)
+        assert full.specs == suite()
+        assert small.label == "sweep-0"  # positional default label
+
+    @pytest.mark.parametrize(
+        "data, match",
+        [
+            ({"sweeps": []}, "non-empty"),
+            ({"sweeps": [{"label": "x"}]}, "missing 'workloads'"),
+            ({"sweeps": [{"workloads": "nonsense"}]}, "unknown workload selector"),
+            ({"sweeps": [{"workloads": "class:cobol"}]}, "unknown workload class"),
+            ({"sweeps": [{"workloads": "small:many"}]}, "bad selector"),
+            ({"sweeps": [{"workloads": ["no-such-trace"]}]}, "unknown workload"),
+            ({"sweeps": [{"workloads": 7}]}, "string selector or a list"),
+            ({"sweeps": ["not-an-object"]}, "must be an object"),
+            ({"sweeps": [{"workloads": ["gzip"], "depths": "deep"}]}, "invalid parameters"),
+            ({"defaults": [], "sweeps": [{"workloads": ["gzip"]}]}, "'defaults' must"),
+        ],
+    )
+    def test_invalid_contents(self, tmp_path, data, match):
+        with pytest.raises(ManifestError, match=match):
+            load_manifest(write_manifest(tmp_path, data))
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ManifestError, match="not valid JSON"):
+            load_manifest(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ManifestError, match="cannot read"):
+            load_manifest(tmp_path / "absent.json")
+
+    def test_empty_manifest_object_rejected(self):
+        with pytest.raises(ManifestError, match="no sweeps"):
+            BatchManifest(requests=())
+
+
+class TestRun:
+    def test_run_prints_tables_and_summary(self, tmp_path):
+        manifest = load_manifest(write_manifest(tmp_path, TINY))
+        engine = ExecutionEngine(EngineConfig(cache_dir=tmp_path / "cache"))
+        stream = io.StringIO()
+        tables = run_manifest(manifest, engine=engine, stream=stream)
+        out = stream.getvalue()
+
+        assert len(tables) == 2
+        assert "batch sweep 'named': 2 workloads" in tables[0]
+        assert "gzip" in tables[0] and "mcf" in tables[0]
+        assert "BIPS^2/W (un-gated)" in tables[1]
+        assert "engine: " in out  # the closing RunReport summary
+        # gzip appears at two trace lengths -> 3 distinct jobs, none cached.
+        assert engine.report.jobs == 3
+        assert engine.report.executed == 3
+
+    def test_rerun_is_fully_cached(self, tmp_path):
+        manifest = load_manifest(write_manifest(tmp_path, TINY))
+        cache_dir = tmp_path / "cache"
+        first = ExecutionEngine(EngineConfig(cache_dir=cache_dir))
+        cold = run_manifest(manifest, engine=first, stream=io.StringIO())
+
+        second = ExecutionEngine(EngineConfig(cache_dir=cache_dir))
+        warm = run_manifest(manifest, engine=second, stream=io.StringIO())
+        assert second.report.executed == 0
+        assert second.report.cache_hits == 3
+        assert warm == cold  # byte-identical tables off the warm cache

@@ -1,0 +1,208 @@
+"""Scheduler behaviour: cache-first resolution, retries, parallel determinism."""
+
+import time
+
+import pytest
+
+from repro.engine import (
+    EngineConfig,
+    ExecutionEngine,
+    JobExecutionError,
+    SimJob,
+    default_engine,
+    execute_job,
+    payload_for,
+)
+from repro.engine.scheduler import jobs_for_specs
+from repro.engine.serialize import result_to_dict
+from repro.trace import get_workload, small_suite
+
+DEPTHS = (2, 4, 8)
+LENGTH = 600
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_workload("gzip")
+
+
+@pytest.fixture(scope="module")
+def job(spec):
+    return SimJob(spec, DEPTHS, trace_length=LENGTH)
+
+
+def cached_engine(tmp_path, **overrides) -> ExecutionEngine:
+    config = EngineConfig(cache_dir=tmp_path / "cache", **overrides)
+    return ExecutionEngine(config)
+
+
+def payload_dicts(job_result):
+    return [result_to_dict(r) for r in job_result.results]
+
+
+class TestConfig:
+    def test_defaults_serial_uncached(self):
+        engine = default_engine()
+        assert engine.config.workers == 1
+        assert engine.cache is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(workers=-1)
+        with pytest.raises(ValueError):
+            EngineConfig(timeout=0)
+        with pytest.raises(ValueError):
+            EngineConfig(retries=-1)
+
+
+class TestCaching:
+    def test_cold_run_executes_then_warm_run_hits(self, tmp_path, job):
+        cold = cached_engine(tmp_path)
+        [first] = cold.run([job])
+        assert not first.cache_hit
+        assert first.attempts == 1
+        assert cold.report.executed == 1
+        assert cold.report.cache_hits == 0
+
+        warm = cached_engine(tmp_path)  # fresh engine, same directory
+        [second] = warm.run([job])
+        assert second.cache_hit
+        assert second.attempts == 0
+        assert warm.report.executed == 0
+        assert warm.report.cache_hits == 1
+        assert payload_dicts(second) == payload_dicts(first)
+
+    def test_parameter_change_misses(self, tmp_path, spec, job):
+        cached_engine(tmp_path).run([job])
+        other = SimJob(spec, DEPTHS, trace_length=LENGTH + 1)
+        engine = cached_engine(tmp_path)
+        [result] = engine.run([other])
+        assert not result.cache_hit
+        assert engine.report.executed == 1
+
+    def test_version_change_misses(self, tmp_path, job, monkeypatch):
+        cached_engine(tmp_path).run([job])
+        monkeypatch.setattr("repro.__version__", "999.0.0-test")
+        engine = cached_engine(tmp_path)
+        [result] = engine.run([job])
+        assert not result.cache_hit  # the key embeds the code version
+
+    def test_semantically_corrupt_payload_recomputed(self, tmp_path, job):
+        engine = cached_engine(tmp_path)
+        engine.run([job])
+        key = job.cache_key()
+        stored = engine.cache.get(key)
+        stored["depths"] = [99]  # decodes fine, fails job validation
+        engine.cache.put(key, stored)
+
+        fresh = cached_engine(tmp_path)
+        [result] = fresh.run([job])
+        assert not result.cache_hit
+        assert fresh.cache.stats.corrupt == 1
+        # the recomputation healed the entry:
+        warm = cached_engine(tmp_path)
+        [again] = warm.run([job])
+        assert again.cache_hit
+
+    def test_unwritable_cache_degrades_to_uncached(self, tmp_path, job):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("in the way", encoding="utf-8")
+        engine = ExecutionEngine(EngineConfig(cache_dir=blocker))
+        [result] = engine.run([job])  # must not raise
+        assert not result.cache_hit
+        assert result.attempts == 1  # the write failure consumed no retries
+        assert engine.report.executed == 1
+        assert engine.report.failures == 0
+
+    def test_uncached_engine_always_executes(self, job):
+        engine = default_engine()
+        engine.run([job])
+        engine.run([job])
+        assert engine.report.executed == 2
+        assert engine.report.cache_hits == 0
+
+
+class TestRetries:
+    def test_flaky_job_retries_then_succeeds(self, tmp_path, job):
+        failures = {"left": 1}
+
+        def flaky(j):
+            if failures["left"]:
+                failures["left"] -= 1
+                raise RuntimeError("transient")
+            return execute_job(j)
+
+        engine = cached_engine(tmp_path, retries=1)
+        [result] = engine.run([job], runner=flaky)
+        assert result.attempts == 2
+        assert engine.report.retries == 1
+        assert engine.report.failures == 0
+
+    def test_exhausted_retries_raise(self, tmp_path, job):
+        def broken(_job):
+            raise RuntimeError("permanent")
+
+        engine = cached_engine(tmp_path, retries=2)
+        with pytest.raises(JobExecutionError) as excinfo:
+            engine.run([job], runner=broken)
+        assert excinfo.value.attempts == 3
+        assert engine.report.failures == 1
+        assert engine.report.records[-1].error is not None
+        assert len(engine.cache) == 0  # nothing bogus was cached
+
+    def test_zero_retries_fail_fast(self, tmp_path, job):
+        def broken(_job):
+            raise RuntimeError("permanent")
+
+        engine = cached_engine(tmp_path, retries=0)
+        with pytest.raises(JobExecutionError) as excinfo:
+            engine.run([job], runner=broken)
+        assert excinfo.value.attempts == 1
+
+
+class TestDeterminism:
+    def test_parallel_equals_serial(self, tmp_path):
+        specs = small_suite(1)
+        depths = (2, 4, 8, 12)
+        jobs = jobs_for_specs(specs, depths, trace_length=LENGTH)
+
+        serial = default_engine().run(jobs)
+        parallel = ExecutionEngine(EngineConfig(workers=2)).run(jobs)
+
+        assert [r.job.name for r in serial] == [s.name for s in specs]
+        assert [r.job.name for r in parallel] == [s.name for s in specs]
+        for a, b in zip(serial, parallel):
+            assert payload_dicts(a) == payload_dicts(b)
+
+    def test_warm_cache_equals_direct_simulation(self, tmp_path, job):
+        cached_engine(tmp_path).run([job])
+        [warm] = cached_engine(tmp_path).run([job])
+        direct = payload_for(job, warm.results)  # re-serialises reconstructed results
+        assert direct == execute_job(job)
+
+    def test_results_in_submission_order(self, tmp_path):
+        specs = list(reversed(small_suite(1)))
+        engine = cached_engine(tmp_path)
+        results = engine.run(jobs_for_specs(specs, DEPTHS, trace_length=LENGTH))
+        assert [r.job.name for r in results] == [s.name for s in specs]
+
+    def test_run_specs_convenience(self, spec):
+        engine = default_engine()
+        results = engine.run_specs([spec], DEPTHS, trace_length=LENGTH)
+        assert len(results) == 1
+        assert results[0].job.depths == DEPTHS
+
+
+def _sleeper(_job) -> dict:  # must be module-level: shipped to worker processes
+    time.sleep(60)
+    return {}
+
+
+@pytest.mark.slow
+class TestTimeout:
+    def test_timed_out_job_fails_after_retries(self, spec):
+        job = SimJob(spec, (2,), trace_length=100)
+        engine = ExecutionEngine(EngineConfig(workers=2, timeout=1.0, retries=0))
+        with pytest.raises(JobExecutionError) as excinfo:
+            engine.run([job, job], runner=_sleeper)
+        assert isinstance(excinfo.value.cause, TimeoutError)

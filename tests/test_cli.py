@@ -1,5 +1,7 @@
 """Tests of the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -13,6 +15,14 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
 
 
 class TestOptimum:
@@ -114,3 +124,44 @@ class TestPlan:
         assert main(["plan"]) == 0
         out = capsys.readouterr().out
         assert "decode" in out and "merges" in out
+
+
+class TestBatch:
+    MANIFEST = {
+        "defaults": {"depths": [2, 4, 8, 12], "trace_length": 500},
+        "sweeps": [{"label": "smoke", "workloads": ["gzip"]}],
+    }
+
+    def write_manifest(self, tmp_path):
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps(self.MANIFEST), encoding="utf-8")
+        return str(path)
+
+    def test_cold_then_warm_then_cleared(self, capsys, tmp_path):
+        manifest = self.write_manifest(tmp_path)
+        flags = ["--cache-dir", str(tmp_path / "cache")]
+
+        assert main(["batch", manifest, *flags]) == 0
+        cold = capsys.readouterr().out
+        assert "batch sweep 'smoke': 1 workloads" in cold
+        assert "1 executed" in cold and "0 cache hits" in cold
+
+        assert main(["batch", manifest, *flags]) == 0
+        warm = capsys.readouterr().out
+        assert "1 cache hits" in warm and "0 executed" in warm
+
+        assert main(["batch", manifest, "--clear-cache", *flags]) == 0
+        cleared = capsys.readouterr().out
+        assert "cleared 1 cache entries" in cleared
+        assert "1 executed" in cleared and "0 cache hits" in cleared
+
+    def test_no_cache_flag(self, capsys, tmp_path):
+        manifest = self.write_manifest(tmp_path)
+        assert main(["batch", manifest, "--no-cache"]) == 0
+        assert "1 executed" in capsys.readouterr().out
+
+    def test_invalid_manifest_exits_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}", encoding="utf-8")
+        assert main(["batch", str(path), "--no-cache"]) == 2
+        assert "error: " in capsys.readouterr().err

@@ -1,0 +1,86 @@
+"""Cross-process determinism: the contract the engine's cache rests on.
+
+The cache keys a job by its :class:`WorkloadSpec` (not by the generated
+trace), which is only sound if ``generate_trace(spec, length)`` is
+bit-identical in every process — including fresh interpreters with
+different hash seeds and import orders.  These tests pin that contract:
+the same spec and length must produce the same trace digest and the same
+``SimJob`` cache key in a clean subprocess as in this one.
+"""
+
+import hashlib
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine import SimJob
+from repro.trace import Trace, generate_trace, get_workload
+
+WORKLOAD = "gzip"
+LENGTH = 700
+DEPTHS = (2, 6, 10)
+
+_SRC_ROOT = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+_SUBPROCESS_SCRIPT = """
+import json, sys
+from tests.trace.test_determinism import subprocess_probe
+print(json.dumps(subprocess_probe(sys.argv[1], int(sys.argv[2]))))
+"""
+
+
+def trace_digest(trace: Trace) -> str:
+    """SHA-256 over every array of the structure-of-arrays trace."""
+    digest = hashlib.sha256()
+    for name in ("opclass", "pc", "dest", "src1", "src2", "address",
+                 "taken", "fp_cycles"):
+        digest.update(name.encode())
+        digest.update(getattr(trace, name).tobytes())
+    return digest.hexdigest()
+
+
+def subprocess_probe(workload: str, length: int) -> dict:
+    """Computed in-process here, and re-computed in a fresh interpreter."""
+    spec = get_workload(workload)
+    return {
+        "trace": trace_digest(generate_trace(spec, length)),
+        "key": SimJob(spec, DEPTHS, trace_length=length).cache_key(),
+    }
+
+
+class TestInProcess:
+    def test_repeated_generation_is_identical(self):
+        spec = get_workload(WORKLOAD)
+        assert trace_digest(generate_trace(spec, LENGTH)) == trace_digest(
+            generate_trace(spec, LENGTH)
+        )
+
+    def test_length_changes_trace(self):
+        spec = get_workload(WORKLOAD)
+        assert trace_digest(generate_trace(spec, LENGTH)) != trace_digest(
+            generate_trace(spec, LENGTH + 1)
+        )
+
+
+class TestCrossProcess:
+    def test_fresh_interpreter_reproduces_trace_and_key(self):
+        expected = subprocess_probe(WORKLOAD, LENGTH)
+        repo_root = _SRC_ROOT.parent
+        proc = subprocess.run(
+            [sys.executable, "-c", _SUBPROCESS_SCRIPT, WORKLOAD, str(LENGTH)],
+            capture_output=True,
+            text=True,
+            cwd=repo_root,
+            env={
+                "PYTHONPATH": f"{_SRC_ROOT}:{repo_root}",
+                "PYTHONHASHSEED": "random",  # hashing must not leak into traces
+                "PATH": "/usr/bin:/bin",
+            },
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        fresh = json.loads(proc.stdout)
+        assert fresh == expected
