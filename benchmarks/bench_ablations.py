@@ -24,7 +24,7 @@ from conftest import run_once
 from repro.analysis import optimum_from_sweep, run_depth_sweep
 from repro.core import DesignSpace, calibrate_leakage, gating_fraction_sweep
 from repro.pipeline import MachineConfig
-from repro.trace import generate_trace, get_workload
+from repro.trace import get_workload
 
 DEPTHS = tuple(range(2, 26))
 LENGTH = 8000

@@ -1,0 +1,163 @@
+"""Fast-kernel speedup: one trace analysis vs twenty interpretations.
+
+Times a 20-point depth sweep (depths 2..21, the paper's working range)
+over a commercial workload on both backends and records the ratio.  The
+fast kernel analyses the trace once and prices every depth from the
+shared event stream, so the sweep-level speedup — not single-depth
+latency — is the number that matters for the figures.
+
+Timing is best-of-N: each rep runs the full sweep on a freshly built
+simulator (the fast backend's trace analysis is *inside* the timed
+region) and the minimum wall time per backend is used, which makes the
+ratio robust to scheduler noise on shared machines.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_fastsim.py --benchmark-only`` — the recorded
+  run; asserts the >= 5x sweep speedup and writes
+  ``benchmarks/results/fastsim.txt``.
+* ``python benchmarks/bench_fastsim.py [--quick]`` — the CI smoke gate;
+  ``--quick`` shrinks the measurement and only requires the fast backend
+  to beat the reference (>= 1x), appending the outcome to
+  ``benchmarks/results/fastsim_ci.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.pipeline.fastsim import FastPipelineSimulator
+from repro.pipeline.simulator import MachineConfig, PipelineSimulator
+from repro.trace import generate_trace, get_workload
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+WORKLOAD = "cics-payroll"
+DEPTHS: Tuple[int, ...] = tuple(range(2, 22))  # 20-point sweep
+TRACE_LENGTH = 8000
+REPS = 9
+SPEEDUP_FLOOR = 5.0
+
+QUICK_TRACE_LENGTH = 2000
+QUICK_REPS = 3
+QUICK_FLOOR = 1.0
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    workload: str
+    trace_length: int
+    depths: Tuple[int, ...]
+    reps: int
+    reference_seconds: float
+    fast_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.reference_seconds / self.fast_seconds
+
+
+def measure(
+    workload: str = WORKLOAD,
+    trace_length: int = TRACE_LENGTH,
+    depths: Sequence[int] = DEPTHS,
+    reps: int = REPS,
+) -> BenchResult:
+    """Best-of-``reps`` wall time for a full depth sweep on each backend."""
+    machine = MachineConfig()
+    trace = generate_trace(get_workload(workload), trace_length)
+    depths = tuple(depths)
+
+    # Equal-work sanity check before timing anything.
+    reference_check = PipelineSimulator(machine).simulate(trace, depths[-1])
+    fast_check = FastPipelineSimulator(machine).simulate(trace, depths[-1])
+    if reference_check != fast_check:
+        raise AssertionError(
+            "backends diverge; run 'repro validate-kernel' before benchmarking"
+        )
+
+    reference_best = fast_best = float("inf")
+    for _ in range(reps):
+        simulator = PipelineSimulator(machine)
+        started = time.perf_counter()
+        for depth in depths:
+            simulator.simulate(trace, depth)
+        reference_best = min(reference_best, time.perf_counter() - started)
+
+        fast_simulator = FastPipelineSimulator(machine)
+        started = time.perf_counter()
+        for depth in depths:
+            fast_simulator.simulate(trace, depth)
+        fast_best = min(fast_best, time.perf_counter() - started)
+
+    return BenchResult(
+        workload=workload,
+        trace_length=trace_length,
+        depths=depths,
+        reps=reps,
+        reference_seconds=reference_best,
+        fast_seconds=fast_best,
+    )
+
+
+def format_result(result: BenchResult) -> str:
+    return "\n".join(
+        [
+            f"Fast-kernel sweep benchmark — {result.workload}, "
+            f"{result.trace_length} instructions, "
+            f"{len(result.depths)} depths ({result.depths[0]}..{result.depths[-1]}), "
+            f"best of {result.reps}",
+            f"  reference backend : {result.reference_seconds * 1e3:7.1f} ms",
+            f"  fast backend      : {result.fast_seconds * 1e3:7.1f} ms",
+            f"  sweep speedup     : {result.speedup:.2f}x",
+        ]
+    )
+
+
+def test_fastsim_speedup(benchmark, record_table):
+    """Recorded run: the fast backend clears the 5x sweep-speedup floor."""
+    from conftest import run_once
+
+    result = run_once(benchmark, measure)
+    record_table("fastsim", format_result(result))
+    assert result.speedup >= SPEEDUP_FLOOR, format_result(result)
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: shorter trace, fewer reps, only require fast >= reference",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        result = measure(trace_length=QUICK_TRACE_LENGTH, reps=QUICK_REPS)
+        floor = QUICK_FLOOR
+        record = RESULTS_DIR / "fastsim_ci.txt"
+    else:
+        result = measure()
+        floor = SPEEDUP_FLOOR
+        record = RESULTS_DIR / "fastsim.txt"
+
+    table = format_result(result)
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+    with record.open("a", encoding="utf-8") as handle:
+        handle.write(f"[{stamp}] {table}\n")
+    if result.speedup < floor:
+        print(f"FAIL: speedup {result.speedup:.2f}x below the {floor:g}x floor",
+              file=sys.stderr)
+        return 1
+    print(f"PASS: speedup {result.speedup:.2f}x (floor {floor:g}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,6 @@ Quickstart::
 
 from . import core
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["core", "__version__"]

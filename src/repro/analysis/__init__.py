@@ -16,6 +16,13 @@ from .sweep import (
     run_depth_sweeps,
     sweep_from_results,
 )
+from .validate import (
+    FieldMismatch,
+    ValidationReport,
+    default_machine_grid,
+    format_report,
+    validate_kernel,
+)
 
 __all__ = [
     "WorkloadCharacter",
@@ -39,4 +46,9 @@ __all__ = [
     "WorkloadOptimum",
     "OptimumDistribution",
     "optimum_distribution",
+    "FieldMismatch",
+    "ValidationReport",
+    "default_machine_grid",
+    "format_report",
+    "validate_kernel",
 ]

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
-from ..isa import OpClass
 from ..pipeline.simulator import MachineConfig, PipelineSimulator
 from ..trace.generator import generate_trace
 from ..trace.spec import WorkloadClass, WorkloadSpec

@@ -15,10 +15,11 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 import numpy as np
 
 from ..core.metric import MetricFamily
+from ..pipeline.fastsim import DEFAULT_BACKEND
 from ..pipeline.simulator import MachineConfig
 from ..trace.spec import WorkloadClass, WorkloadSpec
 from .optimum import OptimumEstimate, optimum_from_sweep
-from .sweep import DEFAULT_DEPTHS, DepthSweep, run_depth_sweep
+from .sweep import DEFAULT_DEPTHS
 
 __all__ = ["WorkloadOptimum", "OptimumDistribution", "optimum_distribution"]
 
@@ -107,6 +108,7 @@ def optimum_distribution(
     leakage_fraction: float = 0.15,
     reference_depth: int = 8,
     engine=None,
+    backend: str = DEFAULT_BACKEND,
 ) -> OptimumDistribution:
     """Sweep every workload and collect the distribution of optima.
 
@@ -141,7 +143,9 @@ def optimum_distribution(
         )
     engine = engine or default_engine()
     job_results = engine.run(
-        jobs_for_specs(specs, depths, trace_length=trace_length, machine=machine)
+        jobs_for_specs(
+            specs, depths, trace_length=trace_length, machine=machine, backend=backend
+        )
     )
     references = [jr.result_at(reference_depth) for jr in job_results]
     model = calibrate_global_leakage(

@@ -18,22 +18,15 @@ reports both:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from ..core.fitting import cubic_fit_peak, fit_scale
 from ..core.metric import MetricFamily, metric_curve
 from ..core.optimizer import TheoryOptimum, optimum_depth
-from ..core.params import (
-    DesignSpace,
-    GatingModel,
-    GatingStyle,
-    PowerParams,
-    TechnologyParams,
-)
+from ..core.params import DesignSpace, GatingModel, GatingStyle, PowerParams
 from ..core.power import calibrate_leakage
 from .extraction import extract_workload_params, fit_workload_params
 from .sweep import DepthSweep

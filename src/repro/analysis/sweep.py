@@ -18,15 +18,15 @@ command use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Mapping, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from ..core.metric import MetricFamily
-from ..pipeline.plan import StagePlan
+from ..pipeline.fastsim import DEFAULT_BACKEND, make_simulator
 from ..pipeline.results import SimulationResult
-from ..pipeline.simulator import MachineConfig, PipelineSimulator
+from ..pipeline.simulator import MachineConfig
 from ..power.model import PowerReport, calibrate_unit_leakage, power_report
 from ..power.units import UnitPowerModel
 from ..trace.generator import generate_trace
@@ -182,6 +182,7 @@ def run_depth_sweep(
     leakage_fraction: "float | None" = 0.15,
     reference_depth: int = 8,
     engine=None,
+    backend: str = DEFAULT_BACKEND,
 ) -> DepthSweep:
     """Simulate one workload at every depth and account its power.
 
@@ -200,6 +201,9 @@ def run_depth_sweep(
             cache) the simulations; None runs directly in-process.  A raw
             :class:`Trace` cannot be content-addressed, so trace inputs
             always run directly.
+        backend: ``"reference"`` or ``"fast"`` — which simulator backend
+            computes the per-depth results (see
+            :mod:`repro.pipeline.fastsim`).
 
     Returns:
         A :class:`DepthSweep`.
@@ -219,13 +223,14 @@ def run_depth_sweep(
             leakage_fraction=leakage_fraction,
             reference_depth=reference_depth,
             engine=engine,
+            backend=backend,
         )
         return sweep
     if isinstance(spec, Trace):
         trace, workload_spec = spec, None
     else:
         trace, workload_spec = generate_trace(spec, trace_length), spec
-    simulator = PipelineSimulator(machine)
+    simulator = make_simulator(machine, backend)
 
     reference = simulator.simulate(trace, reference_depth)
     results = tuple(
@@ -251,19 +256,22 @@ def run_depth_sweeps(
     leakage_fraction: "float | None" = 0.15,
     reference_depth: int = 8,
     engine=None,
+    backend: str = DEFAULT_BACKEND,
 ) -> Tuple[DepthSweep, ...]:
     """Sweep many workloads through the batch engine.
 
     Each workload becomes one engine job (all depths of one workload in
     one worker), so the batch parallelises across workloads and dedupes
-    repeated (spec, machine, depths, length) combinations through the
-    engine's content-addressed cache.  Results come back in ``specs``
+    repeated (spec, machine, depths, length, backend) combinations through
+    the engine's content-addressed cache.  Results come back in ``specs``
     order regardless of worker scheduling.
 
     Args:
         specs: the workloads to sweep.
         engine: an :class:`~repro.engine.ExecutionEngine`; None uses a
             serial, uncached engine (identical output, no side effects).
+        backend: simulation backend for every job (``"reference"`` or
+            ``"fast"``); part of each job's cache key.
         (other args as :func:`run_depth_sweep`.)
     """
     from ..engine.scheduler import default_engine, jobs_for_specs
@@ -275,7 +283,9 @@ def run_depth_sweeps(
         )
     engine = engine or default_engine()
     job_results = engine.run(
-        jobs_for_specs(specs, depths, trace_length=trace_length, machine=machine)
+        jobs_for_specs(
+            specs, depths, trace_length=trace_length, machine=machine, backend=backend
+        )
     )
     sweeps: List[DepthSweep] = []
     for spec, job_result in zip(specs, job_results):

@@ -1,0 +1,274 @@
+"""Cross-validation harness: the fast kernel against the reference simulator.
+
+The fast backend (:mod:`repro.pipeline.fastsim`) is only useful if it is
+*indistinguishable* from the reference interpreter, so this module runs
+both backends over a grid of (workload, machine configuration, depth)
+points and compares
+
+* every field of each :class:`~repro.pipeline.results.SimulationResult`
+  — CPI follows from ``instructions``/``cycles``, the hazard counts
+  (mispredicts, cache and L2 misses) are compared exactly, and the
+  per-unit occupancies feed the clock-gated power model;
+* the extracted optimum depth per (workload, configuration), through the
+  same power-accounting path the figures use
+  (:func:`~repro.analysis.sweep.sweep_from_results` +
+  :func:`~repro.analysis.optimum.optimum_from_sweep`).
+
+``repro validate-kernel`` exposes it on the command line (``--small`` is
+the CI configuration) and exits non-zero on any divergence;
+``tests/pipeline/test_fastsim_equivalence.py`` asserts the same
+properties inside the test suite.
+
+The machine grid deliberately crosses the model's behavioural switches:
+in-order and out-of-order cores, a small BTB (taken-branch stalls), a
+bimodal predictor without structure warm-up, and an oracle predictor
+with a multi-entry MSHR — each exercises a different event path in the
+kernel's trace analysis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+from ..pipeline.fastsim import FastPipelineSimulator
+from ..pipeline.simulator import MachineConfig, PipelineSimulator
+from ..trace.generator import generate_trace
+from ..trace.spec import WorkloadSpec
+from ..trace.suite import small_suite
+
+__all__ = [
+    "FieldMismatch",
+    "ValidationReport",
+    "default_machine_grid",
+    "validate_kernel",
+    "format_report",
+]
+
+#: Relative tolerance for float fields.  The two backends are exactly
+#: equal in practice (both compute in exact integer cycle arithmetic);
+#: the tolerance only guards the float-valued occupancy map.
+FLOAT_RTOL = 1e-9
+
+SMALL_DEPTHS: Tuple[int, ...] = (2, 3, 4, 6, 8, 13, 20)
+FULL_DEPTHS: Tuple[int, ...] = (2, 3, 4, 5, 6, 8, 10, 13, 16, 20, 25, 32, 40)
+
+
+@dataclass(frozen=True)
+class FieldMismatch:
+    """One diverging result field at one (workload, machine, depth) point."""
+
+    workload: str
+    machine: str
+    depth: int
+    field: str
+    reference: object
+    fast: object
+
+
+@dataclass(frozen=True)
+class OptimumMismatch:
+    """Diverging extracted optimum for one (workload, machine) sweep."""
+
+    workload: str
+    machine: str
+    reference_depth: float
+    fast_depth: float
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of one cross-validation run.
+
+    ``points`` counts the (workload, machine, depth) grid points checked;
+    every point compares the full :class:`SimulationResult` field set.
+    """
+
+    workloads: Tuple[str, ...]
+    machines: Tuple[str, ...]
+    depths: Tuple[int, ...]
+    trace_length: int
+    points: int
+    mismatches: Tuple[FieldMismatch, ...]
+    optimum_mismatches: Tuple[OptimumMismatch, ...]
+
+    @property
+    def passed(self) -> bool:
+        return not self.mismatches and not self.optimum_mismatches
+
+
+def default_machine_grid(small: bool = False) -> Mapping[str, MachineConfig]:
+    """The machine configurations the harness crosses.
+
+    ``small`` keeps the two paper machines (in-order and out-of-order);
+    the full grid adds the predictor/BTB/MSHR variants.
+    """
+    grid = {
+        "in-order": MachineConfig(),
+        "out-of-order": MachineConfig(in_order=False),
+    }
+    if not small:
+        grid.update(
+            {
+                "small-btb": MachineConfig(btb_entries=64),
+                "bimodal-cold": MachineConfig(predictor_kind="bimodal", warmup=False),
+                "oracle-mshr4": MachineConfig(
+                    predictor_kind="oracle", mshr_entries=4, in_order=False
+                ),
+            }
+        )
+    return grid
+
+
+def _compare_fields(reference, fast, workload, machine, depth, out) -> None:
+    for field in dataclasses.fields(reference):
+        a = getattr(reference, field.name)
+        b = getattr(fast, field.name)
+        if isinstance(a, Mapping):
+            equal = set(a) == set(b) and all(
+                math.isclose(float(a[k]), float(b[k]), rel_tol=FLOAT_RTOL, abs_tol=0.0)
+                for k in a
+            )
+        elif isinstance(a, float) or isinstance(b, float):
+            equal = math.isclose(float(a), float(b), rel_tol=FLOAT_RTOL, abs_tol=0.0)
+        else:
+            equal = a == b
+        if not equal:
+            out.append(
+                FieldMismatch(
+                    workload=workload,
+                    machine=machine,
+                    depth=depth,
+                    field=field.name,
+                    reference=a,
+                    fast=b,
+                )
+            )
+
+
+def validate_kernel(
+    specs: "Sequence[WorkloadSpec] | None" = None,
+    depths: "Sequence[int] | None" = None,
+    machines: "Mapping[str, MachineConfig] | None" = None,
+    trace_length: "int | None" = None,
+    small: bool = False,
+    reference_depth: int = 8,
+    metric: float = 3.0,
+) -> ValidationReport:
+    """Run both backends over the validation grid and compare.
+
+    Args:
+        specs: workloads (default: one per class for ``--small``, two per
+            class otherwise).
+        depths: depth set (must contain ``reference_depth``; defaults
+            scale with ``small``).
+        machines: named machine configurations (default:
+            :func:`default_machine_grid`).
+        trace_length: dynamic instructions (default 1500 small / 4000 full).
+        small: the reduced CI grid.
+        reference_depth: power-calibration anchor for the optimum check.
+        metric: metric exponent for the optimum check (paper: m = 3).
+    """
+    from .optimum import optimum_from_sweep
+    from .sweep import sweep_from_results
+
+    specs = tuple(specs) if specs is not None else small_suite(1 if small else 2)
+    depths = tuple(depths) if depths is not None else (
+        SMALL_DEPTHS if small else FULL_DEPTHS
+    )
+    machines = dict(machines) if machines is not None else dict(
+        default_machine_grid(small)
+    )
+    trace_length = trace_length or (1500 if small else 4000)
+    if reference_depth not in depths:
+        raise ValueError(
+            f"reference_depth {reference_depth} must be one of the depths {depths}"
+        )
+
+    mismatches: list = []
+    optimum_mismatches: list = []
+    points = 0
+    for spec in specs:
+        trace = generate_trace(spec, trace_length)
+        for label, machine in machines.items():
+            reference_sim = PipelineSimulator(machine)
+            fast_sim = FastPipelineSimulator(machine)
+            reference_results = []
+            fast_results = []
+            for depth in depths:
+                r = reference_sim.simulate(trace, depth)
+                f = fast_sim.simulate(trace, depth)
+                _compare_fields(r, f, spec.name, label, depth, mismatches)
+                reference_results.append(r)
+                fast_results.append(f)
+                points += 1
+            opt_ref = optimum_from_sweep(
+                sweep_from_results(
+                    reference_results, depths, spec=spec,
+                    reference_depth=reference_depth,
+                ),
+                metric,
+            ).depth
+            opt_fast = optimum_from_sweep(
+                sweep_from_results(
+                    fast_results, depths, spec=spec,
+                    reference_depth=reference_depth,
+                ),
+                metric,
+            ).depth
+            if opt_ref != opt_fast:
+                optimum_mismatches.append(
+                    OptimumMismatch(
+                        workload=spec.name,
+                        machine=label,
+                        reference_depth=opt_ref,
+                        fast_depth=opt_fast,
+                    )
+                )
+    return ValidationReport(
+        workloads=tuple(spec.name for spec in specs),
+        machines=tuple(machines),
+        depths=depths,
+        trace_length=trace_length,
+        points=points,
+        mismatches=tuple(mismatches),
+        optimum_mismatches=tuple(optimum_mismatches),
+    )
+
+
+def format_report(report: ValidationReport) -> str:
+    """Human-readable validation summary (the CLI output)."""
+    lines = [
+        "fast-kernel cross-validation: "
+        f"{len(report.workloads)} workloads x {len(report.machines)} machines "
+        f"x {len(report.depths)} depths ({report.points} points, "
+        f"{report.trace_length} instructions)",
+        f"  machines : {', '.join(report.machines)}",
+        f"  depths   : {', '.join(str(d) for d in report.depths)}",
+    ]
+    if report.passed:
+        lines.append(
+            "  PASS: every SimulationResult field identical "
+            f"(float tolerance {FLOAT_RTOL:g}); optimum depths match"
+        )
+    else:
+        for m in report.mismatches[:20]:
+            lines.append(
+                f"  FAIL {m.workload}/{m.machine} depth {m.depth} {m.field}: "
+                f"reference={m.reference!r} fast={m.fast!r}"
+            )
+        hidden = len(report.mismatches) - 20
+        if hidden > 0:
+            lines.append(f"  ... {hidden} further field mismatches")
+        for om in report.optimum_mismatches:
+            lines.append(
+                f"  FAIL {om.workload}/{om.machine} optimum: "
+                f"reference={om.reference_depth:.2f} fast={om.fast_depth:.2f}"
+            )
+        lines.append(
+            f"  FAIL: {len(report.mismatches)} field mismatches, "
+            f"{len(report.optimum_mismatches)} optimum mismatches"
+        )
+    return "\n".join(lines)

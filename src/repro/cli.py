@@ -5,6 +5,7 @@ Commands:
 * ``optimum``   — the analytic optimum for given theory parameters.
 * ``sweep``     — simulate one workload across depths; table, chart, CSV.
 * ``simulate``  — one workload at one depth; characterisation summary.
+* ``validate-kernel`` — cross-validate the fast kernel vs the reference.
 * ``plan``      — draw the Fig. 2 pipeline at a given depth.
 * ``workloads`` — list the 55-workload suite.
 * ``characterize`` — the suite characterisation table.
@@ -13,8 +14,9 @@ Commands:
 * ``batch``     — execute a JSON manifest of depth sweeps via the engine.
 
 The simulation-heavy commands (``sweep``, ``figures``, ``batch``) accept
-``--jobs N`` (parallel workers), ``--cache-dir`` and ``--no-cache``; they
-share the content-addressed result cache of :mod:`repro.engine`.
+``--jobs N`` (parallel workers), ``--cache-dir``, ``--no-cache`` and
+``--backend reference|fast`` (which simulator kernel runs the sweeps);
+they share the content-addressed result cache of :mod:`repro.engine`.
 """
 
 from __future__ import annotations
@@ -81,6 +83,21 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--depth", type=int, default=8)
     simulate.add_argument("--length", type=int, default=8000)
     simulate.add_argument("--out-of-order", action="store_true")
+    simulate.add_argument(
+        "--backend", choices=("reference", "fast"), default="reference",
+        help="simulation backend (default: %(default)s)",
+    )
+
+    validate = sub.add_parser(
+        "validate-kernel",
+        help="cross-validate the fast kernel against the reference simulator",
+    )
+    validate.add_argument(
+        "--small", action="store_true",
+        help="reduced workload sample / trace length (the CI configuration)",
+    )
+    validate.add_argument("--length", type=int, default=None,
+                          help="trace length override")
 
     plan = sub.add_parser("plan", help="draw the pipeline at a given depth")
     plan.add_argument("--depth", type=int, default=None,
@@ -156,7 +173,8 @@ def _cmd_sweep(args) -> int:
     spec = get_workload(args.workload)
     machine = MachineConfig(in_order=not args.out_of_order)
     sweep = run_depth_sweep(
-        spec, trace_length=args.length, machine=machine, engine=_engine(args)
+        spec, trace_length=args.length, machine=machine, engine=_engine(args),
+        backend=args.backend,
     )
     gated = not args.ungated
     values = sweep.metric(args.metric, gated=gated)
@@ -190,13 +208,13 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    from .pipeline import MachineConfig, simulate
+    from .pipeline import MachineConfig, make_simulator
     from .trace import generate_trace, get_workload
 
     spec = get_workload(args.workload)
     trace = generate_trace(spec, args.length)
     machine = MachineConfig(in_order=not args.out_of_order)
-    result = simulate(trace, args.depth, machine)
+    result = make_simulator(machine, args.backend).simulate(trace, args.depth)
     print(result.summary())
     print(f"  cycles {result.cycles}, time {result.total_time:.0f} FO4, "
           f"stall/busy {result.stall_time / max(result.busy_time, 1e-12):.2f}")
@@ -232,6 +250,7 @@ def _cmd_figures(args) -> int:
         quick=args.quick,
         engine=_engine(args),
         headline_small=args.headline_small,
+        backend=args.backend,
     )
     return 0
 
@@ -244,12 +263,20 @@ def _cmd_batch(args) -> int:
         removed = engine.cache.clear()
         print(f"cleared {removed} cache entries from {engine.cache.directory}")
     try:
-        manifest = load_manifest(args.manifest)
+        manifest = load_manifest(args.manifest, default_backend=args.backend)
     except ManifestError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     run_manifest(manifest, engine=engine)
     return 0
+
+
+def _cmd_validate_kernel(args) -> int:
+    from .analysis.validate import format_report, validate_kernel
+
+    report = validate_kernel(small=args.small, trace_length=args.length)
+    print(format_report(report))
+    return 0 if report.passed else 1
 
 
 def _cmd_characterize(args) -> int:
@@ -280,6 +307,7 @@ _COMMANDS = {
     "optimum": _cmd_optimum,
     "sweep": _cmd_sweep,
     "simulate": _cmd_simulate,
+    "validate-kernel": _cmd_validate_kernel,
     "plan": _cmd_plan,
     "workloads": _cmd_workloads,
     "characterize": _cmd_characterize,

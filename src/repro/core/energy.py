@@ -26,7 +26,6 @@ from typing import Union
 
 import numpy as np
 
-from .metric import metric
 from .params import DesignSpace, ParameterError
 from .performance import time_per_instruction
 from .power import total_power

@@ -14,7 +14,7 @@ Coefficients are stored in ascending order (``coeffs[k]`` multiplies
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Tuple
 
 import numpy as np
 

@@ -16,7 +16,7 @@ cites); they are inputs, not claims, and are trivially replaced.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 from .metric import MetricFamily

@@ -25,12 +25,11 @@ asserted.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Union
 
 import numpy as np
 
 from .metric import MetricFamily, metric
-from .params import DesignSpace, ParameterError, PowerParams, TechnologyParams
+from .params import DesignSpace, ParameterError, TechnologyParams
 
 __all__ = ["scale_voltage", "voltage_sensitivity", "invariant_exponent"]
 

@@ -13,7 +13,10 @@ that can change a simulation's outcome:
   the trace itself);
 * the complete :class:`~repro.pipeline.simulator.MachineConfig`,
   including nested cache geometries and technology constants;
-* the depth set and trace length;
+* the depth set, trace length and simulation backend (the fast kernel
+  and the reference interpreter are validated equivalent, but the key
+  still separates them so a backend bug can never poison the other
+  backend's cache entries);
 * ``repro.__version__`` and the payload schema number, so upgrading the
   code or the on-disk format invalidates every stale entry by
   construction rather than by bookkeeping.
@@ -32,8 +35,9 @@ import enum
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence, Tuple
+from typing import Mapping, Tuple
 
+from ..pipeline.fastsim import BACKENDS, DEFAULT_BACKEND
 from ..pipeline.results import SimulationResult
 from ..pipeline.simulator import MachineConfig
 from ..trace.spec import WorkloadSpec
@@ -88,12 +92,16 @@ class SimJob:
         depths: strictly ascending pipeline depths to simulate.
         trace_length: dynamic instructions to generate.
         machine: the machine configuration (constant across depths).
+        backend: simulation backend — ``"reference"`` (the step-wise
+            interpreter) or ``"fast"`` (the event-precomputing kernel,
+            one trace analysis shared by all depths).
     """
 
     spec: WorkloadSpec
     depths: Tuple[int, ...]
     trace_length: int = 8000
     machine: MachineConfig = field(default_factory=MachineConfig)
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
         depths = tuple(int(d) for d in self.depths)
@@ -104,6 +112,10 @@ class SimJob:
             raise ValueError(f"depths must be strictly ascending, got {depths}")
         if self.trace_length < 1:
             raise ValueError(f"trace_length must be >= 1, got {self.trace_length!r}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
 
     @property
     def name(self) -> str:
@@ -118,6 +130,7 @@ class SimJob:
             "machine": canonical_fingerprint(self.machine),
             "depths": list(self.depths),
             "trace_length": self.trace_length,
+            "backend": self.backend,
         }
 
     def cache_key(self) -> str:

@@ -3,11 +3,13 @@
 A manifest is a JSON file describing a set of depth sweeps to execute::
 
     {
-      "defaults": {"depths": [2, 4, 6, 8, 10, 12], "trace_length": 4000},
+      "defaults": {"depths": [2, 4, 6, 8, 10, 12], "trace_length": 4000,
+                   "backend": "fast"},
       "sweeps": [
         {"label": "spec-int", "workloads": ["gzip", "mcf", "gcc95"]},
         {"label": "floats",   "workloads": "class:float", "metric": 3.0},
-        {"label": "smoke",    "workloads": "small:1", "trace_length": 1500}
+        {"label": "smoke",    "workloads": "small:1", "trace_length": 1500,
+         "backend": "reference"}
       ]
     }
 
@@ -19,8 +21,10 @@ Workload selectors:
 * ``"class:<name>"`` — one workload class (``legacy``, ``modern``,
   ``specint95``, ``specint2000``, ``float``).
 
-Every sweep entry may override ``depths``, ``trace_length``, ``metric``
-and ``gated``; unset fields inherit from ``defaults``.  All sweeps in a
+Every sweep entry may override ``depths``, ``trace_length``, ``metric``,
+``gated`` and ``backend`` (``"reference"`` or ``"fast"`` — the simulator
+backend, part of every job's cache key); unset fields inherit from
+``defaults``.  All sweeps in a
 manifest execute through one shared :class:`~repro.engine.scheduler.
 ExecutionEngine`, so overlapping entries dedupe through the result cache
 and the closing :class:`~repro.engine.report.RunReport` covers the whole
@@ -37,8 +41,9 @@ import json
 import pathlib
 import sys
 from dataclasses import dataclass
-from typing import Optional, Sequence, TextIO, Tuple
+from typing import Optional, TextIO, Tuple
 
+from ..pipeline.fastsim import BACKENDS, DEFAULT_BACKEND
 from ..trace.spec import WorkloadClass, WorkloadSpec
 from ..trace.suite import by_class, get_workload, small_suite, suite
 from .scheduler import ExecutionEngine, default_engine
@@ -67,6 +72,7 @@ class SweepRequest:
     trace_length: int
     metric: float
     gated: bool
+    backend: str = DEFAULT_BACKEND
 
 
 @dataclass(frozen=True)
@@ -114,8 +120,16 @@ def _entry_value(entry: dict, defaults: dict, key: str):
     return entry.get(key, defaults.get(key, _DEFAULTS[key]))
 
 
-def load_manifest(path: "str | pathlib.Path") -> BatchManifest:
+def load_manifest(
+    path: "str | pathlib.Path", default_backend: str = DEFAULT_BACKEND
+) -> BatchManifest:
     """Parse and validate a manifest file.
+
+    Args:
+        path: the manifest JSON file.
+        default_backend: backend for sweeps that set none themselves (in
+            the entry or the manifest ``defaults``) — the CLI routes its
+            ``--backend`` flag here.
 
     Raises:
         ManifestError: unreadable file, invalid JSON or invalid contents.
@@ -150,6 +164,12 @@ def load_manifest(path: "str | pathlib.Path") -> BatchManifest:
             gated = bool(_entry_value(entry, defaults, "gated"))
         except (TypeError, ValueError) as exc:
             raise ManifestError(f"sweep #{position} has invalid parameters: {exc}") from exc
+        backend = str(entry.get("backend", defaults.get("backend", default_backend)))
+        if backend not in BACKENDS:
+            raise ManifestError(
+                f"sweep #{position} names unknown backend {backend!r}; "
+                f"choose from {list(BACKENDS)}"
+            )
         requests.append(
             SweepRequest(
                 label=str(entry.get("label", f"sweep-{position}")),
@@ -158,6 +178,7 @@ def load_manifest(path: "str | pathlib.Path") -> BatchManifest:
                 trace_length=trace_length,
                 metric=metric,
                 gated=gated,
+                backend=backend,
             )
         )
     return BatchManifest(requests=tuple(requests))
@@ -181,12 +202,14 @@ def run_manifest(
             depths=request.depths,
             trace_length=request.trace_length,
             engine=engine,
+            backend=request.backend,
         )
         label = "BIPS" if request.metric == float("inf") else f"BIPS^{request.metric:g}/W"
         lines = [
             f"batch sweep '{request.label}': {len(sweeps)} workloads, "
             f"depths {request.depths[0]}..{request.depths[-1]}, "
-            f"{label} ({'gated' if request.gated else 'un-gated'})"
+            f"{label} ({'gated' if request.gated else 'un-gated'}, "
+            f"{request.backend} backend)"
         ]
         for sweep in sweeps:
             estimate = optimum_from_sweep(sweep, request.metric, gated=request.gated)

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, TextIO, Tuple
 
+from ..pipeline.fastsim import DEFAULT_BACKEND
 from ..pipeline.simulator import MachineConfig
 from ..trace.spec import WorkloadSpec
 from .cache import ResultCache
@@ -97,12 +98,19 @@ def jobs_for_specs(
     depths: Sequence[int],
     trace_length: int = 8000,
     machine: "MachineConfig | None" = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> List[SimJob]:
-    """One :class:`SimJob` per workload, sharing depths/length/machine."""
+    """One :class:`SimJob` per workload, sharing depths/length/machine/backend."""
     machine = machine or MachineConfig()
     depths = tuple(int(d) for d in depths)
     return [
-        SimJob(spec=spec, depths=depths, trace_length=trace_length, machine=machine)
+        SimJob(
+            spec=spec,
+            depths=depths,
+            trace_length=trace_length,
+            machine=machine,
+            backend=backend,
+        )
         for spec in specs
     ]
 
@@ -307,7 +315,7 @@ class ExecutionEngine:
                     job, key = jobs[index], keys[index]
                     try:
                         payload = futures[index].result(timeout=self.config.timeout)
-                    except FutureTimeoutError as exc:
+                    except FutureTimeoutError:
                         logger.warning(
                             "job %s timed out after %.1fs (attempt %d/%d)",
                             job.name, self.config.timeout, attempt, max_attempts,

@@ -26,7 +26,7 @@ from typing import Sequence, Tuple
 from ..core.params import TechnologyParams
 from ..pipeline.plan import StagePlan, Unit
 from ..pipeline.results import SimulationResult
-from .job import CACHE_SCHEMA, JobResult, SimJob
+from .job import CACHE_SCHEMA, SimJob
 
 __all__ = [
     "PayloadError",

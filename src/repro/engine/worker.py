@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import logging
 
-from ..pipeline.simulator import PipelineSimulator
+from ..pipeline.fastsim import make_simulator
 from ..trace.generator import generate_trace
 from .job import SimJob
 from .serialize import payload_for
@@ -26,10 +26,10 @@ logger = logging.getLogger("repro.engine.worker")
 def execute_job(job: SimJob) -> dict:
     """Generate the job's trace, simulate every depth, serialise the results."""
     logger.debug(
-        "executing %s: %d depths, %d instructions",
-        job.name, len(job.depths), job.trace_length,
+        "executing %s: %d depths, %d instructions, %s backend",
+        job.name, len(job.depths), job.trace_length, job.backend,
     )
     trace = generate_trace(job.spec, job.trace_length)
-    simulator = PipelineSimulator(job.machine)
+    simulator = make_simulator(job.machine, job.backend)
     results = tuple(simulator.simulate(trace, depth) for depth in job.depths)
     return payload_for(job, results)

@@ -13,9 +13,8 @@ from typing import Tuple
 
 import numpy as np
 
-from ..power.model import latch_growth_exponent, plan_latch_count
+from ..power.model import latch_growth_exponent
 from ..power.units import UnitPowerModel
-from ..pipeline.plan import StagePlan
 
 __all__ = ["Fig3Data", "run", "format_table"]
 

@@ -12,12 +12,13 @@ and the theory tracks the simulation across the whole range.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.optimum import TheoryFit, optimum_from_sweep, theory_fit_from_sweep
 from ..analysis.sweep import DEFAULT_DEPTHS, DepthSweep, run_depth_sweep
+from ..pipeline.fastsim import DEFAULT_BACKEND
 from ..trace.suite import get_workload
 
 __all__ = ["Panel", "Fig4Data", "run", "format_table", "DEFAULT_PANEL_WORKLOADS"]
@@ -58,11 +59,13 @@ def run(
     trace_length: int = 8000,
     m: float = 3.0,
     engine=None,
+    backend: str = DEFAULT_BACKEND,
 ) -> Fig4Data:
     panels = []
     for name in workloads:
         sweep = run_depth_sweep(
-            get_workload(name), depths=depths, trace_length=trace_length, engine=engine
+            get_workload(name), depths=depths, trace_length=trace_length,
+            engine=engine, backend=backend,
         )
         panels.append(
             Panel(

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..analysis.optimum import optimum_from_sweep
 from ..analysis.sweep import DEFAULT_DEPTHS, DepthSweep, run_depth_sweep
+from ..pipeline.fastsim import DEFAULT_BACKEND
 from ..trace.suite import get_workload
 
 __all__ = ["Fig5Data", "run", "format_table", "METRIC_EXPONENTS"]
@@ -47,9 +48,11 @@ def run(
     trace_length: int = 8000,
     gated: bool = True,
     engine=None,
+    backend: str = DEFAULT_BACKEND,
 ) -> Fig5Data:
     sweep = run_depth_sweep(
-        get_workload(workload), depths=depths, trace_length=trace_length, engine=engine
+        get_workload(workload), depths=depths, trace_length=trace_length,
+        engine=engine, backend=backend,
     )
     curves = {}
     optima = {}

@@ -9,13 +9,13 @@ stages (8.9 FO4) for the performance-only optimisation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Sequence
 
-import numpy as np
 
 from ..analysis.distribution import OptimumDistribution, optimum_distribution
 from ..analysis.sweep import DEFAULT_DEPTHS
 from ..core.params import TechnologyParams
+from ..pipeline.fastsim import DEFAULT_BACKEND
 from ..trace.spec import WorkloadSpec
 from ..trace.suite import suite
 
@@ -37,12 +37,14 @@ def run(
     m: float = 3.0,
     gated: bool = True,
     engine=None,
+    backend: str = DEFAULT_BACKEND,
 ) -> Fig6Data:
     """Full-suite run by default; pass ``specs`` to subsample for speed and
     ``engine`` (:class:`repro.engine.ExecutionEngine`) to parallelise/cache."""
     specs = tuple(specs) if specs is not None else suite()
     distribution = optimum_distribution(
-        specs, m=m, gated=gated, depths=depths, trace_length=trace_length, engine=engine
+        specs, m=m, gated=gated, depths=depths, trace_length=trace_length,
+        engine=engine, backend=backend,
     )
     return Fig6Data(
         distribution=distribution,

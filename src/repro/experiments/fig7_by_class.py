@@ -14,6 +14,7 @@ from typing import Mapping, Sequence, Tuple
 
 from ..analysis.distribution import OptimumDistribution, optimum_distribution
 from ..analysis.sweep import DEFAULT_DEPTHS
+from ..pipeline.fastsim import DEFAULT_BACKEND
 from ..trace.spec import WorkloadClass, WorkloadSpec
 from ..trace.suite import suite
 
@@ -33,10 +34,12 @@ def run(
     m: float = 3.0,
     gated: bool = True,
     engine=None,
+    backend: str = DEFAULT_BACKEND,
 ) -> Fig7Data:
     specs = tuple(specs) if specs is not None else suite()
     distribution = optimum_distribution(
-        specs, m=m, gated=gated, depths=depths, trace_length=trace_length, engine=engine
+        specs, m=m, gated=gated, depths=depths, trace_length=trace_length,
+        engine=engine, backend=backend,
     )
     return Fig7Data(
         distribution=distribution, class_summary=distribution.class_summary()

@@ -15,6 +15,7 @@ from typing import Sequence, Tuple
 
 from ..analysis.extraction import fit_workload_params
 from ..analysis.sweep import run_depth_sweep
+from ..pipeline.fastsim import DEFAULT_BACKEND
 from ..core.params import DesignSpace, GatingModel, GatingStyle, PowerParams
 from ..core.sensitivity import SensitivityCurve, leakage_sweep
 from ..trace.suite import get_workload
@@ -39,12 +40,14 @@ def run(
     gamma: float = 1.1,
     reference_depth: float = 8.0,
     engine=None,
+    backend: str = DEFAULT_BACKEND,
 ) -> Fig8Data:
     """Extract SPECint parameters from a short sweep, then vary leakage in
     the theory exactly as the paper's Fig. 8 does (theory-only curves)."""
     sweep = run_depth_sweep(
         get_workload(workload), depths=(4, 6, 8, 10, 12, 16, 20),
         trace_length=trace_length, reference_depth=8, engine=engine,
+        backend=backend,
     )
     params = fit_workload_params(sweep.results)
     space = DesignSpace(

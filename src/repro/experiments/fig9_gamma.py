@@ -15,6 +15,7 @@ from typing import Sequence, Tuple
 
 from ..analysis.extraction import fit_workload_params
 from ..analysis.sweep import run_depth_sweep
+from ..pipeline.fastsim import DEFAULT_BACKEND
 from ..core.optimizer import optimum_depth
 from ..core.params import DesignSpace, GatingModel, GatingStyle, PowerParams
 from ..core.power import calibrate_leakage
@@ -42,10 +43,12 @@ def run(
     leakage_fraction: float = 0.15,
     reference_depth: float = 8.0,
     engine=None,
+    backend: str = DEFAULT_BACKEND,
 ) -> Fig9Data:
     sweep = run_depth_sweep(
         get_workload(workload), depths=(4, 6, 8, 10, 12, 16, 20),
         trace_length=trace_length, reference_depth=8, engine=engine,
+        backend=backend,
     )
     params = fit_workload_params(sweep.results)
     space = DesignSpace(

@@ -25,9 +25,10 @@ import numpy as np
 
 from ..analysis.optimum import optimum_from_sweep, theory_fit_from_sweep
 from ..analysis.sweep import DEFAULT_DEPTHS, run_depth_sweeps
+from ..pipeline.fastsim import DEFAULT_BACKEND
 from ..core.params import TechnologyParams
 from ..trace.spec import WorkloadSpec
-from ..trace.suite import small_suite, suite
+from ..trace.suite import small_suite
 
 __all__ = ["HeadlineRow", "HeadlineData", "run", "format_table"]
 
@@ -52,6 +53,7 @@ def run(
     depths: Sequence[int] = DEFAULT_DEPTHS,
     trace_length: int = 8000,
     engine=None,
+    backend: str = DEFAULT_BACKEND,
 ) -> HeadlineData:
     """Compute the headline numbers over ``specs`` (default: a reduced
     suite of 2 per class; pass :func:`repro.trace.suite` for the full 55).
@@ -66,7 +68,9 @@ def run(
     theory_opts = []
     m1_interior = []
     ordering_holds = []
-    sweeps = run_depth_sweeps(specs, depths=depths, trace_length=trace_length, engine=engine)
+    sweeps = run_depth_sweeps(
+        specs, depths=depths, trace_length=trace_length, engine=engine, backend=backend
+    )
     for sweep in sweeps:
         perf = optimum_from_sweep(sweep, float("inf"), gated=True).depth
         m3 = optimum_from_sweep(sweep, 3.0, gated=True).depth

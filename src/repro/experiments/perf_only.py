@@ -18,7 +18,8 @@ import numpy as np
 
 from ..analysis.extraction import fit_workload_params
 from ..analysis.optimum import optimum_from_sweep
-from ..analysis.sweep import DEFAULT_DEPTHS, DepthSweep, run_depth_sweep
+from ..analysis.sweep import DEFAULT_DEPTHS, run_depth_sweep
+from ..pipeline.fastsim import DEFAULT_BACKEND
 from ..core.performance import performance_only_optimum, time_per_instruction
 from ..trace.spec import WorkloadSpec
 from ..trace.suite import small_suite
@@ -61,11 +62,14 @@ def run(
     specs: "Sequence[WorkloadSpec] | None" = None,
     depths: Sequence[int] = DEFAULT_DEPTHS,
     trace_length: int = 8000,
+    backend: str = DEFAULT_BACKEND,
 ) -> PerfOnlyData:
     specs = tuple(specs) if specs is not None else small_suite(1)
     rows = []
     for spec in specs:
-        sweep = run_depth_sweep(spec, depths=depths, trace_length=trace_length)
+        sweep = run_depth_sweep(
+            spec, depths=depths, trace_length=trace_length, backend=backend
+        )
         simulated = optimum_from_sweep(sweep, float("inf"), gated=True).depth
         params = fit_workload_params(sweep.results)
         eq2 = performance_only_optimum(sweep.reference.technology, params)

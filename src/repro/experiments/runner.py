@@ -27,6 +27,7 @@ import time
 from typing import Callable, Sequence, Tuple
 
 from ..engine import EngineConfig, ExecutionEngine, default_cache_dir
+from ..pipeline.fastsim import BACKENDS, DEFAULT_BACKEND
 from ..trace.suite import small_suite, suite
 from . import (
     fig1_quartic,
@@ -61,6 +62,12 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--progress", action="store_true",
         help="print [k/N] progress lines (stderr) while jobs resolve",
     )
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+        help="simulation backend: 'reference' (step-wise interpreter) or "
+        "'fast' (one trace analysis shared across depths); part of the "
+        "result-cache key (default: %(default)s)",
+    )
 
 
 def engine_from_args(args: argparse.Namespace) -> ExecutionEngine:
@@ -79,6 +86,7 @@ def run_all(
     stream=None,
     engine: "ExecutionEngine | None" = None,
     headline_small: bool = False,
+    backend: str = DEFAULT_BACKEND,
 ) -> Tuple[str, ...]:
     """Run every experiment; returns (and optionally prints) the tables.
 
@@ -89,6 +97,9 @@ def run_all(
         headline_small: cap the headline table at 2 workloads per class
             even in a full run (the pre-engine behaviour, kept for
             constrained machines).
+        backend: simulation backend for every figure's sweeps
+            (``"reference"`` or ``"fast"``; both produce identical
+            tables — the equivalence CI job keeps that true).
     """
     stream = stream if stream is not None else sys.stdout
     trace_length = 4000 if quick else 8000
@@ -108,14 +119,18 @@ def run_all(
             "fig4",
             lambda: _with_chart(
                 fig4_theory_vs_sim,
-                fig4_theory_vs_sim.run(trace_length=trace_length, engine=engine),
+                fig4_theory_vs_sim.run(
+                    trace_length=trace_length, engine=engine, backend=backend
+                ),
             ),
         ),
         (
             "fig5",
             lambda: _with_chart(
                 fig5_metric_family,
-                fig5_metric_family.run(trace_length=trace_length, engine=engine),
+                fig5_metric_family.run(
+                    trace_length=trace_length, engine=engine, backend=backend
+                ),
             ),
         ),
         (
@@ -123,7 +138,8 @@ def run_all(
             lambda: _with_chart(
                 fig6_distribution,
                 fig6_distribution.run(
-                    specs=specs, depths=depths, trace_length=trace_length, engine=engine
+                    specs=specs, depths=depths, trace_length=trace_length,
+                    engine=engine, backend=backend,
                 ),
             ),
         ),
@@ -131,20 +147,27 @@ def run_all(
             "fig7",
             lambda: fig7_by_class.format_table(
                 fig7_by_class.run(
-                    specs=specs, depths=depths, trace_length=trace_length, engine=engine
+                    specs=specs, depths=depths, trace_length=trace_length,
+                    engine=engine, backend=backend,
                 )
             ),
         ),
         (
             "fig8",
             lambda: _with_chart(
-                fig8_leakage, fig8_leakage.run(trace_length=trace_length, engine=engine)
+                fig8_leakage,
+                fig8_leakage.run(
+                    trace_length=trace_length, engine=engine, backend=backend
+                ),
             ),
         ),
         (
             "fig9",
             lambda: _with_chart(
-                fig9_gamma, fig9_gamma.run(trace_length=trace_length, engine=engine)
+                fig9_gamma,
+                fig9_gamma.run(
+                    trace_length=trace_length, engine=engine, backend=backend
+                ),
             ),
         ),
         (
@@ -155,6 +178,7 @@ def run_all(
                     depths=depths,
                     trace_length=trace_length,
                     engine=engine,
+                    backend=backend,
                 )
             ),
         ),
@@ -188,6 +212,7 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         quick=args.quick,
         engine=engine_from_args(args),
         headline_small=args.headline_small,
+        backend=args.backend,
     )
     return 0
 

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
 
 __all__ = ["OpClass", "Instruction", "NO_REGISTER", "REGISTER_COUNT"]
 

@@ -1,9 +1,31 @@
-"""Cycle-accurate 4-issue in-order pipeline simulator (Fig. 2 machine)."""
+"""Cycle-accurate 4-issue in-order pipeline simulator (Fig. 2 machine).
+
+Two interchangeable backends produce :class:`SimulationResult`\\ s:
+
+* :class:`PipelineSimulator` — the step-wise reference interpreter;
+* :class:`FastPipelineSimulator` — the event-precomputing kernel that
+  analyses a trace once and prices every depth from the shared
+  :class:`TraceEvents` (see :mod:`repro.pipeline.fastsim`).
+
+:func:`make_simulator` selects between them by name; both consume the
+same :class:`DepthConstants`, and the cross-validation harness
+(``repro validate-kernel``) asserts they agree field-for-field.
+"""
 
 from .diagram import render_depth_table, render_plan
+from .fastsim import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    FastPipelineSimulator,
+    TraceEvents,
+    analyze_trace,
+    make_simulator,
+    simulate_fast,
+)
 from .plan import MAX_DEPTH, MIN_DEPTH, RR_PATH, RX_PATH, PathOffsets, StagePlan, Unit
 from .results import SimulationResult
 from .simulator import MachineConfig, PipelineSimulator, simulate
+from .timing import DepthConstants
 
 __all__ = [
     "Unit",
@@ -19,4 +41,12 @@ __all__ = [
     "MachineConfig",
     "PipelineSimulator",
     "simulate",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "DepthConstants",
+    "FastPipelineSimulator",
+    "TraceEvents",
+    "analyze_trace",
+    "make_simulator",
+    "simulate_fast",
 ]

@@ -1,0 +1,802 @@
+"""The fast simulation backend: one trace analysis, many cheap depths.
+
+The reference interpreter (:class:`~repro.pipeline.simulator.
+PipelineSimulator`) re-walks every stateful microarchitectural structure —
+branch predictor, BTB, both L1s and the L2 — at every pipeline depth, plus
+a full warm-up pass per depth.  But none of those structures' outcomes
+depend on the depth: caches, predictor and BTB are referenced strictly in
+program order, so the hit/miss and predict/mispredict *event streams* are
+properties of the trace and machine alone.
+
+This module exploits that invariant:
+
+1. :func:`analyze_trace` runs the stateful machinery exactly once per
+   (trace, machine) pair and distils it into :class:`TraceEvents` —
+   per-instruction NumPy event vectors (I-cache miss, L2 miss, stalling
+   D-cache miss, mispredict, BTB-target stall) plus the aggregate hazard
+   counts.  Depth-independent occupancy terms (fetch, decode, agen, cache,
+   execute, completion, retire) reduce to closed-form array arithmetic
+   over those vectors.
+2. :class:`FastPipelineSimulator` then evaluates each requested depth by
+   scaling the event vectors into stall-penalty vectors (pure array
+   arithmetic: ``miss * penalty_cycles(depth)``) and resolving the
+   remaining loop-carried timing recurrence — bandwidth rings, register
+   readiness, queue waits, redirects — with a lean integer loop that
+   touches no simulation objects at all.
+
+The result is bit-identical to the reference simulator (every
+:class:`~repro.pipeline.results.SimulationResult` field, including the
+occupancy floats, which are integer-valued and therefore exact), while a
+20-point depth sweep pays for one trace analysis instead of 20 warm-up
+passes and 20 structure-walking interpretations.  The equivalence is
+enforced by ``tests/pipeline/test_fastsim_equivalence.py`` and the
+``repro validate-kernel`` CLI command in CI; the speedup is recorded by
+``benchmarks/bench_fastsim.py``.
+
+Use :func:`make_simulator` to select a backend by name — ``"reference"``
+for the interpreter, ``"fast"`` for this kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..isa import REGISTER_COUNT, OpClass
+from ..trace.trace import Trace
+from ..uarch.btb import BranchTargetBuffer
+from ..uarch.cache import Cache
+from .plan import StagePlan, Unit
+from .results import SimulationResult
+from .simulator import MachineConfig, PipelineSimulator, _make_predictor, _warm_structures
+from .timing import DepthConstants
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "TraceEvents",
+    "FastPipelineSimulator",
+    "analyze_trace",
+    "make_simulator",
+    "simulate_fast",
+]
+
+BACKENDS: Tuple[str, ...] = ("reference", "fast")
+"""Recognised simulation backend names."""
+
+DEFAULT_BACKEND = "reference"
+"""The backend used when none is requested (the original interpreter)."""
+
+_LOAD = OpClass.RX_LOAD.value
+_STORE = OpClass.RX_STORE.value
+_RXALU = OpClass.RX_ALU.value
+_BRANCH = OpClass.BRANCH.value
+_FP = OpClass.FP.value
+_COMPLEX = OpClass.COMPLEX.value
+
+# Branch event codes in TraceEvents.brs: 0 = no front-end event.
+_EV_MISPREDICT = 1
+_EV_BTB_STALL = 2
+
+
+class TraceEvents:
+    """Depth-independent per-instruction events for one (trace, machine).
+
+    The event vectors are NumPy arrays over the dynamic instruction
+    stream; ``stream`` is the same information as per-instruction tuples,
+    pre-shaped for the per-depth timing loops (one unpack per
+    instruction, no indexing, no numpy scalar boxing).
+
+    Attributes:
+        n: dynamic instruction count.
+        stream: per-instruction ``(is_mem, src1, exec_src1, src2,
+            dest_alu, dest_load, fpc, fp_extra, is_store, branch_event,
+            ic_event, dc_event)`` tuples.  ``exec_src1`` is ``src1`` for
+            non-memory ops and -1 otherwise (memory ops consume it at
+            agen); ``dest_alu`` / ``dest_load`` split the destination
+            register by whether it is written at execute or at cache
+            return; ``fpc`` is 1 for FP, 2 for COMPLEX, 0 otherwise;
+            ``ic_event`` / ``dc_event`` are 0 (hit), 1 (L1 miss) or
+            2 (L1+L2 miss) — the loops scale them into stall cycles with
+            the per-depth penalty constants.
+        ic_miss / ic_l2: I-cache line miss at this fetch, and whether it
+            also missed the L2 (both 0/1 ``int64`` vectors).
+        dc_stall / dc_l2_stall: stalling data-side miss (loads and RX-ALU
+            operand fetches; store misses excluded) and its L2 component.
+        branches / mispredicts / icache_misses / dcache_accesses /
+            dcache_misses / store_misses / l2_misses / memory_ops /
+            fp_ops: the aggregate hazard counts of the timed pass.
+        fpc_count / fpc_extra_sum: FP+COMPLEX op count and the sum of
+            their per-op extra execute cycles (closed-form E-pipe
+            occupancy).
+    """
+
+    __slots__ = (
+        "n",
+        "stream",
+        "ic_miss",
+        "ic_l2",
+        "dc_stall",
+        "dc_l2_stall",
+        "branches",
+        "mispredicts",
+        "icache_misses",
+        "ic_l2_misses",
+        "dcache_accesses",
+        "dcache_misses",
+        "dc_l2_stall_misses",
+        "store_misses",
+        "l2_misses",
+        "memory_ops",
+        "fp_ops",
+        "fpc_count",
+        "fpc_extra_sum",
+    )
+
+    def fetch_penalties(self, cons: DepthConstants) -> "list[int]":
+        """Per-instruction fetch stall cycles at ``cons``'s depth."""
+        return (self.ic_miss * cons.ic_penalty + self.ic_l2 * cons.l2_penalty).tolist()
+
+    def data_penalties(self, cons: DepthConstants) -> "list[int]":
+        """Per-instruction stalling D-side miss cycles at ``cons``'s depth."""
+        return (
+            self.dc_stall * cons.dc_penalty + self.dc_l2_stall * cons.l2_penalty
+        ).tolist()
+
+
+def analyze_trace(trace: Trace, config: "MachineConfig | None" = None) -> TraceEvents:
+    """Run the stateful structures once and record every timed-pass event.
+
+    Replays exactly the structure-access sequence of the reference
+    simulator — the optional warm-up pass, then the timed pass's
+    program-order interleaving of I-cache, D-cache, shared L2, predictor
+    and BTB references — and captures the outcomes as event vectors.
+    """
+    if len(trace) == 0:
+        raise ValueError("cannot simulate an empty trace")
+    cfg = config or MachineConfig()
+    oracle = cfg.predictor_kind == "oracle"
+    predictor = _make_predictor(cfg.predictor_kind, cfg.predictor_entries)
+    icache = Cache(cfg.icache)
+    dcache = Cache(cfg.dcache)
+    l2cache = Cache(cfg.l2)
+    btb = BranchTargetBuffer(cfg.btb_entries) if cfg.btb_entries else None
+    ic_line = cfg.icache.line_size
+    if cfg.warmup:
+        _warm_structures(trace, predictor, icache, dcache, l2cache, ic_line, oracle, btb)
+
+    n = len(trace)
+    opclass = trace.opclass
+    mem_mask = (opclass >= _LOAD) & (opclass <= _RXALU)
+    branch_mask = opclass == _BRANCH
+    fpc_mask = (opclass == _FP) | (opclass == _COMPLEX)
+    # A fetch touches the I-cache only when the line changes between
+    # consecutive instructions (the simulator's last-line filter).
+    lines = trace.pc >> (int(ic_line).bit_length() - 1)
+    new_line = np.empty(n, dtype=bool)
+    new_line[0] = True
+    np.not_equal(lines[1:], lines[:-1], out=new_line[1:])
+
+    events = TraceEvents()
+    events.n = n
+
+    ic_miss = np.zeros(n, dtype=np.int64)
+    ic_l2 = np.zeros(n, dtype=np.int64)
+    dc_stall = np.zeros(n, dtype=np.int64)
+    dc_l2_stall = np.zeros(n, dtype=np.int64)
+    brs = [0] * n
+
+    pcs = trace.pc.tolist()
+    addresses = trace.address.tolist()
+    takens = trace.taken.tolist()
+    codes = opclass.tolist()
+    mems = mem_mask.tolist()
+    new_lines = new_line.tolist()
+
+    mispredicts = dc_misses = store_misses = data_l2_misses = 0
+    ic_access = icache.access
+    dc_access = dcache.access
+    l2_access = l2cache.access
+    observe = predictor.observe
+    btb_lookup = btb.lookup_and_update if btb is not None else None
+    # Only instructions that touch a stateful structure need the scalar
+    # walk; everything else is covered by the vectorized masks above.
+    for i in np.flatnonzero(new_line | mem_mask | branch_mask).tolist():
+        if new_lines[i]:
+            if not ic_access(pcs[i]):
+                ic_miss[i] = 1
+                if not l2_access(pcs[i]):
+                    ic_l2[i] = 1
+        if mems[i]:
+            if not dc_access(addresses[i]):
+                l2_hit = l2_access(addresses[i])
+                if codes[i] == _STORE:
+                    store_misses += 1
+                    if not l2_hit:
+                        data_l2_misses += 1
+                else:
+                    dc_misses += 1
+                    dc_stall[i] = 1
+                    if not l2_hit:
+                        data_l2_misses += 1
+                        dc_l2_stall[i] = 1
+        elif codes[i] == _BRANCH:
+            if not oracle and not observe(pcs[i], takens[i]):
+                mispredicts += 1
+                brs[i] = _EV_MISPREDICT
+            elif takens[i] and btb_lookup is not None and not btb_lookup(pcs[i]):
+                brs[i] = _EV_BTB_STALL
+
+    load_mask = opclass == _LOAD
+    dest = trace.dest
+    events.stream = list(
+        zip(
+            mems,
+            trace.src1.tolist(),
+            np.where(mem_mask, -1, trace.src1).tolist(),
+            trace.src2.tolist(),
+            np.where(load_mask, -1, dest).tolist(),
+            np.where(load_mask, dest, -1).tolist(),
+            ((opclass == _FP) + 2 * (opclass == _COMPLEX)).tolist(),
+            trace.fp_cycles.tolist(),
+            (opclass == _STORE).tolist(),
+            brs,
+            (ic_miss + ic_l2).tolist(),
+            (dc_stall + dc_l2_stall).tolist(),
+        )
+    )
+    events.ic_miss = ic_miss
+    events.ic_l2 = ic_l2
+    events.dc_stall = dc_stall
+    events.dc_l2_stall = dc_l2_stall
+    events.branches = int(np.count_nonzero(branch_mask))
+    events.mispredicts = mispredicts
+    events.icache_misses = int(ic_miss.sum())
+    events.ic_l2_misses = int(ic_l2.sum())
+    events.memory_ops = int(np.count_nonzero(mem_mask))
+    events.dcache_accesses = events.memory_ops
+    events.dcache_misses = dc_misses
+    events.dc_l2_stall_misses = int(dc_l2_stall.sum())
+    events.store_misses = store_misses
+    events.l2_misses = events.ic_l2_misses + data_l2_misses
+    events.fp_ops = int(np.count_nonzero(opclass == _FP))
+    events.fpc_count = int(np.count_nonzero(fpc_mask))
+    events.fpc_extra_sum = int(trace.fp_cycles[fpc_mask].sum(dtype=np.int64))
+    return events
+
+
+class FastPipelineSimulator:
+    """Drop-in :class:`PipelineSimulator` replacement with shared analysis.
+
+    The first ``simulate`` call on a trace runs :func:`analyze_trace`; the
+    events are kept (one-slot cache keyed on trace identity) so every
+    further depth of the same trace skips straight to the timing
+    recurrence.  Simulating a depth sweep therefore costs one analysis
+    plus ``len(depths)`` cheap evaluations.
+    """
+
+    def __init__(self, config: "MachineConfig | None" = None):
+        self.config = config or MachineConfig()
+        self._cached: "tuple[Trace, TraceEvents] | None" = None
+
+    def events_for(self, trace: Trace) -> TraceEvents:
+        """The (cached) depth-independent analysis of ``trace``."""
+        cached = self._cached
+        if cached is not None and cached[0] is trace:
+            return cached[1]
+        events = analyze_trace(trace, self.config)
+        self._cached = (trace, events)
+        return events
+
+    def simulate(self, trace: Trace, depth: "int | StagePlan") -> SimulationResult:
+        """Simulate ``trace`` at one depth; reference-identical results."""
+        if len(trace) == 0:
+            raise ValueError("cannot simulate an empty trace")
+        plan = depth if isinstance(depth, StagePlan) else StagePlan.for_depth(depth)
+        events = self.events_for(trace)
+        cons = DepthConstants.for_plan(self.config, plan)
+        if self.config.in_order:
+            cycles, issue_cycles, occ_agenq, occ_execq = self._run_in_order(
+                events, cons
+            )
+            occ_rename = 0
+        else:
+            cycles, issue_cycles, occ_agenq, occ_execq = self._run_out_of_order(
+                events, cons
+            )
+            occ_rename = events.n  # one rename cycle per instruction
+        return self._build_result(
+            trace, plan, cons, events, cycles, issue_cycles, occ_rename, occ_agenq,
+            occ_execq,
+        )
+
+    def simulate_depths(
+        self, trace: Trace, depths: Sequence["int | StagePlan"]
+    ) -> Tuple[SimulationResult, ...]:
+        """Simulate every depth of a sweep off one shared trace analysis."""
+        return tuple(self.simulate(trace, depth) for depth in depths)
+
+    # -- result assembly ----------------------------------------------------
+    def _build_result(
+        self, trace, plan, cons, events, cycles, issue_cycles, occ_rename, occ_agenq,
+        occ_execq,
+    ) -> SimulationResult:
+        n = events.n
+        # Every occupancy term except the queue waits is closed-form in the
+        # event counts; all are integer-valued, so the floats are exact.
+        occ_fetch = (
+            n * cons.fetch_stages
+            + events.icache_misses * cons.ic_penalty
+            + events.ic_l2_misses * cons.l2_penalty
+        )
+        occ_cache = (
+            events.memory_ops * cons.cache_stages
+            + events.dcache_misses * cons.dc_penalty
+            + events.dc_l2_stall_misses * cons.l2_penalty
+        )
+        occ_exec = (
+            (n - events.fpc_count) * cons.exec_stages
+            + events.fpc_extra_sum
+            + events.fpc_count * (cons.exec_latency - 1)
+        )
+        occupancy = {
+            Unit.FETCH: float(occ_fetch),
+            Unit.DECODE: float(n * cons.decode_stages),
+            Unit.RENAME: float(occ_rename),
+            Unit.AGEN_QUEUE: float(occ_agenq),
+            Unit.AGEN: float(events.memory_ops * cons.agen_stages),
+            Unit.CACHE: float(occ_cache),
+            Unit.EXEC_QUEUE: float(occ_execq),
+            Unit.EXECUTE: float(occ_exec),
+            Unit.COMPLETE: float(n),
+            Unit.RETIRE: float(n),
+        }
+        return SimulationResult(
+            trace_name=trace.name,
+            plan=plan,
+            technology=self.config.technology,
+            instructions=n,
+            cycles=cycles,
+            issue_cycles=issue_cycles,
+            branches=events.branches,
+            mispredicts=events.mispredicts,
+            icache_misses=events.icache_misses,
+            dcache_accesses=events.dcache_accesses,
+            dcache_misses=events.dcache_misses,
+            store_misses=events.store_misses,
+            l2_misses=events.l2_misses,
+            memory_ops=events.memory_ops,
+            fp_ops=events.fp_ops,
+            unit_occupancy=occupancy,
+        )
+
+    # -- in-order timing recurrence -----------------------------------------
+    def _run_in_order(self, events: TraceEvents, cons: DepthConstants):
+        """The in-order timing chain over precomputed events.
+
+        Mirrors ``PipelineSimulator.simulate`` constraint for constraint;
+        only the stateful-structure walks and per-event bookkeeping are
+        replaced by the precomputed vectors.  Returns ``(cycles,
+        issue_cycles, agen_queue_occupancy, exec_queue_occupancy)``.
+        """
+        cfg = self.config
+        stream = events.stream
+
+        width = cfg.issue_width
+        agen_width = cfg.agen_width
+        mshr_n = cfg.mshr_entries
+        fetch_stages = cons.fetch_stages
+        off_agen = cons.off_agen
+        off_cache_delta = cons.off_cache - cons.off_agen
+        off_exec_rr = cons.off_exec_rr
+        cache_done_off = cons.cache_latency - 1
+        fpc_done_off = cons.exec_latency - 2
+        alu_latency = cons.alu_latency
+        merged = cons.cache_exec_merged
+        back_end = cons.back_end
+        ic_p = cons.ic_penalty
+        ic_l2_p = ic_p + cons.l2_penalty
+        dc_p = cons.dc_penalty
+        dc_l2_p = dc_p + cons.l2_penalty
+        # Folded constants: retire candidate for simple ops, and the two
+        # redirect offsets shifted into the decode domain (see below).
+        retire_off = cons.exec_latency - 1 + back_end
+        misp_off = cons.resolve_latency + fetch_stages  # resolve-1 +1 +fetch
+        btb_off = cons.decode_latency + fetch_stages
+
+        # Every in-order stage time is monotone non-decreasing, so each
+        # width-entry bandwidth ring collapses to a run-length counter: the
+        # ring constraint (x >= x[i-width] + 1) can only bind when the last
+        # ``width`` values all equal the current candidate, because every
+        # stage time is first clamped to its predecessor.  Only the MSHR
+        # ring stays a real ring (miss-return times are not monotone).
+        #
+        # Two more identities keep the loop lean: in order, decode is
+        # always exactly fetch + fetch_stages (the decode ring can only
+        # bind when the fetch ring already did), so one fused chain tracks
+        # decode directly with redirects pre-shifted by ``fetch_stages``;
+        # and ``ready1`` stores forwarding times pre-incremented so the
+        # operand comparison needs no +1.
+        ready1 = [1] * REGISTER_COUNT
+        mshr_ring = [0] * mshr_n
+        last_decode = fetch_stages
+        last_exec = last_agen = last_retire = 0
+        decode_n = exec_n = agen_n = retire_n = 0
+        redirect_d = fetch_stages
+        fp_unit_free = 0
+        complex_unit_free = 0
+        mm = 0
+        issue_cycles = 0
+        last_issue_cycle = -1
+        occ_agenq = 0
+        occ_execq = 0
+        MISPREDICT = _EV_MISPREDICT
+
+        for mem, s1, s1x, s2, dest_alu, dest_load, fpc, fpx, _st, b, fev, dev in stream:
+            # ---- fetch + decode (fused) ------------------------------------
+            if redirect_d > last_decode:
+                decode = redirect_d
+                decode_n = 1
+            elif decode_n < width:
+                decode = last_decode
+                decode_n += 1
+            else:
+                decode = last_decode + 1
+                decode_n = 1
+            if fev:
+                decode += ic_p if fev == 1 else ic_l2_p
+                decode_n = 1
+            last_decode = decode
+
+            # ---- address generation + cache (RX path) ----------------------
+            if mem:
+                floor = decode + off_agen
+                agen = floor
+                if s1 >= 0:
+                    operand = ready1[s1]
+                    if operand > agen:
+                        agen = operand
+                if agen > last_agen:
+                    agen_n = 1
+                elif agen_n < agen_width:
+                    agen = last_agen
+                    agen_n += 1
+                else:
+                    agen = last_agen + 1
+                    agen_n = 1
+                last_agen = agen
+                if agen > floor:
+                    occ_agenq += agen - floor
+
+                cache_start = agen + off_cache_delta
+                if dev:
+                    dpen = dc_p if dev == 1 else dc_l2_p
+                    slot_free = mshr_ring[mm]
+                    if cache_start < slot_free:
+                        cache_start = slot_free
+                    mshr_ring[mm] = cache_start + dpen
+                    mm += 1
+                    if mm == mshr_n:
+                        mm = 0
+                    cache_done = cache_start + cache_done_off + dpen
+                else:
+                    cache_done = cache_start + cache_done_off
+                path_ready = cache_done if merged else cache_done + 1
+                if dest_load >= 0:
+                    ready1[dest_load] = cache_done + 1
+            else:
+                path_ready = decode + off_exec_rr
+
+            # ---- execute issue (in-order, width-wide) -----------------------
+            # All issue constraints are maxes, so they commute; the
+            # bandwidth counter runs on the operand-resolved candidate and
+            # the rare FP/COMPLEX unit clamp fixes up the run state after.
+            execute = path_ready
+            if s1x >= 0:
+                operand = ready1[s1x]
+                if operand > execute:
+                    execute = operand
+            if s2 >= 0:
+                operand = ready1[s2]
+                if operand > execute:
+                    execute = operand
+            if execute > last_exec:
+                exec_n = 1
+            elif exec_n < width:
+                execute = last_exec
+                exec_n += 1
+            else:
+                execute = last_exec + 1
+                exec_n = 1
+            last_exec = execute
+
+            if fpc:
+                if fpc == 1:
+                    if execute < fp_unit_free:
+                        execute = last_exec = fp_unit_free
+                        exec_n = 1
+                    exec_done = execute + fpx + fpc_done_off
+                    fp_unit_free = exec_done + 1
+                else:
+                    if execute < complex_unit_free:
+                        execute = last_exec = complex_unit_free
+                        exec_n = 1
+                    exec_done = execute + fpx + fpc_done_off
+                    complex_unit_free = exec_done + 1
+                if dest_alu >= 0:
+                    ready1[dest_alu] = exec_done + 1
+                retire = exec_done + back_end
+            else:
+                if dest_alu >= 0:
+                    ready1[dest_alu] = execute + alu_latency
+                retire = execute + retire_off
+
+            if execute > path_ready:
+                occ_execq += execute - path_ready
+            if execute != last_issue_cycle:
+                issue_cycles += 1
+                last_issue_cycle = execute
+
+            # ---- branch resolution ------------------------------------------
+            if b:
+                if b == MISPREDICT:
+                    resolved = execute + misp_off
+                    if resolved > redirect_d:
+                        redirect_d = resolved
+                else:
+                    target_known = decode + btb_off
+                    if target_known > redirect_d:
+                        redirect_d = target_known
+
+            # ---- completion / retire ----------------------------------------
+            if retire > last_retire:
+                last_retire = retire
+                retire_n = 1
+            elif retire_n < width:
+                retire_n += 1
+            else:
+                last_retire += 1
+                retire_n = 1
+
+        return (
+            last_retire + 1,
+            issue_cycles,
+            occ_agenq + events.memory_ops,
+            occ_execq + events.n,
+        )
+
+    # -- out-of-order timing recurrence ---------------------------------------
+    def _run_out_of_order(self, events: TraceEvents, cons: DepthConstants):
+        """The out-of-order timing chain (rename + window + ROB).
+
+        Mirrors ``PipelineSimulator._simulate_out_of_order`` exactly; see
+        there for the semantics of the window, ROB backpressure and
+        conservative load/store disambiguation.
+        """
+        cfg = self.config
+        stream = events.stream
+
+        width = cfg.issue_width
+        agen_width = cfg.agen_width
+        mshr_n = cfg.mshr_entries
+        window = cfg.issue_window
+        rob = cfg.rob_size
+        rename_latency = 1  # the Fig. 2 rename stage, active out of order
+        fetch_stages = cons.fetch_stages
+        off_agen = cons.off_agen + rename_latency
+        off_cache_delta = cons.off_cache - cons.off_agen
+        off_exec_rr = cons.off_exec_rr + rename_latency
+        agen_done_off = cons.agen_latency - 1
+        cache_done_off = cons.cache_latency - 1
+        fpc_done_off = cons.exec_latency - 2
+        alu_latency = cons.alu_latency
+        resolve_latency = cons.resolve_latency
+        merged = cons.cache_exec_merged
+        back_end = cons.back_end
+        retire_off = cons.exec_latency - 1 + back_end
+        target_delay = cons.decode_latency + rename_latency
+        ic_p = cons.ic_penalty
+        ic_l2_p = ic_p + cons.l2_penalty
+        dc_p = cons.dc_penalty
+        dc_l2_p = dc_p + cons.l2_penalty
+
+        # Fetch, decode and retire are monotone, so their width-wide rings
+        # collapse to run-length counters (see the in-order loop; decode
+        # keeps its own chain here because ROB backpressure breaks the
+        # decode == fetch + fetch_stages identity).  The agen ring, issue
+        # window and ROB stay real rings: out-of-order agen/execute times
+        # are not monotone, and the ROB constraint compares against a
+        # value ``rob`` instructions back, not a run.
+        ready1 = [1] * REGISTER_COUNT
+        agen_ring = [-1] * agen_width
+        issue_ring = [-1] * window
+        retire_rob = [-1] * rob
+        issue_slots: dict = {}
+        mshr_ring = [0] * mshr_n
+        last_fetch = last_decode = last_retire = 0
+        fetch_n = decode_n = retire_n = 0
+        redirect = 0
+        fp_unit_free = 0
+        complex_unit_free = 0
+        mm = 0
+        am = 0
+        wi = 0
+        ri = 0
+        last_store_agen = 0
+        occ_agenq = 0
+        occ_execq = 0
+        MISPREDICT = _EV_MISPREDICT
+        get_slot = issue_slots.get
+
+        for mem, s1, s1x, s2, dest_alu, dest_load, fpc, fpx, st, b, fev, dev in stream:
+            # ---- fetch (in order) ---------------------------------------
+            if redirect > last_fetch:
+                fetch = redirect
+                fetch_n = 1
+            elif fetch_n < width:
+                fetch = last_fetch
+                fetch_n += 1
+            else:
+                fetch = last_fetch + 1
+                fetch_n = 1
+            if fev:
+                fetch += ic_p if fev == 1 else ic_l2_p
+                fetch_n = 1
+            last_fetch = fetch
+
+            # ---- decode + rename (in order, ROB backpressure) ------------
+            decode = fetch + fetch_stages
+            if decode < last_decode:
+                decode = last_decode
+            rob_slot = retire_rob[ri]
+            if rob_slot >= decode:
+                decode = rob_slot + 1
+            if decode > last_decode:
+                decode_n = 1
+            elif decode_n < width:
+                decode_n += 1
+            else:
+                decode += 1
+                decode_n = 1
+            last_decode = decode
+
+            # ---- address generation + cache ------------------------------
+            if mem:
+                floor = decode + off_agen
+                agen = floor
+                if s1 >= 0:
+                    operand = ready1[s1]
+                    if operand > agen:
+                        agen = operand
+                slot = agen_ring[am]
+                if slot >= agen:
+                    agen = slot + 1
+                agen_ring[am] = agen
+                am += 1
+                if am == agen_width:
+                    am = 0
+                if agen > floor:
+                    occ_agenq += agen - floor
+
+                cache_start = agen + off_cache_delta
+                if st:
+                    agen_done = agen + agen_done_off
+                    if agen_done > last_store_agen:
+                        last_store_agen = agen_done
+                elif cache_start <= last_store_agen:
+                    # Conservative disambiguation: wait for older stores'
+                    # addresses before accessing the cache.
+                    cache_start = last_store_agen + 1
+                if dev:
+                    dpen = dc_p if dev == 1 else dc_l2_p
+                    slot_free = mshr_ring[mm]
+                    if cache_start < slot_free:
+                        cache_start = slot_free
+                    mshr_ring[mm] = cache_start + dpen
+                    mm += 1
+                    if mm == mshr_n:
+                        mm = 0
+                    cache_done = cache_start + cache_done_off + dpen
+                else:
+                    cache_done = cache_start + cache_done_off
+                path_ready = cache_done if merged else cache_done + 1
+                if dest_load >= 0:
+                    ready1[dest_load] = cache_done + 1
+            else:
+                path_ready = decode + off_exec_rr
+
+            # ---- out-of-order issue ---------------------------------------
+            execute = path_ready
+            window_slot = issue_ring[wi]
+            if window_slot >= execute:
+                execute = window_slot + 1
+            if s1x >= 0:
+                operand = ready1[s1x]
+                if operand > execute:
+                    execute = operand
+            if s2 >= 0:
+                operand = ready1[s2]
+                if operand > execute:
+                    execute = operand
+            if fpc:
+                if fpc == 1:
+                    if execute < fp_unit_free:
+                        execute = fp_unit_free
+                elif execute < complex_unit_free:
+                    execute = complex_unit_free
+            count = get_slot(execute, 0)
+            while count >= width:
+                execute += 1
+                count = get_slot(execute, 0)
+            issue_slots[execute] = count + 1
+            issue_ring[wi] = execute
+            wi += 1
+            if wi == window:
+                wi = 0
+
+            if fpc:
+                exec_done = execute + fpx + fpc_done_off
+                if fpc == 1:
+                    fp_unit_free = exec_done + 1
+                else:
+                    complex_unit_free = exec_done + 1
+                if dest_alu >= 0:
+                    ready1[dest_alu] = exec_done + 1
+                retire = exec_done + back_end
+            else:
+                if dest_alu >= 0:
+                    ready1[dest_alu] = execute + alu_latency
+                retire = execute + retire_off
+            if execute > path_ready:
+                occ_execq += execute - path_ready
+
+            # ---- branch resolution ----------------------------------------
+            if b:
+                if b == MISPREDICT:
+                    resolved = execute + resolve_latency
+                    if resolved > redirect:
+                        redirect = resolved
+                else:
+                    target_known = decode + target_delay
+                    if target_known > redirect:
+                        redirect = target_known
+
+            # ---- in-order retirement ---------------------------------------
+            if retire > last_retire:
+                last_retire = retire
+                retire_n = 1
+            elif retire_n < width:
+                retire_n += 1
+            else:
+                last_retire += 1
+                retire_n = 1
+            retire_rob[ri] = last_retire
+            ri += 1
+            if ri == rob:
+                ri = 0
+
+        return (
+            last_retire + 1,
+            len(issue_slots),
+            occ_agenq + events.memory_ops,
+            occ_execq + events.n,
+        )
+
+
+def make_simulator(
+    config: "MachineConfig | None" = None, backend: str = DEFAULT_BACKEND
+):
+    """Instantiate the simulator for ``backend`` (``"reference"``/``"fast"``)."""
+    if backend == "reference":
+        return PipelineSimulator(config)
+    if backend == "fast":
+        return FastPipelineSimulator(config)
+    raise ValueError(f"unknown backend {backend!r}; choose from {list(BACKENDS)}")
+
+
+def simulate_fast(
+    trace: Trace, depth: "int | StagePlan", config: "MachineConfig | None" = None
+) -> SimulationResult:
+    """Module-level convenience wrapper around :class:`FastPipelineSimulator`."""
+    return FastPipelineSimulator(config).simulate(trace, depth)

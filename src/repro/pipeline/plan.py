@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from functools import lru_cache
+from functools import cached_property, lru_cache
 from typing import Dict, Mapping, Sequence, Tuple
 
 __all__ = ["Unit", "StagePlan", "MIN_DEPTH", "MAX_DEPTH", "PathOffsets"]
@@ -194,14 +194,18 @@ class StagePlan:
             latencies[unit] = self.group_latency(unit)
         return PathOffsets(starts=starts, latencies=latencies, total=offset)
 
-    @property
+    @cached_property
     def rx_offsets(self) -> PathOffsets:
-        """Offsets along the RX (memory) path; ``total`` equals the depth."""
+        """Offsets along the RX (memory) path; ``total`` equals the depth.
+
+        Cached per plan instance — and plan instances are cached per
+        depth — so repeated sweeps pay for the path walk once.
+        """
         return self.path_offsets(RX_PATH)
 
-    @property
+    @cached_property
     def rr_offsets(self) -> PathOffsets:
-        """Offsets along the RR (register-only) path."""
+        """Offsets along the RR (register-only) path (cached, see above)."""
         return self.path_offsets(RR_PATH)
 
     @property

@@ -47,6 +47,7 @@ from ..uarch.btb import BranchTargetBuffer
 from ..uarch.cache import Cache, CacheConfig
 from .plan import StagePlan, Unit
 from .results import SimulationResult
+from .timing import DepthConstants
 
 __all__ = ["MachineConfig", "PipelineSimulator", "simulate"]
 
@@ -177,31 +178,29 @@ class PipelineSimulator:
         if not self.config.in_order:
             return self._simulate_out_of_order(trace, plan)
         cfg = self.config
-        t_s = cfg.technology.cycle_time(plan.depth)
+        cons = DepthConstants.for_plan(cfg, plan)
 
-        rx = plan.rx_offsets
-        rr = plan.rr_offsets
-        decode_stages = plan.unit_stages[Unit.DECODE]
-        agen_stages = plan.unit_stages[Unit.AGEN]
-        cache_stages = plan.unit_stages[Unit.CACHE]
-        exec_stages = plan.unit_stages[Unit.EXECUTE]
-        fetch_stages = plan.unit_stages[Unit.FETCH]
-        exec_latency = rx.latencies[Unit.EXECUTE]
-        cache_latency = rx.latencies[Unit.CACHE]
+        decode_stages = cons.decode_stages
+        agen_stages = cons.agen_stages
+        cache_stages = cons.cache_stages
+        exec_stages = cons.exec_stages
+        fetch_stages = cons.fetch_stages
+        exec_latency = cons.exec_latency
+        cache_latency = cons.cache_latency
         # Offsets (cycles after decode start) at which each step may begin.
-        off_agen = rx.starts[Unit.AGEN]
-        off_cache = rx.starts[Unit.CACHE]
-        off_exec_rr = rr.starts[Unit.EXECUTE]
-        cache_exec_merged = plan.group_of(Unit.CACHE) == plan.group_of(Unit.EXECUTE)
+        off_agen = cons.off_agen
+        off_cache = cons.off_cache
+        off_exec_rr = cons.off_exec_rr
+        cache_exec_merged = cons.cache_exec_merged
         # Completion + retire cycles after the end of execute.
-        back_end = plan.unit_stages[Unit.COMPLETE] + plan.unit_stages[Unit.RETIRE]
+        back_end = cons.back_end
 
-        ic_penalty = max(1, round(cfg.icache.miss_latency_fo4 / t_s))
-        dc_penalty = max(1, round(cfg.dcache.miss_latency_fo4 / t_s))
-        l2_penalty = max(1, round(cfg.l2.miss_latency_fo4 / t_s))
+        ic_penalty = cons.ic_penalty
+        dc_penalty = cons.dc_penalty
+        l2_penalty = cons.l2_penalty
         # Forwarding latencies are fixed logic delays, clamped to the pipe.
-        alu_latency = min(max(1, round(cfg.alu_logic_fo4 / t_s)), exec_latency)
-        resolve_latency = min(max(1, round(cfg.branch_resolve_fo4 / t_s)), exec_latency)
+        alu_latency = cons.alu_latency
+        resolve_latency = cons.resolve_latency
 
         oracle = cfg.predictor_kind == "oracle"
         predictor = _make_predictor(cfg.predictor_kind, cfg.predictor_entries)
@@ -209,7 +208,7 @@ class PipelineSimulator:
         dcache = Cache(cfg.dcache)
         l2cache = Cache(cfg.l2)
         btb = BranchTargetBuffer(cfg.btb_entries) if cfg.btb_entries else None
-        decode_latency = rx.latencies[Unit.DECODE]
+        decode_latency = cons.decode_latency
         ic_line = cfg.icache.line_size
         if cfg.warmup:
             _warm_structures(trace, predictor, icache, dcache, l2cache, ic_line,
@@ -483,29 +482,27 @@ class PipelineSimulator:
         * retirement remains strictly in order.
         """
         cfg = self.config
-        t_s = cfg.technology.cycle_time(plan.depth)
+        cons = DepthConstants.for_plan(cfg, plan)
 
-        rx = plan.rx_offsets
-        rr = plan.rr_offsets
-        decode_stages = plan.unit_stages[Unit.DECODE]
-        agen_stages = plan.unit_stages[Unit.AGEN]
-        cache_stages = plan.unit_stages[Unit.CACHE]
-        exec_stages = plan.unit_stages[Unit.EXECUTE]
-        fetch_stages = plan.unit_stages[Unit.FETCH]
-        exec_latency = rx.latencies[Unit.EXECUTE]
-        cache_latency = rx.latencies[Unit.CACHE]
+        decode_stages = cons.decode_stages
+        agen_stages = cons.agen_stages
+        cache_stages = cons.cache_stages
+        exec_stages = cons.exec_stages
+        fetch_stages = cons.fetch_stages
+        exec_latency = cons.exec_latency
+        cache_latency = cons.cache_latency
         rename_latency = 1  # the Fig. 2 rename stage, active out of order
-        off_agen = rx.starts[Unit.AGEN] + rename_latency
-        off_cache = rx.starts[Unit.CACHE] + rename_latency
-        off_exec_rr = rr.starts[Unit.EXECUTE] + rename_latency
-        cache_exec_merged = plan.group_of(Unit.CACHE) == plan.group_of(Unit.EXECUTE)
-        back_end = plan.unit_stages[Unit.COMPLETE] + plan.unit_stages[Unit.RETIRE]
+        off_agen = cons.off_agen + rename_latency
+        off_cache = cons.off_cache + rename_latency
+        off_exec_rr = cons.off_exec_rr + rename_latency
+        cache_exec_merged = cons.cache_exec_merged
+        back_end = cons.back_end
 
-        ic_penalty = max(1, round(cfg.icache.miss_latency_fo4 / t_s))
-        dc_penalty = max(1, round(cfg.dcache.miss_latency_fo4 / t_s))
-        l2_penalty = max(1, round(cfg.l2.miss_latency_fo4 / t_s))
-        alu_latency = min(max(1, round(cfg.alu_logic_fo4 / t_s)), exec_latency)
-        resolve_latency = min(max(1, round(cfg.branch_resolve_fo4 / t_s)), exec_latency)
+        ic_penalty = cons.ic_penalty
+        dc_penalty = cons.dc_penalty
+        l2_penalty = cons.l2_penalty
+        alu_latency = cons.alu_latency
+        resolve_latency = cons.resolve_latency
 
         oracle = cfg.predictor_kind == "oracle"
         predictor = _make_predictor(cfg.predictor_kind, cfg.predictor_entries)
@@ -513,7 +510,7 @@ class PipelineSimulator:
         dcache = Cache(cfg.dcache)
         l2cache = Cache(cfg.l2)
         btb = BranchTargetBuffer(cfg.btb_entries) if cfg.btb_entries else None
-        decode_latency = rx.latencies[Unit.DECODE]
+        decode_latency = cons.decode_latency
         ic_line = cfg.icache.line_size
         if cfg.warmup:
             _warm_structures(trace, predictor, icache, dcache, l2cache, ic_line,
@@ -630,7 +627,7 @@ class PipelineSimulator:
                     # addresses before accessing the cache.
                     cache_start = last_store_agen + 1
                 if code == STORE:
-                    agen_done = agen + rx.latencies[Unit.AGEN] - 1
+                    agen_done = agen + cons.agen_latency - 1
                     if agen_done > last_store_agen:
                         last_store_agen = agen_done
                 hit = dcache.access(addresses[i])

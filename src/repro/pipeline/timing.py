@@ -1,0 +1,109 @@
+"""Per-depth timing constants shared by every simulation backend.
+
+For one (machine, stage plan) pair, everything the timing loops need —
+stage counts, path offsets, forwarding latencies and the cycle-denominated
+hazard penalties — is a pure function of the plan and the machine's FO4
+constants.  :class:`DepthConstants` computes that bundle once, in a single
+place, so the reference interpreter (:mod:`repro.pipeline.simulator`) and
+the vectorized kernel (:mod:`repro.pipeline.fastsim`) are guaranteed to
+agree on every constant by construction: the equivalence the
+cross-validation harness asserts starts here.
+
+The module deliberately depends only on :mod:`repro.pipeline.plan`; the
+machine configuration is consumed structurally (technology, cache
+geometries and logic-depth attributes), which keeps the import graph
+acyclic between the two simulator backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .plan import StagePlan, Unit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .simulator import MachineConfig
+
+__all__ = ["DepthConstants"]
+
+
+@dataclass(frozen=True)
+class DepthConstants:
+    """Every depth-dependent constant of the timing model.
+
+    Attributes:
+        plan: the stage plan the constants were derived from.
+        fetch_stages / decode_stages / agen_stages / cache_stages /
+            exec_stages: per-unit stage counts.
+        decode_latency / agen_latency / cache_latency / exec_latency:
+            per-unit occupied cycles along the RX path (merged units share
+            their group latency).
+        off_agen / off_cache: RX-path start offsets relative to decode
+            start, in cycles.
+        off_exec_rr: RR-path execute start offset relative to decode start.
+        cache_exec_merged: True when Cache-Access and the E-Unit share one
+            cycle group (contracted designs), in which case a load's
+            dependants may issue in the completion cycle itself.
+        back_end: completion + retire cycles appended after execute.
+        ic_penalty / dc_penalty / l2_penalty: hazard penalties in cycles at
+            this depth's clock — absolute FO4 latencies divided by the
+            cycle time, so deeper (faster-clocked) pipes pay more cycles.
+        alu_latency: cycles until a simple result forwards to dependants
+            (fixed logic delay, clamped to the execute pipe).
+        resolve_latency: cycles from execute-issue to a resolved branch
+            condition (same clamping).
+    """
+
+    plan: StagePlan
+    fetch_stages: int
+    decode_stages: int
+    agen_stages: int
+    cache_stages: int
+    exec_stages: int
+    decode_latency: int
+    agen_latency: int
+    cache_latency: int
+    exec_latency: int
+    off_agen: int
+    off_cache: int
+    off_exec_rr: int
+    cache_exec_merged: bool
+    back_end: int
+    ic_penalty: int
+    dc_penalty: int
+    l2_penalty: int
+    alu_latency: int
+    resolve_latency: int
+
+    @classmethod
+    def for_plan(cls, config: "MachineConfig", plan: StagePlan) -> "DepthConstants":
+        """Derive the constants for ``plan`` on ``config``'s machine."""
+        t_s = config.technology.cycle_time(plan.depth)
+        rx = plan.rx_offsets
+        rr = plan.rr_offsets
+        exec_latency = rx.latencies[Unit.EXECUTE]
+        return cls(
+            plan=plan,
+            fetch_stages=plan.unit_stages[Unit.FETCH],
+            decode_stages=plan.unit_stages[Unit.DECODE],
+            agen_stages=plan.unit_stages[Unit.AGEN],
+            cache_stages=plan.unit_stages[Unit.CACHE],
+            exec_stages=plan.unit_stages[Unit.EXECUTE],
+            decode_latency=rx.latencies[Unit.DECODE],
+            agen_latency=rx.latencies[Unit.AGEN],
+            cache_latency=rx.latencies[Unit.CACHE],
+            exec_latency=exec_latency,
+            off_agen=rx.starts[Unit.AGEN],
+            off_cache=rx.starts[Unit.CACHE],
+            off_exec_rr=rr.starts[Unit.EXECUTE],
+            cache_exec_merged=plan.group_of(Unit.CACHE) == plan.group_of(Unit.EXECUTE),
+            back_end=plan.unit_stages[Unit.COMPLETE] + plan.unit_stages[Unit.RETIRE],
+            ic_penalty=max(1, round(config.icache.miss_latency_fo4 / t_s)),
+            dc_penalty=max(1, round(config.dcache.miss_latency_fo4 / t_s)),
+            l2_penalty=max(1, round(config.l2.miss_latency_fo4 / t_s)),
+            alu_latency=min(max(1, round(config.alu_logic_fo4 / t_s)), exec_latency),
+            resolve_latency=min(
+                max(1, round(config.branch_resolve_fo4 / t_s)), exec_latency
+            ),
+        )

@@ -19,7 +19,7 @@ execution units dominate, queues and retire logic are light).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Mapping
 
 from ..pipeline.plan import Unit
 

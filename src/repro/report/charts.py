@@ -10,7 +10,7 @@ offline); the renderer is deliberately small and fully tested.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

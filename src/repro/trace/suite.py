@@ -25,7 +25,7 @@ emergent property of these knobs, not hard-coded anywhere.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Tuple
 
 import numpy as np
 

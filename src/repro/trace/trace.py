@@ -8,12 +8,12 @@ for the public API, tests and examples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 import numpy as np
 
-from ..isa import NO_REGISTER, Instruction, OpClass
+from ..isa import Instruction, OpClass
 
 __all__ = ["Trace", "TraceStats"]
 

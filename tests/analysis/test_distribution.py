@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis import OptimumDistribution, WorkloadOptimum, optimum_distribution
-from repro.analysis.optimum import OptimumEstimate
+from repro.analysis import OptimumDistribution, optimum_distribution
 from repro.trace import WorkloadClass, small_suite
 
 DEPTHS = (2, 4, 6, 8, 10, 12, 16, 20, 25)

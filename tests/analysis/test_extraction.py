@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis import extract_workload_params
 from repro.core import time_per_instruction
-from repro.pipeline import simulate
 
 
 class TestExtraction:

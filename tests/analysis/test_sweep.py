@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis import DEFAULT_DEPTHS, DepthSweep, run_depth_sweep
+from repro.analysis import DEFAULT_DEPTHS, run_depth_sweep
 from repro.power import UnitPowerModel, power_report
 from repro.trace import generate_trace
 

@@ -16,7 +16,6 @@ from repro.core import (
     GatingStyle,
     ParameterError,
     PowerParams,
-    TechnologyParams,
     WorkloadParams,
     calibrate_leakage,
     feasibility,

@@ -1,6 +1,5 @@
 """Unit tests for the theory parameter objects."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests of the sensitivity sweeps (paper Figs. 8/9 and Sec. 2.2)."""
 
-import numpy as np
 import pytest
 
 from repro.core import (
@@ -106,7 +105,7 @@ class TestGatingFractionSweep:
         assert depths == sorted(depths)
 
     def test_fraction_one_is_ungated(self, space):
-        from repro.core import GatingStyle, gating_fraction_sweep, gating_comparison
+        from repro.core import gating_fraction_sweep, gating_comparison
 
         curves = gating_fraction_sweep(space, fractions=(1.0,))
         ungated, _gated = gating_comparison(space)

@@ -1,7 +1,6 @@
 """Job identity: canonical fingerprints and content-addressed keys."""
 
 import dataclasses
-import math
 
 import pytest
 
@@ -87,6 +86,15 @@ class TestCacheKey:
         monkeypatch.setattr("repro.__version__", "999.0.0-test")
         assert SimJob(spec, DEPTHS).cache_key() != before
 
+    def test_backend_changes_key(self, spec):
+        reference = SimJob(spec, DEPTHS, backend="reference")
+        fast = SimJob(spec, DEPTHS, backend="fast")
+        assert reference.cache_key() != fast.cache_key()
+        assert SimJob(spec, DEPTHS).cache_key() == reference.cache_key()
+
+    def test_fingerprint_names_backend(self, spec):
+        assert SimJob(spec, DEPTHS, backend="fast").fingerprint()["backend"] == "fast"
+
     def test_fingerprint_names_schema_and_version(self, spec):
         import repro
 
@@ -115,3 +123,7 @@ class TestSimJobValidation:
         job = SimJob(spec, [2.0, 4.0])
         assert job.depths == (2, 4)
         assert all(isinstance(d, int) for d in job.depths)
+
+    def test_backend_must_be_known(self, spec):
+        with pytest.raises(ValueError, match="backend"):
+            SimJob(spec, DEPTHS, backend="warp")

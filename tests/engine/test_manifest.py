@@ -78,6 +78,33 @@ class TestLoad:
         with pytest.raises(ManifestError, match=match):
             load_manifest(write_manifest(tmp_path, data))
 
+    def test_backend_inherits_and_overrides(self, tmp_path):
+        data = {
+            "defaults": {"depths": [2, 4], "backend": "fast"},
+            "sweeps": [
+                {"workloads": ["gzip"]},
+                {"workloads": ["mcf"], "backend": "reference"},
+            ],
+        }
+        manifest = load_manifest(write_manifest(tmp_path, data))
+        assert manifest.requests[0].backend == "fast"
+        assert manifest.requests[1].backend == "reference"
+
+    def test_backend_cli_default_fills_unset(self, tmp_path):
+        path = write_manifest(tmp_path, TINY)
+        assert all(
+            r.backend == "fast"
+            for r in load_manifest(path, default_backend="fast").requests
+        )
+        assert all(
+            r.backend == "reference" for r in load_manifest(path).requests
+        )
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        data = {"sweeps": [{"workloads": ["gzip"], "backend": "warp"}]}
+        with pytest.raises(ManifestError, match="unknown backend"):
+            load_manifest(write_manifest(tmp_path, data))
+
     def test_invalid_json(self, tmp_path):
         path = tmp_path / "broken.json"
         path.write_text("{not json", encoding="utf-8")
@@ -104,7 +131,7 @@ class TestRun:
         assert len(tables) == 2
         assert "batch sweep 'named': 2 workloads" in tables[0]
         assert "gzip" in tables[0] and "mcf" in tables[0]
-        assert "BIPS^2/W (un-gated)" in tables[1]
+        assert "BIPS^2/W (un-gated, reference backend)" in tables[1]
         assert "engine: " in out  # the closing RunReport summary
         # gzip appears at two trace lengths -> 3 distinct jobs, none cached.
         assert engine.report.jobs == 3

@@ -122,6 +122,29 @@ class TestCaching:
         assert engine.report.cache_hits == 0
 
 
+class TestBackends:
+    def test_fast_backend_executes_and_matches_reference(self, tmp_path, spec):
+        engine = cached_engine(tmp_path)
+        (reference,) = engine.run(
+            jobs_for_specs([spec], DEPTHS, trace_length=LENGTH, backend="reference")
+        )
+        (fast,) = engine.run(
+            jobs_for_specs([spec], DEPTHS, trace_length=LENGTH, backend="fast")
+        )
+        assert payload_dicts(fast) == payload_dicts(reference)
+        # Backend-aware keys: the fast job executed, it was not served the
+        # reference job's cache entry.
+        assert not fast.cache_hit
+        assert engine.report.executed == 2
+
+    def test_fast_backend_cache_round_trip(self, tmp_path, spec):
+        job = SimJob(spec, DEPTHS, trace_length=LENGTH, backend="fast")
+        cold = cached_engine(tmp_path).run([job])[0]
+        warm = cached_engine(tmp_path).run([job])[0]
+        assert not cold.cache_hit and warm.cache_hit
+        assert payload_dicts(warm) == payload_dicts(cold)
+
+
 class TestRetries:
     def test_flaky_job_retries_then_succeeds(self, tmp_path, job):
         failures = {"left": 1}

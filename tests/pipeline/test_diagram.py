@@ -1,6 +1,5 @@
 """Tests of the pipeline diagram renderer."""
 
-import pytest
 
 from repro.pipeline import StagePlan, render_depth_table, render_plan
 

@@ -1,0 +1,134 @@
+"""Fast-kernel equivalence: fastsim must be indistinguishable from the
+reference interpreter.
+
+The contract under test is the one ``repro validate-kernel`` enforces in
+CI: for every (workload, machine, depth) point the fast backend
+reproduces the reference :class:`SimulationResult` field-for-field — CPI
+within 1e-9, hazard counts exactly — and the optimum depth extracted
+through the power-accounting path is identical.  The machine grid
+crosses the model's behavioural switches (in-order/out-of-order,
+BTB pressure, cold bimodal predictor, oracle + multi-entry MSHR) so
+every event path of the trace analysis is exercised.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.optimum import optimum_from_sweep
+from repro.analysis.sweep import sweep_from_results
+from repro.analysis.validate import (
+    default_machine_grid,
+    format_report,
+    validate_kernel,
+)
+from repro.pipeline.fastsim import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    FastPipelineSimulator,
+    analyze_trace,
+    make_simulator,
+    simulate_fast,
+)
+from repro.pipeline.simulator import MachineConfig, PipelineSimulator
+from repro.trace import generate_trace
+from repro.trace.trace import Trace
+
+DEPTHS = (2, 3, 4, 6, 8, 13, 20)
+
+MACHINES = sorted(default_machine_grid(small=False).items())
+
+
+def _assert_results_equal(reference, fast, context):
+    for field in dataclasses.fields(reference):
+        a = getattr(reference, field.name)
+        b = getattr(fast, field.name)
+        assert a == b, f"{context}: field {field.name!r} diverges: {a!r} != {b!r}"
+    assert fast.cpi == pytest.approx(reference.cpi, rel=1e-9, abs=0.0)
+
+
+@pytest.mark.parametrize(("label", "machine"), MACHINES, ids=[m[0] for m in MACHINES])
+def test_fast_matches_reference_everywhere(label, machine, modern_trace, float_trace):
+    """Every SimulationResult field matches on every machine variant."""
+    reference_sim = PipelineSimulator(machine)
+    fast_sim = FastPipelineSimulator(machine)
+    for trace in (modern_trace, float_trace):
+        for depth in DEPTHS:
+            _assert_results_equal(
+                reference_sim.simulate(trace, depth),
+                fast_sim.simulate(trace, depth),
+                f"{trace.name}/{label}/depth={depth}",
+            )
+
+
+@pytest.mark.parametrize("in_order", [True, False], ids=["in-order", "out-of-order"])
+def test_fast_reproduces_optimum_depth(in_order, modern_spec):
+    """The extracted optimum is identical through the power-accounting path."""
+    machine = MachineConfig(in_order=in_order)
+    trace = generate_trace(modern_spec, 2000)
+    reference = [PipelineSimulator(machine).simulate(trace, d) for d in DEPTHS]
+    fast = FastPipelineSimulator(machine).simulate_depths(trace, DEPTHS)
+    opt_ref = optimum_from_sweep(
+        sweep_from_results(reference, DEPTHS, spec=modern_spec), 3.0
+    )
+    opt_fast = optimum_from_sweep(
+        sweep_from_results(fast, DEPTHS, spec=modern_spec), 3.0
+    )
+    assert opt_fast.depth == opt_ref.depth
+
+
+def test_trace_analysis_is_shared_across_depths(modern_trace):
+    """One trace analysis serves every depth: the sweep's raison d'etre."""
+    sim = FastPipelineSimulator()
+    events = sim.events_for(modern_trace)
+    assert sim.events_for(modern_trace) is events  # cached, not recomputed
+    sim.simulate(modern_trace, 4)
+    sim.simulate(modern_trace, 20)
+    assert sim.events_for(modern_trace) is events  # still the same analysis
+
+
+def test_trace_events_aggregates_match_reference(modern_trace):
+    """The analysis counters equal the reference simulator's counters."""
+    machine = MachineConfig()
+    events = analyze_trace(modern_trace, machine)
+    reference = PipelineSimulator(machine).simulate(modern_trace, 8)
+    assert events.n == reference.instructions
+    assert len(events.stream) == events.n
+    assert events.branches == reference.branches
+    assert events.mispredicts == reference.mispredicts
+    assert events.icache_misses == reference.icache_misses
+    assert events.dcache_accesses == reference.dcache_accesses
+    assert events.dcache_misses == reference.dcache_misses
+    assert events.store_misses == reference.store_misses
+    assert events.l2_misses == reference.l2_misses
+    assert events.memory_ops == reference.memory_ops
+    assert events.fp_ops == reference.fp_ops
+
+
+def test_analyze_trace_rejects_empty_trace():
+    empty = Trace.from_instructions("empty", [])
+    with pytest.raises(ValueError):
+        analyze_trace(empty, MachineConfig())
+
+
+def test_make_simulator_dispatch():
+    assert isinstance(make_simulator(backend="reference"), PipelineSimulator)
+    assert isinstance(make_simulator(backend="fast"), FastPipelineSimulator)
+    assert DEFAULT_BACKEND in BACKENDS
+    with pytest.raises(ValueError):
+        make_simulator(backend="warp")
+
+
+def test_simulate_fast_wrapper(modern_trace):
+    result = simulate_fast(modern_trace, 8)
+    assert result == PipelineSimulator().simulate(modern_trace, 8)
+
+
+def test_validate_kernel_small_passes():
+    """The CI gate itself: the reduced validation grid is clean."""
+    report = validate_kernel(small=True, trace_length=600)
+    assert report.passed, format_report(report)
+    assert report.points == len(report.workloads) * len(report.machines) * len(
+        report.depths
+    )
+    assert "PASS" in format_report(report)

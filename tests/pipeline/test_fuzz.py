@@ -6,14 +6,13 @@ invariants that must hold for *any* input — the checks that catch
 logic regressions no example-based test anticipates.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.isa import OpClass
-from repro.pipeline import MachineConfig, StagePlan, Unit, simulate
-from repro.trace import WorkloadClass, WorkloadSpec, generate_trace
+from repro.pipeline import MachineConfig, Unit, simulate
+from repro.trace import Trace, WorkloadClass, WorkloadSpec, generate_trace
 
 MIXES = st.sampled_from([
     # (rr, load, store, rxalu, branch, fp, complex)
@@ -100,10 +99,27 @@ class TestPipelineInvariants:
     )
     @settings(max_examples=10, deadline=None)
     def test_longer_traces_take_longer(self, seed, length_a):
+        # The invariant must compare a trace against a true prefix of the
+        # SAME instruction stream: generate_trace(spec, n) shapes content by
+        # total length, so two independently generated traces of different
+        # lengths are not comparable (a longer one can legitimately simulate
+        # in fewer cycles).
         spec = build_spec((0.4, 0.15, 0.1, 0.15, 0.15, 0.03, 0.02),
                           0.9, 0.9, 4.0, 0.1, seed)
-        short = simulate(generate_trace(spec, length_a), 10)
-        long = simulate(generate_trace(spec, length_a * 2), 10)
+        full = generate_trace(spec, length_a * 2)
+        prefix = Trace(
+            name=full.name,
+            opclass=full.opclass[:length_a],
+            pc=full.pc[:length_a],
+            dest=full.dest[:length_a],
+            src1=full.src1[:length_a],
+            src2=full.src2[:length_a],
+            address=full.address[:length_a],
+            taken=full.taken[:length_a],
+            fp_cycles=full.fp_cycles[:length_a],
+        )
+        short = simulate(prefix, 10)
+        long = simulate(full, 10)
         assert long.cycles > short.cycles
 
     @given(case=fuzz_cases())

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import TechnologyParams
-from repro.pipeline import StagePlan, Unit, simulate
+from repro.pipeline import Unit, simulate
 
 
 @pytest.fixture(scope="module")

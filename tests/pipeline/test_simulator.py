@@ -4,9 +4,8 @@ micro-traces whose timing is analytically known."""
 import numpy as np
 import pytest
 
-from repro.core import TechnologyParams
 from repro.isa import NO_REGISTER, OpClass
-from repro.pipeline import MachineConfig, PipelineSimulator, simulate
+from repro.pipeline import MachineConfig, simulate
 from repro.trace.trace import Trace
 from repro.uarch import CacheConfig
 

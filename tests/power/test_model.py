@@ -1,6 +1,5 @@
 """Tests of power accounting over simulation results."""
 
-import numpy as np
 import pytest
 
 from repro.pipeline import StagePlan, Unit, simulate

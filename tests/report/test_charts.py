@@ -1,6 +1,5 @@
 """Tests of the ASCII chart renderer."""
 
-import numpy as np
 import pytest
 
 from repro.report import Series, histogram_chart, line_chart
@@ -20,9 +19,9 @@ class TestLineChart:
     def test_dimensions(self):
         chart = line_chart([Series("a", [1, 2, 3], [1, 4, 9])], width=40, height=10)
         lines = chart.splitlines()
-        plot_lines = [l for l in lines if "|" in l and l.strip().endswith("|")]
+        plot_lines = [ln for ln in lines if "|" in ln and ln.strip().endswith("|")]
         assert len(plot_lines) == 10
-        assert all(len(l.split("|")[1]) == 40 for l in plot_lines)
+        assert all(len(ln.split("|")[1]) == 40 for ln in plot_lines)
 
     def test_title_and_legend(self):
         chart = line_chart(
@@ -41,7 +40,7 @@ class TestLineChart:
     def test_peak_placed_at_top_row(self):
         series = Series("a", [1, 2, 3, 4, 5], [0, 1, 5, 1, 0])
         chart = line_chart([series], width=20, height=8)
-        rows = [l for l in chart.splitlines() if "|" in l]
+        rows = [ln for ln in chart.splitlines() if "|" in ln]
         assert "*" in rows[0]  # maximum lands on the first (top) plot row
 
     def test_constant_series_handled(self):

@@ -72,6 +72,13 @@ class TestSweep:
         out = capsys.readouterr().out
         assert "simulated" in out and "theory" in out
 
+    def test_sweep_backends_agree(self, capsys):
+        assert main(["sweep", "gzip", "--length", "1500", "--no-chart"]) == 0
+        reference = capsys.readouterr().out
+        assert main(["sweep", "gzip", "--length", "1500", "--no-chart",
+                     "--backend", "fast"]) == 0
+        assert capsys.readouterr().out == reference
+
     def test_unknown_workload(self):
         with pytest.raises(KeyError):
             main(["sweep", "not-a-workload", "--length", "500"])
@@ -86,6 +93,21 @@ class TestSimulate:
 
     def test_out_of_order_flag(self, capsys):
         assert main(["simulate", "gzip", "--length", "1500", "--out-of-order"]) == 0
+
+    def test_fast_backend_same_summary(self, capsys):
+        assert main(["simulate", "swim", "--depth", "10", "--length", "1500"]) == 0
+        reference = capsys.readouterr().out
+        assert main(["simulate", "swim", "--depth", "10", "--length", "1500",
+                     "--backend", "fast"]) == 0
+        assert capsys.readouterr().out == reference
+
+
+class TestValidateKernel:
+    def test_small_grid_passes(self, capsys):
+        assert main(["validate-kernel", "--small", "--length", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "in-order, out-of-order" in out
 
 
 class TestWorkloads:

@@ -14,7 +14,6 @@ import pathlib
 import subprocess
 import sys
 
-import pytest
 
 from repro.engine import SimJob
 from repro.trace import Trace, generate_trace, get_workload

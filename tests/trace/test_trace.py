@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.isa import NO_REGISTER, Instruction, OpClass
+from repro.isa import Instruction, OpClass
 from repro.trace import Trace
 
 
