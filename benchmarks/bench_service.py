@@ -1,0 +1,221 @@
+"""Serving-layer benchmark: coalescing collapse + cache-hierarchy wins.
+
+Boots the daemon in-process (thread executor, fast backend, private disk
+cache) and measures the two behaviours the serving layer exists for:
+
+1. **Herd phase** — every client simultaneously requests the *same* cold
+   key: single-flight must collapse the thundering herd to exactly one
+   computed job, everyone else coalesced.
+2. **Zipf phase** — a closed-loop, zipf-skewed mix (hot head, cold tail)
+   over a workload set: after the tail warms, the memory LRU + disk
+   cache must serve ≥ 90 % of requests without touching the simulator,
+   and throughput/p50/p99 quantify the win.
+
+Two entry points, mirroring ``bench_fastsim.py``:
+
+* ``pytest benchmarks/bench_service.py --benchmark-only`` — the recorded
+  acceptance run; asserts the hit-ratio floor and the herd collapse, and
+  writes ``benchmarks/results/service.txt``.
+* ``python benchmarks/bench_service.py [--quick]`` — standalone/CI smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import pathlib
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.service.app import ServiceState
+from repro.service.config import ServiceConfig
+from repro.service.http import ServiceServer
+from repro.service.loadgen import HttpClient, LoadReport, run_load
+from repro.trace.suite import suite_names
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+HERD_CLIENTS = 8
+ZIPF_CLIENTS = 8
+ZIPF_REQUESTS = 75          # per client: 600 total over 16 workloads
+ZIPF_SKEW = 1.2
+WORKLOAD_COUNT = 16
+TRACE_LENGTH = 2000
+HIT_RATIO_FLOOR = 0.90
+
+QUICK_REQUESTS = 20
+QUICK_WORKLOADS = 8
+
+
+@dataclass(frozen=True)
+class ServiceBench:
+    """Both phases of one benchmark run."""
+
+    herd_computed: int
+    herd_coalesced: int
+    zipf: LoadReport
+    server_hit_ratio: float
+    lru_evictions: int
+
+
+async def _herd_phase(port: int, workload: str, length: int) -> "tuple[int, int]":
+    """All clients hit one cold key at once; count computed vs coalesced."""
+    clients = [HttpClient("127.0.0.1", port) for _ in range(HERD_CLIENTS)]
+    for client in clients:
+        await client.connect()
+    body = {"workload": workload, "length": length}
+    responses = await asyncio.gather(
+        *(client.request_json("POST", "/v1/sweep", body) for client in clients)
+    )
+    for client in clients:
+        await client.close()
+    sources = [response.get("source") for status, response in responses if status == 200]
+    return sources.count("computed"), sources.count("coalesced")
+
+
+async def _run(
+    requests_per_client: int, workload_count: int, length: int
+) -> ServiceBench:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as cache_dir:
+        config = ServiceConfig(
+            host="127.0.0.1",
+            port=0,
+            backend="fast",
+            executor="thread",
+            workers=4,
+            concurrency=8,
+            queue_limit=64,
+            memory_entries=workload_count * 2,
+            cache_dir=str(pathlib.Path(cache_dir) / "disk"),
+        )
+        server = ServiceServer(ServiceState(config))
+        await server.start()
+        try:
+            names = list(suite_names())[:workload_count]
+            herd_computed, herd_coalesced = await _herd_phase(
+                server.port, names[-1], length
+            )
+            zipf = await run_load(
+                "127.0.0.1",
+                server.port,
+                clients=ZIPF_CLIENTS,
+                requests_per_client=requests_per_client,
+                workloads=names,
+                zipf_skew=ZIPF_SKEW,
+                length=length,
+            )
+            return ServiceBench(
+                herd_computed=herd_computed,
+                herd_coalesced=herd_coalesced,
+                zipf=zipf,
+                server_hit_ratio=server.state.hit_ratio(),
+                lru_evictions=server.state.lru.evictions,
+            )
+        finally:
+            await server.drain(timeout=5.0)
+
+
+def measure(
+    requests_per_client: int = ZIPF_REQUESTS,
+    workload_count: int = WORKLOAD_COUNT,
+    length: int = TRACE_LENGTH,
+) -> ServiceBench:
+    return asyncio.run(_run(requests_per_client, workload_count, length))
+
+
+def format_result(bench: ServiceBench) -> str:
+    zipf = bench.zipf
+    sources = ", ".join(
+        f"{name} {count}" for name, count in sorted(zipf.sources.items())
+    )
+    return "\n".join(
+        [
+            "Serving-layer benchmark — zipf-skewed closed-loop mix "
+            f"(skew {ZIPF_SKEW}, {zipf.clients} clients, {zipf.requests} requests, "
+            f"trace length {TRACE_LENGTH})",
+            f"  herd collapse     : {bench.herd_computed} computed / "
+            f"{bench.herd_coalesced} coalesced of {HERD_CLIENTS} identical "
+            "concurrent requests",
+            f"  throughput        : {zipf.throughput:7.1f} req/s",
+            f"  latency           : p50 {zipf.p50 * 1e3:7.2f} ms, "
+            f"p99 {zipf.p99 * 1e3:7.2f} ms",
+            f"  client hit ratio  : {zipf.hit_ratio:.1%} (memory+disk)",
+            f"  server hit ratio  : {bench.server_hit_ratio:.1%}",
+            f"  sources           : {sources}",
+            f"  rejected (429)    : {zipf.rejected}, errors {zipf.errors}, "
+            f"lru evictions {bench.lru_evictions}",
+        ]
+    )
+
+
+def _check(bench: ServiceBench, hit_floor: float) -> "list[str]":
+    failures = []
+    if bench.herd_computed != 1:
+        failures.append(
+            f"herd phase computed {bench.herd_computed} jobs (expected exactly 1)"
+        )
+    if bench.herd_coalesced != HERD_CLIENTS - 1:
+        failures.append(
+            f"herd phase coalesced {bench.herd_coalesced} "
+            f"(expected {HERD_CLIENTS - 1})"
+        )
+    if bench.zipf.hit_ratio < hit_floor:
+        failures.append(
+            f"hit ratio {bench.zipf.hit_ratio:.1%} below the {hit_floor:.0%} floor"
+        )
+    if bench.zipf.errors:
+        failures.append(f"{bench.zipf.errors} transport errors")
+    return failures
+
+
+def test_service_throughput(benchmark, record_table):
+    """Recorded run: herd collapses to one compute; hit ratio >= 90%."""
+    from conftest import run_once
+
+    bench = run_once(benchmark, measure)
+    table = format_result(bench)
+    record_table("service", table)
+    failures = _check(bench, HIT_RATIO_FLOOR)
+    assert not failures, f"{failures}\n{table}"
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: fewer requests and workloads, same assertions",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        bench = measure(
+            requests_per_client=QUICK_REQUESTS, workload_count=QUICK_WORKLOADS
+        )
+    else:
+        bench = measure()
+
+    table = format_result(bench)
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = RESULTS_DIR / ("service_ci.txt" if args.quick else "service.txt")
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+    with record.open("a", encoding="utf-8") as handle:
+        handle.write(f"[{stamp}]\n{table}\n")
+
+    failures = _check(bench, HIT_RATIO_FLOOR)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(
+        f"PASS: herd 1+{bench.herd_coalesced} collapse, "
+        f"hit ratio {bench.zipf.hit_ratio:.1%} (floor {HIT_RATIO_FLOOR:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

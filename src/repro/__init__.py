@@ -18,6 +18,10 @@ Subpackages:
 * :mod:`repro.engine` — the parallel batch-execution engine: process-pool
   scheduling, content-addressed result caching and run observability for
   every simulation batch (see ``docs/ENGINE.md``).
+* :mod:`repro.service` — the asyncio serving layer: ``repro serve`` HTTP
+  daemon with single-flight request coalescing, an in-memory LRU over the
+  engine's disk cache, bounded admission with graceful drain, Prometheus
+  metrics and a zipf-mix load harness (see ``docs/SERVICE.md``).
 * :mod:`repro.experiments` — one driver per paper figure.
 
 Quickstart::
@@ -29,6 +33,6 @@ Quickstart::
 
 from . import core
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = ["core", "__version__"]

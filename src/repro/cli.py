@@ -12,6 +12,10 @@ Commands:
 * ``roadmap``   — project the optimum across technology nodes.
 * ``figures``   — regenerate the paper's figures (the experiments runner).
 * ``batch``     — execute a JSON manifest of depth sweeps via the engine.
+* ``serve``     — the long-lived asyncio HTTP daemon (request coalescing,
+  in-memory LRU over the disk cache, backpressure; see docs/SERVICE.md).
+* ``cache``     — inspect (``stats``) or empty (``clear``) the on-disk
+  result cache the engine and the daemon share.
 
 The simulation-heavy commands (``sweep``, ``figures``, ``batch``) accept
 ``--jobs N`` (parallel workers), ``--cache-dir``, ``--no-cache`` and
@@ -131,6 +135,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="clear the result cache before executing the manifest",
     )
     _add_engine_flags(batch)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio HTTP serving daemon (see docs/SERVICE.md)",
+    )
+    from .service.config import add_service_arguments
+
+    add_service_arguments(serve)
+
+    cache = sub.add_parser("cache", help="inspect or empty the on-disk result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry count and on-disk size of the result cache"
+    )
+    cache_clear = cache_sub.add_parser(
+        "clear", help="remove every entry from the result cache"
+    )
+    for cache_cmd in (cache_stats, cache_clear):
+        cache_cmd.add_argument(
+            "--cache-dir", type=str, default=None, metavar="DIR",
+            help="cache directory (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro/engine)",
+        )
 
     return parser
 
@@ -271,6 +298,41 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import logging
+
+    from .service.config import config_from_args
+    from .service.http import serve
+
+    config = config_from_args(args)
+    logging.basicConfig(
+        level=getattr(logging, config.log_level.upper(), logging.INFO),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        pass
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from .engine.cache import ResultCache, default_cache_dir
+
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.cache_command == "stats":
+        entries = len(cache)
+        size = cache.size_bytes()
+        print(f"directory : {cache.directory}")
+        print(f"entries   : {entries}")
+        print(f"size      : {size} bytes ({size / 1024.0 / 1024.0:.2f} MiB)")
+        return 0
+    removed = cache.clear()
+    print(f"cleared {removed} cache entries from {cache.directory}")
+    return 0
+
+
 def _cmd_validate_kernel(args) -> int:
     from .analysis.validate import format_report, validate_kernel
 
@@ -314,6 +376,8 @@ _COMMANDS = {
     "roadmap": _cmd_roadmap,
     "figures": _cmd_figures,
     "batch": _cmd_batch,
+    "serve": _cmd_serve,
+    "cache": _cmd_cache,
 }
 
 

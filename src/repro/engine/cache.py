@@ -5,9 +5,11 @@ Layout: one JSON file per cache key under ``<dir>/<key[:2]>/<key>.json``
 
 Guarantees:
 
-* **atomic writes** — payloads are written to a same-directory temp file
-  and ``os.replace``\\ d into place, so readers never observe a partial
-  entry even under concurrent writers;
+* **atomic writes** — payloads are written to a uniquely named
+  same-directory temp file (``tempfile.mkstemp``, so concurrent writers
+  in the same *or* different processes never share a temp path), fsynced,
+  and ``os.replace``\\ d into place: readers never observe a partial
+  entry, even across a crash mid-write;
 * **corruption tolerance** — unreadable or undecodable entries are logged,
   deleted (best effort) and reported as misses, never raised;
 * **implicit invalidation** — keys embed ``repro.__version__``, the
@@ -25,6 +27,7 @@ import json
 import logging
 import os
 import pathlib
+import tempfile
 from dataclasses import dataclass
 
 __all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
@@ -97,12 +100,27 @@ class ResultCache:
         return payload
 
     def put(self, key: str, payload: dict) -> pathlib.Path:
-        """Atomically store ``payload`` under ``key``; returns the entry path."""
+        """Atomically store ``payload`` under ``key``; returns the entry path.
+
+        Crash- and concurrency-safe: the payload goes to a uniquely named
+        temp file in the entry's own directory (unique per call, so
+        concurrent writers — threads of one server process or separate
+        processes — cannot collide), is flushed and fsynced, then renamed
+        over the entry in one ``os.replace``.  A reader therefore sees
+        either the old complete entry or the new complete entry, never a
+        torn one, even if the writer dies mid-write.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:16]}.", suffix=".tmp", dir=path.parent
+        )
+        tmp = pathlib.Path(tmp_name)
         try:
-            tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload, sort_keys=True))
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)
@@ -134,6 +152,18 @@ class ResultCache:
         if not self.directory.exists():
             return 0
         return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def size_bytes(self) -> int:
+        """Total on-disk bytes held by cache entries (best effort)."""
+        if not self.directory.exists():
+            return 0
+        total = 0
+        for entry in self.directory.glob("*/*.json"):
+            try:
+                total += entry.stat().st_size
+            except OSError:  # pragma: no cover - entry vanished mid-scan
+                continue
+        return total
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ResultCache({str(self.directory)!r}, {self.stats})"

@@ -1,0 +1,62 @@
+"""The serving layer: ``repro serve``, an asyncio HTTP daemon.
+
+Turns the optimum-depth solver into a long-lived online API with the
+same shape as an inference server — hot state in memory, request
+deduplication, bounded queues:
+
+* :mod:`repro.service.config` — :class:`ServiceConfig`, the single
+  shared home of every serving default (env-var overridable).
+* :mod:`repro.service.lru` — the bounded in-memory payload LRU layered
+  over the engine's on-disk result cache.
+* :mod:`repro.service.singleflight` — coalesces concurrent requests for
+  the same content-addressed job key into one computation.
+* :mod:`repro.service.app` — the resolution hierarchy (memory → disk →
+  compute), admission control / backpressure and the endpoint handlers.
+* :mod:`repro.service.metrics` — Prometheus-text counters, gauges and
+  latency histograms behind ``GET /metrics``.
+* :mod:`repro.service.http` — the stdlib asyncio HTTP/1.1 transport
+  with graceful drain on SIGTERM.
+* :mod:`repro.service.loadgen` — a closed-loop, zipf-skewed load
+  generator (also ``python -m repro.service.loadgen``).
+
+See ``docs/SERVICE.md`` for architecture, endpoints and tuning.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from .app import (
+    BadRequest,
+    Overloaded,
+    Resolution,
+    ServiceState,
+    handle_optimum,
+    handle_sweep,
+    job_from_request,
+)
+from .config import ServiceConfig, add_service_arguments, config_from_args
+from .http import ServiceServer, serve
+from .lru import LRUCache
+from .metrics import MetricsRegistry
+from .singleflight import SingleFlight
+
+__all__ = [
+    "BadRequest",
+    "LRUCache",
+    "MetricsRegistry",
+    "Overloaded",
+    "Resolution",
+    "ServiceConfig",
+    "ServiceServer",
+    "ServiceState",
+    "SingleFlight",
+    "add_service_arguments",
+    "config_from_args",
+    "handle_optimum",
+    "handle_sweep",
+    "job_from_request",
+    "serve",
+]
+
+logging.getLogger("repro.service").addHandler(logging.NullHandler())

@@ -1,0 +1,460 @@
+"""The serving core: cache hierarchy, coalescing, admission, handlers.
+
+:class:`ServiceState` owns everything the HTTP transport serves from:
+
+* the **lookup hierarchy** — in-memory LRU → on-disk
+  :class:`~repro.engine.cache.ResultCache` → compute on an executor —
+  all addressed by the engine's content-hashed :meth:`SimJob.cache_key`,
+  so a payload computed by ``repro batch`` yesterday is a disk hit for
+  the daemon today and vice versa;
+* **single-flight coalescing** — concurrent requests for the same key
+  share one computation (:mod:`repro.service.singleflight`);
+* **admission control** — at most ``concurrency`` computations run at
+  once, at most ``queue_limit`` more may wait; past that new *leaders*
+  fail fast with :class:`Overloaded` (HTTP 429).  Memory hits and
+  coalesced followers bypass admission entirely: they cost no compute,
+  so overload never starves the hot set;
+* the **metrics registry** behind ``/metrics``.
+
+The endpoint handlers (:func:`handle_sweep`, :func:`handle_optimum`)
+turn validated request bodies into jobs, resolve them through the
+hierarchy, and assemble responses with the same analysis code the CLI
+uses — ``/v1/optimum`` reports the simulated (cubic-fit) and analytic
+(theory-fit) optima side by side.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from .. import __version__
+from ..analysis.optimum import optimum_from_sweep, theory_fit_from_sweep
+from ..analysis.sweep import DEFAULT_DEPTHS, sweep_from_results
+from ..engine.cache import ResultCache
+from ..engine.job import SimJob
+from ..engine.serialize import PayloadError, results_from_payload
+from ..engine.worker import execute_job
+from ..pipeline.fastsim import BACKENDS
+from ..pipeline.simulator import MachineConfig
+from ..trace.suite import get_workload
+from .config import ServiceConfig
+from .lru import LRUCache
+from .metrics import MetricsRegistry
+from .singleflight import SingleFlight
+
+__all__ = [
+    "BadRequest",
+    "Overloaded",
+    "RequestParams",
+    "Resolution",
+    "ServiceState",
+    "handle_optimum",
+    "handle_sweep",
+    "job_from_request",
+]
+
+
+class BadRequest(Exception):
+    """The request body failed validation (HTTP 400)."""
+
+
+class Overloaded(Exception):
+    """Admission control rejected the request (HTTP 429)."""
+
+    def __init__(self, retry_after: float):
+        super().__init__(f"service overloaded; retry after {retry_after:g}s")
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class RequestParams:
+    """Post-simulation knobs (not part of the cache key)."""
+
+    m: float
+    gated: bool
+    reference_depth: int
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """One resolved payload with provenance.
+
+    ``source`` is ``"memory"``, ``"disk"``, ``"computed"`` or
+    ``"coalesced"`` (shared another request's in-flight computation).
+    """
+
+    payload: dict
+    source: str
+    key: str
+    duration: float
+
+
+class ServiceState:
+    """Shared serving state: caches, flight table, admission, metrics."""
+
+    def __init__(
+        self,
+        config: "ServiceConfig | None" = None,
+        compute: "Optional[Callable[[SimJob], dict]]" = None,
+    ):
+        self.config = config or ServiceConfig.from_env()
+        self.lru = LRUCache(self.config.memory_entries)
+        self.disk = ResultCache(self.config.cache_dir) if self.config.cache_dir else None
+        self.flight = SingleFlight()
+        self._compute = compute or execute_job
+        self._compute_pool: "Executor | None" = None
+        self._io_pool: "ThreadPoolExecutor | None" = None
+        self._semaphore: "asyncio.Semaphore | None" = None
+        self._admitted = 0
+        self._waiting = 0
+        self.draining = False
+        self.started_monotonic = time.monotonic()
+        self._build_metrics()
+
+    # -- lifecycle ----------------------------------------------------------
+    async def startup(self) -> None:
+        """Create loop-bound primitives and executors (idempotent)."""
+        if self._semaphore is None:
+            self._semaphore = asyncio.Semaphore(self.config.concurrency)
+        if self._compute_pool is None:
+            if self.config.executor == "process":
+                self._compute_pool = ProcessPoolExecutor(
+                    max_workers=self.config.workers
+                )
+            else:
+                self._compute_pool = ThreadPoolExecutor(
+                    max_workers=self.config.workers,
+                    thread_name_prefix="repro-compute",
+                )
+        if self._io_pool is None:
+            self._io_pool = ThreadPoolExecutor(
+                max_workers=2, thread_name_prefix="repro-io"
+            )
+
+    async def shutdown(self) -> None:
+        if self._compute_pool is not None:
+            self._compute_pool.shutdown(wait=False, cancel_futures=True)
+            self._compute_pool = None
+        if self._io_pool is not None:
+            self._io_pool.shutdown(wait=False, cancel_futures=True)
+            self._io_pool = None
+
+    async def wait_idle(self, timeout: float) -> bool:
+        """Wait for in-flight requests to finish; True when fully drained."""
+        deadline = time.monotonic() + timeout
+        while self._admitted > 0 or self.flight.inflight() > 0:
+            if time.monotonic() >= deadline:
+                return False
+            await asyncio.sleep(0.02)
+        return True
+
+    # -- metrics ------------------------------------------------------------
+    def _build_metrics(self) -> None:
+        registry = MetricsRegistry()
+        self.metrics = registry
+        self.requests_total = registry.counter(
+            "repro_requests_total", "HTTP requests by endpoint and status."
+        )
+        self.request_seconds = registry.histogram(
+            "repro_request_seconds", "End-to-end request latency by endpoint."
+        )
+        self.cache_hits = registry.counter(
+            "repro_cache_hits_total", "Payload cache hits by layer (memory/disk)."
+        )
+        self.cache_misses = registry.counter(
+            "repro_cache_misses_total", "Requests that reached the compute stage."
+        )
+        self.coalesced_total = registry.counter(
+            "repro_coalesced_requests_total",
+            "Requests served by another request's in-flight computation.",
+        )
+        self.computed_total = registry.counter(
+            "repro_computed_jobs_total", "Simulation jobs actually executed."
+        )
+        self.rejected_total = registry.counter(
+            "repro_rejected_requests_total", "Requests rejected with 429 (overload)."
+        )
+        self.compute_seconds = registry.histogram(
+            "repro_compute_seconds", "Executor time per computed job."
+        )
+        registry.gauge(
+            "repro_queue_depth",
+            "Admitted requests waiting for a compute slot.",
+            callback=lambda: self._waiting,
+        )
+        registry.gauge(
+            "repro_inflight_requests",
+            "Admitted requests currently being resolved.",
+            callback=lambda: self._admitted,
+        )
+        registry.gauge(
+            "repro_inflight_keys",
+            "Distinct cache keys currently being computed.",
+            callback=self.flight.inflight,
+        )
+        registry.gauge(
+            "repro_lru_entries",
+            "Payloads resident in the in-memory LRU.",
+            callback=lambda: len(self.lru),
+        )
+        registry.gauge(
+            "repro_lru_evictions_total",
+            "Payloads evicted from the in-memory LRU (monotonic).",
+            callback=lambda: self.lru.evictions,
+        )
+        registry.gauge(
+            "repro_draining",
+            "1 while the daemon is draining for shutdown.",
+            callback=lambda: 1.0 if self.draining else 0.0,
+        )
+        registry.gauge(
+            "repro_uptime_seconds",
+            "Seconds since the serving state was created.",
+            callback=lambda: time.monotonic() - self.started_monotonic,
+        )
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def admitted(self) -> int:
+        return self._admitted
+
+    @property
+    def waiting(self) -> int:
+        return self._waiting
+
+    def hit_ratio(self) -> float:
+        """Combined (memory + disk) hit share of all resolved lookups."""
+        hits = self.cache_hits.value(layer="memory") + self.cache_hits.value(
+            layer="disk"
+        )
+        total = hits + self.cache_misses.value()
+        return hits / total if total else 0.0
+
+    def health(self) -> dict:
+        return {
+            "status": "draining" if self.draining else "ok",
+            "version": __version__,
+            "backend": self.config.backend,
+            "uptime_seconds": round(time.monotonic() - self.started_monotonic, 3),
+            "lru": self.lru.stats,
+            "hit_ratio": round(self.hit_ratio(), 4),
+            "inflight": self._admitted,
+            "queue_depth": self._waiting,
+        }
+
+    # -- resolution hierarchy -----------------------------------------------
+    async def resolve(self, job: SimJob) -> Resolution:
+        """Memory → (single-flight: disk → compute), with provenance."""
+        await self.startup()
+        started = time.perf_counter()
+        key = job.cache_key()
+        payload = self.lru.get(key)
+        if payload is not None:
+            self.cache_hits.inc(layer="memory")
+            return Resolution(payload, "memory", key, time.perf_counter() - started)
+        (payload, source), coalesced = await self.flight.run(
+            key, lambda: self._fill(job, key)
+        )
+        if coalesced:
+            self.coalesced_total.inc()
+            source = "coalesced"
+        return Resolution(payload, source, key, time.perf_counter() - started)
+
+    async def _fill(self, job: SimJob, key: str) -> Tuple[dict, str]:
+        """Leader path: admission check, disk lookup, compute, write-back."""
+        if self._admitted >= self.config.admission_limit:
+            self.rejected_total.inc()
+            raise Overloaded(self.config.retry_after)
+        self._admitted += 1
+        try:
+            loop = asyncio.get_running_loop()
+            if self.disk is not None:
+                payload = await loop.run_in_executor(self._io_pool, self.disk.get, key)
+                # The full payload-vs-job validation happens at response
+                # assembly; the key check here only rejects a foreign file
+                # someone copied into the entry's path.
+                if payload is not None and payload.get("key") == key:
+                    self.cache_hits.inc(layer="disk")
+                    self.lru.put(key, payload)
+                    return payload, "disk"
+            self.cache_misses.inc()
+            self._waiting += 1
+            try:
+                await self._semaphore.acquire()
+            finally:
+                self._waiting -= 1
+            try:
+                compute_started = time.perf_counter()
+                payload = await loop.run_in_executor(
+                    self._compute_pool, self._compute, job
+                )
+                self.computed_total.inc()
+                self.compute_seconds.observe(time.perf_counter() - compute_started)
+            finally:
+                self._semaphore.release()
+            if self.disk is not None:
+                await loop.run_in_executor(self._io_pool, self.disk.put, key, payload)
+            self.lru.put(key, payload)
+            return payload, "computed"
+        finally:
+            self._admitted -= 1
+
+
+# -- request parsing ---------------------------------------------------------
+def _parse_metric(value) -> float:
+    if isinstance(value, str):
+        if value.lower() in ("inf", "infinity", "bips"):
+            return float("inf")
+        raise BadRequest(f"m must be a number or 'inf', got {value!r}")
+    try:
+        m = float(value)
+    except (TypeError, ValueError):
+        raise BadRequest(f"m must be a number or 'inf', got {value!r}") from None
+    if m <= 0:
+        raise BadRequest(f"m must be positive, got {m!r}")
+    return m
+
+
+def job_from_request(
+    body: dict, config: ServiceConfig
+) -> Tuple[SimJob, RequestParams]:
+    """Validate a ``/v1/sweep`` / ``/v1/optimum`` body into a job + params.
+
+    Raises :class:`BadRequest` on any defect; never touches the caches.
+    """
+    if not isinstance(body, dict):
+        raise BadRequest("request body must be a JSON object")
+    known = {
+        "workload", "depths", "length", "backend", "out_of_order",
+        "m", "gated", "reference_depth",
+    }
+    unknown = set(body) - known
+    if unknown:
+        raise BadRequest(f"unknown fields: {sorted(unknown)}")
+    name = body.get("workload")
+    if not isinstance(name, str) or not name:
+        raise BadRequest("'workload' (suite workload name) is required")
+    try:
+        spec = get_workload(name)
+    except KeyError:
+        raise BadRequest(f"unknown workload {name!r}; see 'repro workloads'") from None
+
+    raw_depths = body.get("depths", list(DEFAULT_DEPTHS))
+    if not isinstance(raw_depths, list) or not raw_depths:
+        raise BadRequest("'depths' must be a non-empty list of integers")
+    try:
+        depths = tuple(int(d) for d in raw_depths)
+    except (TypeError, ValueError):
+        raise BadRequest("'depths' must be a non-empty list of integers") from None
+
+    try:
+        length = int(body.get("length", 8000))
+    except (TypeError, ValueError):
+        raise BadRequest("'length' must be an integer") from None
+    if not 1 <= length <= config.max_trace_length:
+        raise BadRequest(
+            f"'length' must be in [1, {config.max_trace_length}], got {length}"
+        )
+
+    backend = body.get("backend", config.backend)
+    if backend not in BACKENDS:
+        raise BadRequest(f"unknown backend {backend!r}; choose from {BACKENDS}")
+
+    machine = MachineConfig(in_order=not bool(body.get("out_of_order", False)))
+    try:
+        job = SimJob(
+            spec=spec,
+            depths=depths,
+            trace_length=length,
+            machine=machine,
+            backend=backend,
+        )
+    except ValueError as exc:
+        raise BadRequest(str(exc)) from None
+
+    m = _parse_metric(body.get("m", 3.0))
+    gated = bool(body.get("gated", True))
+    default_reference = 8 if 8 in job.depths else job.depths[len(job.depths) // 2]
+    try:
+        reference_depth = int(body.get("reference_depth", default_reference))
+    except (TypeError, ValueError):
+        raise BadRequest("'reference_depth' must be an integer") from None
+    if reference_depth not in job.depths:
+        raise BadRequest(
+            f"reference_depth {reference_depth} must be one of the requested depths"
+        )
+    return job, RequestParams(m=m, gated=gated, reference_depth=reference_depth)
+
+
+# -- response assembly -------------------------------------------------------
+def _sweep_for(job: SimJob, resolution: Resolution, params: RequestParams):
+    try:
+        results = results_from_payload(resolution.payload, job)
+    except PayloadError as exc:
+        # Defensive: atomic writes + content addressing make this nearly
+        # unreachable, but a poisoned payload must not 500 forever.
+        raise BadRequest(f"stored payload failed validation: {exc}") from exc
+    return sweep_from_results(
+        results, job.depths, spec=job.spec, reference_depth=params.reference_depth
+    )
+
+
+def _base_response(job: SimJob, resolution: Resolution, params: RequestParams) -> dict:
+    return {
+        "workload": job.name,
+        "backend": job.backend,
+        "depths": list(job.depths),
+        "length": job.trace_length,
+        "m": "inf" if np.isinf(params.m) else params.m,
+        "gated": params.gated,
+        "reference_depth": params.reference_depth,
+        "source": resolution.source,
+        "key": resolution.key,
+        "duration_ms": round(resolution.duration * 1000.0, 3),
+    }
+
+
+async def handle_sweep(state: ServiceState, body: dict) -> dict:
+    """``POST /v1/sweep`` — per-depth BIPS / watts / metric series."""
+    job, params = job_from_request(body, state.config)
+    resolution = await state.resolve(job)
+    sweep = _sweep_for(job, resolution, params)
+    response = _base_response(job, resolution, params)
+    response.update(
+        bips=[float(v) for v in sweep.bips()],
+        watts=[float(v) for v in sweep.watts(params.gated)],
+        metric=[float(v) for v in sweep.metric(params.m, params.gated)],
+    )
+    return response
+
+
+async def handle_optimum(state: ServiceState, body: dict) -> dict:
+    """``POST /v1/optimum`` — simulated and analytic optima side by side."""
+    job, params = job_from_request(body, state.config)
+    resolution = await state.resolve(job)
+    sweep = _sweep_for(job, resolution, params)
+    simulated = optimum_from_sweep(sweep, params.m, gated=params.gated)
+    theory = theory_fit_from_sweep(sweep, params.m, gated=params.gated)
+    response = _base_response(job, resolution, params)
+    response.update(
+        simulated={
+            "depth": round(simulated.depth, 4),
+            "fo4_per_stage": round(simulated.fo4_per_stage, 4),
+            "method": simulated.method,
+            "r_squared": round(simulated.r_squared, 6),
+        },
+        analytic={
+            "depth": round(theory.optimum.depth, 4),
+            "fo4_per_stage": round(theory.optimum.fo4_per_stage, 4),
+            "pipelined": bool(theory.optimum.pipelined),
+            "fit_r_squared": round(theory.r_squared, 6),
+            "gamma": round(theory.gamma, 6),
+        },
+    )
+    return response

@@ -1,0 +1,194 @@
+"""The one place serving defaults live: :class:`ServiceConfig`.
+
+Every serving entry point — ``repro serve``, the load generator, the
+service benchmark, the tests — builds its knobs from this dataclass
+instead of scattering argparse defaults, so the backend default
+(``"fast"``), queue bounds and cache sizing agree everywhere.
+
+Precedence, lowest to highest:
+
+1. the dataclass defaults below;
+2. ``REPRO_SERVICE_*`` environment variables (:meth:`ServiceConfig.from_env`);
+3. explicit keyword/CLI overrides (``config_from_args`` only overrides
+   fields whose flags were actually given).
+
+The disk-cache directory additionally honours the engine's own
+``$REPRO_CACHE_DIR`` convention via
+:func:`repro.engine.cache.default_cache_dir`; set
+``REPRO_SERVICE_CACHE_DIR=""`` (empty) or pass ``--no-disk-cache`` to
+run memory-only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from ..engine.cache import default_cache_dir
+from ..pipeline.fastsim import BACKENDS
+
+__all__ = [
+    "ServiceConfig",
+    "add_service_arguments",
+    "config_from_args",
+    "ENV_PREFIX",
+]
+
+ENV_PREFIX = "REPRO_SERVICE_"
+
+EXECUTORS = ("thread", "process")
+"""Recognised compute-executor kinds."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Serving-layer knobs shared by the daemon, the load generator and tests.
+
+    Attributes:
+        host: bind address.
+        port: bind port (0 lets the OS pick; the bound port is reported).
+        backend: default simulation backend for requests that do not name
+            one — ``"fast"`` for serving (the engines are validated
+            equivalent; requests may still ask for ``"reference"``).
+        executor: ``"thread"`` or ``"process"`` — where cache misses are
+            computed.  Threads are simplest; processes buy real CPU
+            parallelism for compute-heavy mixes.
+        workers: executor worker count.
+        concurrency: cache-miss computations allowed in flight at once;
+            further admitted requests wait in the queue.
+        queue_limit: admitted-but-waiting requests allowed beyond
+            ``concurrency``; past that the daemon answers 429.
+        memory_entries: in-memory LRU capacity in payloads (0 disables
+            the memory layer).
+        cache_dir: disk result-cache directory (None disables the disk
+            layer; default follows the engine's resolution rules).
+        drain_timeout: seconds to wait for in-flight requests on SIGTERM.
+        retry_after: seconds advertised in 429 ``Retry-After`` headers.
+        max_body_bytes: largest accepted request body.
+        max_trace_length: largest per-request trace length accepted.
+        log_level: root logging level for ``repro serve``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8023
+    backend: str = "fast"
+    executor: str = "thread"
+    workers: int = 4
+    concurrency: int = 4
+    queue_limit: int = 64
+    memory_entries: int = 512
+    cache_dir: "str | None" = dataclasses.field(
+        default_factory=lambda: str(default_cache_dir())
+    )
+    drain_timeout: float = 10.0
+    retry_after: float = 1.0
+    max_body_bytes: int = 64 * 1024
+    max_trace_length: int = 100_000
+    log_level: str = "INFO"
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; choose from {BACKENDS}")
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; choose from {EXECUTORS}"
+            )
+        for name in ("workers", "concurrency"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)!r}")
+        for name in ("port", "queue_limit", "memory_entries"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)!r}")
+        for name in ("drain_timeout", "retry_after"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)!r}")
+
+    @property
+    def admission_limit(self) -> int:
+        """Admitted leaders allowed in flight before new ones get 429."""
+        return self.concurrency + self.queue_limit
+
+    @classmethod
+    def from_env(cls, environ: "Optional[dict]" = None, **overrides) -> "ServiceConfig":
+        """Defaults, patched by ``REPRO_SERVICE_*`` vars, then ``overrides``.
+
+        Overrides passed as None are ignored (convenient for argparse
+        namespaces where an un-given flag stays None).
+        """
+        environ = os.environ if environ is None else environ
+        values: dict = {}
+        for field in dataclasses.fields(cls):
+            raw = environ.get(ENV_PREFIX + field.name.upper())
+            if raw is None:
+                continue
+            if field.name == "cache_dir":
+                values["cache_dir"] = raw or None
+            elif field.type in ("int", int):
+                values[field.name] = int(raw)
+            elif field.type in ("float", float):
+                values[field.name] = float(raw)
+            else:
+                values[field.name] = raw
+        values.update({k: v for k, v in overrides.items() if v is not None})
+        return cls(**values)
+
+
+def add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the ``repro serve`` flags (defaults come from the config)."""
+    defaults = ServiceConfig()
+    parser.add_argument("--host", default=None,
+                        help=f"bind address (default: {defaults.host})")
+    parser.add_argument("--port", type=int, default=None,
+                        help=f"bind port, 0 for an OS-assigned one "
+                        f"(default: {defaults.port})")
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="default simulation backend for requests "
+                        f"(default: {defaults.backend})")
+    parser.add_argument("--executor", choices=EXECUTORS, default=None,
+                        help="compute executor for cache misses "
+                        f"(default: {defaults.executor})")
+    parser.add_argument("--workers", type=int, default=None,
+                        help=f"executor worker count (default: {defaults.workers})")
+    parser.add_argument("--concurrency", type=int, default=None,
+                        help="cache-miss computations in flight at once "
+                        f"(default: {defaults.concurrency})")
+    parser.add_argument("--queue-limit", type=int, default=None,
+                        help="waiting requests beyond --concurrency before "
+                        f"429 (default: {defaults.queue_limit})")
+    parser.add_argument("--memory-entries", type=int, default=None,
+                        help="in-memory LRU capacity in payloads "
+                        f"(default: {defaults.memory_entries})")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="disk result-cache directory (default: "
+                        "$REPRO_CACHE_DIR or ~/.cache/repro/engine)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="serve from memory only; skip the disk cache layer")
+    parser.add_argument("--drain-timeout", type=float, default=None,
+                        help="seconds to wait for in-flight requests on "
+                        f"SIGTERM (default: {defaults.drain_timeout})")
+    parser.add_argument("--log-level", default=None,
+                        help=f"logging level (default: {defaults.log_level})")
+
+
+def config_from_args(args: argparse.Namespace) -> ServiceConfig:
+    """Build the effective config: defaults < environment < given flags."""
+    overrides = dict(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        executor=args.executor,
+        workers=args.workers,
+        concurrency=args.concurrency,
+        queue_limit=args.queue_limit,
+        memory_entries=args.memory_entries,
+        cache_dir=args.cache_dir,
+        drain_timeout=args.drain_timeout,
+        log_level=args.log_level,
+    )
+    config = ServiceConfig.from_env(**overrides)
+    if getattr(args, "no_disk_cache", False):
+        config = dataclasses.replace(config, cache_dir=None)
+    return config

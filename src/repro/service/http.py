@@ -1,0 +1,327 @@
+"""The asyncio HTTP/1.1 transport for ``repro serve`` (stdlib-only).
+
+A deliberately small server — request-line + headers + Content-Length
+bodies, keep-alive, JSON in/out — because the daemon's surface is four
+endpoints:
+
+* ``POST /v1/sweep``   — per-depth BIPS / watts / metric series;
+* ``POST /v1/optimum`` — simulated (cubic-fit) vs analytic (theory-fit)
+  optimum, side by side;
+* ``GET  /healthz``    — liveness + drain state (503 while draining);
+* ``GET  /metrics``    — Prometheus text exposition.
+
+Overload maps to ``429`` with a ``Retry-After`` header (admission
+control lives in :mod:`repro.service.app`); malformed bodies map to
+``400``.  ``SIGTERM``/``SIGINT`` trigger a graceful drain: stop
+accepting, let in-flight requests finish (bounded by
+``drain_timeout``), then exit.  Every request emits one structured
+(JSON) access-log line on ``repro.service.access``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import logging
+import signal
+import time
+from typing import Awaitable, Callable, Dict, Optional, Tuple
+
+from .app import BadRequest, Overloaded, ServiceState, handle_optimum, handle_sweep
+from .config import ServiceConfig
+
+__all__ = ["HttpError", "ServiceServer", "serve"]
+
+logger = logging.getLogger("repro.service")
+access_log = logging.getLogger("repro.service.access")
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_MAX_HEADER_BYTES = 16 * 1024
+_MAX_HEADER_COUNT = 64
+
+
+class HttpError(Exception):
+    """An error that maps directly onto an HTTP status."""
+
+    def __init__(self, status: int, message: str, headers: "Dict[str, str] | None" = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+async def _read_request(
+    reader: asyncio.StreamReader, max_body: int
+) -> "Optional[Tuple[str, str, Dict[str, str], bytes]]":
+    """One request off the wire, or None on a cleanly closed connection."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "malformed request line")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        line = await reader.readline()
+        header_bytes += len(line)
+        if header_bytes > _MAX_HEADER_BYTES or len(headers) > _MAX_HEADER_COUNT:
+            raise HttpError(400, "header section too large")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _sep, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "invalid Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "invalid Content-Length")
+        if length > max_body:
+            raise HttpError(413, f"body exceeds {max_body} bytes")
+        body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+    return method.upper(), target.split("?", 1)[0], headers, body
+
+
+def _encode_response(
+    status: int,
+    body: bytes,
+    content_type: str,
+    keep_alive: bool,
+    extra_headers: "Dict[str, str] | None" = None,
+) -> bytes:
+    reason = _STATUS_TEXT.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def _json_body(payload: dict) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+Handler = Callable[[ServiceState, dict], Awaitable[dict]]
+
+
+class ServiceServer:
+    """Bind, accept, route; owns the drain sequence."""
+
+    def __init__(self, state: "ServiceState | None" = None):
+        self.state = state or ServiceState()
+        self.config: ServiceConfig = self.state.config
+        self._server: "asyncio.base_events.Server | None" = None
+        self._connections = 0
+        self._post_routes: Dict[str, Handler] = {
+            "/v1/sweep": handle_sweep,
+            "/v1/optimum": handle_optimum,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The actually bound port (meaningful after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        await self.state.startup()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        logger.info(
+            "repro serve listening on %s:%d (backend=%s, executor=%s x%d, "
+            "concurrency=%d, queue=%d, lru=%d, disk=%s)",
+            self.config.host, self.port, self.config.backend,
+            self.config.executor, self.config.workers, self.config.concurrency,
+            self.config.queue_limit, self.config.memory_entries,
+            self.state.disk.directory if self.state.disk is not None else "off",
+        )
+
+    async def drain(self, timeout: "float | None" = None) -> bool:
+        """Stop accepting, wait for in-flight work, release executors."""
+        timeout = self.config.drain_timeout if timeout is None else timeout
+        self.state.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        drained = await self.state.wait_idle(timeout)
+        if not drained:
+            logger.warning(
+                "drain timed out after %.1fs with %d request(s) in flight",
+                timeout, self.state.admitted,
+            )
+        await self.state.shutdown()
+        logger.info("repro serve drained (%s)", "clean" if drained else "timed out")
+        return drained
+
+    async def serve_forever(self, install_signals: bool = True) -> None:
+        """Run until SIGTERM/SIGINT, then drain gracefully."""
+        await self.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed = []
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                    installed.append(signum)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass  # non-Unix event loops
+        try:
+            await stop.wait()
+            logger.info("shutdown signal received; draining")
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+            await self.drain()
+
+    # -- connection handling -------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections += 1
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader, self.config.max_body_bytes)
+                except HttpError as exc:
+                    await self._write(
+                        writer, exc.status,
+                        _json_body({"error": exc.message}), "application/json",
+                        keep_alive=False, extra=exc.headers,
+                    )
+                    return
+                if request is None:
+                    return
+                method, path, headers, body = request
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                    and not self.state.draining
+                )
+                status, payload, content_type, extra = await self._dispatch(
+                    method, path, body
+                )
+                await self._write(
+                    writer, status, payload, content_type, keep_alive, extra
+                )
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        except asyncio.CancelledError:
+            pass  # event-loop shutdown cancelled this connection
+        finally:
+            self._connections -= 1
+            writer.close()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, bytes, str, Dict[str, str]]:
+        started = time.perf_counter()
+        status, response, content_type, extra = await self._route(method, path, body)
+        elapsed = time.perf_counter() - started
+        self.state.requests_total.inc(endpoint=path, status=str(status))
+        self.state.request_seconds.observe(elapsed, endpoint=path)
+        access_log.info(
+            "%s",
+            json.dumps(
+                {
+                    "method": method,
+                    "path": path,
+                    "status": status,
+                    "duration_ms": round(elapsed * 1000.0, 3),
+                },
+                sort_keys=True,
+            ),
+        )
+        return status, response, content_type, extra
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, bytes, str, Dict[str, str]]:
+        if path == "/healthz":
+            if method != "GET":
+                return self._error(405, "use GET")
+            health = self.state.health()
+            status = 503 if self.state.draining else 200
+            return status, _json_body(health), "application/json", {}
+        if path == "/metrics":
+            if method != "GET":
+                return self._error(405, "use GET")
+            text = self.state.metrics.render().encode("utf-8")
+            return 200, text, "text/plain; version=0.0.4; charset=utf-8", {}
+        handler = self._post_routes.get(path)
+        if handler is None:
+            return self._error(404, f"no such endpoint: {path}")
+        if method != "POST":
+            return self._error(405, "use POST")
+        try:
+            parsed = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return self._error(400, f"invalid JSON body: {exc}")
+        try:
+            response = await handler(self.state, parsed)
+        except BadRequest as exc:
+            return self._error(400, str(exc))
+        except Overloaded as exc:
+            return self._error(
+                429, str(exc), {"Retry-After": f"{exc.retry_after:g}"}
+            )
+        except Exception:
+            logger.exception("unhandled error serving %s", path)
+            return self._error(500, "internal error")
+        return 200, _json_body(response), "application/json", {}
+
+    @staticmethod
+    def _error(
+        status: int, message: str, extra: "Dict[str, str] | None" = None
+    ) -> Tuple[int, bytes, str, Dict[str, str]]:
+        return status, _json_body({"error": message}), "application/json", extra or {}
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str,
+        keep_alive: bool,
+        extra: "Dict[str, str] | None" = None,
+    ) -> None:
+        writer.write(_encode_response(status, body, content_type, keep_alive, extra))
+        await writer.drain()
+
+
+async def serve(config: "ServiceConfig | None" = None) -> None:
+    """Run the daemon until a shutdown signal (the ``repro serve`` body)."""
+    server = ServiceServer(ServiceState(config))
+    await server.serve_forever()

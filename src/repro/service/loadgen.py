@@ -1,0 +1,310 @@
+"""Closed-loop load generator for the serving daemon.
+
+``python -m repro.service.loadgen`` drives ``N`` concurrent clients at a
+running (or self-hosted) daemon.  Each client is closed-loop — it issues
+its next request only after the previous response lands — so offered
+load adapts to service capacity, the classic saturation-measurement
+shape.  The request mix is **zipf-skewed** over a workload set: a few
+hot workloads dominate, a long tail stays cold, which is exactly the
+mix the serving layer's memory-LRU + single-flight design targets.
+
+The report covers throughput, p50/p99 latency, the per-source response
+breakdown (memory / disk / computed / coalesced), the combined cache
+hit ratio, and 429 rejections.  ``benchmarks/bench_service.py`` wraps
+this module and records the acceptance run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..trace.suite import suite_names
+from .config import ServiceConfig
+
+__all__ = [
+    "HttpClient",
+    "LoadReport",
+    "run_load",
+    "zipf_weights",
+    "main",
+]
+
+
+class HttpClient:
+    """A tiny keep-alive HTTP/1.1 JSON client over asyncio streams."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def request(
+        self, method: str, path: str, body: "dict | None" = None
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One request/response; reconnects if the server closed on us."""
+        if self._writer is None:
+            await self.connect()
+        payload = b"" if body is None else json.dumps(body).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            self._writer.write(head + payload)
+            await self._writer.drain()
+            return await self._read_response()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            # The server may have closed the idle keep-alive connection
+            # (e.g. while draining); retry once on a fresh one.
+            await self.close()
+            await self.connect()
+            self._writer.write(head + payload)
+            await self._writer.drain()
+            return await self._read_response()
+
+    async def request_json(
+        self, method: str, path: str, body: "dict | None" = None
+    ) -> Tuple[int, dict]:
+        status, _headers, raw = await self.request(method, path, body)
+        try:
+            return status, json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return status, {}
+
+    async def _read_response(self) -> Tuple[int, Dict[str, str], bytes]:
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, headers, body
+
+
+def zipf_weights(count: int, skew: float = 1.2) -> List[float]:
+    """Normalised zipf(rank) weights: weight_i ∝ 1 / (i + 1) ** skew."""
+    raw = [1.0 / (rank + 1) ** skew for rank in range(count)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured."""
+
+    clients: int
+    requests: int
+    wall_seconds: float
+    latencies: List[float] = field(default_factory=list)
+    sources: Dict[str, int] = field(default_factory=dict)
+    statuses: Dict[int, int] = field(default_factory=dict)
+    errors: int = 0
+
+    @property
+    def completed(self) -> int:
+        return self.statuses.get(200, 0)
+
+    @property
+    def rejected(self) -> int:
+        return self.statuses.get(429, 0)
+
+    @property
+    def throughput(self) -> float:
+        return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def p50(self) -> float:
+        return _percentile(sorted(self.latencies), 0.50)
+
+    @property
+    def p99(self) -> float:
+        return _percentile(sorted(self.latencies), 0.99)
+
+    @property
+    def coalesced(self) -> int:
+        return self.sources.get("coalesced", 0)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Combined (memory + disk) hit share of completed requests."""
+        hits = self.sources.get("memory", 0) + self.sources.get("disk", 0)
+        return hits / self.completed if self.completed else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"clients {self.clients}, requests {self.requests} "
+            f"({self.completed} ok, {self.rejected} rejected, {self.errors} errors)",
+            f"wall {self.wall_seconds:.2f}s, throughput {self.throughput:.1f} req/s",
+            f"latency p50 {self.p50 * 1000:.2f} ms, p99 {self.p99 * 1000:.2f} ms",
+            f"hit ratio {self.hit_ratio:.1%} (memory+disk)",
+            "sources "
+            + ", ".join(
+                f"{name} {count}" for name, count in sorted(self.sources.items())
+            ),
+        ]
+        return "\n".join(lines)
+
+
+async def run_load(
+    host: str,
+    port: int,
+    *,
+    clients: int = 8,
+    requests_per_client: int = 50,
+    workloads: "Sequence[str] | None" = None,
+    zipf_skew: float = 1.2,
+    depths: "Sequence[int] | None" = None,
+    length: int = 2000,
+    backend: "str | None" = None,
+    endpoint: str = "/v1/sweep",
+    seed: int = 20030101,
+) -> LoadReport:
+    """Drive the daemon with a zipf-skewed closed-loop mix; measure it."""
+    names = list(workloads) if workloads else list(suite_names())[:16]
+    weights = zipf_weights(len(names), zipf_skew)
+    depth_list = list(depths) if depths else list(range(2, 26))
+    report = LoadReport(clients=clients, requests=0, wall_seconds=0.0)
+
+    async def one_client(ordinal: int) -> None:
+        rng = random.Random(seed + ordinal)
+        client = HttpClient(host, port)
+        await client.connect()
+        try:
+            for _ in range(requests_per_client):
+                name = rng.choices(names, weights=weights, k=1)[0]
+                body = {"workload": name, "depths": depth_list, "length": length}
+                if backend is not None:
+                    body["backend"] = backend
+                started = time.perf_counter()
+                try:
+                    status, response = await client.request_json(
+                        "POST", endpoint, body
+                    )
+                except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                    report.errors += 1
+                    continue
+                elapsed = time.perf_counter() - started
+                report.requests += 1
+                report.statuses[status] = report.statuses.get(status, 0) + 1
+                if status == 200:
+                    report.latencies.append(elapsed)
+                    source = response.get("source", "unknown")
+                    report.sources[source] = report.sources.get(source, 0) + 1
+                elif status == 429:
+                    await asyncio.sleep(
+                        float(response.get("retry_after", 0.05) or 0.05)
+                    )
+        finally:
+            await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(one_client(i) for i in range(clients)))
+    report.wall_seconds = time.perf_counter() - started
+    return report
+
+
+async def _self_hosted_load(args: argparse.Namespace) -> LoadReport:
+    from .app import ServiceState
+    from .http import ServiceServer
+
+    config = ServiceConfig.from_env(
+        port=0, backend=args.backend, cache_dir=args.cache_dir
+    )
+    server = ServiceServer(ServiceState(config))
+    await server.start()
+    try:
+        return await run_load(
+            config.host,
+            server.port,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            zipf_skew=args.zipf_skew,
+            length=args.length,
+            backend=args.backend,
+        )
+    finally:
+        await server.drain(timeout=5.0)
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default=None, help="target host (default: config)")
+    parser.add_argument("--port", type=int, default=None, help="target port")
+    parser.add_argument(
+        "--self-host", action="store_true",
+        help="start an in-process daemon on an OS-assigned port and load it",
+    )
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=50,
+                        help="requests per client (closed loop)")
+    parser.add_argument("--zipf-skew", type=float, default=1.2)
+    parser.add_argument("--length", type=int, default=2000)
+    parser.add_argument("--backend", default=None,
+                        help="request backend override (default: server's)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="disk cache dir for --self-host")
+    args = parser.parse_args(argv)
+
+    if args.self_host:
+        report = asyncio.run(_self_hosted_load(args))
+    else:
+        config = ServiceConfig.from_env(host=args.host, port=args.port)
+        report = asyncio.run(
+            run_load(
+                config.host,
+                config.port,
+                clients=args.clients,
+                requests_per_client=args.requests,
+                zipf_skew=args.zipf_skew,
+                length=args.length,
+                backend=args.backend,
+            )
+        )
+    print(report.summary())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

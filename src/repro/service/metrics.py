@@ -1,0 +1,240 @@
+"""Minimal Prometheus-style instrumentation for the serving layer.
+
+Stdlib-only counterparts of the three metric families ``/metrics``
+exposes: monotonically increasing :class:`Counter`\\ s, point-in-time
+:class:`Gauge`\\ s (stored or callback-backed) and cumulative-bucket
+:class:`Histogram`\\ s.  All are label-aware; rendering follows the
+Prometheus text exposition format (``# HELP`` / ``# TYPE`` preamble,
+``name{label="value"} sample`` lines, histogram ``_bucket``/``_sum``/
+``_count`` series with a ``+Inf`` bucket).
+
+Single-threaded like the rest of the serving layer: every mutation
+happens on the asyncio event loop, so increments are plain ``+=``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+"""Latency buckets (seconds): sub-ms memory hits through multi-second computes."""
+
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def _labelset(labels: Dict[str, str]) -> Labels:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: Labels, extra: "Tuple[Tuple[str, str], ...]" = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing sample per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str):
+        self.name = name
+        self.help_text = help_text
+        self._samples: Dict[Labels, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount!r}")
+        key = _labelset(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._samples.get(_labelset(labels), 0.0)
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help_text}", f"# TYPE {self.name} {self.kind}"]
+        for labels, value in sorted(self._samples.items()):
+            lines.append(f"{self.name}{_render_labels(labels)} {_format_value(value)}")
+        if not self._samples:
+            lines.append(f"{self.name} 0")
+        return lines
+
+
+class Gauge:
+    """A settable point-in-time sample, optionally callback-backed."""
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        callback: "Optional[Callable[[], float]]" = None,
+    ):
+        self.name = name
+        self.help_text = help_text
+        self.callback = callback
+        self._samples: Dict[Labels, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        self._samples[_labelset(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _labelset(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        if self.callback is not None:
+            return float(self.callback())
+        return self._samples.get(_labelset(labels), 0.0)
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help_text}", f"# TYPE {self.name} {self.kind}"]
+        if self.callback is not None:
+            lines.append(f"{self.name} {_format_value(float(self.callback()))}")
+            return lines
+        for labels, value in sorted(self._samples.items()):
+            lines.append(f"{self.name}{_render_labels(labels)} {_format_value(value)}")
+        if not self._samples:
+            lines.append(f"{self.name} 0")
+        return lines
+
+
+class Histogram:
+    """Cumulative-bucket distribution per label set (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("a histogram needs at least one finite bucket")
+        self.name = name
+        self.help_text = help_text
+        self.bounds = bounds
+        self._counts: Dict[Labels, List[int]] = {}
+        self._sums: Dict[Labels, float] = {}
+        self._totals: Dict[Labels, int] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _labelset(labels)
+        counts = self._counts.setdefault(key, [0] * (len(self.bounds) + 1))
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                counts[index] += 1
+                break
+        else:
+            counts[-1] += 1
+        self._sums[key] = self._sums.get(key, 0.0) + float(value)
+        self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels: str) -> int:
+        return self._totals.get(_labelset(labels), 0)
+
+    def sum(self, **labels: str) -> float:
+        return self._sums.get(_labelset(labels), 0.0)
+
+    def quantile(self, q: float, **labels: str) -> float:
+        """Bucket-upper-bound estimate of the ``q`` quantile (diagnostic)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        key = _labelset(labels)
+        counts = self._counts.get(key)
+        total = self._totals.get(key, 0)
+        if not counts or total == 0:
+            return math.nan
+        rank = q * total
+        cumulative = 0
+        for index, bound in enumerate(self.bounds):
+            cumulative += counts[index]
+            if cumulative >= rank:
+                return bound
+        return math.inf
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help_text}", f"# TYPE {self.name} {self.kind}"]
+        for labels in sorted(self._counts):
+            counts = self._counts[labels]
+            cumulative = 0
+            for index, bound in enumerate(self.bounds):
+                cumulative += counts[index]
+                le = (("le", _format_value(bound)),)
+                lines.append(
+                    f"{self.name}_bucket{_render_labels(labels, le)} {cumulative}"
+                )
+            cumulative += counts[-1]
+            lines.append(
+                f'{self.name}_bucket{_render_labels(labels, (("le", "+Inf"),))} '
+                f"{cumulative}"
+            )
+            lines.append(
+                f"{self.name}_sum{_render_labels(labels)} "
+                f"{_format_value(self._sums[labels])}"
+            )
+            lines.append(f"{self.name}_count{_render_labels(labels)} {cumulative}")
+        return lines
+
+
+class MetricsRegistry:
+    """Orders and renders the service's metric families."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, "Counter | Gauge | Histogram"] = {}
+
+    def _register(self, metric):
+        if metric.name in self._metrics:
+            raise ValueError(f"metric {metric.name!r} already registered")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str) -> Counter:
+        return self._register(Counter(name, help_text))
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str,
+        callback: "Optional[Callable[[], float]]" = None,
+    ) -> Gauge:
+        return self._register(Gauge(name, help_text, callback))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram(name, help_text, buckets))
+
+    def get(self, name: str):
+        return self._metrics[name]
+
+    def render(self) -> str:
+        """The full ``/metrics`` document (text exposition format)."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].render())
+        return "\n".join(lines) + "\n"

@@ -115,3 +115,70 @@ class TestDefaultDirectory:
         monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
         path = default_cache_dir()
         assert path.parts[-3:] == (".cache", "repro", "engine")
+
+
+class TestConcurrentWrites:
+    def test_same_key_hammered_from_threads_never_tears(self, cache):
+        """Concurrent same-pid writers (the serving daemon's thread pool)
+        must never collide on a temp file or leave a torn entry."""
+        import threading
+
+        errors = []
+
+        def writer(ordinal):
+            payload = {"writer": ordinal, "filler": "x" * 2000}
+            try:
+                for _ in range(20):
+                    cache.put(KEY, payload)
+                    read = cache.get(KEY)
+                    assert read is not None and "writer" in read
+            except Exception as exc:  # pragma: no cover - only on regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        final = cache.get(KEY)
+        assert final is not None and len(final["filler"]) == 2000
+
+    def test_no_temp_files_left_behind(self, cache):
+        for _ in range(5):
+            cache.put(KEY, PAYLOAD)
+        leftovers = [
+            p for p in cache.directory.rglob("*") if p.name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_unique_temp_names_per_call(self, cache, monkeypatch):
+        """The temp path must differ call-to-call even within one process."""
+        import os
+
+        seen = []
+        original = os.replace
+
+        def spying_replace(src, dst):
+            seen.append(str(src))
+            return original(src, dst)
+
+        monkeypatch.setattr(os, "replace", spying_replace)
+        cache.put(KEY, PAYLOAD)
+        cache.put(KEY, PAYLOAD)
+        assert len(seen) == 2 and seen[0] != seen[1]
+
+
+class TestSizeBytes:
+    def test_empty_and_missing_directory(self, tmp_path, cache):
+        assert ResultCache(tmp_path / "never-created").size_bytes() == 0
+        assert cache.size_bytes() == 0
+
+    def test_size_tracks_entries(self, cache):
+        cache.put(KEY, PAYLOAD)
+        one = cache.size_bytes()
+        assert one > 0
+        cache.put(OTHER, PAYLOAD)
+        assert cache.size_bytes() > one
+        cache.clear()
+        assert cache.size_bytes() == 0

@@ -1,0 +1,94 @@
+"""Tests of the shared ServiceConfig (defaults, env, CLI precedence)."""
+
+import argparse
+
+import pytest
+
+from repro.service.config import (
+    ServiceConfig,
+    add_service_arguments,
+    config_from_args,
+)
+
+
+def _parse(argv):
+    parser = argparse.ArgumentParser()
+    add_service_arguments(parser)
+    return parser.parse_args(argv)
+
+
+class TestDefaults:
+    def test_backend_defaults_to_fast(self):
+        assert ServiceConfig().backend == "fast"
+
+    def test_cache_dir_follows_engine_convention(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "engine"))
+        assert ServiceConfig().cache_dir == str(tmp_path / "engine")
+
+    def test_admission_limit(self):
+        config = ServiceConfig(concurrency=3, queue_limit=5)
+        assert config.admission_limit == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(backend="warp")
+        with pytest.raises(ValueError):
+            ServiceConfig(executor="fiber")
+        with pytest.raises(ValueError):
+            ServiceConfig(workers=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(queue_limit=-1)
+        with pytest.raises(ValueError):
+            ServiceConfig(drain_timeout=-0.1)
+
+
+class TestEnvOverrides:
+    def test_env_patches_fields(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_PORT", "9999")
+        monkeypatch.setenv("REPRO_SERVICE_BACKEND", "reference")
+        monkeypatch.setenv("REPRO_SERVICE_CONCURRENCY", "2")
+        monkeypatch.setenv("REPRO_SERVICE_DRAIN_TIMEOUT", "2.5")
+        config = ServiceConfig.from_env()
+        assert config.port == 9999
+        assert config.backend == "reference"
+        assert config.concurrency == 2
+        assert config.drain_timeout == 2.5
+
+    def test_empty_cache_dir_disables_disk_layer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_CACHE_DIR", "")
+        assert ServiceConfig.from_env().cache_dir is None
+
+    def test_explicit_overrides_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_PORT", "9999")
+        assert ServiceConfig.from_env(port=1234).port == 1234
+
+    def test_none_overrides_are_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_PORT", "9999")
+        assert ServiceConfig.from_env(port=None).port == 9999
+
+
+class TestCliPrecedence:
+    def test_flags_override_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_PORT", "9999")
+        monkeypatch.setenv("REPRO_SERVICE_BACKEND", "reference")
+        config = config_from_args(_parse(["--port", "7777"]))
+        assert config.port == 7777          # flag beats env
+        assert config.backend == "reference"  # env beats default
+
+    def test_unset_flags_fall_through_to_defaults(self):
+        config = config_from_args(_parse([]))
+        defaults = ServiceConfig()
+        assert config.backend == defaults.backend
+        assert config.concurrency == defaults.concurrency
+
+    def test_no_disk_cache_flag(self):
+        config = config_from_args(_parse(["--no-disk-cache"]))
+        assert config.cache_dir is None
+
+    def test_loadgen_shares_the_config(self, monkeypatch):
+        # The load generator resolves its target from the same config
+        # (the satellite requirement: no scattered argparse defaults).
+        monkeypatch.setenv("REPRO_SERVICE_HOST", "10.1.2.3")
+        monkeypatch.setenv("REPRO_SERVICE_PORT", "4321")
+        config = ServiceConfig.from_env()
+        assert (config.host, config.port) == ("10.1.2.3", 4321)

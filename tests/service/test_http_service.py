@@ -1,0 +1,387 @@
+"""End-to-end tests of the serving daemon over real sockets.
+
+Each test boots a :class:`ServiceServer` on an OS-assigned port inside
+``asyncio.run`` and talks to it with the load generator's HTTP client —
+the same code path production traffic takes, minus the network.
+"""
+
+import asyncio
+import contextlib
+import threading
+
+from repro.engine.worker import execute_job
+from repro.service import ServiceConfig, ServiceServer, ServiceState
+from repro.service.loadgen import HttpClient
+
+LENGTH = 1200
+
+
+def make_config(tmp_path, **overrides) -> ServiceConfig:
+    settings = dict(
+        host="127.0.0.1",
+        port=0,
+        backend="fast",
+        executor="thread",
+        workers=4,
+        concurrency=4,
+        queue_limit=8,
+        memory_entries=32,
+        cache_dir=str(tmp_path / "service-disk"),
+        drain_timeout=5.0,
+    )
+    settings.update(overrides)
+    return ServiceConfig(**settings)
+
+
+@contextlib.asynccontextmanager
+async def running(config, compute=None):
+    server = ServiceServer(ServiceState(config, compute=compute))
+    await server.start()
+    client = HttpClient("127.0.0.1", server.port)
+    try:
+        yield server, client
+    finally:
+        await client.close()
+        await server.drain(timeout=5.0)
+
+
+def sweep_body(workload="gzip", **extra):
+    body = {"workload": workload, "length": LENGTH}
+    body.update(extra)
+    return body
+
+
+class TestEndpoints:
+    def test_healthz(self, tmp_path):
+        async def scenario():
+            async with running(make_config(tmp_path)) as (_server, client):
+                return await client.request_json("GET", "/healthz")
+
+        status, health = asyncio.run(scenario())
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["backend"] == "fast"
+        assert "version" in health and "uptime_seconds" in health
+
+    def test_sweep_then_optimum_share_the_cache(self, tmp_path):
+        async def scenario():
+            async with running(make_config(tmp_path)) as (_server, client):
+                first = await client.request_json("POST", "/v1/sweep", sweep_body())
+                second = await client.request_json(
+                    "POST", "/v1/optimum", sweep_body()
+                )
+                return first, second
+
+        (status1, sweep), (status2, optimum) = asyncio.run(scenario())
+        assert status1 == 200 and status2 == 200
+        assert sweep["source"] == "computed"
+        assert len(sweep["bips"]) == len(sweep["depths"]) == 24
+        assert len(sweep["metric"]) == 24
+        # Same job key => the optimum request is a pure memory hit.
+        assert optimum["source"] == "memory"
+        assert optimum["key"] == sweep["key"]
+        assert optimum["simulated"]["depth"] > 0
+        assert optimum["analytic"]["depth"] > 0
+        assert optimum["analytic"]["pipelined"] in (True, False)
+
+    def test_metrics_expose_the_hierarchy(self, tmp_path):
+        async def scenario():
+            async with running(make_config(tmp_path)) as (_server, client):
+                await client.request_json("POST", "/v1/sweep", sweep_body())
+                await client.request_json("POST", "/v1/sweep", sweep_body())
+                _status, _headers, raw = await client.request("GET", "/metrics")
+                return raw.decode("utf-8")
+
+        text = asyncio.run(scenario())
+        assert 'repro_cache_hits_total{layer="memory"} 1' in text
+        assert "repro_computed_jobs_total 1" in text
+        assert "repro_lru_entries 1" in text
+        assert 'repro_requests_total{endpoint="/v1/sweep",status="200"} 2' in text
+        assert 'repro_request_seconds_bucket{endpoint="/v1/sweep",le="+Inf"} 2' in text
+
+    def test_disk_layer_survives_a_restart(self, tmp_path):
+        config = make_config(tmp_path)
+
+        async def first_life():
+            async with running(config) as (_server, client):
+                status, response = await client.request_json(
+                    "POST", "/v1/sweep", sweep_body()
+                )
+                return status, response["source"]
+
+        async def second_life():
+            async with running(config) as (server, client):
+                status, response = await client.request_json(
+                    "POST", "/v1/sweep", sweep_body()
+                )
+                return status, response["source"], server.state.lru.stats
+
+        assert asyncio.run(first_life()) == (200, "computed")
+        status, source, lru_stats = asyncio.run(second_life())
+        # Fresh process-equivalent: empty LRU, but the disk entry written
+        # by the first life is found and promoted into memory.
+        assert (status, source) == (200, "disk")
+        assert lru_stats["entries"] == 1
+
+    def test_backend_override_changes_the_key(self, tmp_path):
+        async def scenario():
+            async with running(make_config(tmp_path)) as (_server, client):
+                _status, fast = await client.request_json(
+                    "POST", "/v1/sweep", sweep_body()
+                )
+                _status, reference = await client.request_json(
+                    "POST", "/v1/sweep", sweep_body(backend="reference")
+                )
+                return fast, reference
+
+        fast, reference = asyncio.run(scenario())
+        assert fast["backend"] == "fast" and reference["backend"] == "reference"
+        assert fast["key"] != reference["key"]
+        # The validated-equivalent kernels must agree on the series.
+        assert fast["bips"] == reference["bips"]
+
+
+class TestValidation:
+    def test_rejections(self, tmp_path):
+        cases = [
+            ("/v1/sweep", {}, "workload"),
+            ("/v1/sweep", {"workload": "no-such-workload"}, "unknown workload"),
+            ("/v1/sweep", sweep_body(depths=[]), "depths"),
+            ("/v1/sweep", sweep_body(depths=[5, 3]), "ascending"),
+            ("/v1/sweep", sweep_body(length=0), "length"),
+            ("/v1/sweep", sweep_body(backend="warp"), "backend"),
+            ("/v1/sweep", sweep_body(m=-1), "m must be positive"),
+            ("/v1/sweep", sweep_body(reference_depth=99), "reference_depth"),
+            ("/v1/sweep", sweep_body(frobnicate=1), "unknown fields"),
+        ]
+
+        async def scenario():
+            outcomes = []
+            async with running(make_config(tmp_path)) as (_server, client):
+                for path, body, _needle in cases:
+                    outcomes.append(await client.request_json("POST", path, body))
+            return outcomes
+
+        outcomes = asyncio.run(scenario())
+        for (status, response), (_path, _body, needle) in zip(outcomes, cases):
+            assert status == 400, response
+            assert needle in response["error"]
+
+    def test_transport_errors(self, tmp_path):
+        async def scenario():
+            async with running(make_config(tmp_path)) as (_server, client):
+                missing = await client.request_json("POST", "/v1/nope", {})
+                wrong_method = await client.request_json("GET", "/v1/sweep")
+                empty_body = await client.request_json("POST", "/v1/sweep", None)
+                return missing, wrong_method, empty_body
+
+        missing, wrong_method, empty_body = asyncio.run(scenario())
+        assert missing[0] == 404
+        assert wrong_method[0] == 405
+        assert empty_body[0] == 400  # empty body -> {} -> missing 'workload'
+
+    def test_metric_inf_serves_bips(self, tmp_path):
+        async def scenario():
+            async with running(make_config(tmp_path)) as (_server, client):
+                return await client.request_json(
+                    "POST", "/v1/sweep", sweep_body(m="inf", gated=False)
+                )
+
+        status, response = asyncio.run(scenario())
+        assert status == 200
+        assert response["m"] == "inf"
+        assert response["metric"] == response["bips"]
+
+
+class TestCoalescing:
+    def test_identical_concurrent_requests_compute_once(self, tmp_path):
+        release = threading.Event()
+        calls = []
+
+        def gated_compute(job):
+            calls.append(job.cache_key())
+            release.wait(timeout=10)
+            return execute_job(job)
+
+        async def scenario():
+            config = make_config(tmp_path, concurrency=8, queue_limit=8)
+            async with running(config, compute=gated_compute) as (server, _c):
+                clients = [HttpClient("127.0.0.1", server.port) for _ in range(8)]
+                for client in clients:
+                    await client.connect()
+                tasks = [
+                    asyncio.create_task(
+                        client.request_json("POST", "/v1/sweep", sweep_body())
+                    )
+                    for client in clients
+                ]
+                while server.state.flight.coalesced < 7:
+                    await asyncio.sleep(0.002)
+                release.set()
+                responses = await asyncio.gather(*tasks)
+                for client in clients:
+                    await client.close()
+                return responses
+
+        responses = asyncio.run(scenario())
+        assert len(calls) == 1  # N concurrent identical requests -> 1 compute
+        statuses = [status for status, _ in responses]
+        assert statuses == [200] * 8
+        sources = sorted(response["source"] for _status, response in responses)
+        assert sources == ["coalesced"] * 7 + ["computed"]
+        keys = {response["key"] for _status, response in responses}
+        assert len(keys) == 1
+
+
+class TestBackpressure:
+    def test_saturated_queue_returns_429_but_serves_memory_hits(self, tmp_path):
+        release = threading.Event()
+        release.set()
+        computed = []
+
+        def gated_compute(job):
+            computed.append(job.name)
+            release.wait(timeout=10)
+            return execute_job(job)
+
+        async def scenario():
+            config = make_config(tmp_path, concurrency=1, queue_limit=0)
+            async with running(config, compute=gated_compute) as (server, client):
+                # Warm one workload into the memory LRU.
+                status, warm = await client.request_json(
+                    "POST", "/v1/sweep", sweep_body("gzip")
+                )
+                assert status == 200 and warm["source"] == "computed"
+
+                # Saturate the single compute slot with a blocked job.
+                release.clear()
+                blocked_client = HttpClient("127.0.0.1", server.port)
+                await blocked_client.connect()
+                blocked = asyncio.create_task(
+                    blocked_client.request_json(
+                        "POST", "/v1/sweep", sweep_body("gcc95")
+                    )
+                )
+                while len(computed) < 2:
+                    await asyncio.sleep(0.002)
+
+                # A distinct cold key cannot be admitted: 429 + Retry-After.
+                overload_status, _headers, raw = await client.request(
+                    "POST", "/v1/sweep", sweep_body("perl95")
+                )
+                retry_after = _headers.get("retry-after")
+
+                # The warm key still serves from memory during overload.
+                memory_status, memory = await client.request_json(
+                    "POST", "/v1/sweep", sweep_body("gzip")
+                )
+
+                release.set()
+                blocked_status, blocked_response = await blocked
+                await blocked_client.close()
+                metrics = server.state.metrics.render()
+                return (
+                    overload_status, retry_after, raw,
+                    memory_status, memory["source"],
+                    blocked_status, blocked_response["source"],
+                    metrics,
+                )
+
+        (
+            overload_status, retry_after, raw,
+            memory_status, memory_source,
+            blocked_status, blocked_source,
+            metrics,
+        ) = asyncio.run(scenario())
+        assert overload_status == 429, raw
+        assert retry_after is not None and float(retry_after) > 0
+        assert (memory_status, memory_source) == (200, "memory")
+        assert (blocked_status, blocked_source) == (200, "computed")
+        assert "repro_rejected_requests_total 1" in metrics
+        assert 'repro_requests_total{endpoint="/v1/sweep",status="429"} 1' in metrics
+
+
+class TestDrain:
+    def test_graceful_drain_finishes_inflight_work(self, tmp_path):
+        started = threading.Event()
+        release = threading.Event()
+
+        def gated_compute(job):
+            started.set()
+            release.wait(timeout=10)
+            return execute_job(job)
+
+        async def scenario():
+            config = make_config(tmp_path)
+            server = ServiceServer(ServiceState(config, compute=gated_compute))
+            await server.start()
+            port = server.port
+            client = HttpClient("127.0.0.1", port)
+            await client.connect()
+            inflight = asyncio.create_task(
+                client.request_json("POST", "/v1/sweep", sweep_body())
+            )
+            while not started.is_set():
+                await asyncio.sleep(0.002)
+
+            drain = asyncio.create_task(server.drain(timeout=5.0))
+            await asyncio.sleep(0.05)  # drain must now be waiting on us
+            release.set()
+            drained = await drain
+            status, response = await inflight
+            await client.close()
+
+            refused = False
+            try:
+                probe = HttpClient("127.0.0.1", port)
+                await probe.connect()
+                await probe.close()
+            except (ConnectionError, OSError):
+                refused = True
+            return drained, status, response["source"], refused
+
+        drained, status, source, refused = asyncio.run(scenario())
+        assert drained is True
+        assert (status, source) == (200, "computed")
+        assert refused is True  # the listener is gone after the drain
+
+    def test_drain_reports_timeout_when_work_is_stuck(self, tmp_path):
+        release = threading.Event()
+
+        def stuck_compute(job):
+            release.wait(timeout=30)
+            return execute_job(job)
+
+        async def scenario():
+            config = make_config(tmp_path)
+            server = ServiceServer(ServiceState(config, compute=stuck_compute))
+            await server.start()
+            client = HttpClient("127.0.0.1", server.port)
+            await client.connect()
+            inflight = asyncio.create_task(
+                client.request_json("POST", "/v1/sweep", sweep_body())
+            )
+            while server.state.admitted == 0:
+                await asyncio.sleep(0.002)
+            drained = await server.drain(timeout=0.1)
+            release.set()
+            await asyncio.gather(inflight, return_exceptions=True)
+            await client.close()
+            return drained
+
+        assert asyncio.run(scenario()) is False
+
+    def test_healthz_reports_draining(self, tmp_path):
+        async def scenario():
+            config = make_config(tmp_path)
+            server = ServiceServer(ServiceState(config))
+            await server.start()
+            server.state.draining = True
+            status, body, _type, _extra = await server._route("GET", "/healthz", b"")
+            server.state.draining = False
+            await server.drain(timeout=1.0)
+            return status, body
+
+        status, body = asyncio.run(scenario())
+        assert status == 503
+        assert b"draining" in body

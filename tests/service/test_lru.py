@@ -1,0 +1,94 @@
+"""Tests of the in-memory LRU payload cache."""
+
+import pytest
+
+from repro.service.lru import LRUCache
+
+
+class TestBasics:
+    def test_get_miss_then_hit(self):
+        lru = LRUCache(4)
+        assert lru.get("a") is None
+        lru.put("a", {"v": 1})
+        assert lru.get("a") == {"v": 1}
+        assert lru.hits == 1 and lru.misses == 1
+
+    def test_put_overwrites(self):
+        lru = LRUCache(4)
+        lru.put("a", {"v": 1})
+        lru.put("a", {"v": 2})
+        assert lru.get("a") == {"v": 2}
+        assert len(lru) == 1
+
+    def test_contains_and_len(self):
+        lru = LRUCache(4)
+        lru.put("a", {})
+        assert "a" in lru and "b" not in lru
+        assert len(lru) == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_clear(self):
+        lru = LRUCache(4)
+        lru.put("a", {})
+        lru.put("b", {})
+        assert lru.clear() == 2
+        assert len(lru) == 0 and lru.get("a") is None
+
+
+class TestEviction:
+    def test_capacity_bound_holds(self):
+        lru = LRUCache(3)
+        for index in range(10):
+            lru.put(f"k{index}", {"v": index})
+            assert len(lru) <= 3
+        assert lru.evictions == 7
+
+    def test_evicts_least_recently_used(self):
+        lru = LRUCache(2)
+        lru.put("a", {"v": 1})
+        lru.put("b", {"v": 2})
+        assert lru.get("a") is not None  # refresh a; b is now oldest
+        lru.put("c", {"v": 3})
+        assert lru.get("b") is None
+        assert lru.get("a") is not None and lru.get("c") is not None
+
+    def test_put_refreshes_recency(self):
+        lru = LRUCache(2)
+        lru.put("a", {"v": 1})
+        lru.put("b", {"v": 2})
+        lru.put("a", {"v": 10})  # rewrite refreshes a; b is oldest
+        lru.put("c", {"v": 3})
+        assert "b" not in lru and "a" in lru
+
+    def test_eviction_order_is_oldest_first(self):
+        lru = LRUCache(3)
+        for name in ("a", "b", "c"):
+            lru.put(name, {})
+        evicted = []
+        for name in ("d", "e", "f"):
+            before = {key for key, _ in lru.items()}
+            lru.put(name, {})
+            after = {key for key, _ in lru.items()}
+            evicted.extend(before - after)
+        assert evicted == ["a", "b", "c"]
+
+
+class TestDisabled:
+    def test_zero_capacity_stores_nothing(self):
+        lru = LRUCache(0)
+        lru.put("a", {"v": 1})
+        assert lru.get("a") is None
+        assert len(lru) == 0
+        assert lru.evictions == 0
+
+    def test_stats_shape(self):
+        lru = LRUCache(2)
+        lru.put("a", {})
+        lru.get("a")
+        lru.get("b")
+        assert lru.stats == {
+            "entries": 1, "capacity": 2, "hits": 1, "misses": 1, "evictions": 0,
+        }

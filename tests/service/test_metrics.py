@@ -1,0 +1,115 @@
+"""Tests of the Prometheus-style metrics registry."""
+
+import math
+
+import pytest
+
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.0)
+        assert counter.value() == 3.0
+
+    def test_labels_are_independent(self):
+        counter = Counter("c_total", "help")
+        counter.inc(endpoint="/a")
+        counter.inc(endpoint="/b")
+        counter.inc(endpoint="/a")
+        assert counter.value(endpoint="/a") == 2.0
+        assert counter.value(endpoint="/b") == 1.0
+        assert counter.value(endpoint="/c") == 0.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c_total", "help").inc(-1)
+
+    def test_render(self):
+        counter = Counter("c_total", "requests seen")
+        counter.inc(status="200", endpoint="/a")
+        lines = counter.render()
+        assert "# HELP c_total requests seen" in lines
+        assert "# TYPE c_total counter" in lines
+        assert 'c_total{endpoint="/a",status="200"} 1' in lines
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g", "help")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 4.0
+
+    def test_callback_gauge(self):
+        box = {"v": 7}
+        gauge = Gauge("g", "help", callback=lambda: box["v"])
+        assert gauge.value() == 7.0
+        box["v"] = 9
+        assert "g 9" in gauge.render()
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        histogram = Histogram("h_seconds", "help", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        lines = histogram.render()
+        assert 'h_seconds_bucket{le="0.1"} 1' in lines
+        assert 'h_seconds_bucket{le="1"} 3' in lines
+        assert 'h_seconds_bucket{le="10"} 4' in lines
+        assert 'h_seconds_bucket{le="+Inf"} 5' in lines
+        assert "h_seconds_count 5" in lines
+        assert histogram.count() == 5
+        assert histogram.sum() == pytest.approx(56.05)
+
+    def test_per_label_series(self):
+        histogram = Histogram("h", "help", buckets=(1.0,))
+        histogram.observe(0.5, endpoint="/a")
+        histogram.observe(2.0, endpoint="/b")
+        assert histogram.count(endpoint="/a") == 1
+        assert histogram.count(endpoint="/b") == 1
+        assert histogram.count(endpoint="/c") == 0
+
+    def test_quantile_estimate(self):
+        histogram = Histogram("h", "help", buckets=(0.1, 1.0, 10.0))
+        for _ in range(99):
+            histogram.observe(0.05)
+        histogram.observe(5.0)
+        assert histogram.quantile(0.5) == 0.1
+        assert histogram.quantile(1.0) == 10.0
+        assert math.isnan(Histogram("e", "h", buckets=(1,)).quantile(0.5))
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", "help", buckets=())
+
+
+class TestRegistry:
+    def test_render_is_valid_exposition_text(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a_total", "a")
+        registry.gauge("b", "b", callback=lambda: 1.5)
+        histogram = registry.histogram("c_seconds", "c", buckets=(1.0,))
+        counter.inc()
+        histogram.observe(0.5)
+        text = registry.render()
+        assert text.endswith("\n")
+        for needle in (
+            "# TYPE a_total counter",
+            "# TYPE b gauge",
+            "# TYPE c_seconds histogram",
+            "a_total 1",
+            "b 1.5",
+            'c_seconds_bucket{le="+Inf"} 1',
+        ):
+            assert needle in text
+
+    def test_duplicate_names_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("dup", "first")
+        with pytest.raises(ValueError):
+            registry.gauge("dup", "second")

@@ -1,0 +1,152 @@
+"""Tests of single-flight request coalescing."""
+
+import asyncio
+
+import pytest
+
+from repro.service.singleflight import SingleFlight
+
+
+class TestCoalescing:
+    def test_concurrent_identical_keys_compute_once(self):
+        async def scenario():
+            flight = SingleFlight()
+            calls = []
+            release = asyncio.Event()
+
+            async def supplier():
+                calls.append(1)
+                await release.wait()
+                return {"answer": 42}
+
+            tasks = [
+                asyncio.create_task(flight.run("key", supplier)) for _ in range(8)
+            ]
+            while flight.coalesced < 7:
+                await asyncio.sleep(0.001)
+            release.set()
+            return await asyncio.gather(*tasks), calls, flight
+
+        results, calls, flight = asyncio.run(scenario())
+        assert len(calls) == 1
+        assert flight.leaders == 1 and flight.coalesced == 7
+        values = [value for value, _coalesced in results]
+        assert all(value == {"answer": 42} for value in values)
+        assert sum(coalesced for _value, coalesced in results) == 7
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            flight = SingleFlight()
+            calls = []
+
+            def supplier_for(key):
+                async def supplier():
+                    calls.append(key)
+                    await asyncio.sleep(0.01)
+                    return key.upper()
+                return supplier
+
+            results = await asyncio.gather(
+                flight.run("a", supplier_for("a")),
+                flight.run("b", supplier_for("b")),
+            )
+            return results, calls, flight
+
+        results, calls, flight = asyncio.run(scenario())
+        assert sorted(calls) == ["a", "b"]
+        assert flight.leaders == 2 and flight.coalesced == 0
+        assert [value for value, _ in results] == ["A", "B"]
+
+    def test_sequential_calls_run_fresh_flights(self):
+        async def scenario():
+            flight = SingleFlight()
+            calls = []
+
+            async def supplier():
+                calls.append(1)
+                return len(calls)
+
+            first, _ = await flight.run("key", supplier)
+            second, _ = await flight.run("key", supplier)
+            return first, second, flight
+
+        first, second, flight = asyncio.run(scenario())
+        assert (first, second) == (1, 2)
+        assert flight.leaders == 2 and flight.inflight() == 0
+
+
+class TestErrors:
+    def test_leader_failure_reaches_every_follower(self):
+        async def scenario():
+            flight = SingleFlight()
+            release = asyncio.Event()
+
+            async def supplier():
+                await release.wait()
+                raise RuntimeError("boom")
+
+            tasks = [
+                asyncio.create_task(flight.run("key", supplier)) for _ in range(4)
+            ]
+            while flight.coalesced < 3:
+                await asyncio.sleep(0.001)
+            release.set()
+            return await asyncio.gather(*tasks, return_exceptions=True), flight
+
+        outcomes, flight = asyncio.run(scenario())
+        assert all(isinstance(outcome, RuntimeError) for outcome in outcomes)
+        assert flight.inflight() == 0
+
+    def test_failure_with_no_followers_raises_cleanly(self):
+        async def scenario():
+            flight = SingleFlight()
+
+            async def supplier():
+                raise ValueError("nope")
+
+            with pytest.raises(ValueError):
+                await flight.run("key", supplier)
+            return flight
+
+        flight = asyncio.run(scenario())
+        assert flight.inflight() == 0
+
+    def test_key_clears_after_failure(self):
+        async def scenario():
+            flight = SingleFlight()
+
+            async def failing():
+                raise ValueError("nope")
+
+            async def working():
+                return "fine"
+
+            with pytest.raises(ValueError):
+                await flight.run("key", failing)
+            value, coalesced = await flight.run("key", working)
+            return value, coalesced
+
+        value, coalesced = asyncio.run(scenario())
+        assert value == "fine" and coalesced is False
+
+    def test_follower_cancellation_does_not_kill_the_flight(self):
+        async def scenario():
+            flight = SingleFlight()
+            release = asyncio.Event()
+
+            async def supplier():
+                await release.wait()
+                return "done"
+
+            leader = asyncio.create_task(flight.run("key", supplier))
+            follower = asyncio.create_task(flight.run("key", supplier))
+            while flight.coalesced < 1:
+                await asyncio.sleep(0.001)
+            follower.cancel()
+            await asyncio.gather(follower, return_exceptions=True)
+            release.set()
+            value, coalesced = await leader
+            return value, coalesced
+
+        value, coalesced = asyncio.run(scenario())
+        assert value == "done" and coalesced is False

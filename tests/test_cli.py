@@ -187,3 +187,61 @@ class TestBatch:
         path.write_text("{}", encoding="utf-8")
         assert main(["batch", str(path), "--no-cache"]) == 2
         assert "error: " in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_stats_on_empty_cache(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "entries   : 0" in out
+        assert "size      : 0 bytes" in out
+
+    def test_stats_after_a_cached_run(self, capsys, tmp_path):
+        cache_dir = tmp_path / "c"
+        assert main(["sweep", "gzip", "--length", "1200", "--no-chart",
+                     "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries   : 1" in out
+        assert "0 bytes" not in out
+
+    def test_clear(self, capsys, tmp_path):
+        cache_dir = tmp_path / "c"
+        assert main(["sweep", "gzip", "--length", "1200", "--no-chart",
+                     "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "cleared 1 cache entries" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        assert "entries   : 0" in capsys.readouterr().out
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+    def test_default_directory_honours_env(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert main(["cache", "stats"]) == 0
+        assert str(tmp_path / "env-cache") in capsys.readouterr().out
+
+
+class TestServeParser:
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--backend", "reference",
+             "--concurrency", "2", "--no-disk-cache"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0 and args.backend == "reference"
+        assert args.no_disk_cache is True
+
+    def test_serve_builds_a_service_config(self, monkeypatch):
+        from repro.service.config import config_from_args
+
+        monkeypatch.setenv("REPRO_SERVICE_QUEUE_LIMIT", "3")
+        args = build_parser().parse_args(["serve", "--port", "0"])
+        config = config_from_args(args)
+        assert config.port == 0
+        assert config.queue_limit == 3
+        assert config.backend == "fast"
