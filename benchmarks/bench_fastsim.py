@@ -1,38 +1,43 @@
-"""Fast-kernel speedup: one trace analysis vs twenty interpretations.
+"""Kernel speedups: one trace analysis, then one timing pass for all depths.
 
 Times a 20-point depth sweep (depths 2..21, the paper's working range)
-over a commercial workload on both backends and records the ratio.  The
-fast kernel analyses the trace once and prices every depth from the
-shared event stream, so the sweep-level speedup — not single-depth
-latency — is the number that matters for the figures.
+over a commercial workload on all three backends and records the ratios:
 
-Timing is best-of-N: each rep runs the full sweep on a freshly built
-simulator (the fast backend's trace analysis is *inside* the timed
-region) and the minimum wall time per backend is used, which makes the
-ratio robust to scheduler noise on shared machines.
+* ``fast`` over ``reference`` — the event-precomputing kernel analyses
+  the trace once and prices every depth from the shared event stream;
+* ``batched`` over ``fast`` — the depth-batched C kernel additionally
+  walks the event stream once with one state lane per depth, so the
+  whole sweep costs one analysis plus one timing pass.
+
+Timing is best-of-N: each rep runs the full sweep through
+``simulate_depths`` on a freshly built simulator (the analysing
+backends' trace analysis is *inside* the timed region, and no events
+cache is attached) and the minimum wall time per backend is used, which
+makes the ratios robust to scheduler noise on shared machines.
 
 Two entry points:
 
 * ``pytest benchmarks/bench_fastsim.py --benchmark-only`` — the recorded
-  run; asserts the >= 5x sweep speedup and writes
-  ``benchmarks/results/fastsim.txt``.
+  run; asserts fast >= 5x over reference and batched >= 3x over fast,
+  and writes ``benchmarks/results/fastsim.txt`` + ``fastsim.json``.
 * ``python benchmarks/bench_fastsim.py [--quick]`` — the CI smoke gate;
-  ``--quick`` shrinks the measurement and only requires the fast backend
-  to beat the reference (>= 1x), appending the outcome to
-  ``benchmarks/results/fastsim_ci.txt``.
+  ``--quick`` shrinks the measurement and only requires each kernel not
+  to lose to the backend below it (>= 1x), appending the outcome to
+  ``benchmarks/results/fastsim_ci.txt`` (+ ``fastsim_ci.json``).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import pathlib
 import sys
 import time
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
-from repro.pipeline.fastsim import FastPipelineSimulator
-from repro.pipeline.simulator import MachineConfig, PipelineSimulator
+from repro.pipeline.fastsim import make_simulator
+from repro.pipeline.simulator import MachineConfig
 from repro.trace import generate_trace, get_workload
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -41,11 +46,13 @@ WORKLOAD = "cics-payroll"
 DEPTHS: Tuple[int, ...] = tuple(range(2, 22))  # 20-point sweep
 TRACE_LENGTH = 8000
 REPS = 9
-SPEEDUP_FLOOR = 5.0
+SPEEDUP_FLOOR = 5.0          # fast over reference
+BATCHED_FLOOR = 3.0          # batched over fast
 
 QUICK_TRACE_LENGTH = 2000
 QUICK_REPS = 3
 QUICK_FLOOR = 1.0
+QUICK_BATCHED_FLOOR = 1.0    # smoke: batched must not lose to fast
 
 
 @dataclass(frozen=True)
@@ -56,10 +63,34 @@ class BenchResult:
     reps: int
     reference_seconds: float
     fast_seconds: float
+    batched_seconds: float
 
     @property
     def speedup(self) -> float:
+        """fast over reference (sweep wall time)."""
         return self.reference_seconds / self.fast_seconds
+
+    @property
+    def batched_speedup(self) -> float:
+        """batched over fast (sweep wall time)."""
+        return self.fast_seconds / self.batched_seconds
+
+    def as_json(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["depths"] = list(self.depths)
+        payload["fast_speedup"] = self.speedup
+        payload["batched_speedup"] = self.batched_speedup
+        return payload
+
+
+def _time_sweep(machine, backend, trace, depths, reps) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        simulator = make_simulator(machine, backend)
+        started = time.perf_counter()
+        simulator.simulate_depths(trace, depths)
+        best = min(best, time.perf_counter() - started)
+    return best
 
 
 def measure(
@@ -74,88 +105,92 @@ def measure(
     depths = tuple(depths)
 
     # Equal-work sanity check before timing anything.
-    reference_check = PipelineSimulator(machine).simulate(trace, depths[-1])
-    fast_check = FastPipelineSimulator(machine).simulate(trace, depths[-1])
-    if reference_check != fast_check:
+    checks = [
+        make_simulator(machine, backend).simulate(trace, depths[-1])
+        for backend in ("reference", "fast", "batched")
+    ]
+    if any(check != checks[0] for check in checks[1:]):
         raise AssertionError(
             "backends diverge; run 'repro validate-kernel' before benchmarking"
         )
-
-    reference_best = fast_best = float("inf")
-    for _ in range(reps):
-        simulator = PipelineSimulator(machine)
-        started = time.perf_counter()
-        for depth in depths:
-            simulator.simulate(trace, depth)
-        reference_best = min(reference_best, time.perf_counter() - started)
-
-        fast_simulator = FastPipelineSimulator(machine)
-        started = time.perf_counter()
-        for depth in depths:
-            fast_simulator.simulate(trace, depth)
-        fast_best = min(fast_best, time.perf_counter() - started)
 
     return BenchResult(
         workload=workload,
         trace_length=trace_length,
         depths=depths,
         reps=reps,
-        reference_seconds=reference_best,
-        fast_seconds=fast_best,
+        reference_seconds=_time_sweep(machine, "reference", trace, depths, reps),
+        fast_seconds=_time_sweep(machine, "fast", trace, depths, reps),
+        batched_seconds=_time_sweep(machine, "batched", trace, depths, reps),
     )
 
 
 def format_result(result: BenchResult) -> str:
     return "\n".join(
         [
-            f"Fast-kernel sweep benchmark — {result.workload}, "
+            f"Kernel sweep benchmark — {result.workload}, "
             f"{result.trace_length} instructions, "
             f"{len(result.depths)} depths ({result.depths[0]}..{result.depths[-1]}), "
             f"best of {result.reps}",
             f"  reference backend : {result.reference_seconds * 1e3:7.1f} ms",
             f"  fast backend      : {result.fast_seconds * 1e3:7.1f} ms",
-            f"  sweep speedup     : {result.speedup:.2f}x",
+            f"  batched backend   : {result.batched_seconds * 1e3:7.1f} ms",
+            f"  fast over reference : {result.speedup:6.2f}x",
+            f"  batched over fast   : {result.batched_speedup:6.2f}x",
         ]
     )
 
 
 def test_fastsim_speedup(benchmark, record_table):
-    """Recorded run: the fast backend clears the 5x sweep-speedup floor."""
+    """Recorded run: fast clears 5x over reference, batched 3x over fast."""
     from conftest import run_once
 
     result = run_once(benchmark, measure)
-    record_table("fastsim", format_result(result))
+    record_table("fastsim", format_result(result), data=result.as_json())
     assert result.speedup >= SPEEDUP_FLOOR, format_result(result)
+    assert result.batched_speedup >= BATCHED_FLOOR, format_result(result)
 
 
 def main(argv: "Sequence[str] | None" = None) -> int:
+    from conftest import write_json_record
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--quick", action="store_true",
-        help="CI smoke: shorter trace, fewer reps, only require fast >= reference",
+        help="CI smoke: shorter trace, fewer reps, only require each kernel "
+        "not to lose to the backend below it",
     )
     args = parser.parse_args(argv)
 
     if args.quick:
         result = measure(trace_length=QUICK_TRACE_LENGTH, reps=QUICK_REPS)
-        floor = QUICK_FLOOR
-        record = RESULTS_DIR / "fastsim_ci.txt"
+        floor, batched_floor = QUICK_FLOOR, QUICK_BATCHED_FLOOR
+        name = "fastsim_ci"
     else:
         result = measure()
-        floor = SPEEDUP_FLOOR
-        record = RESULTS_DIR / "fastsim.txt"
+        floor, batched_floor = SPEEDUP_FLOOR, BATCHED_FLOOR
+        name = "fastsim"
 
     table = format_result(result)
     print(table)
     RESULTS_DIR.mkdir(exist_ok=True)
     stamp = time.strftime("%Y-%m-%d %H:%M:%S")
-    with record.open("a", encoding="utf-8") as handle:
+    with (RESULTS_DIR / f"{name}.txt").open("a", encoding="utf-8") as handle:
         handle.write(f"[{stamp}] {table}\n")
+    write_json_record(name, table, data=result.as_json())
+    failed = False
     if result.speedup < floor:
-        print(f"FAIL: speedup {result.speedup:.2f}x below the {floor:g}x floor",
-              file=sys.stderr)
+        print(f"FAIL: fast speedup {result.speedup:.2f}x below the "
+              f"{floor:g}x floor", file=sys.stderr)
+        failed = True
+    if result.batched_speedup < batched_floor:
+        print(f"FAIL: batched speedup {result.batched_speedup:.2f}x below the "
+              f"{batched_floor:g}x floor", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
-    print(f"PASS: speedup {result.speedup:.2f}x (floor {floor:g}x)")
+    print(f"PASS: fast {result.speedup:.2f}x (floor {floor:g}x), "
+          f"batched {result.batched_speedup:.2f}x (floor {batched_floor:g}x)")
     return 0
 
 

@@ -4,28 +4,49 @@ Each ``bench_fig*.py`` regenerates one paper figure at full evaluation
 scale, times it with pytest-benchmark (single round — these are
 experiments, not microbenchmarks), asserts the figure's shape claims and
 writes the printed table to ``benchmarks/results/<name>.txt`` so the
-numbers that went into EXPERIMENTS.md are reproducible artifacts.
+numbers that went into EXPERIMENTS.md are reproducible artifacts.  A
+machine-readable ``<name>.json`` sidecar is written alongside every
+table (CI uploads the whole ``results/`` directory as an artifact);
+benches may pass structured ``data`` to enrich it beyond the table text.
 
 Run everything with::
 
     pytest benchmarks/ --benchmark-only
 """
 
+import json
 import pathlib
+import time
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def write_json_record(name: str, table: str, data=None) -> pathlib.Path:
+    """Write the ``<name>.json`` sidecar; returns its path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    payload = {
+        "name": name,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "table": table,
+    }
+    if data is not None:
+        payload["data"] = data
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 @pytest.fixture()
 def record_table():
-    """Persist a figure's table under benchmarks/results/ and echo it."""
+    """Persist a figure's table (txt + json) under benchmarks/results/."""
 
-    def _record(name: str, table: str) -> None:
+    def _record(name: str, table: str, data=None) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(table + "\n")
+        write_json_record(name, table, data)
         print()
         print(table)
 

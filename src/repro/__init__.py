@@ -33,6 +33,6 @@ Quickstart::
 
 from . import core
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = ["core", "__version__"]

@@ -201,8 +201,8 @@ def run_depth_sweep(
             cache) the simulations; None runs directly in-process.  A raw
             :class:`Trace` cannot be content-addressed, so trace inputs
             always run directly.
-        backend: ``"reference"`` or ``"fast"`` — which simulator backend
-            computes the per-depth results (see
+        backend: ``"reference"``, ``"fast"`` or ``"batched"`` — which
+            simulator backend computes the per-depth results (see
             :mod:`repro.pipeline.fastsim`).
 
     Returns:
@@ -231,12 +231,7 @@ def run_depth_sweep(
     else:
         trace, workload_spec = generate_trace(spec, trace_length), spec
     simulator = make_simulator(machine, backend)
-
-    reference = simulator.simulate(trace, reference_depth)
-    results = tuple(
-        reference if depth == reference_depth else simulator.simulate(trace, depth)
-        for depth in depths
-    )
+    results = simulator.simulate_depths(trace, depths)
     return sweep_from_results(
         results,
         depths,

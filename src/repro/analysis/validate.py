@@ -1,9 +1,10 @@
-"""Cross-validation harness: the fast kernel against the reference simulator.
+"""Cross-validation harness: the fast kernels against the reference simulator.
 
-The fast backend (:mod:`repro.pipeline.fastsim`) is only useful if it is
+The fast backend (:mod:`repro.pipeline.fastsim`) and the depth-batched
+backend (:mod:`repro.pipeline.batched`) are only useful if they are
 *indistinguishable* from the reference interpreter, so this module runs
-both backends over a grid of (workload, machine configuration, depth)
-points and compares
+every candidate backend over a grid of (workload, machine configuration,
+depth) points and compares
 
 * every field of each :class:`~repro.pipeline.results.SimulationResult`
   — CPI follows from ``instructions``/``cycles``, the hazard counts
@@ -15,7 +16,8 @@ points and compares
   :func:`~repro.analysis.optimum.optimum_from_sweep`).
 
 ``repro validate-kernel`` exposes it on the command line (``--small`` is
-the CI configuration) and exits non-zero on any divergence;
+the CI configuration, ``--backend`` narrows the candidate set) and exits
+non-zero on any divergence;
 ``tests/pipeline/test_fastsim_equivalence.py`` asserts the same
 properties inside the test suite.
 
@@ -33,19 +35,25 @@ import math
 from dataclasses import dataclass
 from typing import Mapping, Sequence, Tuple
 
-from ..pipeline.fastsim import FastPipelineSimulator
+from ..pipeline.fastsim import BACKENDS, make_simulator
 from ..pipeline.simulator import MachineConfig, PipelineSimulator
 from ..trace.generator import generate_trace
 from ..trace.spec import WorkloadSpec
 from ..trace.suite import small_suite
 
 __all__ = [
+    "CANDIDATE_BACKENDS",
     "FieldMismatch",
     "ValidationReport",
     "default_machine_grid",
     "validate_kernel",
     "format_report",
 ]
+
+CANDIDATE_BACKENDS: Tuple[str, ...] = tuple(
+    b for b in BACKENDS if b != "reference"
+)
+"""Backends validated against the reference by default."""
 
 #: Relative tolerance for float fields.  The two backends are exactly
 #: equal in practice (both compute in exact integer cycle arithmetic);
@@ -66,6 +74,7 @@ class FieldMismatch:
     field: str
     reference: object
     fast: object
+    backend: str = "fast"
 
 
 @dataclass(frozen=True)
@@ -76,6 +85,7 @@ class OptimumMismatch:
     machine: str
     reference_depth: float
     fast_depth: float
+    backend: str = "fast"
 
 
 @dataclass(frozen=True)
@@ -93,6 +103,7 @@ class ValidationReport:
     points: int
     mismatches: Tuple[FieldMismatch, ...]
     optimum_mismatches: Tuple[OptimumMismatch, ...]
+    backends: Tuple[str, ...] = ("fast",)
 
     @property
     def passed(self) -> bool:
@@ -122,7 +133,7 @@ def default_machine_grid(small: bool = False) -> Mapping[str, MachineConfig]:
     return grid
 
 
-def _compare_fields(reference, fast, workload, machine, depth, out) -> None:
+def _compare_fields(reference, fast, workload, machine, depth, backend, out) -> None:
     for field in dataclasses.fields(reference):
         a = getattr(reference, field.name)
         b = getattr(fast, field.name)
@@ -144,6 +155,7 @@ def _compare_fields(reference, fast, workload, machine, depth, out) -> None:
                     field=field.name,
                     reference=a,
                     fast=b,
+                    backend=backend,
                 )
             )
 
@@ -156,8 +168,9 @@ def validate_kernel(
     small: bool = False,
     reference_depth: int = 8,
     metric: float = 3.0,
+    backends: "Sequence[str] | None" = None,
 ) -> ValidationReport:
-    """Run both backends over the validation grid and compare.
+    """Run every candidate backend over the validation grid and compare.
 
     Args:
         specs: workloads (default: one per class for ``--small``, two per
@@ -170,6 +183,10 @@ def validate_kernel(
         small: the reduced CI grid.
         reference_depth: power-calibration anchor for the optimum check.
         metric: metric exponent for the optimum check (paper: m = 3).
+        backends: candidate backends to hold against the reference
+            (default: every non-reference backend — ``fast`` and
+            ``batched``).  ``points`` counts (workload, machine, depth)
+            grid points; every point is checked under every backend.
     """
     from .optimum import optimum_from_sweep
     from .sweep import sweep_from_results
@@ -186,6 +203,13 @@ def validate_kernel(
         raise ValueError(
             f"reference_depth {reference_depth} must be one of the depths {depths}"
         )
+    backends = tuple(backends) if backends is not None else CANDIDATE_BACKENDS
+    for backend in backends:
+        if backend not in BACKENDS or backend == "reference":
+            raise ValueError(
+                f"cannot validate backend {backend!r}; "
+                f"choose from {CANDIDATE_BACKENDS}"
+            )
 
     mismatches: list = []
     optimum_mismatches: list = []
@@ -193,17 +217,9 @@ def validate_kernel(
     for spec in specs:
         trace = generate_trace(spec, trace_length)
         for label, machine in machines.items():
-            reference_sim = PipelineSimulator(machine)
-            fast_sim = FastPipelineSimulator(machine)
-            reference_results = []
-            fast_results = []
-            for depth in depths:
-                r = reference_sim.simulate(trace, depth)
-                f = fast_sim.simulate(trace, depth)
-                _compare_fields(r, f, spec.name, label, depth, mismatches)
-                reference_results.append(r)
-                fast_results.append(f)
-                points += 1
+            reference_results = PipelineSimulator(machine).simulate_depths(
+                trace, depths
+            )
             opt_ref = optimum_from_sweep(
                 sweep_from_results(
                     reference_results, depths, spec=spec,
@@ -211,22 +227,32 @@ def validate_kernel(
                 ),
                 metric,
             ).depth
-            opt_fast = optimum_from_sweep(
-                sweep_from_results(
-                    fast_results, depths, spec=spec,
-                    reference_depth=reference_depth,
-                ),
-                metric,
-            ).depth
-            if opt_ref != opt_fast:
-                optimum_mismatches.append(
-                    OptimumMismatch(
-                        workload=spec.name,
-                        machine=label,
-                        reference_depth=opt_ref,
-                        fast_depth=opt_fast,
+            points += len(depths)
+            for backend in backends:
+                candidate = make_simulator(machine, backend)
+                candidate_results = candidate.simulate_depths(trace, depths)
+                for depth, r, f in zip(depths, reference_results,
+                                       candidate_results):
+                    _compare_fields(
+                        r, f, spec.name, label, depth, backend, mismatches
                     )
-                )
+                opt_fast = optimum_from_sweep(
+                    sweep_from_results(
+                        list(candidate_results), depths, spec=spec,
+                        reference_depth=reference_depth,
+                    ),
+                    metric,
+                ).depth
+                if opt_ref != opt_fast:
+                    optimum_mismatches.append(
+                        OptimumMismatch(
+                            workload=spec.name,
+                            machine=label,
+                            reference_depth=opt_ref,
+                            fast_depth=opt_fast,
+                            backend=backend,
+                        )
+                    )
     return ValidationReport(
         workloads=tuple(spec.name for spec in specs),
         machines=tuple(machines),
@@ -235,16 +261,18 @@ def validate_kernel(
         points=points,
         mismatches=tuple(mismatches),
         optimum_mismatches=tuple(optimum_mismatches),
+        backends=backends,
     )
 
 
 def format_report(report: ValidationReport) -> str:
     """Human-readable validation summary (the CLI output)."""
     lines = [
-        "fast-kernel cross-validation: "
+        "kernel cross-validation: "
         f"{len(report.workloads)} workloads x {len(report.machines)} machines "
         f"x {len(report.depths)} depths ({report.points} points, "
         f"{report.trace_length} instructions)",
+        f"  backends : {', '.join(report.backends)} (vs reference)",
         f"  machines : {', '.join(report.machines)}",
         f"  depths   : {', '.join(str(d) for d in report.depths)}",
     ]
@@ -256,16 +284,18 @@ def format_report(report: ValidationReport) -> str:
     else:
         for m in report.mismatches[:20]:
             lines.append(
-                f"  FAIL {m.workload}/{m.machine} depth {m.depth} {m.field}: "
-                f"reference={m.reference!r} fast={m.fast!r}"
+                f"  FAIL [{m.backend}] {m.workload}/{m.machine} "
+                f"depth {m.depth} {m.field}: "
+                f"reference={m.reference!r} candidate={m.fast!r}"
             )
         hidden = len(report.mismatches) - 20
         if hidden > 0:
             lines.append(f"  ... {hidden} further field mismatches")
         for om in report.optimum_mismatches:
             lines.append(
-                f"  FAIL {om.workload}/{om.machine} optimum: "
-                f"reference={om.reference_depth:.2f} fast={om.fast_depth:.2f}"
+                f"  FAIL [{om.backend}] {om.workload}/{om.machine} optimum: "
+                f"reference={om.reference_depth:.2f} "
+                f"candidate={om.fast_depth:.2f}"
             )
         lines.append(
             f"  FAIL: {len(report.mismatches)} field mismatches, "

@@ -5,7 +5,8 @@ Commands:
 * ``optimum``   — the analytic optimum for given theory parameters.
 * ``sweep``     — simulate one workload across depths; table, chart, CSV.
 * ``simulate``  — one workload at one depth; characterisation summary.
-* ``validate-kernel`` — cross-validate the fast kernel vs the reference.
+* ``validate-kernel`` — cross-validate the fast/batched kernels vs the
+  reference.
 * ``plan``      — draw the Fig. 2 pipeline at a given depth.
 * ``workloads`` — list the 55-workload suite.
 * ``characterize`` — the suite characterisation table.
@@ -15,12 +16,15 @@ Commands:
 * ``serve``     — the long-lived asyncio HTTP daemon (request coalescing,
   in-memory LRU over the disk cache, backpressure; see docs/SERVICE.md).
 * ``cache``     — inspect (``stats``) or empty (``clear``) the on-disk
-  result cache the engine and the daemon share.
+  caches: the engine/daemon result cache and the shared trace-analysis
+  cache.
 
 The simulation-heavy commands (``sweep``, ``figures``, ``batch``) accept
 ``--jobs N`` (parallel workers), ``--cache-dir``, ``--no-cache`` and
-``--backend reference|fast`` (which simulator kernel runs the sweeps);
-they share the content-addressed result cache of :mod:`repro.engine`.
+``--backend reference|fast|batched`` (which simulator kernel runs the
+sweeps); they share the content-addressed result cache of
+:mod:`repro.engine` and the trace-analysis cache of
+:mod:`repro.pipeline.events_cache`.
 """
 
 from __future__ import annotations
@@ -87,14 +91,17 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--depth", type=int, default=8)
     simulate.add_argument("--length", type=int, default=8000)
     simulate.add_argument("--out-of-order", action="store_true")
+    from .pipeline.fastsim import BACKENDS
+
     simulate.add_argument(
-        "--backend", choices=("reference", "fast"), default="reference",
+        "--backend", choices=BACKENDS, default="reference",
         help="simulation backend (default: %(default)s)",
     )
 
     validate = sub.add_parser(
         "validate-kernel",
-        help="cross-validate the fast kernel against the reference simulator",
+        help="cross-validate the fast/batched kernels against the reference "
+        "simulator",
     )
     validate.add_argument(
         "--small", action="store_true",
@@ -102,6 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("--length", type=int, default=None,
                           help="trace length override")
+    validate.add_argument(
+        "--backend", action="append", default=None, metavar="NAME",
+        choices=tuple(b for b in BACKENDS if b != "reference"),
+        help="candidate backend to validate; repeatable "
+        "(default: every non-reference backend)",
+    )
 
     plan = sub.add_parser("plan", help="draw the pipeline at a given depth")
     plan.add_argument("--depth", type=int, default=None,
@@ -144,19 +157,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_service_arguments(serve)
 
-    cache = sub.add_parser("cache", help="inspect or empty the on-disk result cache")
+    cache = sub.add_parser(
+        "cache", help="inspect or empty the on-disk result and analysis caches"
+    )
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     cache_stats = cache_sub.add_parser(
-        "stats", help="entry count and on-disk size of the result cache"
+        "stats", help="entry count and on-disk size of both caches"
     )
     cache_clear = cache_sub.add_parser(
-        "clear", help="remove every entry from the result cache"
+        "clear", help="remove every entry from both caches"
     )
     for cache_cmd in (cache_stats, cache_clear):
         cache_cmd.add_argument(
             "--cache-dir", type=str, default=None, metavar="DIR",
-            help="cache directory (default: $REPRO_CACHE_DIR or "
+            help="result-cache directory (default: $REPRO_CACHE_DIR or "
             "~/.cache/repro/engine)",
+        )
+        cache_cmd.add_argument(
+            "--analysis-dir", type=str, default=None, metavar="DIR",
+            help="trace-analysis cache directory (default: "
+            "$REPRO_ANALYSIS_CACHE_DIR, $REPRO_CACHE_DIR/analysis or "
+            "~/.cache/repro/analysis)",
         )
 
     return parser
@@ -319,24 +340,33 @@ def _cmd_serve(args) -> int:
 
 def _cmd_cache(args) -> int:
     from .engine.cache import ResultCache, default_cache_dir
+    from .pipeline.events_cache import TraceEventsCache, default_events_cache_dir
 
-    cache = ResultCache(args.cache_dir or default_cache_dir())
+    caches = (
+        ("result", ResultCache(args.cache_dir or default_cache_dir())),
+        ("analysis", TraceEventsCache(args.analysis_dir or default_events_cache_dir())),
+    )
     if args.cache_command == "stats":
-        entries = len(cache)
-        size = cache.size_bytes()
-        print(f"directory : {cache.directory}")
-        print(f"entries   : {entries}")
-        print(f"size      : {size} bytes ({size / 1024.0 / 1024.0:.2f} MiB)")
+        for label, cache in caches:
+            size = cache.size_bytes()
+            print(f"{label} cache:")
+            print(f"  directory : {cache.directory}")
+            print(f"  entries   : {len(cache)}")
+            print(f"  size      : {size} bytes ({size / 1024.0 / 1024.0:.2f} MiB)")
         return 0
-    removed = cache.clear()
-    print(f"cleared {removed} cache entries from {cache.directory}")
+    for label, cache in caches:
+        removed = cache.clear()
+        print(f"cleared {removed} {label}-cache entries from {cache.directory}")
     return 0
 
 
 def _cmd_validate_kernel(args) -> int:
     from .analysis.validate import format_report, validate_kernel
 
-    report = validate_kernel(small=args.small, trace_length=args.length)
+    report = validate_kernel(
+        small=args.small, trace_length=args.length,
+        backends=tuple(args.backend) if args.backend else None,
+    )
     print(format_report(report))
     return 0 if report.passed else 1
 

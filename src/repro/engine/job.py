@@ -30,13 +30,12 @@ sessions — the property the cross-process determinism test in
 
 from __future__ import annotations
 
-import dataclasses
-import enum
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Mapping, Tuple
+from typing import Tuple
 
+from ..fingerprint import canonical_fingerprint
 from ..pipeline.fastsim import BACKENDS, DEFAULT_BACKEND
 from ..pipeline.results import SimulationResult
 from ..pipeline.simulator import MachineConfig
@@ -56,33 +55,6 @@ def _code_version() -> str:
     return __version__
 
 
-def canonical_fingerprint(value):
-    """Recursively encode ``value`` into JSON-able, order-stable primitives."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            f.name: canonical_fingerprint(getattr(value, f.name))
-            for f in dataclasses.fields(value)
-        }
-    if isinstance(value, enum.Enum):
-        return value.name
-    if isinstance(value, Mapping):
-        items = {str(canonical_fingerprint(k)): canonical_fingerprint(v)
-                 for k, v in value.items()}
-        return dict(sorted(items.items()))
-    if isinstance(value, (list, tuple)):
-        return [canonical_fingerprint(v) for v in value]
-    if value is None or isinstance(value, (bool, int, str)):
-        return value
-    if isinstance(value, float):
-        if value != value or value in (float("inf"), float("-inf")):
-            return repr(value)
-        return value
-    # numpy scalars and other numerics degrade gracefully.
-    if hasattr(value, "item"):
-        return canonical_fingerprint(value.item())
-    raise TypeError(f"cannot canonicalise {type(value).__name__!r} for hashing")
-
-
 @dataclass(frozen=True)
 class SimJob:
     """One workload simulated at a set of depths on one machine.
@@ -93,8 +65,10 @@ class SimJob:
         trace_length: dynamic instructions to generate.
         machine: the machine configuration (constant across depths).
         backend: simulation backend — ``"reference"`` (the step-wise
-            interpreter) or ``"fast"`` (the event-precomputing kernel,
-            one trace analysis shared by all depths).
+            interpreter), ``"fast"`` (the event-precomputing kernel, one
+            trace analysis shared by all depths) or ``"batched"`` (the
+            depth-batched kernel: one analysis *and* one timing pass
+            pricing every depth together).
     """
 
     spec: WorkloadSpec

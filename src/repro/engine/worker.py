@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import logging
 
+from ..pipeline.events_cache import default_events_cache
 from ..pipeline.fastsim import make_simulator
 from ..trace.generator import generate_trace
 from .job import SimJob
@@ -24,12 +25,20 @@ logger = logging.getLogger("repro.engine.worker")
 
 
 def execute_job(job: SimJob) -> dict:
-    """Generate the job's trace, simulate every depth, serialise the results."""
+    """Generate the job's trace, simulate every depth, serialise the results.
+
+    The analysing backends are handed the environment-configured on-disk
+    :class:`~repro.pipeline.events_cache.TraceEventsCache`, so sibling
+    workers (and any other process sharing the cache directory) converge
+    on one trace analysis per (trace, machine).
+    """
     logger.debug(
         "executing %s: %d depths, %d instructions, %s backend",
         job.name, len(job.depths), job.trace_length, job.backend,
     )
     trace = generate_trace(job.spec, job.trace_length)
-    simulator = make_simulator(job.machine, job.backend)
-    results = tuple(simulator.simulate(trace, depth) for depth in job.depths)
+    simulator = make_simulator(
+        job.machine, job.backend, events_cache=default_events_cache()
+    )
+    results = simulator.simulate_depths(trace, job.depths)
     return payload_for(job, results)

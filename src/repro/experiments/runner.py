@@ -22,6 +22,7 @@ Every simulation routes through the batch engine (:mod:`repro.engine`):
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Sequence, Tuple
@@ -56,7 +57,7 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--no-cache", action="store_true",
-        help="disable the on-disk result cache for this run",
+        help="disable the on-disk result and trace-analysis caches for this run",
     )
     parser.add_argument(
         "--progress", action="store_true",
@@ -64,14 +65,22 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
-        help="simulation backend: 'reference' (step-wise interpreter) or "
-        "'fast' (one trace analysis shared across depths); part of the "
-        "result-cache key (default: %(default)s)",
+        help="simulation backend: 'reference' (step-wise interpreter), "
+        "'fast' (one trace analysis shared across depths) or 'batched' "
+        "(one analysis and one timing pass pricing every depth); part of "
+        "the result-cache key (default: %(default)s)",
     )
 
 
 def engine_from_args(args: argparse.Namespace) -> ExecutionEngine:
-    """Build the run's shared :class:`ExecutionEngine` from CLI flags."""
+    """Build the run's shared :class:`ExecutionEngine` from CLI flags.
+
+    ``--no-cache`` also switches the on-disk trace-analysis cache off via
+    ``REPRO_ANALYSIS_CACHE`` — worker processes inherit the environment,
+    so one flag silences every cache the run would touch.
+    """
+    if args.no_cache:
+        os.environ["REPRO_ANALYSIS_CACHE"] = "off"
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     config = EngineConfig(
         workers=max(args.jobs, 1),
@@ -98,8 +107,8 @@ def run_all(
             even in a full run (the pre-engine behaviour, kept for
             constrained machines).
         backend: simulation backend for every figure's sweeps
-            (``"reference"`` or ``"fast"``; both produce identical
-            tables — the equivalence CI job keeps that true).
+            (``"reference"``, ``"fast"`` or ``"batched"``; all produce
+            identical tables — the equivalence CI job keeps that true).
     """
     stream = stream if stream is not None else sys.stdout
     trace_length = 4000 if quick else 8000

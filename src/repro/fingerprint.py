@@ -1,0 +1,60 @@
+"""Canonical content fingerprints shared by every caching layer.
+
+Both on-disk caches — the engine's :class:`~repro.engine.cache.ResultCache`
+and the pipeline's :class:`~repro.pipeline.events_cache.TraceEventsCache` —
+address their entries by SHA-256 over a canonical JSON encoding of the
+inputs that determine the payload.  The encoding lives here, in a module
+with no intra-package dependencies, so the pipeline layer can fingerprint
+:class:`~repro.pipeline.simulator.MachineConfig` objects without importing
+the engine (which itself imports the pipeline).
+
+Canonicalisation is field-order independent (mappings are key-sorted),
+enums are encoded by name, and floats rely on JSON's shortest-round-trip
+representation, so equal configurations hash equally across processes and
+sessions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Mapping
+
+__all__ = ["canonical_fingerprint", "fingerprint_digest"]
+
+
+def canonical_fingerprint(value):
+    """Recursively encode ``value`` into JSON-able, order-stable primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: canonical_fingerprint(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, Mapping):
+        items = {str(canonical_fingerprint(k)): canonical_fingerprint(v)
+                 for k, v in value.items()}
+        return dict(sorted(items.items()))
+    if isinstance(value, (list, tuple)):
+        return [canonical_fingerprint(v) for v in value]
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return repr(value)
+        return value
+    # numpy scalars and other numerics degrade gracefully.
+    if hasattr(value, "item"):
+        return canonical_fingerprint(value.item())
+    raise TypeError(f"cannot canonicalise {type(value).__name__!r} for hashing")
+
+
+def fingerprint_digest(value) -> str:
+    """SHA-256 hex digest of ``value``'s canonical JSON encoding."""
+    encoded = json.dumps(
+        canonical_fingerprint(value), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()

@@ -1,19 +1,27 @@
 """Cycle-accurate 4-issue in-order pipeline simulator (Fig. 2 machine).
 
-Two interchangeable backends produce :class:`SimulationResult`\\ s:
+Three interchangeable backends produce :class:`SimulationResult`\\ s:
 
 * :class:`PipelineSimulator` — the step-wise reference interpreter;
 * :class:`FastPipelineSimulator` — the event-precomputing kernel that
   analyses a trace once and prices every depth from the shared
-  :class:`TraceEvents` (see :mod:`repro.pipeline.fastsim`).
+  :class:`TraceEvents` (see :mod:`repro.pipeline.fastsim`);
+* :class:`BatchedPipelineSimulator` — the depth-batched kernel that
+  additionally prices *every* depth of a sweep in one timing pass
+  (see :mod:`repro.pipeline.batched`).
 
-:func:`make_simulator` selects between them by name; both consume the
+:func:`make_simulator` selects between them by name; all consume the
 same :class:`DepthConstants`, and the cross-validation harness
 (``repro validate-kernel``) asserts they agree field-for-field.
+``simulate_depths`` is the primary sweep API on every backend, and
+:class:`TraceEventsCache` shares analyses on disk across processes.
 """
 
+from .batched import BatchedPipelineSimulator, simulate_batched
 from .diagram import render_depth_table, render_plan
+from .events_cache import TraceEventsCache, default_events_cache
 from .fastsim import (
+    ANALYSIS_SCHEMA,
     BACKENDS,
     DEFAULT_BACKEND,
     FastPipelineSimulator,
@@ -41,12 +49,17 @@ __all__ = [
     "MachineConfig",
     "PipelineSimulator",
     "simulate",
+    "ANALYSIS_SCHEMA",
     "BACKENDS",
     "DEFAULT_BACKEND",
     "DepthConstants",
     "FastPipelineSimulator",
+    "BatchedPipelineSimulator",
     "TraceEvents",
+    "TraceEventsCache",
     "analyze_trace",
+    "default_events_cache",
     "make_simulator",
+    "simulate_batched",
     "simulate_fast",
 ]

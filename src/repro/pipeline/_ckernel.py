@@ -1,0 +1,670 @@
+"""Runtime-compiled C timing kernel backing the batched backend.
+
+The batched backend's promise — price every depth of a sweep in one walk
+of the event stream — cannot be kept *fast* in pure Python: with ~20
+depth lanes, per-instruction NumPy operations over ``(D,)`` vectors cost
+as much as the existing per-depth scalar loops.  The recurrences are
+trivially expressible in C, however, and every supported platform for
+this project ships a C compiler, so this module embeds an exact C
+transcription of the two timing loops in
+:mod:`repro.pipeline.fastsim` (``_run_in_order`` / ``_run_out_of_order``)
+with the scalar state widened to one lane per requested depth, compiles
+it on first use with the system compiler, and loads it through
+:mod:`ctypes` (stdlib only — no build-time or runtime dependencies).
+
+Compiled artefacts are content-addressed by the SHA-256 of the C source,
+so editing the kernel invalidates stale shared objects by construction;
+they are stored under ``$REPRO_KERNEL_DIR``, then
+``$XDG_CACHE_HOME/repro/kernel``, falling back to
+``~/.cache/repro/kernel``.  Set ``REPRO_KERNEL=off`` to disable
+compilation entirely (the batched backend then falls back to the fast
+backend's per-depth scalar loops — identical results, no speedup).
+
+Everything degrades gracefully: no compiler, a failed compile or a failed
+load all yield ``batched_kernel() is None`` and a single logged warning.
+The kernel is bit-for-bit equivalent to the Python loops; the equivalence
+is enforced by ``repro validate-kernel`` and the cross-backend property
+test.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import logging
+import os
+import pathlib
+import shutil
+import subprocess
+import tempfile
+
+import numpy as np
+
+__all__ = ["BatchedKernel", "batched_kernel", "kernel_enabled", "kernel_dir"]
+
+logger = logging.getLogger("repro.pipeline.ckernel")
+
+_OFF_VALUES = ("0", "off", "no", "false")
+
+# Constant-row layout shared by both entry points: one row of NCONST
+# int64s per depth lane, assembled by repro.pipeline.batched from
+# DepthConstants (with the out-of-order rename-stage offsets pre-applied).
+NCONST = 18
+(C_FETCH_STAGES, C_OFF_AGEN, C_OFF_CACHE_DELTA, C_OFF_EXEC_RR,
+ C_AGEN_DONE_OFF, C_CACHE_DONE_OFF, C_FPC_DONE_OFF, C_ALU_LATENCY,
+ C_RESOLVE_LATENCY, C_MERGED, C_RETIRE_OFF, C_MISP_OFF, C_BTB_OFF,
+ C_TARGET_DELAY, C_IC_P, C_IC_L2_P, C_DC_P, C_DC_L2_P) = range(NCONST)
+
+_SOURCE = r"""
+/* Depth-batched pipeline timing recurrences.
+ *
+ * Exact C transcriptions of repro.pipeline.fastsim._run_in_order and
+ * _run_out_of_order, with every scalar state variable widened to one
+ * lane per requested depth.  The event stream is walked ONCE; the inner
+ * loop updates all D lanes from the same per-instruction event tuple.
+ * Any behavioural difference from the Python loops is a bug caught by
+ * `repro validate-kernel`.
+ */
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+typedef long long i64;
+
+#define NCONST 18
+enum {
+    C_FETCH_STAGES = 0, C_OFF_AGEN, C_OFF_CACHE_DELTA, C_OFF_EXEC_RR,
+    C_AGEN_DONE_OFF, C_CACHE_DONE_OFF, C_FPC_DONE_OFF, C_ALU_LATENCY,
+    C_RESOLVE_LATENCY, C_MERGED, C_RETIRE_OFF, C_MISP_OFF, C_BTB_OFF,
+    C_TARGET_DELAY, C_IC_P, C_IC_L2_P, C_DC_P, C_DC_L2_P
+};
+
+/* Column-row indices in the (12, n) TraceEvents matrix. */
+enum {
+    COL_MEM = 0, COL_SRC1, COL_EXEC_SRC1, COL_SRC2, COL_DEST_ALU,
+    COL_DEST_LOAD, COL_FPC, COL_FP_EXTRA, COL_STORE, COL_BRANCH_EVENT,
+    COL_IC_EVENT, COL_DC_EVENT
+};
+
+#define EV_MISPREDICT 1
+
+/* Per-lane scalar state slots (in-order). */
+enum {
+    S_LAST_DECODE = 0, S_DECODE_N, S_LAST_EXEC, S_EXEC_N, S_LAST_AGEN,
+    S_AGEN_N, S_LAST_RETIRE, S_RETIRE_N, S_REDIRECT, S_FP_FREE, S_CX_FREE,
+    S_MM, S_ISSUE_CYCLES, S_LAST_ISSUE, S_OCC_AGENQ, S_OCC_EXECQ,
+    S_NSLOTS
+};
+
+int run_in_order_batched(
+    const int32_t *cols, i64 n, i64 lanes, const i64 *cons,
+    i64 width, i64 agen_width, i64 mshr_n, i64 nregs,
+    i64 memory_ops, i64 *out)
+{
+    i64 *ready1 = (i64 *)malloc((size_t)(lanes * nregs) * sizeof(i64));
+    i64 *mshr = (i64 *)malloc((size_t)(lanes * mshr_n) * sizeof(i64));
+    i64 *st = (i64 *)malloc((size_t)(lanes * S_NSLOTS) * sizeof(i64));
+    if (!ready1 || !mshr || !st) {
+        free(ready1); free(mshr); free(st);
+        return -1;
+    }
+    for (i64 k = 0; k < lanes * nregs; k++) ready1[k] = 1;
+    memset(mshr, 0, (size_t)(lanes * mshr_n) * sizeof(i64));
+    memset(st, 0, (size_t)(lanes * S_NSLOTS) * sizeof(i64));
+    for (i64 d = 0; d < lanes; d++) {
+        i64 fetch_stages = cons[d * NCONST + C_FETCH_STAGES];
+        st[d * S_NSLOTS + S_LAST_DECODE] = fetch_stages;
+        st[d * S_NSLOTS + S_REDIRECT] = fetch_stages;
+        st[d * S_NSLOTS + S_LAST_ISSUE] = -1;
+    }
+
+    const int32_t *c_mem = cols + (i64)COL_MEM * n;
+    const int32_t *c_s1 = cols + (i64)COL_SRC1 * n;
+    const int32_t *c_s1x = cols + (i64)COL_EXEC_SRC1 * n;
+    const int32_t *c_s2 = cols + (i64)COL_SRC2 * n;
+    const int32_t *c_da = cols + (i64)COL_DEST_ALU * n;
+    const int32_t *c_dl = cols + (i64)COL_DEST_LOAD * n;
+    const int32_t *c_fpc = cols + (i64)COL_FPC * n;
+    const int32_t *c_fpx = cols + (i64)COL_FP_EXTRA * n;
+    const int32_t *c_b = cols + (i64)COL_BRANCH_EVENT * n;
+    const int32_t *c_fev = cols + (i64)COL_IC_EVENT * n;
+    const int32_t *c_dev = cols + (i64)COL_DC_EVENT * n;
+
+    for (i64 i = 0; i < n; i++) {
+        i64 mem = c_mem[i], s1 = c_s1[i], s1x = c_s1x[i], s2 = c_s2[i];
+        i64 dest_alu = c_da[i], dest_load = c_dl[i];
+        i64 fpc = c_fpc[i], fpx = c_fpx[i];
+        i64 b = c_b[i], fev = c_fev[i], dev = c_dev[i];
+
+        for (i64 d = 0; d < lanes; d++) {
+            const i64 *cc = cons + d * NCONST;
+            i64 *s = st + d * S_NSLOTS;
+            i64 *rd = ready1 + d * nregs;
+            i64 *mr = mshr + d * mshr_n;
+
+            /* ---- fetch + decode (fused) ---- */
+            i64 decode;
+            if (s[S_REDIRECT] > s[S_LAST_DECODE]) {
+                decode = s[S_REDIRECT];
+                s[S_DECODE_N] = 1;
+            } else if (s[S_DECODE_N] < width) {
+                decode = s[S_LAST_DECODE];
+                s[S_DECODE_N] += 1;
+            } else {
+                decode = s[S_LAST_DECODE] + 1;
+                s[S_DECODE_N] = 1;
+            }
+            if (fev) {
+                decode += (fev == 1) ? cc[C_IC_P] : cc[C_IC_L2_P];
+                s[S_DECODE_N] = 1;
+            }
+            s[S_LAST_DECODE] = decode;
+
+            /* ---- address generation + cache (RX path) ---- */
+            i64 path_ready;
+            if (mem) {
+                i64 floor_ = decode + cc[C_OFF_AGEN];
+                i64 agen = floor_;
+                if (s1 >= 0 && rd[s1] > agen) agen = rd[s1];
+                if (agen > s[S_LAST_AGEN]) {
+                    s[S_AGEN_N] = 1;
+                } else if (s[S_AGEN_N] < agen_width) {
+                    agen = s[S_LAST_AGEN];
+                    s[S_AGEN_N] += 1;
+                } else {
+                    agen = s[S_LAST_AGEN] + 1;
+                    s[S_AGEN_N] = 1;
+                }
+                s[S_LAST_AGEN] = agen;
+                if (agen > floor_) s[S_OCC_AGENQ] += agen - floor_;
+
+                i64 cache_start = agen + cc[C_OFF_CACHE_DELTA];
+                i64 cache_done;
+                if (dev) {
+                    i64 dpen = (dev == 1) ? cc[C_DC_P] : cc[C_DC_L2_P];
+                    i64 slot_free = mr[s[S_MM]];
+                    if (cache_start < slot_free) cache_start = slot_free;
+                    mr[s[S_MM]] = cache_start + dpen;
+                    s[S_MM] += 1;
+                    if (s[S_MM] == mshr_n) s[S_MM] = 0;
+                    cache_done = cache_start + cc[C_CACHE_DONE_OFF] + dpen;
+                } else {
+                    cache_done = cache_start + cc[C_CACHE_DONE_OFF];
+                }
+                path_ready = cc[C_MERGED] ? cache_done : cache_done + 1;
+                if (dest_load >= 0) rd[dest_load] = cache_done + 1;
+            } else {
+                path_ready = decode + cc[C_OFF_EXEC_RR];
+            }
+
+            /* ---- execute issue (in-order, width-wide) ---- */
+            i64 execute = path_ready;
+            if (s1x >= 0 && rd[s1x] > execute) execute = rd[s1x];
+            if (s2 >= 0 && rd[s2] > execute) execute = rd[s2];
+            if (execute > s[S_LAST_EXEC]) {
+                s[S_EXEC_N] = 1;
+            } else if (s[S_EXEC_N] < width) {
+                execute = s[S_LAST_EXEC];
+                s[S_EXEC_N] += 1;
+            } else {
+                execute = s[S_LAST_EXEC] + 1;
+                s[S_EXEC_N] = 1;
+            }
+            s[S_LAST_EXEC] = execute;
+
+            i64 retire;
+            if (fpc) {
+                i64 exec_done;
+                if (fpc == 1) {
+                    if (execute < s[S_FP_FREE]) {
+                        execute = s[S_FP_FREE];
+                        s[S_LAST_EXEC] = execute;
+                        s[S_EXEC_N] = 1;
+                    }
+                    exec_done = execute + fpx + cc[C_FPC_DONE_OFF];
+                    s[S_FP_FREE] = exec_done + 1;
+                } else {
+                    if (execute < s[S_CX_FREE]) {
+                        execute = s[S_CX_FREE];
+                        s[S_LAST_EXEC] = execute;
+                        s[S_EXEC_N] = 1;
+                    }
+                    exec_done = execute + fpx + cc[C_FPC_DONE_OFF];
+                    s[S_CX_FREE] = exec_done + 1;
+                }
+                if (dest_alu >= 0) rd[dest_alu] = exec_done + 1;
+                /* back_end == RETIRE_OFF - (exec_latency - 1)
+                             == RETIRE_OFF - (FPC_DONE_OFF + 1) */
+                retire = exec_done + (cc[C_RETIRE_OFF] - (cc[C_FPC_DONE_OFF] + 1));
+            } else {
+                if (dest_alu >= 0) rd[dest_alu] = execute + cc[C_ALU_LATENCY];
+                retire = execute + cc[C_RETIRE_OFF];
+            }
+
+            if (execute > path_ready) s[S_OCC_EXECQ] += execute - path_ready;
+            if (execute != s[S_LAST_ISSUE]) {
+                s[S_ISSUE_CYCLES] += 1;
+                s[S_LAST_ISSUE] = execute;
+            }
+
+            /* ---- branch resolution ---- */
+            if (b) {
+                if (b == EV_MISPREDICT) {
+                    i64 resolved = execute + cc[C_MISP_OFF];
+                    if (resolved > s[S_REDIRECT]) s[S_REDIRECT] = resolved;
+                } else {
+                    i64 target_known = decode + cc[C_BTB_OFF];
+                    if (target_known > s[S_REDIRECT]) s[S_REDIRECT] = target_known;
+                }
+            }
+
+            /* ---- completion / retire ---- */
+            if (retire > s[S_LAST_RETIRE]) {
+                s[S_LAST_RETIRE] = retire;
+                s[S_RETIRE_N] = 1;
+            } else if (s[S_RETIRE_N] < width) {
+                s[S_RETIRE_N] += 1;
+            } else {
+                s[S_LAST_RETIRE] += 1;
+                s[S_RETIRE_N] = 1;
+            }
+        }
+    }
+
+    for (i64 d = 0; d < lanes; d++) {
+        i64 *s = st + d * S_NSLOTS;
+        out[d * 4 + 0] = s[S_LAST_RETIRE] + 1;
+        out[d * 4 + 1] = s[S_ISSUE_CYCLES];
+        out[d * 4 + 2] = s[S_OCC_AGENQ] + memory_ops;
+        out[d * 4 + 3] = s[S_OCC_EXECQ] + n;
+    }
+    free(ready1); free(mshr); free(st);
+    return 0;
+}
+
+/* Per-lane scalar state slots (out-of-order). */
+enum {
+    T_LAST_FETCH = 0, T_FETCH_N, T_LAST_DECODE, T_DECODE_N, T_LAST_RETIRE,
+    T_RETIRE_N, T_REDIRECT, T_FP_FREE, T_CX_FREE, T_MM, T_AM, T_WI, T_RI,
+    T_LAST_STORE_AGEN, T_OCC_AGENQ, T_OCC_EXECQ, T_ISSUE_CYCLES,
+    T_NSLOTS
+};
+
+int run_out_of_order_batched(
+    const int32_t *cols, i64 n, i64 lanes, const i64 *cons,
+    i64 width, i64 agen_width, i64 mshr_n, i64 window, i64 rob,
+    i64 nregs, i64 memory_ops, i64 *out)
+{
+    i64 *ready1 = (i64 *)malloc((size_t)(lanes * nregs) * sizeof(i64));
+    i64 *mshr = (i64 *)malloc((size_t)(lanes * mshr_n) * sizeof(i64));
+    i64 *agen_ring = (i64 *)malloc((size_t)(lanes * agen_width) * sizeof(i64));
+    i64 *issue_ring = (i64 *)malloc((size_t)(lanes * window) * sizeof(i64));
+    i64 *retire_rob = (i64 *)malloc((size_t)(lanes * rob) * sizeof(i64));
+    i64 *st = (i64 *)malloc((size_t)(lanes * T_NSLOTS) * sizeof(i64));
+    uint8_t **slots = (uint8_t **)calloc((size_t)lanes, sizeof(uint8_t *));
+    i64 *caps = (i64 *)calloc((size_t)lanes, sizeof(i64));
+    int rc = 0;
+    if (!ready1 || !mshr || !agen_ring || !issue_ring || !retire_rob ||
+        !st || !slots || !caps) {
+        rc = -1;
+        goto done;
+    }
+    for (i64 k = 0; k < lanes * nregs; k++) ready1[k] = 1;
+    memset(mshr, 0, (size_t)(lanes * mshr_n) * sizeof(i64));
+    for (i64 k = 0; k < lanes * agen_width; k++) agen_ring[k] = -1;
+    for (i64 k = 0; k < lanes * window; k++) issue_ring[k] = -1;
+    for (i64 k = 0; k < lanes * rob; k++) retire_rob[k] = -1;
+    memset(st, 0, (size_t)(lanes * T_NSLOTS) * sizeof(i64));
+
+    const int32_t *c_mem = cols + (i64)COL_MEM * n;
+    const int32_t *c_s1 = cols + (i64)COL_SRC1 * n;
+    const int32_t *c_s1x = cols + (i64)COL_EXEC_SRC1 * n;
+    const int32_t *c_s2 = cols + (i64)COL_SRC2 * n;
+    const int32_t *c_da = cols + (i64)COL_DEST_ALU * n;
+    const int32_t *c_dl = cols + (i64)COL_DEST_LOAD * n;
+    const int32_t *c_fpc = cols + (i64)COL_FPC * n;
+    const int32_t *c_fpx = cols + (i64)COL_FP_EXTRA * n;
+    const int32_t *c_st = cols + (i64)COL_STORE * n;
+    const int32_t *c_b = cols + (i64)COL_BRANCH_EVENT * n;
+    const int32_t *c_fev = cols + (i64)COL_IC_EVENT * n;
+    const int32_t *c_dev = cols + (i64)COL_DC_EVENT * n;
+
+    for (i64 i = 0; i < n; i++) {
+        i64 mem = c_mem[i], s1 = c_s1[i], s1x = c_s1x[i], s2 = c_s2[i];
+        i64 dest_alu = c_da[i], dest_load = c_dl[i];
+        i64 fpc = c_fpc[i], fpx = c_fpx[i], is_store = c_st[i];
+        i64 b = c_b[i], fev = c_fev[i], dev = c_dev[i];
+
+        for (i64 d = 0; d < lanes; d++) {
+            const i64 *cc = cons + d * NCONST;
+            i64 *s = st + d * T_NSLOTS;
+            i64 *rd = ready1 + d * nregs;
+            i64 *mr = mshr + d * mshr_n;
+            i64 *ar = agen_ring + d * agen_width;
+            i64 *ir = issue_ring + d * window;
+            i64 *rr = retire_rob + d * rob;
+
+            /* ---- fetch (in order) ---- */
+            i64 fetch;
+            if (s[T_REDIRECT] > s[T_LAST_FETCH]) {
+                fetch = s[T_REDIRECT];
+                s[T_FETCH_N] = 1;
+            } else if (s[T_FETCH_N] < width) {
+                fetch = s[T_LAST_FETCH];
+                s[T_FETCH_N] += 1;
+            } else {
+                fetch = s[T_LAST_FETCH] + 1;
+                s[T_FETCH_N] = 1;
+            }
+            if (fev) {
+                fetch += (fev == 1) ? cc[C_IC_P] : cc[C_IC_L2_P];
+                s[T_FETCH_N] = 1;
+            }
+            s[T_LAST_FETCH] = fetch;
+
+            /* ---- decode + rename (in order, ROB backpressure) ---- */
+            i64 decode = fetch + cc[C_FETCH_STAGES];
+            if (decode < s[T_LAST_DECODE]) decode = s[T_LAST_DECODE];
+            i64 rob_slot = rr[s[T_RI]];
+            if (rob_slot >= decode) decode = rob_slot + 1;
+            if (decode > s[T_LAST_DECODE]) {
+                s[T_DECODE_N] = 1;
+            } else if (s[T_DECODE_N] < width) {
+                s[T_DECODE_N] += 1;
+            } else {
+                decode += 1;
+                s[T_DECODE_N] = 1;
+            }
+            s[T_LAST_DECODE] = decode;
+
+            /* ---- address generation + cache ---- */
+            i64 path_ready;
+            if (mem) {
+                i64 floor_ = decode + cc[C_OFF_AGEN];
+                i64 agen = floor_;
+                if (s1 >= 0 && rd[s1] > agen) agen = rd[s1];
+                i64 slot = ar[s[T_AM]];
+                if (slot >= agen) agen = slot + 1;
+                ar[s[T_AM]] = agen;
+                s[T_AM] += 1;
+                if (s[T_AM] == agen_width) s[T_AM] = 0;
+                if (agen > floor_) s[T_OCC_AGENQ] += agen - floor_;
+
+                i64 cache_start = agen + cc[C_OFF_CACHE_DELTA];
+                if (is_store) {
+                    i64 agen_done = agen + cc[C_AGEN_DONE_OFF];
+                    if (agen_done > s[T_LAST_STORE_AGEN])
+                        s[T_LAST_STORE_AGEN] = agen_done;
+                } else if (cache_start <= s[T_LAST_STORE_AGEN]) {
+                    /* conservative load/store disambiguation */
+                    cache_start = s[T_LAST_STORE_AGEN] + 1;
+                }
+                i64 cache_done;
+                if (dev) {
+                    i64 dpen = (dev == 1) ? cc[C_DC_P] : cc[C_DC_L2_P];
+                    i64 slot_free = mr[s[T_MM]];
+                    if (cache_start < slot_free) cache_start = slot_free;
+                    mr[s[T_MM]] = cache_start + dpen;
+                    s[T_MM] += 1;
+                    if (s[T_MM] == mshr_n) s[T_MM] = 0;
+                    cache_done = cache_start + cc[C_CACHE_DONE_OFF] + dpen;
+                } else {
+                    cache_done = cache_start + cc[C_CACHE_DONE_OFF];
+                }
+                path_ready = cc[C_MERGED] ? cache_done : cache_done + 1;
+                if (dest_load >= 0) rd[dest_load] = cache_done + 1;
+            } else {
+                path_ready = decode + cc[C_OFF_EXEC_RR];
+            }
+
+            /* ---- out-of-order issue ---- */
+            i64 execute = path_ready;
+            i64 window_slot = ir[s[T_WI]];
+            if (window_slot >= execute) execute = window_slot + 1;
+            if (s1x >= 0 && rd[s1x] > execute) execute = rd[s1x];
+            if (s2 >= 0 && rd[s2] > execute) execute = rd[s2];
+            if (fpc) {
+                if (fpc == 1) {
+                    if (execute < s[T_FP_FREE]) execute = s[T_FP_FREE];
+                } else if (execute < s[T_CX_FREE]) {
+                    execute = s[T_CX_FREE];
+                }
+            }
+            /* issue bandwidth: per-cycle slot counts, grown on demand */
+            if (execute >= caps[d]) {
+                i64 new_cap = caps[d] ? caps[d] : 4096;
+                while (execute >= new_cap) new_cap *= 2;
+                uint8_t *grown = (uint8_t *)realloc(slots[d], (size_t)new_cap);
+                if (!grown) { rc = -1; goto done; }
+                memset(grown + caps[d], 0, (size_t)(new_cap - caps[d]));
+                slots[d] = grown;
+                caps[d] = new_cap;
+            }
+            while (slots[d][execute] >= width) {
+                execute += 1;
+                if (execute >= caps[d]) {
+                    i64 new_cap = caps[d] * 2;
+                    uint8_t *grown = (uint8_t *)realloc(slots[d], (size_t)new_cap);
+                    if (!grown) { rc = -1; goto done; }
+                    memset(grown + caps[d], 0, (size_t)(new_cap - caps[d]));
+                    slots[d] = grown;
+                    caps[d] = new_cap;
+                }
+            }
+            if (slots[d][execute] == 0) s[T_ISSUE_CYCLES] += 1;
+            slots[d][execute] += 1;
+            ir[s[T_WI]] = execute;
+            s[T_WI] += 1;
+            if (s[T_WI] == window) s[T_WI] = 0;
+
+            i64 retire;
+            if (fpc) {
+                i64 exec_done = execute + fpx + cc[C_FPC_DONE_OFF];
+                if (fpc == 1) {
+                    s[T_FP_FREE] = exec_done + 1;
+                } else {
+                    s[T_CX_FREE] = exec_done + 1;
+                }
+                if (dest_alu >= 0) rd[dest_alu] = exec_done + 1;
+                /* back_end == RETIRE_OFF - (FPC_DONE_OFF + 1); see above */
+                retire = exec_done + (cc[C_RETIRE_OFF] - (cc[C_FPC_DONE_OFF] + 1));
+            } else {
+                if (dest_alu >= 0) rd[dest_alu] = execute + cc[C_ALU_LATENCY];
+                retire = execute + cc[C_RETIRE_OFF];
+            }
+            if (execute > path_ready) s[T_OCC_EXECQ] += execute - path_ready;
+
+            /* ---- branch resolution ---- */
+            if (b) {
+                if (b == EV_MISPREDICT) {
+                    i64 resolved = execute + cc[C_RESOLVE_LATENCY];
+                    if (resolved > s[T_REDIRECT]) s[T_REDIRECT] = resolved;
+                } else {
+                    i64 target_known = decode + cc[C_TARGET_DELAY];
+                    if (target_known > s[T_REDIRECT]) s[T_REDIRECT] = target_known;
+                }
+            }
+
+            /* ---- in-order retirement ---- */
+            if (retire > s[T_LAST_RETIRE]) {
+                s[T_LAST_RETIRE] = retire;
+                s[T_RETIRE_N] = 1;
+            } else if (s[T_RETIRE_N] < width) {
+                s[T_RETIRE_N] += 1;
+            } else {
+                s[T_LAST_RETIRE] += 1;
+                s[T_RETIRE_N] = 1;
+            }
+            rr[s[T_RI]] = s[T_LAST_RETIRE];
+            s[T_RI] += 1;
+            if (s[T_RI] == rob) s[T_RI] = 0;
+        }
+    }
+
+    for (i64 d = 0; d < lanes; d++) {
+        i64 *s = st + d * T_NSLOTS;
+        out[d * 4 + 0] = s[T_LAST_RETIRE] + 1;
+        out[d * 4 + 1] = s[T_ISSUE_CYCLES];
+        out[d * 4 + 2] = s[T_OCC_AGENQ] + memory_ops;
+        out[d * 4 + 3] = s[T_OCC_EXECQ] + n;
+    }
+
+done:
+    free(ready1); free(mshr); free(agen_ring); free(issue_ring);
+    free(retire_rob); free(st);
+    if (slots) {
+        for (i64 d = 0; d < lanes; d++) free(slots[d]);
+        free(slots);
+    }
+    free(caps);
+    return rc;
+}
+"""
+
+
+def kernel_enabled() -> bool:
+    """Whether the environment allows compiling/loading the C kernel."""
+    return os.environ.get("REPRO_KERNEL", "").strip().lower() not in _OFF_VALUES
+
+
+def kernel_dir() -> pathlib.Path:
+    """Resolve the compiled-kernel cache directory from the environment."""
+    env = os.environ.get("REPRO_KERNEL_DIR")
+    if env:
+        return pathlib.Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg).expanduser() if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro" / "kernel"
+
+
+def _find_compiler() -> "str | None":
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _compile(directory: pathlib.Path, so_path: pathlib.Path) -> bool:
+    compiler = _find_compiler()
+    if compiler is None:
+        logger.warning("no C compiler found; batched kernel disabled")
+        return False
+    directory.mkdir(parents=True, exist_ok=True)
+    src_path = so_path.with_suffix(".c")
+    src_path.write_text(_SOURCE, encoding="utf-8")
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{so_path.stem}.", suffix=".so", dir=directory
+    )
+    os.close(fd)
+    tmp = pathlib.Path(tmp_name)
+    try:
+        proc = subprocess.run(
+            [compiler, "-O2", "-shared", "-fPIC", "-o", str(tmp), str(src_path)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            logger.warning(
+                "batched kernel compilation failed (%s): %s",
+                compiler,
+                proc.stderr.strip()[:500],
+            )
+            return False
+        os.replace(tmp, so_path)
+        return True
+    except (OSError, subprocess.SubprocessError) as exc:
+        logger.warning("batched kernel compilation failed: %s", exc)
+        return False
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+class BatchedKernel:
+    """ctypes facade over the compiled timing kernel."""
+
+    def __init__(self, lib: ctypes.CDLL):
+        self._in_order = lib.run_in_order_batched
+        self._out_of_order = lib.run_out_of_order_batched
+        ll = ctypes.c_longlong
+        ptr_i32 = np.ctypeslib.ndpointer(dtype=np.int32, flags="C_CONTIGUOUS")
+        ptr_i64 = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+        self._in_order.restype = ctypes.c_int
+        self._in_order.argtypes = [
+            ptr_i32, ll, ll, ptr_i64, ll, ll, ll, ll, ll, ptr_i64,
+        ]
+        self._out_of_order.restype = ctypes.c_int
+        self._out_of_order.argtypes = [
+            ptr_i32, ll, ll, ptr_i64, ll, ll, ll, ll, ll, ll, ll, ptr_i64,
+        ]
+
+    def run_in_order(
+        self,
+        columns: np.ndarray,
+        cons: np.ndarray,
+        width: int,
+        agen_width: int,
+        mshr_n: int,
+        nregs: int,
+        memory_ops: int,
+    ) -> np.ndarray:
+        """All in-order lanes in one pass; returns a ``(lanes, 4)`` matrix
+        of ``(cycles, issue_cycles, agen_queue_occ, exec_queue_occ)``."""
+        lanes = cons.shape[0]
+        n = columns.shape[1]
+        out = np.empty((lanes, 4), dtype=np.int64)
+        rc = self._in_order(
+            columns, n, lanes, cons, width, agen_width, mshr_n, nregs,
+            memory_ops, out,
+        )
+        if rc != 0:
+            raise MemoryError("batched kernel allocation failure")
+        return out
+
+    def run_out_of_order(
+        self,
+        columns: np.ndarray,
+        cons: np.ndarray,
+        width: int,
+        agen_width: int,
+        mshr_n: int,
+        window: int,
+        rob: int,
+        nregs: int,
+        memory_ops: int,
+    ) -> np.ndarray:
+        """All out-of-order lanes in one pass; same output layout as
+        :meth:`run_in_order`."""
+        lanes = cons.shape[0]
+        n = columns.shape[1]
+        out = np.empty((lanes, 4), dtype=np.int64)
+        rc = self._out_of_order(
+            columns, n, lanes, cons, width, agen_width, mshr_n, window, rob,
+            nregs, memory_ops, out,
+        )
+        if rc != 0:
+            raise MemoryError("batched kernel allocation failure")
+        return out
+
+
+_kernel: "BatchedKernel | None | bool" = False  # False = not yet resolved
+
+
+def batched_kernel() -> "BatchedKernel | None":
+    """The compiled kernel, or None when disabled/unavailable (memoised)."""
+    global _kernel
+    if _kernel is not False:
+        return _kernel
+    _kernel = None
+    if kernel_enabled():
+        digest = hashlib.sha256(_SOURCE.encode("utf-8")).hexdigest()[:16]
+        directory = kernel_dir()
+        so_path = directory / f"repro_ckernel_{digest}.so"
+        if so_path.exists() or _compile(directory, so_path):
+            try:
+                _kernel = BatchedKernel(ctypes.CDLL(str(so_path)))
+            except (OSError, AttributeError) as exc:
+                logger.warning("batched kernel load failed: %s", exc)
+                _kernel = None
+    return _kernel

@@ -1,0 +1,175 @@
+"""The batched backend: every pipeline depth priced in one timing pass.
+
+The fast backend (:mod:`repro.pipeline.fastsim`) already shares the trace
+analysis across a depth sweep, but still resolves the timing recurrence
+once *per depth* — a 24-depth sweep walks the 8000-instruction event
+stream 24 times.  The recurrences differ between depths only in a handful
+of :class:`~repro.pipeline.timing.DepthConstants`-derived scalars, so all
+depths can be priced simultaneously: walk the event stream **once**,
+carrying one state lane per requested depth (bandwidth rings,
+register-ready times, queue waits, redirect points), and update every
+lane from the same per-instruction event tuple.
+
+:class:`BatchedPipelineSimulator` implements exactly that.  The lane math
+is hosted by the runtime-compiled C kernel
+(:mod:`repro.pipeline._ckernel`) because per-instruction NumPy operations
+over ``(D,)`` lanes cost as much as the scalar loops they would replace;
+when the kernel is unavailable (no compiler, ``REPRO_KERNEL=off``) the
+simulator falls back to the fast backend's per-depth scalar loops —
+identical results, no batched speedup.  Either way the results are
+bit-identical to the reference interpreter, enforced by
+``repro validate-kernel --backend batched`` and the hypothesis
+cross-backend property test.
+
+Depth-independence invariant (why lanes never interact): every stateful
+microarchitectural outcome — cache hits, predictions, BTB targets — is a
+property of the access *sequence*, which is program order at every depth.
+Lanes therefore consume identical event streams and differ only in their
+arithmetic; no information ever flows between lanes, which is what makes
+the single-pass layout legal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import REGISTER_COUNT
+from .fastsim import FastPipelineSimulator, TraceEvents
+from ._ckernel import (
+    NCONST,
+    C_AGEN_DONE_OFF,
+    C_ALU_LATENCY,
+    C_BTB_OFF,
+    C_CACHE_DONE_OFF,
+    C_DC_L2_P,
+    C_DC_P,
+    C_FETCH_STAGES,
+    C_FPC_DONE_OFF,
+    C_IC_L2_P,
+    C_IC_P,
+    C_MERGED,
+    C_MISP_OFF,
+    C_OFF_AGEN,
+    C_OFF_CACHE_DELTA,
+    C_OFF_EXEC_RR,
+    C_RESOLVE_LATENCY,
+    C_RETIRE_OFF,
+    C_TARGET_DELAY,
+    batched_kernel,
+)
+from .plan import StagePlan
+from .results import SimulationResult
+from .timing import DepthConstants
+from ..trace.trace import Trace
+
+__all__ = ["BatchedPipelineSimulator", "simulate_batched"]
+
+# The kernel tracks per-cycle issue counts in uint8 slots; a wider
+# machine than this (none of the paper's are) falls back to Python.
+_MAX_KERNEL_WIDTH = 255
+
+
+def _constants_matrix(
+    cons_list: "list[DepthConstants]", in_order: bool
+) -> np.ndarray:
+    """One int64 row of kernel constants per depth lane."""
+    rename = 0 if in_order else 1  # the Fig. 2 rename stage, active OOO
+    rows = np.zeros((len(cons_list), NCONST), dtype=np.int64)
+    for lane, cons in enumerate(cons_list):
+        row = rows[lane]
+        row[C_FETCH_STAGES] = cons.fetch_stages
+        row[C_OFF_AGEN] = cons.off_agen + rename
+        row[C_OFF_CACHE_DELTA] = cons.off_cache - cons.off_agen
+        row[C_OFF_EXEC_RR] = cons.off_exec_rr + rename
+        row[C_AGEN_DONE_OFF] = cons.agen_latency - 1
+        row[C_CACHE_DONE_OFF] = cons.cache_latency - 1
+        row[C_FPC_DONE_OFF] = cons.exec_latency - 2
+        row[C_ALU_LATENCY] = cons.alu_latency
+        row[C_RESOLVE_LATENCY] = cons.resolve_latency
+        row[C_MERGED] = int(cons.cache_exec_merged)
+        row[C_RETIRE_OFF] = cons.exec_latency - 1 + cons.back_end
+        row[C_MISP_OFF] = cons.resolve_latency + cons.fetch_stages
+        row[C_BTB_OFF] = cons.decode_latency + cons.fetch_stages
+        row[C_TARGET_DELAY] = cons.decode_latency + rename
+        row[C_IC_P] = cons.ic_penalty
+        row[C_IC_L2_P] = cons.ic_penalty + cons.l2_penalty
+        row[C_DC_P] = cons.dc_penalty
+        row[C_DC_L2_P] = cons.dc_penalty + cons.l2_penalty
+    return rows
+
+
+class BatchedPipelineSimulator(FastPipelineSimulator):
+    """Depth-batched drop-in for :class:`FastPipelineSimulator`.
+
+    ``simulate_depths`` is the primary API: one shared trace analysis
+    (memory slot + optional on-disk events cache, inherited from the fast
+    backend) followed by one C-kernel pass pricing every depth together.
+    ``simulate`` is a one-depth sweep.
+    """
+
+    def simulate(self, trace: Trace, depth: "int | StagePlan") -> SimulationResult:
+        """Simulate one depth (a degenerate one-lane batch)."""
+        return self.simulate_depths(trace, (depth,))[0]
+
+    def simulate_depths(self, trace, depths) -> "tuple[SimulationResult, ...]":
+        """Simulate every depth of a sweep in one batched timing pass."""
+        if len(trace) == 0:
+            raise ValueError("cannot simulate an empty trace")
+        depths = tuple(depths)
+        if not depths:
+            return ()
+        plans = [
+            d if isinstance(d, StagePlan) else StagePlan.for_depth(d)
+            for d in depths
+        ]
+        events = self.events_for(trace)
+        cfg = self.config
+        cons_list = [DepthConstants.for_plan(cfg, plan) for plan in plans]
+        raw = self._run_batched(events, cons_list)
+        if raw is None:
+            # Kernel unavailable: the fast backend's scalar loops, one
+            # depth at a time, off the same shared analysis.
+            raw = [
+                (self._run_in_order if cfg.in_order else self._run_out_of_order)(
+                    events, cons
+                )
+                for cons in cons_list
+            ]
+        occ_rename = 0 if cfg.in_order else events.n
+        return tuple(
+            self._build_result(
+                trace, plan, cons, events, int(cycles), int(issue_cycles),
+                occ_rename, int(occ_agenq), int(occ_execq),
+            )
+            for plan, cons, (cycles, issue_cycles, occ_agenq, occ_execq)
+            in zip(plans, cons_list, raw)
+        )
+
+    def _run_batched(
+        self, events: TraceEvents, cons_list: "list[DepthConstants]"
+    ) -> "np.ndarray | None":
+        """All lanes through the C kernel, or None when it cannot run."""
+        cfg = self.config
+        if cfg.issue_width > _MAX_KERNEL_WIDTH:
+            return None
+        kernel = batched_kernel()
+        if kernel is None:
+            return None
+        cons = _constants_matrix(cons_list, cfg.in_order)
+        if cfg.in_order:
+            return kernel.run_in_order(
+                events.columns, cons, cfg.issue_width, cfg.agen_width,
+                cfg.mshr_entries, REGISTER_COUNT, events.memory_ops,
+            )
+        return kernel.run_out_of_order(
+            events.columns, cons, cfg.issue_width, cfg.agen_width,
+            cfg.mshr_entries, cfg.issue_window, cfg.rob_size,
+            REGISTER_COUNT, events.memory_ops,
+        )
+
+
+def simulate_batched(
+    trace: Trace, depth: "int | StagePlan", config=None
+) -> SimulationResult:
+    """Module-level convenience wrapper around :class:`BatchedPipelineSimulator`."""
+    return BatchedPipelineSimulator(config).simulate(trace, depth)

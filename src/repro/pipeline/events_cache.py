@@ -1,0 +1,203 @@
+"""On-disk content-addressed cache of :class:`TraceEvents` analyses.
+
+The trace analysis — one warm-up pass plus one structure-walking pass per
+(trace, machine) — dominates the cost of a depth sweep once the timing
+recurrences are cheap, and it is recomputed today by every process that
+needs it: each engine worker, each serving-daemon computation, each CLI
+invocation.  This cache makes the analysis a *shared* artefact: entries
+are ``.npz`` files holding the :class:`TraceEvents` columnar matrix and
+scalar aggregates, addressed by SHA-256 over
+
+* the trace's content fingerprint (:meth:`repro.trace.trace.Trace.
+  fingerprint` — name plus every array's bytes, so a regenerated
+  identical trace hits),
+* the machine configuration's canonical fingerprint
+  (:func:`repro.fingerprint.fingerprint_digest`), and
+* :data:`repro.pipeline.fastsim.ANALYSIS_SCHEMA`, so layout changes
+  invalidate stale entries by construction.
+
+Writes follow the same crash/concurrency discipline as the engine's
+:class:`~repro.engine.cache.ResultCache`: uniquely named same-directory
+temp file, flush + fsync, atomic ``os.replace``.  Corrupt or unreadable
+entries are deleted best-effort and reported as misses, never raised.
+
+The default location honours ``$REPRO_ANALYSIS_CACHE_DIR``, then nests
+under ``$REPRO_CACHE_DIR`` (so one knob relocates both caches — and the
+test suite's cache isolation covers this cache for free), then
+``$XDG_CACHE_HOME``, falling back to ``~/.cache/repro/analysis``.
+Set ``REPRO_ANALYSIS_CACHE=off`` to disable the cache wherever
+:func:`default_events_cache` is used to resolve it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fastsim import ANALYSIS_SCHEMA, TraceEvents
+
+__all__ = [
+    "EventsCacheStats",
+    "TraceEventsCache",
+    "default_events_cache",
+    "default_events_cache_dir",
+    "events_cache_enabled",
+]
+
+logger = logging.getLogger("repro.pipeline.events_cache")
+
+_OFF_VALUES = ("0", "off", "no", "false")
+
+
+def default_events_cache_dir() -> pathlib.Path:
+    """Resolve the analysis cache directory from the environment."""
+    env = os.environ.get("REPRO_ANALYSIS_CACHE_DIR")
+    if env:
+        return pathlib.Path(env).expanduser()
+    shared = os.environ.get("REPRO_CACHE_DIR")
+    if shared:
+        return pathlib.Path(shared).expanduser() / "analysis"
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg).expanduser() if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro" / "analysis"
+
+
+def events_cache_enabled() -> bool:
+    """Whether the environment allows the on-disk analysis cache."""
+    return os.environ.get("REPRO_ANALYSIS_CACHE", "").strip().lower() not in _OFF_VALUES
+
+
+def default_events_cache() -> "TraceEventsCache | None":
+    """The environment-configured cache, or None when disabled."""
+    if not events_cache_enabled():
+        return None
+    return TraceEventsCache(default_events_cache_dir())
+
+
+@dataclass
+class EventsCacheStats:
+    """Counters accumulated over one cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits} hits, {self.misses} misses, "
+            f"{self.writes} writes, {self.corrupt} corrupt"
+        )
+
+
+class TraceEventsCache:
+    """Content-addressed ``.npz`` store of trace analyses, atomic writes.
+
+    Layout mirrors the engine's result cache: one file per key under
+    ``<dir>/<key[:2]>/<key>.npz``.
+    """
+
+    def __init__(self, directory: "str | pathlib.Path"):
+        self.directory = pathlib.Path(directory).expanduser()
+        self.stats = EventsCacheStats()
+
+    @staticmethod
+    def key_for(trace_fingerprint: str, machine_fingerprint: str) -> str:
+        """The cache key for one (trace, machine, analysis schema) triple."""
+        material = f"{trace_fingerprint}:{machine_fingerprint}:{ANALYSIS_SCHEMA}"
+        return hashlib.sha256(material.encode("ascii")).hexdigest()
+
+    def path_for(self, key: str) -> pathlib.Path:
+        if len(key) < 3 or not key.isalnum():
+            raise ValueError(f"implausible cache key {key!r}")
+        return self.directory / key[:2] / f"{key}.npz"
+
+    def get(
+        self, trace_fingerprint: str, machine_fingerprint: str
+    ) -> "TraceEvents | None":
+        """The cached analysis, or None (missing or corrupt)."""
+        key = self.key_for(trace_fingerprint, machine_fingerprint)
+        path = self.path_for(key)
+        try:
+            with np.load(path) as payload:
+                events = TraceEvents.from_arrays(
+                    payload["columns"], payload["scalars"]
+                )
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, KeyError, ValueError, TypeError) as exc:
+            logger.warning("discarding corrupt analysis entry %s: %s", path, exc)
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - unlikely race
+                pass
+            return None
+        self.stats.hits += 1
+        logger.debug("analysis cache hit %s", key[:12])
+        return events
+
+    def put(
+        self, trace_fingerprint: str, machine_fingerprint: str, events: TraceEvents
+    ) -> pathlib.Path:
+        """Atomically store ``events``; returns the entry path."""
+        key = self.key_for(trace_fingerprint, machine_fingerprint)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        columns, scalars = events.to_arrays()
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:16]}.", suffix=".tmp", dir=path.parent
+        )
+        tmp = pathlib.Path(tmp_name)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, columns=columns, scalars=scalars)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self.stats.writes += 1
+        logger.debug("analysis cache write %s -> %s", key[:12], path)
+        return path
+
+    def clear(self) -> int:
+        """Remove every cache entry; returns the number removed."""
+        removed = 0
+        if not self.directory.exists():
+            return removed
+        for entry in self.directory.glob("*/*.npz"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError as exc:  # pragma: no cover - unlikely race
+                logger.warning("cache clear failed for %s: %s", entry, exc)
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.npz"))
+
+    def size_bytes(self) -> int:
+        """Total on-disk bytes held by cache entries (best effort)."""
+        if not self.directory.exists():
+            return 0
+        total = 0
+        for entry in self.directory.glob("*/*.npz"):
+            try:
+                total += entry.stat().st_size
+            except OSError:  # pragma: no cover - entry vanished mid-scan
+                continue
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TraceEventsCache({str(self.directory)!r}, {self.stats})"

@@ -33,8 +33,16 @@ enforced by ``tests/pipeline/test_fastsim_equivalence.py`` and the
 ``repro validate-kernel`` CLI command in CI; the speedup is recorded by
 ``benchmarks/bench_fastsim.py``.
 
+The third backend, ``"batched"`` (:mod:`repro.pipeline.batched`), goes one
+step further: it prices *every depth of a sweep in one timing pass*,
+carrying one state lane per requested depth, and both the ``fast`` and
+``batched`` simulators can share analyses across processes through the
+on-disk :class:`~repro.pipeline.events_cache.TraceEventsCache` (the
+columnar :class:`TraceEvents` layout doubles as its ``.npz`` payload).
+
 Use :func:`make_simulator` to select a backend by name — ``"reference"``
-for the interpreter, ``"fast"`` for this kernel.
+for the interpreter, ``"fast"`` for this kernel, ``"batched"`` for the
+depth-batched kernel.
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from ..fingerprint import fingerprint_digest
 from ..isa import REGISTER_COUNT, OpClass
 from ..trace.trace import Trace
 from ..uarch.btb import BranchTargetBuffer
@@ -53,6 +62,7 @@ from .simulator import MachineConfig, PipelineSimulator, _make_predictor, _warm_
 from .timing import DepthConstants
 
 __all__ = [
+    "ANALYSIS_SCHEMA",
     "BACKENDS",
     "DEFAULT_BACKEND",
     "TraceEvents",
@@ -62,11 +72,16 @@ __all__ = [
     "simulate_fast",
 ]
 
-BACKENDS: Tuple[str, ...] = ("reference", "fast")
+BACKENDS: Tuple[str, ...] = ("reference", "fast", "batched")
 """Recognised simulation backend names."""
 
 DEFAULT_BACKEND = "reference"
 """The backend used when none is requested (the original interpreter)."""
+
+ANALYSIS_SCHEMA = 1
+"""Version of the :class:`TraceEvents` columnar layout.  Part of every
+on-disk analysis cache key, so changing the layout (column order, dtypes,
+aggregate set) invalidates stale entries by construction."""
 
 _LOAD = OpClass.RX_LOAD.value
 _STORE = OpClass.RX_STORE.value
@@ -75,35 +90,79 @@ _BRANCH = OpClass.BRANCH.value
 _FP = OpClass.FP.value
 _COMPLEX = OpClass.COMPLEX.value
 
-# Branch event codes in TraceEvents.brs: 0 = no front-end event.
+# Branch event codes in the branch_event column: 0 = no front-end event.
 _EV_MISPREDICT = 1
 _EV_BTB_STALL = 2
+
+COLUMN_NAMES: Tuple[str, ...] = (
+    "mem",
+    "src1",
+    "exec_src1",
+    "src2",
+    "dest_alu",
+    "dest_load",
+    "fpc",
+    "fp_extra",
+    "store",
+    "branch_event",
+    "ic_event",
+    "dc_event",
+)
+"""Row order of :attr:`TraceEvents.columns` (and of the stream tuples)."""
+
+(_COL_MEM, _COL_SRC1, _COL_EXEC_SRC1, _COL_SRC2, _COL_DEST_ALU,
+ _COL_DEST_LOAD, _COL_FPC, _COL_FP_EXTRA, _COL_STORE, _COL_BRANCH_EVENT,
+ _COL_IC_EVENT, _COL_DC_EVENT) = range(len(COLUMN_NAMES))
+
+AGGREGATE_NAMES: Tuple[str, ...] = (
+    "branches",
+    "mispredicts",
+    "icache_misses",
+    "ic_l2_misses",
+    "dcache_accesses",
+    "dcache_misses",
+    "dc_l2_stall_misses",
+    "store_misses",
+    "l2_misses",
+    "memory_ops",
+    "fp_ops",
+    "fpc_count",
+    "fpc_extra_sum",
+)
+"""Scalar hazard aggregates carried alongside the column matrix."""
 
 
 class TraceEvents:
     """Depth-independent per-instruction events for one (trace, machine).
 
-    The event vectors are NumPy arrays over the dynamic instruction
-    stream; ``stream`` is the same information as per-instruction tuples,
-    pre-shaped for the per-depth timing loops (one unpack per
-    instruction, no indexing, no numpy scalar boxing).
+    The canonical storage is ``columns``, a read-only ``int32`` matrix of
+    shape ``(len(COLUMN_NAMES), n)`` — one row per per-instruction field,
+    in :data:`COLUMN_NAMES` order — plus the scalar hazard aggregates.
+    That pair round-trips losslessly through ``.npz`` files, which is what
+    the on-disk :class:`~repro.pipeline.events_cache.TraceEventsCache`
+    stores; everything else here is a derived view.
 
     Attributes:
         n: dynamic instruction count.
-        stream: per-instruction ``(is_mem, src1, exec_src1, src2,
-            dest_alu, dest_load, fpc, fp_extra, is_store, branch_event,
-            ic_event, dc_event)`` tuples.  ``exec_src1`` is ``src1`` for
-            non-memory ops and -1 otherwise (memory ops consume it at
-            agen); ``dest_alu`` / ``dest_load`` split the destination
-            register by whether it is written at execute or at cache
-            return; ``fpc`` is 1 for FP, 2 for COMPLEX, 0 otherwise;
-            ``ic_event`` / ``dc_event`` are 0 (hit), 1 (L1 miss) or
-            2 (L1+L2 miss) — the loops scale them into stall cycles with
-            the per-depth penalty constants.
-        ic_miss / ic_l2: I-cache line miss at this fetch, and whether it
-            also missed the L2 (both 0/1 ``int64`` vectors).
-        dc_stall / dc_l2_stall: stalling data-side miss (loads and RX-ALU
-            operand fetches; store misses excluded) and its L2 component.
+        columns: the ``(12, n)`` int32 event matrix.  Per-instruction
+            fields: ``mem`` (RX-path op), ``src1``, ``exec_src1``
+            (``src1`` for non-memory ops, -1 otherwise — memory ops
+            consume it at agen), ``src2``, ``dest_alu`` / ``dest_load``
+            (destination register split by whether it is written at
+            execute or at cache return, -1 for none), ``fpc`` (1 FP,
+            2 COMPLEX, 0 otherwise), ``fp_extra`` (extra execute cycles),
+            ``store``, ``branch_event`` (0 none, 1 mispredict, 2 BTB
+            stall), ``ic_event`` / ``dc_event`` (0 hit, 1 L1 miss,
+            2 L1+L2 miss — the timing loops scale them into stall cycles
+            with the per-depth penalty constants).
+        stream: the same information as per-instruction tuples, built
+            lazily and pre-shaped for the per-depth Python timing loops
+            (one unpack per instruction, no indexing, no numpy scalar
+            boxing).
+        ic_miss / ic_l2 / dc_stall / dc_l2_stall: derived 0/1 ``int64``
+            event vectors (I-cache miss and its L2 component; stalling
+            D-side miss — loads and RX-ALU operand fetches, store misses
+            excluded — and its L2 component).
         branches / mispredicts / icache_misses / dcache_accesses /
             dcache_misses / store_misses / l2_misses / memory_ops /
             fp_ops: the aggregate hazard counts of the timed pass.
@@ -112,27 +171,84 @@ class TraceEvents:
             occupancy).
     """
 
-    __slots__ = (
-        "n",
-        "stream",
-        "ic_miss",
-        "ic_l2",
-        "dc_stall",
-        "dc_l2_stall",
-        "branches",
-        "mispredicts",
-        "icache_misses",
-        "ic_l2_misses",
-        "dcache_accesses",
-        "dcache_misses",
-        "dc_l2_stall_misses",
-        "store_misses",
-        "l2_misses",
-        "memory_ops",
-        "fp_ops",
-        "fpc_count",
-        "fpc_extra_sum",
-    )
+    __slots__ = ("n", "columns", "_stream") + AGGREGATE_NAMES
+
+    def __init__(self, columns: np.ndarray, **aggregates: int):
+        columns = np.ascontiguousarray(columns, dtype=np.int32)
+        if columns.ndim != 2 or columns.shape[0] != len(COLUMN_NAMES):
+            raise ValueError(
+                f"expected a ({len(COLUMN_NAMES)}, n) column matrix, "
+                f"got shape {columns.shape}"
+            )
+        columns.setflags(write=False)
+        self.columns = columns
+        self.n = int(columns.shape[1])
+        for name in AGGREGATE_NAMES:
+            try:
+                setattr(self, name, int(aggregates.pop(name)))
+            except KeyError:
+                raise TypeError(f"missing aggregate {name!r}") from None
+        if aggregates:
+            raise TypeError(f"unknown aggregates {sorted(aggregates)}")
+        self._stream = None
+
+    @property
+    def stream(self) -> "list[tuple]":
+        stream = self._stream
+        if stream is None:
+            stream = list(zip(*(row.tolist() for row in self.columns)))
+            self._stream = stream
+        return stream
+
+    @property
+    def ic_miss(self) -> np.ndarray:
+        return (self.columns[_COL_IC_EVENT] != 0).astype(np.int64)
+
+    @property
+    def ic_l2(self) -> np.ndarray:
+        return (self.columns[_COL_IC_EVENT] == 2).astype(np.int64)
+
+    @property
+    def dc_stall(self) -> np.ndarray:
+        return (self.columns[_COL_DC_EVENT] != 0).astype(np.int64)
+
+    @property
+    def dc_l2_stall(self) -> np.ndarray:
+        return (self.columns[_COL_DC_EVENT] == 2).astype(np.int64)
+
+    def aggregates(self) -> "dict[str, int]":
+        """The scalar aggregates as a plain dict (AGGREGATE_NAMES order)."""
+        return {name: getattr(self, name) for name in AGGREGATE_NAMES}
+
+    def to_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """``(columns, scalars)`` — the lossless serialised form.
+
+        ``scalars`` is ``[n, *aggregates]`` as int64, in
+        :data:`AGGREGATE_NAMES` order; the inverse is
+        :meth:`from_arrays`.
+        """
+        scalars = np.array(
+            [self.n] + [getattr(self, name) for name in AGGREGATE_NAMES],
+            dtype=np.int64,
+        )
+        return self.columns, scalars
+
+    @classmethod
+    def from_arrays(cls, columns: np.ndarray, scalars: np.ndarray) -> "TraceEvents":
+        """Rebuild from :meth:`to_arrays` output (e.g. a cache entry)."""
+        scalars = np.asarray(scalars, dtype=np.int64)
+        if scalars.shape != (1 + len(AGGREGATE_NAMES),):
+            raise ValueError(
+                f"expected {1 + len(AGGREGATE_NAMES)} scalars, got shape "
+                f"{scalars.shape}"
+            )
+        events = cls(columns, **dict(zip(AGGREGATE_NAMES, scalars[1:].tolist())))
+        if events.n != int(scalars[0]):
+            raise ValueError(
+                f"scalar n={int(scalars[0])} disagrees with column width "
+                f"{events.n}"
+            )
+        return events
 
     def fetch_penalties(self, cons: DepthConstants) -> "list[int]":
         """Per-instruction fetch stall cycles at ``cons``'s depth."""
@@ -178,14 +294,30 @@ def analyze_trace(trace: Trace, config: "MachineConfig | None" = None) -> TraceE
     new_line[0] = True
     np.not_equal(lines[1:], lines[:-1], out=new_line[1:])
 
-    events = TraceEvents()
-    events.n = n
+    ic_event = np.zeros(n, dtype=np.int32)
+    dc_event = np.zeros(n, dtype=np.int32)
+    branch_event = np.zeros(n, dtype=np.int32)
 
-    ic_miss = np.zeros(n, dtype=np.int64)
-    ic_l2 = np.zeros(n, dtype=np.int64)
-    dc_stall = np.zeros(n, dtype=np.int64)
-    dc_l2_stall = np.zeros(n, dtype=np.int64)
-    brs = [0] * n
+    mispredicts = dc_misses = store_misses = data_l2_misses = 0
+
+    # The "taken" and "oracle" predictors are stateless, so their outcomes
+    # vectorise: oracle never mispredicts, static-taken mispredicts exactly
+    # the not-taken branches.  Only *taken* branches ever consult the BTB
+    # (a mispredicted static-taken branch is not-taken by construction, and
+    # an oracle branch reaches the BTB only when taken), so with a
+    # stateless predictor the scalar walk shrinks to the structures that
+    # genuinely carry state: the cache hierarchy, and the BTB when present.
+    stateless = oracle or cfg.predictor_kind == "taken"
+    if stateless:
+        if not oracle:
+            misp = branch_mask & ~trace.taken
+            branch_event[misp] = _EV_MISPREDICT
+            mispredicts = int(np.count_nonzero(misp))
+        walk = new_line | mem_mask
+        if btb is not None:
+            walk |= branch_mask & trace.taken
+    else:
+        walk = new_line | mem_mask | branch_mask
 
     pcs = trace.pc.tolist()
     addresses = trace.address.tolist()
@@ -194,7 +326,6 @@ def analyze_trace(trace: Trace, config: "MachineConfig | None" = None) -> TraceE
     mems = mem_mask.tolist()
     new_lines = new_line.tolist()
 
-    mispredicts = dc_misses = store_misses = data_l2_misses = 0
     ic_access = icache.access
     dc_access = dcache.access
     l2_access = l2cache.access
@@ -202,12 +333,13 @@ def analyze_trace(trace: Trace, config: "MachineConfig | None" = None) -> TraceE
     btb_lookup = btb.lookup_and_update if btb is not None else None
     # Only instructions that touch a stateful structure need the scalar
     # walk; everything else is covered by the vectorized masks above.
-    for i in np.flatnonzero(new_line | mem_mask | branch_mask).tolist():
+    for i in np.flatnonzero(walk).tolist():
         if new_lines[i]:
             if not ic_access(pcs[i]):
-                ic_miss[i] = 1
-                if not l2_access(pcs[i]):
-                    ic_l2[i] = 1
+                if l2_access(pcs[i]):
+                    ic_event[i] = 1
+                else:
+                    ic_event[i] = 2
         if mems[i]:
             if not dc_access(addresses[i]):
                 l2_hit = l2_access(addresses[i])
@@ -217,76 +349,111 @@ def analyze_trace(trace: Trace, config: "MachineConfig | None" = None) -> TraceE
                         data_l2_misses += 1
                 else:
                     dc_misses += 1
-                    dc_stall[i] = 1
-                    if not l2_hit:
+                    if l2_hit:
+                        dc_event[i] = 1
+                    else:
                         data_l2_misses += 1
-                        dc_l2_stall[i] = 1
+                        dc_event[i] = 2
         elif codes[i] == _BRANCH:
-            if not oracle and not observe(pcs[i], takens[i]):
+            if stateless:
+                # A branch can enter the walk via the new-line mask alone;
+                # only correctly-predicted taken branches touch the BTB.
+                if btb_lookup is not None and takens[i] and not btb_lookup(pcs[i]):
+                    branch_event[i] = _EV_BTB_STALL
+            elif not observe(pcs[i], takens[i]):
                 mispredicts += 1
-                brs[i] = _EV_MISPREDICT
+                branch_event[i] = _EV_MISPREDICT
             elif takens[i] and btb_lookup is not None and not btb_lookup(pcs[i]):
-                brs[i] = _EV_BTB_STALL
+                branch_event[i] = _EV_BTB_STALL
 
     load_mask = opclass == _LOAD
     dest = trace.dest
-    events.stream = list(
-        zip(
-            mems,
-            trace.src1.tolist(),
-            np.where(mem_mask, -1, trace.src1).tolist(),
-            trace.src2.tolist(),
-            np.where(load_mask, -1, dest).tolist(),
-            np.where(load_mask, dest, -1).tolist(),
-            ((opclass == _FP) + 2 * (opclass == _COMPLEX)).tolist(),
-            trace.fp_cycles.tolist(),
-            (opclass == _STORE).tolist(),
-            brs,
-            (ic_miss + ic_l2).tolist(),
-            (dc_stall + dc_l2_stall).tolist(),
-        )
+    columns = np.empty((len(COLUMN_NAMES), n), dtype=np.int32)
+    columns[_COL_MEM] = mem_mask
+    columns[_COL_SRC1] = trace.src1
+    columns[_COL_EXEC_SRC1] = np.where(mem_mask, -1, trace.src1)
+    columns[_COL_SRC2] = trace.src2
+    columns[_COL_DEST_ALU] = np.where(load_mask, -1, dest)
+    columns[_COL_DEST_LOAD] = np.where(load_mask, dest, -1)
+    columns[_COL_FPC] = (opclass == _FP) + 2 * (opclass == _COMPLEX)
+    columns[_COL_FP_EXTRA] = trace.fp_cycles
+    columns[_COL_STORE] = opclass == _STORE
+    columns[_COL_BRANCH_EVENT] = branch_event
+    columns[_COL_IC_EVENT] = ic_event
+    columns[_COL_DC_EVENT] = dc_event
+
+    memory_ops = int(np.count_nonzero(mem_mask))
+    ic_l2_misses = int(np.count_nonzero(ic_event == 2))
+    return TraceEvents(
+        columns,
+        branches=int(np.count_nonzero(branch_mask)),
+        mispredicts=mispredicts,
+        icache_misses=int(np.count_nonzero(ic_event)),
+        ic_l2_misses=ic_l2_misses,
+        dcache_accesses=memory_ops,
+        dcache_misses=dc_misses,
+        dc_l2_stall_misses=int(np.count_nonzero(dc_event == 2)),
+        store_misses=store_misses,
+        l2_misses=ic_l2_misses + data_l2_misses,
+        memory_ops=memory_ops,
+        fp_ops=int(np.count_nonzero(opclass == _FP)),
+        fpc_count=int(np.count_nonzero(fpc_mask)),
+        fpc_extra_sum=int(trace.fp_cycles[fpc_mask].sum(dtype=np.int64)),
     )
-    events.ic_miss = ic_miss
-    events.ic_l2 = ic_l2
-    events.dc_stall = dc_stall
-    events.dc_l2_stall = dc_l2_stall
-    events.branches = int(np.count_nonzero(branch_mask))
-    events.mispredicts = mispredicts
-    events.icache_misses = int(ic_miss.sum())
-    events.ic_l2_misses = int(ic_l2.sum())
-    events.memory_ops = int(np.count_nonzero(mem_mask))
-    events.dcache_accesses = events.memory_ops
-    events.dcache_misses = dc_misses
-    events.dc_l2_stall_misses = int(dc_l2_stall.sum())
-    events.store_misses = store_misses
-    events.l2_misses = events.ic_l2_misses + data_l2_misses
-    events.fp_ops = int(np.count_nonzero(opclass == _FP))
-    events.fpc_count = int(np.count_nonzero(fpc_mask))
-    events.fpc_extra_sum = int(trace.fp_cycles[fpc_mask].sum(dtype=np.int64))
-    return events
 
 
 class FastPipelineSimulator:
     """Drop-in :class:`PipelineSimulator` replacement with shared analysis.
 
     The first ``simulate`` call on a trace runs :func:`analyze_trace`; the
-    events are kept (one-slot cache keyed on trace identity) so every
-    further depth of the same trace skips straight to the timing
+    events are kept (one-slot cache keyed on the trace's *content
+    fingerprint*, so a regenerated-but-identical trace is still a hit) and
+    every further depth of the same trace skips straight to the timing
     recurrence.  Simulating a depth sweep therefore costs one analysis
     plus ``len(depths)`` cheap evaluations.
+
+    Passing an ``events_cache`` (a
+    :class:`~repro.pipeline.events_cache.TraceEventsCache`) extends the
+    sharing across processes: analyses are looked up and stored on disk
+    under (trace fingerprint, machine fingerprint, analysis schema), so a
+    warm cache skips the analysis entirely — the engine's workers, the
+    serving daemon and repeated CLI invocations all converge on one
+    analysis per (trace, machine).
     """
 
-    def __init__(self, config: "MachineConfig | None" = None):
+    def __init__(
+        self,
+        config: "MachineConfig | None" = None,
+        events_cache=None,
+    ):
         self.config = config or MachineConfig()
-        self._cached: "tuple[Trace, TraceEvents] | None" = None
+        self.events_cache = events_cache
+        self._cached: "tuple[str, TraceEvents] | None" = None
+        self._machine_fp: "str | None" = None
+
+    def machine_fingerprint(self) -> str:
+        """Content fingerprint of this simulator's machine configuration."""
+        fp = self._machine_fp
+        if fp is None:
+            fp = fingerprint_digest(self.config)
+            self._machine_fp = fp
+        return fp
 
     def events_for(self, trace: Trace) -> TraceEvents:
         """The (cached) depth-independent analysis of ``trace``."""
+        fp = trace.fingerprint()
         cached = self._cached
-        if cached is not None and cached[0] is trace:
+        if cached is not None and cached[0] == fp:
             return cached[1]
-        events = analyze_trace(trace, self.config)
-        self._cached = (trace, events)
+        events = None
+        cache = self.events_cache
+        if cache is not None:
+            events = cache.get(fp, self.machine_fingerprint())
+        if events is None:
+            events = analyze_trace(trace, self.config)
+            if cache is not None:
+                cache.put(fp, self.machine_fingerprint(), events)
+        self._cached = (fp, events)
         return events
 
     def simulate(self, trace: Trace, depth: "int | StagePlan") -> SimulationResult:
@@ -785,13 +952,26 @@ class FastPipelineSimulator:
 
 
 def make_simulator(
-    config: "MachineConfig | None" = None, backend: str = DEFAULT_BACKEND
+    config: "MachineConfig | None" = None,
+    backend: str = DEFAULT_BACKEND,
+    events_cache=None,
 ):
-    """Instantiate the simulator for ``backend`` (``"reference"``/``"fast"``)."""
+    """Instantiate the simulator for ``backend``.
+
+    ``"reference"`` is the step-wise interpreter, ``"fast"`` this module's
+    kernel, ``"batched"`` the depth-batched kernel.  ``events_cache`` (a
+    :class:`~repro.pipeline.events_cache.TraceEventsCache` or None) is
+    forwarded to the analysing backends; the reference interpreter has no
+    analysis to cache and ignores it.
+    """
     if backend == "reference":
         return PipelineSimulator(config)
     if backend == "fast":
-        return FastPipelineSimulator(config)
+        return FastPipelineSimulator(config, events_cache=events_cache)
+    if backend == "batched":
+        from .batched import BatchedPipelineSimulator
+
+        return BatchedPipelineSimulator(config, events_cache=events_cache)
     raise ValueError(f"unknown backend {backend!r}; choose from {list(BACKENDS)}")
 
 

@@ -162,6 +162,17 @@ class PipelineSimulator:
     def __init__(self, config: MachineConfig | None = None):
         self.config = config or MachineConfig()
 
+    def simulate_depths(self, trace, depths):
+        """Simulate every depth of a sweep, in order.
+
+        The primary sweep API shared by all backends.  The reference
+        interpreter has no cross-depth work to share, so this is a plain
+        loop over :meth:`simulate`; the fast backend amortises the trace
+        analysis and the batched backend additionally prices all depths in
+        one timing pass.
+        """
+        return tuple(self.simulate(trace, depth) for depth in depths)
+
     def simulate(self, trace: Trace, depth: "int | StagePlan") -> SimulationResult:
         """Simulate ``trace`` at one pipeline depth.
 

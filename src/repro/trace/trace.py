@@ -8,6 +8,7 @@ for the public API, tests and examples.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterator, Mapping
 
@@ -53,7 +54,7 @@ class Trace:
     """
 
     __slots__ = ("name", "opclass", "pc", "dest", "src1", "src2", "address",
-                 "taken", "fp_cycles")
+                 "taken", "fp_cycles", "_fingerprint")
 
     def __init__(
         self,
@@ -93,6 +94,29 @@ class Trace:
 
     def __len__(self) -> int:
         return int(self.opclass.shape[0])
+
+    def fingerprint(self) -> str:
+        """Content fingerprint: SHA-256 over the name and every array's bytes.
+
+        Two traces with equal contents fingerprint equally even when they
+        are distinct objects built by separate processes — the property the
+        analysis caches key on.  Computed on first use and memoised (the
+        arrays are immutable, so the digest can never go stale).
+        """
+        try:
+            return self._fingerprint
+        except AttributeError:
+            pass
+        digest = hashlib.sha256()
+        digest.update(self.name.encode("utf-8"))
+        for key in ("opclass", "pc", "dest", "src1", "src2", "address",
+                    "taken", "fp_cycles"):
+            arr = getattr(self, key)
+            digest.update(key.encode("ascii"))
+            digest.update(np.ascontiguousarray(arr).tobytes())
+        value = digest.hexdigest()
+        object.__setattr__(self, "_fingerprint", value)
+        return value
 
     def instruction(self, index: int) -> Instruction:
         """The record-at-a-time view of instruction ``index``."""

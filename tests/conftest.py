@@ -21,8 +21,16 @@ def _engine_cache_root(tmp_path_factory):
 
 @pytest.fixture(autouse=True)
 def _isolated_engine_cache(_engine_cache_root, monkeypatch):
-    """Keep engine-backed tests out of the user's ~/.cache result cache."""
+    """Keep engine-backed tests out of the user's ~/.cache caches.
+
+    The analysis cache nests under ``REPRO_CACHE_DIR`` by default, so one
+    variable isolates both; the two overrides are scrubbed because CLI
+    commands mutate ``os.environ`` (``--no-cache``) and would otherwise
+    leak between tests sharing this process.
+    """
     monkeypatch.setenv("REPRO_CACHE_DIR", str(_engine_cache_root))
+    monkeypatch.delenv("REPRO_ANALYSIS_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_ANALYSIS_CACHE_DIR", raising=False)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,144 @@
+"""The depth-batched backend: one timing pass, reference-identical lanes.
+
+The batched kernel walks the event stream once with one state lane per
+requested depth; these tests pin its contract from three directions —
+hypothesis-driven cross-backend equivalence (random machines, random
+depth sets, random traces: ``batched == fast == reference``
+field-for-field), the Python fallback when the C kernel cannot run, and
+the lane-independence property that makes batching legal in the first
+place (a depth priced alone equals the same depth priced inside any
+batch).
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import OpClass
+from repro.pipeline import batched as batched_mod
+from repro.pipeline.batched import BatchedPipelineSimulator
+from repro.pipeline.fastsim import FastPipelineSimulator
+from repro.pipeline.simulator import MachineConfig, PipelineSimulator
+from repro.trace import WorkloadClass, WorkloadSpec, generate_trace
+
+MIXES = st.sampled_from([
+    # (rr, load, store, rxalu, branch, fp, complex)
+    (0.4, 0.15, 0.1, 0.15, 0.15, 0.03, 0.02),
+    (0.2, 0.2, 0.1, 0.2, 0.25, 0.03, 0.02),
+    (0.25, 0.2, 0.1, 0.05, 0.05, 0.3, 0.05),
+])
+
+
+def _build_spec(mix, seed):
+    classes = (OpClass.RR_ALU, OpClass.RX_LOAD, OpClass.RX_STORE, OpClass.RX_ALU,
+               OpClass.BRANCH, OpClass.FP, OpClass.COMPLEX)
+    return WorkloadSpec(
+        name=f"batched-fuzz-{seed}",
+        workload_class=WorkloadClass.MODERN,
+        mix=dict(zip(classes, mix)),
+        branch_sites=128,
+        branch_bias=0.85,
+        taken_rate=0.6,
+        data_working_set=128 * 1024,
+        data_locality=0.9,
+        code_footprint=32 * 1024,
+        dependency_distance=4.0,
+        pointer_chase=0.1,
+        seed=seed,
+    )
+
+
+@st.composite
+def machine_configs(draw):
+    return MachineConfig(
+        issue_width=draw(st.integers(1, 6)),
+        agen_width=draw(st.integers(1, 3)),
+        in_order=draw(st.booleans()),
+        predictor_kind=draw(
+            st.sampled_from(["gshare", "bimodal", "taken", "oracle"])
+        ),
+        mshr_entries=draw(st.sampled_from([1, 4])),
+        btb_entries=draw(st.sampled_from([None, 64])),
+        issue_window=draw(st.sampled_from([8, 32])),
+        rob_size=draw(st.sampled_from([24, 64])),
+        warmup=draw(st.booleans()),
+    )
+
+
+@st.composite
+def batched_cases(draw):
+    spec = _build_spec(draw(MIXES), draw(st.integers(0, 2**16)))
+    machine = draw(machine_configs())
+    depths = tuple(sorted(draw(
+        st.sets(st.integers(2, 30), min_size=1, max_size=5)
+    )))
+    return spec, machine, depths
+
+
+def _assert_equal(reference, candidate, context):
+    for field in dataclasses.fields(reference):
+        a = getattr(reference, field.name)
+        b = getattr(candidate, field.name)
+        assert a == b, f"{context}: field {field.name!r} diverges: {a!r} != {b!r}"
+
+
+class TestCrossBackendProperty:
+    @given(case=batched_cases())
+    @settings(max_examples=20, deadline=None)
+    def test_batched_equals_fast_equals_reference(self, case):
+        """Random machine, random depth set: all three backends agree."""
+        spec, machine, depths = case
+        trace = generate_trace(spec, 300)
+        reference = PipelineSimulator(machine).simulate_depths(trace, depths)
+        fast = FastPipelineSimulator(machine).simulate_depths(trace, depths)
+        batched = BatchedPipelineSimulator(machine).simulate_depths(trace, depths)
+        for depth, r, f, b in zip(depths, reference, fast, batched):
+            context = f"{machine!r} depth={depth}"
+            _assert_equal(r, f, f"fast {context}")
+            _assert_equal(r, b, f"batched {context}")
+
+    @given(case=batched_cases())
+    @settings(max_examples=10, deadline=None)
+    def test_lane_independence(self, case):
+        """A depth priced alone equals the same depth inside any batch."""
+        spec, machine, depths = case
+        trace = generate_trace(spec, 250)
+        sim = BatchedPipelineSimulator(machine)
+        together = sim.simulate_depths(trace, depths)
+        for depth, result in zip(depths, together):
+            assert sim.simulate(trace, depth) == result
+
+
+def test_python_fallback_matches_kernel(modern_trace, monkeypatch):
+    """With the C kernel unavailable the scalar fallback is identical."""
+    depths = (2, 5, 8, 13, 20)
+    for machine in (MachineConfig(), MachineConfig(in_order=False)):
+        with_kernel = BatchedPipelineSimulator(machine).simulate_depths(
+            modern_trace, depths
+        )
+        monkeypatch.setattr(batched_mod, "batched_kernel", lambda: None)
+        without = BatchedPipelineSimulator(machine).simulate_depths(
+            modern_trace, depths
+        )
+        monkeypatch.undo()
+        assert list(with_kernel) == list(without)
+
+
+def test_wide_machine_falls_back(modern_trace):
+    """issue_width beyond the kernel's uint8 slots still simulates."""
+    machine = MachineConfig(issue_width=300)
+    sim = BatchedPipelineSimulator(machine)
+    assert sim._run_batched(sim.events_for(modern_trace), []) is None
+    results = sim.simulate_depths(modern_trace, (4, 12))
+    reference = PipelineSimulator(machine).simulate_depths(modern_trace, (4, 12))
+    assert list(results) == list(reference)
+
+
+def test_empty_trace_rejected():
+    from repro.trace.trace import Trace
+
+    empty = Trace.from_instructions("empty", [])
+    with pytest.raises(ValueError):
+        BatchedPipelineSimulator().simulate_depths(empty, (4,))

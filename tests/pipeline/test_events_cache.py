@@ -1,0 +1,163 @@
+"""The on-disk trace-analysis cache: content addressing, atomicity, sharing.
+
+The cache's promise is that one (trace, machine) analysis is computed
+once per *cluster of processes* sharing a cache directory — workers,
+daemon, CLI — and that a stale or corrupt entry can never poison a
+simulation (corruption is a miss, schema changes re-key).  The
+cross-process test at the bottom asserts the headline behaviour
+end-to-end: a second Python process with a warm cache performs zero
+analyses and reproduces identical results.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.pipeline import fastsim
+from repro.pipeline.batched import BatchedPipelineSimulator
+from repro.pipeline.events_cache import (
+    TraceEventsCache,
+    default_events_cache,
+    default_events_cache_dir,
+    events_cache_enabled,
+)
+from repro.pipeline.fastsim import FastPipelineSimulator, analyze_trace
+from repro.pipeline.simulator import MachineConfig
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return TraceEventsCache(tmp_path / "analysis")
+
+
+def test_key_is_content_addressed():
+    key = TraceEventsCache.key_for("aaa", "bbb")
+    assert key == TraceEventsCache.key_for("aaa", "bbb")
+    assert key != TraceEventsCache.key_for("aab", "bbb")
+    assert key != TraceEventsCache.key_for("aaa", "bbc")
+    assert len(key) == 64 and key.isalnum()
+
+
+def test_path_rejects_implausible_keys(cache):
+    with pytest.raises(ValueError):
+        cache.path_for("../escape")
+    with pytest.raises(ValueError):
+        cache.path_for("ab")
+
+
+def test_round_trip_preserves_analysis(cache, modern_trace):
+    machine = MachineConfig(in_order=False)
+    events = analyze_trace(modern_trace, machine)
+    assert cache.get("t", "m") is None
+    path = cache.put("t", "m", events)
+    assert path.exists()
+    loaded = cache.get("t", "m")
+    assert loaded is not None
+    assert loaded.n == events.n
+    assert (loaded.columns == events.columns).all()
+    assert loaded.aggregates() == events.aggregates()
+    assert cache.stats.hits == 1 and cache.stats.writes == 1
+
+
+def test_corrupt_entry_is_a_deleted_miss(cache, modern_trace):
+    events = analyze_trace(modern_trace, MachineConfig())
+    path = cache.put("t", "m", events)
+    path.write_bytes(b"not an npz file")
+    assert cache.get("t", "m") is None
+    assert not path.exists()
+    assert cache.stats.corrupt == 1
+
+
+def test_clear_len_and_size(cache, modern_trace, float_trace):
+    events = analyze_trace(modern_trace, MachineConfig())
+    cache.put("t1", "m", events)
+    cache.put("t2", "m", analyze_trace(float_trace, MachineConfig()))
+    assert len(cache) == 2
+    assert cache.size_bytes() > 0
+    assert cache.clear() == 2
+    assert len(cache) == 0 and cache.size_bytes() == 0
+
+
+def test_environment_resolution(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_ANALYSIS_CACHE_DIR", str(tmp_path / "explicit"))
+    assert default_events_cache_dir() == tmp_path / "explicit"
+    monkeypatch.delenv("REPRO_ANALYSIS_CACHE_DIR")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shared"))
+    assert default_events_cache_dir() == tmp_path / "shared" / "analysis"
+
+    assert events_cache_enabled()
+    assert default_events_cache() is not None
+    monkeypatch.setenv("REPRO_ANALYSIS_CACHE", "off")
+    assert not events_cache_enabled()
+    assert default_events_cache() is None
+
+
+def test_simulator_reuses_disk_entries(cache, modern_trace, monkeypatch):
+    """A fresh simulator instance loads the analysis instead of redoing it."""
+    first = FastPipelineSimulator(events_cache=cache)
+    r1 = first.simulate(modern_trace, 8)
+    assert cache.stats.misses == 1 and cache.stats.writes == 1
+
+    calls = []
+    monkeypatch.setattr(
+        fastsim, "analyze_trace",
+        lambda *a, **k: calls.append(1) or pytest.fail("analysis recomputed"),
+    )
+    second = BatchedPipelineSimulator(events_cache=cache)
+    r2 = second.simulate(modern_trace, 8)
+    assert cache.stats.hits == 1
+    assert r1 == r2 and not calls
+
+
+_SUBPROCESS_SCRIPT = """
+import json
+import repro.pipeline.fastsim as fastsim
+from repro.pipeline.batched import BatchedPipelineSimulator
+from repro.pipeline.events_cache import default_events_cache
+from repro.trace import generate_trace
+from repro.trace.suite import small_suite
+
+calls = {"n": 0}
+real = fastsim.analyze_trace
+def counting(trace, cfg):
+    calls["n"] += 1
+    return real(trace, cfg)
+fastsim.analyze_trace = counting
+
+trace = generate_trace(small_suite(1)[0], 400)
+sim = BatchedPipelineSimulator(events_cache=default_events_cache())
+results = sim.simulate_depths(trace, (2, 8, 20))
+print(json.dumps({
+    "analyses": calls["n"],
+    "cycles": [r.cycles for r in results],
+    "stats": vars(sim.events_cache.stats),
+}))
+"""
+
+
+def test_warm_cache_shared_across_processes(tmp_path):
+    """The headline contract: process two performs zero analyses."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_ANALYSIS_CACHE_DIR"] = str(tmp_path / "analysis")
+
+    def run():
+        proc = subprocess.run(
+            [sys.executable, "-c", _SUBPROCESS_SCRIPT],
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return json.loads(proc.stdout)
+
+    cold = run()
+    warm = run()
+    assert cold["analyses"] == 1
+    assert cold["stats"]["misses"] == 1 and cold["stats"]["writes"] == 1
+    assert warm["analyses"] == 0  # the analysis crossed the process boundary
+    assert warm["stats"]["hits"] == 1 and warm["stats"]["writes"] == 0
+    assert warm["cycles"] == cold["cycles"]

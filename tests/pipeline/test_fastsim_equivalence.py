@@ -18,10 +18,12 @@ import pytest
 from repro.analysis.optimum import optimum_from_sweep
 from repro.analysis.sweep import sweep_from_results
 from repro.analysis.validate import (
+    CANDIDATE_BACKENDS,
     default_machine_grid,
     format_report,
     validate_kernel,
 )
+from repro.pipeline.batched import BatchedPipelineSimulator, simulate_batched
 from repro.pipeline.fastsim import (
     BACKENDS,
     DEFAULT_BACKEND,
@@ -38,6 +40,12 @@ DEPTHS = (2, 3, 4, 6, 8, 13, 20)
 
 MACHINES = sorted(default_machine_grid(small=False).items())
 
+GRID = [
+    (backend, label, machine)
+    for backend in CANDIDATE_BACKENDS
+    for label, machine in MACHINES
+]
+
 
 def _assert_results_equal(reference, fast, context):
     for field in dataclasses.fields(reference):
@@ -47,17 +55,21 @@ def _assert_results_equal(reference, fast, context):
     assert fast.cpi == pytest.approx(reference.cpi, rel=1e-9, abs=0.0)
 
 
-@pytest.mark.parametrize(("label", "machine"), MACHINES, ids=[m[0] for m in MACHINES])
-def test_fast_matches_reference_everywhere(label, machine, modern_trace, float_trace):
+@pytest.mark.parametrize(
+    ("backend", "label", "machine"), GRID, ids=[f"{g[0]}-{g[1]}" for g in GRID]
+)
+def test_backend_matches_reference_everywhere(
+    backend, label, machine, modern_trace, float_trace
+):
     """Every SimulationResult field matches on every machine variant."""
     reference_sim = PipelineSimulator(machine)
-    fast_sim = FastPipelineSimulator(machine)
+    candidate = make_simulator(machine, backend)
     for trace in (modern_trace, float_trace):
-        for depth in DEPTHS:
+        reference = reference_sim.simulate_depths(trace, DEPTHS)
+        results = candidate.simulate_depths(trace, DEPTHS)
+        for depth, r, f in zip(DEPTHS, reference, results):
             _assert_results_equal(
-                reference_sim.simulate(trace, depth),
-                fast_sim.simulate(trace, depth),
-                f"{trace.name}/{label}/depth={depth}",
+                r, f, f"{backend}/{trace.name}/{label}/depth={depth}"
             )
 
 
@@ -114,7 +126,11 @@ def test_analyze_trace_rejects_empty_trace():
 def test_make_simulator_dispatch():
     assert isinstance(make_simulator(backend="reference"), PipelineSimulator)
     assert isinstance(make_simulator(backend="fast"), FastPipelineSimulator)
+    batched = make_simulator(backend="batched")
+    assert isinstance(batched, BatchedPipelineSimulator)
+    assert isinstance(batched, FastPipelineSimulator)  # drop-in subtype
     assert DEFAULT_BACKEND in BACKENDS
+    assert set(CANDIDATE_BACKENDS) == set(BACKENDS) - {"reference"}
     with pytest.raises(ValueError):
         make_simulator(backend="warp")
 
@@ -124,6 +140,21 @@ def test_simulate_fast_wrapper(modern_trace):
     assert result == PipelineSimulator().simulate(modern_trace, 8)
 
 
+def test_simulate_batched_wrapper(modern_trace):
+    result = simulate_batched(modern_trace, 8)
+    assert result == PipelineSimulator().simulate(modern_trace, 8)
+
+
+def test_simulate_depths_orders_and_counts(modern_trace):
+    """simulate_depths returns one result per depth, in request order."""
+    depths = (20, 2, 8)
+    results = BatchedPipelineSimulator().simulate_depths(modern_trace, depths)
+    assert len(results) == len(depths)
+    singles = [simulate_batched(modern_trace, d) for d in depths]
+    assert list(results) == singles
+    assert BatchedPipelineSimulator().simulate_depths(modern_trace, ()) == ()
+
+
 def test_validate_kernel_small_passes():
     """The CI gate itself: the reduced validation grid is clean."""
     report = validate_kernel(small=True, trace_length=600)
@@ -131,4 +162,13 @@ def test_validate_kernel_small_passes():
     assert report.points == len(report.workloads) * len(report.machines) * len(
         report.depths
     )
+    assert report.backends == CANDIDATE_BACKENDS
     assert "PASS" in format_report(report)
+    assert "batched" in format_report(report)
+
+
+def test_validate_kernel_rejects_unknown_backend():
+    with pytest.raises(ValueError):
+        validate_kernel(small=True, trace_length=200, backends=("warp",))
+    with pytest.raises(ValueError):
+        validate_kernel(small=True, trace_length=200, backends=("reference",))

@@ -94,11 +94,12 @@ class TestSimulate:
     def test_out_of_order_flag(self, capsys):
         assert main(["simulate", "gzip", "--length", "1500", "--out-of-order"]) == 0
 
-    def test_fast_backend_same_summary(self, capsys):
+    @pytest.mark.parametrize("backend", ["fast", "batched"])
+    def test_kernel_backends_same_summary(self, capsys, backend):
         assert main(["simulate", "swim", "--depth", "10", "--length", "1500"]) == 0
         reference = capsys.readouterr().out
         assert main(["simulate", "swim", "--depth", "10", "--length", "1500",
-                     "--backend", "fast"]) == 0
+                     "--backend", backend]) == 0
         assert capsys.readouterr().out == reference
 
 
@@ -108,6 +109,14 @@ class TestValidateKernel:
         out = capsys.readouterr().out
         assert "PASS" in out
         assert "in-order, out-of-order" in out
+        assert "fast, batched" in out  # both candidates by default
+
+    def test_backend_flag_narrows_candidates(self, capsys):
+        assert main(["validate-kernel", "--small", "--length", "400",
+                     "--backend", "batched"]) == 0
+        out = capsys.readouterr().out
+        assert "batched (vs reference)" in out
+        assert "fast," not in out
 
 
 class TestWorkloads:
@@ -191,30 +200,39 @@ class TestBatch:
 
 class TestCacheCommand:
     def test_stats_on_empty_cache(self, capsys, tmp_path):
-        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "c")]) == 0
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "c"),
+                     "--analysis-dir", str(tmp_path / "a")]) == 0
         out = capsys.readouterr().out
-        assert "entries   : 0" in out
-        assert "size      : 0 bytes" in out
+        assert "result cache:" in out and "analysis cache:" in out
+        assert out.count("entries   : 0") == 2
+        assert out.count("size      : 0 bytes") == 2
 
-    def test_stats_after_a_cached_run(self, capsys, tmp_path):
+    def test_stats_after_a_cached_run(self, capsys, tmp_path, monkeypatch):
         cache_dir = tmp_path / "c"
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE_DIR", str(tmp_path / "a"))
         assert main(["sweep", "gzip", "--length", "1200", "--no-chart",
-                     "--cache-dir", str(cache_dir)]) == 0
+                     "--backend", "batched", "--cache-dir", str(cache_dir)]) == 0
         capsys.readouterr()
-        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir),
+                     "--analysis-dir", str(tmp_path / "a")]) == 0
         out = capsys.readouterr().out
-        assert "entries   : 1" in out
+        assert out.count("entries   : 1") == 2  # one result, one analysis
         assert "0 bytes" not in out
 
-    def test_clear(self, capsys, tmp_path):
+    def test_clear(self, capsys, tmp_path, monkeypatch):
         cache_dir = tmp_path / "c"
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE_DIR", str(tmp_path / "a"))
+        flags = ["--cache-dir", str(cache_dir),
+                 "--analysis-dir", str(tmp_path / "a")]
         assert main(["sweep", "gzip", "--length", "1200", "--no-chart",
-                     "--cache-dir", str(cache_dir)]) == 0
+                     "--backend", "fast", "--cache-dir", str(cache_dir)]) == 0
         capsys.readouterr()
-        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
-        assert "cleared 1 cache entries" in capsys.readouterr().out
-        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
-        assert "entries   : 0" in capsys.readouterr().out
+        assert main(["cache", "clear", *flags]) == 0
+        cleared = capsys.readouterr().out
+        assert "cleared 1 result-cache entries" in cleared
+        assert "cleared 1 analysis-cache entries" in cleared
+        assert main(["cache", "stats", *flags]) == 0
+        assert capsys.readouterr().out.count("entries   : 0") == 2
 
     def test_cache_requires_subcommand(self):
         with pytest.raises(SystemExit):
