@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.service.app import ServiceState
-from repro.service.config import ServiceConfig
+from repro.runtime import RuntimeConfig
 from repro.service.http import ServiceServer
 from repro.service.loadgen import HttpClient, LoadReport, run_load
 from repro.trace.suite import suite_names
@@ -80,7 +80,7 @@ async def _run(
     requests_per_client: int, workload_count: int, length: int
 ) -> ServiceBench:
     with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as cache_dir:
-        config = ServiceConfig(
+        config = RuntimeConfig(
             host="127.0.0.1",
             port=0,
             backend="fast",

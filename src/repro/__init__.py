@@ -18,10 +18,15 @@ Subpackages:
 * :mod:`repro.engine` — the parallel batch-execution engine: process-pool
   scheduling, content-addressed result caching and run observability for
   every simulation batch (see ``docs/ENGINE.md``).
+* :mod:`repro.runtime` — the shared execution runtime behind every entry
+  point: :class:`~repro.runtime.RuntimeConfig` (layered settings with
+  per-field provenance; the only reader of the process environment) and
+  :class:`~repro.runtime.Resolver` (the tiered memory → single-flight →
+  disk → compute resolution path; see ``docs/ARCHITECTURE.md``).
 * :mod:`repro.service` — the asyncio serving layer: ``repro serve`` HTTP
-  daemon with single-flight request coalescing, an in-memory LRU over the
-  engine's disk cache, bounded admission with graceful drain, Prometheus
-  metrics and a zipf-mix load harness (see ``docs/SERVICE.md``).
+  daemon — now HTTP + admission control around the shared runtime
+  resolver — with graceful drain, Prometheus metrics and a zipf-mix load
+  harness (see ``docs/SERVICE.md``).
 * :mod:`repro.experiments` — one driver per paper figure.
 
 Quickstart::

@@ -1,0 +1,54 @@
+"""Crash- and concurrency-safe file replacement, shared by every cache.
+
+The engine's :class:`~repro.engine.cache.ResultCache` and the pipeline's
+:class:`~repro.pipeline.events_cache.TraceEventsCache` both follow the
+same write discipline — a uniquely named same-directory temp file
+(``tempfile.mkstemp``, so concurrent writers in the same *or* different
+processes never share a path), flush + fsync, then one ``os.replace``
+into place.  A reader therefore sees either the old complete entry or
+the new complete entry, never a torn one, even if the writer dies
+mid-write.  This module is the single home of that dance.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pathlib
+import tempfile
+from typing import IO, Iterator
+
+__all__ = ["atomic_replace"]
+
+
+@contextlib.contextmanager
+def atomic_replace(
+    path: "str | pathlib.Path", mode: str = "w", encoding: "str | None" = None
+) -> Iterator[IO]:
+    """Yield a handle whose contents atomically replace ``path`` on exit.
+
+    The parent directory is created if missing.  The handle is a uniquely
+    named temp file in ``path``'s own directory (same filesystem, so the
+    final rename is atomic).  On clean exit the data is flushed, fsynced
+    and ``os.replace``\\ d over ``path``; on an exception the temp file is
+    removed and ``path`` is left untouched.
+
+    Args:
+        path: the destination file.
+        mode: open mode for the temp handle (``"w"`` or ``"wb"``).
+        encoding: text encoding when ``mode`` is textual.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.stem[:16]}.", suffix=".tmp", dir=path.parent
+    )
+    tmp = pathlib.Path(tmp_name)
+    try:
+        with os.fdopen(fd, mode, encoding=encoding) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)

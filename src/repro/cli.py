@@ -18,6 +18,9 @@ Commands:
 * ``cache``     — inspect (``stats``) or empty (``clear``) the on-disk
   caches: the engine/daemon result cache and the shared trace-analysis
   cache.
+* ``config``    — ``config show`` prints the effective
+  :class:`repro.runtime.RuntimeConfig` with per-field provenance
+  (default / env / file / flag).
 
 The simulation-heavy commands (``sweep``, ``figures``, ``batch``) accept
 ``--jobs N`` (parallel workers), ``--cache-dir``, ``--no-cache`` and
@@ -96,6 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--backend", choices=BACKENDS, default="reference",
         help="simulation backend (default: %(default)s)",
+    )
+    simulate.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the result and trace-analysis caches for this run",
     )
 
     validate = sub.add_parser(
@@ -180,6 +187,24 @@ def build_parser() -> argparse.ArgumentParser:
             "~/.cache/repro/analysis)",
         )
 
+    config_cmd = sub.add_parser(
+        "config", help="inspect the effective runtime configuration"
+    )
+    config_sub = config_cmd.add_subparsers(dest="config_command", required=True)
+    config_show = config_sub.add_parser(
+        "show",
+        help="print every RuntimeConfig field with its value and provenance "
+        "(default / env:VAR / file:PATH / flag)",
+    )
+    config_show.add_argument(
+        "--config", default=None, metavar="FILE",
+        help="config file layered between env vars and flags "
+        "(default: $REPRO_CONFIG)",
+    )
+    config_show.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
     return parser
 
 
@@ -256,13 +281,33 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    from .pipeline import MachineConfig, make_simulator
-    from .trace import generate_trace, get_workload
+    from .engine.job import SimJob
+    from .engine.serialize import PayloadError, results_from_payload
+    from .pipeline import MachineConfig
+    from .runtime import Resolver, current_config
+    from .trace import get_workload
 
     spec = get_workload(args.workload)
-    trace = generate_trace(spec, args.length)
     machine = MachineConfig(in_order=not args.out_of_order)
-    result = make_simulator(machine, args.backend).simulate(trace, args.depth)
+    job = SimJob(
+        spec=spec,
+        depths=(args.depth,),
+        trace_length=args.length,
+        machine=machine,
+        backend=args.backend,
+    )
+    config = current_config()
+    if args.no_cache:
+        config = config.with_values(cache_dir=None, analysis_cache=False)
+    resolver = Resolver(config=config)
+    resolution = resolver.resolve(job)
+    try:
+        [result] = results_from_payload(resolution.payload, job)
+    except PayloadError:
+        # A stale or hand-edited disk entry must not wedge the command:
+        # drop it and compute fresh.
+        resolver.invalidate(job.cache_key())
+        [result] = results_from_payload(resolver.resolve(job).payload, job)
     print(result.summary())
     print(f"  cycles {result.cycles}, time {result.total_time:.0f} FO4, "
           f"stall/busy {result.stall_time / max(result.busy_time, 1e-12):.2f}")
@@ -360,6 +405,29 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_config(args) -> int:
+    import dataclasses
+    import json
+
+    from .runtime import RuntimeConfig
+
+    config = RuntimeConfig.load(file=args.config)
+    provenance = config.provenance
+    names = [f.name for f in dataclasses.fields(RuntimeConfig)]
+    if args.json:
+        doc = {
+            name: {"value": getattr(config, name), "source": provenance[name]}
+            for name in names
+        }
+        print(json.dumps(doc, indent=2))
+        return 0
+    width = max(len(name) for name in names)
+    for name in names:
+        value = getattr(config, name)
+        print(f"{name:<{width}}  {value!r:<44} [{provenance[name]}]")
+    return 0
+
+
 def _cmd_validate_kernel(args) -> int:
     from .analysis.validate import format_report, validate_kernel
 
@@ -408,6 +476,7 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "serve": _cmd_serve,
     "cache": _cmd_cache,
+    "config": _cmd_config,
 }
 
 

@@ -5,10 +5,9 @@ Layout: one JSON file per cache key under ``<dir>/<key[:2]>/<key>.json``
 
 Guarantees:
 
-* **atomic writes** — payloads are written to a uniquely named
-  same-directory temp file (``tempfile.mkstemp``, so concurrent writers
-  in the same *or* different processes never share a temp path), fsynced,
-  and ``os.replace``\\ d into place: readers never observe a partial
+* **atomic writes** — payloads go through
+  :func:`repro.atomicio.atomic_replace` (uniquely named same-directory
+  temp file, fsync, one ``os.replace``): readers never observe a partial
   entry, even across a crash mid-write;
 * **corruption tolerance** — unreadable or undecodable entries are logged,
   deleted (best effort) and reported as misses, never raised;
@@ -17,18 +16,19 @@ Guarantees:
   stop being addressed; :meth:`ResultCache.clear` reclaims the space
   explicitly.
 
-The default location honours ``$REPRO_CACHE_DIR`` then
-``$XDG_CACHE_HOME``, falling back to ``~/.cache/repro/engine``.
+The default location comes from the active
+:class:`~repro.runtime.config.RuntimeConfig` (``$REPRO_CACHE_DIR`` then
+``$XDG_CACHE_HOME``, falling back to ``~/.cache/repro/engine``).
 """
 
 from __future__ import annotations
 
 import json
 import logging
-import os
 import pathlib
-import tempfile
 from dataclasses import dataclass
+
+from ..atomicio import atomic_replace
 
 __all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
 
@@ -36,13 +36,10 @@ logger = logging.getLogger("repro.engine.cache")
 
 
 def default_cache_dir() -> pathlib.Path:
-    """Resolve the cache directory from the environment."""
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if env:
-        return pathlib.Path(env).expanduser()
-    xdg = os.environ.get("XDG_CACHE_HOME")
-    base = pathlib.Path(xdg).expanduser() if xdg else pathlib.Path.home() / ".cache"
-    return base / "repro" / "engine"
+    """Resolve the cache directory from the active runtime config."""
+    from ..runtime.config import default_cache_dir as _runtime_default
+
+    return _runtime_default()
 
 
 @dataclass
@@ -102,28 +99,14 @@ class ResultCache:
     def put(self, key: str, payload: dict) -> pathlib.Path:
         """Atomically store ``payload`` under ``key``; returns the entry path.
 
-        Crash- and concurrency-safe: the payload goes to a uniquely named
-        temp file in the entry's own directory (unique per call, so
-        concurrent writers — threads of one server process or separate
-        processes — cannot collide), is flushed and fsynced, then renamed
-        over the entry in one ``os.replace``.  A reader therefore sees
-        either the old complete entry or the new complete entry, never a
-        torn one, even if the writer dies mid-write.
+        Crash- and concurrency-safe via
+        :func:`repro.atomicio.atomic_replace`: a reader sees either the
+        old complete entry or the new complete entry, never a torn one,
+        even if the writer dies mid-write.
         """
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f".{key[:16]}.", suffix=".tmp", dir=path.parent
-        )
-        tmp = pathlib.Path(tmp_name)
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(json.dumps(payload, sort_keys=True))
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
+        with atomic_replace(path, encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True))
         self.stats.writes += 1
         logger.debug("cache write %s -> %s", key[:12], path)
         return path

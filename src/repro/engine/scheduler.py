@@ -2,8 +2,11 @@
 
 Resolution pipeline for each submitted job:
 
-1. **cache lookup** — a valid payload under the job's content key is
-   reconstructed and returned without touching a worker;
+1. **cache lookup** — through the shared
+   :class:`~repro.runtime.resolver.Resolver` (the same tier stack the
+   daemon and CLI use, run disk-first here): a valid payload under the
+   job's content key is reconstructed and returned without touching a
+   worker;
 2. **execution** — misses run through the configured runner, inline when
    ``workers <= 1`` or on a ``ProcessPoolExecutor`` otherwise;
 3. **retry** — a failed attempt (worker exception, broken pool, result
@@ -34,8 +37,8 @@ from typing import Callable, Dict, List, Optional, Sequence, TextIO, Tuple
 
 from ..pipeline.fastsim import DEFAULT_BACKEND
 from ..pipeline.simulator import MachineConfig
+from ..runtime.resolver import Resolver
 from ..trace.spec import WorkloadSpec
-from .cache import ResultCache
 from .job import JobResult, SimJob
 from .report import JobRecord, ProgressReporter, RunReport
 from .serialize import PayloadError, results_from_payload
@@ -118,21 +121,25 @@ def jobs_for_specs(
 class ExecutionEngine:
     """Runs batches of :class:`SimJob`\\ s and keeps the books.
 
-    One engine instance owns one :class:`ResultCache` (optional) and one
-    :class:`RunReport`; share a single engine across an evaluation so the
-    report aggregates every figure's jobs and repeated sweeps dedupe
-    through the cache.
+    One engine instance owns one :class:`~repro.runtime.resolver.Resolver`
+    (disk-only by default — batch runs gain nothing from a payload LRU)
+    and one :class:`RunReport`; share a single engine across an
+    evaluation so the report aggregates every figure's jobs and repeated
+    sweeps dedupe through the cache.  ``self.cache`` remains the
+    resolver's disk tier for callers that inspect or clear it directly.
     """
 
     def __init__(
         self,
         config: "EngineConfig | None" = None,
         stream: "Optional[TextIO]" = None,
+        resolver: "Resolver | None" = None,
     ):
         self.config = config or EngineConfig()
-        self.cache = (
-            ResultCache(self.config.cache_dir) if self.config.cache_dir else None
+        self.resolver = resolver or Resolver(
+            cache_dir=self.config.cache_dir, memory_entries=0
         )
+        self.cache = self.resolver.disk
         self.report = RunReport()
         self.stream = stream
         self._warned_inline_timeout = False
@@ -191,15 +198,15 @@ class ExecutionEngine:
         if self.cache is None:
             return None
         started = time.perf_counter()
-        payload = self.cache.get(key)
-        if payload is None:
+        found = self.resolver.lookup(job, key)
+        if found is None:
             return None
         try:
-            results = results_from_payload(payload, job)
+            results = results_from_payload(found.payload, job)
         except PayloadError as exc:
             logger.warning("invalid cache payload for %s (%s); recomputing", job.name, exc)
             self.cache.stats.corrupt += 1
-            self.cache.invalidate(key)
+            self.resolver.invalidate(key)
             return None
         return JobResult(
             job=job,
@@ -214,16 +221,12 @@ class ExecutionEngine:
         self, job: SimJob, key: str, payload: dict, duration: float, attempts: int
     ) -> JobResult:
         results = results_from_payload(payload, job)  # validates worker output too
+        self.resolver.record_computed(duration)
         if self.cache is not None:
-            try:
-                self.cache.put(key, payload)
-            except OSError as exc:
-                # A failed write (unwritable dir, disk full) must not fail
-                # the job — the simulation already succeeded; run uncached.
-                logger.warning(
-                    "cache write failed for %s (%s); continuing uncached",
-                    job.name, exc,
-                )
+            # Resolver.store degrades disk-write failures (unwritable dir,
+            # disk full) to a warning — the simulation already succeeded,
+            # so the run continues uncached.
+            self.resolver.store(key, payload)
         return JobResult(
             job=job,
             key=key,

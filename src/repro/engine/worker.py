@@ -23,22 +23,27 @@ __all__ = ["execute_job"]
 
 logger = logging.getLogger("repro.engine.worker")
 
+_UNSET = object()
 
-def execute_job(job: SimJob) -> dict:
+
+def execute_job(job: SimJob, events_cache=_UNSET) -> dict:
     """Generate the job's trace, simulate every depth, serialise the results.
 
-    The analysing backends are handed the environment-configured on-disk
+    The analysing backends are handed an on-disk
     :class:`~repro.pipeline.events_cache.TraceEventsCache`, so sibling
     workers (and any other process sharing the cache directory) converge
-    on one trace analysis per (trace, machine).
+    on one trace analysis per (trace, machine).  Callers holding a
+    :class:`~repro.runtime.resolver.Resolver` inject its cache via
+    ``events_cache`` (None disables); worker processes, which receive
+    only the job, resolve it from their runtime config.
     """
     logger.debug(
         "executing %s: %d depths, %d instructions, %s backend",
         job.name, len(job.depths), job.trace_length, job.backend,
     )
+    if events_cache is _UNSET:
+        events_cache = default_events_cache()
     trace = generate_trace(job.spec, job.trace_length)
-    simulator = make_simulator(
-        job.machine, job.backend, events_cache=default_events_cache()
-    )
+    simulator = make_simulator(job.machine, job.backend, events_cache=events_cache)
     results = simulator.simulate_depths(trace, job.depths)
     return payload_for(job, results)

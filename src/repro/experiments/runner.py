@@ -22,13 +22,13 @@ Every simulation routes through the batch engine (:mod:`repro.engine`):
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 import time
 from typing import Callable, Sequence, Tuple
 
-from ..engine import EngineConfig, ExecutionEngine, default_cache_dir
+from ..engine import EngineConfig, ExecutionEngine
 from ..pipeline.fastsim import BACKENDS, DEFAULT_BACKEND
+from ..runtime import current_config, set_config
 from ..trace.suite import small_suite, suite
 from . import (
     fig1_quartic,
@@ -48,8 +48,9 @@ __all__ = ["run_all", "engine_from_args", "add_engine_arguments", "main"]
 def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     """Install the shared ``--jobs``/``--cache-dir``/``--no-cache`` flags."""
     parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for the simulation batches (default: 1, serial)",
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the simulation batches "
+        "(default: $REPRO_JOBS or 1, serial)",
     )
     parser.add_argument(
         "--cache-dir", type=str, default=None, metavar="DIR",
@@ -75,16 +76,29 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
 def engine_from_args(args: argparse.Namespace) -> ExecutionEngine:
     """Build the run's shared :class:`ExecutionEngine` from CLI flags.
 
-    ``--no-cache`` also switches the on-disk trace-analysis cache off via
-    ``REPRO_ANALYSIS_CACHE`` — worker processes inherit the environment,
-    so one flag silences every cache the run would touch.
+    Flags layer over the active :class:`~repro.runtime.RuntimeConfig`
+    (so ``$REPRO_JOBS``/``$REPRO_CACHE_DIR`` set the defaults), and the
+    resolved config is installed process-wide with its cache knobs
+    exported to the environment — worker processes inherit it, so
+    ``--no-cache`` silences every cache the run would touch with one
+    flag.
     """
+    runtime = current_config().with_values(
+        **{
+            name: value
+            for name, value in (
+                ("jobs", args.jobs),
+                ("cache_dir", args.cache_dir),
+            )
+            if value is not None
+        }
+    )
     if args.no_cache:
-        os.environ["REPRO_ANALYSIS_CACHE"] = "off"
-    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+        runtime = runtime.with_values(cache_dir=None, analysis_cache=False)
+    set_config(runtime, export=True)
     config = EngineConfig(
-        workers=max(args.jobs, 1),
-        cache_dir=cache_dir,
+        workers=max(runtime.jobs, 1),
+        cache_dir=runtime.cache_dir,
         progress=getattr(args, "progress", False),
     )
     return ExecutionEngine(config)

@@ -44,8 +44,6 @@ __all__ = ["BatchedKernel", "batched_kernel", "kernel_enabled", "kernel_dir"]
 
 logger = logging.getLogger("repro.pipeline.ckernel")
 
-_OFF_VALUES = ("0", "off", "no", "false")
-
 # Constant-row layout shared by both entry points: one row of NCONST
 # int64s per depth lane, assembled by repro.pipeline.batched from
 # DepthConstants (with the out-of-order rename-stage offsets pre-applied).
@@ -523,18 +521,17 @@ done:
 
 
 def kernel_enabled() -> bool:
-    """Whether the environment allows compiling/loading the C kernel."""
-    return os.environ.get("REPRO_KERNEL", "").strip().lower() not in _OFF_VALUES
+    """Whether the active runtime config allows compiling/loading the kernel."""
+    from ..runtime.config import kernel_enabled as _runtime_enabled
+
+    return _runtime_enabled()
 
 
 def kernel_dir() -> pathlib.Path:
-    """Resolve the compiled-kernel cache directory from the environment."""
-    env = os.environ.get("REPRO_KERNEL_DIR")
-    if env:
-        return pathlib.Path(env).expanduser()
-    xdg = os.environ.get("XDG_CACHE_HOME")
-    base = pathlib.Path(xdg).expanduser() if xdg else pathlib.Path.home() / ".cache"
-    return base / "repro" / "kernel"
+    """Resolve the compiled-kernel cache directory from the runtime config."""
+    from ..runtime.config import default_kernel_dir
+
+    return default_kernel_dir()
 
 
 def _find_compiler() -> "str | None":

@@ -16,30 +16,30 @@ scalar aggregates, addressed by SHA-256 over
 * :data:`repro.pipeline.fastsim.ANALYSIS_SCHEMA`, so layout changes
   invalidate stale entries by construction.
 
-Writes follow the same crash/concurrency discipline as the engine's
-:class:`~repro.engine.cache.ResultCache`: uniquely named same-directory
-temp file, flush + fsync, atomic ``os.replace``.  Corrupt or unreadable
+Writes share the engine result cache's crash/concurrency discipline via
+:func:`repro.atomicio.atomic_replace` (uniquely named same-directory
+temp file, flush + fsync, atomic ``os.replace``).  Corrupt or unreadable
 entries are deleted best-effort and reported as misses, never raised.
 
-The default location honours ``$REPRO_ANALYSIS_CACHE_DIR``, then nests
-under ``$REPRO_CACHE_DIR`` (so one knob relocates both caches — and the
-test suite's cache isolation covers this cache for free), then
-``$XDG_CACHE_HOME``, falling back to ``~/.cache/repro/analysis``.
-Set ``REPRO_ANALYSIS_CACHE=off`` to disable the cache wherever
-:func:`default_events_cache` is used to resolve it.
+Location and enablement come from the active
+:class:`~repro.runtime.config.RuntimeConfig`: ``$REPRO_ANALYSIS_CACHE_DIR``
+wins, then the cache nests under an explicit ``$REPRO_CACHE_DIR`` (one
+knob relocates both caches — and the test suite's cache isolation covers
+this cache for free), then ``$XDG_CACHE_HOME``, falling back to
+``~/.cache/repro/analysis``.  Set ``REPRO_ANALYSIS_CACHE=off`` to
+disable the cache wherever :func:`default_events_cache` resolves it.
 """
 
 from __future__ import annotations
 
 import hashlib
 import logging
-import os
 import pathlib
-import tempfile
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..atomicio import atomic_replace
 from .fastsim import ANALYSIS_SCHEMA, TraceEvents
 
 __all__ = [
@@ -52,29 +52,23 @@ __all__ = [
 
 logger = logging.getLogger("repro.pipeline.events_cache")
 
-_OFF_VALUES = ("0", "off", "no", "false")
-
 
 def default_events_cache_dir() -> pathlib.Path:
-    """Resolve the analysis cache directory from the environment."""
-    env = os.environ.get("REPRO_ANALYSIS_CACHE_DIR")
-    if env:
-        return pathlib.Path(env).expanduser()
-    shared = os.environ.get("REPRO_CACHE_DIR")
-    if shared:
-        return pathlib.Path(shared).expanduser() / "analysis"
-    xdg = os.environ.get("XDG_CACHE_HOME")
-    base = pathlib.Path(xdg).expanduser() if xdg else pathlib.Path.home() / ".cache"
-    return base / "repro" / "analysis"
+    """Resolve the analysis cache directory from the active runtime config."""
+    from ..runtime.config import default_analysis_cache_dir
+
+    return default_analysis_cache_dir()
 
 
 def events_cache_enabled() -> bool:
-    """Whether the environment allows the on-disk analysis cache."""
-    return os.environ.get("REPRO_ANALYSIS_CACHE", "").strip().lower() not in _OFF_VALUES
+    """Whether the active runtime config allows the on-disk analysis cache."""
+    from ..runtime.config import analysis_cache_enabled
+
+    return analysis_cache_enabled()
 
 
 def default_events_cache() -> "TraceEventsCache | None":
-    """The environment-configured cache, or None when disabled."""
+    """The configured cache, or None when disabled."""
     if not events_cache_enabled():
         return None
     return TraceEventsCache(default_events_cache_dir())
@@ -151,20 +145,9 @@ class TraceEventsCache:
         """Atomically store ``events``; returns the entry path."""
         key = self.key_for(trace_fingerprint, machine_fingerprint)
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         columns, scalars = events.to_arrays()
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f".{key[:16]}.", suffix=".tmp", dir=path.parent
-        )
-        tmp = pathlib.Path(tmp_name)
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                np.savez(handle, columns=columns, scalars=scalars)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
+        with atomic_replace(path, mode="wb") as handle:
+            np.savez(handle, columns=columns, scalars=scalars)
         self.stats.writes += 1
         logger.debug("analysis cache write %s -> %s", key[:12], path)
         return path

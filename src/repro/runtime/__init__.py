@@ -1,0 +1,46 @@
+"""repro.runtime — one configuration layer, one tiered resolver.
+
+This package is the seam between the simulation core (trace/uarch models,
+pipeline backends) and every way of invoking it (CLI, batch engine,
+serving daemon, experiment runner):
+
+* :class:`RuntimeConfig` — the layered settings object
+  (defaults < env < file < CLI flags) with per-field provenance, and the
+  **only** code in ``src/repro`` allowed to read ``os.environ`` (a CI
+  gate enforces the boundary);
+* :class:`Resolver` — the tiered resolution path
+  memory-LRU → single-flight coalescing → disk result cache →
+  trace-analysis cache → backend compute, shared verbatim by all entry
+  points so their caches interoperate and their counters agree.
+"""
+
+from .config import (
+    ENV_VARS,
+    EXECUTORS,
+    RuntimeConfig,
+    current_config,
+    default_cache_dir,
+    reset_config,
+    set_config,
+    use_config,
+)
+from .lru import LRUCache
+from .resolver import Admission, Resolution, Resolver, ResolverStats
+from .singleflight import SingleFlight
+
+__all__ = [
+    "Admission",
+    "ENV_VARS",
+    "EXECUTORS",
+    "LRUCache",
+    "Resolution",
+    "Resolver",
+    "ResolverStats",
+    "RuntimeConfig",
+    "SingleFlight",
+    "current_config",
+    "default_cache_dir",
+    "reset_config",
+    "set_config",
+    "use_config",
+]

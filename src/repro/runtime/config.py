@@ -1,0 +1,465 @@
+"""The one configuration layer: :class:`RuntimeConfig`, layered with provenance.
+
+Every knob that used to live in a scattered ``os.environ`` read — the
+engine's ``$REPRO_CACHE_DIR``, the analysis cache's
+``$REPRO_ANALYSIS_CACHE*``, the C kernel's ``$REPRO_KERNEL*``, the
+daemon's ``$REPRO_SERVICE_*`` — now resolves through this module, which
+is the **only** place in ``src/repro`` allowed to touch the process
+environment (a CI gate enforces that).
+
+Layering, lowest to highest precedence:
+
+1. **defaults** — the dataclass defaults below (cache directories follow
+   ``$XDG_CACHE_HOME`` / ``~/.cache``);
+2. **environment** — the ``REPRO_*`` variables listed in ``ENV_VARS``;
+3. **file** — an optional JSON/TOML config file named by ``$REPRO_CONFIG``
+   or passed explicitly (``repro config show --config FILE``);
+4. **flags** — explicitly given CLI flags.
+
+Every resolved field remembers where its value came from
+(``default`` / ``env:VAR`` / ``file:PATH`` / ``flag:--name``);
+``repro config show`` prints that provenance table.
+
+Process-wide state: :func:`current_config` returns the explicitly
+installed config (:func:`set_config` / :func:`use_config`) or a fresh
+environment load.  :func:`set_config` can *export* the cache-relevant
+fields back into the environment so spawned worker processes inherit
+them — the engine's ``--no-cache`` uses this to silence the analysis
+cache in every worker with one call.
+
+Migration note: :class:`repro.service.config.ServiceConfig` is now a
+deprecated alias of :class:`RuntimeConfig`, and ``$REPRO_SERVICE_CACHE_DIR``
+is deprecated in favour of the unified ``$REPRO_CACHE_DIR``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import json
+import os
+import pathlib
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional
+
+__all__ = [
+    "EXECUTORS",
+    "ENV_VARS",
+    "RuntimeConfig",
+    "analysis_cache_enabled",
+    "current_config",
+    "default_analysis_cache_dir",
+    "default_cache_dir",
+    "default_kernel_dir",
+    "kernel_enabled",
+    "reset_config",
+    "set_config",
+    "use_config",
+]
+
+EXECUTORS = ("thread", "process")
+"""Recognised compute-executor kinds for the serving layer."""
+
+_OFF_VALUES = ("0", "off", "no", "false")
+_ON_VALUES = ("1", "on", "yes", "true")
+
+SERVICE_ENV_PREFIX = "REPRO_SERVICE_"
+
+
+def _xdg_cache_base(environ: Mapping[str, str]) -> pathlib.Path:
+    xdg = environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return pathlib.Path(xdg).expanduser()
+    return pathlib.Path.home() / ".cache"
+
+
+def _default_result_cache_dir(environ: "Mapping[str, str] | None" = None) -> pathlib.Path:
+    environ = os.environ if environ is None else environ
+    env = environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env).expanduser()
+    return _xdg_cache_base(environ) / "repro" / "engine"
+
+
+def _parse_on_off(raw: str) -> bool:
+    """``"off"``-family strings disable; anything else (including "") enables."""
+    return raw.strip().lower() not in _OFF_VALUES
+
+
+def _parse_flag(raw: str) -> bool:
+    return raw.strip().lower() in _ON_VALUES
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Every runtime knob — caches, kernel, engine, serving — in one object.
+
+    Attributes:
+        cache_dir: engine/daemon result-cache directory (None disables the
+            disk tier; default follows ``$REPRO_CACHE_DIR`` then
+            ``$XDG_CACHE_HOME``, falling back to ``~/.cache/repro/engine``).
+        analysis_cache: whether the on-disk trace-analysis cache is used.
+        analysis_cache_dir: trace-analysis cache directory (None derives
+            one: ``<cache_dir>/analysis`` when ``cache_dir`` was set
+            explicitly, else ``~/.cache/repro/analysis``).
+        kernel: whether the compiled C timing kernel may be built/loaded.
+        kernel_dir: compiled-kernel cache directory (None derives
+            ``~/.cache/repro/kernel``).
+        jobs: default engine worker-process count for batch runs.
+        engine_timeout: seconds to wait for one engine job's result
+            (parallel mode only; None disables).
+        engine_retries: extra engine attempts after a failed first attempt.
+        progress: emit ``[k/N]`` engine progress lines.
+        host: daemon bind address.
+        port: daemon bind port (0 lets the OS pick).
+        backend: default simulation backend for requests that do not name
+            one.
+        executor: ``"thread"`` or ``"process"`` — where daemon cache
+            misses are computed.
+        workers: daemon executor worker count.
+        concurrency: daemon cache-miss computations in flight at once.
+        queue_limit: admitted-but-waiting daemon requests beyond
+            ``concurrency``; past that the daemon answers 429.
+        memory_entries: in-memory LRU capacity in payloads (0 disables
+            the memory tier).
+        drain_timeout: seconds to wait for in-flight requests on SIGTERM.
+        retry_after: seconds advertised in 429 ``Retry-After`` headers.
+        max_body_bytes: largest accepted request body.
+        max_trace_length: largest per-request trace length accepted.
+        log_level: root logging level for ``repro serve``.
+    """
+
+    # -- caches & kernel ----------------------------------------------------
+    cache_dir: "str | None" = field(
+        default_factory=lambda: str(_default_result_cache_dir())
+    )
+    analysis_cache: bool = True
+    analysis_cache_dir: "str | None" = None
+    kernel: bool = True
+    kernel_dir: "str | None" = None
+    # -- engine -------------------------------------------------------------
+    jobs: int = 1
+    engine_timeout: "float | None" = None
+    engine_retries: int = 1
+    progress: bool = False
+    # -- serving ------------------------------------------------------------
+    host: str = "127.0.0.1"
+    port: int = 8023
+    backend: str = "fast"
+    executor: str = "thread"
+    workers: int = 4
+    concurrency: int = 4
+    queue_limit: int = 64
+    memory_entries: int = 512
+    drain_timeout: float = 10.0
+    retry_after: float = 1.0
+    max_body_bytes: int = 64 * 1024
+    max_trace_length: int = 100_000
+    log_level: str = "INFO"
+
+    def __post_init__(self) -> None:
+        from ..pipeline.fastsim import BACKENDS  # lazy: avoids an import cycle
+
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; choose from {BACKENDS}")
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; choose from {EXECUTORS}"
+            )
+        for name in ("workers", "concurrency", "jobs"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)!r}")
+        for name in ("port", "queue_limit", "memory_entries", "engine_retries"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)!r}")
+        for name in ("drain_timeout", "retry_after"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)!r}")
+        if self.engine_timeout is not None and self.engine_timeout <= 0:
+            raise ValueError(
+                f"engine_timeout must be positive, got {self.engine_timeout!r}"
+            )
+
+    # -- derived ------------------------------------------------------------
+    @property
+    def admission_limit(self) -> int:
+        """Admitted leaders allowed in flight before new ones get 429."""
+        return self.concurrency + self.queue_limit
+
+    @property
+    def provenance(self) -> Dict[str, str]:
+        """Per-field value source (``default``/``env:*``/``file:*``/``flag:*``).
+
+        Only configs built by :meth:`load` (or derived via
+        :meth:`with_values`) carry full provenance; a directly constructed
+        config reports every field as ``default``.
+        """
+        stored = getattr(self, "_provenance", None) or {}
+        return {
+            f.name: stored.get(f.name, "default") for f in dataclasses.fields(self)
+        }
+
+    def events_cache_dir(self) -> pathlib.Path:
+        """The effective trace-analysis cache directory.
+
+        ``analysis_cache_dir`` wins; otherwise the analysis cache nests
+        under a non-default ``cache_dir`` (one knob relocates both
+        caches), falling back to ``~/.cache/repro/analysis``.
+        """
+        if self.analysis_cache_dir:
+            return pathlib.Path(self.analysis_cache_dir).expanduser()
+        default_result = str(_xdg_cache_base(os.environ) / "repro" / "engine")
+        if self.cache_dir and str(self.cache_dir) != default_result:
+            return pathlib.Path(self.cache_dir).expanduser() / "analysis"
+        return _xdg_cache_base(os.environ) / "repro" / "analysis"
+
+    def kernel_cache_dir(self) -> pathlib.Path:
+        """The effective compiled-kernel cache directory."""
+        if self.kernel_dir:
+            return pathlib.Path(self.kernel_dir).expanduser()
+        return _xdg_cache_base(os.environ) / "repro" / "kernel"
+
+    def with_values(self, _source: str = "override", **changes) -> "RuntimeConfig":
+        """A copy with ``changes`` applied and their provenance recorded."""
+        new = dataclasses.replace(self, **changes)
+        provenance = dict(getattr(self, "_provenance", None) or {})
+        provenance.update({name: _source for name in changes})
+        object.__setattr__(new, "_provenance", provenance)
+        return new
+
+    # -- layered loading ----------------------------------------------------
+    @classmethod
+    def load(
+        cls,
+        environ: "Optional[Mapping[str, str]]" = None,
+        file: "str | pathlib.Path | None" = None,
+        flags: "Optional[Mapping[str, object]]" = None,
+        flag_source: str = "flag",
+    ) -> "RuntimeConfig":
+        """Build the effective config: defaults < env < file < flags.
+
+        Args:
+            environ: environment mapping (default ``os.environ``).
+            file: config-file path; defaults to ``$REPRO_CONFIG`` when set.
+            flags: explicitly given CLI overrides (None values ignored).
+            flag_source: provenance tag family for ``flags`` entries.
+
+        Raises:
+            ValueError: unknown config-file key, unreadable file, or a
+                value rejected by validation.
+        """
+        environ = os.environ if environ is None else environ
+        values: Dict[str, object] = {}
+        provenance: Dict[str, str] = {}
+
+        cls._apply_env_layer(environ, values, provenance)
+
+        file = file or environ.get("REPRO_CONFIG") or None
+        if file:
+            cls._apply_file_layer(pathlib.Path(file), values, provenance)
+
+        for name, value in (flags or {}).items():
+            if value is None:
+                continue
+            values[name] = value
+            if flag_source == "flag":
+                provenance[name] = f"flag:--{name.replace('_', '-')}"
+            else:
+                provenance[name] = flag_source
+
+        config = cls(**values)
+        object.__setattr__(config, "_provenance", provenance)
+        return config
+
+    @classmethod
+    def from_env(
+        cls, environ: "Optional[Mapping[str, str]]" = None, **overrides
+    ) -> "RuntimeConfig":
+        """Defaults patched by the environment, then non-None ``overrides``."""
+        return cls.load(
+            environ=environ,
+            flags={k: v for k, v in overrides.items() if v is not None},
+            flag_source="override",
+        )
+
+    @classmethod
+    def _apply_env_layer(cls, environ, values, provenance) -> None:
+        # The shared cache directory: canonical REPRO_CACHE_DIR (also the
+        # dataclass default's source, so record provenance when present),
+        # plus the deprecated service-layer spelling.
+        if environ.get("REPRO_CACHE_DIR"):
+            values["cache_dir"] = str(
+                pathlib.Path(environ["REPRO_CACHE_DIR"]).expanduser()
+            )
+            provenance["cache_dir"] = "env:REPRO_CACHE_DIR"
+        service_dir = environ.get(SERVICE_ENV_PREFIX + "CACHE_DIR")
+        if service_dir is not None:
+            warnings.warn(
+                "REPRO_SERVICE_CACHE_DIR is deprecated; use REPRO_CACHE_DIR "
+                "(empty value still disables the disk cache tier)",
+                DeprecationWarning,
+                stacklevel=4,
+            )
+            values["cache_dir"] = service_dir or None
+            provenance["cache_dir"] = "env:REPRO_SERVICE_CACHE_DIR"
+
+        for name, (var, parse) in ENV_VARS.items():
+            raw = environ.get(var)
+            if raw is None:
+                continue
+            try:
+                values[name] = parse(raw)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"invalid {var}={raw!r}: {exc}") from exc
+            provenance[name] = f"env:{var}"
+
+    @classmethod
+    def _apply_file_layer(cls, path: pathlib.Path, values, provenance) -> None:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ValueError(f"cannot read config file {path}: {exc}") from exc
+        if path.suffix.lower() == ".toml":
+            try:
+                import tomllib
+            except ImportError as exc:  # pragma: no cover - py3.10 only
+                raise ValueError(
+                    f"TOML config {path} needs Python >= 3.11; use JSON instead"
+                ) from exc
+            try:
+                data = tomllib.loads(text)
+            except tomllib.TOMLDecodeError as exc:
+                raise ValueError(f"config file {path} is not valid TOML: {exc}") from exc
+        else:
+            try:
+                data = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"config file {path} is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ValueError(f"config file {path} must hold an object/table")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"config file {path} names unknown fields: {sorted(unknown)}"
+            )
+        for name, value in data.items():
+            values[name] = value
+            provenance[name] = f"file:{path}"
+
+
+ENV_VARS: Dict[str, tuple] = {
+    # (environment variable, parser) per field; cache_dir is special-cased
+    # in _apply_env_layer because two variables feed it.
+    "analysis_cache": ("REPRO_ANALYSIS_CACHE", _parse_on_off),
+    "analysis_cache_dir": ("REPRO_ANALYSIS_CACHE_DIR", lambda raw: raw or None),
+    "kernel": ("REPRO_KERNEL", _parse_on_off),
+    "kernel_dir": ("REPRO_KERNEL_DIR", lambda raw: raw or None),
+    "jobs": ("REPRO_JOBS", int),
+    "engine_timeout": (
+        "REPRO_ENGINE_TIMEOUT",
+        lambda raw: float(raw) if raw.strip() else None,
+    ),
+    "engine_retries": ("REPRO_ENGINE_RETRIES", int),
+    "progress": ("REPRO_PROGRESS", _parse_flag),
+    "host": (SERVICE_ENV_PREFIX + "HOST", str),
+    "port": (SERVICE_ENV_PREFIX + "PORT", int),
+    "backend": (SERVICE_ENV_PREFIX + "BACKEND", str),
+    "executor": (SERVICE_ENV_PREFIX + "EXECUTOR", str),
+    "workers": (SERVICE_ENV_PREFIX + "WORKERS", int),
+    "concurrency": (SERVICE_ENV_PREFIX + "CONCURRENCY", int),
+    "queue_limit": (SERVICE_ENV_PREFIX + "QUEUE_LIMIT", int),
+    "memory_entries": (SERVICE_ENV_PREFIX + "MEMORY_ENTRIES", int),
+    "drain_timeout": (SERVICE_ENV_PREFIX + "DRAIN_TIMEOUT", float),
+    "retry_after": (SERVICE_ENV_PREFIX + "RETRY_AFTER", float),
+    "max_body_bytes": (SERVICE_ENV_PREFIX + "MAX_BODY_BYTES", int),
+    "max_trace_length": (SERVICE_ENV_PREFIX + "MAX_TRACE_LENGTH", int),
+    "log_level": (SERVICE_ENV_PREFIX + "LOG_LEVEL", str),
+}
+"""Field → (environment variable, parser) for the env layer."""
+
+
+# -- process-wide active config ----------------------------------------------
+_active: "RuntimeConfig | None" = None
+
+
+def current_config() -> RuntimeConfig:
+    """The installed config, or a fresh environment load when none is set.
+
+    Loading afresh each call keeps long-lived processes (and tests that
+    monkeypatch the environment) coherent: an env change is visible on
+    the next read unless a config was installed explicitly.
+    """
+    return _active if _active is not None else RuntimeConfig.load()
+
+
+def set_config(config: "RuntimeConfig | None", export: bool = False) -> None:
+    """Install ``config`` process-wide (None reverts to environment loads).
+
+    With ``export=True`` the cache/kernel knobs are written back into
+    ``os.environ`` so spawned worker processes inherit them — required
+    for settings that must cross a ``ProcessPoolExecutor`` boundary.
+    """
+    global _active
+    _active = config
+    if export and config is not None:
+        _export_environ(config)
+
+
+def reset_config() -> None:
+    """Drop any installed config; reads resolve from the environment again."""
+    set_config(None)
+
+
+@contextlib.contextmanager
+def use_config(config: RuntimeConfig, export: bool = False) -> Iterator[RuntimeConfig]:
+    """Temporarily install ``config`` for the duration of a ``with`` block."""
+    previous = _active
+    set_config(config, export=export)
+    try:
+        yield config
+    finally:
+        set_config(previous)
+
+
+def _export_environ(config: RuntimeConfig) -> None:
+    """Mirror worker-relevant fields into ``os.environ`` for child processes."""
+    if config.cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = str(config.cache_dir)
+    os.environ["REPRO_ANALYSIS_CACHE"] = "on" if config.analysis_cache else "off"
+    if config.analysis_cache_dir:
+        os.environ["REPRO_ANALYSIS_CACHE_DIR"] = str(config.analysis_cache_dir)
+    os.environ["REPRO_KERNEL"] = "on" if config.kernel else "off"
+    if config.kernel_dir:
+        os.environ["REPRO_KERNEL_DIR"] = str(config.kernel_dir)
+
+
+# -- module-level accessors (the delegation targets for the old call sites) --
+def default_cache_dir() -> pathlib.Path:
+    """The effective result-cache directory (always a path, even when the
+    active config disables the disk tier)."""
+    config = current_config()
+    if config.cache_dir:
+        return pathlib.Path(config.cache_dir).expanduser()
+    return _default_result_cache_dir()
+
+
+def default_analysis_cache_dir() -> pathlib.Path:
+    """The effective trace-analysis cache directory."""
+    return current_config().events_cache_dir()
+
+
+def default_kernel_dir() -> pathlib.Path:
+    """The effective compiled-kernel cache directory."""
+    return current_config().kernel_cache_dir()
+
+
+def analysis_cache_enabled() -> bool:
+    """Whether the active config allows the on-disk analysis cache."""
+    return current_config().analysis_cache
+
+
+def kernel_enabled() -> bool:
+    """Whether the active config allows compiling/loading the C kernel."""
+    return current_config().kernel

@@ -1,0 +1,93 @@
+"""Bounded in-memory LRU payload cache — the resolver's hot tier.
+
+Sits above the engine's on-disk :class:`~repro.engine.cache.ResultCache`
+in the :class:`~repro.runtime.resolver.Resolver` lookup hierarchy
+(memory hit → disk hit → compute).  Entries are the same JSON payload
+dicts the disk cache stores, keyed by the same content-addressed
+:meth:`SimJob.cache_key`, so promotion between tiers is a plain dict
+hand-off.
+
+Single-threaded by design: callers only touch it from one thread (the
+daemon from its asyncio event loop), so there is no locking.  Counters
+(hits / misses / evictions) feed the ``/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Tuple
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """A capacity-bounded least-recently-used mapping with counters.
+
+    A capacity of 0 disables storage entirely (every ``get`` misses,
+    every ``put`` is dropped) — the knob ``--memory-entries 0`` maps to.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity!r}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> "dict | None":
+        """The payload under ``key`` (refreshing its recency), or None."""
+        try:
+            self._entries.move_to_end(key)
+        except KeyError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return self._entries[key]
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store ``payload``, evicting the least-recently-used overflow."""
+        if self.capacity == 0:
+            return
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def remove(self, key: str) -> bool:
+        """Drop ``key`` if present; returns whether anything was removed."""
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        return dropped
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self) -> Iterator[Tuple[str, dict]]:
+        """Entries oldest-first (eviction order), for introspection."""
+        return iter(list(self._entries.items()))
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LRUCache({len(self._entries)}/{self.capacity}, "
+            f"{self.hits} hits, {self.misses} misses, {self.evictions} evictions)"
+        )

@@ -1,0 +1,386 @@
+"""The one tiered resolution path behind every entry point.
+
+:class:`Resolver` implements memory-LRU → single-flight coalescing →
+on-disk :class:`~repro.engine.cache.ResultCache` →
+:class:`~repro.pipeline.events_cache.TraceEventsCache` → backend compute
+as a single reusable component.  The CLI's ``simulate``/``sweep``, the
+engine scheduler behind ``batch`` and the experiment runner, and the
+serving daemon all resolve a :class:`~repro.engine.job.SimJob` through
+an instance of this class, so a payload computed by any one of them is a
+cache hit for all the others and the counters they report mean the same
+thing everywhere.
+
+Two call styles share the tiers:
+
+* the **sync path** (:meth:`Resolver.lookup`, :meth:`Resolver.store`,
+  :meth:`Resolver.resolve`) — used by the engine scheduler and the CLI,
+  where the caller owns parallelism;
+* the **async path** (:meth:`Resolver.resolve_async`) — used by the
+  daemon's event loop, adding single-flight coalescing, executor pools
+  and an optional :class:`Admission` hook for load shedding.
+
+The events (``hit``/``miss``/``computed``/``coalesced``) are also
+reported to an optional ``observer`` callback so the serving layer can
+mirror them into Prometheus counters without the resolver importing the
+metrics registry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol, Tuple
+
+from .config import RuntimeConfig, current_config
+from .lru import LRUCache
+from .singleflight import SingleFlight
+
+__all__ = ["Admission", "Resolution", "Resolver", "ResolverStats"]
+
+logger = logging.getLogger("repro.runtime.resolver")
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """One resolved payload with provenance.
+
+    ``source`` is ``"memory"``, ``"disk"``, ``"computed"`` or
+    ``"coalesced"`` (shared another request's in-flight computation).
+    """
+
+    payload: dict
+    source: str
+    key: str
+    duration: float
+
+
+@dataclass
+class ResolverStats:
+    """Counters accumulated over one resolver's lifetime."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    computed: int = 0
+    coalesced: int = 0
+    stores: int = 0
+    invalidations: int = 0
+    compute_seconds: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_ratio(self) -> float:
+        """Combined (memory + disk) hit share of all lookups."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.memory_hits} memory hits, {self.disk_hits} disk hits, "
+            f"{self.misses} misses, {self.computed} computed, "
+            f"{self.coalesced} coalesced"
+        )
+
+
+class Admission(Protocol):
+    """Load-shedding hook for the async path (implemented by the daemon).
+
+    ``admit`` may raise to reject the computation (the exception
+    propagates to the caller); ``release`` always pairs with a
+    successful ``admit``.  ``enqueue``/``dequeue`` bracket the wait for a
+    compute slot so the implementer can export queue depth.
+    """
+
+    def admit(self) -> None: ...
+
+    def release(self) -> None: ...
+
+    def enqueue(self) -> None: ...
+
+    def dequeue(self) -> None: ...
+
+
+class _OpenAdmission:
+    """The default no-op admission policy: everything is admitted."""
+
+    def admit(self) -> None:
+        return None
+
+    def release(self) -> None:
+        return None
+
+    def enqueue(self) -> None:
+        return None
+
+    def dequeue(self) -> None:
+        return None
+
+
+class Resolver:
+    """Tiered job resolution: memory → single-flight → disk → compute.
+
+    Args:
+        config: the :class:`RuntimeConfig` supplying defaults (the
+            active config when omitted).
+        cache_dir: override the disk-tier directory (None disables it;
+            default: ``config.cache_dir``).
+        memory_entries: override the memory-tier capacity (0 disables
+            it; default: ``config.memory_entries``).
+        events_cache: override the trace-analysis cache handed to inline
+            computations (None disables; default per config).
+        compute: the job → payload function (default:
+            :func:`repro.engine.worker.execute_job`).
+        observer: optional callback ``observer(event, **fields)`` with
+            events ``hit`` (``layer=``), ``miss``, ``computed``
+            (``seconds=``) and ``coalesced`` — the serving layer's
+            metrics bridge.
+    """
+
+    def __init__(
+        self,
+        config: "RuntimeConfig | None" = None,
+        *,
+        cache_dir=_UNSET,
+        memory_entries: "int | None" = None,
+        events_cache=_UNSET,
+        compute: "Optional[Callable]" = None,
+        observer: "Optional[Callable]" = None,
+    ):
+        # Lazy imports: engine.scheduler imports this module at top level,
+        # so the resolver must not import engine modules until used.
+        from ..engine.cache import ResultCache
+        from ..pipeline.events_cache import TraceEventsCache
+
+        self.config = config or current_config()
+        directory = self.config.cache_dir if cache_dir is _UNSET else cache_dir
+        self.disk = ResultCache(directory) if directory else None
+        capacity = (
+            self.config.memory_entries if memory_entries is None else memory_entries
+        )
+        self.lru = LRUCache(capacity)
+        if events_cache is _UNSET:
+            self.events = (
+                TraceEventsCache(self.config.events_cache_dir())
+                if self.config.analysis_cache
+                else None
+            )
+        else:
+            self.events = events_cache
+        self.flight = SingleFlight()
+        self.stats = ResolverStats()
+        self._compute = compute
+        self._observer = observer
+        self._compute_pool: "Executor | None" = None
+        self._io_pool: "ThreadPoolExecutor | None" = None
+        self._semaphore: "asyncio.Semaphore | None" = None
+
+    # -- shared plumbing -----------------------------------------------------
+    def _observe(self, event: str, **fields) -> None:
+        if self._observer is not None:
+            self._observer(event, **fields)
+
+    def _run_compute(self, job) -> dict:
+        """Execute ``job`` synchronously with the configured events cache."""
+        if self._compute is not None:
+            return self._compute(job)
+        from ..engine.worker import execute_job
+
+        return execute_job(job, events_cache=self.events)
+
+    def _pool_compute(self) -> Callable:
+        """The callable submitted to the compute executor.
+
+        A process pool needs a picklable target, so the default compute
+        ships the module-level :func:`~repro.engine.worker.execute_job`
+        (workers resolve their events cache from their own environment —
+        :func:`repro.runtime.config.set_config` with ``export=True``
+        propagates the parent's choice).  Thread pools share this
+        process, so they can use the events-cache-injecting bound method.
+        """
+        if self._compute is not None:
+            return self._compute
+        if isinstance(self._compute_pool, ProcessPoolExecutor):
+            from ..engine.worker import execute_job
+
+            return execute_job
+        return self._run_compute
+
+    def lookup(self, job, key: "str | None" = None) -> "Resolution | None":
+        """Memory then disk, with promotion; None when both tiers miss.
+
+        The disk payload's embedded ``key`` field must match the job's
+        key — that only rejects a foreign file copied into the entry's
+        path; full payload-vs-job validation stays with the caller.
+        """
+        started = time.perf_counter()
+        key = key or job.cache_key()
+        payload = self.lru.get(key)
+        if payload is not None:
+            self.stats.memory_hits += 1
+            self._observe("hit", layer="memory")
+            return Resolution(payload, "memory", key, time.perf_counter() - started)
+        if self.disk is not None:
+            payload = self.disk.get(key)
+            if payload is not None and payload.get("key") == key:
+                self.stats.disk_hits += 1
+                self._observe("hit", layer="disk")
+                self.lru.put(key, payload)
+                return Resolution(payload, "disk", key, time.perf_counter() - started)
+        self.stats.misses += 1
+        self._observe("miss")
+        return None
+
+    def store(self, key: str, payload: dict) -> None:
+        """Write-back to both tiers (disk failures degrade to memory-only)."""
+        if self.disk is not None:
+            try:
+                self.disk.put(key, payload)
+                self.stats.stores += 1
+            except OSError as exc:
+                logger.warning("cache write failed for %s: %s", key[:12], exc)
+        self.lru.put(key, payload)
+
+    def record_computed(self, seconds: float) -> None:
+        """Count one completed computation (callers owning their own pools)."""
+        self.stats.computed += 1
+        self.stats.compute_seconds += seconds
+        self._observe("computed", seconds=seconds)
+
+    def invalidate(self, key: str) -> None:
+        """Drop one key from every tier (corrupt-payload recovery)."""
+        self.stats.invalidations += 1
+        self.lru.remove(key)
+        if self.disk is not None:
+            self.disk.invalidate(key)
+
+    # -- sync path -----------------------------------------------------------
+    def resolve(self, job) -> Resolution:
+        """Lookup, else compute inline and write back (CLI/engine path)."""
+        started = time.perf_counter()
+        key = job.cache_key()
+        found = self.lookup(job, key)
+        if found is not None:
+            return found
+        compute_started = time.perf_counter()
+        payload = self._run_compute(job)
+        self.record_computed(time.perf_counter() - compute_started)
+        self.store(key, payload)
+        return Resolution(payload, "computed", key, time.perf_counter() - started)
+
+    # -- async path (the daemon) ---------------------------------------------
+    async def startup(self) -> None:
+        """Create loop-bound primitives and executors (idempotent)."""
+        if self._semaphore is None:
+            self._semaphore = asyncio.Semaphore(self.config.concurrency)
+        if self._compute_pool is None:
+            if self.config.executor == "process":
+                self._compute_pool = ProcessPoolExecutor(
+                    max_workers=self.config.workers
+                )
+            else:
+                self._compute_pool = ThreadPoolExecutor(
+                    max_workers=self.config.workers,
+                    thread_name_prefix="repro-compute",
+                )
+        if self._io_pool is None:
+            self._io_pool = ThreadPoolExecutor(
+                max_workers=2, thread_name_prefix="repro-io"
+            )
+
+    async def shutdown(self) -> None:
+        """Tear down the executors created by :meth:`startup`."""
+        if self._compute_pool is not None:
+            self._compute_pool.shutdown(wait=False, cancel_futures=True)
+            self._compute_pool = None
+        if self._io_pool is not None:
+            self._io_pool.shutdown(wait=False, cancel_futures=True)
+            self._io_pool = None
+
+    def inflight(self) -> int:
+        """Distinct keys currently being computed on the async path."""
+        return self.flight.inflight()
+
+    async def resolve_async(
+        self, job, admission: "Admission | None" = None
+    ) -> Resolution:
+        """Memory → (single-flight: admission → disk → compute).
+
+        Memory hits and coalesced followers bypass admission entirely:
+        they cost no compute, so overload never starves the hot set.
+        """
+        await self.startup()
+        started = time.perf_counter()
+        key = job.cache_key()
+        payload = self.lru.get(key)
+        if payload is not None:
+            self.stats.memory_hits += 1
+            self._observe("hit", layer="memory")
+            return Resolution(payload, "memory", key, time.perf_counter() - started)
+        admission = admission or _OpenAdmission()
+        (payload, source), coalesced = await self.flight.run(
+            key, lambda: self._fill_async(job, key, admission)
+        )
+        if coalesced:
+            self.stats.coalesced += 1
+            self._observe("coalesced")
+            source = "coalesced"
+        return Resolution(payload, source, key, time.perf_counter() - started)
+
+    async def _fill_async(self, job, key: str, admission) -> Tuple[dict, str]:
+        """Leader path: admission check, disk lookup, compute, write-back."""
+        admission.admit()
+        try:
+            loop = asyncio.get_running_loop()
+            if self.disk is not None:
+                payload = await loop.run_in_executor(self._io_pool, self.disk.get, key)
+                # The full payload-vs-job validation happens at response
+                # assembly; the key check here only rejects a foreign file
+                # someone copied into the entry's path.
+                if payload is not None and payload.get("key") == key:
+                    self.stats.disk_hits += 1
+                    self._observe("hit", layer="disk")
+                    self.lru.put(key, payload)
+                    return payload, "disk"
+            self.stats.misses += 1
+            self._observe("miss")
+            admission.enqueue()
+            try:
+                await self._semaphore.acquire()
+            finally:
+                admission.dequeue()
+            try:
+                compute_started = time.perf_counter()
+                payload = await loop.run_in_executor(
+                    self._compute_pool, self._pool_compute(), job
+                )
+                self.record_computed(time.perf_counter() - compute_started)
+            finally:
+                self._semaphore.release()
+            if self.disk is not None:
+                await loop.run_in_executor(self._io_pool, self._store_disk, key, payload)
+            self.lru.put(key, payload)
+            return payload, "computed"
+        finally:
+            admission.release()
+
+    def _store_disk(self, key: str, payload: dict) -> None:
+        try:
+            self.disk.put(key, payload)
+            self.stats.stores += 1
+        except OSError as exc:
+            logger.warning("cache write failed for %s: %s", key[:12], exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tiers = [f"lru={self.lru.capacity}"]
+        tiers.append(f"disk={str(self.disk.directory) if self.disk else None}")
+        return f"Resolver({', '.join(tiers)}, {self.stats})"

@@ -1,0 +1,78 @@
+"""Single-flight request coalescing for content-addressed work.
+
+When many concurrent requests resolve to the same cache key — the
+thundering-herd shape of a popular workload going cold — only the first
+(the *leader*) runs the computation; the rest (*followers*) await the
+leader's future and share its result.  With content-addressed keys this
+is safe by construction: identical key ⇒ identical payload.
+
+Error semantics: a leader failure propagates to every follower of that
+flight (they asked the same question; they get the same answer), after
+which the key is clear and the next request starts a fresh flight.
+Followers are shielded from each other — one follower's cancellation
+cannot cancel the shared computation — but a cancelled *leader* cancels
+the flight for everyone, mirroring what the cache would have seen.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, TypeVar
+
+__all__ = ["SingleFlight"]
+
+T = TypeVar("T")
+
+
+class SingleFlight:
+    """Deduplicate concurrent computations keyed by string.
+
+    Counters: ``leaders`` (computations actually started), ``coalesced``
+    (requests that piggybacked on an in-flight leader).  Their ratio is
+    the serving layer's herd-collapse measure on ``/metrics``.
+    """
+
+    def __init__(self) -> None:
+        self._inflight: "Dict[str, asyncio.Future]" = {}
+        self.leaders = 0
+        self.coalesced = 0
+
+    def inflight(self) -> int:
+        """Distinct keys currently being computed."""
+        return len(self._inflight)
+
+    def is_inflight(self, key: str) -> bool:
+        return key in self._inflight
+
+    async def run(
+        self, key: str, supplier: Callable[[], Awaitable[T]]
+    ) -> "tuple[T, bool]":
+        """Resolve ``key`` via ``supplier``, coalescing concurrent callers.
+
+        Returns ``(result, coalesced)`` where ``coalesced`` is True when
+        this caller shared another caller's in-flight computation.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            return await asyncio.shield(existing), True
+
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self.leaders += 1
+        try:
+            result = await supplier()
+        except BaseException as exc:
+            if isinstance(exc, asyncio.CancelledError):
+                future.cancel()
+            else:
+                future.set_exception(exc)
+                # Mark retrieved so a flight with zero followers does not
+                # log "exception was never retrieved" at GC time.
+                future.exception()
+            raise
+        else:
+            future.set_result(result)
+            return result, False
+        finally:
+            self._inflight.pop(key, None)

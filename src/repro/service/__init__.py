@@ -4,14 +4,14 @@ Turns the optimum-depth solver into a long-lived online API with the
 same shape as an inference server — hot state in memory, request
 deduplication, bounded queues:
 
-* :mod:`repro.service.config` — :class:`ServiceConfig`, the single
-  shared home of every serving default (env-var overridable).
-* :mod:`repro.service.lru` — the bounded in-memory payload LRU layered
-  over the engine's on-disk result cache.
-* :mod:`repro.service.singleflight` — coalesces concurrent requests for
-  the same content-addressed job key into one computation.
-* :mod:`repro.service.app` — the resolution hierarchy (memory → disk →
-  compute), admission control / backpressure and the endpoint handlers.
+* :mod:`repro.service.config` — serving flags and the deprecated
+  :class:`ServiceConfig` alias; settings live on
+  :class:`repro.runtime.RuntimeConfig` now (env-var and config-file
+  overridable, with provenance via ``repro config show``).
+* :mod:`repro.service.app` — the HTTP-facing shell around the shared
+  :class:`repro.runtime.Resolver` (memory LRU → single-flight →
+  disk → compute): admission control / backpressure and the endpoint
+  handlers.
 * :mod:`repro.service.metrics` — Prometheus-text counters, gauges and
   latency histograms behind ``GET /metrics``.
 * :mod:`repro.service.http` — the stdlib asyncio HTTP/1.1 transport

@@ -1,20 +1,23 @@
-"""The serving core: cache hierarchy, coalescing, admission, handlers.
+"""The serving core: HTTP-facing state, admission control, handlers.
 
-:class:`ServiceState` owns everything the HTTP transport serves from:
+:class:`ServiceState` is now a thin shell around the shared
+:class:`repro.runtime.resolver.Resolver` — the same tiered lookup path
+(in-memory LRU → single-flight coalescing → on-disk
+:class:`~repro.engine.cache.ResultCache` → compute on an executor) that
+the CLI and the batch engine use, addressed by the engine's
+content-hashed :meth:`SimJob.cache_key`, so a payload computed by
+``repro batch`` yesterday is a disk hit for the daemon today and vice
+versa.  What stays service-specific here:
 
-* the **lookup hierarchy** — in-memory LRU → on-disk
-  :class:`~repro.engine.cache.ResultCache` → compute on an executor —
-  all addressed by the engine's content-hashed :meth:`SimJob.cache_key`,
-  so a payload computed by ``repro batch`` yesterday is a disk hit for
-  the daemon today and vice versa;
-* **single-flight coalescing** — concurrent requests for the same key
-  share one computation (:mod:`repro.service.singleflight`);
 * **admission control** — at most ``concurrency`` computations run at
   once, at most ``queue_limit`` more may wait; past that new *leaders*
   fail fast with :class:`Overloaded` (HTTP 429).  Memory hits and
   coalesced followers bypass admission entirely: they cost no compute,
-  so overload never starves the hot set;
-* the **metrics registry** behind ``/metrics``.
+  so overload never starves the hot set.  ``ServiceState`` implements
+  the resolver's :class:`~repro.runtime.resolver.Admission` protocol;
+* the **metrics registry** behind ``/metrics`` — fed by the resolver's
+  observer callback, so the counters describe exactly what the shared
+  tiers did.
 
 The endpoint handlers (:func:`handle_sweep`, :func:`handle_optimum`)
 turn validated request bodies into jobs, resolve them through the
@@ -27,7 +30,6 @@ from __future__ import annotations
 
 import asyncio
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
@@ -36,17 +38,14 @@ import numpy as np
 from .. import __version__
 from ..analysis.optimum import optimum_from_sweep, theory_fit_from_sweep
 from ..analysis.sweep import DEFAULT_DEPTHS, sweep_from_results
-from ..engine.cache import ResultCache
 from ..engine.job import SimJob
 from ..engine.serialize import PayloadError, results_from_payload
-from ..engine.worker import execute_job
 from ..pipeline.fastsim import BACKENDS
 from ..pipeline.simulator import MachineConfig
+from ..runtime.config import RuntimeConfig
+from ..runtime.resolver import Resolution, Resolver
 from ..trace.suite import get_workload
-from .config import ServiceConfig
-from .lru import LRUCache
 from .metrics import MetricsRegistry
-from .singleflight import SingleFlight
 
 __all__ = [
     "BadRequest",
@@ -81,69 +80,58 @@ class RequestParams:
     reference_depth: int
 
 
-@dataclass(frozen=True)
-class Resolution:
-    """One resolved payload with provenance.
-
-    ``source`` is ``"memory"``, ``"disk"``, ``"computed"`` or
-    ``"coalesced"`` (shared another request's in-flight computation).
-    """
-
-    payload: dict
-    source: str
-    key: str
-    duration: float
-
-
 class ServiceState:
-    """Shared serving state: caches, flight table, admission, metrics."""
+    """HTTP shell around the shared resolver: admission, draining, metrics.
+
+    Implements the resolver's admission protocol (``admit`` / ``release``
+    / ``enqueue`` / ``dequeue``); the tier stack itself — LRU, flight
+    table, disk cache, executors — lives on ``self.resolver``, with
+    ``self.lru`` / ``self.disk`` / ``self.flight`` kept as aliases for
+    introspection and tests.
+    """
 
     def __init__(
         self,
-        config: "ServiceConfig | None" = None,
+        config: "RuntimeConfig | None" = None,
         compute: "Optional[Callable[[SimJob], dict]]" = None,
     ):
-        self.config = config or ServiceConfig.from_env()
-        self.lru = LRUCache(self.config.memory_entries)
-        self.disk = ResultCache(self.config.cache_dir) if self.config.cache_dir else None
-        self.flight = SingleFlight()
-        self._compute = compute or execute_job
-        self._compute_pool: "Executor | None" = None
-        self._io_pool: "ThreadPoolExecutor | None" = None
-        self._semaphore: "asyncio.Semaphore | None" = None
+        self.config = config or RuntimeConfig.from_env()
+        self.resolver = Resolver(
+            config=self.config, compute=compute, observer=self._observe
+        )
+        self.lru = self.resolver.lru
+        self.disk = self.resolver.disk
+        self.flight = self.resolver.flight
         self._admitted = 0
         self._waiting = 0
         self.draining = False
         self.started_monotonic = time.monotonic()
         self._build_metrics()
 
+    # -- admission protocol (resolver hook) ----------------------------------
+    def admit(self) -> None:
+        """Admit one leader or raise :class:`Overloaded` (HTTP 429)."""
+        if self._admitted >= self.config.admission_limit:
+            self.rejected_total.inc()
+            raise Overloaded(self.config.retry_after)
+        self._admitted += 1
+
+    def release(self) -> None:
+        self._admitted -= 1
+
+    def enqueue(self) -> None:
+        self._waiting += 1
+
+    def dequeue(self) -> None:
+        self._waiting -= 1
+
     # -- lifecycle ----------------------------------------------------------
     async def startup(self) -> None:
         """Create loop-bound primitives and executors (idempotent)."""
-        if self._semaphore is None:
-            self._semaphore = asyncio.Semaphore(self.config.concurrency)
-        if self._compute_pool is None:
-            if self.config.executor == "process":
-                self._compute_pool = ProcessPoolExecutor(
-                    max_workers=self.config.workers
-                )
-            else:
-                self._compute_pool = ThreadPoolExecutor(
-                    max_workers=self.config.workers,
-                    thread_name_prefix="repro-compute",
-                )
-        if self._io_pool is None:
-            self._io_pool = ThreadPoolExecutor(
-                max_workers=2, thread_name_prefix="repro-io"
-            )
+        await self.resolver.startup()
 
     async def shutdown(self) -> None:
-        if self._compute_pool is not None:
-            self._compute_pool.shutdown(wait=False, cancel_futures=True)
-            self._compute_pool = None
-        if self._io_pool is not None:
-            self._io_pool.shutdown(wait=False, cancel_futures=True)
-            self._io_pool = None
+        await self.resolver.shutdown()
 
     async def wait_idle(self, timeout: float) -> bool:
         """Wait for in-flight requests to finish; True when fully drained."""
@@ -155,6 +143,18 @@ class ServiceState:
         return True
 
     # -- metrics ------------------------------------------------------------
+    def _observe(self, event: str, **fields) -> None:
+        """Resolver observer → Prometheus counters (the metrics bridge)."""
+        if event == "hit":
+            self.cache_hits.inc(layer=fields["layer"])
+        elif event == "miss":
+            self.cache_misses.inc()
+        elif event == "computed":
+            self.computed_total.inc()
+            self.compute_seconds.observe(fields["seconds"])
+        elif event == "coalesced":
+            self.coalesced_total.inc()
+
     def _build_metrics(self) -> None:
         registry = MetricsRegistry()
         self.metrics = registry
@@ -250,60 +250,9 @@ class ServiceState:
 
     # -- resolution hierarchy -----------------------------------------------
     async def resolve(self, job: SimJob) -> Resolution:
-        """Memory → (single-flight: disk → compute), with provenance."""
-        await self.startup()
-        started = time.perf_counter()
-        key = job.cache_key()
-        payload = self.lru.get(key)
-        if payload is not None:
-            self.cache_hits.inc(layer="memory")
-            return Resolution(payload, "memory", key, time.perf_counter() - started)
-        (payload, source), coalesced = await self.flight.run(
-            key, lambda: self._fill(job, key)
-        )
-        if coalesced:
-            self.coalesced_total.inc()
-            source = "coalesced"
-        return Resolution(payload, source, key, time.perf_counter() - started)
-
-    async def _fill(self, job: SimJob, key: str) -> Tuple[dict, str]:
-        """Leader path: admission check, disk lookup, compute, write-back."""
-        if self._admitted >= self.config.admission_limit:
-            self.rejected_total.inc()
-            raise Overloaded(self.config.retry_after)
-        self._admitted += 1
-        try:
-            loop = asyncio.get_running_loop()
-            if self.disk is not None:
-                payload = await loop.run_in_executor(self._io_pool, self.disk.get, key)
-                # The full payload-vs-job validation happens at response
-                # assembly; the key check here only rejects a foreign file
-                # someone copied into the entry's path.
-                if payload is not None and payload.get("key") == key:
-                    self.cache_hits.inc(layer="disk")
-                    self.lru.put(key, payload)
-                    return payload, "disk"
-            self.cache_misses.inc()
-            self._waiting += 1
-            try:
-                await self._semaphore.acquire()
-            finally:
-                self._waiting -= 1
-            try:
-                compute_started = time.perf_counter()
-                payload = await loop.run_in_executor(
-                    self._compute_pool, self._compute, job
-                )
-                self.computed_total.inc()
-                self.compute_seconds.observe(time.perf_counter() - compute_started)
-            finally:
-                self._semaphore.release()
-            if self.disk is not None:
-                await loop.run_in_executor(self._io_pool, self.disk.put, key, payload)
-            self.lru.put(key, payload)
-            return payload, "computed"
-        finally:
-            self._admitted -= 1
+        """Memory → (single-flight: admission → disk → compute), shared
+        verbatim with every other entry point via the runtime resolver."""
+        return await self.resolver.resolve_async(job, admission=self)
 
 
 # -- request parsing ---------------------------------------------------------
@@ -322,7 +271,7 @@ def _parse_metric(value) -> float:
 
 
 def job_from_request(
-    body: dict, config: ServiceConfig
+    body: dict, config: RuntimeConfig
 ) -> Tuple[SimJob, RequestParams]:
     """Validate a ``/v1/sweep`` / ``/v1/optimum`` body into a job + params.
 

@@ -1,34 +1,34 @@
-"""The one place serving defaults live: :class:`ServiceConfig`.
+"""Serving configuration — now a façade over :mod:`repro.runtime`.
 
-Every serving entry point — ``repro serve``, the load generator, the
-service benchmark, the tests — builds its knobs from this dataclass
-instead of scattering argparse defaults, so the backend default
-(``"fast"``), queue bounds and cache sizing agree everywhere.
+:class:`ServiceConfig` used to be the serving layer's own settings
+object; every knob it carried now lives on
+:class:`repro.runtime.config.RuntimeConfig`, which adds layered loading
+(defaults < env < file < CLI flags) and per-field provenance
+(``repro config show``).  The class remains as a **deprecated alias**
+so existing imports and constructions keep working — constructing one
+emits :class:`DeprecationWarning` and returns an object that is a
+``RuntimeConfig`` in every useful sense.
 
-Precedence, lowest to highest:
+The argparse helpers (:func:`add_service_arguments`,
+:func:`config_from_args`) stay here because their flags are
+serving-specific; they now build plain ``RuntimeConfig`` objects.
 
-1. the dataclass defaults below;
-2. ``REPRO_SERVICE_*`` environment variables (:meth:`ServiceConfig.from_env`);
-3. explicit keyword/CLI overrides (``config_from_args`` only overrides
-   fields whose flags were actually given).
+Migration:
 
-The disk-cache directory additionally honours the engine's own
-``$REPRO_CACHE_DIR`` convention via
-:func:`repro.engine.cache.default_cache_dir`; set
-``REPRO_SERVICE_CACHE_DIR=""`` (empty) or pass ``--no-disk-cache`` to
-run memory-only.
+* ``ServiceConfig(...)`` → ``RuntimeConfig(...)`` (same field names);
+* ``ServiceConfig.from_env()`` → ``RuntimeConfig.from_env()``;
+* ``$REPRO_SERVICE_CACHE_DIR`` → ``$REPRO_CACHE_DIR`` (the unified
+  engine/daemon spelling; the old variable still works and warns, and
+  an empty value still disables the disk tier).
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
-import os
-from dataclasses import dataclass
-from typing import Optional
+import warnings
 
-from ..engine.cache import default_cache_dir
 from ..pipeline.fastsim import BACKENDS
+from ..runtime.config import EXECUTORS, SERVICE_ENV_PREFIX, RuntimeConfig
 
 __all__ = [
     "ServiceConfig",
@@ -37,108 +37,30 @@ __all__ = [
     "ENV_PREFIX",
 ]
 
-ENV_PREFIX = "REPRO_SERVICE_"
+ENV_PREFIX = SERVICE_ENV_PREFIX
 
-EXECUTORS = ("thread", "process")
-"""Recognised compute-executor kinds."""
+_MIGRATION = (
+    "ServiceConfig is deprecated; use repro.runtime.RuntimeConfig "
+    "(same field names, plus config-file and provenance support)"
+)
 
 
-@dataclass(frozen=True)
-class ServiceConfig:
-    """Serving-layer knobs shared by the daemon, the load generator and tests.
+class ServiceConfig(RuntimeConfig):
+    """Deprecated alias of :class:`~repro.runtime.config.RuntimeConfig`.
 
-    Attributes:
-        host: bind address.
-        port: bind port (0 lets the OS pick; the bound port is reported).
-        backend: default simulation backend for requests that do not name
-            one — ``"fast"`` for serving (the engines are validated
-            equivalent; requests may still ask for ``"reference"``).
-        executor: ``"thread"`` or ``"process"`` — where cache misses are
-            computed.  Threads are simplest; processes buy real CPU
-            parallelism for compute-heavy mixes.
-        workers: executor worker count.
-        concurrency: cache-miss computations allowed in flight at once;
-            further admitted requests wait in the queue.
-        queue_limit: admitted-but-waiting requests allowed beyond
-            ``concurrency``; past that the daemon answers 429.
-        memory_entries: in-memory LRU capacity in payloads (0 disables
-            the memory layer).
-        cache_dir: disk result-cache directory (None disables the disk
-            layer; default follows the engine's resolution rules).
-        drain_timeout: seconds to wait for in-flight requests on SIGTERM.
-        retry_after: seconds advertised in 429 ``Retry-After`` headers.
-        max_body_bytes: largest accepted request body.
-        max_trace_length: largest per-request trace length accepted.
-        log_level: root logging level for ``repro serve``.
+    Exists so pre-``repro.runtime`` code keeps importing and
+    constructing it; every construction path (direct, ``from_env``,
+    ``load``) warns once per call site.
     """
 
-    host: str = "127.0.0.1"
-    port: int = 8023
-    backend: str = "fast"
-    executor: str = "thread"
-    workers: int = 4
-    concurrency: int = 4
-    queue_limit: int = 64
-    memory_entries: int = 512
-    cache_dir: "str | None" = dataclasses.field(
-        default_factory=lambda: str(default_cache_dir())
-    )
-    drain_timeout: float = 10.0
-    retry_after: float = 1.0
-    max_body_bytes: int = 64 * 1024
-    max_trace_length: int = 100_000
-    log_level: str = "INFO"
-
     def __post_init__(self) -> None:
-        if self.backend not in BACKENDS:
-            raise ValueError(f"unknown backend {self.backend!r}; choose from {BACKENDS}")
-        if self.executor not in EXECUTORS:
-            raise ValueError(
-                f"unknown executor {self.executor!r}; choose from {EXECUTORS}"
-            )
-        for name in ("workers", "concurrency"):
-            if getattr(self, name) < 1:
-                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)!r}")
-        for name in ("port", "queue_limit", "memory_entries"):
-            if getattr(self, name) < 0:
-                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)!r}")
-        for name in ("drain_timeout", "retry_after"):
-            if getattr(self, name) < 0:
-                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)!r}")
-
-    @property
-    def admission_limit(self) -> int:
-        """Admitted leaders allowed in flight before new ones get 429."""
-        return self.concurrency + self.queue_limit
-
-    @classmethod
-    def from_env(cls, environ: "Optional[dict]" = None, **overrides) -> "ServiceConfig":
-        """Defaults, patched by ``REPRO_SERVICE_*`` vars, then ``overrides``.
-
-        Overrides passed as None are ignored (convenient for argparse
-        namespaces where an un-given flag stays None).
-        """
-        environ = os.environ if environ is None else environ
-        values: dict = {}
-        for field in dataclasses.fields(cls):
-            raw = environ.get(ENV_PREFIX + field.name.upper())
-            if raw is None:
-                continue
-            if field.name == "cache_dir":
-                values["cache_dir"] = raw or None
-            elif field.type in ("int", int):
-                values[field.name] = int(raw)
-            elif field.type in ("float", float):
-                values[field.name] = float(raw)
-            else:
-                values[field.name] = raw
-        values.update({k: v for k, v in overrides.items() if v is not None})
-        return cls(**values)
+        warnings.warn(_MIGRATION, DeprecationWarning, stacklevel=3)
+        super().__post_init__()
 
 
 def add_service_arguments(parser: argparse.ArgumentParser) -> None:
     """Install the ``repro serve`` flags (defaults come from the config)."""
-    defaults = ServiceConfig()
+    defaults = RuntimeConfig()
     parser.add_argument("--host", default=None,
                         help=f"bind address (default: {defaults.host})")
     parser.add_argument("--port", type=int, default=None,
@@ -171,11 +93,15 @@ def add_service_arguments(parser: argparse.ArgumentParser) -> None:
                         f"SIGTERM (default: {defaults.drain_timeout})")
     parser.add_argument("--log-level", default=None,
                         help=f"logging level (default: {defaults.log_level})")
+    parser.add_argument("--config", default=None, metavar="FILE",
+                        help="config file (JSON, or TOML on Python >= 3.11); "
+                        "overrides env vars, is overridden by flags "
+                        "(default: $REPRO_CONFIG)")
 
 
-def config_from_args(args: argparse.Namespace) -> ServiceConfig:
-    """Build the effective config: defaults < environment < given flags."""
-    overrides = dict(
+def config_from_args(args: argparse.Namespace) -> RuntimeConfig:
+    """Build the effective config: defaults < env < file < given flags."""
+    flags = dict(
         host=args.host,
         port=args.port,
         backend=args.backend,
@@ -188,7 +114,7 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
         drain_timeout=args.drain_timeout,
         log_level=args.log_level,
     )
-    config = ServiceConfig.from_env(**overrides)
+    config = RuntimeConfig.load(file=getattr(args, "config", None), flags=flags)
     if getattr(args, "no_disk_cache", False):
-        config = dataclasses.replace(config, cache_dir=None)
+        config = config.with_values(_source="flag:--no-disk-cache", cache_dir=None)
     return config

@@ -29,7 +29,7 @@ import time
 from typing import Awaitable, Callable, Dict, Optional, Tuple
 
 from .app import BadRequest, Overloaded, ServiceState, handle_optimum, handle_sweep
-from .config import ServiceConfig
+from ..runtime.config import RuntimeConfig
 
 __all__ = ["HttpError", "ServiceServer", "serve"]
 
@@ -135,7 +135,7 @@ class ServiceServer:
 
     def __init__(self, state: "ServiceState | None" = None):
         self.state = state or ServiceState()
-        self.config: ServiceConfig = self.state.config
+        self.config: RuntimeConfig = self.state.config
         self._server: "asyncio.base_events.Server | None" = None
         self._connections = 0
         self._post_routes: Dict[str, Handler] = {
@@ -321,7 +321,7 @@ class ServiceServer:
         await writer.drain()
 
 
-async def serve(config: "ServiceConfig | None" = None) -> None:
+async def serve(config: "RuntimeConfig | None" = None) -> None:
     """Run the daemon until a shutdown signal (the ``repro serve`` body)."""
     server = ServiceServer(ServiceState(config))
     await server.serve_forever()

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 from ..trace.suite import suite_names
-from .config import ServiceConfig
+from ..runtime.config import RuntimeConfig
 
 __all__ = [
     "HttpClient",
@@ -249,7 +249,7 @@ async def _self_hosted_load(args: argparse.Namespace) -> LoadReport:
     from .app import ServiceState
     from .http import ServiceServer
 
-    config = ServiceConfig.from_env(
+    config = RuntimeConfig.from_env(
         port=0, backend=args.backend, cache_dir=args.cache_dir
     )
     server = ServiceServer(ServiceState(config))
@@ -290,7 +290,7 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     if args.self_host:
         report = asyncio.run(_self_hosted_load(args))
     else:
-        config = ServiceConfig.from_env(host=args.host, port=args.port)
+        config = RuntimeConfig.from_env(host=args.host, port=args.port)
         report = asyncio.run(
             run_load(
                 config.host,

@@ -31,6 +31,23 @@ def _isolated_engine_cache(_engine_cache_root, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(_engine_cache_root))
     monkeypatch.delenv("REPRO_ANALYSIS_CACHE", raising=False)
     monkeypatch.delenv("REPRO_ANALYSIS_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_CONFIG", raising=False)
+
+
+@pytest.fixture(autouse=True)
+def _reset_runtime_config():
+    """Drop any process-wide RuntimeConfig installed by the code under test.
+
+    ``repro.runtime.set_config`` is process-global (the experiment runner
+    installs the flag-resolved config, for example); without this reset
+    one test's installed config would shadow the next test's monkeypatched
+    environment.
+    """
+    from repro.runtime import reset_config
+
+    reset_config()
+    yield
+    reset_config()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,1 @@
+"""Tests of the shared execution runtime (repro.runtime)."""

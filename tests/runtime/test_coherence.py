@@ -1,0 +1,148 @@
+"""Cross-entry-point cache coherence (the runtime refactor's acceptance test).
+
+A sweep computed through the CLI must be a *disk hit* — zero recompute,
+proven by counters — for the serving daemon and for the experiments
+runner's engine, because all entry points resolve the same
+content-addressed :class:`SimJob` through the same
+:class:`repro.runtime.Resolver` tier stack.
+"""
+
+import argparse
+import asyncio
+import json
+
+import pytest
+
+from repro.analysis.sweep import DEFAULT_DEPTHS
+from repro.cli import main as cli_main
+from repro.engine.cache import ResultCache
+from repro.engine.scheduler import jobs_for_specs
+from repro.experiments.runner import engine_from_args
+from repro.pipeline.simulator import MachineConfig
+from repro.runtime import RuntimeConfig
+from repro.service.app import ServiceState, job_from_request
+
+TRACE_LENGTH = 500
+BACKEND = "fast"
+
+
+@pytest.fixture()
+def shared_cache(tmp_path, monkeypatch):
+    directory = tmp_path / "shared-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(directory))
+    return directory
+
+
+def the_job(spec):
+    [job] = jobs_for_specs(
+        [spec],
+        DEFAULT_DEPTHS,
+        trace_length=TRACE_LENGTH,
+        machine=MachineConfig(in_order=True),
+        backend=BACKEND,
+    )
+    return job
+
+
+def test_cli_sweep_is_a_disk_hit_everywhere(shared_cache, modern_spec, capsys):
+    job = the_job(modern_spec)
+    key = job.cache_key()
+    assert ResultCache(shared_cache).get(key) is None  # genuinely cold
+
+    # -- entry point 1: the CLI computes the sweep ---------------------------
+    rc = cli_main(
+        [
+            "sweep", modern_spec.name,
+            "--length", str(TRACE_LENGTH),
+            "--backend", BACKEND,
+            "--no-chart",
+        ]
+    )
+    assert rc == 0
+    capsys.readouterr()
+    stored = ResultCache(shared_cache).get(key)
+    assert stored is not None and stored["key"] == key
+
+    # -- entry point 2: the daemon serves it from disk, computing nothing ----
+    state = ServiceState(RuntimeConfig.load())
+    body = {"workload": modern_spec.name, "length": TRACE_LENGTH, "backend": BACKEND}
+    daemon_job, _params = job_from_request(body, state.config)
+    assert daemon_job.cache_key() == key  # same job identity across layers
+
+    async def daemon_lookup():
+        try:
+            return await state.resolve(daemon_job)
+        finally:
+            await state.shutdown()
+
+    resolution = asyncio.run(daemon_lookup())
+    assert resolution.source == "disk"
+    assert resolution.key == key
+    assert state.computed_total.value() == 0
+    assert state.cache_misses.value() == 0
+    assert state.cache_hits.value(layer="disk") == 1
+    assert state.resolver.stats.computed == 0
+
+    # -- entry point 3: the experiments runner's engine — pure cache hits ----
+    engine = engine_from_args(
+        argparse.Namespace(
+            jobs=None, cache_dir=None, no_cache=False, progress=False, backend=BACKEND
+        )
+    )
+    [result] = engine.run([job])
+    assert result.cache_hit is True
+    assert result.attempts == 0
+    assert engine.report.cache_hits == 1
+    assert engine.report.executed == 0
+    assert engine.resolver.stats.computed == 0
+
+    # -- one payload, byte-identical however it is reached -------------------
+    canonical = json.dumps(stored, sort_keys=True)
+    assert json.dumps(resolution.payload, sort_keys=True) == canonical
+    assert (
+        json.dumps(engine.resolver.disk.get(key), sort_keys=True) == canonical
+    )
+
+
+def test_daemon_computation_is_a_hit_for_the_cli(
+    shared_cache, modern_spec, capsys, monkeypatch
+):
+    """The reverse direction: daemon-computed payloads serve the CLI."""
+    state = ServiceState(RuntimeConfig.load())
+    body = {
+        "workload": modern_spec.name,
+        "length": TRACE_LENGTH,
+        "backend": BACKEND,
+        "depths": [4],
+    }
+    daemon_job, _params = job_from_request(body, state.config)
+
+    async def daemon_compute():
+        try:
+            return await state.resolve(daemon_job)
+        finally:
+            await state.shutdown()
+
+    assert asyncio.run(daemon_compute()).source == "computed"
+
+    # Any recompute below would be a coherence bug, so make it loud.
+    def recompute_forbidden(job, events_cache=None):
+        raise AssertionError(f"unexpected recompute of {job.name!r}")
+
+    monkeypatch.setattr("repro.engine.worker.execute_job", recompute_forbidden)
+
+    # 'repro simulate' resolves the same (spec, depth, length, backend) job.
+    rc = cli_main(
+        [
+            "simulate", modern_spec.name,
+            "--depth", "4",
+            "--length", str(TRACE_LENGTH),
+            "--backend", BACKEND,
+        ]
+    )
+    assert rc == 0
+    assert modern_spec.name in capsys.readouterr().out
+    # The CLI's resolver found the daemon's payload on disk: the disk
+    # cache still holds exactly one entry and its stats saw a hit.
+    cache = ResultCache(shared_cache)
+    assert cache.get(daemon_job.cache_key()) is not None

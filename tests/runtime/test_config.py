@@ -1,0 +1,152 @@
+"""RuntimeConfig: layering (defaults < env < file < flags) and provenance."""
+
+import json
+
+import pytest
+
+from repro.runtime import (
+    RuntimeConfig,
+    current_config,
+    reset_config,
+    set_config,
+    use_config,
+)
+
+
+class TestLayering:
+    def test_defaults_when_nothing_is_set(self):
+        config = RuntimeConfig.load(environ={})
+        assert config.backend == "fast"
+        assert config.jobs == 1
+        assert config.analysis_cache is True
+        assert config.provenance["backend"] == "default"
+
+    def test_env_beats_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        monkeypatch.setenv("REPRO_SERVICE_BACKEND", "reference")
+        config = RuntimeConfig.load()
+        assert config.jobs == 6
+        assert config.backend == "reference"
+        assert config.provenance["jobs"] == "env:REPRO_JOBS"
+        assert config.provenance["backend"] == "env:REPRO_SERVICE_BACKEND"
+
+    def test_file_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        cfg = tmp_path / "repro.json"
+        cfg.write_text(json.dumps({"jobs": 2, "progress": True}), encoding="utf-8")
+        config = RuntimeConfig.load(file=cfg)
+        assert config.jobs == 2
+        assert config.progress is True
+        assert config.provenance["jobs"] == f"file:{cfg}"
+
+    def test_flags_beat_file(self, monkeypatch, tmp_path):
+        cfg = tmp_path / "repro.json"
+        cfg.write_text(json.dumps({"jobs": 2}), encoding="utf-8")
+        config = RuntimeConfig.load(file=cfg, flags={"jobs": 9, "port": None})
+        assert config.jobs == 9
+        assert config.provenance["jobs"] == "flag:--jobs"
+        assert config.provenance["port"] == "default"  # None flags are ignored
+
+    def test_repro_config_env_names_the_file(self, monkeypatch, tmp_path):
+        cfg = tmp_path / "named.json"
+        cfg.write_text(json.dumps({"workers": 11}), encoding="utf-8")
+        monkeypatch.setenv("REPRO_CONFIG", str(cfg))
+        config = RuntimeConfig.load()
+        assert config.workers == 11
+        assert config.provenance["workers"] == f"file:{cfg}"
+
+    def test_unknown_file_key_rejected(self, tmp_path):
+        cfg = tmp_path / "repro.json"
+        cfg.write_text(json.dumps({"warp_drive": True}), encoding="utf-8")
+        with pytest.raises(ValueError, match="warp_drive"):
+            RuntimeConfig.load(file=cfg)
+
+    def test_malformed_file_rejected(self, tmp_path):
+        cfg = tmp_path / "repro.json"
+        cfg.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            RuntimeConfig.load(file=cfg)
+
+    def test_toml_file_when_supported(self, tmp_path):
+        try:
+            import tomllib  # noqa: F401
+        except ImportError:
+            pytest.skip("tomllib needs Python >= 3.11")
+        cfg = tmp_path / "repro.toml"
+        cfg.write_text('jobs = 3\nbackend = "batched"\n', encoding="utf-8")
+        config = RuntimeConfig.load(file=cfg)
+        assert (config.jobs, config.backend) == (3, "batched")
+
+    def test_invalid_env_value_is_a_clear_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_PORT", "not-a-port")
+        with pytest.raises(ValueError, match="REPRO_SERVICE_PORT"):
+            RuntimeConfig.load()
+
+
+class TestSwitches:
+    def test_analysis_cache_off_values(self, monkeypatch):
+        for raw in ("0", "off", "no", "false", "OFF"):
+            monkeypatch.setenv("REPRO_ANALYSIS_CACHE", raw)
+            assert RuntimeConfig.load().analysis_cache is False
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE", "on")
+        assert RuntimeConfig.load().analysis_cache is True
+
+    def test_kernel_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "off")
+        assert RuntimeConfig.load().kernel is False
+
+    def test_cache_dir_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "d"))
+        config = RuntimeConfig.load()
+        assert config.cache_dir == str(tmp_path / "d")
+        assert config.provenance["cache_dir"] == "env:REPRO_CACHE_DIR"
+
+    def test_events_cache_nests_under_explicit_cache_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "d"))
+        config = RuntimeConfig.load()
+        assert config.events_cache_dir() == tmp_path / "d" / "analysis"
+
+    def test_explicit_analysis_dir_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE_DIR", str(tmp_path / "a"))
+        assert RuntimeConfig.load().events_cache_dir() == tmp_path / "a"
+
+
+class TestProcessWideState:
+    def test_current_config_tracks_env_until_installed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert current_config().jobs == 4
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert current_config().jobs == 5  # no import-time caching
+
+    def test_set_config_pins_and_reset_unpins(self, monkeypatch):
+        pinned = RuntimeConfig.load().with_values(jobs=7)
+        set_config(pinned)
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert current_config().jobs == 7
+        reset_config()
+        assert current_config().jobs == 2
+
+    def test_use_config_restores_previous(self):
+        with use_config(RuntimeConfig.load().with_values(jobs=3)):
+            assert current_config().jobs == 3
+        assert current_config().jobs == 1
+
+    def test_export_propagates_cache_knobs_to_environ(self, monkeypatch, tmp_path):
+        import os
+
+        # Pre-touch so monkeypatch restores the pre-test state afterwards:
+        # set_config(export=True) writes os.environ directly.
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE", "on")
+        monkeypatch.setenv("REPRO_KERNEL", "on")
+        config = RuntimeConfig.load().with_values(
+            cache_dir=str(tmp_path / "c"), analysis_cache=False
+        )
+        set_config(config, export=True)
+        assert os.environ["REPRO_CACHE_DIR"] == str(tmp_path / "c")
+        assert os.environ["REPRO_ANALYSIS_CACHE"] == "off"
+
+    def test_with_values_merges_provenance(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        config = RuntimeConfig.load().with_values(backend="batched")
+        assert config.provenance["jobs"] == "env:REPRO_JOBS"
+        assert config.provenance["backend"] == "override"

@@ -1,0 +1,245 @@
+"""Resolver: the tiered memory → single-flight → disk → compute path."""
+
+import asyncio
+
+import pytest
+
+from repro.runtime import Resolver, RuntimeConfig
+
+
+class FakeJob:
+    """The resolver only needs ``cache_key()`` from a job."""
+
+    def __init__(self, key: str):
+        self._key = key
+
+    def cache_key(self) -> str:
+        return self._key
+
+
+def make_resolver(tmp_path, recorder=None, **kwargs):
+    calls = []
+
+    def compute(job):
+        calls.append(job.cache_key())
+        return {"key": job.cache_key(), "value": len(calls)}
+
+    kwargs.setdefault("compute", compute)
+    kwargs.setdefault("cache_dir", str(tmp_path / "cache"))
+    kwargs.setdefault("events_cache", None)
+    resolver = Resolver(
+        RuntimeConfig.load(),
+        observer=recorder.append2 if recorder is not None else None,
+        **kwargs,
+    )
+    resolver.compute_calls = calls
+    return resolver
+
+
+class Recorder:
+    def __init__(self):
+        self.events = []
+
+    def append2(self, event, **fields):
+        self.events.append((event, fields))
+
+    def names(self):
+        return [event for event, _ in self.events]
+
+
+class TestSyncTiers:
+    def test_miss_then_compute_then_memory_hit(self, tmp_path):
+        resolver = make_resolver(tmp_path)
+        job = FakeJob("k1" * 32)
+
+        first = resolver.resolve(job)
+        assert first.source == "computed"
+        assert resolver.compute_calls == [job.cache_key()]
+
+        second = resolver.resolve(job)
+        assert second.source == "memory"
+        assert second.payload is first.payload
+        assert resolver.compute_calls == [job.cache_key()]  # no recompute
+        assert resolver.stats.computed == 1
+        assert resolver.stats.memory_hits == 1
+        assert resolver.stats.misses == 1
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        make_resolver(tmp_path).resolve(FakeJob("k2" * 32))
+
+        fresh = make_resolver(tmp_path)  # same directory, cold memory
+        job = FakeJob("k2" * 32)
+        assert fresh.resolve(job).source == "disk"
+        assert fresh.resolve(job).source == "memory"  # promoted
+        assert fresh.compute_calls == []
+
+    def test_foreign_disk_payload_is_rejected(self, tmp_path):
+        resolver = make_resolver(tmp_path)
+        job = FakeJob("k3" * 32)
+        resolver.disk.put(job.cache_key(), {"key": "somebody-else", "value": 1})
+
+        resolution = resolver.resolve(job)
+        assert resolution.source == "computed"
+        assert resolver.stats.disk_hits == 0
+
+    def test_invalidate_drops_both_tiers(self, tmp_path):
+        resolver = make_resolver(tmp_path)
+        job = FakeJob("k4" * 32)
+        resolver.resolve(job)
+
+        resolver.invalidate(job.cache_key())
+        assert resolver.stats.invalidations == 1
+        assert resolver.lookup(job) is None
+        assert resolver.resolve(job).source == "computed"
+        assert len(resolver.compute_calls) == 2
+
+    def test_memory_tier_can_be_disabled(self, tmp_path):
+        resolver = make_resolver(tmp_path, memory_entries=0)
+        job = FakeJob("k5" * 32)
+        resolver.resolve(job)
+        assert resolver.resolve(job).source == "disk"  # never memory
+        assert resolver.stats.memory_hits == 0
+
+    def test_disk_tier_can_be_disabled(self, tmp_path):
+        resolver = make_resolver(tmp_path, cache_dir=None)
+        assert resolver.disk is None
+        job = FakeJob("k6" * 32)
+        resolver.resolve(job)
+        assert resolver.resolve(job).source == "memory"
+
+    def test_disk_write_failure_degrades_to_memory(self, tmp_path, monkeypatch):
+        resolver = make_resolver(tmp_path)
+
+        def refuse(key, payload):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(resolver.disk, "put", refuse)
+        job = FakeJob("k7" * 32)
+        assert resolver.resolve(job).source == "computed"  # no exception
+        assert resolver.resolve(job).source == "memory"
+        assert resolver.stats.stores == 0
+
+    def test_observer_sees_the_event_stream(self, tmp_path):
+        recorder = Recorder()
+        resolver = make_resolver(tmp_path, recorder=recorder)
+        job = FakeJob("k8" * 32)
+        resolver.resolve(job)
+        resolver.resolve(job)
+        assert recorder.names() == ["miss", "computed", "hit"]
+        assert recorder.events[2][1] == {"layer": "memory"}
+        assert recorder.events[1][1]["seconds"] >= 0.0
+
+    def test_hit_ratio(self, tmp_path):
+        resolver = make_resolver(tmp_path)
+        job = FakeJob("k9" * 32)
+        resolver.resolve(job)
+        resolver.resolve(job)
+        resolver.resolve(job)
+        assert resolver.stats.hit_ratio() == pytest.approx(2 / 3)
+
+
+class TestAsyncPath:
+    def test_computed_then_memory(self, tmp_path):
+        async def scenario():
+            resolver = make_resolver(tmp_path)
+            job = FakeJob("a1" * 32)
+            first = await resolver.resolve_async(job)
+            second = await resolver.resolve_async(job)
+            await resolver.shutdown()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert (first.source, second.source) == ("computed", "memory")
+
+    def test_concurrent_same_key_coalesces(self, tmp_path):
+        import threading
+
+        release = threading.Event()
+
+        def slow_compute(job):
+            release.wait(timeout=5)
+            return {"key": job.cache_key(), "value": 1}
+
+        async def scenario():
+            resolver = make_resolver(tmp_path, compute=slow_compute)
+            job = FakeJob("a2" * 32)
+            tasks = [
+                asyncio.create_task(resolver.resolve_async(job)) for _ in range(3)
+            ]
+            while resolver.inflight() == 0:
+                await asyncio.sleep(0.005)
+            release.set()
+            resolutions = await asyncio.gather(*tasks)
+            await resolver.shutdown()
+            return resolver, resolutions
+
+        resolver, resolutions = asyncio.run(scenario())
+        sources = sorted(r.source for r in resolutions)
+        assert sources == ["coalesced", "coalesced", "computed"]
+        assert resolver.stats.computed == 1
+        assert resolver.stats.coalesced == 2
+        payloads = {id(r.payload) for r in resolutions}
+        assert len(payloads) == 1  # everyone shares the leader's payload
+
+    def test_disk_hit_skips_compute(self, tmp_path):
+        make_resolver(tmp_path).resolve(FakeJob("a3" * 32))
+
+        async def scenario():
+            resolver = make_resolver(tmp_path)
+            resolution = await resolver.resolve_async(FakeJob("a3" * 32))
+            await resolver.shutdown()
+            return resolver, resolution
+
+        resolver, resolution = asyncio.run(scenario())
+        assert resolution.source == "disk"
+        assert resolver.compute_calls == []
+
+    def test_admission_rejection_propagates(self, tmp_path):
+        class Closed:
+            def admit(self):
+                raise RuntimeError("overloaded")
+
+            def release(self):
+                raise AssertionError("release without admit")
+
+            def enqueue(self):
+                pass
+
+            def dequeue(self):
+                pass
+
+        async def scenario():
+            resolver = make_resolver(tmp_path)
+            try:
+                with pytest.raises(RuntimeError, match="overloaded"):
+                    await resolver.resolve_async(FakeJob("a4" * 32), admission=Closed())
+            finally:
+                await resolver.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_admission_brackets_the_compute(self, tmp_path):
+        calls = []
+
+        class Counting:
+            def admit(self):
+                calls.append("admit")
+
+            def release(self):
+                calls.append("release")
+
+            def enqueue(self):
+                calls.append("enqueue")
+
+            def dequeue(self):
+                calls.append("dequeue")
+
+        async def scenario():
+            resolver = make_resolver(tmp_path)
+            await resolver.resolve_async(FakeJob("a5" * 32), admission=Counting())
+            # A memory hit must bypass admission entirely.
+            await resolver.resolve_async(FakeJob("a5" * 32), admission=Counting())
+            await resolver.shutdown()
+
+        asyncio.run(scenario())
+        assert calls == ["admit", "enqueue", "dequeue", "release"]

@@ -1,9 +1,11 @@
-"""Tests of the shared ServiceConfig (defaults, env, CLI precedence)."""
+"""Serving configuration: RuntimeConfig precedence plus the deprecation shim."""
 
 import argparse
+import warnings
 
 import pytest
 
+from repro.runtime import RuntimeConfig
 from repro.service.config import (
     ServiceConfig,
     add_service_arguments,
@@ -19,27 +21,27 @@ def _parse(argv):
 
 class TestDefaults:
     def test_backend_defaults_to_fast(self):
-        assert ServiceConfig().backend == "fast"
+        assert RuntimeConfig().backend == "fast"
 
     def test_cache_dir_follows_engine_convention(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "engine"))
-        assert ServiceConfig().cache_dir == str(tmp_path / "engine")
+        assert RuntimeConfig().cache_dir == str(tmp_path / "engine")
 
     def test_admission_limit(self):
-        config = ServiceConfig(concurrency=3, queue_limit=5)
+        config = RuntimeConfig(concurrency=3, queue_limit=5)
         assert config.admission_limit == 8
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            ServiceConfig(backend="warp")
+            RuntimeConfig(backend="warp")
         with pytest.raises(ValueError):
-            ServiceConfig(executor="fiber")
+            RuntimeConfig(executor="fiber")
         with pytest.raises(ValueError):
-            ServiceConfig(workers=0)
+            RuntimeConfig(workers=0)
         with pytest.raises(ValueError):
-            ServiceConfig(queue_limit=-1)
+            RuntimeConfig(queue_limit=-1)
         with pytest.raises(ValueError):
-            ServiceConfig(drain_timeout=-0.1)
+            RuntimeConfig(drain_timeout=-0.1)
 
 
 class TestEnvOverrides:
@@ -48,23 +50,19 @@ class TestEnvOverrides:
         monkeypatch.setenv("REPRO_SERVICE_BACKEND", "reference")
         monkeypatch.setenv("REPRO_SERVICE_CONCURRENCY", "2")
         monkeypatch.setenv("REPRO_SERVICE_DRAIN_TIMEOUT", "2.5")
-        config = ServiceConfig.from_env()
+        config = RuntimeConfig.from_env()
         assert config.port == 9999
         assert config.backend == "reference"
         assert config.concurrency == 2
         assert config.drain_timeout == 2.5
 
-    def test_empty_cache_dir_disables_disk_layer(self, monkeypatch):
-        monkeypatch.setenv("REPRO_SERVICE_CACHE_DIR", "")
-        assert ServiceConfig.from_env().cache_dir is None
-
     def test_explicit_overrides_beat_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_SERVICE_PORT", "9999")
-        assert ServiceConfig.from_env(port=1234).port == 1234
+        assert RuntimeConfig.from_env(port=1234).port == 1234
 
     def test_none_overrides_are_ignored(self, monkeypatch):
         monkeypatch.setenv("REPRO_SERVICE_PORT", "9999")
-        assert ServiceConfig.from_env(port=None).port == 9999
+        assert RuntimeConfig.from_env(port=None).port == 9999
 
 
 class TestCliPrecedence:
@@ -77,18 +75,63 @@ class TestCliPrecedence:
 
     def test_unset_flags_fall_through_to_defaults(self):
         config = config_from_args(_parse([]))
-        defaults = ServiceConfig()
+        defaults = RuntimeConfig()
         assert config.backend == defaults.backend
         assert config.concurrency == defaults.concurrency
 
     def test_no_disk_cache_flag(self):
         config = config_from_args(_parse(["--no-disk-cache"]))
         assert config.cache_dir is None
+        assert config.provenance["cache_dir"] == "flag:--no-disk-cache"
+
+    def test_config_file_layers_between_env_and_flags(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SERVICE_PORT", "9999")
+        monkeypatch.setenv("REPRO_SERVICE_CONCURRENCY", "2")
+        cfg = tmp_path / "repro.json"
+        cfg.write_text('{"port": 8888, "workers": 7}', encoding="utf-8")
+        config = config_from_args(_parse(["--config", str(cfg), "--port", "7777"]))
+        assert config.port == 7777        # flag beats file beats env
+        assert config.workers == 7        # file beats default
+        assert config.concurrency == 2    # env beats default
+        assert config.provenance["port"] == "flag:--port"
+        assert config.provenance["workers"] == f"file:{cfg}"
+        assert config.provenance["concurrency"] == "env:REPRO_SERVICE_CONCURRENCY"
 
     def test_loadgen_shares_the_config(self, monkeypatch):
         # The load generator resolves its target from the same config
         # (the satellite requirement: no scattered argparse defaults).
         monkeypatch.setenv("REPRO_SERVICE_HOST", "10.1.2.3")
         monkeypatch.setenv("REPRO_SERVICE_PORT", "4321")
-        config = ServiceConfig.from_env()
+        config = RuntimeConfig.from_env()
         assert (config.host, config.port) == ("10.1.2.3", 4321)
+
+
+class TestDeprecationShims:
+    def test_service_config_construction_warns(self):
+        with pytest.warns(DeprecationWarning, match="ServiceConfig is deprecated"):
+            config = ServiceConfig(port=1234)
+        assert isinstance(config, RuntimeConfig)
+        assert config.port == 1234
+
+    def test_service_config_from_env_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_PORT", "9999")
+        with pytest.warns(DeprecationWarning, match="ServiceConfig is deprecated"):
+            assert ServiceConfig.from_env().port == 9999
+
+    def test_old_cache_dir_env_var_warns_and_applies(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SERVICE_CACHE_DIR", str(tmp_path / "old"))
+        with pytest.warns(DeprecationWarning, match="REPRO_SERVICE_CACHE_DIR"):
+            config = RuntimeConfig.from_env()
+        assert config.cache_dir == str(tmp_path / "old")
+        assert config.provenance["cache_dir"] == "env:REPRO_SERVICE_CACHE_DIR"
+
+    def test_empty_old_cache_dir_still_disables_disk_layer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_CACHE_DIR", "")
+        with pytest.warns(DeprecationWarning, match="REPRO_SERVICE_CACHE_DIR"):
+            assert RuntimeConfig.from_env().cache_dir is None
+
+    def test_runtime_config_does_not_warn(self, recwarn):
+        warnings.simplefilter("error", DeprecationWarning)
+        RuntimeConfig(port=1234)
+        RuntimeConfig.from_env()
+        assert not [w for w in recwarn if w.category is DeprecationWarning]

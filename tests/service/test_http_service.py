@@ -10,13 +10,14 @@ import contextlib
 import threading
 
 from repro.engine.worker import execute_job
-from repro.service import ServiceConfig, ServiceServer, ServiceState
+from repro.runtime import RuntimeConfig
+from repro.service import ServiceServer, ServiceState
 from repro.service.loadgen import HttpClient
 
 LENGTH = 1200
 
 
-def make_config(tmp_path, **overrides) -> ServiceConfig:
+def make_config(tmp_path, **overrides) -> RuntimeConfig:
     settings = dict(
         host="127.0.0.1",
         port=0,
@@ -30,7 +31,7 @@ def make_config(tmp_path, **overrides) -> ServiceConfig:
         drain_timeout=5.0,
     )
     settings.update(overrides)
-    return ServiceConfig(**settings)
+    return RuntimeConfig(**settings)
 
 
 @contextlib.asynccontextmanager

@@ -244,6 +244,33 @@ class TestCacheCommand:
         assert str(tmp_path / "env-cache") in capsys.readouterr().out
 
 
+class TestConfigShow:
+    def test_table_lists_every_field_with_provenance(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert main(["config", "show"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs" in out and "[env:REPRO_JOBS]" in out
+        assert "backend" in out and "[default]" in out
+        import dataclasses
+
+        from repro.runtime import RuntimeConfig
+
+        for field in dataclasses.fields(RuntimeConfig):
+            assert field.name in out
+
+    def test_json_output_carries_value_and_source(self, capsys, monkeypatch, tmp_path):
+        cfg = tmp_path / "repro.json"
+        cfg.write_text(json.dumps({"port": 9999}), encoding="utf-8")
+        assert main(["config", "show", "--config", str(cfg), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["port"] == {"value": 9999, "source": f"file:{cfg}"}
+        assert doc["host"]["source"] == "default"
+
+    def test_config_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["config"])
+
+
 class TestServeParser:
     def test_serve_flags_parse(self):
         args = build_parser().parse_args(

@@ -1,0 +1,52 @@
+"""The CI env-isolation gate: os.environ reads stay inside repro.runtime."""
+
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+GATE = REPO_ROOT / "tools" / "check_env_isolation.py"
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+from check_env_isolation import findings  # noqa: E402
+
+
+def test_the_tree_is_clean():
+    assert findings(REPO_ROOT) == []
+
+
+def test_an_offending_module_is_reported(tmp_path):
+    package = tmp_path / "src" / "repro" / "somewhere"
+    package.mkdir(parents=True)
+    (package / "mod.py").write_text(
+        'import os\nHOME = os.environ["HOME"]\n', encoding="utf-8"
+    )
+    runtime = tmp_path / "src" / "repro" / "runtime"
+    runtime.mkdir()
+    (runtime / "config.py").write_text(
+        "import os\nALLOWED = os.getenv('PATH')\n", encoding="utf-8"
+    )
+
+    offending = findings(tmp_path)
+    assert len(offending) == 1  # runtime/ is exempt; 'import os' alone is fine
+    assert offending[0].startswith("src/repro/somewhere/mod.py:2:")
+    assert "os.environ" in offending[0]
+
+
+def test_cli_exit_codes(tmp_path):
+    clean = subprocess.run(
+        [sys.executable, str(GATE), "--root", str(REPO_ROOT)],
+        capture_output=True, text=True,
+    )
+    assert clean.returncode == 0, clean.stderr
+    assert "env isolation OK" in clean.stdout
+
+    package = tmp_path / "src" / "repro"
+    package.mkdir(parents=True)
+    (package / "bad.py").write_text("import os\nX = os.getenv('X')\n", encoding="utf-8")
+    dirty = subprocess.run(
+        [sys.executable, str(GATE), "--root", str(tmp_path)],
+        capture_output=True, text=True,
+    )
+    assert dirty.returncode == 1
+    assert "bad.py:2" in dirty.stderr

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.report",
     "repro.experiments",
+    "repro.runtime",
 ]
 
 

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""CI gate: ``os.environ``/``os.getenv`` may only appear in repro.runtime.
+
+The whole point of :mod:`repro.runtime` is that the process environment
+is read in exactly one place, layered into
+:class:`~repro.runtime.config.RuntimeConfig`, and everything else asks
+the config.  This check keeps that true: it fails when any module under
+``src/repro`` outside ``src/repro/runtime/`` mentions ``os.environ`` or
+``os.getenv`` — even in a comment or docstring, which would advertise an
+environment contract the module no longer honours.
+
+Usage::
+
+    python tools/check_env_isolation.py [--root DIR]
+
+Exit status 0 when clean, 1 with one ``path:line: text`` finding per
+offending line otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+PATTERN = re.compile(r"\bos\.(environ|getenv)\b")
+ALLOWED_PREFIX = pathlib.PurePosixPath("src/repro/runtime")
+
+
+def findings(root: pathlib.Path) -> "list[str]":
+    out = []
+    for path in sorted((root / "src" / "repro").rglob("*.py")):
+        relative = path.relative_to(root)
+        if pathlib.PurePosixPath(relative.as_posix()).is_relative_to(ALLOWED_PREFIX):
+            continue
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if PATTERN.search(line):
+                out.append(f"{relative.as_posix()}:{number}: {line.strip()}")
+    return out
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=pathlib.Path(__file__).resolve().parent.parent,
+        type=pathlib.Path, help="repository root (default: this checkout)",
+    )
+    args = parser.parse_args(argv)
+    offending = findings(args.root)
+    if offending:
+        print(
+            "environment reads outside src/repro/runtime/ "
+            "(route them through repro.runtime.RuntimeConfig):",
+            file=sys.stderr,
+        )
+        for line in offending:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"env isolation OK ({ALLOWED_PREFIX} is the only os.environ reader)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
