@@ -12,6 +12,22 @@ def test_headline_claims(benchmark, record_table):
     data = run_once(
         benchmark, lambda: headline.run(specs=small_suite(3), trace_length=8000)
     )
-    record_table("headline", headline.format_table(data))
     held = sum(row.holds for row in data.rows)
+    record_table(
+        "headline",
+        headline.format_table(data),
+        data={
+            "claims": [
+                {
+                    "claim": row.claim,
+                    "paper_value": row.paper_value,
+                    "measured": row.measured,
+                    "holds": row.holds,
+                }
+                for row in data.rows
+            ],
+            "held": held,
+            "total": len(data.rows),
+        },
+    )
     assert held >= 6, headline.format_table(data)

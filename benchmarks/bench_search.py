@@ -1,0 +1,250 @@
+"""Search-subsystem benchmark: optimizer agreement + zero-recompute resume.
+
+Runs the same design-space search (machine widths × latch overhead over a
+small workload mix) through all three optimizers against one shared
+result cache and measures what the subsystem promises:
+
+1. **Agreement** — beam search and multi-start hill climbing find the
+   same optimum as the exhaustive grid (the reference strategy).
+2. **Reuse** — because every probe resolves through the engine's
+   content-addressed cache, the beam and multi-start searches after the
+   grid pass compute *zero* simulations, and a warm re-run of the grid
+   search itself replays entirely from its checkpoint.
+3. **Throughput** — cold vs warm probes/sec and the engine hit ratio
+   quantify the cost of a probe and the win of the cache tiers.
+
+Two entry points, mirroring ``bench_fastsim.py``:
+
+* ``pytest benchmarks/bench_search.py --benchmark-only`` — the recorded
+  run; asserts agreement and zero recompute and writes
+  ``benchmarks/results/search.txt`` + ``search.json``.
+* ``python benchmarks/bench_search.py [--quick]`` — standalone/CI smoke
+  (``search_ci.txt`` + ``search_ci.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.engine.scheduler import EngineConfig, ExecutionEngine
+from repro.search import (
+    BeamSearch,
+    GridSearch,
+    MultiStartSearch,
+    Objective,
+    SearchOutcome,
+    SearchSpace,
+    SearchStore,
+    run_search,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SPACE = SearchSpace.of(
+    {"issue_width": "2:6:2", "t_o": "1.5:3.5:0.5", "predictor_kind": "gshare,bimodal"}
+)
+WORKLOADS = ("gzip", "swim")
+DEPTHS = (4, 6, 8, 10, 12)
+TRACE_LENGTH = 4000
+SEED = 0
+
+QUICK_SPACE = SearchSpace.of({"issue_width": "2:4:2", "t_o": "2.0:3.0:0.5"})
+QUICK_WORKLOADS = ("gzip",)
+QUICK_DEPTHS = (4, 6, 8)
+QUICK_TRACE_LENGTH = 1000
+
+
+@dataclass(frozen=True)
+class SearchBench:
+    """One full benchmark run: grid cold, grid warm, beam, multistart."""
+
+    space_size: int
+    grid_cold: SearchOutcome
+    grid_warm: SearchOutcome
+    beam: SearchOutcome
+    multistart: SearchOutcome
+
+    @property
+    def cold_probes_per_second(self) -> float:
+        return self.grid_cold.new_probes / max(self.grid_cold.duration, 1e-9)
+
+    @property
+    def warm_probes_per_second(self) -> float:
+        return self.grid_warm.probes / max(self.grid_warm.duration, 1e-9)
+
+    @property
+    def reuse_hit_ratio(self) -> float:
+        """Engine cache hits per job over the post-grid searches."""
+        jobs = self.beam.computed + self.beam.cache_hits
+        jobs += self.multistart.computed + self.multistart.cache_hits
+        hits = self.beam.cache_hits + self.multistart.cache_hits
+        return hits / jobs if jobs else 1.0
+
+    def as_json(self) -> dict:
+        return {
+            "space_size": self.space_size,
+            "cold_probes_per_second": self.cold_probes_per_second,
+            "warm_probes_per_second": self.warm_probes_per_second,
+            "reuse_hit_ratio": self.reuse_hit_ratio,
+            "outcomes": {
+                "grid_cold": self.grid_cold.to_doc(),
+                "grid_warm": self.grid_warm.to_doc(),
+                "beam": self.beam.to_doc(),
+                "multistart": self.multistart.to_doc(),
+            },
+        }
+
+
+def measure(
+    space: SearchSpace = SPACE,
+    workloads: Sequence[str] = WORKLOADS,
+    depths: Sequence[int] = DEPTHS,
+    trace_length: int = TRACE_LENGTH,
+) -> SearchBench:
+    objective = Objective(
+        workloads=tuple(workloads),
+        depths=tuple(depths),
+        trace_length=trace_length,
+        backend="fast",
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-search-") as scratch:
+        root = pathlib.Path(scratch)
+        store = SearchStore(root / "state")
+
+        def run(optimizer, resume=True):
+            # A fresh engine per run keeps computed/hit counters per-run.
+            engine = ExecutionEngine(
+                EngineConfig(workers=1, cache_dir=root / "cache")
+            )
+            return run_search(
+                space, objective, optimizer,
+                seed=SEED, budget=0, engine=engine, store=store, resume=resume,
+            )
+
+        grid_cold = run(GridSearch())
+        grid_warm = run(GridSearch(), resume=False)  # replays via the disk cache
+        beam = run(BeamSearch())
+        multistart = run(MultiStartSearch())
+        return SearchBench(
+            space_size=space.size(),
+            grid_cold=grid_cold,
+            grid_warm=grid_warm,
+            beam=beam,
+            multistart=multistart,
+        )
+
+
+def format_result(bench: SearchBench) -> str:
+    best = ", ".join(
+        f"{k}={v}" for k, v in sorted((bench.grid_cold.best_point or {}).items())
+    )
+    return "\n".join(
+        [
+            f"Search benchmark — {bench.space_size}-point space, seed {SEED}",
+            f"  grid cold   : {bench.grid_cold.new_probes} probes, "
+            f"{bench.grid_cold.computed} computed, "
+            f"{bench.cold_probes_per_second:7.2f} probes/s",
+            f"  grid warm   : {bench.grid_warm.probes} probes, "
+            f"{bench.grid_warm.computed} computed, "
+            f"{bench.warm_probes_per_second:7.2f} probes/s",
+            f"  beam        : {bench.beam.probes} probes, "
+            f"{bench.beam.computed} computed, "
+            f"{bench.beam.cache_hits} cache hits",
+            f"  multistart  : {bench.multistart.probes} probes, "
+            f"{bench.multistart.computed} computed, "
+            f"{bench.multistart.cache_hits} cache hits",
+            f"  reuse ratio : {bench.reuse_hit_ratio:.1%} engine hits "
+            "after the grid pass",
+            f"  optimum     : {best} "
+            f"(score {bench.grid_cold.best_score:.6g}, "
+            f"depth {bench.grid_cold.best_depth})",
+        ]
+    )
+
+
+def _check(bench: SearchBench) -> "list[str]":
+    failures = []
+    for name in ("beam", "multistart"):
+        outcome = getattr(bench, name)
+        if outcome.best_point != bench.grid_cold.best_point:
+            failures.append(
+                f"{name} optimum {outcome.best_point} != grid "
+                f"{bench.grid_cold.best_point}"
+            )
+        if outcome.computed != 0:
+            failures.append(
+                f"{name} computed {outcome.computed} jobs after the grid "
+                "warmed the cache (expected 0)"
+            )
+    if bench.grid_warm.computed != 0:
+        failures.append(
+            f"warm grid computed {bench.grid_warm.computed} jobs (expected 0)"
+        )
+    if bench.reuse_hit_ratio < 1.0:
+        failures.append(f"reuse hit ratio {bench.reuse_hit_ratio:.1%} < 100%")
+    return failures
+
+
+def test_search_reuse(benchmark, record_table):
+    """Recorded run: optimizers agree; post-grid searches compute nothing."""
+    from conftest import run_once
+
+    bench = run_once(benchmark, measure)
+    table = format_result(bench)
+    record_table("search", table, data=bench.as_json())
+    failures = _check(bench)
+    assert not failures, f"{failures}\n{table}"
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    from conftest import write_json_record
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: smaller space, one workload, shorter traces",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        bench = measure(
+            space=QUICK_SPACE,
+            workloads=QUICK_WORKLOADS,
+            depths=QUICK_DEPTHS,
+            trace_length=QUICK_TRACE_LENGTH,
+        )
+        name = "search_ci"
+    else:
+        bench = measure()
+        name = "search"
+
+    table = format_result(bench)
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+    with (RESULTS_DIR / f"{name}.txt").open("a", encoding="utf-8") as handle:
+        handle.write(f"[{stamp}]\n{table}\n")
+    write_json_record(name, table, data=bench.as_json())
+
+    failures = _check(bench)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(
+        f"PASS: optimizers agree on {bench.grid_cold.best_point}, "
+        f"warm run computed 0 jobs "
+        f"({bench.cold_probes_per_second:.2f} cold / "
+        f"{bench.warm_probes_per_second:.2f} warm probes/s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -151,6 +151,34 @@ def format_result(bench: ServiceBench) -> str:
     )
 
 
+def bench_data(bench: ServiceBench) -> dict:
+    """The machine-readable form of one run (the JSON sidecar's ``data``)."""
+    zipf = bench.zipf
+    return {
+        "herd": {
+            "clients": HERD_CLIENTS,
+            "computed": bench.herd_computed,
+            "coalesced": bench.herd_coalesced,
+        },
+        "zipf": {
+            "clients": zipf.clients,
+            "requests": zipf.requests,
+            "completed": zipf.completed,
+            "rejected": zipf.rejected,
+            "errors": zipf.errors,
+            "wall_seconds": zipf.wall_seconds,
+            "throughput_rps": zipf.throughput,
+            "p50_ms": zipf.p50 * 1e3,
+            "p99_ms": zipf.p99 * 1e3,
+            "hit_ratio": zipf.hit_ratio,
+            "sources": dict(sorted(zipf.sources.items())),
+            "statuses": {str(k): v for k, v in sorted(zipf.statuses.items())},
+        },
+        "server_hit_ratio": bench.server_hit_ratio,
+        "lru_evictions": bench.lru_evictions,
+    }
+
+
 def _check(bench: ServiceBench, hit_floor: float) -> "list[str]":
     failures = []
     if bench.herd_computed != 1:
@@ -177,7 +205,7 @@ def test_service_throughput(benchmark, record_table):
 
     bench = run_once(benchmark, measure)
     table = format_result(bench)
-    record_table("service", table)
+    record_table("service", table, data=bench_data(bench))
     failures = _check(bench, HIT_RATIO_FLOOR)
     assert not failures, f"{failures}\n{table}"
 
@@ -200,10 +228,14 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     table = format_result(bench)
     print(table)
     RESULTS_DIR.mkdir(exist_ok=True)
-    record = RESULTS_DIR / ("service_ci.txt" if args.quick else "service.txt")
+    name = "service_ci" if args.quick else "service"
+    record = RESULTS_DIR / f"{name}.txt"
     stamp = time.strftime("%Y-%m-%d %H:%M:%S")
     with record.open("a", encoding="utf-8") as handle:
         handle.write(f"[{stamp}]\n{table}\n")
+    from conftest import write_json_record
+
+    write_json_record(name, table, data=bench_data(bench))
 
     failures = _check(bench, HIT_RATIO_FLOOR)
     for failure in failures:

@@ -15,9 +15,12 @@ Commands:
 * ``batch``     — execute a JSON manifest of depth sweeps via the engine.
 * ``serve``     — the long-lived asyncio HTTP daemon (request coalescing,
   in-memory LRU over the disk cache, backpressure; see docs/SERVICE.md).
+* ``search``    — design-space autotuning: find the machine/metric
+  parameters maximising BIPS^m/W with grid, beam or multi-start search;
+  resumable content-addressed checkpoints (see docs/SEARCH.md).
 * ``cache``     — inspect (``stats``) or empty (``clear``) the on-disk
-  caches: the engine/daemon result cache and the shared trace-analysis
-  cache.
+  caches: the engine/daemon result cache, the shared trace-analysis
+  cache and the search-checkpoint store.
 * ``config``    — ``config show`` prints the effective
   :class:`repro.runtime.RuntimeConfig` with per-field provenance
   (default / env / file / flag).
@@ -164,15 +167,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_service_arguments(serve)
 
+    search = sub.add_parser(
+        "search",
+        help="autotune machine/metric parameters for peak BIPS^m/W "
+        "(resumable; see docs/SEARCH.md)",
+    )
+    from .experiments.runner import add_search_arguments
+
+    add_search_arguments(search)
+    search.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable outcome (probes, counters, best point)",
+    )
+
     cache = sub.add_parser(
-        "cache", help="inspect or empty the on-disk result and analysis caches"
+        "cache",
+        help="inspect or empty the on-disk caches (results, analysis, "
+        "search state)",
     )
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     cache_stats = cache_sub.add_parser(
-        "stats", help="entry count and on-disk size of both caches"
+        "stats", help="entry count and on-disk size of every cache family"
     )
     cache_clear = cache_sub.add_parser(
-        "clear", help="remove every entry from both caches"
+        "clear", help="remove every entry from every cache family"
     )
     for cache_cmd in (cache_stats, cache_clear):
         cache_cmd.add_argument(
@@ -185,6 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="trace-analysis cache directory (default: "
             "$REPRO_ANALYSIS_CACHE_DIR, $REPRO_CACHE_DIR/analysis or "
             "~/.cache/repro/analysis)",
+        )
+        cache_cmd.add_argument(
+            "--search-dir", type=str, default=None, metavar="DIR",
+            help="search-checkpoint directory (default: "
+            "$REPRO_SEARCH_STATE_DIR, $REPRO_CACHE_DIR/search or "
+            "~/.cache/repro/search)",
         )
 
     config_cmd = sub.add_parser(
@@ -383,13 +407,49 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_search(args) -> int:
+    import json
+
+    from .experiments.runner import search_from_args
+    from .search import ObjectiveError, OptimizerError, SpaceError
+
+    try:
+        outcome = search_from_args(args)
+    except (SpaceError, ObjectiveError, OptimizerError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(outcome.to_doc(), sort_keys=True))
+        return 0
+    state = (
+        "complete" if outcome.completed
+        else "budget exhausted (resume to continue)" if outcome.budget_exhausted
+        else "paused"
+    )
+    print(f"search {outcome.search_id[:16]}: {state}")
+    print(f"  space      : {outcome.space_size} points, "
+          f"{outcome.probes} probed ({outcome.new_probes} new this run)")
+    print(f"  engine     : {outcome.computed} computed, "
+          f"{outcome.cache_hits} cache hits, {outcome.replayed} replayed")
+    if outcome.best_point is not None:
+        point = ", ".join(f"{k}={v}" for k, v in sorted(outcome.best_point.items()))
+        print(f"  best point : {point}")
+        print(f"  best score : {outcome.best_score:.6g} "
+              f"(optimum depth {outcome.best_depth})")
+    print(f"  checkpoint : {outcome.checkpoint_path}")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from .engine.cache import ResultCache, default_cache_dir
     from .pipeline.events_cache import TraceEventsCache, default_events_cache_dir
+    from .runtime import default_search_state_dir
+    from .search import SearchStore
 
     caches = (
         ("result", ResultCache(args.cache_dir or default_cache_dir())),
         ("analysis", TraceEventsCache(args.analysis_dir or default_events_cache_dir())),
+        ("search", SearchStore(args.search_dir or default_search_state_dir())),
     )
     if args.cache_command == "stats":
         for label, cache in caches:
@@ -475,6 +535,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "batch": _cmd_batch,
     "serve": _cmd_serve,
+    "search": _cmd_search,
     "cache": _cmd_cache,
     "config": _cmd_config,
 }

@@ -42,7 +42,14 @@ from . import (
     headline,
 )
 
-__all__ = ["run_all", "engine_from_args", "add_engine_arguments", "main"]
+__all__ = [
+    "run_all",
+    "engine_from_args",
+    "add_engine_arguments",
+    "add_search_arguments",
+    "search_from_args",
+    "main",
+]
 
 
 def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -102,6 +109,131 @@ def engine_from_args(args: argparse.Namespace) -> ExecutionEngine:
         progress=getattr(args, "progress", False),
     )
     return ExecutionEngine(config)
+
+
+def add_search_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the ``repro search`` flags (search definition + engine)."""
+    from ..search import OPTIMIZERS
+
+    parser.add_argument(
+        "--workload", action="append", required=True, metavar="NAME",
+        help="suite workload the objective averages over; repeatable",
+    )
+    parser.add_argument(
+        "--param", action="append", required=True, metavar="NAME=SPEC",
+        help="search dimension, e.g. issue_width=2:8:2, t_o=1.5:3.5/5, "
+        "predictor_kind=gshare,bimodal; repeatable",
+    )
+    parser.add_argument(
+        "--optimizer", choices=sorted(OPTIMIZERS), default="grid",
+        help="search strategy (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--beam-width", type=int, default=None, metavar="K",
+        help="beam survivors per round (beam optimizer only)",
+    )
+    parser.add_argument(
+        "--starts", type=int, default=None, metavar="N",
+        help="hill-climb restarts (multistart optimizer only)",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="fresh probes this run may score; 0 = unlimited "
+        "(default: $REPRO_SEARCH_BUDGET or 512)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="optimizer seed — part of the search's identity "
+        "(default: $REPRO_SEARCH_SEED or 0)",
+    )
+    parser.add_argument("--length", type=int, default=8000, help="trace length")
+    parser.add_argument(
+        "--depths", type=str, default=None, metavar="D1,D2,...",
+        help="candidate pipeline depths (default: the paper's 2..25)",
+    )
+    parser.add_argument("-m", "--metric", type=float, default=3.0,
+                        help="metric exponent m in BIPS^m/W")
+    parser.add_argument("--ungated", action="store_true",
+                        help="score un-gated power")
+    parser.add_argument(
+        "--fresh", action="store_true",
+        help="ignore any existing checkpoint and start the search over",
+    )
+    parser.add_argument(
+        "--state-dir", type=str, default=None, metavar="DIR",
+        help="search-checkpoint directory (default: $REPRO_SEARCH_STATE_DIR, "
+        "$REPRO_CACHE_DIR/search or ~/.cache/repro/search)",
+    )
+    add_engine_arguments(parser)
+
+
+def search_from_args(args: argparse.Namespace):
+    """Run (or resume) the search described by CLI flags.
+
+    The experiments-layer hook behind ``repro search``: a figure can be
+    defined as "the optimum found by this search" by building the same
+    namespace programmatically.  Returns a
+    :class:`~repro.search.SearchOutcome`.
+    """
+    from ..search import Objective, SearchSpace, optimizer_from_doc, run_search
+    from ..analysis.sweep import DEFAULT_DEPTHS
+
+    engine = engine_from_args(args)  # installs the flag-layered RuntimeConfig
+    config = current_config()
+    if args.state_dir:
+        config = config.with_values(search_state_dir=args.state_dir)
+        set_config(config, export=False)
+
+    domains = {}
+    for raw in args.param:
+        name, sep, spec = raw.partition("=")
+        if not sep or not name:
+            raise ValueError(f"--param needs NAME=SPEC, got {raw!r}")
+        domains[name] = spec
+    space = SearchSpace.of(domains)
+
+    depths = (
+        DEFAULT_DEPTHS
+        if args.depths is None
+        else tuple(int(d) for d in args.depths.split(","))
+    )
+    objective = Objective(
+        workloads=tuple(args.workload),
+        depths=depths,
+        trace_length=args.length,
+        backend=args.backend,
+        m=args.metric,
+        gated=not args.ungated,
+    )
+
+    optimizer_doc = {"kind": args.optimizer}
+    if args.beam_width is not None:
+        optimizer_doc["beam_width"] = args.beam_width
+    if args.starts is not None:
+        optimizer_doc["starts"] = args.starts
+    optimizer = optimizer_from_doc(optimizer_doc)
+
+    on_progress = None
+    if getattr(args, "progress", False):
+        def on_progress(state, new_probes):
+            best = state.best
+            print(
+                f"[{state.probes} probed / {new_probes} new] "
+                f"best {best['score']:.4g} at {best['point']}",
+                file=sys.stderr,
+            )
+
+    return run_search(
+        space,
+        objective,
+        optimizer,
+        seed=args.seed,
+        budget=args.budget,
+        config=config,
+        engine=engine,
+        resume=not args.fresh,
+        on_progress=on_progress,
+    )
 
 
 def run_all(

@@ -52,6 +52,7 @@ __all__ = [
     "default_analysis_cache_dir",
     "default_cache_dir",
     "default_kernel_dir",
+    "default_search_state_dir",
     "kernel_enabled",
     "reset_config",
     "set_config",
@@ -128,6 +129,13 @@ class RuntimeConfig:
         max_body_bytes: largest accepted request body.
         max_trace_length: largest per-request trace length accepted.
         log_level: root logging level for ``repro serve``.
+        search_state_dir: search-checkpoint directory (None derives one:
+            ``<cache_dir>/search`` when ``cache_dir`` was set explicitly,
+            else ``~/.cache/repro/search``).
+        search_budget: default fresh probes per search run (0 = unlimited).
+        search_seed: default optimizer seed when none is given.
+        search_concurrency: searches the daemon runs at once; past that
+            ``POST /v1/search`` answers 429.
     """
 
     # -- caches & kernel ----------------------------------------------------
@@ -157,6 +165,11 @@ class RuntimeConfig:
     max_body_bytes: int = 64 * 1024
     max_trace_length: int = 100_000
     log_level: str = "INFO"
+    # -- search -------------------------------------------------------------
+    search_state_dir: "str | None" = None
+    search_budget: int = 512
+    search_seed: int = 0
+    search_concurrency: int = 1
 
     def __post_init__(self) -> None:
         from ..pipeline.fastsim import BACKENDS  # lazy: avoids an import cycle
@@ -167,10 +180,17 @@ class RuntimeConfig:
             raise ValueError(
                 f"unknown executor {self.executor!r}; choose from {EXECUTORS}"
             )
-        for name in ("workers", "concurrency", "jobs"):
+        for name in ("workers", "concurrency", "jobs", "search_concurrency"):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1, got {getattr(self, name)!r}")
-        for name in ("port", "queue_limit", "memory_entries", "engine_retries"):
+        for name in (
+            "port",
+            "queue_limit",
+            "memory_entries",
+            "engine_retries",
+            "search_budget",
+            "search_seed",
+        ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0, got {getattr(self, name)!r}")
         for name in ("drain_timeout", "retry_after"):
@@ -219,6 +239,20 @@ class RuntimeConfig:
         if self.kernel_dir:
             return pathlib.Path(self.kernel_dir).expanduser()
         return _xdg_cache_base(os.environ) / "repro" / "kernel"
+
+    def search_state_path(self) -> pathlib.Path:
+        """The effective search-checkpoint directory.
+
+        ``search_state_dir`` wins; otherwise search state nests under a
+        non-default ``cache_dir`` (one knob relocates every cache
+        family), falling back to ``~/.cache/repro/search``.
+        """
+        if self.search_state_dir:
+            return pathlib.Path(self.search_state_dir).expanduser()
+        default_result = str(_xdg_cache_base(os.environ) / "repro" / "engine")
+        if self.cache_dir and str(self.cache_dir) != default_result:
+            return pathlib.Path(self.cache_dir).expanduser() / "search"
+        return _xdg_cache_base(os.environ) / "repro" / "search"
 
     def with_values(self, _source: str = "override", **changes) -> "RuntimeConfig":
         """A copy with ``changes`` applied and their provenance recorded."""
@@ -376,6 +410,10 @@ ENV_VARS: Dict[str, tuple] = {
     "max_body_bytes": (SERVICE_ENV_PREFIX + "MAX_BODY_BYTES", int),
     "max_trace_length": (SERVICE_ENV_PREFIX + "MAX_TRACE_LENGTH", int),
     "log_level": (SERVICE_ENV_PREFIX + "LOG_LEVEL", str),
+    "search_state_dir": ("REPRO_SEARCH_STATE_DIR", lambda raw: raw or None),
+    "search_budget": ("REPRO_SEARCH_BUDGET", int),
+    "search_seed": ("REPRO_SEARCH_SEED", int),
+    "search_concurrency": ("REPRO_SEARCH_CONCURRENCY", int),
 }
 """Field → (environment variable, parser) for the env layer."""
 
@@ -453,6 +491,11 @@ def default_analysis_cache_dir() -> pathlib.Path:
 def default_kernel_dir() -> pathlib.Path:
     """The effective compiled-kernel cache directory."""
     return current_config().kernel_cache_dir()
+
+
+def default_search_state_dir() -> pathlib.Path:
+    """The effective search-checkpoint directory."""
+    return current_config().search_state_path()
 
 
 def analysis_cache_enabled() -> bool:

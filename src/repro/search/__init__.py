@@ -1,0 +1,69 @@
+"""repro.search — the design-space autotuner.
+
+The paper's entire question is "where is the optimum of the BIPS^m/W
+surface?"; this package asks it across *machine* parameters, not just
+pipeline depth.  A :class:`SearchSpace` spans typed domains (issue width,
+cache/BTB sizes, latch overhead ``t_o``, metric exponent ``m``, …), an
+:class:`Objective` turns each candidate point into content-addressed
+:class:`~repro.engine.job.SimJob` batches and a scalar score, and the
+optimizers (:class:`GridSearch`, :class:`BeamSearch`,
+:class:`MultiStartSearch`) walk the space deterministically from an
+explicit seed.
+
+:func:`run_search` drives it all with resumable, atomically-checkpointed
+state keyed by ``fingerprint_digest(space × objective × optimizer ×
+seed)`` — interrupt a search anywhere and a later run (any process, any
+entry point) replays the scored prefix for free and recomputes nothing,
+because every probe resolves through the shared
+:class:`~repro.runtime.Resolver` tier stack.
+
+Entry points: ``repro search`` (CLI), ``POST /v1/search`` +
+``GET /v1/search/{id}`` (daemon), and
+:func:`repro.experiments.runner.search_from_args`.  See ``docs/SEARCH.md``.
+"""
+
+from .driver import SearchOutcome, run_search
+from .objective import Objective, ObjectiveError, PARAMETERS
+from .optimizers import (
+    OPTIMIZERS,
+    BeamSearch,
+    BudgetExhausted,
+    GridSearch,
+    MultiStartSearch,
+    OptimizerError,
+    optimizer_from_doc,
+)
+from .space import (
+    Choice,
+    FloatRange,
+    IntRange,
+    SearchSpace,
+    SpaceError,
+    parse_domain,
+)
+from .state import SEARCH_SCHEMA, SearchState, SearchStore, point_key
+
+__all__ = [
+    "OPTIMIZERS",
+    "PARAMETERS",
+    "SEARCH_SCHEMA",
+    "BeamSearch",
+    "BudgetExhausted",
+    "Choice",
+    "FloatRange",
+    "GridSearch",
+    "IntRange",
+    "MultiStartSearch",
+    "Objective",
+    "ObjectiveError",
+    "OptimizerError",
+    "SearchOutcome",
+    "SearchSpace",
+    "SearchState",
+    "SearchStore",
+    "SpaceError",
+    "optimizer_from_doc",
+    "parse_domain",
+    "point_key",
+    "run_search",
+]

@@ -1,0 +1,235 @@
+"""The search driver: batch evaluation, budgets, checkpoints, resume.
+
+:func:`run_search` is the one entry point behind every surface (CLI,
+daemon, experiments hook).  It owns the loop the optimizers only see as
+an oracle:
+
+1. points the checkpoint already scored are *replayed* — answered from
+   the checkpoint without touching the engine (this is what makes resume
+   free: a restarted optimizer re-requests its whole deterministic
+   prefix and pays microseconds for it);
+2. fresh points become :class:`~repro.engine.job.SimJob` batches run
+   through one :class:`~repro.engine.ExecutionEngine`, i.e. through the
+   full LRU → single-flight → disk → compute resolver stack — so even a
+   *fresh-to-this-search* point costs nothing if any other search, sweep
+   or daemon request ever computed its jobs;
+3. after every scored batch the checkpoint is atomically rewritten, so a
+   kill at any instant loses at most one batch of scores (and none of
+   the simulations — those are already in the result cache);
+4. a fresh-probe ``budget`` bounds each *run*, not the search: when it
+   runs out the oracle raises
+   :class:`~repro.search.optimizers.BudgetExhausted` after checkpointing,
+   and a later run resumes exactly where the budget cut off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..engine.scheduler import EngineConfig, ExecutionEngine
+from ..runtime.config import RuntimeConfig, current_config
+from .objective import Objective
+from .optimizers import BudgetExhausted
+from .space import Point, SearchSpace
+from .state import SearchState, SearchStore, point_key
+
+__all__ = ["SearchOutcome", "run_search"]
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """What one :func:`run_search` invocation did and found.
+
+    Attributes:
+        search_id: content-addressed identity of the search.
+        best_point / best_score / best_depth: the incumbent optimum (None
+            before any probe scored).
+        probes: total points in the checkpoint after this run.
+        new_probes: points scored fresh by this run.
+        replayed: oracle answers served from the checkpoint this run.
+        computed: engine jobs actually simulated this run.
+        cache_hits: engine jobs served from the result cache this run.
+        completed: the optimizer ran to natural exhaustion.
+        budget_exhausted: this run stopped on its fresh-probe budget.
+        checkpoint_path: where the search state lives on disk.
+        space_size: total points in the search space.
+        duration: wall seconds this run spent.
+    """
+
+    search_id: str
+    best_point: Optional[Point]
+    best_score: Optional[float]
+    best_depth: Optional[int]
+    probes: int
+    new_probes: int
+    replayed: int
+    computed: int
+    cache_hits: int
+    completed: bool
+    budget_exhausted: bool
+    checkpoint_path: str
+    space_size: int
+    duration: float
+
+    def to_doc(self) -> dict:
+        return {
+            "search_id": self.search_id,
+            "best": {
+                "point": self.best_point,
+                "score": self.best_score,
+                "best_depth": self.best_depth,
+            },
+            "probes": self.probes,
+            "new_probes": self.new_probes,
+            "replayed": self.replayed,
+            "computed": self.computed,
+            "cache_hits": self.cache_hits,
+            "completed": self.completed,
+            "budget_exhausted": self.budget_exhausted,
+            "checkpoint_path": self.checkpoint_path,
+            "space_size": self.space_size,
+            "duration": self.duration,
+        }
+
+
+def _engine_for(config: RuntimeConfig) -> ExecutionEngine:
+    return ExecutionEngine(
+        EngineConfig(
+            workers=max(config.jobs, 1),
+            cache_dir=config.cache_dir,
+            timeout=config.engine_timeout,
+            retries=config.engine_retries,
+        )
+    )
+
+
+def run_search(
+    space: SearchSpace,
+    objective: Objective,
+    optimizer,
+    *,
+    seed: "int | None" = None,
+    budget: "int | None" = None,
+    config: "RuntimeConfig | None" = None,
+    engine: "ExecutionEngine | None" = None,
+    store: "SearchStore | None" = None,
+    resume: bool = True,
+    runner=None,
+    on_progress: "Callable[[SearchState, int], None] | None" = None,
+) -> SearchOutcome:
+    """Run (or resume) one search to completion or budget exhaustion.
+
+    Args:
+        space / objective / optimizer: the search definition; together
+            with ``seed`` they *are* the search's content address.
+        seed: optimizer seed (default: config ``search_seed``).
+        budget: fresh probes this run may score; 0 means unlimited
+            (default: config ``search_budget``).
+        config: runtime config (default: the installed one).
+        engine: the execution engine to probe through; None builds one
+            from ``config`` (workers/cache/timeout/retries).
+        store: checkpoint store; None uses ``config.search_state_path()``.
+        resume: load the existing checkpoint for this identity (default);
+            False starts over and overwrites it on the first batch.
+        runner: engine job runner override (tests inject fakes here).
+        on_progress: called as ``on_progress(state, new_probes)`` after
+            every checkpointed batch.
+
+    Returns:
+        A :class:`SearchOutcome`; its counters are the ground truth the
+        zero-recompute and resume tests assert on.
+    """
+    started = time.perf_counter()
+    config = current_config() if config is None else config
+    seed = config.search_seed if seed is None else int(seed)
+    budget = config.search_budget if budget is None else int(budget)
+    if store is None:  # explicit: an *empty* SearchStore is falsy (len == 0)
+        store = SearchStore(config.search_state_path())
+    engine = _engine_for(config) if engine is None else engine
+
+    state = SearchState.fresh(space, objective, optimizer.to_doc(), seed)
+    if resume:
+        loaded = store.load(state.search_id)
+        if loaded is not None:
+            state = loaded
+
+    counters = {"new": 0, "replayed": 0}
+    budget_exhausted = False
+
+    def outcome() -> SearchOutcome:
+        best = state.best
+        return SearchOutcome(
+            search_id=state.search_id,
+            best_point=None if best is None else best["point"],
+            best_score=None if best is None else best["score"],
+            best_depth=None if best is None else best["best_depth"],
+            probes=state.probes,
+            new_probes=counters["new"],
+            replayed=counters["replayed"],
+            computed=engine.resolver.stats.computed,
+            cache_hits=engine.report.cache_hits,
+            completed=state.completed,
+            budget_exhausted=budget_exhausted,
+            checkpoint_path=str(store.path_for(state.search_id)),
+            space_size=space.size(),
+            duration=time.perf_counter() - started,
+        )
+
+    if state.completed:
+        return outcome()
+
+    def score_fresh(points: List[Point]) -> None:
+        """Simulate and record ``points`` (unique, unscored), checkpointing."""
+        jobs = []
+        for point in points:
+            jobs.extend(objective.jobs_for(point))
+        per_point = len(objective.workloads)
+        if runner is None:
+            job_results = engine.run(jobs)
+        else:
+            job_results = engine.run(jobs, runner=runner)
+        for index, point in enumerate(points):
+            score = objective.score(
+                point, job_results[index * per_point : (index + 1) * per_point]
+            )
+            state.record(point, score.value, score.best_depth)
+        counters["new"] += len(points)
+        store.save(state)
+        if on_progress is not None:
+            on_progress(state, counters["new"])
+
+    def evaluate(points: Sequence[Point]) -> List[float]:
+        nonlocal budget_exhausted
+        points = list(points)
+        fresh: List[Point] = []
+        seen_in_batch = set()
+        for point in points:
+            key = point_key(point)
+            if key in state.evaluations:
+                counters["replayed"] += 1
+            elif key not in seen_in_batch:
+                seen_in_batch.add(key)
+                fresh.append(point)
+        if fresh:
+            allowed = len(fresh)
+            if budget:
+                allowed = min(allowed, max(budget - counters["new"], 0))
+            if allowed:
+                score_fresh(fresh[:allowed])
+            if allowed < len(fresh):
+                budget_exhausted = True
+                raise BudgetExhausted(
+                    f"fresh-probe budget of {budget} exhausted "
+                    f"({counters['new']} scored this run)"
+                )
+        return [state.evaluations[point_key(point)]["score"] for point in points]
+
+    try:
+        optimizer.explore(space, evaluate, seed)
+    except BudgetExhausted:
+        return outcome()
+    state.completed = True
+    store.save(state)
+    return outcome()

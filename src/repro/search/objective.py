@@ -1,0 +1,285 @@
+"""Mapping search points to simulator jobs and scalar scores.
+
+An :class:`Objective` is the bridge between the abstract
+:class:`~repro.search.space.SearchSpace` and the engine: it knows how a
+named parameter (``issue_width``, ``t_o``, ``icache_kb``, ``m``, …)
+lands on a :class:`~repro.pipeline.simulator.MachineConfig` or on the
+metric itself, turns one point into a batch of content-addressed
+:class:`~repro.engine.job.SimJob`\\ s (one per workload), and reduces the
+simulated depth sweeps to a single score — the peak over depths of the
+geometric-mean ``BIPS**m/W`` across workloads, i.e. "how good is the best
+pipeline depth this design can reach".
+
+Because the jobs are ordinary engine jobs, every probe flows through the
+:class:`~repro.runtime.Resolver` tier stack (LRU → single-flight → disk →
+compute): points revisited by another optimizer, another search, or a
+plain ``repro sweep`` recompute nothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..analysis.sweep import DEFAULT_DEPTHS, sweep_from_results
+from ..engine.job import JobResult, SimJob
+from ..pipeline.fastsim import BACKENDS, DEFAULT_BACKEND
+from ..pipeline.simulator import MachineConfig
+from ..trace.suite import get_workload
+from .space import Point
+
+__all__ = ["Objective", "ObjectiveError", "PARAMETERS", "Score"]
+
+
+class ObjectiveError(ValueError):
+    """A point or objective definition the simulator cannot honour."""
+
+
+def _int_field(name):
+    def apply(overrides: dict, value) -> None:
+        overrides[name] = int(value)
+
+    return apply
+
+
+def _tech_field(name):
+    def apply(overrides: dict, value) -> None:
+        overrides.setdefault("technology", {})[name] = float(value)
+
+    return apply
+
+
+def _cache_kb(name):
+    def apply(overrides: dict, value) -> None:
+        overrides.setdefault("caches", {})[name] = int(round(float(value) * 1024))
+
+    return apply
+
+
+def _predictor_kind(overrides: dict, value) -> None:
+    overrides["predictor_kind"] = str(value)
+
+
+def _btb_entries(overrides: dict, value) -> None:
+    overrides["btb_entries"] = None if value is None else int(value)
+
+
+def _in_order(overrides: dict, value) -> None:
+    overrides["in_order"] = bool(value)
+
+
+PARAMETERS: Dict[str, object] = {
+    # machine widths and structure sizes
+    "issue_width": _int_field("issue_width"),
+    "agen_width": _int_field("agen_width"),
+    "predictor_entries": _int_field("predictor_entries"),
+    "issue_window": _int_field("issue_window"),
+    "rob_size": _int_field("rob_size"),
+    "mshr_entries": _int_field("mshr_entries"),
+    "btb_entries": _btb_entries,
+    "predictor_kind": _predictor_kind,
+    "in_order": _in_order,
+    # technology constants (paper notation)
+    "t_o": _tech_field("latch_overhead"),
+    "t_p": _tech_field("total_logic_depth"),
+    # cache capacities, in KB
+    "icache_kb": _cache_kb("icache"),
+    "dcache_kb": _cache_kb("dcache"),
+    "l2_kb": _cache_kb("l2"),
+}
+"""Every machine parameter a search point may set, by name."""
+
+METRIC_PARAMETERS = ("m",)
+"""Point parameters applied to the metric rather than the machine."""
+
+
+@dataclass(frozen=True)
+class Score:
+    """One scored probe: the metric peak and where it sits."""
+
+    value: float
+    best_depth: int
+
+
+@dataclass(frozen=True)
+class Objective:
+    """Score = peak over depths of geomean ``BIPS**m/W`` across workloads.
+
+    Attributes:
+        workloads: suite workload names the score averages over.
+        depths: candidate pipeline depths evaluated per point.
+        trace_length: dynamic instructions per generated trace.
+        backend: simulation backend for every probe job.
+        m: default metric exponent (a point's ``m`` overrides it).
+        gated: score clock-gated power (the paper's headline model).
+        in_order: default issue discipline (a point's ``in_order``
+            overrides it).
+        reference_depth: leakage-calibration anchor; None picks 8 when
+            swept, else the middle depth.
+    """
+
+    workloads: Tuple[str, ...]
+    depths: Tuple[int, ...] = DEFAULT_DEPTHS
+    trace_length: int = 8000
+    backend: str = DEFAULT_BACKEND
+    m: float = 3.0
+    gated: bool = True
+    in_order: bool = True
+    reference_depth: "int | None" = None
+
+    def __post_init__(self) -> None:
+        workloads = tuple(str(name) for name in self.workloads)
+        if not workloads:
+            raise ObjectiveError("an objective needs at least one workload")
+        for name in workloads:
+            try:
+                get_workload(name)
+            except KeyError:
+                raise ObjectiveError(f"unknown workload {name!r}") from None
+        depths = tuple(int(d) for d in self.depths)
+        if list(depths) != sorted(set(depths)) or not depths:
+            raise ObjectiveError(f"depths must be strictly ascending, got {depths}")
+        if self.trace_length < 1:
+            raise ObjectiveError(f"trace_length must be >= 1, got {self.trace_length!r}")
+        if self.backend not in BACKENDS:
+            raise ObjectiveError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+        reference = self.reference_depth
+        if reference is None:
+            reference = 8 if 8 in depths else depths[len(depths) // 2]
+        elif reference not in depths:
+            raise ObjectiveError(
+                f"reference_depth {reference} must be one of the depths {depths}"
+            )
+        object.__setattr__(self, "workloads", workloads)
+        object.__setattr__(self, "depths", depths)
+        object.__setattr__(self, "reference_depth", int(reference))
+        object.__setattr__(self, "m", float(self.m))
+
+    # -- point -> machine ----------------------------------------------------
+    def split_point(self, point: Point) -> Tuple[Dict, Dict]:
+        """Partition a point into (machine params, metric params)."""
+        machine: Dict = {}
+        metric: Dict = {}
+        for name, value in point.items():
+            if name in PARAMETERS:
+                machine[name] = value
+            elif name in METRIC_PARAMETERS:
+                metric[name] = float(value)
+            else:
+                raise ObjectiveError(
+                    f"unknown search parameter {name!r}; known: "
+                    f"{sorted(PARAMETERS) + list(METRIC_PARAMETERS)}"
+                )
+        return machine, metric
+
+    def machine_for(self, point: Point) -> MachineConfig:
+        """The machine configuration a point describes."""
+        machine_params, _metric = self.split_point(point)
+        overrides: Dict = {}
+        for name, value in machine_params.items():
+            PARAMETERS[name](overrides, value)
+        overrides.setdefault("in_order", self.in_order)
+        base = MachineConfig()
+        technology = overrides.pop("technology", None)
+        if technology:
+            overrides["technology"] = dataclasses.replace(base.technology, **technology)
+        caches = overrides.pop("caches", None)
+        if caches:
+            for cache_name, size in caches.items():
+                overrides[cache_name] = dataclasses.replace(
+                    getattr(base, cache_name), size=size
+                )
+        try:
+            return dataclasses.replace(base, **overrides)
+        except ValueError as exc:
+            raise ObjectiveError(f"invalid point {point!r}: {exc}") from exc
+
+    def exponent_for(self, point: Point) -> float:
+        _machine, metric = self.split_point(point)
+        return metric.get("m", self.m)
+
+    # -- point -> jobs -> score ----------------------------------------------
+    def jobs_for(self, point: Point) -> List[SimJob]:
+        """One engine job per workload, all depths batched per job."""
+        machine = self.machine_for(point)
+        return [
+            SimJob(
+                spec=get_workload(name),
+                depths=self.depths,
+                trace_length=self.trace_length,
+                machine=machine,
+                backend=self.backend,
+            )
+            for name in self.workloads
+        ]
+
+    def score(self, point: Point, job_results: Sequence[JobResult]) -> Score:
+        """Reduce one point's job results to its scalar score.
+
+        ``job_results`` must align with :meth:`jobs_for` order (one per
+        workload).  The score is the maximum over the swept depths of the
+        geometric mean of ``BIPS**m/W`` across workloads — geometric so no
+        single workload's absolute scale dominates the average.
+        """
+        if len(job_results) != len(self.workloads):
+            raise ObjectiveError(
+                f"{len(job_results)} results for {len(self.workloads)} workloads"
+            )
+        exponent = self.exponent_for(point)
+        log_sum = [0.0] * len(self.depths)
+        for name, job_result in zip(self.workloads, job_results):
+            sweep = sweep_from_results(
+                job_result.results,
+                self.depths,
+                spec=get_workload(name),
+                reference_depth=self.reference_depth,
+            )
+            for index, value in enumerate(sweep.metric(exponent, self.gated)):
+                if value <= 0.0:
+                    raise ObjectiveError(
+                        f"non-positive metric for {name!r} at depth "
+                        f"{self.depths[index]}"
+                    )
+                log_sum[index] += math.log(float(value))
+        means = [total / len(self.workloads) for total in log_sum]
+        best_index = max(range(len(means)), key=means.__getitem__)
+        return Score(
+            value=math.exp(means[best_index]),
+            best_depth=self.depths[best_index],
+        )
+
+    # -- interchange ---------------------------------------------------------
+    def to_doc(self) -> dict:
+        return {
+            "workloads": list(self.workloads),
+            "depths": list(self.depths),
+            "trace_length": self.trace_length,
+            "backend": self.backend,
+            "m": self.m,
+            "gated": self.gated,
+            "in_order": self.in_order,
+            "reference_depth": self.reference_depth,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Mapping) -> "Objective":
+        if not isinstance(doc, Mapping):
+            raise ObjectiveError("'objective' must be an object")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ObjectiveError(f"unknown objective fields {sorted(unknown)}")
+        if "workloads" not in doc:
+            raise ObjectiveError("'objective' needs a 'workloads' list")
+        values = dict(doc)
+        values["workloads"] = tuple(values["workloads"])
+        if "depths" in values:
+            values["depths"] = tuple(values["depths"])
+        try:
+            return cls(**values)
+        except TypeError as exc:
+            raise ObjectiveError(f"malformed objective: {exc}") from exc

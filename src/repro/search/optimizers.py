@@ -1,0 +1,240 @@
+"""Composable search strategies over a :class:`SearchSpace`.
+
+An optimizer is a frozen strategy object with one method::
+
+    optimizer.explore(space, evaluate, seed)
+
+where ``evaluate(points) -> scores`` is the driver's batch oracle.  The
+contract that makes every search resumable:
+
+* **Determinism** — an optimizer's probe sequence is a pure function of
+  ``(space, its own config, seed, the scores it has seen)``.  All
+  randomness flows from the explicit ``seed`` through
+  ``random.Random(f"{seed}:…")`` sub-generators (string seeding is
+  platform-stable); nothing here ever touches the global RNG or
+  constructs a ``random.Random()`` without a seed.
+* **Replay** — optimizers may freely re-request points they (or a
+  previous incarnation of the search) already asked for; the driver
+  serves those from the checkpoint without recomputing.  Resuming is
+  therefore just re-running ``explore`` from scratch: the replayed prefix
+  costs microseconds, then fresh probing continues exactly where the
+  budget cut it off.
+* **Budget** — ``evaluate`` raises :class:`BudgetExhausted` when the
+  driver's fresh-probe budget runs out, after checkpointing everything it
+  did evaluate.  Optimizers simply let it propagate.
+
+Three strategies cover the exhaustive → global → local spectrum:
+:class:`GridSearch` (every point, chunked), :class:`BeamSearch`
+(stratified seeding, successive halving of the candidate pool, neighbor
+expansion around the surviving beam) and :class:`MultiStartSearch`
+(seeded random starts, greedy hill climbing).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from .space import Point, SearchSpace
+from .state import point_key
+
+__all__ = [
+    "OPTIMIZERS",
+    "BeamSearch",
+    "BudgetExhausted",
+    "GridSearch",
+    "MultiStartSearch",
+    "Optimizer",
+    "OptimizerError",
+    "optimizer_from_doc",
+]
+
+Evaluate = Callable[[Sequence[Point]], List[float]]
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised by the driver's oracle when the fresh-probe budget is spent."""
+
+
+class OptimizerError(ValueError):
+    """A malformed optimizer configuration."""
+
+
+@dataclass(frozen=True)
+class GridSearch:
+    """Exhaustive enumeration of the whole grid, in chunks.
+
+    The reference strategy: on any finite space it finds the true
+    optimum, so the smarter searches are tested against it.  Chunking
+    bounds checkpoint granularity — a budget cut loses at most one
+    chunk's worth of progress, never the whole grid.
+    """
+
+    kind = "grid"
+    batch: int = 32
+
+    def __post_init__(self) -> None:
+        if self.batch < 1:
+            raise OptimizerError(f"batch must be >= 1, got {self.batch!r}")
+
+    def explore(self, space: SearchSpace, evaluate: Evaluate, seed: int) -> None:
+        chunk: List[Point] = []
+        for point in space.grid():
+            chunk.append(point)
+            if len(chunk) >= self.batch:
+                evaluate(chunk)
+                chunk = []
+        if chunk:
+            evaluate(chunk)
+
+    def to_doc(self) -> dict:
+        return {"kind": self.kind, "batch": self.batch}
+
+
+@dataclass(frozen=True)
+class BeamSearch:
+    """Successive-halving beam search.
+
+    Seeds the pool with a stratified (RNG-free) sample of the grid,
+    repeatedly halves the pool down to ``beam_width`` survivors by score,
+    then expands each survivor's grid neighborhood and re-selects until
+    the beam stops improving or nothing unvisited remains.
+
+    Attributes:
+        beam_width: survivors kept per round.
+        initial: seeding sample size (default ``4 * beam_width``).
+        max_rounds: hard cap on expansion rounds.
+    """
+
+    kind = "beam"
+    beam_width: int = 4
+    initial: "int | None" = None
+    max_rounds: int = 32
+
+    def __post_init__(self) -> None:
+        if self.beam_width < 1:
+            raise OptimizerError(f"beam_width must be >= 1, got {self.beam_width!r}")
+        if self.initial is not None and self.initial < 1:
+            raise OptimizerError(f"initial must be >= 1, got {self.initial!r}")
+        if self.max_rounds < 1:
+            raise OptimizerError(f"max_rounds must be >= 1, got {self.max_rounds!r}")
+
+    def explore(self, space: SearchSpace, evaluate: Evaluate, seed: int) -> None:
+        pool: Dict[str, Tuple[Point, float]] = {}
+
+        def absorb(points: List[Point]) -> None:
+            fresh = [p for p in points if point_key(p) not in pool]
+            if not fresh:
+                return
+            for point, score in zip(fresh, evaluate(fresh)):
+                pool[point_key(point)] = (point, score)
+
+        def survivors(count: int) -> List[Point]:
+            ranked = sorted(pool.values(), key=lambda e: (-e[1], point_key(e[0])))
+            return [point for point, _score in ranked[:count]]
+
+        def expand(beam: List[Point]) -> List[Point]:
+            return [
+                neighbor
+                for point in beam
+                for neighbor in space.neighbors(point)
+                if point_key(neighbor) not in pool
+            ]
+
+        absorb(space.grid_sample(self.initial or 4 * self.beam_width))
+        # Successive halving: each rung keeps the top half of the pool and
+        # spends its probes expanding around that shrinking survivor set,
+        # so exploration is broad early and concentrated late.
+        width = len(pool)
+        while width > self.beam_width:
+            width = max(self.beam_width, width // 2)
+            absorb(expand(survivors(width)))
+        # Local refinement around the final beam until it stops moving.
+        beam = survivors(self.beam_width)
+        for _round in range(self.max_rounds):
+            frontier = expand(beam)
+            if not frontier:
+                return
+            absorb(frontier)
+            advanced = survivors(self.beam_width)
+            if advanced == beam:
+                return
+            beam = advanced
+
+    def to_doc(self) -> dict:
+        return {
+            "kind": self.kind,
+            "beam_width": self.beam_width,
+            "initial": self.initial,
+            "max_rounds": self.max_rounds,
+        }
+
+
+@dataclass(frozen=True)
+class MultiStartSearch:
+    """Greedy hill climbing from several deterministically seeded starts.
+
+    Start ``s`` draws its origin from ``random.Random(f"{seed}:start:{s}")``
+    and climbs to a local optimum by always moving to the best improving
+    grid neighbor.  Distinct starts routinely converge on the same basin,
+    and the driver's replay cache makes those revisits free.
+    """
+
+    kind = "multistart"
+    starts: int = 4
+    max_steps: int = 64
+
+    def __post_init__(self) -> None:
+        if self.starts < 1:
+            raise OptimizerError(f"starts must be >= 1, got {self.starts!r}")
+        if self.max_steps < 1:
+            raise OptimizerError(f"max_steps must be >= 1, got {self.max_steps!r}")
+
+    def explore(self, space: SearchSpace, evaluate: Evaluate, seed: int) -> None:
+        for start in range(self.starts):
+            rng = random.Random(f"{seed}:start:{start}")
+            current = space.random_point(rng)
+            [current_score] = evaluate([current])
+            for _step in range(self.max_steps):
+                neighbors = space.neighbors(current)
+                if not neighbors:
+                    break
+                scores = evaluate(neighbors)
+                best_index = max(range(len(scores)), key=scores.__getitem__)
+                if scores[best_index] <= current_score:
+                    break
+                current, current_score = neighbors[best_index], scores[best_index]
+
+    def to_doc(self) -> dict:
+        return {"kind": self.kind, "starts": self.starts, "max_steps": self.max_steps}
+
+
+Optimizer = "GridSearch | BeamSearch | MultiStartSearch"
+
+OPTIMIZERS = {
+    GridSearch.kind: GridSearch,
+    BeamSearch.kind: BeamSearch,
+    MultiStartSearch.kind: MultiStartSearch,
+}
+"""Every optimizer strategy, by its ``kind`` name."""
+
+
+def optimizer_from_doc(doc: Mapping) -> "GridSearch | BeamSearch | MultiStartSearch":
+    """Rebuild an optimizer from its ``to_doc`` form (or a bare kind)."""
+    if isinstance(doc, str):
+        doc = {"kind": doc}
+    if not isinstance(doc, Mapping) or "kind" not in doc:
+        raise OptimizerError("'optimizer' must be a kind name or {'kind': ...}")
+    kind = doc["kind"]
+    try:
+        cls = OPTIMIZERS[kind]
+    except KeyError:
+        raise OptimizerError(
+            f"unknown optimizer {kind!r}; choose from {sorted(OPTIMIZERS)}"
+        ) from None
+    values = {k: v for k, v in doc.items() if k != "kind"}
+    try:
+        return cls(**values)
+    except TypeError as exc:
+        raise OptimizerError(f"malformed optimizer config: {exc}") from exc

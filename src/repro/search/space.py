@@ -1,0 +1,337 @@
+"""Typed parameter domains and the design space they span.
+
+A :class:`SearchSpace` names a finite, discretised grid over machine and
+metric parameters — issue width, cache/BTB sizes, latch overhead ``t_o``,
+the metric exponent ``m``, … — without knowing what the names mean (the
+:class:`~repro.search.objective.Objective` owns that mapping).  Three
+domain kinds cover every knob:
+
+* :class:`IntRange` — ``lo..hi`` with a stride (issue widths, table sizes);
+* :class:`FloatRange` — ``count`` evenly spaced reals in ``[lo, hi]``
+  (latch overhead, metric exponent);
+* :class:`Choice` — an explicit value list (predictor kinds, power-of-two
+  ladders, ``None``-able sizes like ``btb_entries``).
+
+Everything here is deterministic and content-addressable: domains are
+frozen dataclasses (so :func:`~repro.fingerprint.canonical_fingerprint`
+hashes them), grid iteration order is fixed (odometer over name-sorted
+axes), ``grid_sample`` strides without randomness, and ``random_point``
+only ever draws from a caller-supplied :class:`random.Random` — the
+search layer's no-implicit-RNG rule starts at this layer.
+
+Domains parse from two surfaces: compact CLI strings
+(``repro search --param issue_width=2:8:2``) and JSON documents
+(``POST /v1/search``); :meth:`SearchSpace.to_doc` /
+:meth:`SearchSpace.from_doc` round-trip the space through checkpoint
+files and HTTP bodies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple, Union
+
+__all__ = [
+    "Choice",
+    "Domain",
+    "FloatRange",
+    "IntRange",
+    "SearchSpace",
+    "SpaceError",
+    "parse_domain",
+]
+
+Value = Union[int, float, str, bool, None]
+Point = Dict[str, Value]
+
+
+class SpaceError(ValueError):
+    """A malformed domain or space definition."""
+
+
+@dataclass(frozen=True)
+class IntRange:
+    """Integers ``lo..hi`` inclusive, striding by ``step``."""
+
+    lo: int
+    hi: int
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.step < 1:
+            raise SpaceError(f"step must be >= 1, got {self.step!r}")
+        if self.hi < self.lo:
+            raise SpaceError(f"empty int range {self.lo}..{self.hi}")
+
+    def values(self) -> Tuple[int, ...]:
+        return tuple(range(self.lo, self.hi + 1, self.step))
+
+    def to_doc(self) -> dict:
+        return {"int": [self.lo, self.hi], "step": self.step}
+
+
+@dataclass(frozen=True)
+class FloatRange:
+    """``count`` evenly spaced reals spanning ``[lo, hi]`` inclusive."""
+
+    lo: float
+    hi: float
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise SpaceError(f"count must be >= 1, got {self.count!r}")
+        if self.hi < self.lo:
+            raise SpaceError(f"empty float range {self.lo}..{self.hi}")
+        if self.count == 1 and self.hi != self.lo:
+            raise SpaceError("a 1-point float range needs lo == hi")
+
+    def values(self) -> Tuple[float, ...]:
+        if self.count == 1:
+            return (float(self.lo),)
+        span = self.hi - self.lo
+        return tuple(
+            float(self.lo + index * span / (self.count - 1))
+            for index in range(self.count)
+        )
+
+    def to_doc(self) -> dict:
+        return {"float": [self.lo, self.hi], "count": self.count}
+
+
+@dataclass(frozen=True)
+class Choice:
+    """An explicit, ordered value list (kept exactly as given)."""
+
+    options: Tuple[Value, ...]
+
+    def __post_init__(self) -> None:
+        if not self.options:
+            raise SpaceError("a choice domain needs at least one option")
+        if len(set(map(repr, self.options))) != len(self.options):
+            raise SpaceError(f"duplicate options in {self.options!r}")
+
+    def values(self) -> Tuple[Value, ...]:
+        return self.options
+
+    def to_doc(self) -> dict:
+        return {"choice": list(self.options)}
+
+
+Domain = Union[IntRange, FloatRange, Choice]
+
+
+def _scalar(token: str) -> Value:
+    """Parse one CLI token: int, then float, then the literals, then str."""
+    lowered = token.strip().lower()
+    if lowered in ("none", "null"):
+        return None
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for parse in (int, float):
+        try:
+            return parse(token)
+        except ValueError:
+            continue
+    return token.strip()
+
+
+def parse_domain(spec: str) -> Domain:
+    """One domain from its compact CLI spelling.
+
+    * ``"2:8"`` / ``"2:8:2"`` — :class:`IntRange` (all-integer bounds);
+    * ``"1.5:3.5:0.5"`` — :class:`FloatRange` by step (count derived);
+    * ``"1.5:3.5/5"`` — :class:`FloatRange` by point count;
+    * ``"a,b,c"`` / ``"4096"`` — :class:`Choice` (values parsed as int,
+      float, ``none``/``true``/``false`` or string).
+    """
+    spec = spec.strip()
+    if not spec:
+        raise SpaceError("empty domain spec")
+    if "," in spec or (":" not in spec and "/" not in spec):
+        return Choice(tuple(_scalar(token) for token in spec.split(",")))
+    count = None
+    if "/" in spec:
+        spec, _slash, raw_count = spec.rpartition("/")
+        try:
+            count = int(raw_count)
+        except ValueError:
+            raise SpaceError(f"point count {raw_count!r} is not an integer") from None
+    parts = [_scalar(token) for token in spec.split(":")]
+    if not 2 <= len(parts) <= 3 or not all(
+        isinstance(part, (int, float)) and not isinstance(part, bool) for part in parts
+    ):
+        raise SpaceError(f"cannot parse range spec {spec!r}")
+    lo, hi = parts[0], parts[1]
+    step = parts[2] if len(parts) == 3 else None
+    if count is not None:
+        if step is not None:
+            raise SpaceError(f"give either a step or a /count, not both: {spec!r}")
+        return FloatRange(float(lo), float(hi), count)
+    if all(isinstance(part, int) for part in parts):
+        return IntRange(int(lo), int(hi), int(step) if step is not None else 1)
+    if step is None:
+        raise SpaceError(f"float range {spec!r} needs a step or a /count")
+    if float(step) <= 0:
+        raise SpaceError(f"float step must be positive, got {step!r}")
+    derived = int(round((float(hi) - float(lo)) / float(step))) + 1
+    return FloatRange(float(lo), float(hi), max(derived, 1))
+
+
+def _domain_from_doc(name: str, doc) -> Domain:
+    if isinstance(doc, str):
+        return parse_domain(doc)
+    if not isinstance(doc, Mapping):
+        raise SpaceError(f"domain {name!r} must be a string or an object")
+    keys = {"int", "float", "choice"} & set(doc)
+    if len(keys) != 1:
+        raise SpaceError(
+            f"domain {name!r} needs exactly one of 'int'/'float'/'choice'"
+        )
+    kind = keys.pop()
+    try:
+        if kind == "int":
+            lo, hi = doc["int"]
+            return IntRange(int(lo), int(hi), int(doc.get("step", 1)))
+        if kind == "float":
+            lo, hi = doc["float"]
+            return FloatRange(float(lo), float(hi), int(doc.get("count", 5)))
+        return Choice(tuple(doc["choice"]))
+    except SpaceError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise SpaceError(f"malformed domain {name!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """A finite grid over named parameter domains.
+
+    Axes are kept in name-sorted order so equal spaces fingerprint and
+    iterate identically however they were declared.
+    """
+
+    axes: Tuple[Tuple[str, Domain], ...]
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise SpaceError("a search space needs at least one parameter")
+        names = [name for name, _domain in self.axes]
+        if len(set(names)) != len(names):
+            raise SpaceError(f"duplicate parameter names in {names}")
+        ordered = tuple(sorted(self.axes, key=lambda axis: axis[0]))
+        object.__setattr__(self, "axes", ordered)
+
+    @classmethod
+    def of(cls, domains: Mapping[str, "Domain | str"]) -> "SearchSpace":
+        """Build from a ``{name: domain-or-CLI-spec}`` mapping."""
+        return cls(
+            tuple(
+                (name, parse_domain(domain) if isinstance(domain, str) else domain)
+                for name, domain in domains.items()
+            )
+        )
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _domain in self.axes)
+
+    def domain(self, name: str) -> Domain:
+        for axis_name, domain in self.axes:
+            if axis_name == name:
+                return domain
+        raise KeyError(name)
+
+    def size(self) -> int:
+        total = 1
+        for _name, domain in self.axes:
+            total *= len(domain.values())
+        return total
+
+    def _value_grid(self) -> List[Tuple[str, Tuple[Value, ...]]]:
+        return [(name, domain.values()) for name, domain in self.axes]
+
+    def point_at(self, indices: Sequence[int]) -> Point:
+        return {
+            name: values[index]
+            for (name, values), index in zip(self._value_grid(), indices)
+        }
+
+    def indices_of(self, point: Point) -> Tuple[int, ...]:
+        """The per-axis grid indices of ``point`` (KeyError off-grid)."""
+        indices = []
+        for name, values in self._value_grid():
+            try:
+                indices.append(values.index(point[name]))
+            except (KeyError, ValueError):
+                raise KeyError(f"point {point!r} is off the {name!r} axis") from None
+        return tuple(indices)
+
+    # -- enumeration ---------------------------------------------------------
+    def grid(self) -> Iterator[Point]:
+        """Every point, odometer order (last name-sorted axis fastest)."""
+        grid = self._value_grid()
+        shape = [len(values) for _name, values in grid]
+        indices = [0] * len(shape)
+        while True:
+            yield self.point_at(indices)
+            for axis in reversed(range(len(shape))):
+                indices[axis] += 1
+                if indices[axis] < shape[axis]:
+                    break
+                indices[axis] = 0
+            else:
+                return
+
+    def grid_sample(self, count: int) -> List[Point]:
+        """``count`` points strided evenly across the grid (no RNG)."""
+        total = self.size()
+        count = max(1, min(count, total))
+        flat = [round(k * (total - 1) / max(count - 1, 1)) for k in range(count)]
+        shape = [len(values) for _name, values in self._value_grid()]
+        points = []
+        for position in dict.fromkeys(flat):  # dedupe, preserve order
+            indices = []
+            for extent in reversed(shape):
+                indices.append(position % extent)
+                position //= extent
+            points.append(self.point_at(tuple(reversed(indices))))
+        return points
+
+    def random_point(self, rng: random.Random) -> Point:
+        """One uniform point from a caller-owned RNG (never a global one)."""
+        return {
+            name: values[rng.randrange(len(values))]
+            for name, values in self._value_grid()
+        }
+
+    def neighbors(self, point: Point) -> List[Point]:
+        """The +-1-grid-step points along each axis, deterministic order."""
+        indices = self.indices_of(point)
+        grid = self._value_grid()
+        out: List[Point] = []
+        for axis, (_name, values) in enumerate(grid):
+            for delta in (-1, 1):
+                moved = indices[axis] + delta
+                if 0 <= moved < len(values):
+                    shifted = list(indices)
+                    shifted[axis] = moved
+                    out.append(self.point_at(shifted))
+        return out
+
+    # -- interchange ---------------------------------------------------------
+    def to_doc(self) -> dict:
+        return {name: domain.to_doc() for name, domain in self.axes}
+
+    @classmethod
+    def from_doc(cls, doc: Mapping) -> "SearchSpace":
+        if not isinstance(doc, Mapping) or not doc:
+            raise SpaceError("'space' must be a non-empty object of domains")
+        return cls(
+            tuple(
+                (str(name), _domain_from_doc(str(name), domain))
+                for name, domain in doc.items()
+            )
+        )

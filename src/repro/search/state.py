@@ -1,0 +1,223 @@
+"""Content-addressed, atomically-written search checkpoints.
+
+A search's identity is the fingerprint of everything that determines its
+trajectory: the space, the objective, the optimizer configuration and the
+seed (``search_id = fingerprint_digest(identity doc)``).  The probe
+*budget* is deliberately excluded — raising the budget and resuming must
+land on the same checkpoint, not fork a new one.
+
+The checkpoint itself is one JSON file per search under the search-state
+directory (:meth:`~repro.runtime.config.RuntimeConfig.search_state_path`),
+written through :func:`~repro.atomicio.atomic_replace` with sorted keys
+and no timestamps, so a repeated run of a deterministic search rewrites a
+byte-identical file — the property the determinism satellite test pins.
+It records every evaluated point with its score (the visited set), the
+evaluation order, and the best-so-far; optimizers replay deterministically
+from the seed, so the visited set alone is enough to resume: replayed
+points are served from the checkpoint and never resubmitted to the engine.
+
+:class:`SearchStore` deliberately exposes the same ``directory`` /
+``__len__`` / ``size_bytes`` / ``clear`` surface as the result and
+analysis caches, so ``repro cache stats|clear`` treats search state as the
+third cache family.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .. import __version__
+from ..atomicio import atomic_replace
+from ..fingerprint import fingerprint_digest
+from .objective import Objective
+from .space import Point, SearchSpace
+
+__all__ = [
+    "SEARCH_SCHEMA",
+    "SearchState",
+    "SearchStore",
+    "point_key",
+    "search_identity",
+]
+
+SEARCH_SCHEMA = 1
+"""Checkpoint format version; bump on incompatible changes."""
+
+
+def point_key(point: Point) -> str:
+    """The content-addressed identity of one probe point."""
+    return fingerprint_digest(point)
+
+
+def search_identity(
+    space: SearchSpace, objective: Objective, optimizer_doc: dict, seed: int
+) -> dict:
+    """The canonical identity document a ``search_id`` is hashed from."""
+    return {
+        "schema": SEARCH_SCHEMA,
+        "version": __version__,
+        "space": space.to_doc(),
+        "objective": objective.to_doc(),
+        "optimizer": optimizer_doc,
+        "seed": int(seed),
+    }
+
+
+@dataclass
+class SearchState:
+    """Everything needed to resume (or answer) one search.
+
+    Attributes:
+        search_id: ``fingerprint_digest`` of :data:`identity`.
+        identity: the identity doc (space/objective/optimizer/seed).
+        evaluations: ``point_key -> {"point", "score", "best_depth"}`` for
+            every probe ever scored — the visited set.
+        order: point keys in first-evaluation order (the probe log).
+        best_key: key of the best-scoring probe so far, if any.
+        completed: True once the optimizer ran to natural exhaustion
+            (not merely out of budget).
+    """
+
+    search_id: str
+    identity: dict
+    evaluations: Dict[str, dict] = field(default_factory=dict)
+    order: List[str] = field(default_factory=list)
+    best_key: Optional[str] = None
+    completed: bool = False
+
+    @classmethod
+    def fresh(
+        cls,
+        space: SearchSpace,
+        objective: Objective,
+        optimizer_doc: dict,
+        seed: int,
+    ) -> "SearchState":
+        identity = search_identity(space, objective, optimizer_doc, seed)
+        return cls(search_id=fingerprint_digest(identity), identity=identity)
+
+    def record(self, point: Point, score: float, best_depth: int) -> str:
+        """Add one scored probe; returns its point key."""
+        key = point_key(point)
+        if key not in self.evaluations:
+            self.order.append(key)
+        self.evaluations[key] = {
+            "point": dict(point),
+            "score": float(score),
+            "best_depth": int(best_depth),
+        }
+        if (
+            self.best_key is None
+            or self.evaluations[key]["score"]
+            > self.evaluations[self.best_key]["score"]
+        ):
+            self.best_key = key
+        return key
+
+    @property
+    def probes(self) -> int:
+        return len(self.order)
+
+    @property
+    def best(self) -> Optional[dict]:
+        if self.best_key is None:
+            return None
+        return self.evaluations[self.best_key]
+
+    # -- interchange ---------------------------------------------------------
+    def to_doc(self) -> dict:
+        return {
+            "schema": SEARCH_SCHEMA,
+            "search_id": self.search_id,
+            "identity": self.identity,
+            "evaluations": self.evaluations,
+            "order": list(self.order),
+            "best_key": self.best_key,
+            "completed": self.completed,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "SearchState":
+        return cls(
+            search_id=doc["search_id"],
+            identity=doc["identity"],
+            evaluations=dict(doc.get("evaluations", {})),
+            order=list(doc.get("order", [])),
+            best_key=doc.get("best_key"),
+            completed=bool(doc.get("completed", False)),
+        )
+
+
+class SearchStore:
+    """One checkpoint file per search under a single directory.
+
+    API-compatible with the other on-disk caches where ``repro cache``
+    needs it (``directory``, ``len``, ``size_bytes``, ``clear``).
+    """
+
+    def __init__(self, directory: "str | pathlib.Path"):
+        self.directory = pathlib.Path(directory)
+
+    def path_for(self, search_id: str) -> pathlib.Path:
+        # Checkpoints live one schema-versioned level down: a schema bump
+        # isolates old files, and when the store nests inside the result
+        # cache directory the extra level keeps checkpoints out of the
+        # result cache's ``*/*.json`` entry glob.
+        return self.directory / f"v{SEARCH_SCHEMA}" / f"{search_id}.json"
+
+    def load(self, search_id: str) -> Optional[SearchState]:
+        """The stored state, or None when missing, corrupt or stale."""
+        try:
+            raw = self.path_for(search_id).read_text(encoding="utf-8")
+            doc = json.loads(raw)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(doc, dict) or doc.get("schema") != SEARCH_SCHEMA:
+            return None
+        if doc.get("search_id") != search_id:
+            return None
+        try:
+            return SearchState.from_doc(doc)
+        except (KeyError, TypeError):
+            return None
+
+    def save(self, state: SearchState) -> pathlib.Path:
+        """Atomically (re)write ``state``'s checkpoint; returns its path."""
+        path = self.path_for(state.search_id)
+        with atomic_replace(path, encoding="utf-8") as handle:
+            json.dump(state.to_doc(), handle, sort_keys=True, indent=1)
+            handle.write("\n")
+        return path
+
+    # -- the cache-family surface used by `repro cache` ----------------------
+    def _entries(self) -> List[pathlib.Path]:
+        try:
+            return sorted(self.directory.glob(f"v{SEARCH_SCHEMA}/*.json"))
+        except OSError:
+            return []
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def clear(self) -> int:
+        removed = 0
+        for path in self._entries():
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                continue
+        return removed

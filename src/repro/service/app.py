@@ -54,6 +54,8 @@ __all__ = [
     "Resolution",
     "ServiceState",
     "handle_optimum",
+    "handle_search_status",
+    "handle_search_submit",
     "handle_sweep",
     "job_from_request",
 ]
@@ -102,11 +104,15 @@ class ServiceState:
         self.lru = self.resolver.lru
         self.disk = self.resolver.disk
         self.flight = self.resolver.flight
+        self.search_runner = compute  # search engines reuse injected compute
         self._admitted = 0
         self._waiting = 0
         self.draining = False
         self.started_monotonic = time.monotonic()
         self._build_metrics()
+        from .search import SearchManager  # deferred: search imports app types
+
+        self.searches = SearchManager(self)
 
     # -- admission protocol (resolver hook) ----------------------------------
     def admit(self) -> None:
@@ -182,6 +188,18 @@ class ServiceState:
         )
         self.compute_seconds = registry.histogram(
             "repro_compute_seconds", "Executor time per computed job."
+        )
+        self.searches_total = registry.counter(
+            "repro_searches_total", "Design-space searches started by this process."
+        )
+        self.search_probes_total = registry.counter(
+            "repro_search_probe_batches_total",
+            "Checkpointed search probe batches scored by this process.",
+        )
+        registry.gauge(
+            "repro_searches_running",
+            "Design-space searches currently running.",
+            callback=lambda: float(self.searches.running()),
         )
         registry.gauge(
             "repro_queue_depth",
@@ -381,6 +399,28 @@ async def handle_sweep(state: ServiceState, body: dict) -> dict:
         metric=[float(v) for v in sweep.metric(params.m, params.gated)],
     )
     return response
+
+
+async def handle_search_submit(state: ServiceState, body: dict) -> dict:
+    """``POST /v1/search`` — start (or adopt) an async design-space search.
+
+    Validation and bookkeeping happen inline; the probing itself runs on
+    a worker thread, so this answers immediately with the search's
+    content-addressed id and current status for polling.
+    """
+    from .search import parse_search_request
+
+    space, objective, optimizer, seed, budget = parse_search_request(
+        body, state.config
+    )
+    status = state.searches.submit(space, objective, optimizer, seed, budget)
+    status["poll"] = f"/v1/search/{status['search_id']}"
+    return status
+
+
+async def handle_search_status(state: ServiceState, search_id: str) -> dict:
+    """``GET /v1/search/{id}`` — live progress, or the on-disk checkpoint."""
+    return state.searches.status_or_checkpoint(search_id)
 
 
 async def handle_optimum(state: ServiceState, body: dict) -> dict:

@@ -1,14 +1,18 @@
 """The asyncio HTTP/1.1 transport for ``repro serve`` (stdlib-only).
 
 A deliberately small server — request-line + headers + Content-Length
-bodies, keep-alive, JSON in/out — because the daemon's surface is four
+bodies, keep-alive, JSON in/out — because the daemon's surface is six
 endpoints:
 
-* ``POST /v1/sweep``   — per-depth BIPS / watts / metric series;
-* ``POST /v1/optimum`` — simulated (cubic-fit) vs analytic (theory-fit)
-  optimum, side by side;
-* ``GET  /healthz``    — liveness + drain state (503 while draining);
-* ``GET  /metrics``    — Prometheus text exposition.
+* ``POST /v1/sweep``       — per-depth BIPS / watts / metric series;
+* ``POST /v1/optimum``     — simulated (cubic-fit) vs analytic
+  (theory-fit) optimum, side by side;
+* ``POST /v1/search``      — start (or adopt) an async design-space
+  search; answers immediately with its content-addressed id;
+* ``GET  /v1/search/{id}`` — incremental search status (live registry or
+  on-disk checkpoint);
+* ``GET  /healthz``        — liveness + drain state (503 while draining);
+* ``GET  /metrics``        — Prometheus text exposition.
 
 Overload maps to ``429`` with a ``Retry-After`` header (admission
 control lives in :mod:`repro.service.app`); malformed bodies map to
@@ -28,7 +32,16 @@ import signal
 import time
 from typing import Awaitable, Callable, Dict, Optional, Tuple
 
-from .app import BadRequest, Overloaded, ServiceState, handle_optimum, handle_sweep
+from .app import (
+    BadRequest,
+    Overloaded,
+    ServiceState,
+    handle_optimum,
+    handle_search_status,
+    handle_search_submit,
+    handle_sweep,
+)
+from .search import UnknownSearch
 from ..runtime.config import RuntimeConfig
 
 __all__ = ["HttpError", "ServiceServer", "serve"]
@@ -141,6 +154,7 @@ class ServiceServer:
         self._post_routes: Dict[str, Handler] = {
             "/v1/sweep": handle_sweep,
             "/v1/optimum": handle_optimum,
+            "/v1/search": handle_search_submit,
         }
 
     # -- lifecycle ----------------------------------------------------------
@@ -280,6 +294,15 @@ class ServiceServer:
                 return self._error(405, "use GET")
             text = self.state.metrics.render().encode("utf-8")
             return 200, text, "text/plain; version=0.0.4; charset=utf-8", {}
+        if path.startswith("/v1/search/"):
+            if method != "GET":
+                return self._error(405, "use GET")
+            search_id = path[len("/v1/search/"):]
+            try:
+                status = await handle_search_status(self.state, search_id)
+            except UnknownSearch as exc:
+                return self._error(404, str(exc))
+            return 200, _json_body(status), "application/json", {}
         handler = self._post_routes.get(path)
         if handler is None:
             return self._error(404, f"no such endpoint: {path}")

@@ -1,0 +1,244 @@
+"""Daemon-side search orchestration: ``POST /v1/search`` + status polling.
+
+A search is minutes of work, not milliseconds, so the daemon runs it
+*asynchronously*: ``POST /v1/search`` validates the definition, answers
+immediately with the content-addressed ``search_id``, and the driver
+(:func:`repro.search.run_search`) runs on a worker thread with its own
+engine — sharing the daemon's disk cache, so probes the daemon already
+served (or any CLI run computed) are hits, not work.
+
+Design points:
+
+* **idempotent submission** — the id is
+  ``fingerprint_digest(space × objective × optimizer × seed)``; POSTing a
+  running or finished search returns its status instead of forking a
+  duplicate;
+* **admission control** — at most ``search_concurrency`` searches run at
+  once; past that, 429 with ``Retry-After`` (mirroring the sweep path's
+  overload discipline);
+* **incremental status** — the driver checkpoints after every scored
+  batch and mirrors progress into the in-process registry, so
+  ``GET /v1/search/{id}`` reports live probe counts and best-so-far; for
+  searches no longer (or never) in this process, the on-disk checkpoint
+  answers — a CLI-started search is pollable through the daemon.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from typing import Dict, Optional
+
+from ..runtime.config import RuntimeConfig
+from ..search.driver import SearchOutcome, run_search
+from ..search.objective import Objective, ObjectiveError
+from ..search.optimizers import OptimizerError, optimizer_from_doc
+from ..search.space import SearchSpace, SpaceError
+from ..search.state import SearchState, SearchStore, search_identity
+from ..fingerprint import fingerprint_digest
+
+__all__ = ["SearchManager", "UnknownSearch", "parse_search_request"]
+
+logger = logging.getLogger("repro.service.search")
+
+
+class UnknownSearch(Exception):
+    """No such search in this process or on disk (HTTP 404)."""
+
+
+def parse_search_request(body: dict, config: RuntimeConfig):
+    """Validate a ``POST /v1/search`` body into a search definition.
+
+    Returns ``(space, objective, optimizer, seed, budget)``; raises
+    :class:`~repro.service.app.BadRequest` on any defect.
+    """
+    from .app import BadRequest  # local: app imports this module's manager
+
+    if not isinstance(body, dict):
+        raise BadRequest("request body must be a JSON object")
+    known = {"space", "objective", "optimizer", "seed", "budget"}
+    unknown = set(body) - known
+    if unknown:
+        raise BadRequest(f"unknown fields: {sorted(unknown)}")
+    try:
+        space = SearchSpace.from_doc(body.get("space") or {})
+        objective = Objective.from_doc(body.get("objective") or {})
+        optimizer = optimizer_from_doc(body.get("optimizer", "grid"))
+    except (SpaceError, ObjectiveError, OptimizerError) as exc:
+        raise BadRequest(str(exc)) from None
+    if objective.trace_length > config.max_trace_length:
+        raise BadRequest(
+            f"'trace_length' must be <= {config.max_trace_length}, "
+            f"got {objective.trace_length}"
+        )
+    try:
+        seed = int(body.get("seed", config.search_seed))
+        budget = int(body.get("budget", config.search_budget))
+    except (TypeError, ValueError):
+        raise BadRequest("'seed' and 'budget' must be integers") from None
+    if seed < 0 or budget < 0:
+        raise BadRequest("'seed' and 'budget' must be >= 0")
+    return space, objective, optimizer, seed, budget
+
+
+class SearchManager:
+    """Owns the daemon's running searches and their status registry."""
+
+    def __init__(self, state):
+        self._state = state  # the ServiceState (admission + metrics + config)
+        self._lock = threading.Lock()
+        self._statuses: Dict[str, dict] = {}
+        self.store = SearchStore(state.config.search_state_path())
+
+    # -- introspection -------------------------------------------------------
+    def running(self) -> int:
+        with self._lock:
+            return sum(
+                1 for status in self._statuses.values() if status["state"] == "running"
+            )
+
+    def status(self, search_id: str) -> Optional[dict]:
+        with self._lock:
+            status = self._statuses.get(search_id)
+            return dict(status) if status is not None else None
+
+    def status_or_checkpoint(self, search_id: str) -> dict:
+        """Live registry entry, else the on-disk checkpoint, else 404."""
+        status = self.status(search_id)
+        if status is not None:
+            return status
+        checkpoint = self.store.load(search_id)
+        if checkpoint is None:
+            raise UnknownSearch(f"no such search: {search_id}")
+        return self._doc_from_checkpoint(checkpoint)
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, space, objective, optimizer, seed: int, budget: int) -> dict:
+        """Start (or adopt) a search; returns its current status doc.
+
+        Raises :class:`~repro.service.app.Overloaded` when the configured
+        search concurrency is saturated by *other* searches.
+        """
+        from .app import Overloaded  # local: avoids an import cycle
+
+        config = self._state.config
+        search_id = fingerprint_digest(
+            search_identity(space, objective, optimizer.to_doc(), seed)
+        )
+        with self._lock:
+            existing = self._statuses.get(search_id)
+            if existing is not None and existing["state"] == "running":
+                return dict(existing)  # idempotent re-POST
+            checkpoint = self.store.load(search_id)
+            if checkpoint is not None and checkpoint.completed:
+                doc = self._doc_from_checkpoint(checkpoint)
+                self._statuses[search_id] = doc
+                return dict(doc)
+            running = sum(
+                1 for status in self._statuses.values()
+                if status["state"] == "running"
+            )
+            if running >= config.search_concurrency:
+                self._state.rejected_total.inc()
+                raise Overloaded(config.retry_after)
+            status = {
+                "search_id": search_id,
+                "state": "running",
+                "probes": checkpoint.probes if checkpoint else 0,
+                "new_probes": 0,
+                "space_size": space.size(),
+                "best": self._best_of(checkpoint),
+                "completed": False,
+                "budget_exhausted": False,
+                "error": None,
+            }
+            self._statuses[search_id] = status
+        self._state.searches_total.inc()
+        thread = threading.Thread(
+            target=self._run,
+            args=(search_id, space, objective, optimizer, seed, budget),
+            name=f"repro-search-{search_id[:12]}",
+            daemon=True,
+        )
+        thread.start()
+        return self.status(search_id)
+
+    # -- the worker-thread body ----------------------------------------------
+    def _run(self, search_id, space, objective, optimizer, seed, budget) -> None:
+        state = self._state
+
+        def on_progress(search_state: SearchState, new_probes: int) -> None:
+            state.search_probes_total.inc()
+            with self._lock:
+                status = self._statuses[search_id]
+                status["probes"] = search_state.probes
+                status["new_probes"] = new_probes
+                status["best"] = self._best_of(search_state)
+
+        try:
+            outcome = run_search(
+                space,
+                objective,
+                optimizer,
+                seed=seed,
+                budget=budget,
+                config=state.config,
+                store=self.store,
+                runner=state.search_runner,
+                on_progress=on_progress,
+            )
+        except Exception as exc:
+            logger.exception("search %s failed", search_id)
+            with self._lock:
+                status = self._statuses[search_id]
+                status["state"] = "failed"
+                status["error"] = repr(exc)
+            return
+        with self._lock:
+            self._statuses[search_id] = self._doc_from_outcome(outcome)
+
+    # -- status docs ---------------------------------------------------------
+    @staticmethod
+    def _best_of(state: "SearchState | None") -> Optional[dict]:
+        if state is None or state.best is None:
+            return None
+        best = state.best
+        return {
+            "point": best["point"],
+            "score": best["score"],
+            "best_depth": best["best_depth"],
+        }
+
+    @staticmethod
+    def _doc_from_checkpoint(checkpoint: SearchState) -> dict:
+        return {
+            "search_id": checkpoint.search_id,
+            "state": "done" if checkpoint.completed else "paused",
+            "probes": checkpoint.probes,
+            "new_probes": 0,
+            "space_size": None,
+            "best": SearchManager._best_of(checkpoint),
+            "completed": checkpoint.completed,
+            "budget_exhausted": not checkpoint.completed,
+            "error": None,
+        }
+
+    @staticmethod
+    def _doc_from_outcome(outcome: SearchOutcome) -> dict:
+        return {
+            "search_id": outcome.search_id,
+            "state": "done" if outcome.completed else "paused",
+            "probes": outcome.probes,
+            "new_probes": outcome.new_probes,
+            "space_size": outcome.space_size,
+            "best": {
+                "point": outcome.best_point,
+                "score": outcome.best_score,
+                "best_depth": outcome.best_depth,
+            },
+            "completed": outcome.completed,
+            "budget_exhausted": outcome.budget_exhausted,
+            "error": None,
+            "computed": outcome.computed,
+            "cache_hits": outcome.cache_hits,
+        }

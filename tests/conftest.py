@@ -32,6 +32,10 @@ def _isolated_engine_cache(_engine_cache_root, monkeypatch):
     monkeypatch.delenv("REPRO_ANALYSIS_CACHE", raising=False)
     monkeypatch.delenv("REPRO_ANALYSIS_CACHE_DIR", raising=False)
     monkeypatch.delenv("REPRO_CONFIG", raising=False)
+    monkeypatch.delenv("REPRO_SEARCH_STATE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_SEARCH_BUDGET", raising=False)
+    monkeypatch.delenv("REPRO_SEARCH_SEED", raising=False)
+    monkeypatch.delenv("REPRO_SEARCH_CONCURRENCY", raising=False)
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,139 @@
+"""run_search: determinism, budgets, resume and zero recomputation.
+
+These are the subsystem's acceptance tests:
+
+* a repeated run writes a byte-identical checkpoint (determinism);
+* an interrupted-then-resumed search probes the same set as an
+  uninterrupted one, recomputing nothing (resolver counters prove it);
+* beam and multi-start find the exhaustive-grid optimum on a real
+  (small) objective, and a warm second search computes zero jobs.
+"""
+
+import pathlib
+
+from repro.engine.scheduler import EngineConfig, ExecutionEngine
+from repro.search import (
+    BeamSearch,
+    GridSearch,
+    MultiStartSearch,
+    Objective,
+    SearchSpace,
+    SearchStore,
+    run_search,
+)
+
+SPACE = SearchSpace.of({"issue_width": "2:4:2", "t_o": "2.0:3.0:0.5"})
+OBJECTIVE = Objective(
+    workloads=("gzip",), depths=(4, 6, 8), trace_length=400, backend="fast"
+)
+
+
+def engine_for(cache_dir):
+    """A fresh engine per run, so its counters are per-run ground truth."""
+    return ExecutionEngine(EngineConfig(workers=1, cache_dir=cache_dir))
+
+
+def search(tmp_path, optimizer, *, cache="cache", state="state", **kwargs):
+    return run_search(
+        SPACE,
+        OBJECTIVE,
+        optimizer,
+        seed=kwargs.pop("seed", 0),
+        budget=kwargs.pop("budget", 0),
+        engine=engine_for(tmp_path / cache),
+        store=SearchStore(tmp_path / state),
+        **kwargs,
+    )
+
+
+class TestGridDriver:
+    def test_cold_run_probes_the_whole_space(self, tmp_path):
+        outcome = search(tmp_path, GridSearch())
+        assert outcome.completed and not outcome.budget_exhausted
+        assert outcome.probes == outcome.new_probes == SPACE.size()
+        assert outcome.computed == SPACE.size()  # 1 workload => 1 job/point
+        assert outcome.best_point == {"issue_width": 4, "t_o": 2.0}
+        assert outcome.best_depth in OBJECTIVE.depths
+
+    def test_completed_checkpoint_short_circuits(self, tmp_path):
+        first = search(tmp_path, GridSearch())
+        second = search(tmp_path, GridSearch())
+        assert second.search_id == first.search_id
+        assert second.completed
+        assert second.new_probes == 0 and second.computed == 0
+        assert second.best_point == first.best_point
+
+    def test_fresh_restarts_but_recomputes_nothing(self, tmp_path):
+        search(tmp_path, GridSearch())
+        redone = search(tmp_path, GridSearch(), resume=False)
+        assert redone.new_probes == SPACE.size()
+        assert redone.computed == 0  # every job is a result-cache disk hit
+        assert redone.cache_hits == SPACE.size()
+
+
+class TestDeterminism:
+    def test_repeat_runs_write_byte_identical_checkpoints(self, tmp_path):
+        """Satellite: all randomness flows from the explicit seed."""
+        for optimizer in (GridSearch(), BeamSearch(beam_width=2),
+                          MultiStartSearch(starts=3)):
+            first = search(tmp_path, optimizer, state="state-a", seed=7)
+            second = search(tmp_path, optimizer, state="state-b", seed=7)
+            assert first.search_id == second.search_id
+            bytes_a = pathlib.Path(first.checkpoint_path).read_bytes()
+            bytes_b = pathlib.Path(second.checkpoint_path).read_bytes()
+            assert bytes_a == bytes_b
+
+    def test_seed_is_part_of_the_identity(self, tmp_path):
+        a = search(tmp_path, MultiStartSearch(starts=2), seed=0)
+        b = search(tmp_path, MultiStartSearch(starts=2), seed=1)
+        assert a.search_id != b.search_id
+
+
+class TestBudgetAndResume:
+    def test_interrupted_resume_equals_uninterrupted_run(self, tmp_path):
+        """Satellite: kill mid-run, resume, union equals one straight run
+        and nothing is recomputed (resolver hit counters prove it)."""
+        baseline = search(tmp_path, GridSearch(batch=2),
+                          cache="cache-base", state="state-base")
+        assert baseline.completed
+
+        first = search(tmp_path, GridSearch(batch=2), budget=3)
+        assert first.budget_exhausted and not first.completed
+        assert first.probes == first.new_probes == 3
+        assert first.computed == 3
+
+        resumed = search(tmp_path, GridSearch(batch=2))
+        assert resumed.completed and not resumed.budget_exhausted
+        assert resumed.probes == SPACE.size()
+        assert resumed.new_probes == SPACE.size() - 3
+        assert resumed.replayed == 3  # served from the checkpoint
+        assert resumed.computed == SPACE.size() - 3  # zero probes recomputed
+        assert resumed.best_point == baseline.best_point
+        assert resumed.best_score == baseline.best_score
+
+        # The resumed checkpoint is byte-identical to the uninterrupted one.
+        assert (
+            pathlib.Path(resumed.checkpoint_path).read_bytes()
+            == pathlib.Path(baseline.checkpoint_path).read_bytes()
+        )
+
+    def test_budget_zero_means_unlimited(self, tmp_path):
+        outcome = search(tmp_path, GridSearch(), budget=0)
+        assert outcome.completed and outcome.probes == SPACE.size()
+
+
+class TestOptimizersAgree:
+    def test_beam_and_multistart_find_the_grid_optimum(self, tmp_path):
+        """Acceptance: every strategy lands on the exhaustive optimum, and
+        anything after the grid pass computes zero new simulations."""
+        grid = search(tmp_path, GridSearch())
+        beam = search(tmp_path, BeamSearch(beam_width=2))
+        multi = search(tmp_path, MultiStartSearch(starts=3), seed=7)
+        assert beam.best_point == grid.best_point
+        assert multi.best_point == grid.best_point
+        assert beam.best_score == grid.best_score
+        assert multi.best_score == grid.best_score
+        # Cross-search reuse: the grid run warmed the result cache, so the
+        # other searches probe entirely through disk hits.
+        assert beam.computed == 0
+        assert multi.computed == 0

@@ -1,0 +1,128 @@
+"""Cross-entry-point search coherence: CLI, daemon and experiments hook.
+
+A search is content-addressed by (space, objective, optimizer, seed), so
+every entry point that names the same search must land on the same
+checkpoint and the same result cache — a search started at the CLI can
+be finished (or simply read) through ``GET /v1/search/{id}``, and the
+daemon recomputes nothing.
+"""
+
+import argparse
+import asyncio
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.runner import add_search_arguments, search_from_args
+from repro.service import ServiceServer, ServiceState
+from repro.service.loadgen import HttpClient
+from repro.runtime import RuntimeConfig
+
+LENGTH = 400
+
+
+@pytest.fixture()
+def shared_cache(tmp_path, monkeypatch):
+    directory = tmp_path / "shared-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(directory))
+    return directory
+
+
+SEARCH_FLAGS = [
+    "--workload", "gzip",
+    "--param", "issue_width=2:4:2",
+    "--length", str(LENGTH),
+    "--depths", "4,6,8",
+    "--backend", "fast",
+]
+
+
+def test_cli_search_finishes_through_the_daemon(shared_cache, capsys):
+    """Start a search at the CLI under a budget, then poll and finish it
+    via the daemon: same search id, zero jobs recomputed."""
+    rc = cli_main(["search", *SEARCH_FLAGS, "--budget", "1", "--json"])
+    assert rc == 0
+    started = json.loads(capsys.readouterr().out)
+    assert started["budget_exhausted"] is True
+    assert started["probes"] == 1 and started["computed"] == 1
+
+    async def scenario():
+        config = RuntimeConfig.load().with_values(
+            host="127.0.0.1", port=0, executor="thread", workers=2
+        )
+        state = ServiceState(config)
+        server = ServiceServer(state)
+        await server.start()
+        client = HttpClient("127.0.0.1", server.port)
+        try:
+            # The daemon sees the CLI's checkpoint before any submit.
+            status, paused = await client.request_json(
+                "GET", f"/v1/search/{started['search_id']}"
+            )
+            assert (status, paused["state"]) == (200, "paused")
+            assert paused["probes"] == 1
+
+            # Submitting the same definition resumes the same search.
+            body = {
+                "space": {"issue_width": "2:4:2"},
+                "objective": {
+                    "workloads": ["gzip"],
+                    "depths": [4, 6, 8],
+                    "trace_length": LENGTH,
+                    "backend": "fast",
+                },
+                "optimizer": "grid",
+                "seed": 0,
+                "budget": 0,
+            }
+            status, submitted = await client.request_json(
+                "POST", "/v1/search", body
+            )
+            assert status == 200
+            while True:
+                status, doc = await client.request_json(
+                    "GET", f"/v1/search/{submitted['search_id']}"
+                )
+                if doc["state"] != "running":
+                    break
+                await asyncio.sleep(0.05)
+            return submitted, doc
+        finally:
+            await client.close()
+            await server.drain(timeout=5.0)
+
+    submitted, finished = asyncio.run(scenario())
+    assert submitted["search_id"] == started["search_id"]
+    assert finished["state"] == "done"
+    assert finished["probes"] == 2
+    # The CLI's probe replays from the checkpoint; the one fresh probe's
+    # job is the only computation the daemon performs.
+    assert finished["new_probes"] == 1
+    assert finished["computed"] == 1
+
+    # And a CLI re-run of the finished search recomputes nothing at all.
+    rc = cli_main(["search", *SEARCH_FLAGS, "--json"])
+    assert rc == 0
+    rerun = json.loads(capsys.readouterr().out)
+    assert rerun["search_id"] == started["search_id"]
+    assert rerun["completed"] is True
+    assert rerun["new_probes"] == 0 and rerun["computed"] == 0
+
+
+def test_experiments_hook_matches_the_cli(shared_cache, capsys):
+    """search_from_args (the experiments hook) resolves to the same
+    content-addressed search as the CLI command."""
+    parser = argparse.ArgumentParser()
+    add_search_arguments(parser)
+    outcome = search_from_args(parser.parse_args(SEARCH_FLAGS))
+    assert outcome.completed
+    assert outcome.probes == 2
+
+    rc = cli_main(["search", *SEARCH_FLAGS, "--json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["search_id"] == outcome.search_id
+    assert doc["completed"] is True
+    assert doc["new_probes"] == 0 and doc["computed"] == 0
+    assert doc["best"]["point"] == outcome.best_point

@@ -1,0 +1,123 @@
+"""Objective: point -> MachineConfig mapping, jobs, scoring, interchange."""
+
+import math
+
+import pytest
+
+from repro.engine.scheduler import ExecutionEngine
+from repro.search import Objective, ObjectiveError
+
+DEPTHS = (4, 6, 8)
+LENGTH = 400
+
+
+@pytest.fixture(scope="module")
+def objective():
+    return Objective(
+        workloads=("gzip",), depths=DEPTHS, trace_length=LENGTH, backend="fast"
+    )
+
+
+class TestMachineMapping:
+    def test_structure_and_width_fields(self, objective):
+        machine = objective.machine_for(
+            {"issue_width": 8, "rob_size": 64, "btb_entries": 512}
+        )
+        assert machine.issue_width == 8
+        assert machine.rob_size == 64
+        assert machine.btb_entries == 512
+        assert machine.in_order is True  # objective default applied
+
+    def test_technology_fields_use_paper_notation(self, objective):
+        machine = objective.machine_for({"t_o": 3.0, "t_p": 120.0})
+        assert machine.technology.latch_overhead == 3.0
+        assert machine.technology.total_logic_depth == 120.0
+
+    def test_cache_sizes_are_in_kb(self, objective):
+        machine = objective.machine_for({"icache_kb": 32, "l2_kb": 1024})
+        assert machine.icache.size == 32 * 1024
+        assert machine.l2.size == 1024 * 1024
+
+    def test_none_btb_and_predictor_kind(self, objective):
+        machine = objective.machine_for(
+            {"btb_entries": None, "predictor_kind": "bimodal"}
+        )
+        assert machine.btb_entries is None
+        assert machine.predictor_kind == "bimodal"
+
+    def test_unknown_parameter_raises(self, objective):
+        with pytest.raises(ObjectiveError, match="unknown search parameter"):
+            objective.machine_for({"warp_factor": 9})
+
+    def test_invalid_value_raises_objective_error(self, objective):
+        with pytest.raises(ObjectiveError, match="invalid point"):
+            objective.machine_for({"issue_width": -2})
+
+    def test_m_is_a_metric_parameter(self, objective):
+        assert objective.exponent_for({"m": 2.0}) == 2.0
+        assert objective.exponent_for({}) == objective.m
+
+
+class TestScoring:
+    def test_jobs_and_score_align_per_workload(self):
+        objective = Objective(
+            workloads=("gzip", "gcc95"),
+            depths=DEPTHS,
+            trace_length=LENGTH,
+            backend="fast",
+        )
+        point = {"issue_width": 4}
+        jobs = objective.jobs_for(point)
+        assert len(jobs) == 2
+        assert [job.spec.name for job in jobs] == ["gzip", "gcc95"]
+        assert all(job.depths == DEPTHS for job in jobs)
+
+        results = ExecutionEngine().run(jobs)
+        score = objective.score(point, results)
+        assert score.best_depth in DEPTHS
+        assert score.value > 0
+
+        # Geometric mean: the two-workload score is the sqrt of the product
+        # of the single-workload scores at the chosen depth.
+        from repro.analysis.sweep import sweep_from_results
+        from repro.trace.suite import get_workload
+
+        index = DEPTHS.index(score.best_depth)
+        singles = []
+        for name, result in zip(objective.workloads, results):
+            sweep = sweep_from_results(
+                result.results, DEPTHS, spec=get_workload(name), reference_depth=8
+            )
+            singles.append(sweep.metric(3.0, True)[index])
+        assert score.value == pytest.approx(math.sqrt(singles[0] * singles[1]))
+
+    def test_result_count_mismatch_raises(self, objective):
+        with pytest.raises(ObjectiveError, match="results for"):
+            objective.score({}, [])
+
+
+class TestValidationAndInterchange:
+    def test_constructor_validation(self):
+        with pytest.raises(ObjectiveError, match="workload"):
+            Objective(workloads=())
+        with pytest.raises(ObjectiveError, match="unknown workload"):
+            Objective(workloads=("no-such-workload",))
+        with pytest.raises(ObjectiveError, match="ascending"):
+            Objective(workloads=("gzip",), depths=(8, 4))
+        with pytest.raises(ObjectiveError, match="backend"):
+            Objective(workloads=("gzip",), backend="warp")
+        with pytest.raises(ObjectiveError, match="reference_depth"):
+            Objective(workloads=("gzip",), depths=(4, 6), reference_depth=99)
+
+    def test_reference_depth_defaults(self):
+        assert Objective(workloads=("gzip",), depths=(4, 8, 12)).reference_depth == 8
+        assert Objective(workloads=("gzip",), depths=(4, 6, 12)).reference_depth == 6
+
+    def test_doc_round_trip(self, objective):
+        assert Objective.from_doc(objective.to_doc()) == objective
+
+    def test_from_doc_rejects_unknown_and_missing_fields(self):
+        with pytest.raises(ObjectiveError, match="workloads"):
+            Objective.from_doc({"depths": [4, 6]})
+        with pytest.raises(ObjectiveError, match="unknown objective fields"):
+            Objective.from_doc({"workloads": ["gzip"], "frobnicate": 1})

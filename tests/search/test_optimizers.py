@@ -1,0 +1,146 @@
+"""Optimizer strategies against a synthetic oracle (no simulator).
+
+The oracle is a smooth 2-D bowl with a unique maximum, so the grid
+optimum is known exactly and the smarter strategies must find it.
+"""
+
+import pytest
+
+from repro.search import (
+    BeamSearch,
+    BudgetExhausted,
+    GridSearch,
+    MultiStartSearch,
+    OptimizerError,
+    SearchSpace,
+    optimizer_from_doc,
+    point_key,
+)
+
+SPACE = SearchSpace.of({"x": "0:9", "y": "0:9"})
+PEAK = {"x": 6, "y": 3}
+
+
+def synthetic_score(point):
+    return 100.0 - (point["x"] - PEAK["x"]) ** 2 - (point["y"] - PEAK["y"]) ** 2
+
+
+class Oracle:
+    """A recording evaluate() with optional fresh-probe budget."""
+
+    def __init__(self, budget=None):
+        self.seen = {}
+        self.log = []
+        self.budget = budget
+
+    def __call__(self, points):
+        fresh = [p for p in points if point_key(p) not in self.seen]
+        if self.budget is not None and len(self.seen) + len(fresh) > self.budget:
+            allowed = self.budget - len(self.seen)
+            for point in fresh[:allowed]:
+                self.seen[point_key(point)] = synthetic_score(point)
+            raise BudgetExhausted("budget spent")
+        for point in fresh:
+            self.seen[point_key(point)] = synthetic_score(point)
+        scores = [self.seen[point_key(p)] for p in points]
+        self.log.append([point_key(p) for p in points])
+        return scores
+
+    def best(self):
+        return max(self.seen.values())
+
+
+def run(optimizer, seed=0, budget=None):
+    oracle = Oracle(budget=budget)
+    optimizer.explore(SPACE, oracle, seed)
+    return oracle
+
+
+class TestGridSearch:
+    def test_visits_every_point_exactly_once(self):
+        oracle = run(GridSearch(batch=7))
+        assert len(oracle.seen) == SPACE.size()
+        assert oracle.best() == synthetic_score(PEAK)
+
+    def test_batching_chunks_the_grid(self):
+        oracle = run(GridSearch(batch=32))
+        assert [len(batch) for batch in oracle.log] == [32, 32, 32, 4]
+
+    def test_budget_exhaustion_propagates(self):
+        with pytest.raises(BudgetExhausted):
+            run(GridSearch(batch=10), budget=25)
+
+
+class TestBeamSearch:
+    def test_finds_the_grid_optimum_with_fewer_probes(self):
+        oracle = run(BeamSearch(beam_width=4))
+        assert oracle.best() == synthetic_score(PEAK)
+        assert len(oracle.seen) < SPACE.size()
+
+    def test_probe_sequence_is_deterministic(self):
+        a = run(BeamSearch(beam_width=3), seed=5)
+        b = run(BeamSearch(beam_width=3), seed=5)
+        assert a.log == b.log
+
+
+class TestMultiStartSearch:
+    def test_finds_the_grid_optimum(self):
+        oracle = run(MultiStartSearch(starts=4), seed=1)
+        assert oracle.best() == synthetic_score(PEAK)
+        assert len(oracle.seen) < SPACE.size()
+
+    def test_seed_determines_the_probe_sequence(self):
+        a = run(MultiStartSearch(starts=3), seed=2)
+        b = run(MultiStartSearch(starts=3), seed=2)
+        assert a.log == b.log
+        c = run(MultiStartSearch(starts=3), seed=3)
+        assert a.log != c.log  # a different seed explores differently
+
+    def test_replay_prefix_then_continue(self):
+        """Resume = re-run with the old answers replayed: same final set."""
+        uninterrupted = run(MultiStartSearch(starts=3), seed=4)
+
+        interrupted = Oracle(budget=8)
+        with pytest.raises(BudgetExhausted):
+            MultiStartSearch(starts=3).explore(SPACE, interrupted, 4)
+        resumed = Oracle()
+        resumed.seen = dict(interrupted.seen)  # the checkpointed visited set
+        MultiStartSearch(starts=3).explore(SPACE, resumed, 4)
+        assert resumed.seen == uninterrupted.seen
+
+
+class TestConfig:
+    def test_from_doc_round_trip(self):
+        beam = BeamSearch(beam_width=6, max_rounds=9)
+        assert optimizer_from_doc(beam.to_doc()) == beam
+        assert optimizer_from_doc("grid") == GridSearch()
+        assert optimizer_from_doc({"kind": "multistart", "starts": 2}) == (
+            MultiStartSearch(starts=2)
+        )
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            {"kind": "warp"},
+            {"kind": "beam", "frobnicate": 1},
+            {},
+            42,
+        ],
+    )
+    def test_malformed_docs_raise(self, doc):
+        with pytest.raises(OptimizerError):
+            optimizer_from_doc(doc)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            lambda: GridSearch(batch=0),
+            lambda: BeamSearch(beam_width=0),
+            lambda: BeamSearch(initial=0),
+            lambda: MultiStartSearch(starts=0),
+            lambda: MultiStartSearch(max_steps=0),
+        ],
+    )
+    def test_invalid_config_raises(self, bad):
+        with pytest.raises(OptimizerError):
+            bad()

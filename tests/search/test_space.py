@@ -1,0 +1,146 @@
+"""Domains, the CLI spec grammar and SearchSpace geometry."""
+
+import random
+
+import pytest
+
+from repro.search import (
+    Choice,
+    FloatRange,
+    IntRange,
+    SearchSpace,
+    SpaceError,
+    parse_domain,
+)
+
+
+class TestDomains:
+    def test_int_range_values(self):
+        assert IntRange(2, 8, 2).values() == (2, 4, 6, 8)
+        assert IntRange(3, 3).values() == (3,)
+
+    def test_float_range_is_inclusive_linspace(self):
+        values = FloatRange(1.5, 3.5, 5).values()
+        assert values == (1.5, 2.0, 2.5, 3.0, 3.5)
+        assert FloatRange(2.0, 2.0, 1).values() == (2.0,)
+
+    def test_choice_keeps_order_and_types(self):
+        options = ("gshare", "bimodal", None, 4096, True)
+        assert Choice(options).values() == options
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            lambda: IntRange(8, 2),
+            lambda: IntRange(2, 8, 0),
+            lambda: FloatRange(3.5, 1.5, 5),
+            lambda: FloatRange(1.0, 2.0, 0),
+            lambda: FloatRange(1.0, 2.0, 1),  # 1 point but lo != hi
+            lambda: Choice(()),
+            lambda: Choice((1, 1)),
+        ],
+    )
+    def test_malformed_domains_raise(self, bad):
+        with pytest.raises(SpaceError):
+            bad()
+
+
+class TestParseDomain:
+    def test_int_range_specs(self):
+        assert parse_domain("2:8") == IntRange(2, 8, 1)
+        assert parse_domain("2:8:2") == IntRange(2, 8, 2)
+
+    def test_float_range_by_step_and_by_count(self):
+        assert parse_domain("1.5:3.5:0.5") == FloatRange(1.5, 3.5, 5)
+        assert parse_domain("1.5:3.5/5") == FloatRange(1.5, 3.5, 5)
+
+    def test_choice_specs_parse_scalars(self):
+        assert parse_domain("gshare,bimodal").options == ("gshare", "bimodal")
+        assert parse_domain("none,512,1.5,true").options == (None, 512, 1.5, True)
+        assert parse_domain("4096").options == (4096,)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "1:2:3:4", "a:b", "1.5:3.5", "1:5/2:3", "1:5/x", "1.5:3.5:-1"],
+    )
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(SpaceError):
+            parse_domain(spec)
+
+
+class TestSearchSpace:
+    @pytest.fixture()
+    def space(self):
+        return SearchSpace.of(
+            {"issue_width": "2:4:2", "t_o": "2.0:3.0:0.5", "kind": "gshare,bimodal"}
+        )
+
+    def test_axes_are_name_sorted(self, space):
+        assert space.names == ("issue_width", "kind", "t_o")
+        reordered = SearchSpace.of(
+            {"t_o": "2.0:3.0:0.5", "kind": "gshare,bimodal", "issue_width": "2:4:2"}
+        )
+        assert reordered.to_doc() == space.to_doc()
+
+    def test_size_and_grid_cover_every_point(self, space):
+        assert space.size() == 2 * 2 * 3
+        points = list(space.grid())
+        assert len(points) == space.size()
+        assert len({tuple(sorted(p.items())) for p in points}) == space.size()
+        # odometer: last (name-sorted) axis varies fastest
+        assert points[0] == {"issue_width": 2, "kind": "gshare", "t_o": 2.0}
+        assert points[1] == {"issue_width": 2, "kind": "gshare", "t_o": 2.5}
+
+    def test_grid_sample_is_deterministic_and_on_grid(self, space):
+        sample = space.grid_sample(5)
+        assert sample == space.grid_sample(5)
+        assert len(sample) == 5
+        for point in sample:
+            space.indices_of(point)  # raises if off-grid
+        # oversampling clips to the grid
+        assert len(space.grid_sample(100)) == space.size()
+
+    def test_neighbors_step_one_index_per_axis(self, space):
+        point = {"issue_width": 2, "kind": "gshare", "t_o": 2.5}
+        neighbors = space.neighbors(point)
+        assert {tuple(sorted(n.items())) for n in neighbors} == {
+            (("issue_width", 4), ("kind", "gshare"), ("t_o", 2.5)),
+            (("issue_width", 2), ("kind", "bimodal"), ("t_o", 2.5)),
+            (("issue_width", 2), ("kind", "gshare"), ("t_o", 2.0)),
+            (("issue_width", 2), ("kind", "gshare"), ("t_o", 3.0)),
+        }
+        with pytest.raises(KeyError):
+            space.neighbors({"issue_width": 3, "kind": "gshare", "t_o": 2.5})
+
+    def test_random_point_uses_only_the_given_rng(self, space):
+        a = [space.random_point(random.Random("seed")) for _ in range(5)]
+        b = [space.random_point(random.Random("seed")) for _ in range(5)]
+        assert a == b
+        for point in a:
+            space.indices_of(point)
+
+    def test_doc_round_trip(self, space):
+        assert SearchSpace.from_doc(space.to_doc()) == space
+
+    def test_from_doc_accepts_cli_strings(self):
+        space = SearchSpace.from_doc({"issue_width": "2:4:2"})
+        assert space.domain("issue_width") == IntRange(2, 4, 2)
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            {},
+            "not-a-mapping",
+            {"x": 7},
+            {"x": {"int": [1, 4], "float": [1.0, 4.0]}},
+            {"x": {"weird": [1]}},
+            {"x": {"int": [1]}},
+        ],
+    )
+    def test_malformed_docs_raise(self, doc):
+        with pytest.raises(SpaceError):
+            SearchSpace.from_doc(doc)
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(SpaceError):
+            SearchSpace((("a", IntRange(1, 2)), ("a", IntRange(1, 2))))

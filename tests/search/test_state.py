@@ -1,0 +1,116 @@
+"""Checkpoint identity, persistence and the cache-family surface."""
+
+import json
+
+from repro.search import (
+    GridSearch,
+    Objective,
+    SearchSpace,
+    SearchState,
+    SearchStore,
+    point_key,
+)
+from repro.search.state import SEARCH_SCHEMA, search_identity
+
+SPACE = SearchSpace.of({"issue_width": "2:4:2"})
+OBJECTIVE = Objective(workloads=("gzip",), depths=(4, 8), trace_length=400)
+
+
+def fresh_state(seed=0):
+    return SearchState.fresh(SPACE, OBJECTIVE, GridSearch().to_doc(), seed)
+
+
+class TestIdentity:
+    def test_id_depends_on_every_identity_field(self):
+        base = fresh_state()
+        assert fresh_state().search_id == base.search_id
+        assert fresh_state(seed=1).search_id != base.search_id
+        other_space = SearchState.fresh(
+            SearchSpace.of({"issue_width": "2:8:2"}),
+            OBJECTIVE,
+            GridSearch().to_doc(),
+            0,
+        )
+        assert other_space.search_id != base.search_id
+        other_optimizer = SearchState.fresh(
+            SPACE, OBJECTIVE, GridSearch(batch=7).to_doc(), 0
+        )
+        assert other_optimizer.search_id != base.search_id
+
+    def test_budget_is_not_part_of_the_identity(self):
+        identity = search_identity(SPACE, OBJECTIVE, GridSearch().to_doc(), 0)
+        assert "budget" not in json.dumps(identity)
+
+    def test_point_key_is_order_insensitive(self):
+        assert point_key({"a": 1, "b": 2}) == point_key({"b": 2, "a": 1})
+
+
+class TestState:
+    def test_record_tracks_order_and_best(self):
+        state = fresh_state()
+        state.record({"issue_width": 2}, 1.0, 8)
+        state.record({"issue_width": 4}, 3.0, 4)
+        state.record({"issue_width": 2}, 1.0, 8)  # re-record: no new order entry
+        assert state.probes == 2
+        assert state.best["point"] == {"issue_width": 4}
+        assert state.best["best_depth"] == 4
+
+    def test_doc_round_trip(self):
+        state = fresh_state()
+        state.record({"issue_width": 2}, 1.0, 8)
+        state.completed = True
+        clone = SearchState.from_doc(state.to_doc())
+        assert clone.to_doc() == state.to_doc()
+
+
+class TestStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = SearchStore(tmp_path / "search")
+        state = fresh_state()
+        state.record({"issue_width": 2}, 1.0, 8)
+        path = store.save(state)
+        assert path.parent.name == f"v{SEARCH_SCHEMA}"
+        loaded = store.load(state.search_id)
+        assert loaded is not None and loaded.to_doc() == state.to_doc()
+
+    def test_load_rejects_missing_corrupt_and_stale(self, tmp_path):
+        store = SearchStore(tmp_path / "search")
+        state = fresh_state()
+        assert store.load(state.search_id) is None
+
+        path = store.save(state)
+        path.write_text("{not json", encoding="utf-8")
+        assert store.load(state.search_id) is None
+
+        doc = state.to_doc()
+        doc["schema"] = SEARCH_SCHEMA + 1
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert store.load(state.search_id) is None
+
+        doc["schema"] = SEARCH_SCHEMA
+        doc["search_id"] = "someone-else"
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert store.load(state.search_id) is None
+
+    def test_cache_family_surface(self, tmp_path):
+        store = SearchStore(tmp_path / "search")
+        assert len(store) == 0 and store.size_bytes() == 0
+        store.save(fresh_state())
+        store.save(fresh_state(seed=1))
+        assert len(store) == 2
+        assert store.size_bytes() > 0
+        assert store.clear() == 2
+        assert len(store) == 0
+
+    def test_checkpoints_dodge_the_result_cache_glob(self, tmp_path):
+        """Nested under the result cache dir, checkpoints must not match
+        the result cache's ``*/*.json`` entry glob (clear() disjointness)."""
+        from repro.engine.cache import ResultCache
+
+        cache_dir = tmp_path / "cache"
+        store = SearchStore(cache_dir / "search")
+        store.save(fresh_state())
+        result_cache = ResultCache(cache_dir)
+        assert len(result_cache) == 0
+        assert result_cache.clear() == 0
+        assert len(store) == 1

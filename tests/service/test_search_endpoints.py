@@ -1,0 +1,191 @@
+"""The async search endpoints: POST /v1/search + GET /v1/search/{id}."""
+
+import asyncio
+
+from repro.service import ServiceServer, ServiceState
+
+from .test_http_service import make_config, running
+
+LENGTH = 400
+
+
+def search_body(**overrides):
+    body = {
+        "space": {"issue_width": {"choice": [2, 4]}},
+        "objective": {
+            "workloads": ["gzip"],
+            "depths": [4, 6, 8],
+            "trace_length": LENGTH,
+            "backend": "fast",
+        },
+        "optimizer": "grid",
+        "seed": 0,
+        "budget": 0,
+    }
+    body.update(overrides)
+    return body
+
+
+async def poll_until_settled(client, poll_path, timeout=20.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while True:
+        status, doc = await client.request_json("GET", poll_path)
+        assert status == 200
+        if doc["state"] != "running":
+            return doc
+        assert asyncio.get_running_loop().time() < deadline, "search never settled"
+        await asyncio.sleep(0.05)
+
+
+class TestSearchEndpoints:
+    def test_submit_poll_and_finish(self, tmp_path):
+        async def scenario():
+            async with running(make_config(tmp_path)) as (_server, client):
+                status, submitted = await client.request_json(
+                    "POST", "/v1/search", search_body()
+                )
+                assert status == 200
+                assert submitted["state"] == "running"
+                assert submitted["poll"].endswith(submitted["search_id"])
+                done = await poll_until_settled(client, submitted["poll"])
+                return submitted, done
+
+        submitted, done = asyncio.run(scenario())
+        assert done["state"] == "done"
+        assert done["search_id"] == submitted["search_id"]
+        assert done["completed"] is True
+        assert done["probes"] == 2 and done["space_size"] == 2
+        assert done["best"]["point"] == {"issue_width": 4}
+        assert done["best"]["score"] > 0
+        assert done["computed"] == 2 and done["error"] is None
+
+    def test_resubmit_is_idempotent_and_restart_reads_the_checkpoint(self, tmp_path):
+        config = make_config(tmp_path)
+
+        async def first_life():
+            async with running(config) as (_server, client):
+                _status, submitted = await client.request_json(
+                    "POST", "/v1/search", search_body()
+                )
+                await poll_until_settled(client, submitted["poll"])
+                # Re-POST of a finished search: adopted, not restarted.
+                status, again = await client.request_json(
+                    "POST", "/v1/search", search_body()
+                )
+                return status, submitted["search_id"], again
+
+        status, search_id, again = asyncio.run(first_life())
+        assert status == 200
+        assert again["search_id"] == search_id
+        assert again["state"] == "done"
+
+        async def second_life():
+            async with running(config) as (_server, client):
+                return await client.request_json("GET", f"/v1/search/{search_id}")
+
+        # A fresh daemon has no live registry entry but finds the
+        # on-disk checkpoint (the content address is the same).
+        status, doc = asyncio.run(second_life())
+        assert status == 200
+        assert doc["state"] == "done" and doc["completed"] is True
+        assert doc["probes"] == 2
+
+    def test_unknown_id_is_404(self, tmp_path):
+        async def scenario():
+            async with running(make_config(tmp_path)) as (_server, client):
+                return await client.request_json("GET", "/v1/search/deadbeef")
+
+        status, doc = asyncio.run(scenario())
+        assert status == 404
+        assert "deadbeef" in doc["error"]
+
+    def test_malformed_bodies_are_400(self, tmp_path):
+        cases = [
+            ({}, "space"),
+            (search_body(space={}), "space"),
+            (search_body(objective={}), "workloads"),
+            (search_body(optimizer="warp"), "optimizer"),
+            (search_body(budget=-1), "budget"),
+            (search_body(seed="lucky"), "seed"),
+            (search_body(frobnicate=1), "unknown fields"),
+            (
+                search_body(
+                    objective={"workloads": ["gzip"], "trace_length": 10**9}
+                ),
+                "trace_length",
+            ),
+        ]
+
+        async def scenario():
+            outcomes = []
+            async with running(make_config(tmp_path)) as (_server, client):
+                for body, _needle in cases:
+                    outcomes.append(
+                        await client.request_json("POST", "/v1/search", body)
+                    )
+            return outcomes
+
+        outcomes = asyncio.run(scenario())
+        for (status, doc), (_body, needle) in zip(outcomes, cases):
+            assert status == 400, doc
+            assert needle in doc["error"]
+
+    def test_admission_control_rejects_excess_searches(self, tmp_path):
+        """With search_concurrency=1, a second distinct search gets 429
+        while the first runs; a slow runner keeps the slot occupied."""
+        import threading
+
+        from repro.engine.worker import execute_job
+
+        release = threading.Event()
+
+        def slow_runner(job):
+            release.wait(timeout=10)
+            return execute_job(job)
+
+        async def scenario():
+            config = make_config(tmp_path, search_concurrency=1)
+            state = ServiceState(config)
+            state.search_runner = slow_runner
+            server = ServiceServer(state)
+            await server.start()
+            from repro.service.loadgen import HttpClient
+
+            client = HttpClient("127.0.0.1", server.port)
+            try:
+                status1, first = await client.request_json(
+                    "POST", "/v1/search", search_body()
+                )
+                status2, _headers, raw = await client.request(
+                    "POST", "/v1/search", search_body(seed=99)
+                )
+                retry_after = _headers.get("retry-after")
+                release.set()
+                done = await poll_until_settled(client, first["poll"])
+                metrics = state.metrics.render()
+                return status1, status2, retry_after, done, metrics
+            finally:
+                await client.close()
+                release.set()
+                await server.drain(timeout=5.0)
+
+        status1, status2, retry_after, done, metrics = asyncio.run(scenario())
+        assert status1 == 200
+        assert status2 == 429
+        assert retry_after is not None and float(retry_after) > 0
+        assert done["state"] == "done"
+        assert "repro_searches_total 1" in metrics
+        assert "repro_searches_running 0" in metrics
+
+    def test_wrong_method_on_status_is_405(self, tmp_path):
+        async def scenario():
+            config = make_config(tmp_path)
+            state = ServiceState(config)
+            server = ServiceServer(state)
+            try:
+                return await server._route("POST", "/v1/search/abc123", b"{}")
+            finally:
+                await state.shutdown()
+
+        status, _body, _type, _extra = asyncio.run(scenario())
+        assert status == 405

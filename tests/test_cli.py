@@ -201,11 +201,13 @@ class TestBatch:
 class TestCacheCommand:
     def test_stats_on_empty_cache(self, capsys, tmp_path):
         assert main(["cache", "stats", "--cache-dir", str(tmp_path / "c"),
-                     "--analysis-dir", str(tmp_path / "a")]) == 0
+                     "--analysis-dir", str(tmp_path / "a"),
+                     "--search-dir", str(tmp_path / "s")]) == 0
         out = capsys.readouterr().out
         assert "result cache:" in out and "analysis cache:" in out
-        assert out.count("entries   : 0") == 2
-        assert out.count("size      : 0 bytes") == 2
+        assert "search cache:" in out
+        assert out.count("entries   : 0") == 3
+        assert out.count("size      : 0 bytes") == 3
 
     def test_stats_after_a_cached_run(self, capsys, tmp_path, monkeypatch):
         cache_dir = tmp_path / "c"
@@ -214,16 +216,18 @@ class TestCacheCommand:
                      "--backend", "batched", "--cache-dir", str(cache_dir)]) == 0
         capsys.readouterr()
         assert main(["cache", "stats", "--cache-dir", str(cache_dir),
-                     "--analysis-dir", str(tmp_path / "a")]) == 0
+                     "--analysis-dir", str(tmp_path / "a"),
+                     "--search-dir", str(tmp_path / "s")]) == 0
         out = capsys.readouterr().out
         assert out.count("entries   : 1") == 2  # one result, one analysis
-        assert "0 bytes" not in out
+        assert out.count("0 bytes") == 1  # only the (empty) search store
 
     def test_clear(self, capsys, tmp_path, monkeypatch):
         cache_dir = tmp_path / "c"
         monkeypatch.setenv("REPRO_ANALYSIS_CACHE_DIR", str(tmp_path / "a"))
         flags = ["--cache-dir", str(cache_dir),
-                 "--analysis-dir", str(tmp_path / "a")]
+                 "--analysis-dir", str(tmp_path / "a"),
+                 "--search-dir", str(tmp_path / "s")]
         assert main(["sweep", "gzip", "--length", "1200", "--no-chart",
                      "--backend", "fast", "--cache-dir", str(cache_dir)]) == 0
         capsys.readouterr()
@@ -231,12 +235,29 @@ class TestCacheCommand:
         cleared = capsys.readouterr().out
         assert "cleared 1 result-cache entries" in cleared
         assert "cleared 1 analysis-cache entries" in cleared
+        assert "cleared 0 search-cache entries" in cleared
         assert main(["cache", "stats", *flags]) == 0
-        assert capsys.readouterr().out.count("entries   : 0") == 2
+        assert capsys.readouterr().out.count("entries   : 0") == 3
 
     def test_cache_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache"])
+
+    def test_search_checkpoints_are_the_third_family(self, capsys, tmp_path):
+        flags = ["--cache-dir", str(tmp_path / "c"),
+                 "--analysis-dir", str(tmp_path / "a"),
+                 "--search-dir", str(tmp_path / "s")]
+        assert main(["search", "--workload", "gzip",
+                     "--param", "issue_width=2:4:2",
+                     "--length", "400", "--depths", "4,6",
+                     "--backend", "fast",
+                     "--cache-dir", str(tmp_path / "c"),
+                     "--state-dir", str(tmp_path / "s")]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", *flags]) == 0
+        assert "search cache:" in capsys.readouterr().out
+        assert main(["cache", "clear", *flags]) == 0
+        assert "cleared 1 search-cache entries" in capsys.readouterr().out
 
     def test_default_directory_honours_env(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
@@ -290,3 +311,50 @@ class TestServeParser:
         assert config.port == 0
         assert config.queue_limit == 3
         assert config.backend == "fast"
+
+
+class TestSearchCommand:
+    FLAGS = ["--workload", "gzip", "--param", "issue_width=2:4:2",
+             "--length", "400", "--depths", "4,6,8", "--backend", "fast"]
+
+    def search(self, tmp_path, *extra):
+        return main(["search", *self.FLAGS,
+                     "--cache-dir", str(tmp_path / "c"),
+                     "--state-dir", str(tmp_path / "s"), *extra])
+
+    def test_human_summary(self, capsys, tmp_path):
+        assert self.search(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert ": complete" in out
+        assert "2 points, 2 probed (2 new this run)" in out
+        assert "2 computed, 0 cache hits, 0 replayed" in out
+        assert "best point : issue_width=4" in out
+        assert "checkpoint : " in out
+
+    def test_json_and_warm_rerun_recomputes_nothing(self, capsys, tmp_path):
+        assert self.search(tmp_path, "--json") == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["completed"] is True and cold["computed"] == 2
+        assert self.search(tmp_path, "--json") == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["search_id"] == cold["search_id"]
+        assert warm["new_probes"] == 0 and warm["computed"] == 0
+        assert warm["best"] == cold["best"]
+
+    def test_budget_pauses_then_resume_finishes(self, capsys, tmp_path):
+        assert self.search(tmp_path, "--budget", "1") == 0
+        assert "budget exhausted (resume to continue)" in capsys.readouterr().out
+        assert self.search(tmp_path, "--json") == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["completed"] is True
+        assert resumed["probes"] == 2 and resumed["new_probes"] == 1
+
+    def test_bad_definitions_exit_cleanly(self, capsys, tmp_path):
+        assert main(["search", "--workload", "gzip",
+                     "--param", "issue_width"]) == 2
+        assert "NAME=SPEC" in capsys.readouterr().err
+        assert main(["search", "--workload", "gzip",
+                     "--param", "warp_factor=1:3"]) == 2
+        assert main(["search", "--workload", "no-such-workload",
+                     "--param", "issue_width=2:4:2"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
