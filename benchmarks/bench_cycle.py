@@ -1,0 +1,187 @@
+"""Cycle backend acceptance: tracks the reference within its tolerance.
+
+Runs one depth sweep over a commercial workload on the ``reference``
+and ``cycle`` backends and checks the differential contract the cycle
+backend documents (see ``docs/FASTSIM.md``):
+
+* every hazard count (instructions, mispredicts, cache misses, ...) is
+  bit-identical — both models consume the same trace analysis, so any
+  drift here is a wiring bug, not a modeling choice;
+* per-depth ``cycles`` and ``issue_cycles`` agree within
+  ``CYCLE_CPI_RTOL`` — the two timing models are independent (analytic
+  recurrences vs. an event-driven state machine), so this is the real
+  cross-validation;
+
+and records the worst relative CPI deviation observed plus the wall-time
+cost of cycle accuracy (informational — the cycle backend is expected to
+be the slowest; it exists for validation, not throughput).
+
+Two entry points:
+
+* ``pytest benchmarks/bench_cycle.py --benchmark-only`` — the recorded
+  run; writes ``benchmarks/results/cycle.txt`` + ``cycle.json``.
+* ``python benchmarks/bench_cycle.py [--quick]`` — the CI smoke gate;
+  ``--quick`` shrinks the trace and the depth set, appending to
+  ``benchmarks/results/cycle_ci.txt`` (+ ``cycle_ci.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.fuzz import compare_results
+from repro.pipeline.cycle import CYCLE_CPI_RTOL
+from repro.pipeline.fastsim import make_simulator
+from repro.pipeline.simulator import MachineConfig
+from repro.trace import generate_trace, get_workload
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+WORKLOAD = "cics-payroll"
+DEPTHS: Tuple[int, ...] = tuple(range(2, 22))  # 20-point sweep
+TRACE_LENGTH = 8000
+
+QUICK_TRACE_LENGTH = 1500
+QUICK_DEPTHS: Tuple[int, ...] = (2, 5, 9, 14, 19)
+
+
+@dataclass(frozen=True)
+class CycleBenchResult:
+    workload: str
+    trace_length: int
+    depths: Tuple[int, ...]
+    reference_seconds: float
+    cycle_seconds: float
+    worst_rel_cpi: float
+    worst_rel_depth: int
+    mismatches: Tuple[str, ...]
+
+    @property
+    def slowdown(self) -> float:
+        """cycle over reference (sweep wall time) — informational."""
+        return self.cycle_seconds / self.reference_seconds
+
+    def as_json(self) -> dict:
+        return {
+            "workload": self.workload,
+            "trace_length": self.trace_length,
+            "depths": list(self.depths),
+            "reference_seconds": self.reference_seconds,
+            "cycle_seconds": self.cycle_seconds,
+            "slowdown": self.slowdown,
+            "worst_rel_cpi": self.worst_rel_cpi,
+            "worst_rel_depth": self.worst_rel_depth,
+            "cpi_rtol": CYCLE_CPI_RTOL,
+            "mismatches": list(self.mismatches),
+        }
+
+
+def measure(
+    workload: str = WORKLOAD,
+    trace_length: int = TRACE_LENGTH,
+    depths: Sequence[int] = DEPTHS,
+) -> CycleBenchResult:
+    """One sweep per backend, compared depth-for-depth."""
+    machine = MachineConfig()
+    trace = generate_trace(get_workload(workload), trace_length)
+    depths = tuple(depths)
+
+    started = time.perf_counter()
+    reference = make_simulator(machine, "reference").simulate_depths(trace, depths)
+    reference_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    cycle = make_simulator(machine, "cycle").simulate_depths(trace, depths)
+    cycle_seconds = time.perf_counter() - started
+
+    mismatches: list = []
+    worst_rel, worst_depth = 0.0, depths[0]
+    for depth, ref, cyc in zip(depths, reference, cycle):
+        mismatches.extend(compare_results(ref, cyc, "cycle", depth))
+        rel = abs(cyc.cycles - ref.cycles) / ref.cycles
+        if rel > worst_rel:
+            worst_rel, worst_depth = rel, depth
+
+    return CycleBenchResult(
+        workload=workload,
+        trace_length=trace_length,
+        depths=depths,
+        reference_seconds=reference_seconds,
+        cycle_seconds=cycle_seconds,
+        worst_rel_cpi=worst_rel,
+        worst_rel_depth=worst_depth,
+        mismatches=tuple(mismatches),
+    )
+
+
+def format_result(result: CycleBenchResult) -> str:
+    lines = [
+        f"Cycle backend acceptance — {result.workload}, "
+        f"{result.trace_length} instructions, "
+        f"{len(result.depths)} depths ({result.depths[0]}..{result.depths[-1]})",
+        f"  reference backend : {result.reference_seconds * 1e3:7.1f} ms",
+        f"  cycle backend     : {result.cycle_seconds * 1e3:7.1f} ms "
+        f"({result.slowdown:.2f}x reference — informational)",
+        f"  worst |rel| CPI   : {result.worst_rel_cpi:7.4f} at depth "
+        f"{result.worst_rel_depth} (tolerance {CYCLE_CPI_RTOL:g})",
+        f"  contract          : {'PASS' if not result.mismatches else 'FAIL'} "
+        "(hazards exact, timing within rtol)",
+    ]
+    lines.extend(f"    {line}" for line in result.mismatches)
+    return "\n".join(lines)
+
+
+def test_cycle_tracks_reference(benchmark, record_table):
+    """Recorded run: hazards exact, CPI within the documented tolerance."""
+    from conftest import run_once
+
+    result = run_once(benchmark, measure)
+    record_table("cycle", format_result(result), data=result.as_json())
+    assert not result.mismatches, format_result(result)
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    from conftest import write_json_record
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: shorter trace and a 5-depth subset",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        result = measure(trace_length=QUICK_TRACE_LENGTH, depths=QUICK_DEPTHS)
+        name = "cycle_ci"
+    else:
+        result = measure()
+        name = "cycle"
+
+    table = format_result(result)
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+    with (RESULTS_DIR / f"{name}.txt").open("a", encoding="utf-8") as handle:
+        handle.write(f"[{stamp}] {table}\n")
+    write_json_record(name, table, data=result.as_json())
+
+    if result.mismatches:
+        print(
+            f"FAIL: {len(result.mismatches)} contract violations", file=sys.stderr
+        )
+        return 1
+    print(
+        f"PASS: hazards exact, worst |rel| CPI {result.worst_rel_cpi:.4f} "
+        f"within rtol {CYCLE_CPI_RTOL:g} across {len(result.depths)} depths"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

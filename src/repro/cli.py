@@ -18,17 +18,20 @@ Commands:
 * ``search``    — design-space autotuning: find the machine/metric
   parameters maximising BIPS^m/W with grid, beam or multi-start search;
   resumable content-addressed checkpoints (see docs/SEARCH.md).
+* ``fuzz``      — differential fuzzing: random (workload, machine,
+  depths) probes run through every backend, disagreements minimized and
+  stored as replayable repro bundles (see docs/FUZZING.md).
 * ``cache``     — inspect (``stats``) or empty (``clear``) the on-disk
   caches: the engine/daemon result cache, the shared trace-analysis
-  cache and the search-checkpoint store.
+  cache, the search-checkpoint store and the fuzz bundle store.
 * ``config``    — ``config show`` prints the effective
   :class:`repro.runtime.RuntimeConfig` with per-field provenance
   (default / env / file / flag).
 
 The simulation-heavy commands (``sweep``, ``figures``, ``batch``) accept
 ``--jobs N`` (parallel workers), ``--cache-dir``, ``--no-cache`` and
-``--backend reference|fast|batched`` (which simulator kernel runs the
-sweeps); they share the content-addressed result cache of
+``--backend reference|fast|batched|cycle`` (which simulator kernel runs
+the sweeps); they share the content-addressed result cache of
 :mod:`repro.engine` and the trace-analysis cache of
 :mod:`repro.pipeline.events_cache`.
 """
@@ -180,10 +183,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the machine-readable outcome (probes, counters, best point)",
     )
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing across simulation backends "
+        "(see docs/FUZZING.md)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=None,
+        help="campaign seed (default: $REPRO_FUZZ_SEED or 0)",
+    )
+    fuzz.add_argument(
+        "--budget", type=int, default=None,
+        help="probes to run (default: $REPRO_FUZZ_BUDGET or 100)",
+    )
+    fuzz.add_argument(
+        "--backends", type=str, default=None, metavar="LIST",
+        help="comma-separated backends to cross-check against the "
+        "reference (default: all registered backends)",
+    )
+    fuzz.add_argument(
+        "--state-dir", type=str, default=None, metavar="DIR",
+        help="repro-bundle directory (default: $REPRO_FUZZ_STATE_DIR, "
+        "$REPRO_CACHE_DIR/fuzz or ~/.cache/repro/fuzz)",
+    )
+    fuzz.add_argument(
+        "--replay", type=str, default=None, metavar="ID",
+        help="replay one stored bundle (id or unique prefix) instead of "
+        "running a campaign; exits 0 when the failure no longer "
+        "reproduces",
+    )
+    fuzz.add_argument(
+        "--list", action="store_true", dest="list_bundles",
+        help="list stored bundle ids and exit",
+    )
+    fuzz.add_argument(
+        "--json", action="store_true", help="machine-readable outcome"
+    )
+
     cache = sub.add_parser(
         "cache",
         help="inspect or empty the on-disk caches (results, analysis, "
-        "search state)",
+        "search state, fuzz bundles)",
     )
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     cache_stats = cache_sub.add_parser(
@@ -209,6 +249,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="search-checkpoint directory (default: "
             "$REPRO_SEARCH_STATE_DIR, $REPRO_CACHE_DIR/search or "
             "~/.cache/repro/search)",
+        )
+        cache_cmd.add_argument(
+            "--fuzz-dir", type=str, default=None, metavar="DIR",
+            help="fuzz repro-bundle directory (default: "
+            "$REPRO_FUZZ_STATE_DIR, $REPRO_CACHE_DIR/fuzz or "
+            "~/.cache/repro/fuzz)",
         )
 
     config_cmd = sub.add_parser(
@@ -440,16 +486,85 @@ def _cmd_search(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    import json
+
+    from .fuzz import DEFAULT_FUZZ_BACKENDS, FuzzStore, replay_bundle, run_fuzz
+    from .pipeline.fastsim import BACKENDS
+    from .runtime import RuntimeConfig
+
+    config = RuntimeConfig.from_env(
+        fuzz_state_dir=args.state_dir,
+        fuzz_budget=args.budget,
+        fuzz_seed=args.seed,
+    )
+    store = FuzzStore(config.fuzz_state_path())
+
+    if args.list_bundles:
+        for bundle_id in store.ids():
+            print(bundle_id)
+        return 0
+
+    if args.replay is not None:
+        bundle = store.load(args.replay) or store.find(args.replay)
+        if bundle is None:
+            print(f"error: no unique bundle matches {args.replay!r} in "
+                  f"{store.directory}", file=sys.stderr)
+            return 2
+        outcome = replay_bundle(bundle)
+        if args.json:
+            print(json.dumps(outcome.to_doc(), sort_keys=True))
+            return 0 if outcome.fixed else 1
+        print(f"bundle {bundle.bundle_id[:16]}: "
+              f"{'fixed' if outcome.fixed else 'still failing'}")
+        if outcome.generator_drift:
+            print("  warning: probe generator changed since the bundle was "
+                  "written; replay used the regenerated probe")
+        for line in outcome.mismatches:
+            print(f"  {line}")
+        return 0 if outcome.fixed else 1
+
+    if args.backends is not None:
+        backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+        unknown = set(backends) - set(BACKENDS)
+        if unknown:
+            print(f"error: unknown backends {sorted(unknown)}; choose from "
+                  f"{BACKENDS}", file=sys.stderr)
+            return 2
+    else:
+        backends = DEFAULT_FUZZ_BACKENDS
+    report = run_fuzz(
+        config.fuzz_seed,
+        config.fuzz_budget,
+        backends,
+        store=store,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    if args.json:
+        print(json.dumps(report.to_doc(), sort_keys=True))
+        return 0 if report.passed else 1
+    verdict = "all backends agree" if report.passed else (
+        f"{len(report.failures)} disagreement(s)"
+    )
+    print(f"fuzz seed {report.seed}: {report.probes} probes, {verdict}")
+    print(f"  backends : {', '.join(report.backends)}")
+    for bundle_id, path in zip(report.failures, report.bundle_paths):
+        print(f"  bundle   : {bundle_id[:16]} -> {path}")
+    return 0 if report.passed else 1
+
+
 def _cmd_cache(args) -> int:
     from .engine.cache import ResultCache, default_cache_dir
+    from .fuzz import FuzzStore
     from .pipeline.events_cache import TraceEventsCache, default_events_cache_dir
-    from .runtime import default_search_state_dir
+    from .runtime import default_fuzz_state_dir, default_search_state_dir
     from .search import SearchStore
 
     caches = (
         ("result", ResultCache(args.cache_dir or default_cache_dir())),
         ("analysis", TraceEventsCache(args.analysis_dir or default_events_cache_dir())),
         ("search", SearchStore(args.search_dir or default_search_state_dir())),
+        ("fuzz", FuzzStore(args.fuzz_dir or default_fuzz_state_dir())),
     )
     if args.cache_command == "stats":
         for label, cache in caches:
@@ -536,6 +651,7 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "serve": _cmd_serve,
     "search": _cmd_search,
+    "fuzz": _cmd_fuzz,
     "cache": _cmd_cache,
     "config": _cmd_config,
 }

@@ -1,0 +1,52 @@
+"""Differential fuzzing across the simulation backends.
+
+The four pipeline backends promise to agree (see
+:mod:`repro.pipeline`): the analytic family field-for-field, the cycle
+backend on every hazard count with timing inside its tolerance.
+``repro validate-kernel`` checks that promise on a fixed grid; this
+package checks it on *randomly drawn* machines and workloads.
+
+Three pieces:
+
+* :mod:`~repro.fuzz.generate` — probes as a pure function of
+  ``(seed, index)``, so campaigns are replayable by coordinates alone;
+* :mod:`~repro.fuzz.runner` — differential execution, greedy
+  minimization (trace length, then depth set) and replay;
+* :mod:`~repro.fuzz.store` — content-addressed repro bundles, the
+  fourth on-disk cache family (``repro cache stats|clear``).
+
+Entry points: ``repro fuzz --seed S --budget N`` runs a campaign,
+``repro fuzz --replay ID`` re-checks a stored bundle (see
+``docs/FUZZING.md``).
+"""
+
+from .generate import FuzzProbe, probe_digest, probe_for
+from .runner import (
+    DEFAULT_FUZZ_BACKENDS,
+    FuzzReport,
+    ReplayResult,
+    compare_results,
+    minimize_probe,
+    replay_bundle,
+    run_fuzz,
+    run_probe,
+)
+from .store import FUZZ_SCHEMA, FuzzBundle, FuzzStore, bundle_identity
+
+__all__ = [
+    "DEFAULT_FUZZ_BACKENDS",
+    "FUZZ_SCHEMA",
+    "FuzzBundle",
+    "FuzzProbe",
+    "FuzzReport",
+    "FuzzStore",
+    "ReplayResult",
+    "bundle_identity",
+    "compare_results",
+    "minimize_probe",
+    "probe_digest",
+    "probe_for",
+    "replay_bundle",
+    "run_fuzz",
+    "run_probe",
+]

@@ -1,0 +1,145 @@
+"""Deterministic probe generation for the differential fuzzer.
+
+A *probe* is one randomly drawn (workload spec, machine config, depth
+set, trace length) tuple.  Probes are a pure function of ``(seed,
+index)``: every random draw comes from ``random.Random(f"{seed}:{index}")``,
+so a campaign is fully described by its seed and budget, any probe can be
+regenerated in isolation (replay does not store the probe, only its
+coordinates), and the same seed produces byte-identical probe sequences
+across runs and machines — the property the seed-corpus regression suite
+pins.
+
+Sampling deliberately stays inside a moderate envelope around the
+machine grid that ``repro validate-kernel`` calibrated the cycle
+backend's :data:`~repro.pipeline.cycle.CYCLE_CPI_RTOL` tolerance on:
+the fuzzer's job is to find *disagreements between backends*, not to
+push the analytic model into regimes where the tolerance contract was
+never claimed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..fingerprint import fingerprint_digest
+from ..isa import OpClass
+from ..pipeline.plan import MAX_DEPTH, MIN_DEPTH
+from ..pipeline.simulator import MachineConfig
+from ..trace.spec import WorkloadClass, WorkloadSpec
+from ..uarch.cache import CacheConfig
+
+__all__ = ["FuzzProbe", "probe_digest", "probe_for"]
+
+_WORKLOAD_CLASSES = tuple(WorkloadClass)
+_OP_CLASSES = tuple(OpClass)
+_PREDICTOR_KINDS = ("gshare", "bimodal", "taken", "oracle")
+
+
+@dataclass(frozen=True)
+class FuzzProbe:
+    """One differential test case, regenerable from ``(seed, index)``."""
+
+    seed: int
+    index: int
+    spec: WorkloadSpec
+    machine: MachineConfig
+    depths: Tuple[int, ...]
+    trace_length: int
+
+
+def probe_digest(probe: FuzzProbe) -> str:
+    """Content digest of everything the probe feeds the simulators.
+
+    Replay stores this next to ``(seed, index)``; a digest mismatch on
+    regeneration means the generator itself changed and the bundle's
+    coordinates no longer name the original inputs.
+    """
+    return fingerprint_digest(
+        {
+            "spec": probe.spec,
+            "machine": probe.machine,
+            "depths": list(probe.depths),
+            "trace_length": probe.trace_length,
+        }
+    )
+
+
+def _sample_mix(rng: random.Random) -> dict:
+    """A random instruction mix over every op class, summing to one.
+
+    RR ALU ops get a floor so every trace retains a pipeline-filling
+    baseline; everything else may get arbitrarily rare.
+    """
+    weights = [rng.random() + (1.0 if cls is OpClass.RR_ALU else 0.05)
+               for cls in _OP_CLASSES]
+    total = sum(weights)
+    return {cls: w / total for cls, w in zip(_OP_CLASSES, weights)}
+
+
+def _sample_spec(rng: random.Random, name: str) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        workload_class=_WORKLOAD_CLASSES[rng.randrange(len(_WORKLOAD_CLASSES))],
+        mix=_sample_mix(rng),
+        branch_sites=1 << rng.randrange(0, 12),
+        branch_bias=0.5 + 0.5 * rng.random(),
+        taken_rate=rng.random(),
+        data_working_set=1 << rng.randrange(10, 22),
+        data_locality=rng.random(),
+        code_footprint=1 << rng.randrange(9, 19),
+        dependency_distance=1.0 + 15.0 * rng.random(),
+        pointer_chase=rng.random(),
+        fp_latency=rng.randrange(1, 12),
+        seed=rng.randrange(2**32),
+    )
+
+
+def _sample_cache(rng: random.Random, latency_lo: float, latency_hi: float) -> CacheConfig:
+    line = 1 << rng.randrange(5, 9)          # 32..256 B lines
+    ways = 1 << rng.randrange(0, 4)          # 1..8 ways
+    sets = 1 << rng.randrange(4, 10)         # 16..512 sets
+    return CacheConfig(
+        size=line * ways * sets,
+        line_size=line,
+        associativity=ways,
+        miss_latency_fo4=latency_lo + (latency_hi - latency_lo) * rng.random(),
+    )
+
+
+def _sample_machine(rng: random.Random) -> MachineConfig:
+    issue_width = rng.randrange(2, 7)
+    return MachineConfig(
+        issue_width=issue_width,
+        agen_width=rng.randrange(1, min(3, issue_width) + 1),
+        icache=_sample_cache(rng, 40.0, 160.0),
+        dcache=_sample_cache(rng, 40.0, 160.0),
+        l2=_sample_cache(rng, 200.0, 600.0),
+        predictor_kind=_PREDICTOR_KINDS[rng.randrange(len(_PREDICTOR_KINDS))],
+        predictor_entries=1 << rng.randrange(10, 15),
+        warmup=rng.random() < 0.75,
+        in_order=rng.random() < 0.5,
+        issue_window=1 << rng.randrange(3, 7),
+        rob_size=1 << rng.randrange(5, 8),
+        mshr_entries=rng.randrange(1, 5),
+        btb_entries=None if rng.random() < 0.5 else 1 << rng.randrange(6, 11),
+    )
+
+
+def probe_for(seed: int, index: int) -> FuzzProbe:
+    """The ``index``-th probe of campaign ``seed`` (pure; no global state)."""
+    rng = random.Random(f"{seed}:{index}")
+    spec = _sample_spec(rng, f"fuzz-{seed}-{index}")
+    machine = _sample_machine(rng)
+    count = rng.randrange(3, 7)
+    depths = tuple(sorted(rng.sample(range(MIN_DEPTH, MAX_DEPTH + 1), count)))
+    trace_length = rng.randrange(300, 1601)
+    return FuzzProbe(
+        seed=seed,
+        index=index,
+        spec=spec,
+        machine=machine,
+        depths=depths,
+        trace_length=trace_length,
+    )

@@ -1,0 +1,292 @@
+"""Differential execution: run probes through every backend and compare.
+
+The comparison contract is the one ``repro validate-kernel`` enforces,
+applied point-wise per depth:
+
+* analytic backends (``fast``, ``batched``) must match the reference
+  interpreter field-for-field — integers exactly, floats within
+  :data:`~repro.analysis.validate.FLOAT_RTOL`;
+* tolerance backends (``cycle``) must match every hazard count exactly
+  while ``cycles``/``issue_cycles`` stay within the backend's registered
+  rtol and ``unit_occupancy`` keeps the same key set.
+
+A probe that disagrees is *minimized* before being stored: first the
+trace length is shrunk (greedy halving while the failure persists), then
+each depth is dropped from the depth set if the failure survives without
+it — in that order, because a shorter trace makes every subsequent depth
+trial cheaper.  The minimized failure is written to the
+:class:`~repro.fuzz.store.FuzzStore` as a content-addressed bundle.
+
+Everything threads an injectable ``simulate`` callable so tests can
+plant deterministic faults in one backend and watch the fuzzer find,
+minimize, bundle and replay them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.validate import FLOAT_RTOL, TOLERANCE_BACKENDS
+from ..pipeline.fastsim import BACKENDS, make_simulator
+from ..trace import generate_trace
+from .generate import FuzzProbe, probe_digest, probe_for
+from .store import FuzzBundle, FuzzStore
+
+__all__ = [
+    "DEFAULT_FUZZ_BACKENDS",
+    "FuzzReport",
+    "ReplayResult",
+    "compare_results",
+    "minimize_probe",
+    "replay_bundle",
+    "run_fuzz",
+    "run_probe",
+]
+
+DEFAULT_FUZZ_BACKENDS: Tuple[str, ...] = tuple(BACKENDS)
+"""Every registered backend, reference first (the comparison baseline)."""
+
+MIN_TRACE_LENGTH = 32
+"""Minimization floor: traces shorter than this stop being meaningful."""
+
+#: SimulationResult fields a tolerance backend must still match exactly.
+_HAZARD_FIELDS = (
+    "instructions",
+    "branches",
+    "mispredicts",
+    "icache_misses",
+    "dcache_accesses",
+    "dcache_misses",
+    "store_misses",
+    "l2_misses",
+    "memory_ops",
+    "fp_ops",
+)
+
+_TIMING_FIELDS = ("cycles", "issue_cycles")
+
+Simulate = Callable[[FuzzProbe, str, int, Tuple[int, ...]], Sequence]
+
+
+def _simulate(
+    probe: FuzzProbe, backend: str, trace_length: int, depths: Tuple[int, ...]
+) -> Sequence:
+    """Default execution: one backend over the probe's regenerated trace."""
+    trace = generate_trace(probe.spec, trace_length)
+    return make_simulator(probe.machine, backend).simulate_depths(trace, depths)
+
+
+def compare_results(reference, candidate, backend: str, depth: int) -> List[str]:
+    """Mismatch lines between one reference/candidate result pair."""
+    rtol = TOLERANCE_BACKENDS.get(backend)
+    prefix = f"{backend}/depth={depth}"
+    mismatches: List[str] = []
+    if rtol is not None:
+        for name in _HAZARD_FIELDS:
+            a, b = getattr(reference, name), getattr(candidate, name)
+            if a != b:
+                mismatches.append(f"{prefix}: hazard field {name}: {a!r} != {b!r}")
+        for name in _TIMING_FIELDS:
+            a, b = getattr(reference, name), getattr(candidate, name)
+            if not math.isclose(float(a), float(b), rel_tol=rtol, abs_tol=0.0):
+                rel = abs(float(b) - float(a)) / float(a) if a else float("inf")
+                mismatches.append(
+                    f"{prefix}: timing field {name}: {a!r} vs {b!r} "
+                    f"(rel {rel:.4f} > rtol {rtol:g})"
+                )
+        if set(reference.unit_occupancy) != set(candidate.unit_occupancy):
+            mismatches.append(
+                f"{prefix}: unit_occupancy keys differ: "
+                f"{sorted(reference.unit_occupancy)} != "
+                f"{sorted(candidate.unit_occupancy)}"
+            )
+        return mismatches
+    for fld in dataclasses.fields(reference):
+        a, b = getattr(reference, fld.name), getattr(candidate, fld.name)
+        if isinstance(a, Mapping) and isinstance(b, Mapping):
+            if set(a) != set(b) or any(
+                not math.isclose(
+                    float(a[k]), float(b[k]), rel_tol=FLOAT_RTOL, abs_tol=0.0
+                )
+                for k in a
+            ):
+                mismatches.append(f"{prefix}: field {fld.name}: {a!r} != {b!r}")
+        elif isinstance(a, float) or isinstance(b, float):
+            if not math.isclose(float(a), float(b), rel_tol=FLOAT_RTOL, abs_tol=0.0):
+                mismatches.append(f"{prefix}: field {fld.name}: {a!r} != {b!r}")
+        elif a != b:
+            mismatches.append(f"{prefix}: field {fld.name}: {a!r} != {b!r}")
+    return mismatches
+
+
+def run_probe(
+    probe: FuzzProbe,
+    backends: Tuple[str, ...],
+    trace_length: Optional[int] = None,
+    depths: Optional[Tuple[int, ...]] = None,
+    simulate: Simulate = _simulate,
+) -> List[str]:
+    """Every mismatch the backend set produces on ``probe`` (empty = agree).
+
+    ``trace_length``/``depths`` override the probe's own values during
+    minimization and replay.  The reference interpreter is always the
+    baseline, whether or not it appears in ``backends``.
+    """
+    length = probe.trace_length if trace_length is None else trace_length
+    depth_set = probe.depths if depths is None else depths
+    reference = _simulate(probe, "reference", length, depth_set)
+    mismatches: List[str] = []
+    for backend in backends:
+        if backend == "reference":
+            continue
+        candidate = simulate(probe, backend, length, depth_set)
+        for depth, r, c in zip(depth_set, reference, candidate):
+            mismatches.extend(compare_results(r, c, backend, depth))
+    return mismatches
+
+
+def minimize_probe(
+    probe: FuzzProbe,
+    backends: Tuple[str, ...],
+    simulate: Simulate = _simulate,
+) -> Tuple[int, Tuple[int, ...], List[str]]:
+    """Shrink a failing probe: trace length first, then the depth set.
+
+    Returns ``(trace_length, depths, mismatches)`` for the smallest
+    still-failing configuration found by the greedy passes.
+    """
+    length = probe.trace_length
+    depths = tuple(probe.depths)
+    while length > MIN_TRACE_LENGTH:
+        candidate = max(MIN_TRACE_LENGTH, length // 2)
+        if candidate == length:
+            break
+        if run_probe(probe, backends, candidate, depths, simulate):
+            length = candidate
+        else:
+            break
+    for depth in tuple(depths):
+        if len(depths) == 1:
+            break
+        trial = tuple(d for d in depths if d != depth)
+        if run_probe(probe, backends, length, trial, simulate):
+            depths = trial
+    mismatches = run_probe(probe, backends, length, depths, simulate)
+    return length, depths, mismatches
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing campaign."""
+
+    seed: int
+    budget: int
+    backends: Tuple[str, ...]
+    probes: int = 0
+    failures: List[str] = field(default_factory=list)
+    bundle_paths: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def to_doc(self) -> dict:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "backends": list(self.backends),
+            "probes": self.probes,
+            "failures": list(self.failures),
+            "bundle_paths": list(self.bundle_paths),
+            "passed": self.passed,
+        }
+
+
+def run_fuzz(
+    seed: int,
+    budget: int,
+    backends: Tuple[str, ...] = DEFAULT_FUZZ_BACKENDS,
+    store: Optional[FuzzStore] = None,
+    simulate: Simulate = _simulate,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run ``budget`` probes of campaign ``seed`` through ``backends``.
+
+    Disagreements are minimized and, when a ``store`` is given, written
+    as content-addressed repro bundles.  Deterministic end to end: the
+    same seed and budget replay the identical probe sequence and reach
+    the identical verdicts.
+    """
+    unknown = set(backends) - set(BACKENDS)
+    if unknown:
+        raise ValueError(
+            f"unknown backends {sorted(unknown)}; choose from {BACKENDS}"
+        )
+    report = FuzzReport(seed=seed, budget=budget, backends=tuple(backends))
+    for index in range(budget):
+        probe = probe_for(seed, index)
+        report.probes += 1
+        if not run_probe(probe, report.backends, simulate=simulate):
+            continue
+        if progress is not None:
+            progress(f"probe {index}: backends disagree; minimizing")
+        length, depths, mismatches = minimize_probe(
+            probe, report.backends, simulate
+        )
+        bundle = FuzzBundle.for_failure(
+            probe, report.backends, length, depths, mismatches
+        )
+        report.failures.append(bundle.bundle_id)
+        if store is not None:
+            report.bundle_paths.append(str(store.save(bundle)))
+    return report
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one stored bundle."""
+
+    bundle_id: str
+    generator_drift: bool
+    mismatches: List[str]
+
+    @property
+    def fixed(self) -> bool:
+        return not self.mismatches
+
+    def to_doc(self) -> dict:
+        return {
+            "bundle_id": self.bundle_id,
+            "generator_drift": self.generator_drift,
+            "mismatches": list(self.mismatches),
+            "fixed": self.fixed,
+        }
+
+
+def replay_bundle(
+    bundle: FuzzBundle,
+    backends: Optional[Tuple[str, ...]] = None,
+    simulate: Simulate = _simulate,
+) -> ReplayResult:
+    """Re-run a bundle's minimized probe and report whether it still fails.
+
+    The probe is regenerated from ``(seed, index)``; ``generator_drift``
+    flags that the regenerated inputs no longer match the digest stored
+    when the failure was found (the verdict is then about the *current*
+    generator's probe, not the original).
+    """
+    probe = probe_for(bundle.seed, bundle.index)
+    drift = probe_digest(probe) != bundle.probe_digest
+    mismatches = run_probe(
+        probe,
+        tuple(backends) if backends is not None else tuple(bundle.backends),
+        trace_length=bundle.trace_length,
+        depths=tuple(bundle.depths),
+        simulate=simulate,
+    )
+    return ReplayResult(
+        bundle_id=bundle.bundle_id, generator_drift=drift, mismatches=mismatches
+    )

@@ -1,0 +1,229 @@
+"""Content-addressed, atomically-written fuzz repro bundles.
+
+A *bundle* records one minimized backend disagreement.  Its identity is
+the fingerprint of what it takes to reproduce the failure — the probe
+coordinates ``(seed, index)`` plus the probe's content digest, the
+backend set, and the minimized trace length and depth set
+(``bundle_id = fingerprint_digest(identity doc)``).  The mismatch text
+and the code version are deliberately excluded: re-finding the same
+failure on a newer build lands on the same bundle instead of forking a
+new one, which is what lets a committed bundle serve as a regression
+fixture (``repro fuzz --replay <id>`` must report it *fixed*).
+
+Bundles do not store the probe itself — probes are a pure function of
+``(seed, index)`` (see :mod:`repro.fuzz.generate`) — only an
+informational snapshot for human inspection plus the digest that lets
+replay detect generator drift.
+
+Each bundle is one JSON file under the fuzz-state directory
+(:meth:`~repro.runtime.config.RuntimeConfig.fuzz_state_path`), written
+through :func:`~repro.atomicio.atomic_replace` with sorted keys and no
+timestamps, so re-finding a failure rewrites a byte-identical file.
+:class:`FuzzStore` exposes the same ``directory`` / ``__len__`` /
+``size_bytes`` / ``clear`` surface as the other on-disk caches, making
+fuzz state the fourth cache family under ``repro cache stats|clear``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .. import __version__
+from ..atomicio import atomic_replace
+from ..fingerprint import canonical_fingerprint, fingerprint_digest
+from .generate import FuzzProbe, probe_digest
+
+__all__ = ["FUZZ_SCHEMA", "FuzzBundle", "FuzzStore", "bundle_identity"]
+
+FUZZ_SCHEMA = 1
+"""Bundle format version; bump on incompatible changes."""
+
+
+def bundle_identity(
+    probe: FuzzProbe,
+    backends: Tuple[str, ...],
+    trace_length: int,
+    depths: Tuple[int, ...],
+) -> dict:
+    """The canonical identity document a ``bundle_id`` is hashed from."""
+    return {
+        "schema": FUZZ_SCHEMA,
+        "seed": int(probe.seed),
+        "index": int(probe.index),
+        "probe_digest": probe_digest(probe),
+        "backends": list(backends),
+        "trace_length": int(trace_length),
+        "depths": [int(d) for d in depths],
+    }
+
+
+@dataclass
+class FuzzBundle:
+    """One minimized, replayable backend disagreement.
+
+    Attributes:
+        bundle_id: ``fingerprint_digest`` of :func:`bundle_identity`.
+        seed: campaign seed the failing probe came from.
+        index: probe index within the campaign.
+        probe_digest: content digest of the regenerated probe's inputs;
+            replay recomputes it to detect generator drift.
+        backends: the backend set the disagreement was found under.
+        trace_length: minimized trace length that still fails.
+        depths: minimized depth set that still fails.
+        mismatches: human-readable mismatch lines from the minimized run.
+        probe: informational snapshot of the probe's spec/machine (the
+            canonical fingerprint encoding); never read back by replay.
+        version: package version that wrote the bundle (provenance only,
+            excluded from the identity).
+    """
+
+    bundle_id: str
+    seed: int
+    index: int
+    probe_digest: str
+    backends: List[str]
+    trace_length: int
+    depths: List[int]
+    mismatches: List[str] = field(default_factory=list)
+    probe: Optional[dict] = None
+    version: str = __version__
+
+    @classmethod
+    def for_failure(
+        cls,
+        probe: FuzzProbe,
+        backends: Tuple[str, ...],
+        trace_length: int,
+        depths: Tuple[int, ...],
+        mismatches: List[str],
+    ) -> "FuzzBundle":
+        identity = bundle_identity(probe, backends, trace_length, depths)
+        return cls(
+            bundle_id=fingerprint_digest(identity),
+            seed=probe.seed,
+            index=probe.index,
+            probe_digest=identity["probe_digest"],
+            backends=list(backends),
+            trace_length=int(trace_length),
+            depths=[int(d) for d in depths],
+            mismatches=list(mismatches),
+            probe=canonical_fingerprint(
+                {"spec": probe.spec, "machine": probe.machine}
+            ),
+        )
+
+    # -- interchange ---------------------------------------------------------
+    def to_doc(self) -> dict:
+        return {
+            "schema": FUZZ_SCHEMA,
+            "bundle_id": self.bundle_id,
+            "seed": self.seed,
+            "index": self.index,
+            "probe_digest": self.probe_digest,
+            "backends": list(self.backends),
+            "trace_length": self.trace_length,
+            "depths": list(self.depths),
+            "mismatches": list(self.mismatches),
+            "probe": self.probe,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "FuzzBundle":
+        return cls(
+            bundle_id=doc["bundle_id"],
+            seed=int(doc["seed"]),
+            index=int(doc["index"]),
+            probe_digest=doc["probe_digest"],
+            backends=list(doc["backends"]),
+            trace_length=int(doc["trace_length"]),
+            depths=[int(d) for d in doc["depths"]],
+            mismatches=list(doc.get("mismatches", [])),
+            probe=doc.get("probe"),
+            version=doc.get("version", ""),
+        )
+
+
+class FuzzStore:
+    """One bundle file per minimized failure under a single directory.
+
+    API-compatible with the other on-disk caches where ``repro cache``
+    needs it (``directory``, ``len``, ``size_bytes``, ``clear``).
+    """
+
+    def __init__(self, directory: "str | pathlib.Path"):
+        self.directory = pathlib.Path(directory)
+
+    def path_for(self, bundle_id: str) -> pathlib.Path:
+        # One schema-versioned level down, like the search store: a
+        # schema bump isolates old bundles, and nesting inside the
+        # result-cache directory keeps them out of its entry glob.
+        return self.directory / f"v{FUZZ_SCHEMA}" / f"{bundle_id}.json"
+
+    def load(self, bundle_id: str) -> Optional[FuzzBundle]:
+        """The stored bundle, or None when missing, corrupt or stale."""
+        try:
+            raw = self.path_for(bundle_id).read_text(encoding="utf-8")
+            doc = json.loads(raw)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(doc, dict) or doc.get("schema") != FUZZ_SCHEMA:
+            return None
+        if doc.get("bundle_id") != bundle_id:
+            return None
+        try:
+            return FuzzBundle.from_doc(doc)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def save(self, bundle: FuzzBundle) -> pathlib.Path:
+        """Atomically (re)write ``bundle``'s file; returns its path."""
+        path = self.path_for(bundle.bundle_id)
+        with atomic_replace(path, encoding="utf-8") as handle:
+            json.dump(bundle.to_doc(), handle, sort_keys=True, indent=1)
+            handle.write("\n")
+        return path
+
+    def ids(self) -> List[str]:
+        """Every stored bundle id, sorted."""
+        return [path.stem for path in self._entries()]
+
+    def find(self, prefix: str) -> Optional[FuzzBundle]:
+        """The unique bundle whose id starts with ``prefix``, if any."""
+        matches = [b for b in self.ids() if b.startswith(prefix)]
+        if len(matches) != 1:
+            return None
+        return self.load(matches[0])
+
+    # -- the cache-family surface used by `repro cache` ----------------------
+    def _entries(self) -> List[pathlib.Path]:
+        try:
+            return sorted(self.directory.glob(f"v{FUZZ_SCHEMA}/*.json"))
+        except OSError:
+            return []
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def clear(self) -> int:
+        removed = 0
+        for path in self._entries():
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                continue
+        return removed

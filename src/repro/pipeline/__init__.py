@@ -1,6 +1,6 @@
-"""Cycle-accurate 4-issue in-order pipeline simulator (Fig. 2 machine).
+"""Pipeline simulation backends for the Fig. 2 machine (4-issue, 2-agen).
 
-Three interchangeable backends produce :class:`SimulationResult`\\ s:
+Four interchangeable backends produce :class:`SimulationResult`\\ s:
 
 * :class:`PipelineSimulator` — the step-wise reference interpreter;
 * :class:`FastPipelineSimulator` — the event-precomputing kernel that
@@ -8,16 +8,23 @@ Three interchangeable backends produce :class:`SimulationResult`\\ s:
   :class:`TraceEvents` (see :mod:`repro.pipeline.fastsim`);
 * :class:`BatchedPipelineSimulator` — the depth-batched kernel that
   additionally prices *every* depth of a sweep in one timing pass
-  (see :mod:`repro.pipeline.batched`).
+  (see :mod:`repro.pipeline.batched`);
+* :class:`CyclePipelineSimulator` — the cycle-accurate out-of-order
+  state machine (rename map + physical register file, bounded issue
+  queue, ROB) that arbitrates the analytic family
+  (see :mod:`repro.pipeline.cycle`).
 
 :func:`make_simulator` selects between them by name; all consume the
 same :class:`DepthConstants`, and the cross-validation harness
-(``repro validate-kernel``) asserts they agree field-for-field.
-``simulate_depths`` is the primary sweep API on every backend, and
-:class:`TraceEventsCache` shares analyses on disk across processes.
+(``repro validate-kernel``) asserts the analytic backends agree
+field-for-field while ``cycle`` matches every hazard count exactly and
+CPI within :data:`CYCLE_CPI_RTOL`.  ``simulate_depths`` is the primary
+sweep API on every backend, and :class:`TraceEventsCache` shares
+analyses on disk across processes.
 """
 
 from .batched import BatchedPipelineSimulator, simulate_batched
+from .cycle import CYCLE_CPI_RTOL, CyclePipelineSimulator, simulate_cycle
 from .diagram import render_depth_table, render_plan
 from .events_cache import TraceEventsCache, default_events_cache
 from .fastsim import (
@@ -51,15 +58,18 @@ __all__ = [
     "simulate",
     "ANALYSIS_SCHEMA",
     "BACKENDS",
+    "CYCLE_CPI_RTOL",
     "DEFAULT_BACKEND",
     "DepthConstants",
     "FastPipelineSimulator",
     "BatchedPipelineSimulator",
+    "CyclePipelineSimulator",
     "TraceEvents",
     "TraceEventsCache",
     "analyze_trace",
     "default_events_cache",
     "make_simulator",
     "simulate_batched",
+    "simulate_cycle",
     "simulate_fast",
 ]

@@ -1,0 +1,593 @@
+"""The cycle-accurate out-of-order simulation backend (``backend="cycle"``).
+
+Every other backend in this package prices a depth by *analytic
+recurrence*: the reference interpreter and the fast/batched kernels walk
+the instruction stream once in program order and propagate per-instruction
+stage timestamps.  That family shares its modelling assumptions, so a bug
+in the shared timing identities would be invisible to the cross-validation
+harness — ROADMAP open item 3's fidelity gap.
+
+This module is the independent referee: a genuine cycle-driven simulator
+that advances machine state one cycle at a time through the classic
+out-of-order phases
+
+``fetch -> decode -> rename -> dispatch -> issue -> execute -> writeback
+-> commit``
+
+with explicit bounded structures sized by the existing
+:class:`~repro.pipeline.simulator.MachineConfig` parameters:
+
+* a **physical register file** (``REGISTER_COUNT + rob_size`` registers)
+  with a rename map and a free list — destinations are renamed at
+  dispatch, sources capture their physical registers at dispatch, and the
+  previous mapping is reclaimed at commit;
+* a bounded **issue queue** (``issue_window`` entries) — instructions
+  wait in the queue until their source physical registers have written
+  back and an issue port is free (``issue_width`` issues per cycle,
+  ``agen_width`` of which may be address generations); ``in_order``
+  machines issue strictly in age order (the scan stops at the first
+  blocked entry) with no rename stage, out-of-order machines wake any
+  ready entry;
+* a **reorder buffer / active list** (``rob_size`` entries) — dispatch
+  stalls when it is full and retirement is strictly in order,
+  ``issue_width`` commits per cycle;
+* the non-pipelined FP/COMPLEX units, the MSHR ring for outstanding
+  D-cache misses, conservative store ordering (stores generate addresses
+  in order; a younger memory op's cache access waits for every older
+  store's agen), and a fetch barrier behind each unresolved mispredicted
+  branch.
+
+Execution and writeback are *scheduled* at issue: selecting an
+instruction fixes its completion cycle from the same
+:class:`~repro.pipeline.timing.DepthConstants` latencies the analytic
+backends use (ALU forwarding, cache return, FP occupancy, branch
+resolution, miss penalties), the destination register's writeback
+timestamp gates dependant wakeup, and the ROB entry's completion time
+gates commit.  A depth sweep therefore stresses the same design points as
+the analytic model; what differs is *how* time is accounted — a state
+machine with bounded buffers, not a closed recurrence.
+
+**Shared hazard streams, independent timing.**  The stateful structures
+(branch predictor, BTB, both L1s, the L2) are referenced in program order
+by every backend, so their outcomes are properties of the
+(trace, machine) pair alone.  The cycle backend therefore consumes the
+same :class:`~repro.pipeline.fastsim.TraceEvents` analysis (and shares
+the on-disk :class:`~repro.pipeline.events_cache.TraceEventsCache`),
+which makes the hazard *counts* — branches, mispredicts, cache and L2
+misses — bit-identical across all backends by construction.  That is
+deliberate: differential comparison (``repro fuzz``,
+``repro validate-kernel --backend cycle``) is only meaningful when
+backends can disagree about *timing*, never about *events*.
+
+Cycle counts are **not** expected to match the analytic model exactly;
+:data:`CYCLE_CPI_RTOL` is the documented per-depth CPI tolerance the
+validation harness and the differential fuzzer enforce between this
+backend and the analytic model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..isa import REGISTER_COUNT
+from ..trace.trace import Trace
+from .fastsim import (
+    _COL_FPC,
+    _COL_STORE,
+    _EV_BTB_STALL,
+    _EV_MISPREDICT,
+    FastPipelineSimulator,
+    TraceEvents,
+)
+from .plan import StagePlan
+from .results import SimulationResult
+from .simulator import MachineConfig
+from .timing import DepthConstants
+
+__all__ = ["CYCLE_CPI_RTOL", "CyclePipelineSimulator", "simulate_cycle"]
+
+CYCLE_CPI_RTOL = 0.25
+"""Documented per-depth CPI tolerance between the cycle-accurate backend
+and the analytic event-stream model.  The two models share every hazard
+event and every :class:`DepthConstants` latency; the residual difference
+is queueing/bandwidth microstructure (bounded issue queue and dispatch
+stalls versus the analytic issue ring and decode backpressure), which
+stays well inside this bound across the validation grid and the fuzzer's
+random machines."""
+
+_NEVER = 1 << 60
+
+
+class CyclePipelineSimulator:
+    """Drop-in simulator backend driven cycle by cycle.
+
+    API-compatible with the other backends: ``simulate`` /
+    ``simulate_depths`` produce full
+    :class:`~repro.pipeline.results.SimulationResult` objects, an
+    optional ``events_cache`` shares trace analyses on disk, and
+    ``config.in_order`` selects strictly age-ordered issue (the
+    scoreboarded in-order machine) versus out-of-order wakeup.
+    """
+
+    def __init__(
+        self,
+        config: "MachineConfig | None" = None,
+        events_cache=None,
+    ):
+        self.config = config or MachineConfig()
+        # The composed fast simulator supplies the shared trace analysis
+        # (memoised + disk-cached) and the closed-form occupancy assembly;
+        # all timing below is this module's own cycle loop.
+        self._analysis = FastPipelineSimulator(self.config, events_cache=events_cache)
+
+    @property
+    def events_cache(self):
+        return self._analysis.events_cache
+
+    def machine_fingerprint(self) -> str:
+        """Content fingerprint of this simulator's machine configuration."""
+        return self._analysis.machine_fingerprint()
+
+    def events_for(self, trace: Trace) -> TraceEvents:
+        """The (cached) depth-independent analysis of ``trace``."""
+        return self._analysis.events_for(trace)
+
+    def simulate_depths(
+        self, trace: Trace, depths: Sequence["int | StagePlan"]
+    ) -> Tuple[SimulationResult, ...]:
+        """Simulate every depth of a sweep off one shared trace analysis."""
+        return tuple(self.simulate(trace, depth) for depth in depths)
+
+    def simulate(self, trace: Trace, depth: "int | StagePlan") -> SimulationResult:
+        """Simulate ``trace`` at one pipeline depth, cycle by cycle."""
+        if len(trace) == 0:
+            raise ValueError("cannot simulate an empty trace")
+        plan = depth if isinstance(depth, StagePlan) else StagePlan.for_depth(depth)
+        events = self.events_for(trace)
+        cons = DepthConstants.for_plan(self.config, plan)
+        cycles, issue_cycles, occ_agenq, occ_execq = self._run(events, cons)
+        occ_rename = 0 if self.config.in_order else events.n
+        return self._analysis._build_result(
+            trace, plan, cons, events, cycles, issue_cycles, occ_rename,
+            occ_agenq, occ_execq,
+        )
+
+    # -- the cycle loop ------------------------------------------------------
+    def _run(self, events: TraceEvents, cons: DepthConstants):
+        """Advance the machine one cycle at a time until everything commits.
+
+        Returns ``(cycles, issue_cycles, agen_queue_occupancy,
+        exec_queue_occupancy)`` — the same bundle the analytic loops
+        produce, so :meth:`simulate` can reuse the shared result assembly.
+        """
+        cfg = self.config
+        stream = events.stream
+        n = events.n
+
+        width = cfg.issue_width
+        agen_width = cfg.agen_width
+        in_order = cfg.in_order
+        # ``issue_window`` and ``rob_size`` are out-of-order structures
+        # (see MachineConfig): the analytic in-order loop has neither —
+        # its stalls all come from the in-order agen/execute chains — so
+        # the in-order cycle machine leaves both effectively unbounded.
+        iq_capacity = n + 1 if in_order else cfg.issue_window
+        rob_capacity = cfg.rob_size
+        mshr_n = cfg.mshr_entries
+
+        # In-order machines skip the rename stage (Fig. 2); out of order it
+        # is one front-end cycle, exactly as in the analytic model.
+        rename_latency = 0 if in_order else 1
+        fetch_stages = cons.fetch_stages
+        front_latency = fetch_stages + cons.decode_latency + rename_latency
+        # Decode -> dispatch traversal: the decode/rename latches.  The ROB
+        # slot is claimed *at decode*, so an instruction stalled on a full
+        # ROB re-pays this latency once the slot frees — exactly the
+        # analytic model's decode-side backpressure.
+        post_decode = cons.decode_latency + rename_latency
+        # The fetch buffer holds fetched-but-undecoded instructions.  Decode
+        # lags fetch by at most the ROB (its only backpressure), so the
+        # buffer is the fetch pipe itself plus that worst-case lag; smaller
+        # buffers would throttle fetch below width in steady state.
+        front_capacity = rob_capacity + width * (fetch_stages + 2)
+        off_cache_delta = cons.off_cache - cons.off_agen
+        agen_done_off = cons.agen_latency - 1
+        cache_done_off = cons.cache_latency - 1
+        exec_done_off = cons.exec_latency - 1
+        fpc_done_off = cons.exec_latency - 2
+        alu_latency = cons.alu_latency
+        resolve_latency = cons.resolve_latency
+        merged = cons.cache_exec_merged
+        back_end = cons.back_end
+        btb_refill = front_latency
+        ic_p = cons.ic_penalty
+        ic_l2_p = ic_p + cons.l2_penalty
+        dc_p = cons.dc_penalty
+        dc_l2_p = dc_p + cons.l2_penalty
+
+        # Physical register file.  Architected registers map to themselves;
+        # the rest form the free list.  Every in-flight instruction holds
+        # at most one mapping beyond the architected set, so
+        # ``REGISTER_COUNT + rob_size`` pregs make out-of-order rename
+        # deadlock-free (dispatch is gated on ROB space first); the
+        # ungated in-order machine sizes for the whole trace instead.
+        n_pregs = REGISTER_COUNT + (n if in_order else rob_capacity)
+        rename_map = list(range(REGISTER_COUNT))
+        ready_at = [0] * n_pregs  # scheduled writeback time per preg
+        free_pregs = list(range(n_pregs - 1, REGISTER_COUNT - 1, -1))
+
+        # How many stores precede each instruction (exclusive prefix count)
+        # — the basis of the conservative memory-ordering rule.
+        store_col = events.columns[_COL_STORE]
+        stores_before = np.concatenate(
+            ([0], np.cumsum(store_col[:-1], dtype=np.int64))
+        ).tolist()
+
+        # Agen ports are allocated to memory ops in program order: the
+        # k-th memory op owns port ``k % agen_width`` and must generate
+        # its address strictly after the port's previous owner, the
+        # (k - agen_width)-th memory op.  ``mem_ordinal[i]`` is i's
+        # position among memory ops; ``agen_cycles`` records when each
+        # has agened (``_NEVER`` until it does).
+        mem_col = events.columns[0]
+        mem_ordinal = (
+            np.cumsum(mem_col, dtype=np.int64) - mem_col
+        ).tolist()
+        agen_cycles = [_NEVER] * int(events.memory_ops)
+
+        # The non-pipelined FP and complex units are likewise allocated in
+        # program order: the analytic model's fp_unit_free/complex_unit_free
+        # recurrences advance instruction by instruction, so the k-th FP op
+        # executes strictly after the (k-1)-th finishes even when a younger
+        # FP op's operands are ready first — the unit sits idle rather than
+        # being stolen out of order.  ``fpc_ordinal[i]`` is i's position
+        # within its unit's program-order chain; the ``*_done`` lists record
+        # each op's completion (``_NEVER`` until it issues).
+        fpc_col = events.columns[_COL_FPC]
+        fp_mask = fpc_col == 1
+        cx_mask = fpc_col == 2
+        fpc_ordinal = np.where(
+            fp_mask,
+            np.cumsum(fp_mask, dtype=np.int64) - fp_mask,
+            np.cumsum(cx_mask, dtype=np.int64) - cx_mask,
+        ).tolist()
+        fp_done = [_NEVER] * int(fp_mask.sum())
+        cx_done = [_NEVER] * int(cx_mask.sum())
+
+        # Front end: program-order fetch with an explicit floor (I-cache
+        # miss returns, BTB refills, mispredict redirects) and a barrier
+        # behind each fetched-but-unresolved mispredicted branch.  At most
+        # one such branch can be in flight — the barrier blocks younger
+        # fetches until it issues — so a single flag suffices.
+        fetch_ptr = 0
+        fetch_floor = 0
+        barrier = False
+        front_q: list = []  # (index, decode_ready), program order
+        front_head = 0
+        dec_q: list = []  # (index, dispatch_ready, rob_rec), program order
+        dec_head = 0
+
+        # Back end: issue queue entries in program order, ROB as a queue of
+        # [dest_preg, old_preg, done_cycle] records (the slot is claimed at
+        # decode, the preg fields are filled by rename at dispatch, and
+        # done_cycle is written at issue; the issue-queue entry aliases the
+        # same record).
+        iq: list = []
+        rob: list = []
+        rob_head = 0
+        in_flight = 0
+        committed = 0
+
+        # Memory ordering: stores generate addresses in order among stores,
+        # and ``store_agen_prefix[k]`` is the latest agen-done time among
+        # the first ``k`` agened stores — a younger op's cache access waits
+        # for exactly its older stores, never for younger ones.
+        stores_agened = 0
+        store_agen_prefix = [0]
+        mshr_ring = [0] * mshr_n
+        mshr_i = 0
+
+        # Optional probe for divergence debugging (e.g. on a minimized fuzz
+        # bundle): set ``sim.debug_log = []`` before simulating and the loop
+        # appends ("A"|"E", instruction, issue_cycle, completion_cycle) per
+        # agen/execute issue.
+        _dbg = getattr(self, "debug_log", None)
+        issue_cycles = 0
+        occ_agenq = 0
+        occ_execq = 0
+        last_commit = 0
+        cycle = -1
+        # Progress per cycle is guaranteed (every blocking condition clears
+        # at a finite scheduled time); the ceiling only catches modelling
+        # bugs during development.
+        max_cycles = 10000 * (n + 100)
+
+        while committed < n:
+            cycle += 1
+            if cycle > max_cycles:  # pragma: no cover - defensive
+                raise RuntimeError(f"cycle backend made no progress by cycle {cycle}")
+
+            # ---- decode (program order, width per cycle) --------------------
+            # Out of order, the ROB slot is claimed here: decode runs before
+            # commit, so a slot freed this cycle admits the next decode only
+            # next cycle — decode strictly follows the freeing retirement,
+            # as in the analytic model's decode backpressure.  The in-order
+            # machine has no rename/ROB front-end structure (its active
+            # list is an unbounded scoreboard), so it allocates its record
+            # at dispatch, uncapacitated.
+            decoded = 0
+            while (
+                decoded < width
+                and front_head < len(front_q)
+                and (in_order or in_flight < rob_capacity)
+            ):
+                index, ready = front_q[front_head]
+                if ready > cycle:
+                    break
+                if in_order:
+                    rob_rec = None
+                else:
+                    rob_rec = [-1, -1, None]
+                    rob.append(rob_rec)
+                    in_flight += 1
+                dec_q.append((index, cycle + post_decode, rob_rec))
+                front_head += 1
+                decoded += 1
+            if front_head > 4 * front_capacity:
+                del front_q[:front_head]
+                front_head = 0
+
+            # ---- commit (in order, width per cycle) -------------------------
+            commits = 0
+            while commits < width and rob_head < len(rob):
+                done = rob[rob_head][2]
+                if done is None or done + back_end > cycle:
+                    break
+                old_preg = rob[rob_head][1]
+                if old_preg >= 0:
+                    free_pregs.append(old_preg)
+                rob_head += 1
+                in_flight -= 1
+                committed += 1
+                commits += 1
+                last_commit = cycle
+            if rob_head > 4 * rob_capacity:
+                del rob[:rob_head]
+                rob_head = 0
+
+            # ---- issue (wakeup/select; execute+writeback are scheduled) -----
+            # Memory ops traverse the queue in two passes, exactly like the
+            # reference machine's RX path: an *agen* pass (needs only the
+            # base register, ``agen_width`` per cycle) that schedules the
+            # cache access and the load writeback, then an *execute* pass
+            # (needs the remaining operand — e.g. store data — and a
+            # ``width`` issue slot) once the cache returns.  In-order
+            # machines keep both streams age-ordered but decoupled: a
+            # waiting E-pass never blocks a younger op's agen, matching the
+            # reference model's independent monotone agen/execute chains.
+            exec_issued = 0
+            agen_issued = 0
+            agen_open = True
+            exec_open = True
+            removed = None
+            for qi, entry in enumerate(iq):
+                if entry[14] == 0:
+                    # -- agen pass ------------------------------------------
+                    if in_order and not agen_open:
+                        continue
+                    store = entry[2]
+                    older_stores = entry[11]
+                    s1p = entry[7]
+                    k = entry[15]
+                    blocked = (
+                        agen_issued >= agen_width
+                        or entry[12] > cycle
+                        or (s1p >= 0 and ready_at[s1p] > cycle)
+                        or (k >= agen_width and agen_cycles[k - agen_width] >= cycle)
+                        or (
+                            stores_agened != older_stores
+                            if store
+                            else stores_agened < older_stores
+                        )
+                    )
+                    if blocked:
+                        agen_open = False
+                        if in_order:
+                            exec_open = False  # its future E-pass orders later ops
+                        continue
+                    agen_issued += 1
+                    agen_cycles[k] = cycle
+                    occ_agenq += cycle - entry[12]
+                    agen_done = cycle + agen_done_off
+                    cache_start = cycle + off_cache_delta
+                    if store:
+                        stores_agened += 1
+                        prev = store_agen_prefix[-1]
+                        store_agen_prefix.append(
+                            agen_done if agen_done > prev else prev
+                        )
+                    elif older_stores:
+                        sfloor = store_agen_prefix[older_stores] + 1
+                        if cache_start < sfloor:
+                            cache_start = sfloor
+                    dev = entry[6]
+                    if dev:
+                        dpen = dc_p if dev == 1 else dc_l2_p
+                        slot_free = mshr_ring[mshr_i]
+                        if cache_start < slot_free:
+                            cache_start = slot_free
+                        mshr_ring[mshr_i] = cache_start + dpen
+                        mshr_i += 1
+                        if mshr_i == mshr_n:
+                            mshr_i = 0
+                        cache_done = cache_start + cache_done_off + dpen
+                    else:
+                        cache_done = cache_start + cache_done_off
+                    if entry[10] and entry[9] >= 0:
+                        # Load data forwards at cache return, independently
+                        # of the E-pass below.
+                        ready_at[entry[9]] = cache_done + 1
+                    if _dbg is not None:
+                        _dbg.append(("A", entry[0], cycle, cache_done))
+                    entry[14] = 1
+                    entry[7] = -1  # base register consumed at agen
+                    entry[12] = cache_done if merged else cache_done + 1
+                    if in_order:
+                        exec_open = False  # E-pass pending: younger ops wait
+                    continue
+
+                # -- execute pass -------------------------------------------
+                if in_order and not exec_open:
+                    continue
+                if exec_issued >= width:
+                    exec_open = False
+                    continue
+                fpc = entry[3]
+                s1p = entry[7]
+                s2p = entry[8]
+                fpk = entry[16]
+                blocked = (
+                    entry[12] > cycle
+                    or (s1p >= 0 and ready_at[s1p] > cycle)
+                    or (s2p >= 0 and ready_at[s2p] > cycle)
+                    or (fpc == 1 and fpk > 0 and fp_done[fpk - 1] >= cycle)
+                    or (fpc == 2 and fpk > 0 and cx_done[fpk - 1] >= cycle)
+                )
+                if blocked:
+                    exec_open = False
+                    continue
+                exec_issued += 1
+                occ_execq += cycle - entry[12]
+                dest_p = entry[9]
+                if entry[1]:  # memory op: E-pass after cache return
+                    done = cycle + exec_done_off
+                    if dest_p >= 0 and not entry[10]:
+                        # RX-ALU result forwards after the execute logic.
+                        ready_at[dest_p] = cycle + alu_latency
+                elif fpc:
+                    done = cycle + entry[4] + fpc_done_off
+                    if fpc == 1:
+                        fp_done[fpk] = done
+                    else:
+                        cx_done[fpk] = done
+                    if dest_p >= 0:
+                        ready_at[dest_p] = done + 1
+                else:
+                    done = cycle + exec_done_off
+                    if dest_p >= 0:
+                        ready_at[dest_p] = cycle + alu_latency
+                entry[13][2] = done
+                if _dbg is not None:
+                    _dbg.append(("E", entry[0], cycle, done))
+
+                # -- branch resolution --------------------------------------
+                if entry[5] == _EV_MISPREDICT:
+                    resolved = cycle + resolve_latency
+                    if resolved > fetch_floor:
+                        fetch_floor = resolved
+                    barrier = False
+
+                if removed is None:
+                    removed = set()
+                removed.add(qi)
+            if removed:
+                iq = [e for qi, e in enumerate(iq) if qi not in removed]
+            if exec_issued:
+                issue_cycles += 1
+
+            # ---- dispatch (program order, rename + queue insertion) ---------
+            dispatched = 0
+            while (
+                dispatched < width
+                and dec_head < len(dec_q)
+                and len(iq) < iq_capacity
+            ):
+                index, ready, rob_rec = dec_q[dec_head]
+                if ready > cycle:
+                    break
+                if rob_rec is None:
+                    rob_rec = [-1, -1, None]
+                    rob.append(rob_rec)
+                    in_flight += 1
+                (mem, s1, _s1x, s2, dest_alu, dest_load, fpc, fpx, store,
+                 b, _fev, dev) = stream[index]
+                s1p = rename_map[s1] if s1 >= 0 else -1
+                s2p = rename_map[s2] if s2 >= 0 else -1
+                dest_arch = dest_load if dest_load >= 0 else dest_alu
+                if dest_arch >= 0:
+                    dest_p = free_pregs.pop()
+                    old_p = rename_map[dest_arch]
+                    rename_map[dest_arch] = dest_p
+                    ready_at[dest_p] = _NEVER
+                else:
+                    dest_p = -1
+                    old_p = -1
+                rob_rec[0] = dest_p
+                rob_rec[1] = old_p
+                # Queue-entry layout (mutable; the agen pass rewrites the
+                # phase, floor and consumed-operand fields in place):
+                #  0 index  1 mem    2 store  3 fpc    4 fp_extra
+                #  5 branch_event    6 dc_event        7 src1_preg
+                #  8 src2_preg       9 dest_preg      10 is_load
+                # 11 older_stores   12 floor          13 rob_rec
+                # 14 phase (0 = awaiting agen, 1 = awaiting execute)
+                # 15 mem_ordinal (position among memory ops; agen port id)
+                # 16 fpc_ordinal (position in the FP/complex unit chain)
+                iq.append([
+                    index, mem, store, fpc, fpx, b, dev, s1p, s2p, dest_p,
+                    dest_load >= 0, stores_before[index], cycle + 1, rob_rec,
+                    0 if mem else 1, mem_ordinal[index], fpc_ordinal[index],
+                ])
+                dec_head += 1
+                dispatched += 1
+            if dec_head > 4 * rob_capacity:
+                del dec_q[:dec_head]
+                dec_head = 0
+
+            # ---- fetch + decode (program order, width per cycle) ------------
+            fetched = 0
+            while (
+                fetch_ptr < n
+                and fetched < width
+                and not barrier
+                and fetch_floor <= cycle
+                and len(front_q) - front_head < front_capacity
+            ):
+                row = stream[fetch_ptr]
+                fetch = cycle
+                fev = row[10]
+                if fev:
+                    # The miss return completes this fetch late and blocks
+                    # younger fetches until then.
+                    fetch += ic_p if fev == 1 else ic_l2_p
+                    fetch_floor = fetch
+                b = row[9]
+                if b == _EV_MISPREDICT:
+                    # Wrong-path fetch: nothing younger enters the machine
+                    # until this branch issues and resolves.
+                    barrier = True
+                elif b == _EV_BTB_STALL:
+                    # Taken branch with an unknown target: the front end
+                    # refills once the target is computed at decode/rename.
+                    refill = fetch + btb_refill
+                    if refill > fetch_floor:
+                        fetch_floor = refill
+                front_q.append((fetch_ptr, fetch + fetch_stages))
+                fetch_ptr += 1
+                fetched += 1
+
+        return (
+            last_commit + 1,
+            issue_cycles,
+            occ_agenq + events.memory_ops,
+            occ_execq + n,
+        )
+
+
+def simulate_cycle(
+    trace: Trace, depth: "int | StagePlan", config: "MachineConfig | None" = None
+) -> SimulationResult:
+    """Module-level convenience wrapper around :class:`CyclePipelineSimulator`."""
+    return CyclePipelineSimulator(config).simulate(trace, depth)

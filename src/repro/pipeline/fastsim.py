@@ -72,7 +72,7 @@ __all__ = [
     "simulate_fast",
 ]
 
-BACKENDS: Tuple[str, ...] = ("reference", "fast", "batched")
+BACKENDS: Tuple[str, ...] = ("reference", "fast", "batched", "cycle")
 """Recognised simulation backend names."""
 
 DEFAULT_BACKEND = "reference"
@@ -959,7 +959,9 @@ def make_simulator(
     """Instantiate the simulator for ``backend``.
 
     ``"reference"`` is the step-wise interpreter, ``"fast"`` this module's
-    kernel, ``"batched"`` the depth-batched kernel.  ``events_cache`` (a
+    kernel, ``"batched"`` the depth-batched kernel, ``"cycle"`` the
+    cycle-accurate state machine (:mod:`repro.pipeline.cycle`).
+    ``events_cache`` (a
     :class:`~repro.pipeline.events_cache.TraceEventsCache` or None) is
     forwarded to the analysing backends; the reference interpreter has no
     analysis to cache and ignores it.
@@ -972,6 +974,10 @@ def make_simulator(
         from .batched import BatchedPipelineSimulator
 
         return BatchedPipelineSimulator(config, events_cache=events_cache)
+    if backend == "cycle":
+        from .cycle import CyclePipelineSimulator
+
+        return CyclePipelineSimulator(config, events_cache=events_cache)
     raise ValueError(f"unknown backend {backend!r}; choose from {list(BACKENDS)}")
 
 

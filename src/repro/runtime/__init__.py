@@ -20,6 +20,7 @@ from .config import (
     RuntimeConfig,
     current_config,
     default_cache_dir,
+    default_fuzz_state_dir,
     default_search_state_dir,
     reset_config,
     set_config,
@@ -41,6 +42,7 @@ __all__ = [
     "SingleFlight",
     "current_config",
     "default_cache_dir",
+    "default_fuzz_state_dir",
     "default_search_state_dir",
     "reset_config",
     "set_config",

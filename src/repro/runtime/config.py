@@ -51,6 +51,7 @@ __all__ = [
     "current_config",
     "default_analysis_cache_dir",
     "default_cache_dir",
+    "default_fuzz_state_dir",
     "default_kernel_dir",
     "default_search_state_dir",
     "kernel_enabled",
@@ -136,6 +137,11 @@ class RuntimeConfig:
         search_seed: default optimizer seed when none is given.
         search_concurrency: searches the daemon runs at once; past that
             ``POST /v1/search`` answers 429.
+        fuzz_state_dir: fuzz repro-bundle directory (None derives one:
+            ``<cache_dir>/fuzz`` when ``cache_dir`` was set explicitly,
+            else ``~/.cache/repro/fuzz``).
+        fuzz_budget: default probes per ``repro fuzz`` campaign.
+        fuzz_seed: default campaign seed when none is given.
     """
 
     # -- caches & kernel ----------------------------------------------------
@@ -170,6 +176,10 @@ class RuntimeConfig:
     search_budget: int = 512
     search_seed: int = 0
     search_concurrency: int = 1
+    # -- fuzzing ------------------------------------------------------------
+    fuzz_state_dir: "str | None" = None
+    fuzz_budget: int = 100
+    fuzz_seed: int = 0
 
     def __post_init__(self) -> None:
         from ..pipeline.fastsim import BACKENDS  # lazy: avoids an import cycle
@@ -190,6 +200,8 @@ class RuntimeConfig:
             "engine_retries",
             "search_budget",
             "search_seed",
+            "fuzz_budget",
+            "fuzz_seed",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0, got {getattr(self, name)!r}")
@@ -253,6 +265,20 @@ class RuntimeConfig:
         if self.cache_dir and str(self.cache_dir) != default_result:
             return pathlib.Path(self.cache_dir).expanduser() / "search"
         return _xdg_cache_base(os.environ) / "repro" / "search"
+
+    def fuzz_state_path(self) -> pathlib.Path:
+        """The effective fuzz repro-bundle directory.
+
+        ``fuzz_state_dir`` wins; otherwise fuzz state nests under a
+        non-default ``cache_dir`` (one knob relocates every cache
+        family), falling back to ``~/.cache/repro/fuzz``.
+        """
+        if self.fuzz_state_dir:
+            return pathlib.Path(self.fuzz_state_dir).expanduser()
+        default_result = str(_xdg_cache_base(os.environ) / "repro" / "engine")
+        if self.cache_dir and str(self.cache_dir) != default_result:
+            return pathlib.Path(self.cache_dir).expanduser() / "fuzz"
+        return _xdg_cache_base(os.environ) / "repro" / "fuzz"
 
     def with_values(self, _source: str = "override", **changes) -> "RuntimeConfig":
         """A copy with ``changes`` applied and their provenance recorded."""
@@ -414,6 +440,9 @@ ENV_VARS: Dict[str, tuple] = {
     "search_budget": ("REPRO_SEARCH_BUDGET", int),
     "search_seed": ("REPRO_SEARCH_SEED", int),
     "search_concurrency": ("REPRO_SEARCH_CONCURRENCY", int),
+    "fuzz_state_dir": ("REPRO_FUZZ_STATE_DIR", lambda raw: raw or None),
+    "fuzz_budget": ("REPRO_FUZZ_BUDGET", int),
+    "fuzz_seed": ("REPRO_FUZZ_SEED", int),
 }
 """Field → (environment variable, parser) for the env layer."""
 
@@ -496,6 +525,11 @@ def default_kernel_dir() -> pathlib.Path:
 def default_search_state_dir() -> pathlib.Path:
     """The effective search-checkpoint directory."""
     return current_config().search_state_path()
+
+
+def default_fuzz_state_dir() -> pathlib.Path:
+    """The effective fuzz repro-bundle directory."""
+    return current_config().fuzz_state_path()
 
 
 def analysis_cache_enabled() -> bool:

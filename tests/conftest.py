@@ -36,6 +36,9 @@ def _isolated_engine_cache(_engine_cache_root, monkeypatch):
     monkeypatch.delenv("REPRO_SEARCH_BUDGET", raising=False)
     monkeypatch.delenv("REPRO_SEARCH_SEED", raising=False)
     monkeypatch.delenv("REPRO_SEARCH_CONCURRENCY", raising=False)
+    monkeypatch.delenv("REPRO_FUZZ_STATE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_FUZZ_BUDGET", raising=False)
+    monkeypatch.delenv("REPRO_FUZZ_SEED", raising=False)
 
 
 @pytest.fixture(autouse=True)

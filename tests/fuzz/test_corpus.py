@@ -1,0 +1,52 @@
+"""Seed-corpus regression suite.
+
+Two pinned artifacts guard the fuzzer's long-term promises:
+
+* ``fixtures/corpus.json`` — probe digests for pinned seeds.  A pinned
+  seed must replay a byte-identical probe sequence forever; if a change
+  to the generator is intentional, regenerate the corpus in the same
+  commit and call out that old bundles' coordinates are invalidated.
+* ``fixtures/bundles/`` — a repro bundle from a previously-found
+  mismatch (an injected fast-backend mis-pricing, minimized by the
+  fuzzer).  Replaying it against today's backends must report *fixed*;
+  if it ever reports still-failing, a real cross-backend divergence has
+  been (re)introduced.
+"""
+
+import json
+import pathlib
+
+from repro.fuzz import FuzzStore, probe_digest, probe_for, replay_bundle
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def test_pinned_seeds_replay_byte_identical_probes():
+    corpus = json.loads((FIXTURES / "corpus.json").read_text(encoding="utf-8"))
+    assert corpus  # the fixture exists and is non-empty
+    for seed, digests in corpus.items():
+        for index, expected in enumerate(digests):
+            actual = probe_digest(probe_for(int(seed), index))
+            assert actual == expected, (
+                f"probe ({seed}, {index}) changed: {actual} != {expected}; "
+                "the generator is no longer deterministic with history "
+                "(or was changed without regenerating the corpus)"
+            )
+
+
+def test_committed_bundle_replays_as_fixed():
+    store = FuzzStore(FIXTURES / "bundles")
+    ids = store.ids()
+    assert ids, "fixture bundle missing"
+    for bundle_id in ids:
+        bundle = store.load(bundle_id)
+        assert bundle is not None
+        outcome = replay_bundle(bundle)
+        assert not outcome.generator_drift, (
+            f"bundle {bundle_id[:16]}: generator drift — its (seed, index) "
+            "no longer regenerate the original probe"
+        )
+        assert outcome.fixed, (
+            f"bundle {bundle_id[:16]} reproduces again:\n"
+            + "\n".join(outcome.mismatches)
+        )

@@ -1,0 +1,107 @@
+"""Differential runner: agreement, fault finding, minimization, replay.
+
+The injected fault perturbs one backend's timing through the runner's
+``simulate`` injection point — the fuzzer must find it, shrink the
+failing probe to the minimization floor and a single depth, store a
+replayable bundle, and report the failure fixed once the fault is gone.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.fuzz import (
+    DEFAULT_FUZZ_BACKENDS,
+    FuzzStore,
+    minimize_probe,
+    probe_for,
+    replay_bundle,
+    run_fuzz,
+    run_probe,
+)
+from repro.fuzz.runner import MIN_TRACE_LENGTH, _simulate
+
+ALL_BACKENDS = ("reference", "fast", "batched", "cycle")
+
+
+def _faulty(probe, backend, trace_length, depths):
+    """The 'fast' backend mis-prices every depth by one cycle."""
+    results = _simulate(probe, backend, trace_length, depths)
+    if backend != "fast":
+        return results
+    return [dataclasses.replace(r, cycles=r.cycles + 1) for r in results]
+
+
+def test_backends_agree_on_probes():
+    report = run_fuzz(7, 5, ALL_BACKENDS)
+    assert report.passed
+    assert report.probes == 5
+    assert report.backends == ALL_BACKENDS
+
+
+def test_default_backends_cover_registry():
+    assert "reference" in DEFAULT_FUZZ_BACKENDS
+    assert "cycle" in DEFAULT_FUZZ_BACKENDS
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown backends"):
+        run_fuzz(7, 1, ("reference", "warp"))
+
+
+def test_injected_fault_is_found_and_minimized(tmp_path):
+    store = FuzzStore(tmp_path)
+    report = run_fuzz(7, 2, ALL_BACKENDS, store=store, simulate=_faulty)
+    assert not report.passed
+    assert len(report.failures) == 2  # the fault fires on every probe
+    bundle = store.load(report.failures[0])
+    assert bundle is not None
+    # Minimized: the fault persists at any length/depth, so the shrink
+    # runs all the way down.
+    assert bundle.trace_length == MIN_TRACE_LENGTH
+    assert len(bundle.depths) == 1
+    assert bundle.mismatches
+    assert all("fast" in line for line in bundle.mismatches)
+
+
+def test_fuzz_campaign_is_deterministic(tmp_path):
+    a = run_fuzz(7, 2, ALL_BACKENDS, simulate=_faulty)
+    b = run_fuzz(7, 2, ALL_BACKENDS, simulate=_faulty)
+    assert a.to_doc() == b.to_doc()
+
+
+def test_bundle_replays_and_reports_fixed(tmp_path):
+    store = FuzzStore(tmp_path)
+    report = run_fuzz(7, 1, ALL_BACKENDS, store=store, simulate=_faulty)
+    bundle = store.load(report.failures[0])
+    # With the fault still in place the bundle reproduces...
+    broken = replay_bundle(bundle, simulate=_faulty)
+    assert not broken.fixed
+    assert not broken.generator_drift
+    # ...and with the real backends it is fixed.
+    fixed = replay_bundle(bundle)
+    assert fixed.fixed
+    assert not fixed.generator_drift
+
+
+def test_replay_detects_generator_drift(tmp_path):
+    store = FuzzStore(tmp_path)
+    report = run_fuzz(7, 1, ALL_BACKENDS, store=store, simulate=_faulty)
+    bundle = store.load(report.failures[0])
+    bundle.probe_digest = "0" * 64
+    outcome = replay_bundle(bundle)
+    assert outcome.generator_drift
+
+
+def test_minimize_keeps_failure_reproducible():
+    probe = probe_for(7, 0)
+    length, depths, mismatches = minimize_probe(probe, ALL_BACKENDS, _faulty)
+    assert mismatches
+    assert length <= probe.trace_length
+    assert set(depths) <= set(probe.depths)
+    assert run_probe(probe, ALL_BACKENDS, length, depths, _faulty)
+
+
+def test_run_probe_clean_without_fault():
+    probe = probe_for(7, 0)
+    assert run_probe(probe, ALL_BACKENDS) == []

@@ -1,0 +1,42 @@
+"""The REPRO_FUZZ_* configuration knobs and the fourth cache family path."""
+
+import pathlib
+
+from repro.runtime import RuntimeConfig
+
+
+def test_fuzz_env_knobs():
+    config = RuntimeConfig.load(
+        environ={
+            "REPRO_FUZZ_STATE_DIR": "/tmp/bundles",
+            "REPRO_FUZZ_BUDGET": "25",
+            "REPRO_FUZZ_SEED": "42",
+        }
+    )
+    assert config.fuzz_state_dir == "/tmp/bundles"
+    assert config.fuzz_budget == 25
+    assert config.fuzz_seed == 42
+    assert config.provenance["fuzz_budget"] == "env:REPRO_FUZZ_BUDGET"
+    assert config.fuzz_state_path() == pathlib.Path("/tmp/bundles")
+
+
+def test_fuzz_state_nests_under_relocated_cache_dir():
+    config = RuntimeConfig.load(environ={"REPRO_CACHE_DIR": "/tmp/relocated"})
+    assert config.fuzz_state_path() == pathlib.Path("/tmp/relocated/fuzz")
+
+
+def test_fuzz_defaults():
+    config = RuntimeConfig.load(environ={})
+    assert config.fuzz_state_dir is None
+    assert config.fuzz_budget == 100
+    assert config.fuzz_seed == 0
+    assert config.fuzz_state_path().name == "fuzz"
+
+
+def test_negative_fuzz_knobs_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        RuntimeConfig(fuzz_budget=-1)
+    with pytest.raises(ValueError):
+        RuntimeConfig(fuzz_seed=-1)

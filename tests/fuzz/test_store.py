@@ -1,0 +1,76 @@
+"""FuzzStore: content-addressed bundles with the shared cache surface."""
+
+from repro.fuzz import FUZZ_SCHEMA, FuzzBundle, FuzzStore, bundle_identity, probe_for
+from repro.fingerprint import fingerprint_digest
+
+
+def _bundle(index=0):
+    probe = probe_for(7, index)
+    return FuzzBundle.for_failure(
+        probe,
+        ("reference", "fast"),
+        trace_length=64,
+        depths=(8,),
+        mismatches=["fast/depth=8: field cycles: 1 != 2"],
+    )
+
+
+def test_bundle_id_is_content_addressed():
+    probe = probe_for(7, 0)
+    bundle = _bundle()
+    identity = bundle_identity(probe, ("reference", "fast"), 64, (8,))
+    assert bundle.bundle_id == fingerprint_digest(identity)
+    # The mismatch text and writing version are not part of the identity.
+    other = _bundle()
+    other.mismatches = ["different text"]
+    other.version = "0.0.0"
+    assert other.bundle_id == bundle.bundle_id
+
+
+def test_roundtrip(tmp_path):
+    store = FuzzStore(tmp_path)
+    bundle = _bundle()
+    path = store.save(bundle)
+    assert path == store.path_for(bundle.bundle_id)
+    assert path.parent.name == f"v{FUZZ_SCHEMA}"
+    loaded = store.load(bundle.bundle_id)
+    assert loaded == bundle
+
+
+def test_rewrite_is_byte_identical(tmp_path):
+    store = FuzzStore(tmp_path)
+    bundle = _bundle()
+    first = store.save(bundle).read_bytes()
+    second = store.save(bundle).read_bytes()
+    assert first == second
+
+
+def test_load_missing_corrupt_or_stale(tmp_path):
+    store = FuzzStore(tmp_path)
+    assert store.load("0" * 64) is None
+    bundle = _bundle()
+    path = store.save(bundle)
+    path.write_text("{not json", encoding="utf-8")
+    assert store.load(bundle.bundle_id) is None
+    # A file whose recorded id disagrees with its name is rejected too.
+    other = _bundle(index=1)
+    store.path_for(other.bundle_id).write_text(
+        store.save(bundle).read_text(encoding="utf-8"), encoding="utf-8"
+    )
+    assert store.load(other.bundle_id) is None
+
+
+def test_ids_find_and_cache_surface(tmp_path):
+    store = FuzzStore(tmp_path)
+    assert len(store) == 0 and store.size_bytes() == 0
+    bundles = [_bundle(i) for i in range(3)]
+    for bundle in bundles:
+        store.save(bundle)
+    assert store.ids() == sorted(b.bundle_id for b in bundles)
+    assert len(store) == 3
+    assert store.size_bytes() > 0
+    target = bundles[0]
+    assert store.find(target.bundle_id[:12]) == target
+    assert store.find("") is None  # ambiguous prefix
+    assert store.clear() == 3
+    assert len(store) == 0

@@ -1,0 +1,113 @@
+"""Cycle-backend unit tests: the state machine's own behaviour.
+
+``test_fastsim_equivalence`` pins the cross-backend contract (hazard
+counts exact, timing within CYCLE_CPI_RTOL); this module covers what is
+specific to the cycle simulator — determinism, monotonicity against its
+machine parameters, the shared-analysis path, and the divergence-probe
+hook the fuzzer's minimized bundles are debugged with.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.pipeline.cycle import CYCLE_CPI_RTOL, CyclePipelineSimulator, simulate_cycle
+from repro.pipeline.simulator import MachineConfig, PipelineSimulator
+
+DEPTHS = (2, 8, 20)
+
+
+def test_repeated_runs_are_identical(modern_trace):
+    sim = CyclePipelineSimulator()
+    first = sim.simulate_depths(modern_trace, DEPTHS)
+    second = sim.simulate_depths(modern_trace, DEPTHS)
+    assert list(first) == list(second)
+    fresh = CyclePipelineSimulator().simulate_depths(modern_trace, DEPTHS)
+    assert list(first) == list(fresh)
+
+
+def test_simulate_cycle_wrapper(modern_trace):
+    result = simulate_cycle(modern_trace, 8)
+    assert result == CyclePipelineSimulator().simulate(modern_trace, 8)
+    assert result.plan.depth == 8
+
+
+def test_out_of_order_beats_in_order(modern_trace):
+    """Dynamic scheduling must not lose cycles on the same trace."""
+    in_order = CyclePipelineSimulator(MachineConfig()).simulate(modern_trace, 8)
+    ooo = CyclePipelineSimulator(MachineConfig(in_order=False)).simulate(
+        modern_trace, 8
+    )
+    assert ooo.cycles < in_order.cycles
+
+
+def test_tiny_window_throttles_out_of_order(modern_trace):
+    """A 1-entry issue queue serialises issue; a big window restores ILP."""
+    tiny = CyclePipelineSimulator(
+        MachineConfig(in_order=False, issue_window=1)
+    ).simulate(modern_trace, 8)
+    wide = CyclePipelineSimulator(
+        MachineConfig(in_order=False, issue_window=64)
+    ).simulate(modern_trace, 8)
+    assert tiny.cycles > wide.cycles
+
+
+def test_window_does_not_bind_in_order(modern_trace):
+    """issue_window/rob_size are OoO structures; in-order ignores them."""
+    small = CyclePipelineSimulator(
+        MachineConfig(issue_window=1, rob_size=1)
+    ).simulate(modern_trace, 8)
+    large = CyclePipelineSimulator(
+        MachineConfig(issue_window=64, rob_size=256)
+    ).simulate(modern_trace, 8)
+    assert small == large
+
+
+def test_tiny_rob_throttles_out_of_order(modern_trace):
+    rob4 = CyclePipelineSimulator(
+        MachineConfig(in_order=False, rob_size=4)
+    ).simulate(modern_trace, 8)
+    rob128 = CyclePipelineSimulator(
+        MachineConfig(in_order=False, rob_size=128)
+    ).simulate(modern_trace, 8)
+    assert rob4.cycles > rob128.cycles
+
+
+def test_cycles_grow_with_depth(modern_trace):
+    """Deeper pipes re-pay hazards more cycles; total cycles are monotone."""
+    results = CyclePipelineSimulator().simulate_depths(modern_trace, (2, 8, 20, 40))
+    cycles = [r.cycles for r in results]
+    assert cycles == sorted(cycles)
+    assert cycles[0] < cycles[-1]
+
+
+def test_analysis_is_shared_across_depths(modern_trace):
+    sim = CyclePipelineSimulator()
+    events = sim.events_for(modern_trace)
+    sim.simulate(modern_trace, 4)
+    sim.simulate(modern_trace, 20)
+    assert sim.events_for(modern_trace) is events
+
+
+def test_hazards_match_reference_on_defaults(modern_trace):
+    """The shared analysis feeds the result: hazard fields are bit-equal."""
+    reference = PipelineSimulator().simulate(modern_trace, 8)
+    cycle = CyclePipelineSimulator().simulate(modern_trace, 8)
+    for field in dataclasses.fields(reference):
+        value = getattr(reference, field.name)
+        if isinstance(value, int):
+            assert getattr(cycle, field.name) == value, field.name
+    assert cycle.cpi == pytest.approx(reference.cpi, rel=CYCLE_CPI_RTOL)
+
+
+def test_debug_log_hook(modern_trace):
+    """The divergence probe records one entry per agen/execute issue."""
+    sim = CyclePipelineSimulator()
+    sim.debug_log = []
+    result = sim.simulate(modern_trace, 8)
+    kinds = {entry[0] for entry in sim.debug_log}
+    assert kinds <= {"A", "E"}
+    executes = [e for e in sim.debug_log if e[0] == "E"]
+    assert len(executes) == result.instructions
+    agens = [e for e in sim.debug_log if e[0] == "A"]
+    assert len(agens) == result.memory_ops

@@ -2,13 +2,16 @@
 reference interpreter.
 
 The contract under test is the one ``repro validate-kernel`` enforces in
-CI: for every (workload, machine, depth) point the fast backend
-reproduces the reference :class:`SimulationResult` field-for-field — CPI
-within 1e-9, hazard counts exactly — and the optimum depth extracted
-through the power-accounting path is identical.  The machine grid
-crosses the model's behavioural switches (in-order/out-of-order,
-BTB pressure, cold bimodal predictor, oracle + multi-entry MSHR) so
-every event path of the trace analysis is exercised.
+CI: for every (workload, machine, depth) point the analytic backends
+(``fast``, ``batched``) reproduce the reference
+:class:`SimulationResult` field-for-field — CPI within 1e-9, hazard
+counts exactly — and the optimum depth extracted through the
+power-accounting path is identical; the independent ``cycle`` backend
+keeps every hazard count exact while its timing stays within
+``CYCLE_CPI_RTOL``.  The machine grid crosses the model's behavioural
+switches (in-order/out-of-order, BTB pressure, cold bimodal predictor,
+oracle + multi-entry MSHR) so every event path of the trace analysis is
+exercised.
 """
 
 import dataclasses
@@ -19,11 +22,13 @@ from repro.analysis.optimum import optimum_from_sweep
 from repro.analysis.sweep import sweep_from_results
 from repro.analysis.validate import (
     CANDIDATE_BACKENDS,
+    TOLERANCE_BACKENDS,
     default_machine_grid,
     format_report,
     validate_kernel,
 )
 from repro.pipeline.batched import BatchedPipelineSimulator, simulate_batched
+from repro.pipeline.cycle import CYCLE_CPI_RTOL, CyclePipelineSimulator
 from repro.pipeline.fastsim import (
     BACKENDS,
     DEFAULT_BACKEND,
@@ -40,11 +45,28 @@ DEPTHS = (2, 3, 4, 6, 8, 13, 20)
 
 MACHINES = sorted(default_machine_grid(small=False).items())
 
+EXACT_BACKENDS = tuple(b for b in CANDIDATE_BACKENDS if b not in TOLERANCE_BACKENDS)
+
 GRID = [
     (backend, label, machine)
-    for backend in CANDIDATE_BACKENDS
+    for backend in EXACT_BACKENDS
     for label, machine in MACHINES
 ]
+
+#: SimulationResult fields a tolerance backend must still match exactly
+#: (everything the shared trace analysis determines).
+HAZARD_FIELDS = (
+    "instructions",
+    "branches",
+    "mispredicts",
+    "icache_misses",
+    "dcache_accesses",
+    "dcache_misses",
+    "store_misses",
+    "l2_misses",
+    "memory_ops",
+    "fp_ops",
+)
 
 
 def _assert_results_equal(reference, fast, context):
@@ -71,6 +93,29 @@ def test_backend_matches_reference_everywhere(
             _assert_results_equal(
                 r, f, f"{backend}/{trace.name}/{label}/depth={depth}"
             )
+
+
+@pytest.mark.parametrize(
+    ("label", "machine"), MACHINES, ids=[label for label, _ in MACHINES]
+)
+def test_cycle_backend_tracks_reference(label, machine, modern_trace, float_trace):
+    """Cycle backend: hazard counts exact, CPI within CYCLE_CPI_RTOL."""
+    reference_sim = PipelineSimulator(machine)
+    candidate = CyclePipelineSimulator(machine)
+    for trace in (modern_trace, float_trace):
+        reference = reference_sim.simulate_depths(trace, DEPTHS)
+        results = candidate.simulate_depths(trace, DEPTHS)
+        for depth, r, c in zip(DEPTHS, reference, results):
+            context = f"cycle/{trace.name}/{label}/depth={depth}"
+            for field in HAZARD_FIELDS:
+                a = getattr(r, field)
+                b = getattr(c, field)
+                assert a == b, f"{context}: hazard field {field!r}: {a} != {b}"
+            assert c.cpi == pytest.approx(r.cpi, rel=CYCLE_CPI_RTOL), context
+            assert c.issue_cycles == pytest.approx(
+                r.issue_cycles, rel=CYCLE_CPI_RTOL
+            ), context
+            assert set(c.unit_occupancy) == set(r.unit_occupancy), context
 
 
 @pytest.mark.parametrize("in_order", [True, False], ids=["in-order", "out-of-order"])
@@ -129,8 +174,10 @@ def test_make_simulator_dispatch():
     batched = make_simulator(backend="batched")
     assert isinstance(batched, BatchedPipelineSimulator)
     assert isinstance(batched, FastPipelineSimulator)  # drop-in subtype
+    assert isinstance(make_simulator(backend="cycle"), CyclePipelineSimulator)
     assert DEFAULT_BACKEND in BACKENDS
     assert set(CANDIDATE_BACKENDS) == set(BACKENDS) - {"reference"}
+    assert set(TOLERANCE_BACKENDS) == {"cycle"}
     with pytest.raises(ValueError):
         make_simulator(backend="warp")
 

@@ -1,6 +1,7 @@
 """Tests of the command-line interface."""
 
 import json
+import pathlib
 
 import pytest
 
@@ -202,12 +203,13 @@ class TestCacheCommand:
     def test_stats_on_empty_cache(self, capsys, tmp_path):
         assert main(["cache", "stats", "--cache-dir", str(tmp_path / "c"),
                      "--analysis-dir", str(tmp_path / "a"),
-                     "--search-dir", str(tmp_path / "s")]) == 0
+                     "--search-dir", str(tmp_path / "s"),
+                     "--fuzz-dir", str(tmp_path / "f")]) == 0
         out = capsys.readouterr().out
         assert "result cache:" in out and "analysis cache:" in out
-        assert "search cache:" in out
-        assert out.count("entries   : 0") == 3
-        assert out.count("size      : 0 bytes") == 3
+        assert "search cache:" in out and "fuzz cache:" in out
+        assert out.count("entries   : 0") == 4
+        assert out.count("size      : 0 bytes") == 4
 
     def test_stats_after_a_cached_run(self, capsys, tmp_path, monkeypatch):
         cache_dir = tmp_path / "c"
@@ -217,17 +219,19 @@ class TestCacheCommand:
         capsys.readouterr()
         assert main(["cache", "stats", "--cache-dir", str(cache_dir),
                      "--analysis-dir", str(tmp_path / "a"),
-                     "--search-dir", str(tmp_path / "s")]) == 0
+                     "--search-dir", str(tmp_path / "s"),
+                     "--fuzz-dir", str(tmp_path / "f")]) == 0
         out = capsys.readouterr().out
         assert out.count("entries   : 1") == 2  # one result, one analysis
-        assert out.count("0 bytes") == 1  # only the (empty) search store
+        assert out.count("0 bytes") == 2  # the (empty) search + fuzz stores
 
     def test_clear(self, capsys, tmp_path, monkeypatch):
         cache_dir = tmp_path / "c"
         monkeypatch.setenv("REPRO_ANALYSIS_CACHE_DIR", str(tmp_path / "a"))
         flags = ["--cache-dir", str(cache_dir),
                  "--analysis-dir", str(tmp_path / "a"),
-                 "--search-dir", str(tmp_path / "s")]
+                 "--search-dir", str(tmp_path / "s"),
+                 "--fuzz-dir", str(tmp_path / "f")]
         assert main(["sweep", "gzip", "--length", "1200", "--no-chart",
                      "--backend", "fast", "--cache-dir", str(cache_dir)]) == 0
         capsys.readouterr()
@@ -236,8 +240,9 @@ class TestCacheCommand:
         assert "cleared 1 result-cache entries" in cleared
         assert "cleared 1 analysis-cache entries" in cleared
         assert "cleared 0 search-cache entries" in cleared
+        assert "cleared 0 fuzz-cache entries" in cleared
         assert main(["cache", "stats", *flags]) == 0
-        assert capsys.readouterr().out.count("entries   : 0") == 3
+        assert capsys.readouterr().out.count("entries   : 0") == 4
 
     def test_cache_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -358,3 +363,54 @@ class TestSearchCommand:
         assert main(["search", "--workload", "no-such-workload",
                      "--param", "issue_width=2:4:2"]) == 2
         assert "unknown workload" in capsys.readouterr().err
+
+
+class TestFuzzCommand:
+    def fuzz(self, tmp_path, *extra):
+        return main(["fuzz", "--state-dir", str(tmp_path / "bundles"), *extra])
+
+    def test_clean_campaign_human_summary(self, capsys, tmp_path):
+        assert self.fuzz(tmp_path, "--seed", "7", "--budget", "3") == 0
+        out = capsys.readouterr().out
+        assert "fuzz seed 7: 3 probes, all backends agree" in out
+        assert "reference" in out and "cycle" in out
+
+    def test_clean_campaign_json(self, capsys, tmp_path):
+        assert self.fuzz(tmp_path, "--seed", "7", "--budget", "2", "--json") == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["passed"] is True
+        assert report["probes"] == 2 and report["failures"] == []
+
+    def test_backend_subset_and_unknown_backend(self, capsys, tmp_path):
+        assert (
+            self.fuzz(
+                tmp_path,
+                "--seed",
+                "7",
+                "--budget",
+                "2",
+                "--backends",
+                "reference,fast",
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert self.fuzz(tmp_path, "--backends", "reference,warp") == 2
+        assert "unknown backends" in capsys.readouterr().err
+
+    def test_list_empty_store(self, capsys, tmp_path):
+        assert self.fuzz(tmp_path, "--list") == 0
+        assert capsys.readouterr().out == ""
+
+    def test_replay_unknown_id(self, capsys, tmp_path):
+        assert self.fuzz(tmp_path, "--replay", "deadbeef") == 2
+        assert "no unique bundle" in capsys.readouterr().err
+
+    def test_replay_committed_fixture_is_fixed(self, capsys):
+        fixtures = pathlib.Path(__file__).parent / "fuzz" / "fixtures" / "bundles"
+        bundle_id = next(fixtures.glob("v*/[0-9a-f]*.json")).stem
+        assert (
+            main(["fuzz", "--state-dir", str(fixtures), "--replay", bundle_id[:12]])
+            == 0
+        )
+        assert "fixed" in capsys.readouterr().out
