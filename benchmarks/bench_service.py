@@ -1,35 +1,48 @@
-"""Serving-layer benchmark: coalescing collapse + cache-hierarchy wins.
+"""Serving-layer benchmark: coalescing, cache wins, and open-loop SLOs.
 
-Boots the daemon in-process (thread executor, fast backend, private disk
-cache) and measures the two behaviours the serving layer exists for:
+Boots the serving stack in-process (thread executor, fast backend,
+private disk caches) and measures the behaviours it exists for:
 
 1. **Herd phase** — every client simultaneously requests the *same* cold
    key: single-flight must collapse the thundering herd to exactly one
    computed job, everyone else coalesced.
 2. **Zipf phase** — a closed-loop, zipf-skewed mix (hot head, cold tail)
    over a workload set: after the tail warms, the memory LRU + disk
-   cache must serve ≥ 90 % of requests without touching the simulator,
-   and throughput/p50/p99 quantify the win.
+   cache must serve ≥ 90 % of requests without touching the simulator.
+3. **Open-loop SLO phase** — the same Poisson/zipf schedule (a pure
+   function of the seed) is offered twice, arrivals never gated on
+   completions: once to a single daemon, once to a 3-shard cluster
+   behind the consistent-hash router with the *same total* LRU budget
+   split across shards.  Recorded per phase (sustained, then burst):
+   p50 / p99 / p99.9, shed rate and the source mix.  Asserted: zero
+   sustained-phase shed, finite p99, zero transport errors, and a
+   cluster memory-hit ratio no worse than the single daemon's — the
+   shard-affinity property the router exists to preserve.
 
 Two entry points, mirroring ``bench_fastsim.py``:
 
 * ``pytest benchmarks/bench_service.py --benchmark-only`` — the recorded
-  acceptance run; asserts the hit-ratio floor and the herd collapse, and
-  writes ``benchmarks/results/service.txt``.
-* ``python benchmarks/bench_service.py [--quick]`` — standalone/CI smoke.
+  acceptance run; writes ``benchmarks/results/service.txt`` and the
+  ``service.json`` sidecar CI pins.
+* ``python benchmarks/bench_service.py [--quick]`` — standalone/CI smoke
+  (the ``cluster-smoke`` job runs ``--quick``).
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import math
 import pathlib
 import sys
 import tempfile
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Dict, List, Sequence, Tuple
 
+from repro.cluster.loadgen import OpenLoopReport, arrival_schedule, run_open_loop
+from repro.cluster.metrics import parse_samples
+from repro.cluster.router import Router, RouterServer
 from repro.service.app import ServiceState
 from repro.runtime import RuntimeConfig
 from repro.service.http import ServiceServer
@@ -45,23 +58,66 @@ ZIPF_SKEW = 1.2
 WORKLOAD_COUNT = 16
 TRACE_LENGTH = 2000
 HIT_RATIO_FLOOR = 0.90
+AFFINITY_SLACK = 0.05       # cluster memory-hit ratio may trail by this much
+
+SHARDS = 3
+OPEN_SEED = 20030101
+OPEN_RATE = 60.0            # sustained arrivals per second
+OPEN_DURATION = 6.0
+BURST_FACTOR = 3.0
+BURST_DURATION = 2.0
 
 QUICK_REQUESTS = 20
 QUICK_WORKLOADS = 8
+QUICK_RATE = 40.0
+QUICK_DURATION = 3.0
+QUICK_BURST_DURATION = 1.0
+
+
+@dataclass(frozen=True)
+class OpenLoopBench:
+    """The open-loop SLO comparison: one daemon vs the sharded cluster."""
+
+    baseline: OpenLoopReport
+    cluster: OpenLoopReport
+    baseline_memory_ratio: float
+    cluster_memory_ratio: float
+    shard_hit_ratios: "Dict[str, float]"
+    router_counters: "Dict[str, float]"
 
 
 @dataclass(frozen=True)
 class ServiceBench:
-    """Both phases of one benchmark run."""
+    """Every phase of one benchmark run."""
 
     herd_computed: int
     herd_coalesced: int
     zipf: LoadReport
     server_hit_ratio: float
     lru_evictions: int
+    open_loop: OpenLoopBench
 
 
-async def _herd_phase(port: int, workload: str, length: int) -> "tuple[int, int]":
+def _memory_ratio(report: OpenLoopReport) -> float:
+    """Memory-LRU hits as a share of all completed open-loop requests."""
+    memory = sum(stats.sources.get("memory", 0) for stats in report.phases.values())
+    return memory / report.completed if report.completed else 0.0
+
+
+def _router_counters(router: Router) -> "Dict[str, float]":
+    """Router-family totals (failovers, retries, shed) out of its registry."""
+    _families, samples = parse_samples(router.metrics.render())
+    totals: "Dict[str, float]" = {}
+    for name in ("repro_cluster_failovers_total", "repro_cluster_retries_total",
+                 "repro_cluster_rejected_total"):
+        totals[name] = sum(
+            value for series, value in samples.items()
+            if series.split("{", 1)[0] == name
+        )
+    return totals
+
+
+async def _herd_phase(port: int, workload: str, length: int) -> "Tuple[int, int]":
     """All clients hit one cold key at once; count computed vs coalesced."""
     clients = [HttpClient("127.0.0.1", port) for _ in range(HERD_CLIENTS)]
     for client in clients:
@@ -72,29 +128,114 @@ async def _herd_phase(port: int, workload: str, length: int) -> "tuple[int, int]
     )
     for client in clients:
         await client.close()
-    sources = [response.get("source") for status, response in responses if status == 200]
+    sources = [resp.get("source") for status, resp in responses if status == 200]
     return sources.count("computed"), sources.count("coalesced")
 
 
-async def _run(
-    requests_per_client: int, workload_count: int, length: int
-) -> ServiceBench:
-    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as cache_dir:
-        config = RuntimeConfig(
+def _shard_config(cache_dir: str, memory_entries: int) -> RuntimeConfig:
+    return RuntimeConfig(
+        host="127.0.0.1",
+        port=0,
+        backend="fast",
+        executor="thread",
+        workers=4,
+        concurrency=8,
+        queue_limit=64,
+        memory_entries=memory_entries,
+        cache_dir=cache_dir,
+    )
+
+
+async def _open_loop_phase(
+    names: "List[str]", length: int, *,
+    rate: float, duration: float, burst_duration: float,
+) -> OpenLoopBench:
+    schedule = arrival_schedule(
+        seed=OPEN_SEED,
+        rate=rate,
+        duration=duration,
+        workloads=names,
+        zipf_skew=ZIPF_SKEW,
+        burst_factor=BURST_FACTOR,
+        burst_duration=burst_duration,
+    )
+    total_lru = len(names) * 2
+
+    # Baseline: the identical schedule against one daemon holding the
+    # whole LRU budget, on its own cold disk cache.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-openloop-base-") as base_dir:
+        server = ServiceServer(ServiceState(
+            _shard_config(str(pathlib.Path(base_dir) / "disk"), total_lru)
+        ))
+        await server.start()
+        try:
+            baseline = await run_open_loop(
+                "127.0.0.1", server.port, schedule,
+                length=length, seed=OPEN_SEED, rate=rate,
+            )
+        finally:
+            await server.drain(timeout=5.0)
+
+    # Cluster: the same schedule, same *total* LRU budget split across
+    # shards, a shared cold disk tier, the router in front.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-openloop-cluster-") as dir_:
+        shared_disk = str(pathlib.Path(dir_) / "disk")
+        per_shard = max(total_lru // SHARDS, 1)
+        shard_servers = [
+            ServiceServer(ServiceState(_shard_config(shared_disk, per_shard)))
+            for _ in range(SHARDS)
+        ]
+        for server in shard_servers:
+            await server.start()
+        router_config = RuntimeConfig(
             host="127.0.0.1",
-            port=0,
-            backend="fast",
-            executor="thread",
-            workers=4,
-            concurrency=8,
-            queue_limit=64,
-            memory_entries=workload_count * 2,
-            cache_dir=str(pathlib.Path(cache_dir) / "disk"),
+            cluster_port=0,
+            cluster_shards=SHARDS,
+            cluster_health_interval=0.2,
+        )
+        router = Router(router_config, {
+            f"shard-{i}": ("127.0.0.1", server.port)
+            for i, server in enumerate(shard_servers)
+        })
+        front = RouterServer(router)
+        await front.start()
+        try:
+            cluster = await run_open_loop(
+                "127.0.0.1", front.port, schedule,
+                length=length, seed=OPEN_SEED, rate=rate,
+            )
+            shard_hit_ratios = {
+                f"shard-{i}": server.state.hit_ratio()
+                for i, server in enumerate(shard_servers)
+            }
+            counters = _router_counters(router)
+        finally:
+            await front.drain(timeout=5.0)
+            for server in shard_servers:
+                await server.drain(timeout=5.0)
+
+    return OpenLoopBench(
+        baseline=baseline,
+        cluster=cluster,
+        baseline_memory_ratio=_memory_ratio(baseline),
+        cluster_memory_ratio=_memory_ratio(cluster),
+        shard_hit_ratios=shard_hit_ratios,
+        router_counters=counters,
+    )
+
+
+async def _run(
+    requests_per_client: int, workload_count: int, length: int, *,
+    rate: float, duration: float, burst_duration: float,
+) -> ServiceBench:
+    names = list(suite_names())[:workload_count]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as cache_dir:
+        config = _shard_config(
+            str(pathlib.Path(cache_dir) / "disk"), workload_count * 2
         )
         server = ServiceServer(ServiceState(config))
         await server.start()
         try:
-            names = list(suite_names())[:workload_count]
             herd_computed, herd_coalesced = await _herd_phase(
                 server.port, names[-1], length
             )
@@ -107,53 +248,96 @@ async def _run(
                 zipf_skew=ZIPF_SKEW,
                 length=length,
             )
-            return ServiceBench(
-                herd_computed=herd_computed,
-                herd_coalesced=herd_coalesced,
-                zipf=zipf,
-                server_hit_ratio=server.state.hit_ratio(),
-                lru_evictions=server.state.lru.evictions,
-            )
+            server_hit_ratio = server.state.hit_ratio()
+            lru_evictions = server.state.lru.evictions
         finally:
             await server.drain(timeout=5.0)
+
+    open_loop = await _open_loop_phase(
+        names, length, rate=rate, duration=duration, burst_duration=burst_duration
+    )
+    return ServiceBench(
+        herd_computed=herd_computed,
+        herd_coalesced=herd_coalesced,
+        zipf=zipf,
+        server_hit_ratio=server_hit_ratio,
+        lru_evictions=lru_evictions,
+        open_loop=open_loop,
+    )
 
 
 def measure(
     requests_per_client: int = ZIPF_REQUESTS,
     workload_count: int = WORKLOAD_COUNT,
     length: int = TRACE_LENGTH,
+    rate: float = OPEN_RATE,
+    duration: float = OPEN_DURATION,
+    burst_duration: float = BURST_DURATION,
 ) -> ServiceBench:
-    return asyncio.run(_run(requests_per_client, workload_count, length))
+    return asyncio.run(_run(
+        requests_per_client, workload_count, length,
+        rate=rate, duration=duration, burst_duration=burst_duration,
+    ))
+
+
+def _format_open_loop(label: str, report: OpenLoopReport) -> "List[str]":
+    lines = []
+    for name, stats in sorted(report.phases.items()):
+        lines.append(
+            f"  {label} {name:>9} : p50 {stats.p50 * 1e3:7.2f} ms, "
+            f"p99 {stats.p99 * 1e3:7.2f} ms, p99.9 {stats.p999 * 1e3:7.2f} ms, "
+            f"shed {stats.shed_rate:5.1%}, offered {stats.offered}"
+        )
+    return lines
 
 
 def format_result(bench: ServiceBench) -> str:
     zipf = bench.zipf
+    open_loop = bench.open_loop
     sources = ", ".join(
         f"{name} {count}" for name, count in sorted(zipf.sources.items())
     )
-    return "\n".join(
-        [
-            "Serving-layer benchmark — zipf-skewed closed-loop mix "
-            f"(skew {ZIPF_SKEW}, {zipf.clients} clients, {zipf.requests} requests, "
-            f"trace length {TRACE_LENGTH})",
-            f"  herd collapse     : {bench.herd_computed} computed / "
-            f"{bench.herd_coalesced} coalesced of {HERD_CLIENTS} identical "
-            "concurrent requests",
-            f"  throughput        : {zipf.throughput:7.1f} req/s",
-            f"  latency           : p50 {zipf.p50 * 1e3:7.2f} ms, "
-            f"p99 {zipf.p99 * 1e3:7.2f} ms",
-            f"  client hit ratio  : {zipf.hit_ratio:.1%} (memory+disk)",
-            f"  server hit ratio  : {bench.server_hit_ratio:.1%}",
-            f"  sources           : {sources}",
-            f"  rejected (429)    : {zipf.rejected}, errors {zipf.errors}, "
-            f"lru evictions {bench.lru_evictions}",
-        ]
+    shard_ratios = ", ".join(
+        f"{shard} {ratio:.1%}"
+        for shard, ratio in sorted(open_loop.shard_hit_ratios.items())
     )
+    lines = [
+        "Serving-layer benchmark — closed-loop zipf mix + open-loop SLO run "
+        f"(skew {ZIPF_SKEW}, {zipf.clients} clients, {zipf.requests} requests, "
+        f"trace length {TRACE_LENGTH})",
+        f"  herd collapse     : {bench.herd_computed} computed / "
+        f"{bench.herd_coalesced} coalesced of {HERD_CLIENTS} identical "
+        "concurrent requests",
+        f"  throughput        : {zipf.throughput:7.1f} req/s",
+        f"  latency           : p50 {zipf.p50 * 1e3:7.2f} ms, "
+        f"p99 {zipf.p99 * 1e3:7.2f} ms",
+        f"  client hit ratio  : {zipf.hit_ratio:.1%} (memory+disk)",
+        f"  server hit ratio  : {bench.server_hit_ratio:.1%}",
+        f"  sources           : {sources}",
+        f"  rejected (429)    : {zipf.rejected}, errors {zipf.errors}, "
+        f"lru evictions {bench.lru_evictions}",
+        f"open-loop SLOs — seed {open_loop.baseline.seed}, "
+        f"{open_loop.baseline.rate:g} req/s sustained, "
+        f"x{BURST_FACTOR:g} burst, 1 daemon vs {SHARDS}-shard cluster",
+    ]
+    lines += _format_open_loop("daemon", open_loop.baseline)
+    lines += _format_open_loop("cluster", open_loop.cluster)
+    lines += [
+        f"  memory-hit ratio  : daemon {open_loop.baseline_memory_ratio:.1%} "
+        f"vs cluster {open_loop.cluster_memory_ratio:.1%} "
+        f"(per shard: {shard_ratios})",
+        f"  router            : "
+        f"failovers {open_loop.router_counters['repro_cluster_failovers_total']:.0f}, "
+        f"retries {open_loop.router_counters['repro_cluster_retries_total']:.0f}, "
+        f"shed {open_loop.router_counters['repro_cluster_rejected_total']:.0f}",
+    ]
+    return "\n".join(lines)
 
 
 def bench_data(bench: ServiceBench) -> dict:
     """The machine-readable form of one run (the JSON sidecar's ``data``)."""
     zipf = bench.zipf
+    open_loop = bench.open_loop
     return {
         "herd": {
             "clients": HERD_CLIENTS,
@@ -174,12 +358,22 @@ def bench_data(bench: ServiceBench) -> dict:
             "sources": dict(sorted(zipf.sources.items())),
             "statuses": {str(k): v for k, v in sorted(zipf.statuses.items())},
         },
+        "open_loop": {
+            "shards": SHARDS,
+            "burst_factor": BURST_FACTOR,
+            "baseline": open_loop.baseline.to_doc(),
+            "cluster": open_loop.cluster.to_doc(),
+            "baseline_memory_ratio": open_loop.baseline_memory_ratio,
+            "cluster_memory_ratio": open_loop.cluster_memory_ratio,
+            "shard_hit_ratios": dict(sorted(open_loop.shard_hit_ratios.items())),
+            "router": open_loop.router_counters,
+        },
         "server_hit_ratio": bench.server_hit_ratio,
         "lru_evictions": bench.lru_evictions,
     }
 
 
-def _check(bench: ServiceBench, hit_floor: float) -> "list[str]":
+def _check(bench: ServiceBench, hit_floor: float) -> "List[str]":
     failures = []
     if bench.herd_computed != 1:
         failures.append(
@@ -195,12 +389,40 @@ def _check(bench: ServiceBench, hit_floor: float) -> "list[str]":
             f"hit ratio {bench.zipf.hit_ratio:.1%} below the {hit_floor:.0%} floor"
         )
     if bench.zipf.errors:
-        failures.append(f"{bench.zipf.errors} transport errors")
+        failures.append(f"{bench.zipf.errors} transport errors (closed loop)")
+
+    open_loop = bench.open_loop
+    for label, report in (("daemon", open_loop.baseline),
+                          ("cluster", open_loop.cluster)):
+        if report.errors:
+            failures.append(f"{report.errors} transport errors ({label} open loop)")
+        sustained = report.phases.get("sustained")
+        if sustained is None or not sustained.offered:
+            failures.append(f"{label} open loop offered no sustained traffic")
+            continue
+        if sustained.shed:
+            failures.append(
+                f"{label} shed {sustained.shed} sustained-phase requests "
+                "(expected 0)"
+            )
+        for stats in report.phases.values():
+            if not math.isfinite(stats.p99):
+                failures.append(
+                    f"{label} {stats.phase} p99 is not finite "
+                    f"({stats.completed} completed)"
+                )
+    floor = open_loop.baseline_memory_ratio - AFFINITY_SLACK
+    if open_loop.cluster_memory_ratio < floor:
+        failures.append(
+            f"cluster memory-hit ratio {open_loop.cluster_memory_ratio:.1%} "
+            f"trails the single daemon's {open_loop.baseline_memory_ratio:.1%} "
+            f"by more than {AFFINITY_SLACK:.0%}"
+        )
     return failures
 
 
 def test_service_throughput(benchmark, record_table):
-    """Recorded run: herd collapses to one compute; hit ratio >= 90%."""
+    """Recorded run: herd collapse, hit-ratio floor, open-loop SLOs."""
     from conftest import run_once
 
     bench = run_once(benchmark, measure)
@@ -214,13 +436,17 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--quick", action="store_true",
-        help="CI smoke: fewer requests and workloads, same assertions",
+        help="CI smoke: fewer requests, workloads and seconds, same assertions",
     )
     args = parser.parse_args(argv)
 
     if args.quick:
         bench = measure(
-            requests_per_client=QUICK_REQUESTS, workload_count=QUICK_WORKLOADS
+            requests_per_client=QUICK_REQUESTS,
+            workload_count=QUICK_WORKLOADS,
+            rate=QUICK_RATE,
+            duration=QUICK_DURATION,
+            burst_duration=QUICK_BURST_DURATION,
         )
     else:
         bench = measure()
@@ -242,9 +468,12 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         print(f"FAIL: {failure}", file=sys.stderr)
     if failures:
         return 1
+    cluster_sustained = bench.open_loop.cluster.phases["sustained"]
     print(
         f"PASS: herd 1+{bench.herd_coalesced} collapse, "
-        f"hit ratio {bench.zipf.hit_ratio:.1%} (floor {HIT_RATIO_FLOOR:.0%})"
+        f"hit ratio {bench.zipf.hit_ratio:.1%} (floor {HIT_RATIO_FLOOR:.0%}), "
+        f"cluster sustained p99 {cluster_sustained.p99 * 1e3:.2f} ms "
+        f"with {cluster_sustained.shed} shed"
     )
     return 0
 

@@ -15,6 +15,11 @@ Commands:
 * ``batch``     — execute a JSON manifest of depth sweeps via the engine.
 * ``serve``     — the long-lived asyncio HTTP daemon (request coalescing,
   in-memory LRU over the disk cache, backpressure; see docs/SERVICE.md).
+* ``cluster``   — sharded serving: ``cluster serve`` boots N worker
+  daemons behind a consistent-hash router (stable key → shard
+  assignment keeps every shard's LRU hot; see docs/CLUSTER.md), and
+  ``cluster loadgen`` drives any endpoint with the open-loop
+  Poisson/zipf SLO load generator.
 * ``search``    — design-space autotuning: find the machine/metric
   parameters maximising BIPS^m/W with grid, beam or multi-start search;
   resumable content-addressed checkpoints (see docs/SEARCH.md).
@@ -59,6 +64,65 @@ def _engine(args):
     from .experiments.runner import engine_from_args
 
     return engine_from_args(args)
+
+
+def _add_cluster_serve_flags(parser: argparse.ArgumentParser) -> None:
+    from .pipeline.fastsim import BACKENDS
+    from .runtime.config import EXECUTORS, RuntimeConfig
+
+    defaults = RuntimeConfig()
+    topo = parser.add_argument_group("cluster topology")
+    topo.add_argument("--shards", type=int, default=None,
+                      help=f"worker daemons (default: {defaults.cluster_shards})")
+    topo.add_argument("--port", type=int, default=None,
+                      help="router bind port, 0 for an OS-assigned one "
+                      f"(default: {defaults.cluster_port})")
+    topo.add_argument("--base-port", type=int, default=None,
+                      help="shard i binds base-port + i "
+                      f"(default: {defaults.cluster_base_port})")
+    topo.add_argument("--vnodes", type=int, default=None,
+                      help="virtual nodes per shard on the hash ring "
+                      f"(default: {defaults.cluster_vnodes})")
+    topo.add_argument("--replicas", type=int, default=None,
+                      help="preferred failover successors per key "
+                      f"(default: {defaults.cluster_replicas})")
+    topo.add_argument("--inflight-limit", type=int, default=None,
+                      help="router-side in-flight requests per shard before "
+                      f"429 (default: {defaults.cluster_inflight_limit})")
+    topo.add_argument("--health-interval", type=float, default=None,
+                      help="seconds between shard health probes "
+                      f"(default: {defaults.cluster_health_interval})")
+    topo.add_argument("--restart-limit", type=int, default=None,
+                      help="restarts per crashed shard before giving up "
+                      f"(default: {defaults.cluster_restart_limit})")
+    shard = parser.add_argument_group("per-shard serving knobs")
+    shard.add_argument("--host", default=None,
+                       help=f"bind address (default: {defaults.host})")
+    shard.add_argument("--backend", choices=BACKENDS, default=None,
+                       help=f"simulation backend (default: {defaults.backend})")
+    shard.add_argument("--executor", choices=EXECUTORS, default=None,
+                       help=f"compute executor (default: {defaults.executor})")
+    shard.add_argument("--workers", type=int, default=None,
+                       help=f"executor workers per shard (default: {defaults.workers})")
+    shard.add_argument("--concurrency", type=int, default=None,
+                       help="cache-miss computations in flight per shard "
+                       f"(default: {defaults.concurrency})")
+    shard.add_argument("--queue-limit", type=int, default=None,
+                       help="shard queue beyond --concurrency before 429 "
+                       f"(default: {defaults.queue_limit})")
+    shard.add_argument("--memory-entries", type=int, default=None,
+                       help="per-shard in-memory LRU capacity "
+                       f"(default: {defaults.memory_entries})")
+    shard.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="shared disk result-cache directory (default: "
+                       "$REPRO_CACHE_DIR or ~/.cache/repro/engine)")
+    shard.add_argument("--no-disk-cache", action="store_true",
+                       help="memory-only shards; skip the shared disk tier")
+    shard.add_argument("--log-level", default=None,
+                       help=f"logging level (default: {defaults.log_level})")
+    parser.add_argument("--config", default=None, metavar="FILE",
+                        help="config file layered between env vars and flags "
+                        "(default: $REPRO_CONFIG)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -170,6 +234,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_service_arguments(serve)
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="sharded multi-worker serving and open-loop load generation "
+        "(see docs/CLUSTER.md)",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+    cluster_serve = cluster_sub.add_parser(
+        "serve",
+        help="boot N shard daemons behind the consistent-hash router",
+    )
+    _add_cluster_serve_flags(cluster_serve)
+    cluster_loadgen = cluster_sub.add_parser(
+        "loadgen",
+        help="open-loop Poisson/zipf load with p50/p99/p99.9 and shed rate",
+    )
+    from .cluster.loadgen import add_loadgen_arguments
+
+    add_loadgen_arguments(cluster_loadgen)
+
     search = sub.add_parser(
         "search",
         help="autotune machine/metric parameters for peak BIPS^m/W "
@@ -234,9 +317,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     for cache_cmd in (cache_stats, cache_clear):
         cache_cmd.add_argument(
-            "--cache-dir", type=str, default=None, metavar="DIR",
+            "--result-dir", "--cache-dir", dest="result_dir",
+            type=str, default=None, metavar="DIR",
             help="result-cache directory (default: $REPRO_CACHE_DIR or "
-            "~/.cache/repro/engine)",
+            "~/.cache/repro/engine); --cache-dir is an alias",
         )
         cache_cmd.add_argument(
             "--analysis-dir", type=str, default=None, metavar="DIR",
@@ -453,6 +537,51 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    if args.cluster_command == "loadgen":
+        from .cluster.loadgen import run_from_args
+
+        return run_from_args(args)
+
+    import asyncio
+    import logging
+
+    from .cluster.router import serve_cluster
+    from .runtime import RuntimeConfig
+
+    flags = dict(
+        host=args.host,
+        backend=args.backend,
+        executor=args.executor,
+        workers=args.workers,
+        concurrency=args.concurrency,
+        queue_limit=args.queue_limit,
+        memory_entries=args.memory_entries,
+        cache_dir=args.cache_dir,
+        log_level=args.log_level,
+        cluster_shards=args.shards,
+        cluster_port=args.port,
+        cluster_base_port=args.base_port,
+        cluster_vnodes=args.vnodes,
+        cluster_replicas=args.replicas,
+        cluster_inflight_limit=args.inflight_limit,
+        cluster_health_interval=args.health_interval,
+        cluster_restart_limit=args.restart_limit,
+    )
+    config = RuntimeConfig.load(file=args.config, flags=flags)
+    if args.no_disk_cache:
+        config = config.with_values(_source="flag:--no-disk-cache", cache_dir=None)
+    logging.basicConfig(
+        level=getattr(logging, config.log_level.upper(), logging.INFO),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    try:
+        asyncio.run(serve_cluster(config))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        pass
+    return 0
+
+
 def _cmd_search(args) -> int:
     import json
 
@@ -561,22 +690,33 @@ def _cmd_cache(args) -> int:
     from .search import SearchStore
 
     caches = (
-        ("result", ResultCache(args.cache_dir or default_cache_dir())),
+        ("result", ResultCache(args.result_dir or default_cache_dir())),
         ("analysis", TraceEventsCache(args.analysis_dir or default_events_cache_dir())),
         ("search", SearchStore(args.search_dir or default_search_state_dir())),
         ("fuzz", FuzzStore(args.fuzz_dir or default_fuzz_state_dir())),
     )
+    # Both verbs answer with the same aligned table; every cache family
+    # is one row so the four stores always read uniformly.
     if args.cache_command == "stats":
-        for label, cache in caches:
-            size = cache.size_bytes()
-            print(f"{label} cache:")
-            print(f"  directory : {cache.directory}")
-            print(f"  entries   : {len(cache)}")
-            print(f"  size      : {size} bytes ({size / 1024.0 / 1024.0:.2f} MiB)")
-        return 0
-    for label, cache in caches:
-        removed = cache.clear()
-        print(f"cleared {removed} {label}-cache entries from {cache.directory}")
+        rows = [
+            (label, str(len(cache)), str(cache.size_bytes()),
+             f"{cache.size_bytes() / 1024.0 / 1024.0:.2f}", str(cache.directory))
+            for label, cache in caches
+        ]
+        header = ("family", "entries", "bytes", "MiB", "directory")
+    else:
+        rows = [
+            (label, str(cache.clear()), str(cache.directory))
+            for label, cache in caches
+        ]
+        header = ("family", "cleared", "directory")
+    widths = [
+        max(len(row[column]) for row in (header, *rows))
+        for column in range(len(header))
+    ]
+    for row in (header, *rows):
+        print("  ".join(cell.ljust(width) for cell, width in
+                        zip(row, widths)).rstrip())
     return 0
 
 
@@ -650,6 +790,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "batch": _cmd_batch,
     "serve": _cmd_serve,
+    "cluster": _cmd_cluster,
     "search": _cmd_search,
     "fuzz": _cmd_fuzz,
     "cache": _cmd_cache,

@@ -1,0 +1,56 @@
+"""Sharded multi-worker serving behind a consistent-hash router.
+
+``repro.cluster`` scales the single-process daemon (:mod:`repro.service`)
+out to ``N`` worker shards without giving up the property that makes the
+serving layer fast: each shard owns a stable slice of the engine's
+content-key space (:class:`~repro.cluster.ring.HashRing`), so its
+in-memory LRU stays hot while all shards share the on-disk cache tiers
+through the runtime Resolver.
+
+The pieces:
+
+* :mod:`~repro.cluster.ring` — consistent hashing with virtual nodes;
+* :mod:`~repro.cluster.shards` — spawn / watch / restart the worker
+  fleet (each worker is an ordinary ``repro serve``);
+* :mod:`~repro.cluster.router` — the asyncio front process: validation,
+  per-shard admission, retry-on-next-replica failover, health checks,
+  aggregated ``/healthz`` and merged ``/metrics``;
+* :mod:`~repro.cluster.metrics` — Prometheus exposition parsing and
+  series-wise merging;
+* :mod:`~repro.cluster.loadgen` — the open-loop (Poisson + zipf) SLO
+  load generator.
+
+``repro cluster serve`` and ``repro cluster loadgen`` are the CLI
+faces; ``docs/CLUSTER.md`` is the operator guide.
+"""
+
+from .loadgen import (
+    Arrival,
+    OpenLoopReport,
+    PhaseStats,
+    arrival_schedule,
+    run_open_loop,
+)
+from .metrics import merge_expositions, parse_samples, sample_value
+from .ring import HashRing, ring_hash
+from .router import Router, RouterServer, serve_cluster
+from .shards import ShardSpec, ShardSupervisor, shard_specs
+
+__all__ = [
+    "Arrival",
+    "HashRing",
+    "OpenLoopReport",
+    "PhaseStats",
+    "Router",
+    "RouterServer",
+    "ShardSpec",
+    "ShardSupervisor",
+    "arrival_schedule",
+    "merge_expositions",
+    "parse_samples",
+    "ring_hash",
+    "run_open_loop",
+    "sample_value",
+    "serve_cluster",
+    "shard_specs",
+]

@@ -1,0 +1,372 @@
+"""Open-loop (Poisson) load generation: the SLO measurement tool.
+
+The closed-loop generator in :mod:`repro.service.loadgen` issues each
+client's next request only after the previous response returns, so when
+the server slows down the offered load politely slows with it and the
+latency distribution hides queueing delay — the *coordinated omission*
+trap.  SLO questions ("what is p99.9 at 200 req/s?") need the opposite
+discipline, which this module implements:
+
+* **arrivals are a schedule, not a reaction** — request times are drawn
+  from a Poisson process at the target rate (exponential gaps via
+  ``rng.expovariate``) and each request fires at its scheduled instant
+  whether or not earlier requests have completed;
+* **popularity is zipf-skewed** — a few hot workloads dominate, the
+  tail stays cold, matching what the shard memory-LRUs are built for;
+* **phases** — a *sustained* phase at the target rate, then a *burst*
+  phase at ``burst_factor`` × the rate, reported separately so a run
+  shows both steady-state SLOs and shed behaviour under overload;
+* **determinism** — the whole schedule (times *and* workload choices)
+  is a pure function of the explicit seed, drawn from a private
+  ``random.Random``; two runs at the same seed offer byte-identical
+  request sequences, which is what lets CI re-run a schedule warm and
+  assert zero new computes.
+
+The report records full latency distributions (p50 / p99 / p99.9), the
+shed rate (429s / offered), errors, and the per-source response mix,
+per phase and overall.  ``repro cluster loadgen`` is the CLI face;
+``benchmarks/bench_service.py`` records the acceptance run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..runtime.config import RuntimeConfig
+from ..service.loadgen import HttpClient, zipf_weights
+from ..trace.suite import suite_names
+
+__all__ = [
+    "Arrival",
+    "OpenLoopReport",
+    "PhaseStats",
+    "add_loadgen_arguments",
+    "arrival_schedule",
+    "percentile",
+    "run_from_args",
+    "run_open_loop",
+    "main",
+]
+
+_DEFAULT_SEED = 20030101
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q`` quantile by the nearest-rank method (nan when empty)."""
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    index = min(int(q * len(ordered)), len(ordered) - 1)
+    return ordered[index]
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request: fire at ``at`` seconds into the run."""
+
+    at: float
+    workload: str
+    phase: str
+
+
+def arrival_schedule(
+    *,
+    seed: int,
+    rate: float,
+    duration: float,
+    workloads: Sequence[str],
+    zipf_skew: float = 1.2,
+    burst_factor: float = 0.0,
+    burst_duration: float = 0.0,
+) -> "List[Arrival]":
+    """The full request schedule as a pure function of the seed.
+
+    A Poisson process at ``rate`` req/s for ``duration`` seconds (the
+    ``sustained`` phase), optionally followed by ``burst_duration``
+    seconds at ``rate * burst_factor`` (the ``burst`` phase).  Every
+    draw — inter-arrival gaps and zipf workload picks alike — comes
+    from one private ``random.Random(seed)``; the global RNG is never
+    touched.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate!r}")
+    if not workloads:
+        raise ValueError("arrival_schedule needs at least one workload")
+    rng = random.Random(f"{seed}:openloop")
+    weights = zipf_weights(len(workloads), zipf_skew)
+    schedule: "List[Arrival]" = []
+
+    def extend(phase: str, phase_rate: float, start: float, span: float) -> float:
+        clock = start
+        end = start + span
+        while True:
+            clock += rng.expovariate(phase_rate)
+            if clock >= end:
+                return end
+            name = rng.choices(workloads, weights=weights, k=1)[0]
+            schedule.append(Arrival(at=clock, workload=name, phase=phase))
+
+    clock = extend("sustained", rate, 0.0, duration)
+    if burst_factor > 0 and burst_duration > 0:
+        extend("burst", rate * burst_factor, clock, burst_duration)
+    return schedule
+
+
+@dataclass
+class PhaseStats:
+    """Everything one phase measured."""
+
+    phase: str
+    offered: int = 0
+    completed: int = 0
+    shed: int = 0
+    errors: int = 0
+    latencies: "List[float]" = field(default_factory=list)
+    sources: "Dict[str, int]" = field(default_factory=dict)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def p50(self) -> float:
+        return percentile(self.latencies, 0.50)
+
+    @property
+    def p99(self) -> float:
+        return percentile(self.latencies, 0.99)
+
+    @property
+    def p999(self) -> float:
+        return percentile(self.latencies, 0.999)
+
+    @property
+    def hit_ratio(self) -> float:
+        hits = self.sources.get("memory", 0) + self.sources.get("disk", 0)
+        return hits / self.completed if self.completed else 0.0
+
+    def to_doc(self) -> dict:
+        return {
+            "phase": self.phase,
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "errors": self.errors,
+            "shed_rate": self.shed_rate,
+            "p50_ms": self.p50 * 1000.0,
+            "p99_ms": self.p99 * 1000.0,
+            "p999_ms": self.p999 * 1000.0,
+            "hit_ratio": self.hit_ratio,
+            "sources": dict(sorted(self.sources.items())),
+        }
+
+
+@dataclass
+class OpenLoopReport:
+    """A full open-loop run: per-phase stats plus run-level facts."""
+
+    seed: int
+    rate: float
+    wall_seconds: float = 0.0
+    phases: "Dict[str, PhaseStats]" = field(default_factory=dict)
+
+    def phase(self, name: str) -> PhaseStats:
+        if name not in self.phases:
+            self.phases[name] = PhaseStats(phase=name)
+        return self.phases[name]
+
+    @property
+    def offered(self) -> int:
+        return sum(stats.offered for stats in self.phases.values())
+
+    @property
+    def completed(self) -> int:
+        return sum(stats.completed for stats in self.phases.values())
+
+    @property
+    def errors(self) -> int:
+        return sum(stats.errors for stats in self.phases.values())
+
+    def to_doc(self) -> dict:
+        return {
+            "kind": "open_loop",
+            "seed": self.seed,
+            "rate": self.rate,
+            "wall_seconds": self.wall_seconds,
+            "offered": self.offered,
+            "completed": self.completed,
+            "errors": self.errors,
+            "phases": {name: stats.to_doc() for name, stats in
+                       sorted(self.phases.items())},
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"open-loop: {self.offered} offered at {self.rate:g} req/s "
+            f"(seed {self.seed}), {self.completed} completed, "
+            f"{self.errors} errors, wall {self.wall_seconds:.2f}s"
+        ]
+        for name, stats in sorted(self.phases.items()):
+            lines.append(
+                f"  {name:>9}: offered {stats.offered}, "
+                f"p50 {stats.p50 * 1000:.2f} ms, p99 {stats.p99 * 1000:.2f} ms, "
+                f"p99.9 {stats.p999 * 1000:.2f} ms, "
+                f"shed {stats.shed} ({stats.shed_rate:.1%}), "
+                f"hit ratio {stats.hit_ratio:.1%}"
+            )
+        return "\n".join(lines)
+
+
+async def run_open_loop(
+    host: str,
+    port: int,
+    schedule: "Sequence[Arrival]",
+    *,
+    depths: "Sequence[int] | None" = None,
+    length: int = 2000,
+    backend: "Optional[str]" = None,
+    endpoint: str = "/v1/sweep",
+    seed: int = _DEFAULT_SEED,
+    rate: float = 0.0,
+    clients: int = 32,
+) -> OpenLoopReport:
+    """Fire a schedule open-loop and measure what comes back.
+
+    Each arrival launches at its scheduled instant regardless of how
+    many earlier requests are still in flight — arrivals are *never*
+    gated on completions.  A pool of ``clients`` keep-alive connections
+    carries the traffic (a connection is transport, not admission: a
+    request waits for a free connection but its latency clock starts at
+    the scheduled arrival, so connection queueing is *measured*, not
+    omitted).
+    """
+    report = OpenLoopReport(seed=seed, rate=rate)
+    depth_list = list(depths) if depths else list(range(2, 26))
+    pool: "asyncio.Queue[HttpClient]" = asyncio.Queue()
+    for _ in range(max(clients, 1)):
+        pool.put_nowait(HttpClient(host, port))
+
+    async def fire(arrival: Arrival, started_at: float) -> None:
+        stats = report.phase(arrival.phase)
+        stats.offered += 1
+        body = {"workload": arrival.workload, "depths": depth_list,
+                "length": length}
+        if backend is not None:
+            body["backend"] = backend
+        client = await pool.get()
+        try:
+            status, response = await client.request_json("POST", endpoint, body)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            stats.errors += 1
+            await client.close()
+            return
+        finally:
+            pool.put_nowait(client)
+        elapsed = time.perf_counter() - started_at
+        if status == 200:
+            stats.completed += 1
+            stats.latencies.append(elapsed)
+            source = response.get("source", "unknown")
+            stats.sources[source] = stats.sources.get(source, 0) + 1
+        elif status == 429:
+            stats.shed += 1
+        else:
+            stats.errors += 1
+
+    started = time.perf_counter()
+    tasks: "List[asyncio.Task]" = []
+    for arrival in schedule:
+        delay = arrival.at - (time.perf_counter() - started)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        # The latency clock starts *now*, at the scheduled instant —
+        # any wait for a pooled connection counts against the server.
+        tasks.append(asyncio.create_task(fire(arrival, time.perf_counter())))
+    if tasks:
+        await asyncio.gather(*tasks)
+    report.wall_seconds = time.perf_counter() - started
+
+    while not pool.empty():
+        await pool.get_nowait().close()
+    return report
+
+
+async def _run(args: argparse.Namespace) -> OpenLoopReport:
+    config = RuntimeConfig.from_env(host=args.host)
+    port = args.port if args.port is not None else config.cluster_port
+    names = list(suite_names())[: args.workloads]
+    schedule = arrival_schedule(
+        seed=args.seed,
+        rate=args.rate,
+        duration=args.duration,
+        workloads=names,
+        zipf_skew=args.zipf_skew,
+        burst_factor=args.burst_factor,
+        burst_duration=args.burst_duration,
+    )
+    return await run_open_loop(
+        config.host,
+        port,
+        schedule,
+        length=args.length,
+        backend=args.backend,
+        seed=args.seed,
+        rate=args.rate,
+        clients=args.clients,
+    )
+
+
+def add_loadgen_arguments(parser: argparse.ArgumentParser) -> None:
+    """The open-loop flag set (shared with ``repro cluster loadgen``)."""
+    parser.add_argument("--host", default=None, help="target host (default: config)")
+    parser.add_argument("--port", type=int, default=None,
+                        help="target port (default: the cluster router port)")
+    parser.add_argument("--rate", type=float, default=50.0,
+                        help="sustained arrival rate in req/s (Poisson)")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="sustained phase length in seconds")
+    parser.add_argument("--burst-factor", type=float, default=0.0,
+                        help="burst phase rate multiplier (0 disables the burst)")
+    parser.add_argument("--burst-duration", type=float, default=0.0,
+                        help="burst phase length in seconds")
+    parser.add_argument("--zipf-skew", type=float, default=1.2)
+    parser.add_argument("--workloads", type=int, default=16,
+                        help="number of suite workloads in the key mix")
+    parser.add_argument("--length", type=int, default=2000)
+    parser.add_argument("--clients", type=int, default=32,
+                        help="keep-alive connection pool size (transport only; "
+                        "arrivals are never gated on completions)")
+    parser.add_argument("--backend", default=None,
+                        help="request backend override (default: server's)")
+    parser.add_argument("--seed", type=int, default=_DEFAULT_SEED,
+                        help="schedule seed; the same seed offers the identical "
+                        "request sequence")
+    parser.add_argument("--json-out", default=None,
+                        help="write the full report as JSON to this path")
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Run a parsed open-loop invocation (shared with ``repro cluster``)."""
+    report = asyncio.run(_run(args))
+    print(report.summary())
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_doc(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_loadgen_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""Merging shard ``/metrics`` expositions into one cluster-wide document.
+
+Each shard is an ordinary ``repro serve`` daemon exposing Prometheus
+text format.  The router fetches every healthy shard's exposition,
+sums samples series-by-series (identical ``name{labels}`` keys add —
+counters and histogram buckets sum exactly, gauges sum into
+cluster-wide totals such as combined LRU residency), and appends its
+own router-level families (``repro_cluster_*``).  The result is one
+scrape target that answers questions like "how many jobs did the whole
+cluster actually compute" — which is precisely what the CI warm-rerun
+check reads.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["merge_expositions", "parse_samples", "sample_value"]
+
+_SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _family(sample_name: str, families: "Dict[str, Tuple[str, str]]") -> str:
+    """The metric family a sample line belongs to (histogram-suffix aware)."""
+    if sample_name in families:
+        return sample_name
+    for suffix in _SUFFIXES:
+        if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in families:
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def parse_samples(text: str):
+    """Parse one exposition into ``(families, samples)``.
+
+    ``families`` maps family name → (kind, help text); ``samples`` maps
+    the full series key (``name{labels}``) → float value.
+    """
+    families: "Dict[str, Tuple[str, str]]" = {}
+    samples: "Dict[str, float]" = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP ") :].partition(" ")
+            kind = families.get(name, ("untyped", ""))[0]
+            families[name] = (kind, help_text)
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE ") :].partition(" ")
+            help_text = families.get(name, ("", ""))[1]
+            families[name] = (kind.strip(), help_text)
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            continue
+        series = match.group(1) + (match.group(2) or "")
+        try:
+            value = float(match.group(3).replace("+Inf", "inf"))
+        except ValueError:
+            continue
+        samples[series] = samples.get(series, 0.0) + value
+    return families, samples
+
+
+def sample_value(text: str, series: str) -> float:
+    """One series' value out of an exposition (0.0 when absent)."""
+    _, samples = parse_samples(text)
+    return samples.get(series, 0.0)
+
+
+def _format(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def merge_expositions(texts: "Iterable[str]") -> str:
+    """Sum several expositions into one (identical series keys add)."""
+    families: "Dict[str, Tuple[str, str]]" = {}
+    samples: "Dict[str, float]" = {}
+    for text in texts:
+        text_families, text_samples = parse_samples(text)
+        for name, (kind, help_text) in text_families.items():
+            known_kind, known_help = families.get(name, ("", ""))
+            families[name] = (known_kind or kind, known_help or help_text)
+        for series, value in text_samples.items():
+            samples[series] = samples.get(series, 0.0) + value
+
+    by_family: "Dict[str, List[str]]" = {}
+    for series in samples:
+        bare = series.split("{", 1)[0]
+        by_family.setdefault(_family(bare, families), []).append(series)
+
+    lines: "List[str]" = []
+    for family in sorted(by_family):
+        kind, help_text = families.get(family, ("untyped", ""))
+        if help_text:
+            lines.append(f"# HELP {family} {help_text}")
+        if kind:
+            lines.append(f"# TYPE {family} {kind}")
+        for series in sorted(by_family[family]):
+            lines.append(f"{series} {_format(samples[series])}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,96 @@
+"""Consistent-hash ring: stable key → shard assignment under churn.
+
+The router keys every request on the engine's content hash
+(:meth:`SimJob.cache_key`), so the property that matters is *stability*:
+when a shard joins or leaves, only the keys that shard owns (about
+``1/N`` of the space, smoothed by virtual nodes) change hands, and every
+other shard's working set — and therefore its in-memory LRU — stays
+exactly where it was.
+
+Implementation is the textbook construction: each shard contributes
+``vnodes`` points on a 64-bit ring (SHA-256 of ``"{shard}#{vnode}"``),
+a key routes to the first point clockwise from its own hash, and
+failover replicas are the next *distinct* shards walking clockwise.
+Everything is a pure function of the (shards, vnodes) set — two rings
+built from the same members route identically, which is what makes
+routing reproducible across router restarts and test runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Tuple
+
+__all__ = ["HashRing", "ring_hash"]
+
+
+def ring_hash(data: str) -> int:
+    """The ring position of an arbitrary string (stable 64-bit SHA-256)."""
+    return int.from_bytes(hashlib.sha256(data.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over named shards with virtual nodes."""
+
+    def __init__(self, shards: "Iterable[str]" = (), vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes!r}")
+        self.vnodes = vnodes
+        self._points: "List[Tuple[int, str]]" = []  # sorted (position, shard)
+        self._shards: "set[str]" = set()
+        for shard in shards:
+            self.add(shard)
+
+    # -- membership ----------------------------------------------------------
+    @property
+    def shards(self) -> "Tuple[str, ...]":
+        return tuple(sorted(self._shards))
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    def add(self, shard: str) -> None:
+        """Insert ``shard``'s virtual nodes (idempotent)."""
+        if shard in self._shards:
+            return
+        self._shards.add(shard)
+        for vnode in range(self.vnodes):
+            bisect.insort(self._points, (ring_hash(f"{shard}#{vnode}"), shard))
+
+    def remove(self, shard: str) -> None:
+        """Remove ``shard``'s virtual nodes (missing shards are a no-op)."""
+        if shard not in self._shards:
+            return
+        self._shards.discard(shard)
+        self._points = [point for point in self._points if point[1] != shard]
+
+    # -- routing -------------------------------------------------------------
+    def route(self, key: str) -> str:
+        """The shard owning ``key`` (first ring point clockwise)."""
+        return self.replicas(key, 1)[0]
+
+    def replicas(self, key: str, count: int) -> "List[str]":
+        """The first ``count`` *distinct* shards clockwise from ``key``.
+
+        Element 0 is the key's owner; the rest are its failover order.
+        Returns fewer than ``count`` shards when the ring is smaller.
+        """
+        if not self._points:
+            raise LookupError("the hash ring has no shards")
+        count = min(count, len(self._shards))
+        start = bisect.bisect_right(self._points, (ring_hash(key), "￿"))
+        found: "List[str]" = []
+        for offset in range(len(self._points)):
+            shard = self._points[(start + offset) % len(self._points)][1]
+            if shard not in found:
+                found.append(shard)
+                if len(found) == count:
+                    break
+        return found
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HashRing(shards={len(self._shards)}, vnodes={self.vnodes})"

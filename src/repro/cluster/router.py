@@ -1,0 +1,559 @@
+"""The consistent-hash router: one front process over N shard daemons.
+
+``repro cluster serve`` runs this asyncio process in front of
+``cluster_shards`` ordinary ``repro serve`` workers.  Every keyed
+request (``POST /v1/sweep`` and ``POST /v1/optimum``) is validated at
+the edge, hashed to its engine content key
+(:meth:`SimJob.cache_key` — the same key every cache tier uses), and
+forwarded to the shard that owns that key on the
+:class:`~repro.cluster.ring.HashRing`.  Stable ownership is the whole
+design: a shard sees the same keys on every request, so its in-memory
+LRU stays hot, while all shards share the on-disk caches through the
+runtime Resolver.
+
+Router responsibilities, in the order a request meets them:
+
+* **validation** — malformed bodies answer 400 at the edge; shards only
+  ever see routable work;
+* **admission** — at most ``cluster_inflight_limit`` router-side
+  requests per shard; past that the router answers 429 + ``Retry-After``
+  *without* spilling onto the next replica (spilling would smear the
+  overloaded shard's key range across every other LRU).  Shard-level
+  429s are propagated verbatim for the same reason;
+* **failover** — connection failures and 5xx answers retry on the next
+  distinct ring replica (``cluster_replicas`` preferred successors,
+  then any healthy shard as a last resort), so killing a shard
+  mid-run loses no client request: the replica serves the key from the
+  shared disk tier;
+* **health** — a background loop probes every shard's ``/healthz``;
+  two consecutive failures mark it down (routed around until it
+  recovers) and fire the supervisor's restart hook;
+* **observability** — ``GET /metrics`` merges every shard's exposition
+  (counters sum series-by-series) with router-level families
+  (``repro_cluster_*``: ring size, per-shard in-flight, retries,
+  failovers, shed), and ``GET /healthz`` aggregates per-shard health.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import logging
+import signal
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..runtime.config import RuntimeConfig
+from ..service.app import BadRequest, job_from_request
+from ..service.http import HttpError, _encode_response, _json_body, _read_request
+from ..service.loadgen import HttpClient
+from ..service.metrics import MetricsRegistry
+from .metrics import merge_expositions
+from .ring import HashRing
+
+__all__ = ["Router", "RouterServer", "ShardState", "serve_cluster"]
+
+logger = logging.getLogger("repro.cluster.router")
+access_log = logging.getLogger("repro.cluster.access")
+
+_KEYED_ENDPOINTS = ("/v1/sweep", "/v1/optimum")
+_FORWARD_TIMEOUT = 120.0
+_HEALTH_TIMEOUT = 1.0
+_METRICS_TIMEOUT = 2.0
+_POOL_SIZE = 16
+_DOWN_AFTER_FAILURES = 2
+
+
+class ShardState:
+    """Router-side view of one shard: address, health, in-flight, pool."""
+
+    def __init__(self, shard_id: str, host: str, port: int):
+        self.shard_id = shard_id
+        self.host = host
+        self.port = port
+        self.healthy = True
+        self.failures = 0
+        self.inflight = 0
+        self.pool: "List[HttpClient]" = []
+
+    def borrow(self) -> HttpClient:
+        return self.pool.pop() if self.pool else HttpClient(self.host, self.port)
+
+    async def give_back(self, client: HttpClient, reusable: bool) -> None:
+        if reusable and len(self.pool) < _POOL_SIZE:
+            self.pool.append(client)
+        else:
+            await client.close()
+
+    async def close_pool(self) -> None:
+        while self.pool:
+            await self.pool.pop().close()
+
+
+class Router:
+    """Hash-ring routing, admission, failover and merged observability."""
+
+    def __init__(
+        self,
+        config: RuntimeConfig,
+        shards: "Mapping[str, Tuple[str, int]]",
+        on_down: "Optional[Callable[[str], None]]" = None,
+    ):
+        if not shards:
+            raise ValueError("a cluster needs at least one shard")
+        self.config = config
+        self.ring = HashRing(shards.keys(), vnodes=config.cluster_vnodes)
+        self.shards: "Dict[str, ShardState]" = {
+            shard_id: ShardState(shard_id, host, port)
+            for shard_id, (host, port) in shards.items()
+        }
+        self.on_down = on_down
+        self.draining = False
+        self.started_monotonic = time.monotonic()
+        self._build_metrics()
+
+    # -- metrics --------------------------------------------------------------
+    def _build_metrics(self) -> None:
+        registry = MetricsRegistry()
+        self.metrics = registry
+        self.requests_total = registry.counter(
+            "repro_cluster_requests_total",
+            "Router HTTP requests by endpoint and status.",
+        )
+        self.request_seconds = registry.histogram(
+            "repro_cluster_request_seconds",
+            "End-to-end router latency by endpoint.",
+        )
+        self.proxied_total = registry.counter(
+            "repro_cluster_proxied_total",
+            "Requests forwarded to a shard, by shard and status.",
+        )
+        self.retries_total = registry.counter(
+            "repro_cluster_retries_total",
+            "Forwarding attempts beyond the first, by shard tried.",
+        )
+        self.failovers_total = registry.counter(
+            "repro_cluster_failovers_total",
+            "Requests served by a replica because their owner was unavailable.",
+        )
+        self.rejected_total = registry.counter(
+            "repro_cluster_rejected_total",
+            "Requests shed with 429 by router-side per-shard admission.",
+        )
+        self.health_transitions = registry.counter(
+            "repro_cluster_health_transitions_total",
+            "Shard health flips observed by the router, by shard and state.",
+        )
+        self.shard_up = registry.gauge(
+            "repro_cluster_shard_up", "1 while the router considers a shard healthy."
+        )
+        self.shard_inflight = registry.gauge(
+            "repro_cluster_shard_inflight",
+            "Router-side in-flight requests per shard.",
+        )
+        registry.gauge(
+            "repro_cluster_ring_shards",
+            "Shards on the consistent-hash ring.",
+            callback=lambda: float(len(self.ring)),
+        )
+        registry.gauge(
+            "repro_cluster_healthy_shards",
+            "Shards currently passing health checks.",
+            callback=lambda: float(
+                sum(1 for shard in self.shards.values() if shard.healthy)
+            ),
+        )
+        registry.gauge(
+            "repro_cluster_uptime_seconds",
+            "Seconds since the router started.",
+            callback=lambda: time.monotonic() - self.started_monotonic,
+        )
+        for shard_id in self.shards:
+            self.shard_up.set(1.0, shard=shard_id)
+            self.shard_inflight.set(0.0, shard=shard_id)
+
+    # -- health ---------------------------------------------------------------
+    def _mark_health(self, shard: ShardState, ok: bool) -> None:
+        if ok:
+            shard.failures = 0
+            if not shard.healthy:
+                shard.healthy = True
+                self.shard_up.set(1.0, shard=shard.shard_id)
+                self.health_transitions.inc(shard=shard.shard_id, state="up")
+                logger.info("%s is healthy again", shard.shard_id)
+            return
+        shard.failures += 1
+        if shard.healthy and shard.failures >= _DOWN_AFTER_FAILURES:
+            shard.healthy = False
+            self.shard_up.set(0.0, shard=shard.shard_id)
+            self.health_transitions.inc(shard=shard.shard_id, state="down")
+            logger.warning("%s marked down after %d failures",
+                           shard.shard_id, shard.failures)
+            if self.on_down is not None:
+                self.on_down(shard.shard_id)
+
+    async def check_shard(self, shard: ShardState) -> bool:
+        client = HttpClient(shard.host, shard.port)
+        try:
+            status, _body = await asyncio.wait_for(
+                client.request_json("GET", "/healthz"), timeout=_HEALTH_TIMEOUT
+            )
+        except (OSError, ConnectionError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError):
+            status = 0
+        finally:
+            await client.close()
+        ok = status == 200
+        self._mark_health(shard, ok)
+        return ok
+
+    async def check_all(self) -> None:
+        await asyncio.gather(*(self.check_shard(s) for s in self.shards.values()))
+
+    async def health_loop(self) -> None:
+        """Probe every shard forever (cancelled at router shutdown)."""
+        while True:
+            await asyncio.sleep(self.config.cluster_health_interval)
+            with contextlib.suppress(Exception):
+                await self.check_all()
+
+    # -- routing --------------------------------------------------------------
+    def route_key(self, body: dict) -> str:
+        """Validate a request body into its engine content key."""
+        job, _params = job_from_request(body, self.config)
+        return job.cache_key()
+
+    def candidates(self, key: str) -> "List[ShardState]":
+        """Attempt order for a key: preferred replicas, then the rest.
+
+        The first ``cluster_replicas`` ring successors are tried in ring
+        order whether marked healthy or not (the mark may be stale in
+        either direction); remaining shards join the tail healthy-first,
+        so a request outlives any single shard as long as one lives.
+        """
+        ordered = self.ring.replicas(key, len(self.shards))
+        preferred = ordered[: self.config.cluster_replicas]
+        rest = ordered[self.config.cluster_replicas :]
+        tail = [s for s in rest if self.shards[s].healthy] + [
+            s for s in rest if not self.shards[s].healthy
+        ]
+        return [self.shards[s] for s in preferred + tail]
+
+    async def forward(
+        self, path: str, raw_body: bytes
+    ) -> "Tuple[int, bytes, Dict[str, str]]":
+        """Route one keyed request; returns (status, body, extra headers)."""
+        try:
+            body = json.loads(raw_body.decode("utf-8")) if raw_body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, _json_body({"error": f"invalid JSON body: {exc}"}), {}
+        try:
+            key = self.route_key(body)
+        except BadRequest as exc:
+            return 400, _json_body({"error": str(exc)}), {}
+
+        candidates = self.candidates(key)
+        owner = candidates[0]
+        attempts = 0
+        for shard in candidates:
+            if not shard.healthy and attempts == 0 and shard is not candidates[-1]:
+                # Known-down owner: skip straight to its replica.
+                continue
+            if shard.inflight >= self.config.cluster_inflight_limit:
+                self.rejected_total.inc(shard=shard.shard_id)
+                retry_after = f"{self.config.retry_after:g}"
+                return (
+                    429,
+                    _json_body({"error": "shard overloaded", "shard": shard.shard_id,
+                                "retry_after": self.config.retry_after}),
+                    {"Retry-After": retry_after},
+                )
+            if attempts > 0:
+                self.retries_total.inc(shard=shard.shard_id)
+            attempts += 1
+            try:
+                status, headers, payload = await self._request_shard(
+                    shard, "POST", path, raw_body
+                )
+            except (OSError, ConnectionError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError):
+                self._mark_health(shard, False)
+                self.proxied_total.inc(shard=shard.shard_id, status="error")
+                continue
+            self.proxied_total.inc(shard=shard.shard_id, status=str(status))
+            if status >= 500:
+                # A shard answering 5xx is sick; let the replica try.
+                self._mark_health(shard, False)
+                continue
+            if shard is not owner:
+                self.failovers_total.inc(shard=shard.shard_id)
+            extra = {}
+            if status == 429 and "retry-after" in headers:
+                extra["Retry-After"] = headers["retry-after"]
+            return status, payload, extra
+        return (
+            503,
+            _json_body({"error": "no shard could serve the request",
+                        "attempts": attempts}),
+            {"Retry-After": f"{self.config.retry_after:g}"},
+        )
+
+    async def _request_shard(
+        self, shard: ShardState, method: str, path: str, raw_body: bytes
+    ) -> "Tuple[int, Dict[str, str], bytes]":
+        shard.inflight += 1
+        self.shard_inflight.set(float(shard.inflight), shard=shard.shard_id)
+        client = shard.borrow()
+        reusable = False
+        try:
+            status, headers, payload = await asyncio.wait_for(
+                client.request(method, path, raw_body), timeout=_FORWARD_TIMEOUT
+            )
+            reusable = headers.get("connection", "").lower() != "close"
+            return status, headers, payload
+        finally:
+            shard.inflight -= 1
+            self.shard_inflight.set(float(shard.inflight), shard=shard.shard_id)
+            await shard.give_back(client, reusable)
+
+    # -- aggregated observability --------------------------------------------
+    async def merged_metrics(self) -> str:
+        """Every healthy shard's exposition summed, plus router families."""
+        async def scrape(shard: ShardState) -> "str | None":
+            client = shard.borrow()
+            reusable = False
+            try:
+                status, headers, payload = await asyncio.wait_for(
+                    client.request("GET", "/metrics"), timeout=_METRICS_TIMEOUT
+                )
+                reusable = headers.get("connection", "").lower() != "close"
+                if status == 200:
+                    return payload.decode("utf-8")
+                return None
+            except (OSError, ConnectionError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError):
+                return None
+            finally:
+                await shard.give_back(client, reusable)
+
+        texts = await asyncio.gather(
+            *(scrape(s) for s in self.shards.values() if s.healthy)
+        )
+        texts = [text for text in texts if text]
+        texts.append(self.metrics.render())
+        return merge_expositions(texts)
+
+    def health(self) -> dict:
+        from .. import __version__
+
+        healthy = sum(1 for shard in self.shards.values() if shard.healthy)
+        status = ("draining" if self.draining
+                  else "ok" if healthy == len(self.shards)
+                  else "degraded" if healthy else "down")
+        return {
+            "status": status,
+            "version": __version__,
+            "ring": {"shards": len(self.ring), "vnodes": self.ring.vnodes},
+            "healthy_shards": healthy,
+            "shards": {
+                shard.shard_id: {
+                    "host": shard.host,
+                    "port": shard.port,
+                    "healthy": shard.healthy,
+                    "inflight": shard.inflight,
+                }
+                for shard in self.shards.values()
+            },
+        }
+
+    async def close(self) -> None:
+        for shard in self.shards.values():
+            await shard.close_pool()
+
+
+class RouterServer:
+    """The asyncio HTTP front: bind, route, drain (stdlib-only)."""
+
+    def __init__(self, router: Router):
+        self.router = router
+        self.config = router.config
+        self._server: "asyncio.base_events.Server | None" = None
+        self._inflight = 0
+        self._health_task: "asyncio.Task | None" = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("router is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.cluster_port,
+        )
+        self._health_task = asyncio.create_task(self.router.health_loop())
+        logger.info(
+            "repro cluster router listening on %s:%d "
+            "(shards=%d, vnodes=%d, replicas=%d, inflight_limit=%d)",
+            self.config.host, self.port, len(self.router.shards),
+            self.config.cluster_vnodes, self.config.cluster_replicas,
+            self.config.cluster_inflight_limit,
+        )
+
+    async def drain(self, timeout: "float | None" = None) -> bool:
+        timeout = self.config.drain_timeout if timeout is None else timeout
+        self.router.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + timeout
+        while self._inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        drained = self._inflight == 0
+        if self._health_task is not None:
+            self._health_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._health_task
+            self._health_task = None
+        await self.router.close()
+        logger.info("router drained (%s)", "clean" if drained else "timed out")
+        return drained
+
+    async def serve_forever(self, install_signals: bool = True) -> None:
+        await self.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed = []
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                    installed.append(signum)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass
+        try:
+            await stop.wait()
+            logger.info("shutdown signal received; draining router")
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+            await self.drain()
+
+    # -- connection handling ---------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader, self.config.max_body_bytes)
+                except HttpError as exc:
+                    writer.write(_encode_response(
+                        exc.status, _json_body({"error": exc.message}),
+                        "application/json", keep_alive=False,
+                        extra_headers=exc.headers,
+                    ))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                method, path, headers, body = request
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                    and not self.router.draining
+                )
+                self._inflight += 1
+                try:
+                    status, payload, content_type, extra = await self._dispatch(
+                        method, path, body
+                    )
+                finally:
+                    self._inflight -= 1
+                writer.write(_encode_response(
+                    status, payload, content_type, keep_alive, extra
+                ))
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        started = time.perf_counter()
+        status, payload, content_type, extra = await self._route(method, path, body)
+        elapsed = time.perf_counter() - started
+        self.router.requests_total.inc(endpoint=path, status=str(status))
+        self.router.request_seconds.observe(elapsed, endpoint=path)
+        access_log.info(
+            "%s",
+            json.dumps(
+                {"method": method, "path": path, "status": status,
+                 "duration_ms": round(elapsed * 1000.0, 3)},
+                sort_keys=True,
+            ),
+        )
+        return status, payload, content_type, extra
+
+    async def _route(self, method: str, path: str, body: bytes):
+        if path == "/healthz":
+            if method != "GET":
+                return self._error(405, "use GET")
+            health = self.router.health()
+            status = 503 if health["status"] in ("down", "draining") else 200
+            return status, _json_body(health), "application/json", {}
+        if path == "/metrics":
+            if method != "GET":
+                return self._error(405, "use GET")
+            text = await self.router.merged_metrics()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+            return 200, text.encode("utf-8"), content_type, {}
+        if path in _KEYED_ENDPOINTS:
+            if method != "POST":
+                return self._error(405, "use POST")
+            try:
+                status, payload, extra = await self.router.forward(path, body)
+            except Exception:
+                logger.exception("unhandled router error on %s", path)
+                return self._error(500, "internal router error")
+            return status, payload, "application/json", extra
+        return self._error(
+            404, f"the cluster router only serves {list(_KEYED_ENDPOINTS)}, "
+            "/healthz and /metrics"
+        )
+
+    @staticmethod
+    def _error(status: int, message: str):
+        return status, _json_body({"error": message}), "application/json", {}
+
+
+async def serve_cluster(config: "RuntimeConfig | None" = None) -> None:
+    """The ``repro cluster serve`` body: spawn shards, route until SIGTERM."""
+    from .shards import ShardSupervisor
+
+    config = config or RuntimeConfig.load()
+    supervisor = ShardSupervisor(config)
+    supervisor.start()
+    try:
+        await supervisor.wait_ready()
+        router = Router(
+            config, supervisor.addresses, on_down=supervisor.notice_down
+        )
+        server = RouterServer(router)
+        supervise = asyncio.create_task(supervisor.supervise())
+        try:
+            await server.serve_forever()
+        finally:
+            supervise.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await supervise
+    finally:
+        supervisor.stop()

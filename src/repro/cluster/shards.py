@@ -1,0 +1,204 @@
+"""Shard worker processes: spawn, watch, restart.
+
+A *shard* is nothing new — it is the existing ``repro serve`` daemon
+(:mod:`repro.service`) started on its own port.  Every shard shares the
+same on-disk :class:`~repro.engine.cache.ResultCache` and trace-analysis
+cache through the runtime Resolver tiers, so the disk tier is
+cluster-wide while each shard's in-memory LRU holds only the key range
+the router assigns it — which is what keeps the LRUs hot.
+
+:class:`ShardSupervisor` owns the child processes:
+
+* ``start`` spawns ``cluster_shards`` workers on
+  ``cluster_base_port + i``, passing the serving knobs through CLI flags
+  (the children also inherit this process's environment, so ``REPRO_*``
+  variables behave identically in every tier);
+* ``poll_and_restart`` implements the crashed-shard policy: a worker
+  that exited is relaunched on its old port, at most
+  ``cluster_restart_limit`` times per shard;
+* ``supervise`` runs that poll on a timer next to the router;
+* ``stop`` terminates the fleet (SIGTERM, then SIGKILL after a grace
+  period).
+
+The router never talks to this class about routing — it only needs the
+``addresses`` mapping and the ``notice_down`` hook, so tests and
+benchmarks can swap in in-process shard servers with zero supervisor
+involvement.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..runtime.config import RuntimeConfig
+
+__all__ = ["ShardSpec", "ShardSupervisor", "shard_specs"]
+
+logger = logging.getLogger("repro.cluster.shards")
+
+_STOP_GRACE_SECONDS = 5.0
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One worker daemon's identity and address."""
+
+    shard_id: str
+    host: str
+    port: int
+
+    @property
+    def address(self) -> "Tuple[str, int]":
+        return self.host, self.port
+
+
+def shard_specs(config: RuntimeConfig) -> "List[ShardSpec]":
+    """The shard fleet a config describes: ``shard-i`` on base_port + i."""
+    return [
+        ShardSpec(f"shard-{i}", config.host, config.cluster_base_port + i)
+        for i in range(config.cluster_shards)
+    ]
+
+
+class ShardSupervisor:
+    """Spawn and babysit the ``repro serve`` worker fleet."""
+
+    def __init__(
+        self,
+        config: RuntimeConfig,
+        specs: "Optional[Sequence[ShardSpec]]" = None,
+    ):
+        self.config = config
+        self.specs = list(specs) if specs is not None else shard_specs(config)
+        self._procs: "Dict[str, subprocess.Popen]" = {}
+        self.restarts: "Dict[str, int]" = {spec.shard_id: 0 for spec in self.specs}
+
+    # -- fleet wiring ---------------------------------------------------------
+    @property
+    def addresses(self) -> "Dict[str, Tuple[str, int]]":
+        return {spec.shard_id: spec.address for spec in self.specs}
+
+    def command(self, spec: ShardSpec) -> "List[str]":
+        """The argv that boots one shard (an ordinary ``repro serve``)."""
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            spec.host,
+            "--port",
+            str(spec.port),
+            "--backend",
+            self.config.backend,
+            "--executor",
+            self.config.executor,
+            "--workers",
+            str(self.config.workers),
+            "--concurrency",
+            str(self.config.concurrency),
+            "--queue-limit",
+            str(self.config.queue_limit),
+            "--memory-entries",
+            str(self.config.memory_entries),
+            "--log-level",
+            self.config.log_level,
+        ]
+        if self.config.cache_dir:
+            argv += ["--cache-dir", str(self.config.cache_dir)]
+        else:
+            argv += ["--no-disk-cache"]
+        return argv
+
+    # -- lifecycle ------------------------------------------------------------
+    def _spawn(self, spec: ShardSpec) -> None:
+        logger.info("starting %s on %s:%d", spec.shard_id, spec.host, spec.port)
+        self._procs[spec.shard_id] = subprocess.Popen(self.command(spec))
+
+    def start(self) -> None:
+        for spec in self.specs:
+            self._spawn(spec)
+
+    def running(self, shard_id: str) -> bool:
+        proc = self._procs.get(shard_id)
+        return proc is not None and proc.poll() is None
+
+    async def wait_ready(self, timeout: float = 30.0) -> None:
+        """Block until every shard answers ``/healthz`` (or raise)."""
+        from ..service.loadgen import HttpClient
+
+        deadline = time.monotonic() + timeout
+        pending = {spec.shard_id: spec for spec in self.specs}
+        while pending:
+            for shard_id, spec in list(pending.items()):
+                client = HttpClient(spec.host, spec.port)
+                try:
+                    status, _body = await asyncio.wait_for(
+                        client.request_json("GET", "/healthz"), timeout=1.0
+                    )
+                except (OSError, asyncio.TimeoutError, ConnectionError):
+                    status = 0
+                finally:
+                    await client.close()
+                if status == 200:
+                    del pending[shard_id]
+            if pending:
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"shards never became healthy: {sorted(pending)}"
+                    )
+                await asyncio.sleep(0.2)
+
+    # -- restart policy -------------------------------------------------------
+    def poll_and_restart(self) -> "List[str]":
+        """Relaunch exited shards within the restart budget; report them."""
+        restarted = []
+        for spec in self.specs:
+            proc = self._procs.get(spec.shard_id)
+            if proc is None or proc.poll() is None:
+                continue
+            if self.restarts[spec.shard_id] >= self.config.cluster_restart_limit:
+                continue
+            self.restarts[spec.shard_id] += 1
+            logger.warning(
+                "%s exited with %s; restart %d/%d",
+                spec.shard_id,
+                proc.returncode,
+                self.restarts[spec.shard_id],
+                self.config.cluster_restart_limit,
+            )
+            self._spawn(spec)
+            restarted.append(spec.shard_id)
+        return restarted
+
+    def notice_down(self, shard_id: str) -> None:
+        """Router health-check hook: an unreachable shard may have crashed."""
+        self.poll_and_restart()
+
+    async def supervise(self, interval: "float | None" = None) -> None:
+        """Poll for crashed shards forever (cancelled at router shutdown)."""
+        interval = self.config.cluster_health_interval if interval is None else interval
+        while True:
+            await asyncio.sleep(interval)
+            self.poll_and_restart()
+
+    def stop(self) -> None:
+        """SIGTERM the fleet, give it a drain window, then SIGKILL."""
+        for proc in self._procs.values():
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + _STOP_GRACE_SECONDS
+        for proc in self._procs.values():
+            remaining = max(deadline - time.monotonic(), 0.1)
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        self._procs.clear()

@@ -142,6 +142,19 @@ class RuntimeConfig:
             else ``~/.cache/repro/fuzz``).
         fuzz_budget: default probes per ``repro fuzz`` campaign.
         fuzz_seed: default campaign seed when none is given.
+        cluster_shards: worker daemons a ``repro cluster serve`` run spawns.
+        cluster_port: the consistent-hash router's bind port.
+        cluster_base_port: shard ``i`` listens on ``cluster_base_port + i``.
+        cluster_vnodes: virtual nodes per shard on the hash ring (more
+            vnodes = smoother key balance, slightly slower ring edits).
+        cluster_replicas: ring successors tried per key before the router
+            falls back to any healthy shard (1 disables failover).
+        cluster_inflight_limit: router-side in-flight requests allowed
+            per shard; past that the router answers 429 without spilling
+            onto the next replica (spilling would pollute its LRU).
+        cluster_health_interval: seconds between per-shard health probes.
+        cluster_restart_limit: times the supervisor restarts a crashed
+            shard process (0 disables the restart policy).
     """
 
     # -- caches & kernel ----------------------------------------------------
@@ -180,6 +193,15 @@ class RuntimeConfig:
     fuzz_state_dir: "str | None" = None
     fuzz_budget: int = 100
     fuzz_seed: int = 0
+    # -- cluster ------------------------------------------------------------
+    cluster_shards: int = 3
+    cluster_port: int = 8024
+    cluster_base_port: int = 8100
+    cluster_vnodes: int = 64
+    cluster_replicas: int = 2
+    cluster_inflight_limit: int = 64
+    cluster_health_interval: float = 0.5
+    cluster_restart_limit: int = 3
 
     def __post_init__(self) -> None:
         from ..pipeline.fastsim import BACKENDS  # lazy: avoids an import cycle
@@ -190,7 +212,16 @@ class RuntimeConfig:
             raise ValueError(
                 f"unknown executor {self.executor!r}; choose from {EXECUTORS}"
             )
-        for name in ("workers", "concurrency", "jobs", "search_concurrency"):
+        for name in (
+            "workers",
+            "concurrency",
+            "jobs",
+            "search_concurrency",
+            "cluster_shards",
+            "cluster_vnodes",
+            "cluster_replicas",
+            "cluster_inflight_limit",
+        ):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1, got {getattr(self, name)!r}")
         for name in (
@@ -202,12 +233,20 @@ class RuntimeConfig:
             "search_seed",
             "fuzz_budget",
             "fuzz_seed",
+            "cluster_port",
+            "cluster_base_port",
+            "cluster_restart_limit",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0, got {getattr(self, name)!r}")
         for name in ("drain_timeout", "retry_after"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0, got {getattr(self, name)!r}")
+        if self.cluster_health_interval <= 0:
+            raise ValueError(
+                "cluster_health_interval must be positive, got "
+                f"{self.cluster_health_interval!r}"
+            )
         if self.engine_timeout is not None and self.engine_timeout <= 0:
             raise ValueError(
                 f"engine_timeout must be positive, got {self.engine_timeout!r}"
@@ -443,6 +482,14 @@ ENV_VARS: Dict[str, tuple] = {
     "fuzz_state_dir": ("REPRO_FUZZ_STATE_DIR", lambda raw: raw or None),
     "fuzz_budget": ("REPRO_FUZZ_BUDGET", int),
     "fuzz_seed": ("REPRO_FUZZ_SEED", int),
+    "cluster_shards": ("REPRO_CLUSTER_SHARDS", int),
+    "cluster_port": ("REPRO_CLUSTER_PORT", int),
+    "cluster_base_port": ("REPRO_CLUSTER_BASE_PORT", int),
+    "cluster_vnodes": ("REPRO_CLUSTER_VNODES", int),
+    "cluster_replicas": ("REPRO_CLUSTER_REPLICAS", int),
+    "cluster_inflight_limit": ("REPRO_CLUSTER_INFLIGHT_LIMIT", int),
+    "cluster_health_interval": ("REPRO_CLUSTER_HEALTH_INTERVAL", float),
+    "cluster_restart_limit": ("REPRO_CLUSTER_RESTART_LIMIT", int),
 }
 """Field → (environment variable, parser) for the env layer."""
 

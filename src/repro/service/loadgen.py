@@ -10,8 +10,14 @@ mix the serving layer's memory-LRU + single-flight design targets.
 
 The report covers throughput, p50/p99 latency, the per-source response
 breakdown (memory / disk / computed / coalesced), the combined cache
-hit ratio, and 429 rejections.  ``benchmarks/bench_service.py`` wraps
-this module and records the acceptance run.
+hit ratio, and 429 rejections.
+
+Closed-loop measurement understates queueing delay (clients slow down
+with the server — coordinated omission), so SLO numbers come from the
+**open-loop** Poisson/zipf generator in :mod:`repro.cluster.loadgen`
+instead; this module remains the saturation-shape tool and the shared
+:class:`HttpClient` transport.  ``benchmarks/bench_service.py`` records
+the acceptance run for both.
 """
 
 from __future__ import annotations
@@ -61,12 +67,22 @@ class HttpClient:
             self._reader = None
 
     async def request(
-        self, method: str, path: str, body: "dict | None" = None
+        self, method: str, path: str, body: "dict | bytes | None" = None
     ) -> Tuple[int, Dict[str, str], bytes]:
-        """One request/response; reconnects if the server closed on us."""
+        """One request/response; reconnects if the server closed on us.
+
+        ``body`` may be a dict (JSON-encoded here) or raw bytes passed
+        through verbatim — the cluster router forwards client payloads
+        byte-for-byte.
+        """
         if self._writer is None:
             await self.connect()
-        payload = b"" if body is None else json.dumps(body).encode("utf-8")
+        if body is None:
+            payload = b""
+        elif isinstance(body, bytes):
+            payload = body
+        else:
+            payload = json.dumps(body).encode("utf-8")
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
@@ -208,7 +224,11 @@ async def run_load(
     report = LoadReport(clients=clients, requests=0, wall_seconds=0.0)
 
     async def one_client(ordinal: int) -> None:
-        rng = random.Random(seed + ordinal)
+        # Every workload draw comes from a client-private random.Random
+        # derived from the explicit seed — never the global RNG — so two
+        # runs at the same seed request the identical sequence of keys
+        # (the same discipline the search optimizers follow).
+        rng = random.Random(f"{seed}:client:{ordinal}")
         client = HttpClient(host, port)
         await client.connect()
         try:
@@ -263,6 +283,7 @@ async def _self_hosted_load(args: argparse.Namespace) -> LoadReport:
             zipf_skew=args.zipf_skew,
             length=args.length,
             backend=args.backend,
+            seed=args.seed,
         )
     finally:
         await server.drain(timeout=5.0)
@@ -285,6 +306,9 @@ def main(argv: "Sequence[str] | None" = None) -> int:
                         help="request backend override (default: server's)")
     parser.add_argument("--cache-dir", default=None,
                         help="disk cache dir for --self-host")
+    parser.add_argument("--seed", type=int, default=20030101,
+                        help="RNG seed for the zipf workload draws; two runs "
+                        "at the same seed issue identical request sequences")
     args = parser.parse_args(argv)
 
     if args.self_host:
@@ -300,6 +324,7 @@ def main(argv: "Sequence[str] | None" = None) -> int:
                 zipf_skew=args.zipf_skew,
                 length=args.length,
                 backend=args.backend,
+                seed=args.seed,
             )
         )
     print(report.summary())

@@ -1,0 +1,168 @@
+"""The open-loop generator: seeded schedules, ungated arrivals, stats."""
+
+import asyncio
+import math
+import random
+import threading
+
+import pytest
+
+from repro.engine.worker import execute_job
+
+from repro.cluster.loadgen import (
+    OpenLoopReport,
+    PhaseStats,
+    arrival_schedule,
+    percentile,
+    run_open_loop,
+)
+from repro.runtime import RuntimeConfig
+from repro.service.app import ServiceState
+from repro.service.http import ServiceServer
+
+WORKLOADS = ["gzip", "gcc95", "art", "crafty"]
+
+
+class TestSchedule:
+    def test_same_seed_means_the_identical_schedule(self):
+        kwargs = dict(rate=200.0, duration=1.0, workloads=WORKLOADS,
+                      burst_factor=2.0, burst_duration=0.5)
+        first = arrival_schedule(seed=7, **kwargs)
+        second = arrival_schedule(seed=7, **kwargs)
+        assert first == second
+        assert first != arrival_schedule(seed=8, **kwargs)
+
+    def test_schedule_never_touches_the_global_rng(self):
+        random.seed(123)
+        state = random.getstate()
+        arrival_schedule(seed=7, rate=100.0, duration=1.0, workloads=WORKLOADS)
+        assert random.getstate() == state
+
+    def test_phases_partition_the_timeline(self):
+        schedule = arrival_schedule(
+            seed=3, rate=300.0, duration=1.0, workloads=WORKLOADS,
+            burst_factor=3.0, burst_duration=1.0,
+        )
+        sustained = [a for a in schedule if a.phase == "sustained"]
+        burst = [a for a in schedule if a.phase == "burst"]
+        assert all(a.at < 1.0 for a in sustained)
+        assert all(1.0 <= a.at < 2.0 for a in burst)
+        # Burst arrivals come ~3x as fast as sustained ones.
+        assert len(burst) > len(sustained) * 1.5
+        assert [a.at for a in schedule] == sorted(a.at for a in schedule)
+
+    def test_rate_controls_arrival_count(self):
+        schedule = arrival_schedule(
+            seed=11, rate=500.0, duration=2.0, workloads=WORKLOADS
+        )
+        assert len(schedule) == pytest.approx(1000, rel=0.2)
+
+    def test_zipf_popularity_is_skewed(self):
+        schedule = arrival_schedule(
+            seed=5, rate=1000.0, duration=1.0, workloads=WORKLOADS,
+            zipf_skew=1.2,
+        )
+        counts = {name: 0 for name in WORKLOADS}
+        for arrival in schedule:
+            counts[arrival.workload] += 1
+        assert counts[WORKLOADS[0]] > counts[WORKLOADS[-1]] * 2
+
+    def test_invalid_inputs_are_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_schedule(seed=1, rate=0.0, duration=1.0, workloads=WORKLOADS)
+        with pytest.raises(ValueError):
+            arrival_schedule(seed=1, rate=10.0, duration=1.0, workloads=[])
+
+
+class TestStats:
+    def test_percentiles_nearest_rank(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 0.50) == 51.0
+        assert percentile(values, 0.99) == 100.0
+        assert math.isnan(percentile([], 0.5))
+
+    def test_shed_rate_and_doc(self):
+        stats = PhaseStats(phase="sustained", offered=10, completed=8, shed=2,
+                           latencies=[0.01] * 8)
+        assert stats.shed_rate == pytest.approx(0.2)
+        doc = stats.to_doc()
+        assert doc["p50_ms"] == pytest.approx(10.0)
+        assert doc["p999_ms"] == pytest.approx(10.0)
+
+    def test_report_aggregates_phases(self):
+        report = OpenLoopReport(seed=1, rate=10.0)
+        report.phase("sustained").offered = 5
+        report.phase("burst").offered = 7
+        report.phase("burst").errors = 1
+        assert report.offered == 12
+        assert report.errors == 1
+        assert "sustained" in report.summary()
+
+
+class TestOpenLoopRun:
+    def _config(self, tmp_path):
+        return RuntimeConfig(
+            host="127.0.0.1", port=0, backend="fast", executor="thread",
+            workers=2, concurrency=4, queue_limit=8, memory_entries=16,
+            cache_dir=str(tmp_path / "disk"),
+        )
+
+    def test_arrivals_are_not_gated_on_completions(self, tmp_path):
+        """A slow server must not slow the offered schedule down."""
+        release = threading.Event()
+        started = []
+
+        def slow_compute(job):
+            started.append(job.cache_key())
+            release.wait(timeout=10)
+            return execute_job(job)
+
+        async def scenario():
+            state = ServiceState(self._config(tmp_path), compute=slow_compute)
+            server = ServiceServer(state)
+            await server.start()
+            schedule = arrival_schedule(
+                seed=2, rate=40.0, duration=0.5, workloads=["gzip", "gcc95"]
+            )
+            task = asyncio.create_task(run_open_loop(
+                "127.0.0.1", server.port, schedule, seed=2, rate=40.0,
+            ))
+            # Give the schedule time to fully fire while nothing completes.
+            await asyncio.sleep(1.0)
+            offered_before_any_completion = len(started) > 1
+            release.set()
+            report = await task
+            await server.drain(timeout=5.0)
+            return offered_before_any_completion, report, len(schedule)
+
+        gated_free, report, offered = asyncio.run(scenario())
+        # Both distinct keys reached the compute stage while request #1
+        # was still blocked — a closed loop could never do that.
+        assert gated_free
+        assert report.offered == offered
+        assert report.errors == 0
+
+    def test_measures_a_real_server(self, tmp_path):
+        async def scenario():
+            state = ServiceState(self._config(tmp_path))
+            server = ServiceServer(state)
+            await server.start()
+            schedule = arrival_schedule(
+                seed=4, rate=30.0, duration=1.0, workloads=["gzip"],
+            )
+            report = await run_open_loop(
+                "127.0.0.1", server.port, schedule,
+                depths=[4, 8], length=600, seed=4, rate=30.0,
+            )
+            await server.drain(timeout=5.0)
+            return report
+
+        report = asyncio.run(scenario())
+        sustained = report.phases["sustained"]
+        assert sustained.offered > 0
+        assert sustained.completed == sustained.offered
+        assert sustained.shed == 0 and report.errors == 0
+        assert math.isfinite(sustained.p99)
+        assert sustained.latencies and min(sustained.latencies) > 0
+        # One cold compute, then the LRU serves the rest.
+        assert sustained.sources.get("computed", 0) == 1

