@@ -35,6 +35,14 @@ in-order and out-of-order cores, a small BTB (taken-branch stalls), a
 bimodal predictor without structure warm-up, and an oracle predictor
 with a multi-entry MSHR — each exercises a different event path in the
 kernel's trace analysis.
+
+When ``suite`` is among the candidates, the harness additionally packs
+*every* (workload, machine) point of the grid into one ragged tensor and
+prices the whole cross-product through a single
+``run_suite_batched`` kernel call (:func:`repro.pipeline.suite.run_suite`)
+— the multi-job packing path the per-point loop cannot reach — and
+compares each lane field-wise against the reference, tagging mismatches
+``suite-batch``.
 """
 
 from __future__ import annotations
@@ -251,12 +259,17 @@ def validate_kernel(
     mismatches: list = []
     optimum_mismatches: list = []
     points = 0
+    suite_points: list = []
     for spec in specs:
         trace = generate_trace(spec, trace_length)
         for label, machine in machines.items():
             reference_results = PipelineSimulator(machine).simulate_depths(
                 trace, depths
             )
+            if "suite" in backends:
+                suite_points.append(
+                    (spec.name, label, machine, trace, reference_results)
+                )
             opt_ref = optimum_from_sweep(
                 sweep_from_results(
                     reference_results, depths, spec=spec,
@@ -297,6 +310,8 @@ def validate_kernel(
                             backend=backend,
                         )
                     )
+    if suite_points:
+        _validate_suite_batch(suite_points, depths, mismatches)
     return ValidationReport(
         workloads=tuple(spec.name for spec in specs),
         machines=tuple(machines),
@@ -307,6 +322,49 @@ def validate_kernel(
         optimum_mismatches=tuple(optimum_mismatches),
         backends=backends,
     )
+
+
+def _validate_suite_batch(points, depths, out) -> None:
+    """Cross-check the multi-job ragged packing path against the reference.
+
+    Every (workload, machine) point is packed into ONE suite tensor and
+    priced by a single kernel call — heterogeneous machines side by side,
+    which the per-point ``suite`` candidate loop (one-job batches) never
+    exercises.  Mismatches are tagged ``suite-batch``.  A missing kernel
+    is not a failure: the per-point loop has already validated the scalar
+    fallback, and there is no batch path to diverge.
+    """
+    from ..pipeline.plan import StagePlan
+    from ..pipeline.suite import SuiteLanes, run_suite
+    from ..pipeline.timing import DepthConstants
+
+    lanes = []
+    simulators = []
+    for _, _, machine, trace, _ in points:
+        simulator = make_simulator(machine, "suite")
+        cons_list = [
+            DepthConstants.for_plan(machine, StagePlan.for_depth(depth))
+            for depth in depths
+        ]
+        lanes.append(SuiteLanes(machine, simulator.events_for(trace), cons_list))
+        simulators.append(simulator)
+    raw_all = run_suite(lanes)
+    if raw_all is None:
+        return
+    for (workload, label, machine, trace, reference_results), simulator, lane, raw \
+            in zip(points, simulators, lanes, raw_all):
+        occ_rename = 0 if machine.in_order else lane.events.n
+        for depth, cons, r, (cycles, issue_cycles, occ_agenq, occ_execq) in zip(
+            depths, lane.cons_list, reference_results, raw
+        ):
+            candidate = simulator._build_result(
+                trace, StagePlan.for_depth(depth), cons, lane.events,
+                int(cycles), int(issue_cycles),
+                occ_rename, int(occ_agenq), int(occ_execq),
+            )
+            _compare_fields(
+                r, candidate, workload, label, depth, "suite-batch", out
+            )
 
 
 def format_report(report: ValidationReport) -> str:

@@ -23,7 +23,10 @@ __all__ = ["atomic_replace"]
 
 @contextlib.contextmanager
 def atomic_replace(
-    path: "str | pathlib.Path", mode: str = "w", encoding: "str | None" = None
+    path: "str | pathlib.Path",
+    mode: str = "w",
+    encoding: "str | None" = None,
+    durable: bool = True,
 ) -> Iterator[IO]:
     """Yield a handle whose contents atomically replace ``path`` on exit.
 
@@ -37,6 +40,12 @@ def atomic_replace(
         path: the destination file.
         mode: open mode for the temp handle (``"w"`` or ``"wb"``).
         encoding: text encoding when ``mode`` is textual.
+        durable: fsync before the rename.  ``False`` trades power-loss
+            durability for speed: readers still never see a torn entry
+            while the OS is up (the rename alone guarantees that), but
+            after a machine crash the file may come back garbled — only
+            acceptable for caches whose readers detect and discard
+            corrupt entries.
     """
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -48,7 +57,8 @@ def atomic_replace(
         with os.fdopen(fd, mode, encoding=encoding) as handle:
             yield handle
             handle.flush()
-            os.fsync(handle.fileno())
+            if durable:
+                os.fsync(handle.fileno())
         os.replace(tmp, path)
     finally:
         tmp.unlink(missing_ok=True)

@@ -105,8 +105,11 @@ class ResultCache:
         even if the writer dies mid-write.
         """
         path = self.path_for(key)
-        with atomic_replace(path, encoding="utf-8") as handle:
-            handle.write(json.dumps(payload, sort_keys=True))
+        # durable=False: ``get`` discards (and invalidates) entries that
+        # fail to parse, so a file garbled by a power loss degrades to a
+        # cache miss — per-entry fsync would buy nothing but latency.
+        with atomic_replace(path, encoding="utf-8", durable=False) as handle:
+            handle.write(json.dumps(payload, sort_keys=True, separators=(",", ":")))
         self.stats.writes += 1
         logger.debug("cache write %s -> %s", key[:12], path)
         return path

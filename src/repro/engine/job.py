@@ -66,9 +66,12 @@ class SimJob:
         machine: the machine configuration (constant across depths).
         backend: simulation backend — ``"reference"`` (the step-wise
             interpreter), ``"fast"`` (the event-precomputing kernel, one
-            trace analysis shared by all depths) or ``"batched"`` (the
+            trace analysis shared by all depths), ``"batched"`` (the
             depth-batched kernel: one analysis *and* one timing pass
-            pricing every depth together).
+            pricing every depth together), ``"suite"`` (the cross-job
+            tensor kernel: the scheduler packs every pending suite job
+            of a run into one ragged-batch kernel call) or ``"cycle"``
+            (the independent cycle-accurate state machine).
     """
 
     spec: WorkloadSpec
@@ -96,23 +99,51 @@ class SimJob:
         return self.spec.name
 
     def fingerprint(self) -> dict:
-        """The canonical identity dict the cache key is hashed from."""
+        """The canonical identity dict the cache key is hashed from.
+
+        The canonical walks over the (frozen) spec and machine dominate
+        the cost and are memoised per instance — the scheduler, the
+        payload builder and the payload validator each key the same job,
+        and a suite batch keys every job in one pass.  The code version
+        is re-read on every call so patching ``repro.__version__`` still
+        invalidates, and the outer dict is always fresh.
+        """
+        parts = self.__dict__.get("_canonical_parts")
+        if parts is None:
+            parts = (
+                canonical_fingerprint(self.spec),
+                canonical_fingerprint(self.machine),
+            )
+            object.__setattr__(self, "_canonical_parts", parts)
+        spec_fp, machine_fp = parts
         return {
             "schema": CACHE_SCHEMA,
             "version": _code_version(),
-            "spec": canonical_fingerprint(self.spec),
-            "machine": canonical_fingerprint(self.machine),
+            "spec": spec_fp,
+            "machine": machine_fp,
             "depths": list(self.depths),
             "trace_length": self.trace_length,
             "backend": self.backend,
         }
 
     def cache_key(self) -> str:
-        """Content-addressed key: SHA-256 hex of the canonical fingerprint."""
+        """Content-addressed key: SHA-256 hex of the canonical fingerprint.
+
+        Memoised per (instance, code version): the scheduler, the payload
+        builder and the payload validator each key the same job.  The memo
+        is keyed on ``repro.__version__`` so patching the version (as the
+        cache-invalidation tests do) still yields a fresh key.
+        """
+        version = _code_version()
+        cached = self.__dict__.get("_cache_key")
+        if cached is not None and cached[0] == version:
+            return cached[1]
         encoded = json.dumps(
             self.fingerprint(), sort_keys=True, separators=(",", ":")
         )
-        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+        key = hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+        object.__setattr__(self, "_cache_key", (version, key))
+        return key
 
 
 @dataclass(frozen=True)

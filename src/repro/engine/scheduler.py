@@ -18,6 +18,13 @@ Determinism: results are returned in submission order, and both execution
 paths hand back the same normal-form payload dict, so a parallel run is
 bit-identical to a serial one and to a warm-cache one.
 
+Suite-backend jobs short-circuit step 2: every pending ``suite`` job in a
+run is packed into one ragged event tensor and priced by a single
+in-process kernel call (:func:`repro.engine.worker.execute_suite_batch`),
+then fanned back out into the result cache per job — a manifest of suite
+jobs degenerates to "partition by cache hit → one kernel call → cache
+fan-out", while non-suite jobs keep the inline/parallel paths below.
+
 Timeouts bound the *wait for a job's result*; a worker that is already
 stuck cannot be interrupted mid-simulation, so on timeout the whole pool
 is cancelled and rebuilt for the retry round.  Inline (``workers <= 1``)
@@ -175,10 +182,26 @@ class ExecutionEngine:
                     len(pending), len(jobs), len(jobs) - len(pending),
                     max(self.config.workers, 1),
                 )
-                if self.config.workers > 1 and len(pending) > 1:
-                    self._run_parallel(jobs, keys, pending, slots, runner, progress)
-                else:
-                    self._run_inline(jobs, keys, pending, slots, runner, progress)
+                # Suite-backend misses degenerate to one kernel call:
+                # every pending suite job is packed into a single ragged
+                # tensor and priced together, then fanned back out into
+                # the cache per job.  Only the default runner understands
+                # the suite batch contract; injected runners keep per-job
+                # control of every backend.
+                suite_pending: List[int] = []
+                rest = pending
+                if runner is execute_job:
+                    suite_pending = [
+                        i for i in pending if jobs[i].backend == "suite"
+                    ]
+                    rest = [i for i in pending if jobs[i].backend != "suite"]
+                if suite_pending:
+                    self._run_suite(jobs, keys, suite_pending, slots, progress)
+                if rest:
+                    if self.config.workers > 1 and len(rest) > 1:
+                        self._run_parallel(jobs, keys, rest, slots, runner, progress)
+                    else:
+                        self._run_inline(jobs, keys, rest, slots, runner, progress)
         finally:
             self.report.wall_time += time.perf_counter() - started
         return [slot for slot in slots if slot is not None]
@@ -268,6 +291,51 @@ class ExecutionEngine:
         self.report.add(record)
         if progress is not None:
             progress.update(record)
+
+    # -- suite batch execution ----------------------------------------------
+    def _run_suite(self, jobs, keys, pending, slots, progress) -> None:
+        """Every pending suite job through one in-process kernel call.
+
+        The batch is retried as a unit (the kernel either prices every
+        lane or none); per-job timeouts cannot be enforced for an
+        in-process call, mirroring inline execution.  Each job's payload
+        is validated, stored and reported individually, with the batch
+        wall time attributed evenly so ``RunReport`` totals stay
+        meaningful.  The kernel is only compiled/loaded here — a fully
+        cache-hit run never reaches this method.
+        """
+        from .worker import execute_suite_batch
+
+        if self.config.timeout is not None and not self._warned_inline_timeout:
+            logger.debug("per-job timeout is not enforced for suite batches")
+            self._warned_inline_timeout = True
+        batch = [jobs[index] for index in pending]
+        max_attempts = self.config.retries + 1
+        started = time.perf_counter()
+        last_error: "BaseException | None" = None
+        for attempt in range(1, max_attempts + 1):
+            try:
+                payloads = execute_suite_batch(
+                    batch, events_cache=self.resolver.events
+                )
+            except Exception as exc:
+                last_error = exc
+                logger.warning(
+                    "suite batch of %d job(s) attempt %d/%d failed: %r",
+                    len(batch), attempt, max_attempts, exc,
+                )
+                continue
+            share = (time.perf_counter() - started) / len(pending)
+            for index, payload in zip(pending, payloads):
+                slots[index] = self._finish(
+                    jobs[index], keys[index], payload, share, attempt
+                )
+                self._record(slots[index], progress)
+            return
+        duration = time.perf_counter() - started
+        job, key = jobs[pending[0]], keys[pending[0]]
+        self._record_failure(job, key, duration, max_attempts, last_error, progress)
+        raise JobExecutionError(job, max_attempts, last_error)
 
     # -- inline execution ---------------------------------------------------
     def _run_inline(self, jobs, keys, pending, slots, runner, progress) -> None:

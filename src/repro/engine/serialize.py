@@ -31,6 +31,7 @@ from .job import CACHE_SCHEMA, SimJob
 __all__ = [
     "PayloadError",
     "payload_for",
+    "record_for",
     "result_to_dict",
     "result_from_dict",
     "results_from_payload",
@@ -56,14 +57,41 @@ class PayloadError(ValueError):
     """A payload could not be validated against its job."""
 
 
+# Enum iteration and ``Unit(name)`` lookups dominate (de)serialisation at
+# suite scale (thousands of results per run); both are precomputed here.
+_UNITS = tuple(Unit)
+_UNIT_NAMES = tuple(unit.value for unit in Unit)
+_UNIT_BY_VALUE = {unit.value: unit for unit in Unit}
+
+
 def result_to_dict(result: SimulationResult) -> dict:
     """Serialise one simulation result to JSON-able primitives."""
     out = {"depth": result.plan.depth, "trace_name": result.trace_name}
     for name in _COUNT_FIELDS:
         out[name] = int(getattr(result, name))
+    occupancy = result.unit_occupancy
     out["unit_occupancy"] = {
-        unit.value: float(result.unit_occupancy.get(unit, 0.0)) for unit in Unit
+        unit.value: float(occupancy.get(unit, 0.0)) for unit in _UNITS
     }
+    return out
+
+
+def record_for(
+    trace_name: str, depth: int, counts: dict, occupancy: "tuple[float, ...]"
+) -> dict:
+    """Build one serialised result record without a ``SimulationResult``.
+
+    The suite worker's hot path emits payload records straight from the
+    kernel outputs; this mirrors :func:`result_to_dict` field for field
+    (``counts`` maps each :data:`_COUNT_FIELDS` name to its integer,
+    ``occupancy`` is ``_unit_occupancy``'s flat float tuple in
+    :class:`Unit` declaration order), so the scheduler's payload
+    reconstruction yields results bit-identical to the per-job backends'.
+    """
+    out = {"depth": depth, "trace_name": trace_name}
+    for name in _COUNT_FIELDS:
+        out[name] = int(counts[name])
+    out["unit_occupancy"] = dict(zip(_UNIT_NAMES, occupancy))
     return out
 
 
@@ -72,8 +100,10 @@ def result_from_dict(data: dict, technology: TechnologyParams) -> SimulationResu
     try:
         plan = StagePlan.for_depth(int(data["depth"]))
         occupancy = {
-            Unit(name): float(value)
-            for name, value in dict(data["unit_occupancy"]).items()
+            # Unknown names fall through to Unit(name), which raises.
+            (_UNIT_BY_VALUE.get(name) or Unit(name)): float(value)
+            # (.items() on a non-mapping raises, normalised to PayloadError.)
+            for name, value in data["unit_occupancy"].items()
         }
         return SimulationResult(
             trace_name=str(data["trace_name"]),

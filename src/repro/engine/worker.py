@@ -1,4 +1,4 @@
-"""The engine's worker entry point.
+"""The engine's worker entry points.
 
 ``execute_job`` is the one function shipped to worker processes.  It is
 deliberately payload-in/payload-out: the job arrives as a picklable
@@ -7,19 +7,40 @@ JSON-able payload dict the cache stores — so the parent process handles a
 freshly computed result and a cache hit through the identical
 reconstruction path, which is what makes parallel, serial and warm-cache
 runs bit-identical.
+
+``execute_suite_batch`` is its batch-of-jobs sibling for the suite
+backend: every miss in an engine run is packed into one ragged event
+tensor and priced by a single C-kernel invocation
+(:func:`repro.pipeline.suite.run_suite`), with per-job payloads fanned
+back out in submission order.  Jobs whose analysis is already in the
+shared :class:`~repro.pipeline.events_cache.TraceEventsCache` resolve
+through the spec-keyed trace-fingerprint index without materialising a
+trace at all, and a batch whose jobs all resolve that way goes one step
+further: the packed column tensor itself is cached (keyed by the ordered
+per-job analysis keys), so a warm-analysis cold-result suite run is one
+flat binary read plus one kernel call — no per-job ``.npz`` loads, no
+pack copy.
 """
 
 from __future__ import annotations
 
 import logging
+from typing import List, Sequence
 
+import numpy as np
+
+from ..fingerprint import fingerprint_digest
+from ..pipeline._ckernel import JM_OFFSET
 from ..pipeline.events_cache import default_events_cache
-from ..pipeline.fastsim import make_simulator
+from ..pipeline.fastsim import AGGREGATE_NAMES, TraceEvents, make_simulator
+from ..pipeline.plan import StagePlan
+from ..pipeline.suite import SuiteLanes, pack_suite, run_suite
+from ..pipeline.timing import DepthConstants
 from ..trace.generator import generate_trace
-from .job import SimJob
-from .serialize import payload_for
+from .job import CACHE_SCHEMA, SimJob
+from .serialize import payload_for, record_for
 
-__all__ = ["execute_job"]
+__all__ = ["execute_job", "execute_suite_batch"]
 
 logger = logging.getLogger("repro.engine.worker")
 
@@ -47,3 +68,251 @@ def execute_job(job: SimJob, events_cache=_UNSET) -> dict:
     simulator = make_simulator(job.machine, job.backend, events_cache=events_cache)
     results = simulator.simulate_depths(trace, job.depths)
     return payload_for(job, results)
+
+
+class _TraceName:
+    """The one attribute result assembly needs from a trace."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+_AGG_INDEX = {name: index + 1 for index, name in enumerate(AGGREGATE_NAMES)}
+
+
+class _TensorSlice:
+    """One job's zero-copy window into a cached suite tensor.
+
+    Exposes exactly what the packed-kernel path reads — ``n`` and the
+    scalar aggregates — without materialising the job's own column
+    matrix (the kernel reads the shared packed tensor directly).
+    ``thaw`` pays the column copy only on the kernel-unavailable
+    fallback, whose scalar loops walk real :class:`TraceEvents` columns.
+    """
+
+    __slots__ = ("n", "_columns", "_scalars")
+
+    def __init__(self, columns: np.ndarray, scalars: np.ndarray):
+        self.n = int(scalars[0])
+        self._columns = columns
+        self._scalars = scalars
+
+    def __getattr__(self, name: str):
+        index = _AGG_INDEX.get(name)
+        if index is None:
+            raise AttributeError(name)
+        return int(self._scalars[index])
+
+    def thaw(self) -> TraceEvents:
+        """Materialise the slice as a standalone (contiguous) analysis."""
+        return TraceEvents.from_arrays(self._columns, self._scalars)
+
+
+def _slice_tensor(jobs, columns, offsets, scalars) -> "List[_TensorSlice] | None":
+    """Per-job views of a cached suite tensor, or None if it is unusable.
+
+    A stored tensor is internally consistent by construction; the checks
+    here reject truncated or foreign files that happened to parse, so a
+    bad cache entry degrades to a re-pack instead of wrong results.
+    """
+    if len(offsets) != len(jobs) or scalars.shape[1] != 1 + len(AGGREGATE_NAMES):
+        return None
+    lengths = scalars[:, 0]
+    if np.any(lengths <= 0):
+        return None
+    expected = np.concatenate(([0], np.cumsum(lengths[:-1])))
+    if int(lengths.sum()) != columns.shape[1] or not np.array_equal(offsets, expected):
+        return None
+    return [
+        _TensorSlice(columns[:, offset : offset + n], row)
+        for offset, n, row in zip(offsets.tolist(), lengths.tolist(), scalars)
+    ]
+
+
+def execute_suite_batch(jobs: Sequence[SimJob], events_cache=_UNSET) -> List[dict]:
+    """Price a batch of suite jobs through one kernel call; payloads in order.
+
+    Analyses resolve in tiers, cheapest first.  When every job resolves
+    through the events cache's spec-keyed trace-fingerprint index, the
+    whole batch first tries the packed suite tensor cache — one flat
+    read that yields the kernel-ready column tensor and per-job
+    zero-copy slices.  Otherwise each job loads its ``.npz`` analysis by
+    fingerprint, or (last resort) generates and analyses its trace,
+    recording the index entry for next time; the batch is then packed
+    once, the tensor stored for the next run.  Either way all lanes are
+    priced by a single ``run_suite_batched`` invocation; when the kernel
+    cannot run the batch, each job falls back to the fast backend's
+    scalar loops over the same analyses — identical results on every
+    path.
+    """
+    jobs = list(jobs)
+    if events_cache is _UNSET:
+        events_cache = default_events_cache()
+    logger.debug("executing suite batch of %d job(s)", len(jobs))
+
+    # Jobs in one batch overwhelmingly share (machine, depths) — a suite
+    # run is many workloads on one machine — so the simulator (and its
+    # memoised machine fingerprint), stage plans and depth constants are
+    # built once per distinct pair, not once per job.
+    shared: dict = {}
+    contexts = []
+    for job in jobs:
+        entry = shared.get((job.machine, job.depths))
+        if entry is None:
+            simulator = make_simulator(
+                job.machine, "suite", events_cache=events_cache
+            )
+            plans = [StagePlan.for_depth(depth) for depth in job.depths]
+            cons_list = [
+                DepthConstants.for_plan(job.machine, plan) for plan in plans
+            ]
+            shared[(job.machine, job.depths)] = entry = (
+                simulator, plans, cons_list,
+            )
+        contexts.append(entry)
+
+    if events_cache is not None:
+        spec_fps = [fingerprint_digest(job.spec) for job in jobs]
+        trace_fps = [
+            events_cache.get_trace_fingerprint(spec_fp, job.trace_length)
+            for spec_fp, job in zip(spec_fps, jobs)
+        ]
+    else:
+        spec_fps = [None] * len(jobs)
+        trace_fps = [None] * len(jobs)
+
+    def _tensor_key():
+        return events_cache.suite_tensor_key(
+            [
+                events_cache.key_for(trace_fp, context[0].machine_fingerprint())
+                for trace_fp, context in zip(trace_fps, contexts)
+            ]
+        )
+
+    # Fully index-resolved batches may hit the packed suite tensor cache:
+    # one flat read yields the kernel-ready column tensor plus per-job
+    # zero-copy slices, in place of per-job .npz loads and the pack copy.
+    tensor_key = None
+    prepacked = None
+    events_list: "List | None" = None
+    if jobs and events_cache is not None and all(fp is not None for fp in trace_fps):
+        tensor_key = _tensor_key()
+        tensor = events_cache.get_suite_tensor(tensor_key)
+        if tensor is not None:
+            columns, offsets, scalars = tensor
+            events_list = _slice_tensor(jobs, columns, offsets, scalars)
+            if events_list is not None:
+                prepacked = columns
+
+    if events_list is None:
+        events_list = []
+        for index, job in enumerate(jobs):
+            simulator = contexts[index][0]
+            events = None
+            if trace_fps[index] is not None:
+                events = events_cache.get(
+                    trace_fps[index], simulator.machine_fingerprint()
+                )
+            if events is None:
+                trace = generate_trace(job.spec, job.trace_length)
+                events = simulator.events_for(trace)
+                if events_cache is not None:
+                    trace_fps[index] = trace.fingerprint()
+                    events_cache.put_trace_fingerprint(
+                        spec_fps[index], job.trace_length, trace_fps[index]
+                    )
+            if events.n == 0:
+                raise ValueError("cannot simulate an empty trace")
+            events_list.append(events)
+
+    lanes = [
+        SuiteLanes(job.machine, events, context[2])
+        for job, events, context in zip(jobs, events_list, contexts)
+    ]
+
+    if (
+        prepacked is None
+        and jobs
+        and events_cache is not None
+        and all(fp is not None for fp in trace_fps)
+    ):
+        # Pack here (instead of inside run_suite) so the tensor can be
+        # stored for the next run, which then reads it back as one flat
+        # file in place of the per-job loads and this copy.
+        columns, job_rows, _, _ = pack_suite(lanes)
+        scalars = np.stack([lane.events.to_arrays()[1] for lane in lanes])
+        events_cache.put_suite_tensor(
+            tensor_key if tensor_key is not None else _tensor_key(),
+            columns, job_rows[:, JM_OFFSET], scalars,
+        )
+        prepacked = columns
+
+    raw_all = run_suite(lanes, prepacked=prepacked)
+    payloads: List[dict] = []
+    for index, (job, raw) in enumerate(
+        zip(jobs, raw_all if raw_all is not None else [None] * len(jobs))
+    ):
+        simulator, plans, cons_list = contexts[index]
+        events = lanes[index].events
+        if raw is None:
+            # Kernel unavailable: the fast backend's scalar loops, one
+            # depth at a time, off the same shared analysis, then the
+            # ordinary result-object serialisation route.
+            if isinstance(events, _TensorSlice):
+                events = events.thaw()
+            runner = (
+                simulator._run_in_order
+                if job.machine.in_order
+                else simulator._run_out_of_order
+            )
+            raw = [runner(events, cons) for cons in cons_list]
+            occ_rename = 0 if job.machine.in_order else events.n
+            trace = _TraceName(job.spec.name)
+            results = tuple(
+                simulator._build_result(
+                    trace, plan, cons, events, int(cycles), int(issue_cycles),
+                    occ_rename, int(occ_agenq), int(occ_execq),
+                )
+                for plan, cons, (cycles, issue_cycles, occ_agenq, occ_execq)
+                in zip(plans, cons_list, raw)
+            )
+            payloads.append(payload_for(job, results))
+            continue
+        # Kernel path: emit payload records directly — the scheduler
+        # rebuilds SimulationResults from the payload anyway, so building
+        # them here only to re-serialise is pure overhead at suite scale.
+        occ_rename = 0 if job.machine.in_order else events.n
+        counts = {
+            "instructions": events.n,
+            "branches": events.branches,
+            "mispredicts": events.mispredicts,
+            "icache_misses": events.icache_misses,
+            "dcache_accesses": events.dcache_accesses,
+            "dcache_misses": events.dcache_misses,
+            "store_misses": events.store_misses,
+            "l2_misses": events.l2_misses,
+            "memory_ops": events.memory_ops,
+            "fp_ops": events.fp_ops,
+        }
+        records = []
+        for plan, cons, (cycles, issue_cycles, occ_agenq, occ_execq) in zip(
+            plans, cons_list, raw
+        ):
+            occupancy = simulator._unit_occupancy(
+                cons, events, occ_rename, int(occ_agenq), int(occ_execq)
+            )
+            counts["cycles"] = int(cycles)
+            counts["issue_cycles"] = int(issue_cycles)
+            records.append(record_for(job.spec.name, plan.depth, counts, occupancy))
+        payloads.append(
+            {
+                "schema": CACHE_SCHEMA,
+                "key": job.cache_key(),
+                "workload": job.name,
+                "depths": list(job.depths),
+                "results": records,
+            }
+        )
+    return payloads

@@ -40,7 +40,14 @@ import tempfile
 
 import numpy as np
 
-__all__ = ["BatchedKernel", "batched_kernel", "kernel_enabled", "kernel_dir"]
+__all__ = [
+    "BatchedKernel",
+    "batched_kernel",
+    "kernel_enabled",
+    "kernel_dir",
+    "kernel_openmp_enabled",
+    "kernel_threads",
+]
 
 logger = logging.getLogger("repro.pipeline.ckernel")
 
@@ -52,6 +59,13 @@ NCONST = 18
  C_AGEN_DONE_OFF, C_CACHE_DONE_OFF, C_FPC_DONE_OFF, C_ALU_LATENCY,
  C_RESOLVE_LATENCY, C_MERGED, C_RETIRE_OFF, C_MISP_OFF, C_BTB_OFF,
  C_TARGET_DELAY, C_IC_P, C_IC_L2_P, C_DC_P, C_DC_L2_P) = range(NCONST)
+
+# Per-job descriptor row used by the suite entry point: one row of
+# JM_FIELDS int64s per job in the ragged batch, assembled by
+# repro.pipeline.suite.
+JM_FIELDS = 9
+(JM_OFFSET, JM_N, JM_WIDTH, JM_AGEN_WIDTH, JM_MSHR, JM_WINDOW,
+ JM_ROB, JM_IN_ORDER, JM_MEMORY_OPS) = range(JM_FIELDS)
 
 _SOURCE = r"""
 /* Depth-batched pipeline timing recurrences.
@@ -66,6 +80,9 @@ _SOURCE = r"""
 #include <stdint.h>
 #include <stdlib.h>
 #include <string.h>
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 typedef long long i64;
 
@@ -517,6 +534,462 @@ done:
     free(caps);
     return rc;
 }
+
+/* ---- suite batch: the whole (trace x machine x depth) grid ------------- *
+ *
+ * One ragged tensor holds every job's TraceEvents columns side by side
+ * (row stride = total instruction count); each flattened (job, depth)
+ * lane walks only its job's slice with fully scalar state, so lanes are
+ * independent and the grid parallelises with one `omp parallel for`.
+ * The scalar bodies are the lanes==1 specialisation of the batched
+ * entry points above — identical arithmetic in identical order, which
+ * is what keeps suite results bit-identical to batched.
+ */
+
+/* Per-job descriptor row (int64). */
+enum {
+    JM_OFFSET = 0, JM_N, JM_WIDTH, JM_AGEN_WIDTH, JM_MSHR, JM_WINDOW,
+    JM_ROB, JM_IN_ORDER, JM_MEMORY_OPS, JM_FIELDS
+};
+
+static int suite_lane_in_order(
+    const int32_t *cols, i64 stride, i64 off, i64 n, const i64 *cc,
+    i64 width, i64 agen_width, i64 mshr_n, i64 nregs, i64 memory_ops,
+    i64 *out4)
+{
+    i64 *ready1 = (i64 *)malloc((size_t)nregs * sizeof(i64));
+    i64 *mshr = (i64 *)calloc((size_t)mshr_n, sizeof(i64));
+    if (!ready1 || !mshr) {
+        free(ready1); free(mshr);
+        return -1;
+    }
+    for (i64 k = 0; k < nregs; k++) ready1[k] = 1;
+
+    i64 last_decode = cc[C_FETCH_STAGES], decode_n = 0;
+    i64 last_exec = 0, exec_n = 0;
+    i64 last_agen = 0, agen_n = 0;
+    i64 last_retire = 0, retire_n = 0;
+    i64 redirect = cc[C_FETCH_STAGES];
+    i64 fp_free = 0, cx_free = 0, mm = 0;
+    i64 issue_cycles = 0, last_issue = -1;
+    i64 occ_agenq = 0, occ_execq = 0;
+
+    const int32_t *c_mem = cols + (i64)COL_MEM * stride + off;
+    const int32_t *c_s1 = cols + (i64)COL_SRC1 * stride + off;
+    const int32_t *c_s1x = cols + (i64)COL_EXEC_SRC1 * stride + off;
+    const int32_t *c_s2 = cols + (i64)COL_SRC2 * stride + off;
+    const int32_t *c_da = cols + (i64)COL_DEST_ALU * stride + off;
+    const int32_t *c_dl = cols + (i64)COL_DEST_LOAD * stride + off;
+    const int32_t *c_fpc = cols + (i64)COL_FPC * stride + off;
+    const int32_t *c_fpx = cols + (i64)COL_FP_EXTRA * stride + off;
+    const int32_t *c_b = cols + (i64)COL_BRANCH_EVENT * stride + off;
+    const int32_t *c_fev = cols + (i64)COL_IC_EVENT * stride + off;
+    const int32_t *c_dev = cols + (i64)COL_DC_EVENT * stride + off;
+
+    for (i64 i = 0; i < n; i++) {
+        i64 mem = c_mem[i], s1 = c_s1[i], s1x = c_s1x[i], s2 = c_s2[i];
+        i64 dest_alu = c_da[i], dest_load = c_dl[i];
+        i64 fpc = c_fpc[i], fpx = c_fpx[i];
+        i64 b = c_b[i], fev = c_fev[i], dev = c_dev[i];
+
+        /* ---- fetch + decode (fused) ---- */
+        i64 decode;
+        if (redirect > last_decode) {
+            decode = redirect;
+            decode_n = 1;
+        } else if (decode_n < width) {
+            decode = last_decode;
+            decode_n += 1;
+        } else {
+            decode = last_decode + 1;
+            decode_n = 1;
+        }
+        if (fev) {
+            decode += (fev == 1) ? cc[C_IC_P] : cc[C_IC_L2_P];
+            decode_n = 1;
+        }
+        last_decode = decode;
+
+        /* ---- address generation + cache (RX path) ---- */
+        i64 path_ready;
+        if (mem) {
+            i64 floor_ = decode + cc[C_OFF_AGEN];
+            i64 agen = floor_;
+            if (s1 >= 0 && ready1[s1] > agen) agen = ready1[s1];
+            if (agen > last_agen) {
+                agen_n = 1;
+            } else if (agen_n < agen_width) {
+                agen = last_agen;
+                agen_n += 1;
+            } else {
+                agen = last_agen + 1;
+                agen_n = 1;
+            }
+            last_agen = agen;
+            if (agen > floor_) occ_agenq += agen - floor_;
+
+            i64 cache_start = agen + cc[C_OFF_CACHE_DELTA];
+            i64 cache_done;
+            if (dev) {
+                i64 dpen = (dev == 1) ? cc[C_DC_P] : cc[C_DC_L2_P];
+                i64 slot_free = mshr[mm];
+                if (cache_start < slot_free) cache_start = slot_free;
+                mshr[mm] = cache_start + dpen;
+                mm += 1;
+                if (mm == mshr_n) mm = 0;
+                cache_done = cache_start + cc[C_CACHE_DONE_OFF] + dpen;
+            } else {
+                cache_done = cache_start + cc[C_CACHE_DONE_OFF];
+            }
+            path_ready = cc[C_MERGED] ? cache_done : cache_done + 1;
+            if (dest_load >= 0) ready1[dest_load] = cache_done + 1;
+        } else {
+            path_ready = decode + cc[C_OFF_EXEC_RR];
+        }
+
+        /* ---- execute issue (in-order, width-wide) ---- */
+        i64 execute = path_ready;
+        if (s1x >= 0 && ready1[s1x] > execute) execute = ready1[s1x];
+        if (s2 >= 0 && ready1[s2] > execute) execute = ready1[s2];
+        if (execute > last_exec) {
+            exec_n = 1;
+        } else if (exec_n < width) {
+            execute = last_exec;
+            exec_n += 1;
+        } else {
+            execute = last_exec + 1;
+            exec_n = 1;
+        }
+        last_exec = execute;
+
+        i64 retire;
+        if (fpc) {
+            i64 exec_done;
+            if (fpc == 1) {
+                if (execute < fp_free) {
+                    execute = fp_free;
+                    last_exec = execute;
+                    exec_n = 1;
+                }
+                exec_done = execute + fpx + cc[C_FPC_DONE_OFF];
+                fp_free = exec_done + 1;
+            } else {
+                if (execute < cx_free) {
+                    execute = cx_free;
+                    last_exec = execute;
+                    exec_n = 1;
+                }
+                exec_done = execute + fpx + cc[C_FPC_DONE_OFF];
+                cx_free = exec_done + 1;
+            }
+            if (dest_alu >= 0) ready1[dest_alu] = exec_done + 1;
+            /* back_end == RETIRE_OFF - (FPC_DONE_OFF + 1); see above */
+            retire = exec_done + (cc[C_RETIRE_OFF] - (cc[C_FPC_DONE_OFF] + 1));
+        } else {
+            if (dest_alu >= 0) ready1[dest_alu] = execute + cc[C_ALU_LATENCY];
+            retire = execute + cc[C_RETIRE_OFF];
+        }
+
+        if (execute > path_ready) occ_execq += execute - path_ready;
+        if (execute != last_issue) {
+            issue_cycles += 1;
+            last_issue = execute;
+        }
+
+        /* ---- branch resolution ---- */
+        if (b) {
+            if (b == EV_MISPREDICT) {
+                i64 resolved = execute + cc[C_MISP_OFF];
+                if (resolved > redirect) redirect = resolved;
+            } else {
+                i64 target_known = decode + cc[C_BTB_OFF];
+                if (target_known > redirect) redirect = target_known;
+            }
+        }
+
+        /* ---- completion / retire ---- */
+        if (retire > last_retire) {
+            last_retire = retire;
+            retire_n = 1;
+        } else if (retire_n < width) {
+            retire_n += 1;
+        } else {
+            last_retire += 1;
+            retire_n = 1;
+        }
+    }
+
+    out4[0] = last_retire + 1;
+    out4[1] = issue_cycles;
+    out4[2] = occ_agenq + memory_ops;
+    out4[3] = occ_execq + n;
+    free(ready1); free(mshr);
+    return 0;
+}
+
+static int suite_lane_out_of_order(
+    const int32_t *cols, i64 stride, i64 off, i64 n, const i64 *cc,
+    i64 width, i64 agen_width, i64 mshr_n, i64 window, i64 rob,
+    i64 nregs, i64 memory_ops, i64 *out4)
+{
+    i64 *ready1 = (i64 *)malloc((size_t)nregs * sizeof(i64));
+    i64 *mshr = (i64 *)calloc((size_t)mshr_n, sizeof(i64));
+    i64 *agen_ring = (i64 *)malloc((size_t)agen_width * sizeof(i64));
+    i64 *issue_ring = (i64 *)malloc((size_t)window * sizeof(i64));
+    i64 *retire_rob = (i64 *)malloc((size_t)rob * sizeof(i64));
+    uint8_t *slots = NULL;
+    i64 cap = 0;
+    int rc = 0;
+    if (!ready1 || !mshr || !agen_ring || !issue_ring || !retire_rob) {
+        rc = -1;
+        goto done;
+    }
+    for (i64 k = 0; k < nregs; k++) ready1[k] = 1;
+    for (i64 k = 0; k < agen_width; k++) agen_ring[k] = -1;
+    for (i64 k = 0; k < window; k++) issue_ring[k] = -1;
+    for (i64 k = 0; k < rob; k++) retire_rob[k] = -1;
+
+    i64 last_fetch = 0, fetch_n = 0;
+    i64 last_decode = 0, decode_n = 0;
+    i64 last_retire = 0, retire_n = 0;
+    i64 redirect = 0, fp_free = 0, cx_free = 0;
+    i64 mm = 0, am = 0, wi = 0, ri = 0;
+    i64 last_store_agen = 0;
+    i64 occ_agenq = 0, occ_execq = 0, issue_cycles = 0;
+
+    const int32_t *c_mem = cols + (i64)COL_MEM * stride + off;
+    const int32_t *c_s1 = cols + (i64)COL_SRC1 * stride + off;
+    const int32_t *c_s1x = cols + (i64)COL_EXEC_SRC1 * stride + off;
+    const int32_t *c_s2 = cols + (i64)COL_SRC2 * stride + off;
+    const int32_t *c_da = cols + (i64)COL_DEST_ALU * stride + off;
+    const int32_t *c_dl = cols + (i64)COL_DEST_LOAD * stride + off;
+    const int32_t *c_fpc = cols + (i64)COL_FPC * stride + off;
+    const int32_t *c_fpx = cols + (i64)COL_FP_EXTRA * stride + off;
+    const int32_t *c_st = cols + (i64)COL_STORE * stride + off;
+    const int32_t *c_b = cols + (i64)COL_BRANCH_EVENT * stride + off;
+    const int32_t *c_fev = cols + (i64)COL_IC_EVENT * stride + off;
+    const int32_t *c_dev = cols + (i64)COL_DC_EVENT * stride + off;
+
+    for (i64 i = 0; i < n; i++) {
+        i64 mem = c_mem[i], s1 = c_s1[i], s1x = c_s1x[i], s2 = c_s2[i];
+        i64 dest_alu = c_da[i], dest_load = c_dl[i];
+        i64 fpc = c_fpc[i], fpx = c_fpx[i], is_store = c_st[i];
+        i64 b = c_b[i], fev = c_fev[i], dev = c_dev[i];
+
+        /* ---- fetch (in order) ---- */
+        i64 fetch;
+        if (redirect > last_fetch) {
+            fetch = redirect;
+            fetch_n = 1;
+        } else if (fetch_n < width) {
+            fetch = last_fetch;
+            fetch_n += 1;
+        } else {
+            fetch = last_fetch + 1;
+            fetch_n = 1;
+        }
+        if (fev) {
+            fetch += (fev == 1) ? cc[C_IC_P] : cc[C_IC_L2_P];
+            fetch_n = 1;
+        }
+        last_fetch = fetch;
+
+        /* ---- decode + rename (in order, ROB backpressure) ---- */
+        i64 decode = fetch + cc[C_FETCH_STAGES];
+        if (decode < last_decode) decode = last_decode;
+        i64 rob_slot = retire_rob[ri];
+        if (rob_slot >= decode) decode = rob_slot + 1;
+        if (decode > last_decode) {
+            decode_n = 1;
+        } else if (decode_n < width) {
+            decode_n += 1;
+        } else {
+            decode += 1;
+            decode_n = 1;
+        }
+        last_decode = decode;
+
+        /* ---- address generation + cache ---- */
+        i64 path_ready;
+        if (mem) {
+            i64 floor_ = decode + cc[C_OFF_AGEN];
+            i64 agen = floor_;
+            if (s1 >= 0 && ready1[s1] > agen) agen = ready1[s1];
+            i64 slot = agen_ring[am];
+            if (slot >= agen) agen = slot + 1;
+            agen_ring[am] = agen;
+            am += 1;
+            if (am == agen_width) am = 0;
+            if (agen > floor_) occ_agenq += agen - floor_;
+
+            i64 cache_start = agen + cc[C_OFF_CACHE_DELTA];
+            if (is_store) {
+                i64 agen_done = agen + cc[C_AGEN_DONE_OFF];
+                if (agen_done > last_store_agen)
+                    last_store_agen = agen_done;
+            } else if (cache_start <= last_store_agen) {
+                /* conservative load/store disambiguation */
+                cache_start = last_store_agen + 1;
+            }
+            i64 cache_done;
+            if (dev) {
+                i64 dpen = (dev == 1) ? cc[C_DC_P] : cc[C_DC_L2_P];
+                i64 slot_free = mshr[mm];
+                if (cache_start < slot_free) cache_start = slot_free;
+                mshr[mm] = cache_start + dpen;
+                mm += 1;
+                if (mm == mshr_n) mm = 0;
+                cache_done = cache_start + cc[C_CACHE_DONE_OFF] + dpen;
+            } else {
+                cache_done = cache_start + cc[C_CACHE_DONE_OFF];
+            }
+            path_ready = cc[C_MERGED] ? cache_done : cache_done + 1;
+            if (dest_load >= 0) ready1[dest_load] = cache_done + 1;
+        } else {
+            path_ready = decode + cc[C_OFF_EXEC_RR];
+        }
+
+        /* ---- out-of-order issue ---- */
+        i64 execute = path_ready;
+        i64 window_slot = issue_ring[wi];
+        if (window_slot >= execute) execute = window_slot + 1;
+        if (s1x >= 0 && ready1[s1x] > execute) execute = ready1[s1x];
+        if (s2 >= 0 && ready1[s2] > execute) execute = ready1[s2];
+        if (fpc) {
+            if (fpc == 1) {
+                if (execute < fp_free) execute = fp_free;
+            } else if (execute < cx_free) {
+                execute = cx_free;
+            }
+        }
+        /* issue bandwidth: per-cycle slot counts, grown on demand */
+        if (execute >= cap) {
+            i64 new_cap = cap ? cap : 4096;
+            while (execute >= new_cap) new_cap *= 2;
+            uint8_t *grown = (uint8_t *)realloc(slots, (size_t)new_cap);
+            if (!grown) { rc = -1; goto done; }
+            memset(grown + cap, 0, (size_t)(new_cap - cap));
+            slots = grown;
+            cap = new_cap;
+        }
+        while (slots[execute] >= width) {
+            execute += 1;
+            if (execute >= cap) {
+                i64 new_cap = cap * 2;
+                uint8_t *grown = (uint8_t *)realloc(slots, (size_t)new_cap);
+                if (!grown) { rc = -1; goto done; }
+                memset(grown + cap, 0, (size_t)(new_cap - cap));
+                slots = grown;
+                cap = new_cap;
+            }
+        }
+        if (slots[execute] == 0) issue_cycles += 1;
+        slots[execute] += 1;
+        issue_ring[wi] = execute;
+        wi += 1;
+        if (wi == window) wi = 0;
+
+        i64 retire;
+        if (fpc) {
+            i64 exec_done = execute + fpx + cc[C_FPC_DONE_OFF];
+            if (fpc == 1) {
+                fp_free = exec_done + 1;
+            } else {
+                cx_free = exec_done + 1;
+            }
+            if (dest_alu >= 0) ready1[dest_alu] = exec_done + 1;
+            /* back_end == RETIRE_OFF - (FPC_DONE_OFF + 1); see above */
+            retire = exec_done + (cc[C_RETIRE_OFF] - (cc[C_FPC_DONE_OFF] + 1));
+        } else {
+            if (dest_alu >= 0) ready1[dest_alu] = execute + cc[C_ALU_LATENCY];
+            retire = execute + cc[C_RETIRE_OFF];
+        }
+        if (execute > path_ready) occ_execq += execute - path_ready;
+
+        /* ---- branch resolution ---- */
+        if (b) {
+            if (b == EV_MISPREDICT) {
+                i64 resolved = execute + cc[C_RESOLVE_LATENCY];
+                if (resolved > redirect) redirect = resolved;
+            } else {
+                i64 target_known = decode + cc[C_TARGET_DELAY];
+                if (target_known > redirect) redirect = target_known;
+            }
+        }
+
+        /* ---- in-order retirement ---- */
+        if (retire > last_retire) {
+            last_retire = retire;
+            retire_n = 1;
+        } else if (retire_n < width) {
+            retire_n += 1;
+        } else {
+            last_retire += 1;
+            retire_n = 1;
+        }
+        retire_rob[ri] = last_retire;
+        ri += 1;
+        if (ri == rob) ri = 0;
+    }
+
+    out4[0] = last_retire + 1;
+    out4[1] = issue_cycles;
+    out4[2] = occ_agenq + memory_ops;
+    out4[3] = occ_execq + n;
+
+done:
+    free(ready1); free(mshr); free(agen_ring); free(issue_ring);
+    free(retire_rob); free(slots);
+    return rc;
+}
+
+int run_suite_batched(
+    const int32_t *cols, i64 stride, i64 njobs, const i64 *jobs,
+    i64 nlanes, const i64 *lane_job, const i64 *cons,
+    i64 nregs, i64 threads, i64 *out)
+{
+    int failed = 0;
+    (void)njobs;
+#ifdef _OPENMP
+    if (threads > 0) omp_set_num_threads((int)threads);
+#endif
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+    for (i64 lane = 0; lane < nlanes; lane++) {
+        const i64 *jm = jobs + lane_job[lane] * JM_FIELDS;
+        const i64 *cc = cons + lane * NCONST;
+        i64 *out4 = out + lane * 4;
+        int rc;
+        if (jm[JM_IN_ORDER]) {
+            rc = suite_lane_in_order(
+                cols, stride, jm[JM_OFFSET], jm[JM_N], cc, jm[JM_WIDTH],
+                jm[JM_AGEN_WIDTH], jm[JM_MSHR], nregs, jm[JM_MEMORY_OPS],
+                out4);
+        } else {
+            rc = suite_lane_out_of_order(
+                cols, stride, jm[JM_OFFSET], jm[JM_N], cc, jm[JM_WIDTH],
+                jm[JM_AGEN_WIDTH], jm[JM_MSHR], jm[JM_WINDOW], jm[JM_ROB],
+                nregs, jm[JM_MEMORY_OPS], out4);
+        }
+        if (rc != 0) {
+#ifdef _OPENMP
+#pragma omp atomic write
+#endif
+            failed = 1;
+        }
+    }
+    return failed ? -1 : 0;
+}
+
+int kernel_openmp(void)
+{
+#ifdef _OPENMP
+    return omp_get_max_threads();
+#else
+    return 0;
+#endif
+}
 """
 
 
@@ -534,6 +1007,20 @@ def kernel_dir() -> pathlib.Path:
     return default_kernel_dir()
 
 
+def kernel_openmp_enabled() -> bool:
+    """Whether the active runtime config allows an OpenMP-parallel build."""
+    from ..runtime.config import kernel_openmp_enabled as _runtime_openmp
+
+    return _runtime_openmp()
+
+
+def kernel_threads() -> int:
+    """The configured OpenMP thread count (0 = the OpenMP runtime default)."""
+    from ..runtime.config import kernel_threads as _runtime_threads
+
+    return _runtime_threads()
+
+
 def _find_compiler() -> "str | None":
     for name in ("cc", "gcc", "clang"):
         path = shutil.which(name)
@@ -542,7 +1029,9 @@ def _find_compiler() -> "str | None":
     return None
 
 
-def _compile(directory: pathlib.Path, so_path: pathlib.Path) -> bool:
+def _compile(
+    directory: pathlib.Path, so_path: pathlib.Path, openmp: bool = False
+) -> bool:
     compiler = _find_compiler()
     if compiler is None:
         logger.warning("no C compiler found; batched kernel disabled")
@@ -555,24 +1044,27 @@ def _compile(directory: pathlib.Path, so_path: pathlib.Path) -> bool:
     )
     os.close(fd)
     tmp = pathlib.Path(tmp_name)
+    flags = [*_OPT_FLAGS, "-shared", "-fPIC"] + (["-fopenmp"] if openmp else [])
     try:
         proc = subprocess.run(
-            [compiler, "-O2", "-shared", "-fPIC", "-o", str(tmp), str(src_path)],
+            [compiler, *flags, "-o", str(tmp), str(src_path)],
             capture_output=True,
             text=True,
             timeout=120,
         )
         if proc.returncode != 0:
-            logger.warning(
-                "batched kernel compilation failed (%s): %s",
+            log = logger.info if openmp else logger.warning
+            log(
+                "kernel compilation failed (%s%s): %s",
                 compiler,
+                " -fopenmp" if openmp else "",
                 proc.stderr.strip()[:500],
             )
             return False
         os.replace(tmp, so_path)
         return True
     except (OSError, subprocess.SubprocessError) as exc:
-        logger.warning("batched kernel compilation failed: %s", exc)
+        logger.warning("kernel compilation failed: %s", exc)
         return False
     finally:
         tmp.unlink(missing_ok=True)
@@ -584,6 +1076,8 @@ class BatchedKernel:
     def __init__(self, lib: ctypes.CDLL):
         self._in_order = lib.run_in_order_batched
         self._out_of_order = lib.run_out_of_order_batched
+        self._suite = lib.run_suite_batched
+        self._openmp = lib.kernel_openmp
         ll = ctypes.c_longlong
         ptr_i32 = np.ctypeslib.ndpointer(dtype=np.int32, flags="C_CONTIGUOUS")
         ptr_i64 = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
@@ -595,6 +1089,17 @@ class BatchedKernel:
         self._out_of_order.argtypes = [
             ptr_i32, ll, ll, ptr_i64, ll, ll, ll, ll, ll, ll, ll, ptr_i64,
         ]
+        self._suite.restype = ctypes.c_int
+        self._suite.argtypes = [
+            ptr_i32, ll, ll, ptr_i64, ll, ptr_i64, ptr_i64, ll, ll, ptr_i64,
+        ]
+        self._openmp.restype = ctypes.c_int
+        self._openmp.argtypes = []
+
+    @property
+    def openmp_threads(self) -> int:
+        """Worker threads an OpenMP build would use (0 = serial build)."""
+        return int(self._openmp())
 
     def run_in_order(
         self,
@@ -644,24 +1149,75 @@ class BatchedKernel:
             raise MemoryError("batched kernel allocation failure")
         return out
 
+    def run_suite(
+        self,
+        columns: np.ndarray,
+        jobs: np.ndarray,
+        lane_job: np.ndarray,
+        cons: np.ndarray,
+        nregs: int,
+        threads: int = 0,
+    ) -> np.ndarray:
+        """Every (job, depth) lane of a ragged batch in one call.
 
-_kernel: "BatchedKernel | None | bool" = False  # False = not yet resolved
+        ``columns`` is the concatenated ``(12, Σn)`` event tensor,
+        ``jobs`` the ``(njobs, JM_FIELDS)`` descriptor matrix (offsets,
+        machine scalars), ``lane_job`` the per-lane job index and
+        ``cons`` the per-lane constant rows; the output layout matches
+        :meth:`run_in_order`, one row per lane.
+        """
+        nlanes = cons.shape[0]
+        stride = columns.shape[1]
+        out = np.empty((nlanes, 4), dtype=np.int64)
+        rc = self._suite(
+            columns, stride, jobs.shape[0], jobs, nlanes, lane_job, cons,
+            nregs, threads, out,
+        )
+        if rc != 0:
+            raise MemoryError("suite kernel allocation failure")
+        return out
+
+
+# variant ("omp"/"serial") -> loaded kernel or None; absent = not resolved
+_kernels: "dict[str, BatchedKernel | None]" = {}
+
+#: Optimisation flags for the kernel build; part of the ``.so`` cache key
+#: so a flag change rebuilds instead of reusing a stale binary.
+_OPT_FLAGS = ("-O3",)
+
+
+def _load(variant: str) -> "BatchedKernel | None":
+    material = _SOURCE + "\x00" + " ".join(_OPT_FLAGS)
+    digest = hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+    directory = kernel_dir()
+    suffix = "-omp" if variant == "omp" else ""
+    so_path = directory / f"repro_ckernel_{digest}{suffix}.so"
+    if so_path.exists() or _compile(directory, so_path, openmp=variant == "omp"):
+        try:
+            return BatchedKernel(ctypes.CDLL(str(so_path)))
+        except (OSError, AttributeError) as exc:
+            logger.warning("batched kernel load failed: %s", exc)
+    return None
 
 
 def batched_kernel() -> "BatchedKernel | None":
-    """The compiled kernel, or None when disabled/unavailable (memoised)."""
-    global _kernel
-    if _kernel is not False:
-        return _kernel
-    _kernel = None
-    if kernel_enabled():
-        digest = hashlib.sha256(_SOURCE.encode("utf-8")).hexdigest()[:16]
-        directory = kernel_dir()
-        so_path = directory / f"repro_ckernel_{digest}.so"
-        if so_path.exists() or _compile(directory, so_path):
-            try:
-                _kernel = BatchedKernel(ctypes.CDLL(str(so_path)))
-            except (OSError, AttributeError) as exc:
-                logger.warning("batched kernel load failed: %s", exc)
-                _kernel = None
-    return _kernel
+    """The compiled kernel, or None when disabled/unavailable (memoised).
+
+    Two build variants exist: ``omp`` (compiled ``-fopenmp``, the default)
+    and ``serial`` (no OpenMP, selected by ``REPRO_KERNEL_OPENMP=off``
+    or when the toolchain lacks OpenMP support).  Both are loaded lazily
+    and memoised per variant; an ``omp`` build failure degrades to the
+    serial variant — same source, the parallel pragmas simply ignored.
+    """
+    if not kernel_enabled():
+        return None
+    variant = "omp" if kernel_openmp_enabled() else "serial"
+    if variant not in _kernels:
+        kernel = _load(variant)
+        if kernel is None and variant == "omp":
+            logger.info("OpenMP kernel build unavailable; using serial build")
+            if "serial" not in _kernels:
+                _kernels["serial"] = _load("serial")
+            kernel = _kernels["serial"]
+        _kernels[variant] = kernel
+    return _kernels[variant]

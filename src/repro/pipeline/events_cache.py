@@ -152,8 +152,163 @@ class TraceEventsCache:
         logger.debug("analysis cache write %s -> %s", key[:12], path)
         return path
 
+    # -- spec-keyed trace-fingerprint index ---------------------------------
+    # The trace generator is a pure function of (spec, length), so the
+    # trace fingerprint — the expensive part of *addressing* this cache —
+    # is itself cacheable.  The suite backend uses this index to resolve
+    # jobs straight to their analysis entries without materialising any
+    # trace; entries are one-line text files under <dir>/traces/.
+
+    @staticmethod
+    def trace_key_for(spec_fingerprint: str, trace_length: int) -> str:
+        """The index key for one (workload spec, trace length) pair."""
+        material = f"{spec_fingerprint}:{trace_length}:trace:{ANALYSIS_SCHEMA}"
+        return hashlib.sha256(material.encode("ascii")).hexdigest()
+
+    def trace_index_path(self, key: str) -> pathlib.Path:
+        if len(key) < 3 or not key.isalnum():
+            raise ValueError(f"implausible cache key {key!r}")
+        return self.directory / "traces" / key[:2] / f"{key}.txt"
+
+    def get_trace_fingerprint(
+        self, spec_fingerprint: str, trace_length: int
+    ) -> "str | None":
+        """The remembered trace fingerprint, or None (missing or corrupt)."""
+        path = self.trace_index_path(self.trace_key_for(spec_fingerprint, trace_length))
+        try:
+            fingerprint = path.read_text(encoding="ascii").strip()
+        except FileNotFoundError:
+            return None
+        except (OSError, UnicodeDecodeError) as exc:
+            logger.warning("discarding corrupt trace-index entry %s: %s", path, exc)
+            self.stats.corrupt += 1
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - unlikely race
+                pass
+            return None
+        if not fingerprint or not fingerprint.isalnum():
+            logger.warning("discarding implausible trace-index entry %s", path)
+            self.stats.corrupt += 1
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - unlikely race
+                pass
+            return None
+        return fingerprint
+
+    def put_trace_fingerprint(
+        self, spec_fingerprint: str, trace_length: int, trace_fingerprint: str
+    ) -> pathlib.Path:
+        """Atomically remember ``trace_fingerprint``; returns the entry path."""
+        path = self.trace_index_path(self.trace_key_for(spec_fingerprint, trace_length))
+        with atomic_replace(path, mode="w") as handle:
+            handle.write(trace_fingerprint + "\n")
+        return path
+
+    # -- packed suite tensor cache ------------------------------------------
+    # The suite backend prices a whole batch of jobs through one ragged
+    # tensor (:func:`repro.pipeline.suite.pack_suite`).  On a warm tier
+    # that tensor is itself a pure function of the batch's analysis
+    # entries, so it is memoised here as one flat binary file: a repeat
+    # suite run does a single read instead of one ``.npz`` load per job
+    # plus a multi-megabyte repack.  Layout (little-endian, validated on
+    # read): int64 header ``[njobs, total_n, n_scalars, 0]``, int64
+    # per-job column offsets, the int64 ``(njobs, n_scalars)`` scalar
+    # matrix (each row a :meth:`TraceEvents.to_arrays` scalar vector),
+    # then the concatenated int32 ``(12, total_n)`` column tensor.
+
+    _SUITE_HEADER_FIELDS = 4
+
+    @staticmethod
+    def suite_tensor_key(analysis_keys: "list[str] | tuple[str, ...]") -> str:
+        """The tensor key for one ordered batch of analysis entries."""
+        material = ":".join(analysis_keys) + f":suite-tensor:{ANALYSIS_SCHEMA}"
+        return hashlib.sha256(material.encode("ascii")).hexdigest()
+
+    def suite_tensor_path(self, key: str) -> pathlib.Path:
+        if len(key) < 3 or not key.isalnum():
+            raise ValueError(f"implausible cache key {key!r}")
+        return self.directory / "suite" / key[:2] / f"{key}.bin"
+
+    def get_suite_tensor(
+        self, key: str
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray] | None":
+        """``(columns, offsets, scalars)`` for one batch, or None.
+
+        The returned arrays are read-only views over one buffer:
+        ``columns`` is the concatenated ``(12, total_n)`` int32 tensor,
+        ``offsets`` the per-job int64 column offsets and ``scalars`` the
+        ``(njobs, n_scalars)`` int64 aggregate matrix.
+        """
+        path = self.suite_tensor_path(key)
+        try:
+            buf = path.read_bytes()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError as exc:
+            logger.warning("discarding corrupt suite tensor %s: %s", path, exc)
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - unlikely race
+                pass
+            return None
+        try:
+            nh = self._SUITE_HEADER_FIELDS
+            header = np.frombuffer(buf, dtype=np.int64, count=nh, offset=0)
+            njobs, total, n_scalars = (int(v) for v in header[:3])
+            if njobs < 0 or total < 0 or n_scalars < 1:
+                raise ValueError(f"implausible header {header.tolist()}")
+            offset = nh * 8
+            offsets = np.frombuffer(buf, np.int64, njobs, offset)
+            offset += njobs * 8
+            scalars = np.frombuffer(buf, np.int64, njobs * n_scalars, offset)
+            offset += njobs * n_scalars * 8
+            columns = np.frombuffer(buf, np.int32, 12 * total, offset)
+            if len(buf) != offset + 12 * total * 4:
+                raise ValueError(f"trailing bytes in {path}")
+        except ValueError as exc:
+            logger.warning("discarding corrupt suite tensor %s: %s", path, exc)
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - unlikely race
+                pass
+            return None
+        self.stats.hits += 1
+        logger.debug("suite tensor hit %s (%d jobs)", key[:12], njobs)
+        return (
+            columns.reshape(12, total),
+            offsets,
+            scalars.reshape(njobs, n_scalars),
+        )
+
+    def put_suite_tensor(
+        self, key: str, columns: np.ndarray, offsets: np.ndarray,
+        scalars: np.ndarray,
+    ) -> pathlib.Path:
+        """Atomically store one batch's packed tensor; returns the path."""
+        njobs, n_scalars = scalars.shape
+        header = np.array(
+            [njobs, columns.shape[1], n_scalars, 0], dtype=np.int64
+        )
+        path = self.suite_tensor_path(key)
+        with atomic_replace(path, mode="wb") as handle:
+            handle.write(header.tobytes())
+            handle.write(np.ascontiguousarray(offsets, np.int64).tobytes())
+            handle.write(np.ascontiguousarray(scalars, np.int64).tobytes())
+            handle.write(np.ascontiguousarray(columns, np.int32).tobytes())
+        self.stats.writes += 1
+        logger.debug("suite tensor write %s -> %s", key[:12], path)
+        return path
+
     def clear(self) -> int:
-        """Remove every cache entry; returns the number removed."""
+        """Remove every cache entry (analyses, the trace index and suite
+        tensors); returns the number of analysis entries removed."""
         removed = 0
         if not self.directory.exists():
             return removed
@@ -163,6 +318,12 @@ class TraceEventsCache:
                 removed += 1
             except OSError as exc:  # pragma: no cover - unlikely race
                 logger.warning("cache clear failed for %s: %s", entry, exc)
+        for pattern in ("traces/*/*.txt", "suite/*/*.bin"):
+            for entry in self.directory.glob(pattern):
+                try:
+                    entry.unlink()
+                except OSError as exc:  # pragma: no cover - unlikely race
+                    logger.warning("cache clear failed for %s: %s", entry, exc)
         return removed
 
     def __len__(self) -> int:

@@ -72,7 +72,7 @@ __all__ = [
     "simulate_fast",
 ]
 
-BACKENDS: Tuple[str, ...] = ("reference", "fast", "batched", "cycle")
+BACKENDS: Tuple[str, ...] = ("reference", "fast", "batched", "suite", "cycle")
 """Recognised simulation backend names."""
 
 DEFAULT_BACKEND = "reference"
@@ -82,6 +82,10 @@ ANALYSIS_SCHEMA = 1
 """Version of the :class:`TraceEvents` columnar layout.  Part of every
 on-disk analysis cache key, so changing the layout (column order, dtypes,
 aggregate set) invalidates stale entries by construction."""
+
+# Key order for the flat per-unit occupancy tuples `_unit_occupancy`
+# returns (Unit declaration order).
+_OCCUPANCY_UNITS: Tuple[Unit, ...] = tuple(Unit)
 
 _LOAD = OpClass.RX_LOAD.value
 _STORE = OpClass.RX_STORE.value
@@ -485,10 +489,16 @@ class FastPipelineSimulator:
         return tuple(self.simulate(trace, depth) for depth in depths)
 
     # -- result assembly ----------------------------------------------------
-    def _build_result(
-        self, trace, plan, cons, events, cycles, issue_cycles, occ_rename, occ_agenq,
-        occ_execq,
-    ) -> SimulationResult:
+    def _unit_occupancy(
+        self, cons, events, occ_rename, occ_agenq, occ_execq
+    ) -> "tuple[float, ...]":
+        """Per-unit occupancies as floats in :class:`Unit` declaration order.
+
+        Returned flat (not ``Unit``-keyed) so hot consumers — the suite
+        batch's record builder prices thousands of (job, depth) lanes per
+        run — can zip against their own key tuples instead of hashing
+        enum members; :meth:`_build_result` rebuilds the ``Unit`` mapping.
+        """
         n = events.n
         # Every occupancy term except the queue waits is closed-form in the
         # event counts; all are integer-valued, so the floats are exact.
@@ -507,18 +517,30 @@ class FastPipelineSimulator:
             + events.fpc_extra_sum
             + events.fpc_count * (cons.exec_latency - 1)
         )
-        occupancy = {
-            Unit.FETCH: float(occ_fetch),
-            Unit.DECODE: float(n * cons.decode_stages),
-            Unit.RENAME: float(occ_rename),
-            Unit.AGEN_QUEUE: float(occ_agenq),
-            Unit.AGEN: float(events.memory_ops * cons.agen_stages),
-            Unit.CACHE: float(occ_cache),
-            Unit.EXEC_QUEUE: float(occ_execq),
-            Unit.EXECUTE: float(occ_exec),
-            Unit.COMPLETE: float(n),
-            Unit.RETIRE: float(n),
-        }
+        return (
+            float(occ_fetch),
+            float(n * cons.decode_stages),
+            float(occ_rename),
+            float(occ_agenq),
+            float(events.memory_ops * cons.agen_stages),
+            float(occ_cache),
+            float(occ_execq),
+            float(occ_exec),
+            float(n),
+            float(n),
+        )
+
+    def _build_result(
+        self, trace, plan, cons, events, cycles, issue_cycles, occ_rename, occ_agenq,
+        occ_execq,
+    ) -> SimulationResult:
+        n = events.n
+        occupancy = dict(
+            zip(
+                _OCCUPANCY_UNITS,
+                self._unit_occupancy(cons, events, occ_rename, occ_agenq, occ_execq),
+            )
+        )
         return SimulationResult(
             trace_name=trace.name,
             plan=plan,
@@ -959,8 +981,11 @@ def make_simulator(
     """Instantiate the simulator for ``backend``.
 
     ``"reference"`` is the step-wise interpreter, ``"fast"`` this module's
-    kernel, ``"batched"`` the depth-batched kernel, ``"cycle"`` the
-    cycle-accurate state machine (:mod:`repro.pipeline.cycle`).
+    kernel, ``"batched"`` the depth-batched kernel, ``"suite"`` the
+    cross-job tensor kernel (:mod:`repro.pipeline.suite` — per-job it
+    behaves like ``batched``; the engine packs whole manifests of suite
+    jobs into one kernel call), ``"cycle"`` the cycle-accurate state
+    machine (:mod:`repro.pipeline.cycle`).
     ``events_cache`` (a
     :class:`~repro.pipeline.events_cache.TraceEventsCache` or None) is
     forwarded to the analysing backends; the reference interpreter has no
@@ -974,6 +999,10 @@ def make_simulator(
         from .batched import BatchedPipelineSimulator
 
         return BatchedPipelineSimulator(config, events_cache=events_cache)
+    if backend == "suite":
+        from .suite import SuitePipelineSimulator
+
+        return SuitePipelineSimulator(config, events_cache=events_cache)
     if backend == "cycle":
         from .cycle import CyclePipelineSimulator
 

@@ -1,0 +1,187 @@
+"""The suite backend: the whole (trace × machine × depth) grid in one call.
+
+The batched backend (:mod:`repro.pipeline.batched`) prices every depth of
+ONE (trace, machine) job per kernel entry, so a 55-workload headline run
+still crosses the Python/C boundary — and the engine's per-job dispatch
+machinery — 55 times.  This module removes that axis too: the columnar
+:class:`~repro.pipeline.fastsim.TraceEvents` of every job in a batch are
+packed side by side into one ragged tensor (concatenated ``(12, Σn)``
+int32 columns, per-job offset/machine descriptor rows, per-(job, depth)
+constant rows) and the full (trace × machine × depth) cross-product is
+priced by a single invocation of the C kernel's ``run_suite_batched``
+entry point — one ``omp parallel for`` over the flattened job×depth
+lanes when the kernel was built ``-fopenmp``, a plain serial loop
+otherwise.
+
+Lane independence is the same depth-independence argument the batched
+backend rests on, extended across jobs: a (job, depth) lane reads only
+its own job's column slice and its own scalar state, so the grid is
+embarrassingly parallel and the per-lane arithmetic is the exact
+``lanes == 1`` specialisation of the batched entry points.  Results are
+therefore bit-identical to ``batched`` (hence to ``fast`` and
+``reference``), enforced by ``repro validate-kernel --backend suite``
+and the hypothesis property tests in ``tests/pipeline/test_suite_kernel``.
+
+When the kernel is unavailable (no compiler, ``REPRO_KERNEL=off``) or a
+machine is wider than the kernel supports, callers fall back to the
+batched/fast per-job paths — identical results, no batching speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..isa import REGISTER_COUNT
+from ._ckernel import (
+    JM_AGEN_WIDTH,
+    JM_FIELDS,
+    JM_IN_ORDER,
+    JM_MEMORY_OPS,
+    JM_MSHR,
+    JM_N,
+    JM_OFFSET,
+    JM_ROB,
+    JM_WIDTH,
+    JM_WINDOW,
+    NCONST,
+    batched_kernel,
+    kernel_threads,
+)
+from .batched import _MAX_KERNEL_WIDTH, BatchedPipelineSimulator, _constants_matrix
+from .fastsim import TraceEvents
+from .simulator import MachineConfig
+from .timing import DepthConstants
+
+__all__ = [
+    "SuiteLanes",
+    "SuitePipelineSimulator",
+    "pack_suite",
+    "run_suite",
+    "simulate_suite",
+]
+
+
+@dataclass
+class SuiteLanes:
+    """One job's slice of the ragged suite tensor.
+
+    ``cons_list`` holds one :class:`DepthConstants` per requested depth;
+    the job contributes ``len(cons_list)`` lanes to the grid.
+    """
+
+    config: MachineConfig
+    events: TraceEvents
+    cons_list: List[DepthConstants]
+
+
+def pack_suite(jobs: Sequence[SuiteLanes], prepacked: "np.ndarray | None" = None):
+    """Assemble the ragged tensor for one kernel invocation.
+
+    Returns ``(columns, job_rows, lane_job, cons)``: the concatenated
+    ``(12, Σn)`` int32 event tensor, the ``(njobs, JM_FIELDS)`` int64
+    descriptor matrix, the per-lane job index vector and the per-lane
+    constant rows, in job submission order.
+
+    ``prepacked`` supplies an already-concatenated column tensor whose
+    job slices match ``jobs`` in order — e.g. the events cache's suite
+    tensor entry, or the tensor a previous :func:`pack_suite` call built
+    — and skips the per-job copy, the expensive part of packing.
+    """
+    total = sum(job.events.n for job in jobs)
+    if prepacked is not None:
+        if prepacked.shape != (12, total):
+            raise ValueError(
+                f"prepacked tensor shape {prepacked.shape} != (12, {total})"
+            )
+        columns = prepacked
+    else:
+        columns = np.empty((12, total), dtype=np.int32)
+    job_rows = np.zeros((len(jobs), JM_FIELDS), dtype=np.int64)
+    lane_job = np.empty(sum(len(job.cons_list) for job in jobs), dtype=np.int64)
+    cons_blocks = []
+    offset = 0
+    lane = 0
+    for index, job in enumerate(jobs):
+        events, cfg = job.events, job.config
+        if prepacked is None:
+            columns[:, offset : offset + events.n] = events.columns
+        row = job_rows[index]
+        row[JM_OFFSET] = offset
+        row[JM_N] = events.n
+        row[JM_WIDTH] = cfg.issue_width
+        row[JM_AGEN_WIDTH] = cfg.agen_width
+        row[JM_MSHR] = cfg.mshr_entries
+        row[JM_WINDOW] = cfg.issue_window
+        row[JM_ROB] = cfg.rob_size
+        row[JM_IN_ORDER] = int(cfg.in_order)
+        row[JM_MEMORY_OPS] = events.memory_ops
+        cons_blocks.append(_constants_matrix(job.cons_list, cfg.in_order))
+        lane_job[lane : lane + len(job.cons_list)] = index
+        lane += len(job.cons_list)
+        offset += events.n
+    if cons_blocks:
+        cons = np.ascontiguousarray(np.concatenate(cons_blocks, axis=0))
+    else:
+        cons = np.zeros((0, NCONST), dtype=np.int64)
+    return columns, job_rows, lane_job, cons
+
+
+def run_suite(
+    jobs: Sequence[SuiteLanes],
+    threads: "Optional[int]" = None,
+    prepacked: "np.ndarray | None" = None,
+) -> "Optional[List[np.ndarray]]":
+    """Price every job's depth lanes through one kernel call.
+
+    Returns one ``(len(cons_list), 4)`` raw-output matrix per job (the
+    batched kernel's ``(cycles, issue_cycles, agen_occ, exec_occ)`` rows),
+    or None when the kernel cannot run this batch (disabled, no compiler,
+    or a machine wider than the kernel supports) — callers then fall back
+    to the per-job batched/fast paths.  ``prepacked`` is forwarded to
+    :func:`pack_suite`.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    if any(job.config.issue_width > _MAX_KERNEL_WIDTH for job in jobs):
+        return None
+    kernel = batched_kernel()
+    if kernel is None:
+        return None
+    columns, job_rows, lane_job, cons = pack_suite(jobs, prepacked=prepacked)
+    if threads is None:
+        threads = kernel_threads()
+    out = kernel.run_suite(
+        columns, job_rows, lane_job, cons, REGISTER_COUNT, threads=threads
+    )
+    split: List[np.ndarray] = []
+    lane = 0
+    for job in jobs:
+        split.append(out[lane : lane + len(job.cons_list)])
+        lane += len(job.cons_list)
+    return split
+
+
+class SuitePipelineSimulator(BatchedPipelineSimulator):
+    """Per-job facade over the suite kernel.
+
+    A lone (trace, machine) sweep is a one-job ragged batch, so this
+    simulator exists mostly to give ``backend="suite"`` the same
+    simulator-shaped surface every other backend has (serving, fuzzing,
+    ``validate-kernel``); the cross-job win comes from the engine
+    scheduler packing many jobs into one :func:`run_suite` call via
+    :func:`repro.engine.worker.execute_suite_batch`.  Falls back exactly
+    like the batched backend when the kernel cannot run.
+    """
+
+    def _run_batched(self, events: TraceEvents, cons_list: List[DepthConstants]):
+        raw = run_suite([SuiteLanes(self.config, events, cons_list)])
+        return None if raw is None else raw[0]
+
+
+def simulate_suite(trace, depth, config=None):
+    """Module-level convenience wrapper around :class:`SuitePipelineSimulator`."""
+    return SuitePipelineSimulator(config).simulate(trace, depth)

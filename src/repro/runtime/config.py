@@ -55,6 +55,8 @@ __all__ = [
     "default_kernel_dir",
     "default_search_state_dir",
     "kernel_enabled",
+    "kernel_openmp_enabled",
+    "kernel_threads",
     "reset_config",
     "set_config",
     "use_config",
@@ -108,6 +110,11 @@ class RuntimeConfig:
         kernel: whether the compiled C timing kernel may be built/loaded.
         kernel_dir: compiled-kernel cache directory (None derives
             ``~/.cache/repro/kernel``).
+        kernel_openmp: whether the kernel may be built ``-fopenmp``; off
+            forces the serial build (the suite backend then prices its
+            lanes sequentially — identical results, no parallelism).
+        kernel_threads: OpenMP threads for suite kernel calls (0 lets
+            the OpenMP runtime pick, typically one per core).
         jobs: default engine worker-process count for batch runs.
         engine_timeout: seconds to wait for one engine job's result
             (parallel mode only; None disables).
@@ -165,6 +172,8 @@ class RuntimeConfig:
     analysis_cache_dir: "str | None" = None
     kernel: bool = True
     kernel_dir: "str | None" = None
+    kernel_openmp: bool = True
+    kernel_threads: int = 0
     # -- engine -------------------------------------------------------------
     jobs: int = 1
     engine_timeout: "float | None" = None
@@ -225,6 +234,7 @@ class RuntimeConfig:
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1, got {getattr(self, name)!r}")
         for name in (
+            "kernel_threads",
             "port",
             "queue_limit",
             "memory_entries",
@@ -455,6 +465,8 @@ ENV_VARS: Dict[str, tuple] = {
     "analysis_cache_dir": ("REPRO_ANALYSIS_CACHE_DIR", lambda raw: raw or None),
     "kernel": ("REPRO_KERNEL", _parse_on_off),
     "kernel_dir": ("REPRO_KERNEL_DIR", lambda raw: raw or None),
+    "kernel_openmp": ("REPRO_KERNEL_OPENMP", _parse_on_off),
+    "kernel_threads": ("REPRO_KERNEL_THREADS", int),
     "jobs": ("REPRO_JOBS", int),
     "engine_timeout": (
         "REPRO_ENGINE_TIMEOUT",
@@ -547,6 +559,8 @@ def _export_environ(config: RuntimeConfig) -> None:
     os.environ["REPRO_KERNEL"] = "on" if config.kernel else "off"
     if config.kernel_dir:
         os.environ["REPRO_KERNEL_DIR"] = str(config.kernel_dir)
+    os.environ["REPRO_KERNEL_OPENMP"] = "on" if config.kernel_openmp else "off"
+    os.environ["REPRO_KERNEL_THREADS"] = str(config.kernel_threads)
 
 
 # -- module-level accessors (the delegation targets for the old call sites) --
@@ -587,3 +601,13 @@ def analysis_cache_enabled() -> bool:
 def kernel_enabled() -> bool:
     """Whether the active config allows compiling/loading the C kernel."""
     return current_config().kernel
+
+
+def kernel_openmp_enabled() -> bool:
+    """Whether the active config allows the OpenMP kernel build."""
+    return current_config().kernel_openmp
+
+
+def kernel_threads() -> int:
+    """The configured OpenMP thread count for suite kernel calls."""
+    return current_config().kernel_threads

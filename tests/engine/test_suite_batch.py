@@ -1,0 +1,180 @@
+"""Engine-level suite dispatch: batching, caching, tensor reuse, retries.
+
+The scheduler routes ``backend="suite"`` misses through one
+:func:`~repro.engine.worker.execute_suite_batch` call.  These tests pin
+the engine-visible contract: suite payloads equal the per-job batched
+engine's, a fully cache-hit run never touches the C kernel, the packed
+suite tensor is stored on the first batch and reused (no per-job ``.npz``
+loads) on the next, corrupt tensors degrade to a re-pack, and the batch
+retries as a unit.
+"""
+
+import numpy as np
+import pytest
+
+import repro.engine.worker as worker_mod
+import repro.pipeline._ckernel as ckernel_mod
+from repro.engine import EngineConfig, ExecutionEngine, SimJob
+from repro.engine.serialize import result_to_dict
+from repro.engine.worker import execute_suite_batch
+from repro.pipeline.events_cache import TraceEventsCache
+from repro.runtime.resolver import Resolver
+from repro.trace import get_workload, small_suite
+
+DEPTHS = (2, 5, 9)
+LENGTH = 600
+
+
+def suite_engine(tmp_path, name="cache", events=None, **overrides):
+    cache_dir = tmp_path / name
+    resolver = Resolver(
+        cache_dir=cache_dir,
+        memory_entries=0,
+        events_cache=events if events is not None else TraceEventsCache(tmp_path / "events"),
+    )
+    config = EngineConfig(cache_dir=cache_dir, **overrides)
+    return ExecutionEngine(config, resolver=resolver)
+
+
+def suite_jobs(backend="suite", specs=None):
+    specs = specs if specs is not None else small_suite(1)
+    return [
+        SimJob(spec, DEPTHS, trace_length=LENGTH, backend=backend)
+        for spec in specs
+    ]
+
+
+def payload_dicts(job_result):
+    return [result_to_dict(r) for r in job_result.results]
+
+
+class TestSuiteDispatch:
+    def test_suite_engine_matches_batched_engine(self, tmp_path):
+        batched = suite_engine(tmp_path, "batched-cache").run(suite_jobs("batched"))
+        suite = suite_engine(tmp_path, "suite-cache").run(suite_jobs("suite"))
+        assert len(batched) == len(suite)
+        for b, s in zip(batched, suite):
+            assert payload_dicts(b) == payload_dicts(s)
+
+    def test_mixed_backend_run(self, tmp_path):
+        spec = get_workload("gzip")
+        jobs = [
+            SimJob(spec, DEPTHS, trace_length=LENGTH, backend="suite"),
+            SimJob(spec, DEPTHS, trace_length=LENGTH, backend="batched"),
+        ]
+        results = suite_engine(tmp_path).run(jobs)
+        assert [r.job.backend for r in results] == ["suite", "batched"]
+        assert payload_dicts(results[0]) == payload_dicts(results[1])
+
+    def test_report_accounting_cold_then_warm(self, tmp_path):
+        jobs = suite_jobs()
+        events = TraceEventsCache(tmp_path / "events")
+        cold = suite_engine(tmp_path, events=events)
+        cold.run(jobs)
+        assert cold.report.executed == len(jobs)
+        assert cold.report.cache_hits == 0
+        warm = suite_engine(tmp_path, events=events)
+        warm.run(jobs)
+        assert warm.report.executed == 0
+        assert warm.report.cache_hits == len(jobs)
+
+
+class TestWarmRunNeverLoadsKernel:
+    def test_fully_cached_run_skips_batch_and_kernel(self, tmp_path, monkeypatch):
+        jobs = suite_jobs()
+        events = TraceEventsCache(tmp_path / "events")
+        cold = suite_engine(tmp_path, events=events)
+        expected = [payload_dicts(r) for r in cold.run(jobs)]
+
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("a fully cache-hit run reached the kernel path")
+
+        monkeypatch.setattr(worker_mod, "execute_suite_batch", boom)
+        monkeypatch.setattr(ckernel_mod, "batched_kernel", boom)
+        warm = suite_engine(tmp_path, events=events)
+        results = warm.run(jobs)
+        assert all(r.cache_hit for r in results)
+        assert [payload_dicts(r) for r in results] == expected
+
+
+class TestSuiteTensorCache:
+    def test_cold_batch_stores_tensor_warm_batch_reads_it(
+        self, tmp_path, monkeypatch
+    ):
+        jobs = suite_jobs(specs=small_suite(2))
+        events = TraceEventsCache(tmp_path / "events")
+        cold = execute_suite_batch(jobs, events_cache=events)
+        tensors = list((tmp_path / "events" / "suite").glob("*/*.bin"))
+        assert len(tensors) == 1
+
+        # The warm batch must resolve through the tensor, not per-job .npz
+        # loads — make any analysis load a hard failure.
+        def no_npz(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("tensor-warm batch loaded a per-job analysis")
+
+        monkeypatch.setattr(events, "get", no_npz)
+        warm = execute_suite_batch(jobs, events_cache=events)
+        assert warm == cold
+
+    def test_corrupt_tensor_degrades_to_repack(self, tmp_path):
+        jobs = suite_jobs(specs=small_suite(2))
+        events = TraceEventsCache(tmp_path / "events")
+        cold = execute_suite_batch(jobs, events_cache=events)
+        [tensor] = (tmp_path / "events" / "suite").glob("*/*.bin")
+        tensor.write_bytes(b"not a tensor")
+        again = execute_suite_batch(jobs, events_cache=events)
+        assert again == cold
+        assert events.stats.corrupt >= 1
+        # The unusable entry was dropped and rewritten by the re-pack.
+        [rewritten] = (tmp_path / "events" / "suite").glob("*/*.bin")
+        assert rewritten.read_bytes() != b"not a tensor"
+
+    def test_tensor_key_is_order_sensitive(self, tmp_path):
+        events = TraceEventsCache(tmp_path / "events")
+        keys = ["a" * 64, "b" * 64]
+        assert events.suite_tensor_key(keys) != events.suite_tensor_key(keys[::-1])
+
+    def test_tensor_roundtrip_and_clear(self, tmp_path):
+        events = TraceEventsCache(tmp_path / "events")
+        columns = np.arange(24, dtype=np.int32).reshape(12, 2)
+        offsets = np.array([0, 1], dtype=np.int64)
+        scalars = np.ones((2, 14), dtype=np.int64)
+        key = events.suite_tensor_key(["x" * 64, "y" * 64])
+        events.put_suite_tensor(key, columns, offsets, scalars)
+        got = events.get_suite_tensor(key)
+        assert got is not None
+        for expected, actual in zip((columns, offsets, scalars), got):
+            assert np.array_equal(expected, actual)
+        events.clear()  # removes suite tensors alongside analyses
+        assert events.get_suite_tensor(key) is None
+        assert not any((tmp_path / "events" / "suite").glob("*/*.bin"))
+
+
+class TestRetries:
+    def test_batch_retries_as_a_unit(self, tmp_path, monkeypatch):
+        jobs = suite_jobs()
+        calls = {"n": 0}
+        real = worker_mod.execute_suite_batch
+
+        def flaky(batch, events_cache=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient batch failure")
+            return real(batch, events_cache=events_cache)
+
+        monkeypatch.setattr(worker_mod, "execute_suite_batch", flaky)
+        engine = suite_engine(tmp_path, retries=1)
+        results = engine.run(jobs)
+        assert calls["n"] == 2
+        assert all(r.attempts == 2 for r in results)
+
+    def test_exhausted_retries_raise(self, tmp_path, monkeypatch):
+        from repro.engine import JobExecutionError
+
+        def always_fails(batch, events_cache=None):
+            raise RuntimeError("permanent batch failure")
+
+        monkeypatch.setattr(worker_mod, "execute_suite_batch", always_fails)
+        engine = suite_engine(tmp_path, retries=1)
+        with pytest.raises(JobExecutionError):
+            engine.run(suite_jobs())

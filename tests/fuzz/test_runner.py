@@ -21,7 +21,7 @@ from repro.fuzz import (
 )
 from repro.fuzz.runner import MIN_TRACE_LENGTH, _simulate
 
-ALL_BACKENDS = ("reference", "fast", "batched", "cycle")
+ALL_BACKENDS = ("reference", "fast", "batched", "suite", "cycle")
 
 
 def _faulty(probe, backend, trace_length, depths):

@@ -1,0 +1,269 @@
+"""The suite backend: many (trace, machine) jobs in one ragged kernel call.
+
+These tests pin the cross-job contract from the same three directions the
+batched tests use — hypothesis-driven equivalence (random job sets,
+random machines, random depth sets: every lane of a suite batch equals
+the batched and fast backends field for field), the fallbacks (kernel
+off, machines wider than the kernel), and the lane-independence argument
+that makes cross-job packing legal (a job priced alone, or duplicated,
+or run under a different thread count, prices identically).  The packed
+tensor's ``prepacked`` shortcut is validated here too, since the engine's
+suite tensor cache rides on it.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import OpClass
+from repro.pipeline import suite as suite_mod
+from repro.pipeline._ckernel import JM_N, JM_OFFSET, batched_kernel
+from repro.pipeline.batched import BatchedPipelineSimulator
+from repro.pipeline.fastsim import FastPipelineSimulator
+from repro.pipeline.plan import StagePlan
+from repro.pipeline.simulator import MachineConfig
+from repro.pipeline.suite import (
+    SuiteLanes,
+    SuitePipelineSimulator,
+    pack_suite,
+    run_suite,
+)
+from repro.pipeline.timing import DepthConstants
+from repro.trace import WorkloadClass, WorkloadSpec, generate_trace
+
+MIXES = st.sampled_from([
+    # (rr, load, store, rxalu, branch, fp, complex)
+    (0.4, 0.15, 0.1, 0.15, 0.15, 0.03, 0.02),
+    (0.2, 0.2, 0.1, 0.2, 0.25, 0.03, 0.02),
+    (0.25, 0.2, 0.1, 0.05, 0.05, 0.3, 0.05),
+])
+
+
+def _build_spec(mix, seed):
+    classes = (OpClass.RR_ALU, OpClass.RX_LOAD, OpClass.RX_STORE, OpClass.RX_ALU,
+               OpClass.BRANCH, OpClass.FP, OpClass.COMPLEX)
+    return WorkloadSpec(
+        name=f"suite-fuzz-{seed}",
+        workload_class=WorkloadClass.MODERN,
+        mix=dict(zip(classes, mix)),
+        branch_sites=128,
+        branch_bias=0.85,
+        taken_rate=0.6,
+        data_working_set=128 * 1024,
+        data_locality=0.9,
+        code_footprint=32 * 1024,
+        dependency_distance=4.0,
+        pointer_chase=0.1,
+        seed=seed,
+    )
+
+
+@st.composite
+def machine_configs(draw):
+    return MachineConfig(
+        issue_width=draw(st.integers(1, 6)),
+        agen_width=draw(st.integers(1, 3)),
+        in_order=draw(st.booleans()),
+        predictor_kind=draw(
+            st.sampled_from(["gshare", "bimodal", "taken", "oracle"])
+        ),
+        mshr_entries=draw(st.sampled_from([1, 4])),
+        btb_entries=draw(st.sampled_from([None, 64])),
+        issue_window=draw(st.sampled_from([8, 32])),
+        rob_size=draw(st.sampled_from([24, 64])),
+        warmup=draw(st.booleans()),
+    )
+
+
+@st.composite
+def suite_batches(draw):
+    """A heterogeneous batch: each job its own trace, machine and depths."""
+    entries = []
+    for _ in range(draw(st.integers(1, 4))):
+        spec = _build_spec(draw(MIXES), draw(st.integers(0, 2**16)))
+        machine = draw(machine_configs())
+        depths = tuple(sorted(draw(
+            st.sets(st.integers(2, 30), min_size=1, max_size=4)
+        )))
+        entries.append((spec, machine, depths))
+    return entries
+
+
+def _assert_equal(reference, candidate, context):
+    for field in dataclasses.fields(reference):
+        a = getattr(reference, field.name)
+        b = getattr(candidate, field.name)
+        assert a == b, f"{context}: field {field.name!r} diverges: {a!r} != {b!r}"
+
+
+def _price_batch(cases, threads=None, prepacked=None):
+    """Results for ``[(machine, trace, depths), ...]`` via one suite call.
+
+    Returns None when the kernel cannot run the batch (mirrors
+    :func:`run_suite`); otherwise one result tuple per job.
+    """
+    lanes, sims = [], []
+    for machine, trace, depths in cases:
+        sim = SuitePipelineSimulator(machine)
+        events = sim.events_for(trace)
+        cons_list = [
+            DepthConstants.for_plan(machine, StagePlan.for_depth(depth))
+            for depth in depths
+        ]
+        lanes.append(SuiteLanes(machine, events, cons_list))
+        sims.append(sim)
+    raw_all = run_suite(lanes, threads=threads, prepacked=prepacked)
+    if raw_all is None:
+        return None
+    out = []
+    for (machine, trace, depths), sim, lane, raw in zip(cases, sims, lanes, raw_all):
+        events = lane.events
+        occ_rename = 0 if machine.in_order else events.n
+        out.append(tuple(
+            sim._build_result(
+                trace, StagePlan.for_depth(depth), cons, events,
+                int(cycles), int(issue_cycles), occ_rename,
+                int(occ_agenq), int(occ_execq),
+            )
+            for depth, cons, (cycles, issue_cycles, occ_agenq, occ_execq)
+            in zip(depths, lane.cons_list, raw)
+        ))
+    return out
+
+
+needs_kernel = pytest.mark.skipif(
+    batched_kernel() is None, reason="C kernel unavailable"
+)
+
+
+class TestCrossJobProperty:
+    @needs_kernel
+    @given(entries=suite_batches())
+    @settings(max_examples=15, deadline=None)
+    def test_suite_equals_batched_equals_fast(self, entries):
+        """Every lane of a random batch agrees with the per-job backends."""
+        cases = [
+            (machine, generate_trace(spec, 300), depths)
+            for spec, machine, depths in entries
+        ]
+        suite_results = _price_batch(cases)
+        assert suite_results is not None
+        for (machine, trace, depths), priced in zip(cases, suite_results):
+            fast = FastPipelineSimulator(machine).simulate_depths(trace, depths)
+            batched = BatchedPipelineSimulator(machine).simulate_depths(trace, depths)
+            for depth, s, f, b in zip(depths, priced, fast, batched):
+                context = f"{machine!r} depth={depth}"
+                _assert_equal(f, s, f"suite-vs-fast {context}")
+                _assert_equal(b, s, f"suite-vs-batched {context}")
+
+    @needs_kernel
+    @given(entries=suite_batches())
+    @settings(max_examples=10, deadline=None)
+    def test_job_independence(self, entries):
+        """A job priced alone equals the same job inside any batch."""
+        cases = [
+            (machine, generate_trace(spec, 250), depths)
+            for spec, machine, depths in entries
+        ]
+        together = _price_batch(cases)
+        assert together is not None
+        for case, priced in zip(cases, together):
+            [alone] = _price_batch([case])
+            assert list(alone) == list(priced)
+
+
+@needs_kernel
+def test_duplicate_jobs_price_identically(modern_trace):
+    """The same job twice in one batch yields two identical lanes."""
+    machine = MachineConfig()
+    case = (machine, modern_trace, (2, 7, 15))
+    first, second = _price_batch([case, case])
+    assert list(first) == list(second)
+
+
+@needs_kernel
+def test_more_lanes_than_threads(modern_trace):
+    """Thread count never changes results — lanes are independent."""
+    cases = [
+        (MachineConfig(), modern_trace, tuple(range(2, 12))),
+        (MachineConfig(in_order=True), modern_trace, tuple(range(2, 12))),
+    ]
+    serial = _price_batch(cases, threads=1)
+    wide = _price_batch(cases, threads=8)  # far more threads than cores
+    assert serial == wide
+
+
+@needs_kernel
+def test_prepacked_tensor_skips_copy(modern_trace):
+    """A prepacked column tensor round-trips bit-identically."""
+    machine = MachineConfig()
+    sim = SuitePipelineSimulator(machine)
+    events = sim.events_for(modern_trace)
+    cons_list = [
+        DepthConstants.for_plan(machine, StagePlan.for_depth(depth))
+        for depth in (3, 9)
+    ]
+    lanes = [SuiteLanes(machine, events, cons_list)] * 2
+    columns, job_rows, lane_job, cons = pack_suite(lanes)
+    repacked, job_rows2, lane_job2, cons2 = pack_suite(lanes, prepacked=columns)
+    assert repacked is columns  # the copy was skipped, not redone
+    assert np.array_equal(job_rows, job_rows2)
+    assert job_rows[1, JM_OFFSET] == events.n and job_rows[1, JM_N] == events.n
+    direct = run_suite(lanes)
+    via_prepacked = run_suite(lanes, prepacked=columns)
+    assert all(np.array_equal(a, b) for a, b in zip(direct, via_prepacked))
+
+
+def test_prepacked_shape_validated(modern_trace):
+    """A tensor that does not match the batch is rejected loudly."""
+    machine = MachineConfig()
+    sim = SuitePipelineSimulator(machine)
+    events = sim.events_for(modern_trace)
+    cons_list = [DepthConstants.for_plan(machine, StagePlan.for_depth(4))]
+    lanes = [SuiteLanes(machine, events, cons_list)]
+    wrong = np.zeros((12, events.n + 1), dtype=np.int32)
+    with pytest.raises(ValueError, match="prepacked"):
+        pack_suite(lanes, prepacked=wrong)
+
+
+def test_kernel_off_returns_none_and_simulator_falls_back(
+    modern_trace, monkeypatch
+):
+    """Without the kernel, run_suite declines and the facade still prices."""
+    machine = MachineConfig()
+    depths = (2, 6, 11)
+    expected = FastPipelineSimulator(machine).simulate_depths(modern_trace, depths)
+    monkeypatch.setattr(suite_mod, "batched_kernel", lambda: None)
+    sim = SuitePipelineSimulator(machine)
+    events = sim.events_for(modern_trace)
+    cons_list = [
+        DepthConstants.for_plan(machine, StagePlan.for_depth(d)) for d in depths
+    ]
+    assert run_suite([SuiteLanes(machine, events, cons_list)]) is None
+    fallback = sim.simulate_depths(modern_trace, depths)
+    assert list(fallback) == list(expected)
+
+
+def test_wide_machine_declines_whole_batch(modern_trace):
+    """One lane beyond the kernel's width makes run_suite decline."""
+    narrow = MachineConfig()
+    wide = MachineConfig(issue_width=300)
+    lanes = []
+    for machine in (narrow, wide):
+        sim = SuitePipelineSimulator(machine)
+        lanes.append(SuiteLanes(
+            machine,
+            sim.events_for(modern_trace),
+            [DepthConstants.for_plan(machine, StagePlan.for_depth(5))],
+        ))
+    assert run_suite(lanes) is None
+    # The facade still prices the wide machine via the reference fallback.
+    results = SuitePipelineSimulator(wide).simulate_depths(modern_trace, (4, 12))
+    assert len(results) == 2
+
+
+def test_empty_batch():
+    assert run_suite([]) == []
