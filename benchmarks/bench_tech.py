@@ -1,0 +1,250 @@
+"""Technology-node axis acceptance: throughput and optimum shift.
+
+Runs the Fig. 10 (depth x node) grid on the ``suite`` backend and checks
+the two claims the technology axis makes (see ``docs/TECH.md``):
+
+* **base-node identity** — the ``cmos-hp-45`` row of the grid is
+  bit-identical (same cubic-fit optimum, float for float) to a plain
+  sweep that never mentions a node: the axis is a no-op until you leave
+  the base node;
+* **the axis matters** — at least one leakage-dominated node (LP CMOS,
+  deeply scaled HP) moves the suite-mean BIPS^3/W optimum by a
+  non-trivial margin relative to base, in the deeper direction the
+  paper's Fig. 8 leakage argument predicts;
+
+and records the grid's dispatch throughput (depth points per second
+through the suite kernel) against a conservative floor so a regression
+that de-vectorises the node-scaled path fails loudly.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_tech.py --benchmark-only`` — the recorded
+  run; writes ``benchmarks/results/tech.txt`` + ``tech.json``.
+* ``python benchmarks/bench_tech.py [--quick]`` — the CI smoke gate;
+  ``--quick`` shrinks the grid, appending to
+  ``benchmarks/results/tech_ci.txt`` (+ ``tech_ci.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.analysis.optimum import optimum_from_sweep
+from repro.analysis.sweep import run_depth_sweeps
+from repro.experiments import fig10_technodes
+from repro.tech import BASE_NODE, get_node
+from repro.trace import get_workload
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+WORKLOADS: Tuple[str, ...] = ("gcc95", "oltp-bank")
+NODES: Tuple[str, ...] = fig10_technodes.DEFAULT_NODES
+DEPTHS: Tuple[int, ...] = tuple(range(2, 26))
+TRACE_LENGTH = 8000
+M = 3.0
+
+QUICK_WORKLOADS: Tuple[str, ...] = ("gcc95",)
+QUICK_DEPTHS: Tuple[int, ...] = tuple(range(2, 26, 2))
+QUICK_TRACE_LENGTH = 3000
+
+DISPATCH_FLOOR = 2.0
+"""Minimum (depth x node x workload) points per second through the suite
+kernel — set ~10x below a cold serial run on a modest container so only a
+real slowdown (not machine noise) can cross it."""
+
+SHIFT_FLOOR = 0.5
+"""Minimum optimum-depth shift (stages) some non-base node must show."""
+
+
+@dataclass(frozen=True)
+class TechBenchResult:
+    workloads: Tuple[str, ...]
+    nodes: Tuple[str, ...]
+    depths: Tuple[int, ...]
+    trace_length: int
+    grid_seconds: float
+    figure: fig10_technodes.Fig10Data
+    base_optima: Tuple[Tuple[str, float], ...]  # node-less plain sweep
+    base_identical: bool
+
+    @property
+    def depth_points(self) -> int:
+        return len(self.nodes) * len(self.workloads) * len(self.depths)
+
+    @property
+    def dispatch_rate(self) -> float:
+        return self.depth_points / self.grid_seconds
+
+    @property
+    def best_shift(self) -> Tuple[str, float]:
+        """(node, shift) of the largest move away from the base optimum."""
+        base = self.figure.base_row.mean_depth
+        row = max(
+            (r for r in self.figure.rows if r.node != BASE_NODE),
+            key=lambda r: abs(r.mean_depth - base),
+        )
+        return row.node, row.mean_depth - base
+
+    def as_json(self) -> dict:
+        node, shift = self.best_shift
+        return {
+            "workloads": list(self.workloads),
+            "nodes": list(self.nodes),
+            "depths": list(self.depths),
+            "trace_length": self.trace_length,
+            "grid_seconds": self.grid_seconds,
+            "depth_points": self.depth_points,
+            "dispatch_rate": self.dispatch_rate,
+            "dispatch_floor": DISPATCH_FLOOR,
+            "base_identical": self.base_identical,
+            "best_shift_node": node,
+            "best_shift_stages": shift,
+            "shift_floor": SHIFT_FLOOR,
+            "optima": {
+                row.node: {
+                    "mean_depth": row.mean_depth,
+                    "leakage_share": row.leakage_share,
+                    "fo4_per_stage": row.fo4_per_stage,
+                    "per_workload": dict(row.optima),
+                }
+                for row in self.figure.rows
+            },
+        }
+
+
+def measure(
+    workloads: Sequence[str] = WORKLOADS,
+    nodes: Sequence[str] = NODES,
+    depths: Sequence[int] = DEPTHS,
+    trace_length: int = TRACE_LENGTH,
+) -> TechBenchResult:
+    """Time the (depth x node) grid and cross-check the base-node row."""
+    started = time.perf_counter()
+    figure = fig10_technodes.run(
+        workloads=workloads, nodes=nodes, depths=depths,
+        trace_length=trace_length, m=M, backend="suite",
+    )
+    grid_seconds = time.perf_counter() - started
+
+    # The same sweep with no node anywhere in sight: machine=None, the
+    # pre-tech code path.  Optima must match the base row float-for-float.
+    specs = tuple(get_workload(name) for name in workloads)
+    plain = run_depth_sweeps(
+        specs, depths=tuple(depths), trace_length=trace_length, backend="suite"
+    )
+    base_optima = tuple(
+        (spec.name, float(optimum_from_sweep(sweep, M, gated=True).depth))
+        for spec, sweep in zip(specs, plain)
+    )
+    return TechBenchResult(
+        workloads=tuple(str(w) for w in workloads),
+        nodes=tuple(str(n) for n in nodes),
+        depths=tuple(int(d) for d in depths),
+        trace_length=trace_length,
+        grid_seconds=grid_seconds,
+        figure=figure,
+        base_optima=base_optima,
+        base_identical=base_optima == figure.base_row.optima,
+    )
+
+
+def format_result(result: TechBenchResult) -> str:
+    node, shift = result.best_shift
+    lines = [
+        f"Technology-node axis — {len(result.nodes)} nodes x "
+        f"{len(result.workloads)} workloads x {len(result.depths)} depths "
+        f"({result.trace_length} instructions, suite kernel)",
+        f"  grid wall time    : {result.grid_seconds:7.1f} s "
+        f"({result.dispatch_rate:.1f} depth-points/s, floor {DISPATCH_FLOOR:g})",
+        f"  base-node identity: "
+        f"{'PASS' if result.base_identical else 'FAIL'} "
+        f"({BASE_NODE} row == node-less sweep, float for float)",
+        f"  largest shift     : {node} {shift:+.2f} stages "
+        f"(static x{get_node(node).static_scale:g}; floor {SHIFT_FLOOR:g})",
+    ]
+    lines.append(fig10_technodes.format_table(result.figure))
+    return "\n".join(lines)
+
+
+def check(result: TechBenchResult) -> Tuple[str, ...]:
+    """The assertions both entry points share; returns failure lines."""
+    failures = []
+    if not result.base_identical:
+        failures.append(
+            f"base-node row diverged from the node-less sweep: "
+            f"{result.figure.base_row.optima} != {result.base_optima}"
+        )
+    _node, shift = result.best_shift
+    if abs(shift) < SHIFT_FLOOR:
+        failures.append(
+            f"no node moved the optimum by >= {SHIFT_FLOOR} stages "
+            f"(best {shift:+.2f})"
+        )
+    if result.dispatch_rate < DISPATCH_FLOOR:
+        failures.append(
+            f"suite-kernel dispatch {result.dispatch_rate:.2f} "
+            f"depth-points/s below floor {DISPATCH_FLOOR:g}"
+        )
+    return tuple(failures)
+
+
+def test_tech_axis(benchmark, record_table):
+    """Recorded run: base row identical, optimum moves, dispatch above floor."""
+    from conftest import run_once
+
+    result = run_once(benchmark, measure)
+    record_table("tech", format_result(result), data=result.as_json())
+    failures = check(result)
+    assert not failures, "\n".join(failures)
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    from conftest import write_json_record
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: one workload, even depths, shorter trace",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        result = measure(
+            workloads=QUICK_WORKLOADS,
+            depths=QUICK_DEPTHS,
+            trace_length=QUICK_TRACE_LENGTH,
+        )
+        name = "tech_ci"
+    else:
+        result = measure()
+        name = "tech"
+
+    table = format_result(result)
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+    with (RESULTS_DIR / f"{name}.txt").open("a", encoding="utf-8") as handle:
+        handle.write(f"[{stamp}] {table}\n")
+    write_json_record(name, table, data=result.as_json())
+
+    failures = check(result)
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    node, shift = result.best_shift
+    print(
+        f"PASS: base row identical, {node} moves the optimum {shift:+.2f} "
+        f"stages, {result.dispatch_rate:.1f} depth-points/s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,6 @@ Quickstart::
 
 from . import core
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = ["core", "__version__"]

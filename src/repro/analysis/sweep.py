@@ -23,6 +23,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from .. import tech
 from ..core.metric import MetricFamily
 from ..pipeline.fastsim import DEFAULT_BACKEND, make_simulator
 from ..pipeline.results import SimulationResult
@@ -59,8 +60,12 @@ class DepthSweep:
         depths: simulated depths, ascending.
         results: one :class:`SimulationResult` per depth.
         reports: one :class:`PowerReport` per depth.
-        power_model: the (leakage-calibrated) unit power model used.
+        power_model: the (leakage-calibrated, node-scaled) unit power
+            model used.
         reference_depth: the depth used for calibration and extraction.
+        tech_node: the :mod:`repro.tech` node the power accounting was
+            scaled to (the results themselves carry node-scaled timing
+            via their :class:`~repro.core.params.TechnologyParams`).
     """
 
     spec: "WorkloadSpec | None"
@@ -70,6 +75,7 @@ class DepthSweep:
     reports: Tuple[PowerReport, ...]
     power_model: UnitPowerModel
     reference_depth: int
+    tech_node: str = tech.BASE_NODE
 
     def __post_init__(self) -> None:
         if len(self.depths) != len(self.results) or len(self.depths) != len(self.reports):
@@ -127,6 +133,7 @@ def sweep_from_results(
     power_model: UnitPowerModel | None = None,
     leakage_fraction: "float | None" = 0.15,
     reference_depth: int = 8,
+    tech_node: str = tech.BASE_NODE,
 ) -> DepthSweep:
     """Assemble a :class:`DepthSweep` from already-simulated results.
 
@@ -144,6 +151,12 @@ def sweep_from_results(
             keep the model's own leakage (e.g. after a suite-global
             calibration).
         reference_depth: calibration/extraction anchor.
+        tech_node: the :mod:`repro.tech` node the results were simulated
+            at (i.e. ``machine.tech_node``).  Power accounting calibrates
+            leakage exactly as at the base node and *then* applies the
+            node's dynamic/leakage scale factors, so the base node is a
+            bit-identical no-op while an LP or deeply scaled node shifts
+            the leakage share — and with it the BIPS^m/W optimum.
     """
     depths = tuple(int(d) for d in depths)
     if reference_depth not in depths:
@@ -162,6 +175,7 @@ def sweep_from_results(
     if leakage_fraction is not None:
         reference = results[depths.index(reference_depth)]
         model = calibrate_unit_leakage(model, reference, leakage_fraction, gated=True)
+    model = tech.get_node(tech_node).scale_unit_power(model)
     return DepthSweep(
         spec=spec,
         trace_name=results[0].trace_name,
@@ -170,6 +184,7 @@ def sweep_from_results(
         reports=tuple(power_report(result, model) for result in results),
         power_model=model,
         reference_depth=reference_depth,
+        tech_node=tech_node,
     )
 
 
@@ -239,6 +254,7 @@ def run_depth_sweep(
         power_model=power_model,
         leakage_fraction=leakage_fraction,
         reference_depth=reference_depth,
+        tech_node=machine.tech_node if machine is not None else tech.BASE_NODE,
     )
 
 
@@ -282,6 +298,7 @@ def run_depth_sweeps(
             specs, depths, trace_length=trace_length, machine=machine, backend=backend
         )
     )
+    tech_node = machine.tech_node if machine is not None else tech.BASE_NODE
     sweeps: List[DepthSweep] = []
     for spec, job_result in zip(specs, job_results):
         sweeps.append(
@@ -292,6 +309,7 @@ def run_depth_sweeps(
                 power_model=power_model,
                 leakage_fraction=leakage_fraction,
                 reference_depth=reference_depth,
+                tech_node=tech_node,
             )
         )
     return tuple(sweeps)

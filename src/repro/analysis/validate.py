@@ -214,6 +214,7 @@ def validate_kernel(
     reference_depth: int = 8,
     metric: float = 3.0,
     backends: "Sequence[str] | None" = None,
+    tech_node: "str | None" = None,
 ) -> ValidationReport:
     """Run every candidate backend over the validation grid and compare.
 
@@ -232,6 +233,10 @@ def validate_kernel(
             (default: every non-reference backend — ``fast`` and
             ``batched``).  ``points`` counts (workload, machine, depth)
             grid points; every point is checked under every backend.
+        tech_node: when set, every grid machine is re-noded at this
+            :mod:`repro.tech` node (``repro validate-kernel
+            --tech-node``), so the cross-backend contract is exercised
+            away from the base node's constants too.
     """
     from .optimum import optimum_from_sweep
     from .sweep import sweep_from_results
@@ -243,6 +248,11 @@ def validate_kernel(
     machines = dict(machines) if machines is not None else dict(
         default_machine_grid(small)
     )
+    if tech_node is not None:
+        machines = {
+            label: MachineConfig.for_node(tech_node, machine)
+            for label, machine in machines.items()
+        }
     trace_length = trace_length or (1500 if small else 4000)
     if reference_depth not in depths:
         raise ValueError(
@@ -274,6 +284,7 @@ def validate_kernel(
                 sweep_from_results(
                     reference_results, depths, spec=spec,
                     reference_depth=reference_depth,
+                    tech_node=machine.tech_node,
                 ),
                 metric,
             ).depth
@@ -297,6 +308,7 @@ def validate_kernel(
                     sweep_from_results(
                         list(candidate_results), depths, spec=spec,
                         reference_depth=reference_depth,
+                        tech_node=machine.tech_node,
                     ),
                     metric,
                 ).depth

@@ -6,7 +6,10 @@ Commands:
 * ``sweep``     — simulate one workload across depths; table, chart, CSV.
 * ``simulate``  — one workload at one depth; characterisation summary.
 * ``validate-kernel`` — cross-validate the fast/batched kernels vs the
-  reference.
+  reference (``--tech-node`` re-nodes the whole machine grid).
+* ``tech``      — inspect the :mod:`repro.tech` technology-node registry
+  (``tech list`` / ``tech show NODE``); ``sweep``/``simulate`` take
+  ``--tech-node`` and the daemon accepts a ``tech_node`` request field.
 * ``plan``      — draw the Fig. 2 pipeline at a given depth.
 * ``workloads`` — list the 55-workload suite.
 * ``characterize`` — the suite characterisation table.
@@ -155,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("-m", "--metric", type=float, default=3.0)
     sweep.add_argument("--ungated", action="store_true", help="report un-gated power")
     sweep.add_argument("--out-of-order", action="store_true")
+    sweep.add_argument(
+        "--tech-node", type=str, default=None, metavar="NODE",
+        help="technology node (see 'repro tech list'; default: "
+        "$REPRO_TECH_NODE or the base node)",
+    )
     sweep.add_argument("--csv", type=str, default=None, help="write sweep data to CSV")
     sweep.add_argument("--no-chart", action="store_true")
     _add_engine_flags(sweep)
@@ -164,6 +172,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--depth", type=int, default=8)
     simulate.add_argument("--length", type=int, default=8000)
     simulate.add_argument("--out-of-order", action="store_true")
+    simulate.add_argument(
+        "--tech-node", type=str, default=None, metavar="NODE",
+        help="technology node (see 'repro tech list')",
+    )
     from .pipeline.fastsim import BACKENDS
 
     simulate.add_argument(
@@ -192,6 +204,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="candidate backend to validate; repeatable "
         "(default: every non-reference backend)",
     )
+    validate.add_argument(
+        "--tech-node", type=str, default=None, metavar="NODE",
+        help="re-node the whole machine grid at this technology node "
+        "(see 'repro tech list')",
+    )
+
+    tech_cmd = sub.add_parser(
+        "tech", help="inspect the technology-node registry (repro.tech)"
+    )
+    tech_sub = tech_cmd.add_subparsers(dest="tech_command", required=True)
+    tech_sub.add_parser("list", help="every registered node and its scale factors")
+    tech_show = tech_sub.add_parser(
+        "show", help="one node's factors and derived machine constants"
+    )
+    tech_show.add_argument("node", help="node name, e.g. cmos-lp-22")
 
     plan = sub.add_parser("plan", help="draw the pipeline at a given depth")
     plan.add_argument("--depth", type=int, default=None,
@@ -395,10 +422,14 @@ def _cmd_sweep(args) -> int:
     from .analysis import optimum_from_sweep, run_depth_sweep, theory_fit_from_sweep
     from .pipeline import MachineConfig
     from .report import Series, line_chart, sweep_rows, write_csv
+    from .runtime import current_config
     from .trace import get_workload
 
     spec = get_workload(args.workload)
-    machine = MachineConfig(in_order=not args.out_of_order)
+    machine = MachineConfig.for_node(
+        args.tech_node or current_config().tech_node,
+        MachineConfig(in_order=not args.out_of_order),
+    )
     sweep = run_depth_sweep(
         spec, trace_length=args.length, machine=machine, engine=_engine(args),
         backend=args.backend,
@@ -410,7 +441,8 @@ def _cmd_sweep(args) -> int:
 
     label = "BIPS" if np.isinf(args.metric) else f"BIPS^{args.metric:g}/W"
     print(f"{args.workload}: {label}, {'gated' if gated else 'un-gated'}, "
-          f"{'out-of-order' if args.out_of_order else 'in-order'}")
+          f"{'out-of-order' if args.out_of_order else 'in-order'}, "
+          f"{machine.tech_node}")
     print(f"  cubic-fit optimum : {estimate.depth:.1f} stages "
           f"({estimate.fo4_per_stage:.1f} FO4/stage, {estimate.method})")
     print(f"  theory optimum    : {theory.optimum.depth:.1f} stages "
@@ -442,7 +474,11 @@ def _cmd_simulate(args) -> int:
     from .trace import get_workload
 
     spec = get_workload(args.workload)
-    machine = MachineConfig(in_order=not args.out_of_order)
+    config = current_config()
+    machine = MachineConfig.for_node(
+        args.tech_node or config.tech_node,
+        MachineConfig(in_order=not args.out_of_order),
+    )
     job = SimJob(
         spec=spec,
         depths=(args.depth,),
@@ -450,7 +486,6 @@ def _cmd_simulate(args) -> int:
         machine=machine,
         backend=args.backend,
     )
-    config = current_config()
     if args.no_cache:
         config = config.with_values(cache_dir=None, analysis_cache=False)
     resolver = Resolver(config=config)
@@ -749,9 +784,40 @@ def _cmd_validate_kernel(args) -> int:
     report = validate_kernel(
         small=args.small, trace_length=args.length,
         backends=tuple(args.backend) if args.backend else None,
+        tech_node=args.tech_node,
     )
     print(format_report(report))
     return 0 if report.passed else 1
+
+
+def _cmd_tech(args) -> int:
+    from .pipeline import MachineConfig
+    from .tech import DEFAULT_TECH_MODEL, get_node
+
+    if args.tech_command == "list":
+        print(f"{'node':14s} {'family':6s} {'nm':>4s} "
+              f"{'freq':>6s} {'dyn':>6s} {'leak':>7s}  description")
+        for node in DEFAULT_TECH_MODEL.nodes:
+            marker = "*" if node.name == DEFAULT_TECH_MODEL.base else " "
+            print(f"{node.name:14s} {node.family:6s} {node.feature_nm:4d} "
+                  f"{node.freq_scale:6.2f} {node.dynamic_scale:6.2f} "
+                  f"{node.static_scale:7.3f} {marker} {node.description}")
+        print("(* = base node; factors are relative to it)")
+        return 0
+    node = get_node(args.node)
+    machine = MachineConfig.for_node(node.name)
+    print(f"{node.name}: {node.description}")
+    print(f"  family/variant : {node.family}-{node.variant} @ {node.feature_nm} nm")
+    print(f"  freq_scale     : {node.freq_scale:g}  (logic delays / this)")
+    print(f"  dynamic_scale  : {node.dynamic_scale:g}  (per-latch P_d x this)")
+    print(f"  static_scale   : {node.static_scale:g}  (per-latch P_l x this)")
+    print(f"  t_p            : {machine.technology.total_logic_depth:.2f} base-FO4")
+    print(f"  t_o            : {machine.technology.latch_overhead:.3f} base-FO4")
+    print(f"  alu logic      : {machine.alu_logic_fo4:.2f} base-FO4")
+    print(f"  branch resolve : {machine.branch_resolve_fo4:.2f} base-FO4")
+    print(f"  t_s @ depth 8  : {machine.technology.cycle_time(8):.2f} base-FO4 "
+          "(miss latencies stay absolute)")
+    return 0
 
 
 def _cmd_characterize(args) -> int:
@@ -783,6 +849,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "simulate": _cmd_simulate,
     "validate-kernel": _cmd_validate_kernel,
+    "tech": _cmd_tech,
     "plan": _cmd_plan,
     "workloads": _cmd_workloads,
     "characterize": _cmd_characterize,

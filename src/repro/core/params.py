@@ -118,6 +118,18 @@ class TechnologyParams:
             )
         return self.total_logic_depth / (fo4 - self.latch_overhead)
 
+    @classmethod
+    def for_node(cls, node: str) -> "TechnologyParams":
+        """The paper's ``t_p``/``t_o`` scaled to a :mod:`repro.tech` node.
+
+        Delays stay in base-node FO4 equivalents: a node with
+        ``freq_scale`` 1.15 yields ``t_p = 140 / 1.15``.  At the base
+        node this returns the stock constants unchanged.
+        """
+        from .. import tech  # lazy: core must stay importable without repro.tech
+
+        return tech.get_node(node).scale_technology(cls())
+
 
 @dataclass(frozen=True)
 class WorkloadParams:
@@ -294,6 +306,14 @@ class PowerParams:
         """A copy with a different per-latch leakage power (Fig. 8 sweeps)."""
         return replace(self, leakage_per_latch=leakage_per_latch)
 
+    @classmethod
+    def for_node(cls, node: str) -> "PowerParams":
+        """``P_d``/``P_l`` scaled to a :mod:`repro.tech` node (identity at
+        the base node)."""
+        from .. import tech  # lazy: core must stay importable without repro.tech
+
+        return tech.get_node(node).scale_power_params(cls())
+
 
 DEFAULT_TECHNOLOGY = TechnologyParams()
 DEFAULT_WORKLOAD = WorkloadParams(name="typical")
@@ -323,3 +343,13 @@ class DesignSpace:
 
     def with_technology(self, technology: TechnologyParams) -> "DesignSpace":
         return replace(self, technology=technology)
+
+    @classmethod
+    def for_node(cls, node: str, workload: "WorkloadParams | None" = None) -> "DesignSpace":
+        """A design space whose technology and power constants sit at a
+        :mod:`repro.tech` node (the stock space at the base node)."""
+        return cls(
+            technology=TechnologyParams.for_node(node),
+            workload=DEFAULT_WORKLOAD if workload is None else workload,
+            power=PowerParams.for_node(node),
+        )

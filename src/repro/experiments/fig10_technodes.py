@@ -1,0 +1,186 @@
+"""Figure 10 (extension): the optimum depth across technology nodes.
+
+The paper fixes one technology (Fig. 2's FO4 budgets, 15 % leakage) and
+sweeps depth.  This experiment adds the second axis: every workload is
+re-swept at each :mod:`repro.tech` node, whose frequency scaling shrinks
+the logic FO4 budgets (memory latency stays absolute) and whose
+dynamic/static factors re-weight the calibrated power split.  Two forces
+move the BIPS^m/W optimum away from the base node:
+
+* **Leakage share** — a node whose static power grows faster than its
+  dynamic power shrinks (scaled CMOS HP, and LP most of all) pays for
+  depth mostly in always-on latch leakage, which by the paper's Fig. 8
+  argument favours *deeper* pipelines.
+* **Relative memory latency** — a slower clock (LP, TFET) spends fewer
+  cycles per cache miss, flattening the hazard term and again allowing
+  more stages.
+
+The table reports, per node, the suite-mean cubic-fit optimum and the
+calibrated leakage share; the chart overlays one geometric-mean metric
+curve per node.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .. import tech
+from ..analysis.optimum import optimum_from_sweep
+from ..analysis.sweep import DEFAULT_DEPTHS, run_depth_sweeps
+from ..pipeline.fastsim import DEFAULT_BACKEND
+from ..pipeline.simulator import MachineConfig
+from ..trace.suite import get_workload
+
+__all__ = ["Fig10Data", "NodeOptimum", "run", "format_table", "DEFAULT_NODES"]
+
+DEFAULT_NODES: Tuple[str, ...] = (
+    "cmos-hp-45",
+    "cmos-hp-32",
+    "cmos-hp-16",
+    "cmos-lp-22",
+    "cmos-lp-16",
+    "tfet-homo-22",
+)
+"""One column per family: scaled HP, leakage-bound LP, low-leakage TFET."""
+
+
+@dataclass(frozen=True)
+class NodeOptimum:
+    """One row of the (depth x node) optimum surface.
+
+    Attributes:
+        node: :mod:`repro.tech` node name.
+        leakage_share: calibrated leakage fraction of gated power at the
+            reference depth (suite mean).
+        optima: per-workload ``(name, cubic-fit optimum depth)``.
+        mean_depth: suite-mean optimum depth.
+        fo4_per_stage: node-scaled cycle time at the mean optimum.
+        curve: geometric-mean metric across workloads per swept depth,
+            normalised to its own peak (the chart series).
+    """
+
+    node: str
+    leakage_share: float
+    optima: Tuple[Tuple[str, float], ...]
+    mean_depth: float
+    fo4_per_stage: float
+    curve: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class Fig10Data:
+    workloads: Tuple[str, ...]
+    depths: Tuple[int, ...]
+    m: float
+    rows: Tuple[NodeOptimum, ...]
+
+    @property
+    def base_row(self) -> NodeOptimum:
+        for row in self.rows:
+            if row.node == tech.BASE_NODE:
+                return row
+        raise ValueError(f"no {tech.BASE_NODE} row in figure data")
+
+
+def run(
+    workloads: Sequence[str] = ("gcc95", "oltp-bank"),
+    nodes: Sequence[str] = DEFAULT_NODES,
+    depths: Sequence[int] = DEFAULT_DEPTHS,
+    trace_length: int = 8000,
+    m: float = 3.0,
+    reference_depth: int = 8,
+    engine=None,
+    backend: str = DEFAULT_BACKEND,
+) -> Fig10Data:
+    """Sweep each workload at every node and extract the per-node optimum.
+
+    Each (node, workload) pair is one ordinary engine job — the node is
+    baked into the machine fingerprint, so rows share nothing and the
+    base-node row is bit-identical to a plain :func:`run_depth_sweeps`.
+    """
+    specs = tuple(get_workload(name) for name in workloads)
+    depths = tuple(int(d) for d in depths)
+    rows = []
+    for node in nodes:
+        machine = MachineConfig.for_node(node)
+        sweeps = run_depth_sweeps(
+            specs, depths=depths, trace_length=trace_length, machine=machine,
+            reference_depth=reference_depth, engine=engine, backend=backend,
+        )
+        optima = tuple(
+            (spec.name, float(optimum_from_sweep(sweep, m, gated=True).depth))
+            for spec, sweep in zip(specs, sweeps)
+        )
+        mean_depth = sum(depth for _, depth in optima) / len(optima)
+        shares = [
+            sweep.reports[depths.index(reference_depth)].leakage_fraction(True)
+            for sweep in sweeps
+        ]
+        log_sum = np.zeros(len(depths))
+        for sweep in sweeps:
+            log_sum += np.log(sweep.metric(m, gated=True))
+        curve = np.exp(log_sum / len(sweeps))
+        rows.append(
+            NodeOptimum(
+                node=node,
+                leakage_share=sum(shares) / len(shares),
+                optima=optima,
+                mean_depth=mean_depth,
+                fo4_per_stage=float(
+                    sweeps[0].reference.technology.fo4_per_stage(mean_depth)
+                ),
+                curve=tuple(float(v) for v in curve / curve.max()),
+            )
+        )
+    return Fig10Data(
+        workloads=tuple(str(name) for name in workloads),
+        depths=depths,
+        m=float(m),
+        rows=tuple(rows),
+    )
+
+
+def format_chart(data: Fig10Data) -> str:
+    """Overlay the per-node geometric-mean metric curves (the figure)."""
+    from ..report import Series, line_chart
+
+    depths = np.asarray(data.depths, dtype=float)
+    series = [
+        Series(row.node, depths, np.asarray(row.curve)) for row in data.rows
+    ]
+    return line_chart(
+        series,
+        title=f"Fig. 10 — BIPS^{data.m:g}/W vs depth across technology nodes",
+    )
+
+
+def format_table(data: Fig10Data) -> str:
+    base = data.base_row
+    lines = [
+        f"Fig. 10 — optimum depth by technology node "
+        f"(BIPS^{data.m:g}/W, gated; {', '.join(data.workloads)})"
+    ]
+    for row in data.rows:
+        shift = row.mean_depth - base.mean_depth
+        lines.append(
+            f"  {row.node:14s} leakage {row.leakage_share:4.0%}  ->  optimum "
+            f"{row.mean_depth:5.2f} stages ({row.fo4_per_stage:5.1f} FO4/stage, "
+            f"{shift:+.2f} vs base)"
+        )
+    moved = max(
+        (row for row in data.rows if row.node != base.node),
+        key=lambda row: abs(row.mean_depth - base.mean_depth),
+        default=None,
+    )
+    if moved is not None:
+        lines.append(
+            f"  largest shift: {moved.node} "
+            f"({moved.mean_depth - base.mean_depth:+.2f} stages; "
+            f"node axis moves the optimum: "
+            f"{not math.isclose(moved.mean_depth, base.mean_depth, abs_tol=0.25)})"
+        )
+    return "\n".join(lines)

@@ -39,6 +39,7 @@ from . import (
     fig7_by_class,
     fig8_leakage,
     fig9_gamma,
+    fig10_technodes,
     headline,
 )
 
@@ -322,6 +323,16 @@ def run_all(
                 fig9_gamma,
                 fig9_gamma.run(
                     trace_length=trace_length, engine=engine, backend=backend
+                ),
+            ),
+        ),
+        (
+            "fig10",
+            lambda: _with_chart(
+                fig10_technodes,
+                fig10_technodes.run(
+                    depths=depths, trace_length=trace_length,
+                    engine=engine, backend=backend,
                 ),
             ),
         ),

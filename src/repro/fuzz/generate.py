@@ -27,6 +27,7 @@ from ..fingerprint import fingerprint_digest
 from ..isa import OpClass
 from ..pipeline.plan import MAX_DEPTH, MIN_DEPTH
 from ..pipeline.simulator import MachineConfig
+from ..tech import node_names
 from ..trace.spec import WorkloadClass, WorkloadSpec
 from ..uarch.cache import CacheConfig
 
@@ -35,6 +36,7 @@ __all__ = ["FuzzProbe", "probe_digest", "probe_for"]
 _WORKLOAD_CLASSES = tuple(WorkloadClass)
 _OP_CLASSES = tuple(OpClass)
 _PREDICTOR_KINDS = ("gshare", "bimodal", "taken", "oracle")
+_TECH_NODES = node_names()
 
 
 @dataclass(frozen=True)
@@ -110,7 +112,7 @@ def _sample_cache(rng: random.Random, latency_lo: float, latency_hi: float) -> C
 
 def _sample_machine(rng: random.Random) -> MachineConfig:
     issue_width = rng.randrange(2, 7)
-    return MachineConfig(
+    machine = MachineConfig(
         issue_width=issue_width,
         agen_width=rng.randrange(1, min(3, issue_width) + 1),
         icache=_sample_cache(rng, 40.0, 160.0),
@@ -125,6 +127,13 @@ def _sample_machine(rng: random.Random) -> MachineConfig:
         mshr_entries=rng.randrange(1, 5),
         btb_entries=None if rng.random() < 0.5 else 1 << rng.randrange(6, 11),
     )
+    # Half the probes leave the base node (every backend must agree at
+    # every node); re-noding scales the sampled FO4 constants in place.
+    if rng.random() < 0.5:
+        machine = MachineConfig.for_node(
+            _TECH_NODES[rng.randrange(len(_TECH_NODES))], machine
+        )
+    return machine
 
 
 def probe_for(seed: int, index: int) -> FuzzProbe:

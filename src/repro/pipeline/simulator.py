@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import tech
 from ..core.params import TechnologyParams
 from ..isa import NO_REGISTER, REGISTER_COUNT, OpClass
 from ..trace.trace import Trace
@@ -118,6 +119,15 @@ class MachineConfig:
             for a perfect BTB (the calibration default).  With a finite
             BTB, a predicted-taken branch whose target misses pays a
             front-end redirect bubble of the fetch+decode depth.
+        tech_node: the technology node (see :mod:`repro.tech`) this
+            machine's logic constants are expressed at.  Build scaled
+            machines with :meth:`for_node` — the node name is a
+            *provenance label* that enters the machine fingerprint (and
+            therefore every cache key), while the scaled constants
+            themselves live in ``technology`` / ``alu_logic_fo4`` /
+            ``branch_resolve_fo4``.  Cache miss latencies stay in
+            absolute base-node FO4: memory does not ride the logic
+            curve, so faster nodes pay more cycles per miss.
     """
 
     technology: TechnologyParams = field(default_factory=TechnologyParams)
@@ -139,6 +149,18 @@ class MachineConfig:
     rob_size: int = 64
     mshr_entries: int = 1
     btb_entries: "int | None" = None
+    tech_node: str = tech.BASE_NODE
+
+    @classmethod
+    def for_node(cls, node: str, base: "MachineConfig | None" = None) -> "MachineConfig":
+        """``base`` (default: the stock machine) re-noded at ``node``.
+
+        Scaling is relative to ``base.tech_node``, so chaining
+        ``for_node`` calls never compounds factors.
+        """
+        if base is None:
+            base = cls()
+        return tech.get_node(node).apply(base)
 
     def __post_init__(self) -> None:
         if self.issue_width < 1:
@@ -154,6 +176,7 @@ class MachineConfig:
         if self.btb_entries is not None:
             BranchTargetBuffer(self.btb_entries)  # validate
         _make_predictor(self.predictor_kind, self.predictor_entries)  # validate
+        tech.get_node(self.tech_node)  # validate
 
 
 class PipelineSimulator:

@@ -124,6 +124,8 @@ class RuntimeConfig:
         port: daemon bind port (0 lets the OS pick).
         backend: default simulation backend for requests that do not name
             one.
+        tech_node: default :mod:`repro.tech` technology node for requests
+            and CLI runs that do not name one (``REPRO_TECH_NODE``).
         executor: ``"thread"`` or ``"process"`` — where daemon cache
             misses are computed.
         workers: daemon executor worker count.
@@ -183,6 +185,7 @@ class RuntimeConfig:
     host: str = "127.0.0.1"
     port: int = 8023
     backend: str = "fast"
+    tech_node: str = "cmos-hp-45"
     executor: str = "thread"
     workers: int = 4
     concurrency: int = 4
@@ -217,6 +220,9 @@ class RuntimeConfig:
 
         if self.backend not in BACKENDS:
             raise ValueError(f"unknown backend {self.backend!r}; choose from {BACKENDS}")
+        from .. import tech  # lazy: keeps runtime import-light
+
+        tech.get_node(self.tech_node)  # validate
         if self.executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {self.executor!r}; choose from {EXECUTORS}"
@@ -477,6 +483,7 @@ ENV_VARS: Dict[str, tuple] = {
     "host": (SERVICE_ENV_PREFIX + "HOST", str),
     "port": (SERVICE_ENV_PREFIX + "PORT", int),
     "backend": (SERVICE_ENV_PREFIX + "BACKEND", str),
+    "tech_node": ("REPRO_TECH_NODE", str),
     "executor": (SERVICE_ENV_PREFIX + "EXECUTOR", str),
     "workers": (SERVICE_ENV_PREFIX + "WORKERS", int),
     "concurrency": (SERVICE_ENV_PREFIX + "CONCURRENCY", int),

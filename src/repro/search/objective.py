@@ -70,6 +70,10 @@ def _in_order(overrides: dict, value) -> None:
     overrides["in_order"] = bool(value)
 
 
+def _tech_node(overrides: dict, value) -> None:
+    overrides["tech_node"] = str(value)
+
+
 PARAMETERS: Dict[str, object] = {
     # machine widths and structure sizes
     "issue_width": _int_field("issue_width"),
@@ -84,6 +88,10 @@ PARAMETERS: Dict[str, object] = {
     # technology constants (paper notation)
     "t_o": _tech_field("latch_overhead"),
     "t_p": _tech_field("total_logic_depth"),
+    # technology node (repro.tech): a Choice domain makes the search 2D
+    # (depth x node); t_o/t_p point overrides stay in base-node FO4 and
+    # the node's frequency scaling applies on top
+    "tech_node": _tech_node,
     # cache capacities, in KB
     "icache_kb": _cache_kb("icache"),
     "dcache_kb": _cache_kb("dcache"),
@@ -193,8 +201,12 @@ class Objective:
                 overrides[cache_name] = dataclasses.replace(
                     getattr(base, cache_name), size=size
                 )
+        tech_node = overrides.pop("tech_node", None)
         try:
-            return dataclasses.replace(base, **overrides)
+            machine = dataclasses.replace(base, **overrides)
+            if tech_node is not None:
+                machine = MachineConfig.for_node(tech_node, machine)
+            return machine
         except ValueError as exc:
             raise ObjectiveError(f"invalid point {point!r}: {exc}") from exc
 
@@ -230,6 +242,7 @@ class Objective:
                 f"{len(job_results)} results for {len(self.workloads)} workloads"
             )
         exponent = self.exponent_for(point)
+        tech_node = self.machine_for(point).tech_node
         log_sum = [0.0] * len(self.depths)
         for name, job_result in zip(self.workloads, job_results):
             sweep = sweep_from_results(
@@ -237,6 +250,7 @@ class Objective:
                 self.depths,
                 spec=get_workload(name),
                 reference_depth=self.reference_depth,
+                tech_node=tech_node,
             )
             for index, value in enumerate(sweep.metric(exponent, self.gated)):
                 if value <= 0.0:

@@ -299,7 +299,7 @@ def job_from_request(
         raise BadRequest("request body must be a JSON object")
     known = {
         "workload", "depths", "length", "backend", "out_of_order",
-        "m", "gated", "reference_depth",
+        "m", "gated", "reference_depth", "tech_node",
     }
     unknown = set(body) - known
     if unknown:
@@ -333,7 +333,14 @@ def job_from_request(
     if backend not in BACKENDS:
         raise BadRequest(f"unknown backend {backend!r}; choose from {BACKENDS}")
 
-    machine = MachineConfig(in_order=not bool(body.get("out_of_order", False)))
+    tech_node = body.get("tech_node", config.tech_node)
+    try:
+        machine = MachineConfig.for_node(
+            tech_node,
+            MachineConfig(in_order=not bool(body.get("out_of_order", False))),
+        )
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(str(exc)) from None
     try:
         job = SimJob(
             spec=spec,
@@ -368,7 +375,11 @@ def _sweep_for(job: SimJob, resolution: Resolution, params: RequestParams):
         # unreachable, but a poisoned payload must not 500 forever.
         raise BadRequest(f"stored payload failed validation: {exc}") from exc
     return sweep_from_results(
-        results, job.depths, spec=job.spec, reference_depth=params.reference_depth
+        results,
+        job.depths,
+        spec=job.spec,
+        reference_depth=params.reference_depth,
+        tech_node=job.machine.tech_node,
     )
 
 
@@ -376,6 +387,7 @@ def _base_response(job: SimJob, resolution: Resolution, params: RequestParams) -
     return {
         "workload": job.name,
         "backend": job.backend,
+        "tech_node": job.machine.tech_node,
         "depths": list(job.depths),
         "length": job.trace_length,
         "m": "inf" if np.isinf(params.m) else params.m,

@@ -1,0 +1,300 @@
+"""Technology-node models: the constants spine of the whole system.
+
+The paper answers the optimum-depth question at one fixed technology
+point — ``t_o``/``t_p`` in FO4 and the per-latch power factors ``P_d``/
+``P_l`` are scalars.  This module turns that point into an *axis*: a
+:class:`TechNode` carries per-node scale factors for nominal frequency,
+per-latch dynamic energy and per-latch leakage, all **relative to the
+base node**, and a :class:`TechModel` is the named registry of nodes the
+rest of the system consumes.  The modelling style follows the lumos
+technology models (per-node frequency/dynamic/static scaling across
+45/32/22/16 nm, CMOS vs TFET, HP vs LP; see ``docs/TECH.md`` for the
+table and provenance): a node never *replaces* the paper's constants, it
+scales them, so the base node (:data:`BASE_NODE`, all factors 1.0) is
+bit-identical to the pre-technology-axis system by construction.
+
+How the factors land on the layers downstream:
+
+* **frequency** — logic gets faster, so every logic delay expressed in
+  base-node FO4 equivalents shrinks by ``1 / freq_scale``: ``t_o``,
+  ``t_p`` (:meth:`TechNode.scale_technology`) and the fixed logic delays
+  ``alu_logic_fo4`` / ``branch_resolve_fo4`` (:meth:`TechNode.apply`).
+  Cache/memory miss latencies deliberately do **not** scale — memory
+  does not ride the logic curve, so faster nodes pay *more cycles* per
+  miss, exactly the hazard-cost shape that bends the optimum;
+* **dynamic power** — ``P_d`` and the unit power model's
+  ``dynamic_per_latch`` scale by ``dynamic_scale``
+  (:meth:`TechNode.scale_power_params`, :meth:`TechNode.scale_unit_power`);
+* **leakage** — ``P_l`` / ``leakage_per_latch`` scale by
+  ``static_scale``.  Scaled-CMOS HP nodes grow leakage-dominated, LP
+  (near-threshold) operating points are leakage-dominated outright, and
+  TFET nodes are nearly leakage-free — three qualitatively different
+  regimes for the BIPS^m/W optimum.
+
+Everything is a frozen dataclass, so nodes and models are
+content-fingerprintable by :func:`repro.fingerprint.canonical_fingerprint`
+— a node name on a :class:`~repro.pipeline.simulator.MachineConfig`
+flows into every cache key in the system (engine result cache, trace
+analysis cache, suite tensor cache, search checkpoints) and two nodes
+can never alias.
+
+This module deliberately imports nothing from the simulation layers;
+scaling helpers operate structurally (``dataclasses.replace`` over the
+objects handed in), which keeps ``repro.tech`` importable from
+``core``/``power``/``pipeline`` alike without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "BASE_NODE",
+    "DEFAULT_TECH_MODEL",
+    "TechModel",
+    "TechModelError",
+    "TechNode",
+    "get_node",
+    "node_names",
+]
+
+BASE_NODE = "cmos-hp-45"
+"""The node whose scale factors are all 1.0: the paper's own constants."""
+
+
+class TechModelError(ValueError):
+    """An unknown node name or a physically meaningless node definition."""
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """One technology node's scale factors, relative to :data:`BASE_NODE`.
+
+    Attributes:
+        name: registry key, ``<family>-<variant>-<feature_nm>``.
+        family: device family — ``"cmos"`` or ``"tfet"``.
+        variant: operating flavour — ``"hp"`` (high performance), ``"lp"``
+            (low power / near-threshold) or ``"homo"`` (the homogeneous
+            TFET model).
+        feature_nm: drawn feature size in nanometres (a label; the
+            physics lives in the scale factors).
+        freq_scale: nominal clock relative to the base node.  Logic
+            delays in base-FO4 equivalents shrink by ``1 / freq_scale``.
+        dynamic_scale: per-latch dynamic switching energy relative to
+            the base node.
+        static_scale: per-latch leakage power relative to the base node.
+        description: one-line provenance note for ``repro tech`` output.
+    """
+
+    name: str
+    family: str
+    variant: str
+    feature_nm: int
+    freq_scale: float
+    dynamic_scale: float
+    static_scale: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("freq_scale", self.freq_scale),
+            ("dynamic_scale", self.dynamic_scale),
+        ):
+            if not value > 0.0:
+                raise TechModelError(f"{label} must be positive, got {value!r}")
+        if self.static_scale < 0.0:
+            raise TechModelError(
+                f"static_scale must be >= 0, got {self.static_scale!r}"
+            )
+        if self.feature_nm <= 0:
+            raise TechModelError(
+                f"feature_nm must be positive, got {self.feature_nm!r}"
+            )
+
+    @property
+    def is_base(self) -> bool:
+        """True when every scale factor is exactly 1.0 (identity node)."""
+        return (
+            self.freq_scale == 1.0
+            and self.dynamic_scale == 1.0
+            and self.static_scale == 1.0
+        )
+
+    # -- scaling -------------------------------------------------------------
+    def scale_logic_fo4(self, fo4: float) -> float:
+        """A logic delay in base-node FO4 equivalents at this node."""
+        return fo4 / self.freq_scale
+
+    def scale_technology(self, technology):
+        """``t_o`` and ``t_p`` scaled to this node (base-FO4 equivalents).
+
+        Accepts any object with ``total_logic_depth`` / ``latch_overhead``
+        fields (i.e. :class:`repro.core.params.TechnologyParams`).
+        """
+        if self.freq_scale == 1.0:
+            return technology
+        return dataclasses.replace(
+            technology,
+            total_logic_depth=technology.total_logic_depth / self.freq_scale,
+            latch_overhead=technology.latch_overhead / self.freq_scale,
+        )
+
+    def scale_power_params(self, power):
+        """``P_d`` / ``P_l`` scaled to this node (theory-side
+        :class:`repro.core.params.PowerParams`)."""
+        if self.dynamic_scale == 1.0 and self.static_scale == 1.0:
+            return power
+        return dataclasses.replace(
+            power,
+            dynamic_per_latch=power.dynamic_per_latch * self.dynamic_scale,
+            leakage_per_latch=power.leakage_per_latch * self.static_scale,
+        )
+
+    def scale_unit_power(self, model):
+        """The simulator-side :class:`repro.power.units.UnitPowerModel`
+        with this node's dynamic/leakage factors applied."""
+        if self.dynamic_scale == 1.0 and self.static_scale == 1.0:
+            return model
+        return dataclasses.replace(
+            model,
+            dynamic_per_latch=model.dynamic_per_latch * self.dynamic_scale,
+            leakage_per_latch=model.leakage_per_latch * self.static_scale,
+        )
+
+    def apply(self, machine):
+        """A :class:`~repro.pipeline.simulator.MachineConfig` re-noded here.
+
+        The machine's stored logic constants are expressed at its current
+        ``tech_node``; they are rescaled by the *relative* frequency
+        factor, so ``apply`` is idempotent at the same node and
+        ``b.apply(a.apply(m)) == b.apply(m)`` — re-noding never compounds.
+        Cache miss latencies stay in absolute base FO4 (memory does not
+        scale with logic).
+        """
+        current = get_node(machine.tech_node)
+        factor = self.freq_scale / current.freq_scale
+        if factor == 1.0:
+            return dataclasses.replace(machine, tech_node=self.name)
+        technology = dataclasses.replace(
+            machine.technology,
+            total_logic_depth=machine.technology.total_logic_depth / factor,
+            latch_overhead=machine.technology.latch_overhead / factor,
+        )
+        return dataclasses.replace(
+            machine,
+            tech_node=self.name,
+            technology=technology,
+            alu_logic_fo4=machine.alu_logic_fo4 / factor,
+            branch_resolve_fo4=machine.branch_resolve_fo4 / factor,
+        )
+
+
+@dataclass(frozen=True)
+class TechModel:
+    """A named, ordered registry of technology nodes.
+
+    The registry is content-fingerprintable (frozen dataclasses all the
+    way down); the base node must be present and must be the identity.
+    """
+
+    nodes: Tuple[TechNode, ...]
+    base: str = BASE_NODE
+
+    def __post_init__(self) -> None:
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            raise TechModelError(f"duplicate node names in {names}")
+        if self.base not in names:
+            raise TechModelError(f"base node {self.base!r} missing from registry")
+        if not self.get(self.base).is_base:
+            raise TechModelError(
+                f"base node {self.base!r} must have identity scale factors"
+            )
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(node.name for node in self.nodes)
+
+    def get(self, name: str) -> TechNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise TechModelError(
+            f"unknown technology node {name!r}; choose from {list(self.names())}"
+        )
+
+    @property
+    def base_node(self) -> TechNode:
+        return self.get(self.base)
+
+
+# The default registry.  Factors are lumos-style plausible-by-construction
+# inputs, not foundry claims (docs/TECH.md records the derivation): HP
+# CMOS rides the classic shrink (faster, lower switching energy, leakage
+# compounding ~1.45x per node), LP names the near-threshold operating
+# point of the same silicon (dynamic energy collapses quadratically with
+# voltage, leakage only linearly — leakage-dominated by construction),
+# and homogeneous TFETs trade clock for a ~30x leakage collapse.
+DEFAULT_TECH_MODEL = TechModel(
+    nodes=(
+        TechNode(
+            "cmos-hp-45", "cmos", "hp", 45, 1.0, 1.0, 1.0,
+            "base node: the paper's constants, unscaled",
+        ),
+        TechNode(
+            "cmos-hp-32", "cmos", "hp", 32, 1.15, 0.79, 1.45,
+            "one shrink: +15% clock, -21% CV^2, leakage x1.45",
+        ),
+        TechNode(
+            "cmos-hp-22", "cmos", "hp", 22, 1.27, 0.61, 2.10,
+            "two shrinks: leakage share passes dynamic at deep pipes",
+        ),
+        TechNode(
+            "cmos-hp-16", "cmos", "hp", 16, 1.36, 0.47, 3.00,
+            "three shrinks: leakage-dominated HP silicon",
+        ),
+        TechNode(
+            "cmos-lp-45", "cmos", "lp", 45, 0.48, 0.22, 0.62,
+            "near-threshold 45nm: half the clock, a fifth the energy",
+        ),
+        TechNode(
+            "cmos-lp-32", "cmos", "lp", 32, 0.55, 0.17, 0.90,
+            "near-threshold 32nm",
+        ),
+        TechNode(
+            "cmos-lp-22", "cmos", "lp", 22, 0.61, 0.13, 1.30,
+            "near-threshold 22nm: leakage-dominated outright",
+        ),
+        TechNode(
+            "cmos-lp-16", "cmos", "lp", 16, 0.65, 0.10, 1.86,
+            "near-threshold 16nm: leakage is most of the budget",
+        ),
+        TechNode(
+            "tfet-homo-30", "tfet", "homo", 30, 0.56, 0.18, 0.036,
+            "homogeneous TFET: slow clock, leakage nearly gone",
+        ),
+        TechNode(
+            "tfet-homo-22", "tfet", "homo", 22, 0.62, 0.14, 0.052,
+            "homogeneous TFET, one shrink",
+        ),
+        TechNode(
+            "tfet-homo-16", "tfet", "homo", 16, 0.67, 0.11, 0.075,
+            "homogeneous TFET, two shrinks",
+        ),
+    )
+)
+
+
+def node_names() -> Tuple[str, ...]:
+    """Every registered node name, registry order (base node first)."""
+    return DEFAULT_TECH_MODEL.names()
+
+
+def get_node(name: str) -> TechNode:
+    """Look one node up in the default registry.
+
+    Raises :class:`TechModelError` (a ``ValueError``) for unknown names,
+    so dataclass ``__post_init__`` validation hooks can use it directly.
+    """
+    return DEFAULT_TECH_MODEL.get(name)

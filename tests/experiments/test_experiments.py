@@ -12,6 +12,7 @@ from repro.experiments import (
     fig7_by_class,
     fig8_leakage,
     fig9_gamma,
+    fig10_technodes,
     headline,
 )
 from repro.trace import WorkloadClass, small_suite
@@ -164,6 +165,45 @@ class TestHeadline:
         assert "paper" in table and "here" in table
 
 
+class TestFig10:
+    NODES = ("cmos-hp-45", "cmos-lp-22", "tfet-homo-22")
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig10_technodes.run(
+            workloads=("gzip",), nodes=self.NODES, depths=SMALL_DEPTHS,
+            trace_length=LENGTH,
+        )
+
+    def test_one_row_per_node(self, data):
+        assert tuple(row.node for row in data.rows) == self.NODES
+        for row in data.rows:
+            assert len(row.curve) == len(SMALL_DEPTHS)
+            assert max(row.curve) == pytest.approx(1.0)
+
+    def test_base_row_matches_a_nodeless_sweep(self, data):
+        from repro.analysis.optimum import optimum_from_sweep
+        from repro.analysis.sweep import run_depth_sweep
+        from repro.trace import get_workload
+
+        sweep = run_depth_sweep(
+            get_workload("gzip"), depths=SMALL_DEPTHS, trace_length=LENGTH
+        )
+        plain = float(optimum_from_sweep(sweep, 3.0, gated=True).depth)
+        assert data.base_row.optima == (("gzip", plain),)
+
+    def test_leakage_dominated_node_moves_the_optimum_deeper(self, data):
+        by_node = {row.node: row for row in data.rows}
+        lp, base = by_node["cmos-lp-22"], data.base_row
+        assert lp.leakage_share > base.leakage_share
+        assert lp.mean_depth > base.mean_depth
+
+    def test_table(self, data):
+        table = fig10_technodes.format_table(data)
+        assert "Fig. 10" in table
+        assert "cmos-lp-22" in table and "vs base" in table
+
+
 class TestFigureCharts:
     """Every figure with a chart renderer produces a plottable grid."""
 
@@ -181,6 +221,15 @@ class TestFigureCharts:
         chart = fig6_distribution.format_chart(data)
         assert "Fig. 6" in chart
         assert "#" in chart
+
+    def test_fig10_chart(self):
+        data = fig10_technodes.run(
+            workloads=("gzip",), nodes=("cmos-hp-45", "cmos-lp-22"),
+            depths=SMALL_DEPTHS, trace_length=LENGTH,
+        )
+        chart = fig10_technodes.format_chart(data)
+        assert "Fig. 10" in chart
+        assert "cmos-lp-22" in chart
 
     def test_fig8_chart(self):
         data = fig8_leakage.run(trace_length=LENGTH)

@@ -1,0 +1,78 @@
+"""Searching the technology-node axis: a Choice domain over the registry.
+
+``tech_node`` makes the optimum-depth search two-dimensional (every
+point still sweeps all depths): the checkpoint must identify the node a
+point was scored at, resume must recompute nothing, and the scores must
+reflect the node's power split — the leakage-dominated LP node prefers a
+deeper best depth than scaled HP.
+"""
+
+from repro.engine.scheduler import EngineConfig, ExecutionEngine
+from repro.search import GridSearch, Objective, SearchSpace, SearchStore, run_search
+from repro.tech import BASE_NODE
+
+SPACE = SearchSpace.of(
+    {"tech_node": f"{BASE_NODE},cmos-hp-16,cmos-lp-22", "issue_width": "2:4:2"}
+)
+OBJECTIVE = Objective(
+    workloads=("gzip",), depths=(4, 6, 8, 10, 14), trace_length=400,
+    backend="fast",
+)
+
+
+def search(tmp_path, **kwargs):
+    return run_search(
+        SPACE,
+        OBJECTIVE,
+        GridSearch(),
+        seed=kwargs.pop("seed", 0),
+        budget=kwargs.pop("budget", 0),
+        engine=ExecutionEngine(
+            EngineConfig(workers=1, cache_dir=tmp_path / "cache")
+        ),
+        store=SearchStore(tmp_path / "state"),
+        **kwargs,
+    )
+
+
+class TestNodeSearch:
+    def test_grid_covers_the_node_axis(self, tmp_path):
+        outcome = search(tmp_path)
+        assert outcome.completed
+        assert outcome.probes == SPACE.size() == 6
+        assert outcome.best_point["tech_node"] in (
+            BASE_NODE, "cmos-hp-16", "cmos-lp-22",
+        )
+        assert outcome.best_depth in OBJECTIVE.depths
+
+    def test_resume_recomputes_nothing(self, tmp_path):
+        first = search(tmp_path)
+        resumed = search(tmp_path)
+        assert resumed.search_id == first.search_id
+        assert resumed.completed
+        assert resumed.new_probes == 0 and resumed.computed == 0
+        assert resumed.best_point == first.best_point
+
+    def test_fresh_restart_is_all_cache_hits(self, tmp_path):
+        """Every (point, node) job is already on disk: zero executions."""
+        search(tmp_path)
+        redone = search(tmp_path, resume=False)
+        assert redone.new_probes == SPACE.size()
+        assert redone.computed == 0
+        assert redone.cache_hits == SPACE.size()
+
+    def test_nodes_score_differently(self, tmp_path):
+        """Same machine knobs, different node: the score must move."""
+        objective = Objective(
+            workloads=("oltp-bank",), depths=(4, 8, 14), trace_length=400,
+            backend="fast",
+        )
+        scores = {}
+        for node in (BASE_NODE, "cmos-lp-22"):
+            point = {"tech_node": node}
+            jobs = objective.jobs_for(point)
+            engine = ExecutionEngine(
+                EngineConfig(workers=1, cache_dir=tmp_path / "cache")
+            )
+            scores[node] = objective.score(point, engine.run(jobs)).value
+        assert scores[BASE_NODE] != scores["cmos-lp-22"]

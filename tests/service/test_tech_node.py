@@ -1,0 +1,81 @@
+"""The ``tech_node`` request field: validated, echoed, cache-isolated."""
+
+import asyncio
+
+from tests.service.test_http_service import make_config, running, sweep_body
+
+from repro.tech import BASE_NODE
+
+
+class TestTechNodeField:
+    def test_default_is_the_base_node(self, tmp_path):
+        async def scenario():
+            async with running(make_config(tmp_path)) as (_server, client):
+                return await client.request_json("POST", "/v1/sweep", sweep_body())
+
+        status, body = asyncio.run(scenario())
+        assert status == 200
+        assert body["tech_node"] == BASE_NODE
+
+    def test_node_is_echoed_and_changes_the_answer(self, tmp_path):
+        async def scenario():
+            async with running(make_config(tmp_path)) as (_server, client):
+                base = await client.request_json("POST", "/v1/sweep", sweep_body())
+                lp = await client.request_json(
+                    "POST", "/v1/sweep", sweep_body(tech_node="cmos-lp-22")
+                )
+                return base, lp
+
+        (status1, base), (status2, lp) = asyncio.run(scenario())
+        assert status1 == 200 and status2 == 200
+        assert base["tech_node"] == BASE_NODE
+        assert lp["tech_node"] == "cmos-lp-22"
+        # The LP node re-times and re-weights power: both responses were
+        # computed (no cross-node cache aliasing) and the metrics differ.
+        assert lp["source"] == "computed"
+        assert lp["metric"] != base["metric"]
+
+    def test_same_node_is_served_from_cache(self, tmp_path):
+        async def scenario():
+            async with running(make_config(tmp_path)) as (_server, client):
+                first = await client.request_json(
+                    "POST", "/v1/sweep", sweep_body(tech_node="cmos-hp-16")
+                )
+                second = await client.request_json(
+                    "POST", "/v1/sweep", sweep_body(tech_node="cmos-hp-16")
+                )
+                return first, second
+
+        (_, first), (_, second) = asyncio.run(scenario())
+        assert first["source"] == "computed"
+        assert second["source"] in ("memory", "disk")
+        assert second["metric"] == first["metric"]
+
+    def test_unknown_node_is_a_400(self, tmp_path):
+        async def scenario():
+            async with running(make_config(tmp_path)) as (_server, client):
+                return await client.request_json(
+                    "POST", "/v1/sweep", sweep_body(tech_node="cmos-hp-7")
+                )
+
+        status, body = asyncio.run(scenario())
+        assert status == 400
+        assert "cmos-hp-7" in body["error"]
+
+    def test_config_default_node_applies(self, tmp_path):
+        """REPRO_TECH_NODE-style config default, overridable per request."""
+        config = make_config(tmp_path, tech_node="cmos-lp-22")
+
+        async def scenario():
+            async with running(config) as (_server, client):
+                default = await client.request_json(
+                    "POST", "/v1/sweep", sweep_body()
+                )
+                explicit = await client.request_json(
+                    "POST", "/v1/sweep", sweep_body(tech_node=BASE_NODE)
+                )
+                return default, explicit
+
+        (_, default), (_, explicit) = asyncio.run(scenario())
+        assert default["tech_node"] == "cmos-lp-22"
+        assert explicit["tech_node"] == BASE_NODE

@@ -1,0 +1,97 @@
+"""Base-node identity and cross-backend agreement on the node axis.
+
+The axis's first contract: at ``cmos-hp-45`` every backend produces
+results bit-identical to a machine that never heard of technology nodes.
+The second: away from base, all five backends still agree with each
+other (hazards exact; the cycle backend's timing within its documented
+tolerance) — the node axis scales constants, it does not fork models.
+
+The machines here carry deliberately small caches: node scaling reaches
+cycle counts only through the miss-penalty-to-cycles conversion, so a
+trace that never misses would vacuously pass everything.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz import compare_results
+from repro.pipeline.fastsim import BACKENDS, make_simulator
+from repro.pipeline.simulator import MachineConfig
+from repro.tech import BASE_NODE
+from repro.trace import generate_trace, get_workload
+from repro.uarch.cache import CacheConfig
+
+DEPTHS = (3, 8, 14)
+LENGTH = 600
+
+
+def missing_machine() -> MachineConfig:
+    """A base-node machine whose caches are small enough to actually miss."""
+    small = CacheConfig(
+        size=2048, line_size=32, associativity=1, miss_latency_fo4=80.0
+    )
+    return MachineConfig(
+        icache=small,
+        dcache=small,
+        l2=dataclasses.replace(small, size=8192, miss_latency_fo4=400.0),
+    )
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(get_workload("oltp-bank"), LENGTH)
+
+
+class TestBaseNodeIdentity:
+    def test_for_node_base_is_the_default_machine(self):
+        assert MachineConfig.for_node(BASE_NODE) == MachineConfig()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_every_backend_bit_identical_at_base(self, backend, trace):
+        machine = missing_machine()
+        plain = make_simulator(machine, backend).simulate_depths(trace, DEPTHS)
+        noded = make_simulator(
+            MachineConfig.for_node(BASE_NODE, machine), backend
+        ).simulate_depths(trace, DEPTHS)
+        for depth, a, b in zip(DEPTHS, plain, noded):
+            assert a.cycles == b.cycles, f"{backend} depth {depth}"
+            assert a.hazards == b.hazards, f"{backend} depth {depth}"
+            assert a.bips == b.bips, f"{backend} depth {depth}"
+
+    @given(
+        node=st.sampled_from(("cmos-hp-16", "cmos-lp-22", "tfet-homo-22")),
+        depth=st.integers(2, 20),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_backends_agree_off_base(self, node, depth, trace):
+        """Differential check at non-base nodes (hypothesis picks the cell)."""
+        machine = MachineConfig.for_node(node, missing_machine())
+        reference = make_simulator(machine, "reference").simulate_depths(
+            trace, (depth,)
+        )[0]
+        for backend in BACKENDS[1:]:
+            other = make_simulator(machine, backend).simulate_depths(
+                trace, (depth,)
+            )[0]
+            mismatches = compare_results(reference, other, backend, depth)
+            assert not mismatches, "\n".join(mismatches)
+
+
+class TestNodeChangesTheAnswer:
+    def test_off_base_timing_differs(self, trace):
+        """A re-noded machine must not silently produce base-node numbers."""
+        machine = missing_machine()
+        base = make_simulator(machine, "fast").simulate_depths(trace, DEPTHS)
+        lp = make_simulator(
+            MachineConfig.for_node("cmos-lp-22", machine), "fast"
+        ).simulate_depths(trace, DEPTHS)
+        hp = make_simulator(
+            MachineConfig.for_node("cmos-hp-16", machine), "fast"
+        ).simulate_depths(trace, DEPTHS)
+        base_cycles = [r.cycles for r in base]
+        # Slower clock -> fewer penalty cycles per miss; faster -> more.
+        assert [r.cycles for r in lp] < base_cycles
+        assert [r.cycles for r in hp] > base_cycles

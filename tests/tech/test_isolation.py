@@ -1,0 +1,108 @@
+"""Cross-node cache isolation: two nodes can never alias a cached result.
+
+The node name rides the machine's canonical fingerprint, so every cache
+in the system — the engine's content-addressed result cache, the trace
+analysis (events) cache, the suite-tensor batch — keys per node for
+free.  These tests prove it end to end: pairwise-distinct keys across
+the whole registry, a disk cache that misses when only the node changed
+and hits when the same node returns, and a mixed-node suite batch that
+prices every row with its own constants.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import EngineConfig, ExecutionEngine
+from repro.engine.job import SimJob
+from repro.fingerprint import fingerprint_digest
+from repro.pipeline.events_cache import TraceEventsCache
+from repro.pipeline.simulator import MachineConfig
+from repro.tech import BASE_NODE, node_names
+from repro.trace import get_workload
+
+DEPTHS = (4, 8)
+LENGTH = 400
+
+
+def job_at(node: str, workload: str = "gzip", backend: str = "fast") -> SimJob:
+    return SimJob(
+        spec=get_workload(workload),
+        depths=DEPTHS,
+        trace_length=LENGTH,
+        machine=MachineConfig.for_node(node),
+        backend=backend,
+    )
+
+
+class TestKeys:
+    def test_cache_keys_pairwise_distinct_across_the_registry(self):
+        keys = {node: job_at(node).cache_key() for node in node_names()}
+        assert len(set(keys.values())) == len(keys), keys
+
+    def test_machine_fingerprints_pairwise_distinct(self):
+        """The events cache keys on this digest: distinct per node."""
+        digests = {
+            node: fingerprint_digest(MachineConfig.for_node(node))
+            for node in node_names()
+        }
+        assert len(set(digests.values())) == len(digests)
+
+    def test_events_cache_key_separates_nodes(self):
+        base = fingerprint_digest(MachineConfig())
+        lp = fingerprint_digest(MachineConfig.for_node("cmos-lp-22"))
+        assert TraceEventsCache.key_for("trace", base) != TraceEventsCache.key_for(
+            "trace", lp
+        )
+
+    @given(
+        pair=st.tuples(
+            st.sampled_from(node_names()), st.sampled_from(node_names())
+        ).filter(lambda p: p[0] != p[1])
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_any_two_nodes_never_share_a_key(self, pair):
+        a, b = pair
+        assert job_at(a).cache_key() != job_at(b).cache_key()
+
+    def test_base_node_key_equals_the_nodeless_key(self):
+        """The default machine IS the base node: one cache entry, not two."""
+        nodeless = SimJob(
+            spec=get_workload("gzip"),
+            depths=DEPTHS,
+            trace_length=LENGTH,
+            machine=MachineConfig(),
+            backend="fast",
+        )
+        assert nodeless.cache_key() == job_at(BASE_NODE).cache_key()
+
+
+class TestResultCache:
+    def test_disk_cache_misses_across_nodes_hits_within(self, tmp_path):
+        engine = ExecutionEngine(
+            EngineConfig(workers=1, cache_dir=tmp_path / "cache")
+        )
+        (cold,) = engine.run([job_at(BASE_NODE)])
+        assert not cold.cache_hit
+        (other_node,) = engine.run([job_at("cmos-lp-22")])
+        assert not other_node.cache_hit  # same spec, new node: recompute
+        (warm,) = engine.run([job_at(BASE_NODE)])
+        assert warm.cache_hit  # same node again: served from disk
+        assert [r.cycles for r in warm.results] == [
+            r.cycles for r in cold.results
+        ]
+
+    def test_mixed_node_suite_batch_prices_each_row_with_its_node(self, tmp_path):
+        """One suite-kernel batch, three nodes: per-row node constants."""
+        engine = ExecutionEngine(
+            EngineConfig(workers=1, cache_dir=tmp_path / "cache")
+        )
+        nodes = (BASE_NODE, "cmos-lp-22", "cmos-hp-16")
+        results = engine.run(
+            [job_at(node, workload="oltp-bank", backend="suite") for node in nodes]
+        )
+        metrics = {
+            node: tuple(r.bips for r in job_result.results)
+            for node, job_result in zip(nodes, results)
+        }
+        assert len(set(metrics.values())) == len(nodes), metrics

@@ -1,0 +1,160 @@
+"""The technology registry itself: validation, scaling laws, re-noding.
+
+Property-based where the claim is universal (every node, any machine):
+hypothesis draws nodes and machine knobs and checks the contracts
+``docs/TECH.md`` states — base node is the identity, re-noding is
+relative (never compounds), logic scales while memory latency does not.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import PowerParams, TechnologyParams
+from repro.pipeline.simulator import MachineConfig
+from repro.tech import (
+    BASE_NODE,
+    DEFAULT_TECH_MODEL,
+    TechModel,
+    TechModelError,
+    TechNode,
+    get_node,
+    node_names,
+)
+
+NODES = st.sampled_from(node_names())
+
+MACHINES = st.builds(
+    MachineConfig,
+    issue_width=st.integers(2, 6),
+    in_order=st.booleans(),
+    predictor_kind=st.sampled_from(("gshare", "bimodal", "taken")),
+)
+
+
+class TestRegistry:
+    def test_base_node_is_registered_and_identity(self):
+        base = get_node(BASE_NODE)
+        assert base.is_base
+        assert base.freq_scale == base.dynamic_scale == base.static_scale == 1.0
+
+    def test_unknown_node_lists_the_choices(self):
+        with pytest.raises(TechModelError) as excinfo:
+            get_node("cmos-hp-7")
+        assert "cmos-hp-7" in str(excinfo.value)
+        assert BASE_NODE in str(excinfo.value)
+
+    def test_every_family_is_present(self):
+        flavours = {
+            (get_node(name).family, get_node(name).variant)
+            for name in node_names()
+        }
+        assert flavours == {("cmos", "hp"), ("cmos", "lp"), ("tfet", "homo")}
+
+    def test_duplicate_names_rejected(self):
+        node = get_node(BASE_NODE)
+        with pytest.raises(TechModelError):
+            TechModel(nodes=(node, node))
+
+    def test_model_without_base_rejected(self):
+        lp = get_node("cmos-lp-22")
+        with pytest.raises(TechModelError):
+            TechModel(nodes=(lp,), base="cmos-lp-22")
+
+    def test_non_positive_scales_rejected(self):
+        with pytest.raises(TechModelError):
+            TechNode(
+                name="bad", family="cmos", variant="hp", feature_nm=10,
+                freq_scale=0.0, dynamic_scale=1.0, static_scale=1.0,
+            )
+
+
+class TestScalingLaws:
+    @given(node=NODES)
+    @settings(max_examples=20, deadline=None)
+    def test_logic_shrinks_memory_does_not(self, node):
+        machine = get_node(node).apply(MachineConfig())
+        base = MachineConfig()
+        scale = get_node(node).freq_scale
+        assert machine.technology.total_logic_depth == pytest.approx(
+            base.technology.total_logic_depth / scale
+        )
+        assert machine.technology.latch_overhead == pytest.approx(
+            base.technology.latch_overhead / scale
+        )
+        # Miss latencies are absolute FO4 of the base process: a faster
+        # clock pays *more* penalty cycles, it does not shrink the miss.
+        assert machine.dcache.miss_latency_fo4 == base.dcache.miss_latency_fo4
+        assert machine.l2.miss_latency_fo4 == base.l2.miss_latency_fo4
+
+    @given(node=NODES)
+    @settings(max_examples=20, deadline=None)
+    def test_power_scaling_is_multiplicative(self, node):
+        spec = get_node(node)
+        power = spec.scale_power_params(PowerParams())
+        base = PowerParams()
+        assert power.dynamic_per_latch == pytest.approx(
+            base.dynamic_per_latch * spec.dynamic_scale
+        )
+        assert power.leakage_per_latch == pytest.approx(
+            base.leakage_per_latch * spec.static_scale
+        )
+
+    def test_base_scaling_returns_the_inputs_unchanged(self):
+        base = get_node(BASE_NODE)
+        technology = TechnologyParams()
+        power = PowerParams()
+        assert base.scale_technology(technology) is technology
+        assert base.scale_power_params(power) is power
+
+
+class TestReNoding:
+    @given(machine=MACHINES)
+    @settings(max_examples=20, deadline=None)
+    def test_base_node_is_a_bit_identical_noop(self, machine):
+        assert MachineConfig.for_node(BASE_NODE, machine) == machine
+
+    @given(node=NODES, machine=MACHINES)
+    @settings(max_examples=25, deadline=None)
+    def test_renoding_is_idempotent(self, node, machine):
+        once = get_node(node).apply(machine)
+        twice = get_node(node).apply(once)
+        assert twice == once  # relative scaling: same node, factor 1.0
+
+    @given(a=NODES, b=NODES, machine=MACHINES)
+    @settings(max_examples=25, deadline=None)
+    def test_renoding_never_compounds(self, a, b, machine):
+        via = get_node(b).apply(get_node(a).apply(machine))
+        direct = get_node(b).apply(machine)
+        assert via.tech_node == direct.tech_node == b
+        assert via.technology.total_logic_depth == pytest.approx(
+            direct.technology.total_logic_depth
+        )
+        assert via.technology.latch_overhead == pytest.approx(
+            direct.technology.latch_overhead
+        )
+
+    def test_params_for_node_matches_machine_for_node(self):
+        node = "cmos-hp-16"
+        assert TechnologyParams.for_node(node) == MachineConfig.for_node(
+            node
+        ).technology
+
+
+class TestDefaults:
+    def test_default_model_fields_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_TECH_MODEL.base = "other"
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            get_node(BASE_NODE).freq_scale = 2.0
+
+    def test_lp_nodes_are_leakage_heavy(self):
+        """The axis's reason to exist: LP static/dynamic ratio >> base."""
+        for name in node_names():
+            spec = get_node(name)
+            if spec.variant == "lp":
+                assert spec.static_scale / spec.dynamic_scale > 1.0
+            if spec.family == "tfet":
+                assert spec.static_scale < 0.1  # steep-slope: leakage collapses

@@ -146,6 +146,52 @@ class TestRoadmap:
         assert depths == sorted(depths)
 
 
+class TestTech:
+    def test_list_marks_the_base_node(self, capsys):
+        assert main(["tech", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "cmos-hp-45" in out and "tfet-homo-22" in out
+        assert "* base node" in out
+
+    def test_show_prints_scaled_constants(self, capsys):
+        assert main(["tech", "show", "cmos-lp-22"]) == 0
+        out = capsys.readouterr().out
+        assert "freq_scale" in out and "0.61" in out
+        assert "miss latencies stay absolute" in out
+
+    def test_show_unknown_node_lists_choices(self):
+        from repro.tech import TechModelError
+
+        with pytest.raises(TechModelError, match="cmos-hp-45"):
+            main(["tech", "show", "cmos-hp-7"])
+
+    def test_sweep_honours_tech_node_flag(self, capsys):
+        assert main(["sweep", "gzip", "--length", "800",
+                     "--tech-node", "cmos-lp-22"]) == 0
+        base_out = None
+        lp_out = capsys.readouterr().out
+        assert "cmos-lp-22" in lp_out
+        assert main(["sweep", "gzip", "--length", "800"]) == 0
+        base_out = capsys.readouterr().out
+        assert "cmos-hp-45" in base_out
+
+        def optimum_of(text):
+            for line in text.splitlines():
+                if "cubic-fit optimum" in line:
+                    return float(line.split(":")[1].split()[0])
+            raise AssertionError(text)
+
+        # LP is leakage-dominated: its optimum sits deeper than base.
+        assert optimum_of(lp_out) > optimum_of(base_out)
+
+    def test_sweep_rejects_unknown_node(self):
+        from repro.tech import TechModelError
+
+        with pytest.raises(TechModelError):
+            main(["sweep", "gzip", "--length", "500",
+                  "--tech-node", "cmos-hp-7"])
+
+
 class TestPlan:
     def test_single_depth(self, capsys):
         assert main(["plan", "--depth", "3"]) == 0
